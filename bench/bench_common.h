@@ -1,0 +1,149 @@
+// Shared infrastructure for the benchmark harness.
+//
+// Each bench binary regenerates one table/figure from the paper's §7.
+// Systems under test are loaded once per (system, size) and cached for
+// the lifetime of the binary. Dataset sizes follow the paper's series
+// (10 k / 100 k / 1 M / 5 M); the two largest are opt-in via
+// RDFDB_BENCH_LARGE=1 to keep default runs laptop-friendly.
+
+#ifndef RDFDB_BENCH_BENCH_COMMON_H_
+#define RDFDB_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baseline/jena2_store.h"
+#include "gen/uniprot_gen.h"
+#include "gen/workload.h"
+#include "rdf/app_table.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::bench {
+
+/// Paper dataset series: 10 k, 100 k always; 1 M with
+/// RDFDB_BENCH_LARGE=1; the paper's full 5 M point with
+/// RDFDB_BENCH_XLARGE=1 (several GB of RAM).
+inline const std::vector<int64_t>& BenchSizes() {
+  static const std::vector<int64_t> kSizes = [] {
+    std::vector<int64_t> sizes{10000, 100000};
+    if (std::getenv("RDFDB_BENCH_LARGE") != nullptr) {
+      sizes.push_back(1000000);
+    }
+    if (std::getenv("RDFDB_BENCH_XLARGE") != nullptr) {
+      sizes.push_back(5000000);
+    }
+    return sizes;
+  }();
+  return kSizes;
+}
+
+/// ->Apply(ApplyBenchSizes) registers the size series as Arg()s.
+inline void ApplyBenchSizes(benchmark::internal::Benchmark* bench) {
+  for (int64_t size : BenchSizes()) bench->Arg(size);
+}
+
+/// Generated dataset cache (shared across systems for a given size).
+inline const gen::UniProtDataset& DatasetFor(int64_t size) {
+  static std::map<int64_t, std::unique_ptr<gen::UniProtDataset>> cache;
+  auto it = cache.find(size);
+  if (it == cache.end()) {
+    gen::UniProtOptions options;
+    options.target_triples = static_cast<size_t>(size);
+    it = cache
+             .emplace(size, std::make_unique<gen::UniProtDataset>(
+                                gen::GenerateUniProt(options)))
+             .first;
+  }
+  return *it->second;
+}
+
+/// The RDF-object-store system under test: central store + application
+/// table (with the §7.2 subject function-based index).
+struct OracleSystem {
+  std::unique_ptr<rdf::RdfStore> store;
+  std::unique_ptr<rdf::ApplicationTable> table;
+  gen::OracleLoadResult load;
+
+  static OracleSystem& For(int64_t size) {
+    static std::map<int64_t, std::unique_ptr<OracleSystem>> cache;
+    auto it = cache.find(size);
+    if (it == cache.end()) {
+      auto sys = std::make_unique<OracleSystem>();
+      sys->store = std::make_unique<rdf::RdfStore>();
+      auto load = gen::LoadUniProtIntoOracle(
+          sys->store.get(), "uniprot", "uniprot_app", DatasetFor(size));
+      if (!load.ok()) {
+        std::fprintf(stderr, "oracle load failed: %s\n",
+                     load.status().ToString().c_str());
+        std::abort();
+      }
+      sys->load = *load;
+      auto table = rdf::ApplicationTable::Attach(sys->store.get(), "UP",
+                                                 "uniprot_app");
+      sys->table =
+          std::make_unique<rdf::ApplicationTable>(std::move(table).value());
+      it = cache.emplace(size, std::move(sys)).first;
+    }
+    return *it->second;
+  }
+};
+
+/// The Jena2-style comparator loaded with the same dataset.
+struct JenaSystem {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<baseline::Jena2Store> store;
+
+  static JenaSystem& For(int64_t size) {
+    static std::map<int64_t, std::unique_ptr<JenaSystem>> cache;
+    auto it = cache.find(size);
+    if (it == cache.end()) {
+      auto sys = std::make_unique<JenaSystem>();
+      sys->db = std::make_unique<storage::Database>("JENADB");
+      sys->store = std::make_unique<baseline::Jena2Store>(sys->db.get());
+      Status st = gen::LoadUniProtIntoJena2(sys->store.get(), "uniprot",
+                                            DatasetFor(size));
+      if (!st.ok()) {
+        std::fprintf(stderr, "jena2 load failed: %s\n",
+                     st.ToString().c_str());
+        std::abort();
+      }
+      it = cache.emplace(size, std::move(sys)).first;
+    }
+    return *it->second;
+  }
+};
+
+/// The Jena1-style normalized comparator (3-way join on find, §3.1).
+struct Jena1System {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<baseline::Jena1Store> store;
+
+  static Jena1System& For(int64_t size) {
+    static std::map<int64_t, std::unique_ptr<Jena1System>> cache;
+    auto it = cache.find(size);
+    if (it == cache.end()) {
+      auto sys = std::make_unique<Jena1System>();
+      sys->db = std::make_unique<storage::Database>("J1DB");
+      sys->store =
+          std::make_unique<baseline::Jena1Store>(sys->db.get(), "J1");
+      Status st = gen::LoadUniProtIntoJena1(sys->store.get(),
+                                            DatasetFor(size));
+      if (!st.ok()) {
+        std::fprintf(stderr, "jena1 load failed: %s\n",
+                     st.ToString().c_str());
+        std::abort();
+      }
+      it = cache.emplace(size, std::move(sys)).first;
+    }
+    return *it->second;
+  }
+};
+
+}  // namespace rdfdb::bench
+
+#endif  // RDFDB_BENCH_BENCH_COMMON_H_

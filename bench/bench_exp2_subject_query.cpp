@@ -1,0 +1,75 @@
+// Experiment II (§7.1.4, Table 1, Figure 10): Jena2 vs. the RDF storage
+// objects on the subject query
+//
+//   SELECT u.triple.GET_TRIPLE() FROM uniprot u
+//   WHERE u.triple.GET_SUBJECT() = 'urn:lsid:uniprot.org:uniprot:P93259'
+//
+// vs. Jena2's m.listStatements(subject, null, null). The paper's Table 1
+// reports both systems at ~0.03-0.04 s with 24 rows returned, flat in
+// dataset size. The reproduced shape: both systems answer through one
+// index lookup, comparable to each other and flat from 10 k to 5 M.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace rdfdb::bench {
+namespace {
+
+void BM_Table1_RdfObjects_SubjectQuery(benchmark::State& state) {
+  const OracleSystem& sys = OracleSystem::For(state.range(0));
+  size_t rows = 0;
+  for (auto _ : state) {
+    std::vector<rdf::SdoRdfTripleS> hits =
+        sys.table->FindBySubject(gen::kProbeSubject);
+    // GET_TRIPLE() on every hit, as the paper's SELECT does.
+    for (const rdf::SdoRdfTripleS& triple : hits) {
+      auto full = triple.GetTriple();
+      benchmark::DoNotOptimize(full);
+    }
+    rows = hits.size();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["triples"] = static_cast<double>(
+      sys.store->links().TotalTripleCount());
+}
+BENCHMARK(BM_Table1_RdfObjects_SubjectQuery)->Apply(ApplyBenchSizes);
+
+void BM_Table1_Jena2_SubjectQuery(benchmark::State& state) {
+  const JenaSystem& sys = JenaSystem::For(state.range(0));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto hits = sys.store->ListStatements(
+        "uniprot", rdf::Term::Uri(gen::kProbeSubject), std::nullopt,
+        std::nullopt);
+    if (!hits.ok()) state.SkipWithError("listStatements failed");
+    rows = hits->size();
+    benchmark::DoNotOptimize(*hits);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Table1_Jena2_SubjectQuery)->Apply(ApplyBenchSizes);
+
+void BM_Table1_Jena1_SubjectQuery(benchmark::State& state) {
+  // §3.1 context: Jena1's normalized layout pays a three-way join on
+  // find operations (and "the single statement table did not scale for
+  // large datasets") — included to show the design space Jena2 and the
+  // RDF object type both improved on.
+  Jena1System& sys = Jena1System::For(state.range(0));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto hits = sys.store->Find(rdf::Term::Uri(gen::kProbeSubject),
+                                std::nullopt, std::nullopt);
+    if (!hits.ok()) state.SkipWithError("find failed");
+    rows = hits->size();
+    benchmark::DoNotOptimize(*hits);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Table1_Jena1_SubjectQuery)->Apply(ApplyBenchSizes);
+
+}  // namespace
+}  // namespace rdfdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// Figure 8: inference over the Intelligence Community applications with
+// SDO_RDF_MATCH — rulebase intel_rb + RDFS over the cia/dhs/fbi models,
+// joined to the ic.address table.
+//
+// Two measured paths:
+//   * with a pre-computed rules index (CREATE_RULES_INDEX), and
+//   * computing entailment on the fly per query (the ablation for the
+//     design decision "a rules index pre-computes triples").
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "gen/ic_dataset.h"
+#include "query/match.h"
+
+namespace rdfdb::bench {
+namespace {
+
+using gen::IcScenario;
+using query::InferenceEngine;
+using query::Rule;
+using query::SdoRdfMatch;
+
+struct IcSystem {
+  std::unique_ptr<rdf::RdfStore> store;
+  std::unique_ptr<InferenceEngine> engine;
+  IcScenario scenario;
+  bool index_built = false;
+
+  static IcSystem& Get() {
+    static IcSystem sys = [] {
+      IcSystem s;
+      s.store = std::make_unique<rdf::RdfStore>();
+      auto scenario = gen::BuildIcScenario(s.store.get());
+      if (!scenario.ok()) std::abort();
+      s.scenario = *scenario;
+      s.engine = std::make_unique<InferenceEngine>(s.store.get());
+      if (!s.engine->CreateRulebase("intel_rb").ok()) std::abort();
+      Rule rule;
+      rule.name = "intel_rule";
+      rule.antecedent = "(?x gov:terrorAction \"bombing\")";
+      rule.consequent = "(gov:files gov:terrorSuspect ?x)";
+      rule.aliases = s.scenario.aliases;
+      if (!s.engine->InsertRule("intel_rb", rule).ok()) std::abort();
+      return s;
+    }();
+    return sys;
+  }
+};
+
+const std::vector<std::string> kModels = {"cia", "dhs", "fbi"};
+const std::vector<std::string> kRulebases = {"RDFS", "intel_rb"};
+
+void BM_Fig8_CreateRulesIndex(benchmark::State& state) {
+  IcSystem& sys = IcSystem::Get();
+  size_t inferred = 0;
+  int round = 0;
+  for (auto _ : state) {
+    std::string name = "rix_bench_" + std::to_string(round++);
+    auto index = sys.engine->CreateRulesIndex(name, kModels, kRulebases);
+    if (!index.ok()) state.SkipWithError("CreateRulesIndex failed");
+    inferred = (*index)->inferred_count();
+    state.PauseTiming();
+    (void)sys.engine->DropRulesIndex(name);
+    state.ResumeTiming();
+  }
+  state.counters["inferred"] = static_cast<double>(inferred);
+}
+BENCHMARK(BM_Fig8_CreateRulesIndex)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig8_MatchWithRulesIndex(benchmark::State& state) {
+  IcSystem& sys = IcSystem::Get();
+  if (!sys.index_built) {
+    auto index =
+        sys.engine->CreateRulesIndex("rdfs_rix_intel", kModels, kRulebases);
+    if (!index.ok()) {
+      state.SkipWithError("index build failed");
+      return;
+    }
+    sys.index_built = true;
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = SdoRdfMatch(sys.store.get(), sys.engine.get(),
+                              "(gov:files gov:terrorSuspect ?name)",
+                              kModels, kRulebases, sys.scenario.aliases, "");
+    if (!result.ok()) state.SkipWithError("match failed");
+    rows = result->row_count();
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig8_MatchWithRulesIndex)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig8_MatchOnTheFlyInference(benchmark::State& state) {
+  // Same query but forcing per-query entailment: request a rulebase
+  // combination no index covers (intel_rb only).
+  IcSystem& sys = IcSystem::Get();
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = SdoRdfMatch(sys.store.get(), sys.engine.get(),
+                              "(gov:files gov:terrorSuspect ?name)",
+                              kModels, {"intel_rb"}, sys.scenario.aliases,
+                              "");
+    if (!result.ok()) state.SkipWithError("match failed");
+    rows = result->row_count();
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_Fig8_MatchOnTheFlyInference)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig8_FullQueryWithAddressJoin(benchmark::State& state) {
+  // The complete Figure 8 SELECT: match + join to ic.address.
+  IcSystem& sys = IcSystem::Get();
+  if (!sys.index_built) {
+    auto index =
+        sys.engine->CreateRulesIndex("rdfs_rix_intel", kModels, kRulebases);
+    if (!index.ok()) {
+      state.SkipWithError("index build failed");
+      return;
+    }
+    sys.index_built = true;
+  }
+  const storage::Index* addr_index =
+      sys.scenario.address_table->GetIndex("addr_name_idx");
+  size_t joined = 0;
+  for (auto _ : state) {
+    auto result = SdoRdfMatch(sys.store.get(), sys.engine.get(),
+                              "(gov:files gov:terrorSuspect ?name)",
+                              kModels, kRulebases, sys.scenario.aliases, "");
+    if (!result.ok()) state.SkipWithError("match failed");
+    joined = 0;
+    for (size_t i = 0; i < result->row_count(); ++i) {
+      auto rows = addr_index->Find(
+          {storage::Value::String(result->Get(i, "name"))});
+      for (storage::RowId rid : rows) {
+        const storage::Row* row = sys.scenario.address_table->Get(rid);
+        benchmark::DoNotOptimize(row);
+        ++joined;
+      }
+    }
+  }
+  state.counters["watch_list"] = static_cast<double>(joined);
+}
+BENCHMARK(BM_Fig8_FullQueryWithAddressJoin)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rdfdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// §1/§4 claim: "The RDF object type is built on top of NDM ... allowing
+// RDF data to be managed as objects and analyzed as networks. All the
+// NDM functionality is exposed to RDF data."
+//
+// This bench exercises the NDM analysis suite directly on the logical
+// network that rdf_link$ defines over a loaded UniProt model: shortest
+// paths, within-cost neighbourhoods, k-nearest-neighbours, reachability
+// and connected components.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "ndm/analysis.h"
+
+namespace rdfdb::bench {
+namespace {
+
+rdf::ValueId ProbeNode(const OracleSystem& sys) {
+  auto id = sys.store->values().Lookup(rdf::Term::Uri(gen::kProbeSubject));
+  return id.value_or(0);
+}
+
+void BM_NDM_ShortestPath(benchmark::State& state) {
+  OracleSystem& sys = OracleSystem::For(state.range(0));
+  rdf::ValueId source = ProbeNode(sys);
+  auto target = sys.store->values().Lookup(
+      rdf::Term::Uri(gen::kProbeReifiedTarget));
+  if (!target.has_value()) {
+    state.SkipWithError("probe target missing");
+    return;
+  }
+  for (auto _ : state) {
+    ndm::PathResult path =
+        ndm::ShortestPath(sys.store->network(), source, *target);
+    if (!path.found) state.SkipWithError("path not found");
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_NDM_ShortestPath)->Arg(10000)->Arg(100000);
+
+void BM_NDM_ShortestPath_TwoHopsUndirected(benchmark::State& state) {
+  // Probe protein -> shared cross-reference <- another protein: a path
+  // that only exists when links are traversed in both directions.
+  OracleSystem& sys = OracleSystem::For(state.range(0));
+  rdf::ValueId source = ProbeNode(sys);
+  auto target = sys.store->values().Lookup(
+      rdf::Term::Uri("urn:lsid:uniprot.org:uniprot:P00001"));
+  if (!target.has_value()) {
+    state.SkipWithError("second protein missing");
+    return;
+  }
+  size_t hops = 0;
+  for (auto _ : state) {
+    ndm::PathResult path = ndm::ShortestPathByHops(
+        sys.store->network(), source, *target, ndm::Direction::kBoth);
+    hops = path.found ? path.links.size() : 0;
+    benchmark::DoNotOptimize(path);
+  }
+  state.counters["hops"] = static_cast<double>(hops);
+}
+BENCHMARK(BM_NDM_ShortestPath_TwoHopsUndirected)->Arg(10000)->Arg(100000);
+
+void BM_NDM_WithinCost(benchmark::State& state) {
+  OracleSystem& sys = OracleSystem::For(state.range(0));
+  rdf::ValueId source = ProbeNode(sys);
+  size_t reached = 0;
+  for (auto _ : state) {
+    auto costs = ndm::WithinCost(sys.store->network(), source,
+                                 /*max_cost=*/2.0, ndm::Direction::kBoth);
+    reached = costs.size();
+    benchmark::DoNotOptimize(costs);
+  }
+  state.counters["reached"] = static_cast<double>(reached);
+}
+BENCHMARK(BM_NDM_WithinCost)->Arg(10000)->Arg(100000);
+
+void BM_NDM_NearestNeighbors(benchmark::State& state) {
+  OracleSystem& sys = OracleSystem::For(state.range(0));
+  rdf::ValueId source = ProbeNode(sys);
+  for (auto _ : state) {
+    auto nn = ndm::NearestNeighbors(sys.store->network(), source, 10,
+                                    ndm::Direction::kBoth);
+    benchmark::DoNotOptimize(nn);
+  }
+}
+BENCHMARK(BM_NDM_NearestNeighbors)->Arg(10000);
+
+void BM_NDM_Reachability(benchmark::State& state) {
+  OracleSystem& sys = OracleSystem::For(state.range(0));
+  rdf::ValueId source = ProbeNode(sys);
+  auto target = sys.store->values().Lookup(
+      rdf::Term::Uri("urn:lsid:uniprot.org:uniprot:P00001"));
+  if (!target.has_value()) {
+    state.SkipWithError("second protein missing");
+    return;
+  }
+  for (auto _ : state) {
+    bool reachable = ndm::Reachable(sys.store->network(), source, *target,
+                                    ndm::Direction::kBoth);
+    benchmark::DoNotOptimize(reachable);
+  }
+}
+BENCHMARK(BM_NDM_Reachability)->Arg(10000)->Arg(100000);
+
+void BM_NDM_ConnectedComponents(benchmark::State& state) {
+  OracleSystem& sys = OracleSystem::For(state.range(0));
+  size_t components = 0;
+  for (auto _ : state) {
+    components = ndm::ConnectedComponentCount(sys.store->network());
+    benchmark::DoNotOptimize(components);
+  }
+  state.counters["components"] = static_cast<double>(components);
+  state.counters["nodes"] =
+      static_cast<double>(sys.store->network().node_count());
+  state.counters["links"] =
+      static_cast<double>(sys.store->network().link_count());
+}
+BENCHMARK(BM_NDM_ConnectedComponents)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// §4 ablation: central value deduplication.
+//
+// "A key feature of RDF storage in Oracle is that nodes are stored only
+// once — regardless of the number of times they participate in triples."
+// Jena2 instead stores text inline in every statement row (§3.1), which
+// "consumes more storage space than Jena1".
+//
+// This bench loads the same dataset into (a) the central-schema RDF
+// object store and (b) the denormalized Jena2-style store, and reports
+// bytes and insert throughput for each.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/jena1_store.h"
+#include "bench/bench_common.h"
+
+namespace rdfdb::bench {
+namespace {
+
+/// Total text bytes held by the central rdf_value$ dictionary (each
+/// distinct value stored once — the paper's dedup claim).
+size_t CentralTextBytes(const rdf::RdfStore& store) {
+  size_t bytes = 0;
+  store.values().table().Scan(
+      [&](storage::RowId, const storage::Row& row) {
+        bytes += row[1].as_string().size();          // VALUE_NAME
+        if (!row[5].is_null()) bytes += row[5].as_clob().size();
+        return true;
+      });
+  return bytes;
+}
+
+/// Total text bytes in a Jena2 asserted-statement table (every row
+/// repeats its three texts).
+size_t Jena2TextBytes(const storage::Database& db) {
+  const storage::Table* table = db.GetTable("JENA2_UNIPROT", "ASSERTED");
+  if (table == nullptr) return 0;
+  size_t bytes = 0;
+  table->Scan([&](storage::RowId, const storage::Row& row) {
+    bytes += row[0].as_string().size() + row[1].as_string().size() +
+             row[2].as_string().size();
+    return true;
+  });
+  return bytes;
+}
+
+void BM_Sec4_CentralSchemaLoad(benchmark::State& state) {
+  const gen::UniProtDataset& dataset = DatasetFor(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = std::make_unique<rdf::RdfStore>();
+    auto model = store->CreateRdfModel("uniprot", "app", "triple");
+    if (!model.ok()) {
+      state.SkipWithError("model create failed");
+      break;
+    }
+    state.ResumeTiming();
+
+    for (const rdf::NTriple& t : dataset.triples) {
+      auto insert = store->InsertParsedTriple(model->model_id, t.subject,
+                                              t.predicate, t.object);
+      benchmark::DoNotOptimize(insert);
+    }
+
+    state.counters["bytes"] = static_cast<double>(
+        store->database().ApproxTotalBytes());
+    state.counters["text_bytes"] =
+        static_cast<double>(CentralTextBytes(*store));
+    state.counters["distinct_values"] =
+        static_cast<double>(store->values().value_count());
+  }
+  state.counters["triples"] = static_cast<double>(dataset.triple_count());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.triple_count()));
+}
+BENCHMARK(BM_Sec4_CentralSchemaLoad)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sec4_DenormalizedJena2Load(benchmark::State& state) {
+  const gen::UniProtDataset& dataset = DatasetFor(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::make_unique<storage::Database>("JENADB");
+    auto store = std::make_unique<baseline::Jena2Store>(db.get());
+    if (!store->CreateModel("uniprot").ok()) {
+      state.SkipWithError("model create failed");
+      break;
+    }
+    state.ResumeTiming();
+
+    for (const rdf::NTriple& t : dataset.triples) {
+      Status st = store->Add("uniprot", t);
+      benchmark::DoNotOptimize(st);
+    }
+
+    state.counters["bytes"] =
+        static_cast<double>(*store->ApproxBytes("uniprot"));
+    state.counters["text_bytes"] =
+        static_cast<double>(Jena2TextBytes(*db));
+  }
+  state.counters["triples"] = static_cast<double>(dataset.triple_count());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.triple_count()));
+}
+BENCHMARK(BM_Sec4_DenormalizedJena2Load)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Sec4_NormalizedJena1Load(benchmark::State& state) {
+  // Jena1's normalized design: values stored once, like the central
+  // schema, but find() pays a 3-way join (see bench_exp1).
+  const gen::UniProtDataset& dataset = DatasetFor(state.range(0));
+  int generation = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = std::make_unique<storage::Database>("J1DB");
+    auto store = std::make_unique<baseline::Jena1Store>(
+        db.get(), "J1G" + std::to_string(generation++));
+    state.ResumeTiming();
+
+    for (const rdf::NTriple& t : dataset.triples) {
+      Status st = store->Add(t);
+      benchmark::DoNotOptimize(st);
+    }
+
+    state.counters["bytes"] = static_cast<double>(store->ApproxBytes());
+  }
+  state.counters["triples"] = static_cast<double>(dataset.triple_count());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dataset.triple_count()));
+}
+BENCHMARK(BM_Sec4_NormalizedJena1Load)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+// rdf_shell: a small command-line front end over the library — the kind
+// of tool a downstream user builds first. Subcommand style:
+//
+//   rdf_shell load  <model> <file.nt>       load N-Triples into a model
+//   rdf_shell quads <model> <file.nt>       load, converting reification
+//                                           quads to the streamlined form
+//   rdf_shell query <model> '<patterns>' [filter]
+//                                           run SDO_RDF_MATCH
+//   rdf_shell export <model> <file.nt>      dump a model
+//   rdf_shell stats <model>                 per-model statistics
+//   rdf_shell demo                          run a built-in demo script
+//
+// State persists across invocations in rdfshell.snapshot (created on
+// first use in the working directory).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "query/match.h"
+#include "rdf/bulk_load.h"
+#include "rdf/quad_loader.h"
+#include "rdf/rdf_store.h"
+
+namespace {
+
+constexpr const char* kSnapshotPath = "rdfshell.snapshot";
+
+using rdfdb::rdf::RdfStore;
+
+std::unique_ptr<RdfStore> OpenStore() {
+  if (FILE* f = std::fopen(kSnapshotPath, "rb")) {
+    std::fclose(f);
+    auto opened = RdfStore::Open(kSnapshotPath);
+    if (opened.ok()) return std::move(opened).value();
+    std::fprintf(stderr, "warning: snapshot unreadable (%s); starting "
+                 "fresh\n",
+                 opened.status().ToString().c_str());
+  }
+  return std::make_unique<RdfStore>();
+}
+
+bool SaveStore(const RdfStore& store) {
+  rdfdb::Status st = store.Save(kSnapshotPath);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Create the model if it does not exist yet.
+bool EnsureModel(RdfStore* store, const std::string& model) {
+  if (store->GetModelId(model).ok()) return true;
+  auto created = store->CreateRdfModel(model, model + "_app", "triple");
+  if (!created.ok()) {
+    std::fprintf(stderr, "create model: %s\n",
+                 created.status().ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+int CmdLoad(const std::string& model, const std::string& path,
+            bool convert_quads) {
+  auto store = OpenStore();
+  if (!EnsureModel(store.get(), model)) return 1;
+  if (convert_quads) {
+    rdfdb::rdf::QuadLoader loader(store.get(), {});
+    auto stats = loader.LoadFile(model, path);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "load: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu statements read; %zu quads converted to streamlined "
+                "reification, %zu incomplete quads handled, %zu "
+                "assertions rewritten, %zu plain triples\n",
+                stats->input_triples, stats->complete_quads,
+                stats->incomplete_quads, stats->assertions_rewritten,
+                stats->plain_triples);
+  } else {
+    auto stats = rdfdb::rdf::BulkLoadFile(store.get(), model, path);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "load: %s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu statements read; %zu new triples, %zu duplicates\n",
+                stats->statements, stats->new_links, stats->reused_links);
+  }
+  return SaveStore(*store) ? 0 : 1;
+}
+
+int CmdQuery(const std::string& model, const std::string& patterns,
+             const std::string& filter) {
+  auto store = OpenStore();
+  rdfdb::query::InferenceEngine engine(store.get());
+  auto result = rdfdb::query::SdoRdfMatch(store.get(), &engine, patterns,
+                                          {model}, {}, {}, filter);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", result->ToString().c_str());
+  std::printf("(%zu rows)\n", result->row_count());
+  return 0;
+}
+
+int CmdExport(const std::string& model, const std::string& path) {
+  auto store = OpenStore();
+  rdfdb::Status st = rdfdb::rdf::ExportModelToFile(*store, model, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "export: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("exported model %s to %s\n", model.c_str(), path.c_str());
+  return 0;
+}
+
+int CmdStats(const std::string& model) {
+  auto store = OpenStore();
+  auto stats = store->GetModelStats(model);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("model %s\n", model.c_str());
+  std::printf("  triples             %zu\n", stats->triples);
+  std::printf("  distinct subjects   %zu\n", stats->distinct_subjects);
+  std::printf("  distinct predicates %zu\n", stats->distinct_predicates);
+  std::printf("  distinct objects    %zu\n", stats->distinct_objects);
+  std::printf("  reified statements  %zu\n", stats->reified_statements);
+  std::printf("  implied statements  %zu\n", stats->implied_statements);
+  rdfdb::Status ok = store->CheckConsistency();
+  std::printf("  consistency         %s\n",
+              ok.ok() ? "OK" : ok.ToString().c_str());
+  return 0;
+}
+
+int CmdDemo() {
+  std::remove(kSnapshotPath);
+  auto store = std::make_unique<RdfStore>();
+  if (!EnsureModel(store.get(), "demo")) return 1;
+  const char* triples[][3] = {
+      {"http://ex/alice", "http://ex/knows", "http://ex/bob"},
+      {"http://ex/bob", "http://ex/knows", "http://ex/carol"},
+      {"http://ex/alice", "http://ex/age", "\"34\"^^xsd:int"},
+  };
+  for (const auto& t : triples) {
+    auto inserted = store->InsertTriple("demo", t[0], t[1], t[2]);
+    if (!inserted.ok()) return 1;
+  }
+  auto base = store->GetTripleId("demo", "http://ex/alice",
+                                 "http://ex/knows", "http://ex/bob");
+  if (base.ok()) {
+    (void)store->AssertAboutTriple("demo", "http://ex/census",
+                                   "http://ex/source", *base);
+  }
+  if (!SaveStore(*store)) return 1;
+  std::printf("demo model written to %s — try:\n", kSnapshotPath);
+  std::printf("  rdf_shell stats demo\n");
+  std::printf("  rdf_shell query demo '(?s <http://ex/knows> ?o)'\n");
+  std::printf("  rdf_shell export demo demo.nt\n");
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rdf_shell load <model> <file.nt>\n"
+               "  rdf_shell quads <model> <file.nt>\n"
+               "  rdf_shell query <model> '<patterns>' [filter]\n"
+               "  rdf_shell export <model> <file.nt>\n"
+               "  rdf_shell stats <model>\n"
+               "  rdf_shell demo\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "demo") return CmdDemo();
+  if (cmd == "load" && argc == 4) return CmdLoad(argv[2], argv[3], false);
+  if (cmd == "quads" && argc == 4) return CmdLoad(argv[2], argv[3], true);
+  if (cmd == "query" && (argc == 4 || argc == 5)) {
+    return CmdQuery(argv[2], argv[3], argc == 5 ? argv[4] : "");
+  }
+  if (cmd == "export" && argc == 4) return CmdExport(argv[2], argv[3]);
+  if (cmd == "stats" && argc == 3) return CmdStats(argv[2]);
+  Usage();
+  return 2;
+}

@@ -1,0 +1,224 @@
+#include "baseline/jena1_store.h"
+
+namespace rdfdb::baseline {
+
+namespace {
+
+using storage::ColumnDef;
+using storage::IndexKind;
+using storage::KeyExtractor;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueKey;
+using storage::ValueType;
+
+// statements columns.
+constexpr size_t kSubjRef = 0;
+constexpr size_t kPredRef = 1;
+constexpr size_t kObjRef = 2;
+constexpr size_t kObjIsLiteral = 3;
+
+// resources columns: (ID, ENCODED) where ENCODED is the N-Triples token.
+// literals columns: (ID, ENCODED).
+constexpr size_t kValId = 0;
+constexpr size_t kValEncoded = 1;
+
+Schema StatementSchema() {
+  return Schema({
+      ColumnDef{"SUBJ_REF", ValueType::kInt64, false},
+      ColumnDef{"PRED_REF", ValueType::kInt64, false},
+      ColumnDef{"OBJ_REF", ValueType::kInt64, false},
+      ColumnDef{"OBJ_IS_LITERAL", ValueType::kInt64, false},
+  });
+}
+
+Schema ValueTableSchema() {
+  return Schema({
+      ColumnDef{"ID", ValueType::kInt64, false},
+      ColumnDef{"ENCODED", ValueType::kString, false},
+  });
+}
+
+}  // namespace
+
+Jena1Store::Jena1Store(storage::Database* db, const std::string& name)
+    : db_(db) {
+  statements_ = *db_->CreateTable(name, "STATEMENTS", StatementSchema());
+  resources_ = *db_->CreateTable(name, "RESOURCES", ValueTableSchema());
+  literals_ = *db_->CreateTable(name, "LITERALS", ValueTableSchema());
+
+  (void)statements_->CreateIndex("stmt_spo_idx", IndexKind::kHash,
+                                 KeyExtractor::Columns({kSubjRef, kPredRef,
+                                                        kObjRef,
+                                                        kObjIsLiteral}),
+                                 /*unique=*/true);
+  (void)statements_->CreateIndex("stmt_s_idx", IndexKind::kHash,
+                                 KeyExtractor::Columns({kSubjRef}),
+                                 /*unique=*/false);
+  (void)statements_->CreateIndex("stmt_p_idx", IndexKind::kHash,
+                                 KeyExtractor::Columns({kPredRef}),
+                                 /*unique=*/false);
+  (void)statements_->CreateIndex("stmt_o_idx", IndexKind::kHash,
+                                 KeyExtractor::Columns({kObjRef}),
+                                 /*unique=*/false);
+  for (storage::Table* table : {resources_, literals_}) {
+    (void)table->CreateIndex("val_id_idx", IndexKind::kHash,
+                             KeyExtractor::Columns({kValId}),
+                             /*unique=*/true);
+    (void)table->CreateIndex("val_text_idx", IndexKind::kHash,
+                             KeyExtractor::Columns({kValEncoded}),
+                             /*unique=*/true);
+  }
+}
+
+Result<int64_t> Jena1Store::InternResource(const rdf::Term& term) {
+  std::string encoded = term.ToNTriples();
+  const storage::Index* index = resources_->GetIndex("val_text_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::String(encoded)});
+  if (!ids.empty()) {
+    return resources_->Get(ids.front())->at(kValId).as_int64();
+  }
+  int64_t id = next_resource_id_++;
+  auto insert = resources_->Insert(
+      {Value::Int64(id), Value::String(std::move(encoded))});
+  if (!insert.ok()) return insert.status();
+  return id;
+}
+
+Result<int64_t> Jena1Store::InternLiteral(const rdf::Term& term) {
+  std::string encoded = term.ToNTriples();
+  const storage::Index* index = literals_->GetIndex("val_text_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::String(encoded)});
+  if (!ids.empty()) {
+    return literals_->Get(ids.front())->at(kValId).as_int64();
+  }
+  int64_t id = next_literal_id_++;
+  auto insert = literals_->Insert(
+      {Value::Int64(id), Value::String(std::move(encoded))});
+  if (!insert.ok()) return insert.status();
+  return id;
+}
+
+std::optional<int64_t> Jena1Store::LookupRef(const rdf::Term& term,
+                                             bool* is_literal) const {
+  *is_literal = term.is_literal();
+  const storage::Table* table = *is_literal ? literals_ : resources_;
+  const storage::Index* index = table->GetIndex("val_text_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::String(term.ToNTriples())});
+  if (ids.empty()) return std::nullopt;
+  return table->Get(ids.front())->at(kValId).as_int64();
+}
+
+Result<rdf::Term> Jena1Store::ResolveRef(int64_t ref, bool is_literal) const {
+  const storage::Table* table = is_literal ? literals_ : resources_;
+  const storage::Index* index = table->GetIndex("val_id_idx");
+  std::vector<storage::RowId> ids = index->Find(ValueKey{Value::Int64(ref)});
+  if (ids.empty()) {
+    return Status::Corruption("dangling reference " + std::to_string(ref));
+  }
+  const std::string& encoded = table->Get(ids.front())->at(kValEncoded)
+                                   .as_string();
+  return rdf::ParseApiTerm(encoded);
+}
+
+Status Jena1Store::Add(const rdf::NTriple& triple) {
+  RDFDB_ASSIGN_OR_RETURN(int64_t s_ref, InternResource(triple.subject));
+  RDFDB_ASSIGN_OR_RETURN(int64_t p_ref, InternResource(triple.predicate));
+  int64_t o_ref;
+  bool o_literal = triple.object.is_literal();
+  if (o_literal) {
+    RDFDB_ASSIGN_OR_RETURN(o_ref, InternLiteral(triple.object));
+  } else {
+    RDFDB_ASSIGN_OR_RETURN(o_ref, InternResource(triple.object));
+  }
+  const storage::Index* spo = statements_->GetIndex("stmt_spo_idx");
+  ValueKey key{Value::Int64(s_ref), Value::Int64(p_ref), Value::Int64(o_ref),
+               Value::Int64(o_literal ? 1 : 0)};
+  if (!spo->Find(key).empty()) return Status::OK();  // duplicate statement
+  auto insert = statements_->Insert({Value::Int64(s_ref),
+                                     Value::Int64(p_ref),
+                                     Value::Int64(o_ref),
+                                     Value::Int64(o_literal ? 1 : 0)});
+  if (!insert.ok()) return insert.status();
+  return Status::OK();
+}
+
+Result<std::vector<rdf::NTriple>> Jena1Store::Find(
+    const std::optional<rdf::Term>& s, const std::optional<rdf::Term>& p,
+    const std::optional<rdf::Term>& o) const {
+  // Join step 1: constants -> references.
+  std::optional<int64_t> s_ref, p_ref, o_ref;
+  std::optional<int64_t> o_literal;
+  bool lit = false;
+  if (s.has_value()) {
+    s_ref = LookupRef(*s, &lit);
+    if (!s_ref.has_value()) return std::vector<rdf::NTriple>{};
+  }
+  if (p.has_value()) {
+    p_ref = LookupRef(*p, &lit);
+    if (!p_ref.has_value()) return std::vector<rdf::NTriple>{};
+  }
+  if (o.has_value()) {
+    o_ref = LookupRef(*o, &lit);
+    if (!o_ref.has_value()) return std::vector<rdf::NTriple>{};
+    o_literal = lit ? 1 : 0;
+  }
+
+  // Join step 2: statement rows through the best index.
+  std::vector<storage::RowId> candidates;
+  if (s_ref.has_value()) {
+    candidates = statements_->GetIndex("stmt_s_idx")
+                     ->Find(ValueKey{Value::Int64(*s_ref)});
+  } else if (o_ref.has_value()) {
+    candidates = statements_->GetIndex("stmt_o_idx")
+                     ->Find(ValueKey{Value::Int64(*o_ref)});
+  } else if (p_ref.has_value()) {
+    candidates = statements_->GetIndex("stmt_p_idx")
+                     ->Find(ValueKey{Value::Int64(*p_ref)});
+  } else {
+    statements_->Scan([&](storage::RowId id, const Row&) {
+      candidates.push_back(id);
+      return true;
+    });
+  }
+
+  // Join step 3: resolve each surviving row's three references back to
+  // text.
+  std::vector<rdf::NTriple> out;
+  for (storage::RowId rid : candidates) {
+    const Row& row = *statements_->Get(rid);
+    if (s_ref.has_value() && row[kSubjRef].as_int64() != *s_ref) continue;
+    if (p_ref.has_value() && row[kPredRef].as_int64() != *p_ref) continue;
+    if (o_ref.has_value() &&
+        (row[kObjRef].as_int64() != *o_ref ||
+         row[kObjIsLiteral].as_int64() != *o_literal)) {
+      continue;
+    }
+    rdf::NTriple triple;
+    RDFDB_ASSIGN_OR_RETURN(
+        triple.subject, ResolveRef(row[kSubjRef].as_int64(), false));
+    RDFDB_ASSIGN_OR_RETURN(
+        triple.predicate, ResolveRef(row[kPredRef].as_int64(), false));
+    RDFDB_ASSIGN_OR_RETURN(
+        triple.object,
+        ResolveRef(row[kObjRef].as_int64(),
+                   row[kObjIsLiteral].as_int64() != 0));
+    out.push_back(std::move(triple));
+  }
+  return out;
+}
+
+size_t Jena1Store::statement_count() const {
+  return statements_->row_count();
+}
+
+size_t Jena1Store::ApproxBytes() const {
+  return statements_->ApproxTotalBytes() + resources_->ApproxTotalBytes() +
+         literals_->ApproxTotalBytes();
+}
+
+}  // namespace rdfdb::baseline

@@ -1,0 +1,63 @@
+// Jena1-style normalized triple store (comparison baseline).
+//
+// §3.1: "Jena1 utilized a normalized triple store approach. A statement
+// table stored references to the subject, predicate, and object, and the
+// actual text values for the URIs and the literals were stored in two
+// additional tables. ... a three-way join was required for find
+// operations."
+
+#ifndef RDFDB_BASELINE_JENA1_STORE_H_
+#define RDFDB_BASELINE_JENA1_STORE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "storage/database.h"
+
+namespace rdfdb::baseline {
+
+/// Normalized single-statement-table store.
+class Jena1Store {
+ public:
+  /// Creates the statement/resources/literals tables inside `db` under
+  /// schema `name`.
+  Jena1Store(storage::Database* db, const std::string& name);
+
+  /// Add one statement (idempotent on exact duplicates).
+  Status Add(const rdf::NTriple& triple);
+
+  /// find(s?, p?, o?): unbound positions are nullopt. Every result row
+  /// requires resolving three references through the value tables — the
+  /// three-way join of §3.1.
+  Result<std::vector<rdf::NTriple>> Find(
+      const std::optional<rdf::Term>& s, const std::optional<rdf::Term>& p,
+      const std::optional<rdf::Term>& o) const;
+
+  size_t statement_count() const;
+
+  /// Approximate bytes across all three tables (data + indexes).
+  size_t ApproxBytes() const;
+
+ private:
+  Result<int64_t> InternResource(const rdf::Term& term);
+  Result<int64_t> InternLiteral(const rdf::Term& term);
+  std::optional<int64_t> LookupRef(const rdf::Term& term,
+                                   bool* is_literal) const;
+  Result<rdf::Term> ResolveRef(int64_t ref, bool is_literal) const;
+
+  storage::Database* db_;
+  storage::Table* statements_;
+  storage::Table* resources_;
+  storage::Table* literals_;
+  int64_t next_resource_id_ = 1;
+  int64_t next_literal_id_ = 1;
+};
+
+}  // namespace rdfdb::baseline
+
+#endif  // RDFDB_BASELINE_JENA1_STORE_H_

@@ -1,0 +1,287 @@
+#include "baseline/jena2_store.h"
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::baseline {
+
+namespace {
+
+using storage::ColumnDef;
+using storage::IndexKind;
+using storage::KeyExtractor;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueKey;
+using storage::ValueType;
+
+// Asserted-statement table columns (text values stored inline, §3.1).
+constexpr size_t kSubj = 0;
+constexpr size_t kProp = 1;
+constexpr size_t kObj = 2;
+
+// Reified-statement property-class table columns.
+constexpr size_t kStmtUri = 0;
+constexpr size_t kReifSubj = 1;
+constexpr size_t kReifProp = 2;
+constexpr size_t kReifObj = 3;
+constexpr size_t kReifHasType = 4;
+
+Schema AssertedSchema() {
+  return Schema({
+      ColumnDef{"SUBJ", ValueType::kString, false},
+      ColumnDef{"PROP", ValueType::kString, false},
+      ColumnDef{"OBJ", ValueType::kString, false},
+  });
+}
+
+Schema ReifiedSchema() {
+  return Schema({
+      ColumnDef{"STMT_URI", ValueType::kString, false},
+      ColumnDef{"SUBJ", ValueType::kString, true},
+      ColumnDef{"PROP", ValueType::kString, true},
+      ColumnDef{"OBJ", ValueType::kString, true},
+      ColumnDef{"HAS_TYPE", ValueType::kInt64, false},
+  });
+}
+
+bool RowComplete(const Row& row) {
+  return !row[kReifSubj].is_null() && !row[kReifProp].is_null() &&
+         !row[kReifObj].is_null() && row[kReifHasType].as_int64() != 0;
+}
+
+}  // namespace
+
+Status Jena2Store::CreateModel(
+    const std::string& model_name,
+    const std::vector<std::vector<std::string>>& property_table_predicates) {
+  if (models_.count(model_name) > 0) {
+    return Status::AlreadyExists("Jena2 model " + model_name);
+  }
+  std::string schema_name = "JENA2_" + ToUpper(model_name);
+  auto asserted = db_->CreateTable(schema_name, "ASSERTED", AssertedSchema());
+  if (!asserted.ok()) return asserted.status();
+  auto reified = db_->CreateTable(schema_name, "REIFIED", ReifiedSchema());
+  if (!reified.ok()) return reified.status();
+
+  Model model;
+  model.asserted = *asserted;
+  model.reified = *reified;
+
+  RDFDB_RETURN_NOT_OK(model.asserted->CreateIndex(
+      "asserted_s_idx", IndexKind::kHash, KeyExtractor::Columns({kSubj}),
+      /*unique=*/false));
+  RDFDB_RETURN_NOT_OK(model.asserted->CreateIndex(
+      "asserted_p_idx", IndexKind::kHash, KeyExtractor::Columns({kProp}),
+      /*unique=*/false));
+  RDFDB_RETURN_NOT_OK(model.asserted->CreateIndex(
+      "asserted_o_idx", IndexKind::kHash, KeyExtractor::Columns({kObj}),
+      /*unique=*/false));
+  RDFDB_RETURN_NOT_OK(model.asserted->CreateIndex(
+      "asserted_spo_idx", IndexKind::kHash,
+      KeyExtractor::Columns({kSubj, kProp, kObj}), /*unique=*/true));
+  RDFDB_RETURN_NOT_OK(model.reified->CreateIndex(
+      "reified_uri_idx", IndexKind::kHash, KeyExtractor::Columns({kStmtUri}),
+      /*unique=*/true));
+  RDFDB_RETURN_NOT_OK(model.reified->CreateIndex(
+      "reified_spo_idx", IndexKind::kHash,
+      KeyExtractor::Columns({kReifSubj, kReifProp, kReifObj}),
+      /*unique=*/false));
+
+  for (size_t i = 0; i < property_table_predicates.size(); ++i) {
+    model.property_tables.push_back(std::make_unique<PropertyTable>(
+        db_, schema_name, "PROP_TABLE_" + std::to_string(i),
+        property_table_predicates[i]));
+  }
+  models_.emplace(model_name, std::move(model));
+  return Status::OK();
+}
+
+Result<const Jena2Store::Model*> Jena2Store::GetModel(
+    const std::string& model_name) const {
+  auto it = models_.find(model_name);
+  if (it == models_.end()) {
+    return Status::NotFound("Jena2 model " + model_name);
+  }
+  return &it->second;
+}
+
+Result<Jena2Store::Model*> Jena2Store::GetModel(
+    const std::string& model_name) {
+  auto it = models_.find(model_name);
+  if (it == models_.end()) {
+    return Status::NotFound("Jena2 model " + model_name);
+  }
+  return &it->second;
+}
+
+Status Jena2Store::Add(const std::string& model_name,
+                       const rdf::NTriple& triple) {
+  RDFDB_ASSIGN_OR_RETURN(Model * model, GetModel(model_name));
+  const std::string& p =
+      triple.predicate.is_uri() ? triple.predicate.lexical() : "";
+
+  // Reification vocabulary folds into the property-class table.
+  bool is_type_statement = p == rdf::kRdfType && triple.object.is_uri() &&
+                           triple.object.lexical() == rdf::kRdfStatement;
+  if (is_type_statement || p == rdf::kRdfSubject ||
+      p == rdf::kRdfPredicate || p == rdf::kRdfObject) {
+    std::string stmt_uri = triple.subject.ToNTriples();
+    const storage::Index* index = model->reified->GetIndex("reified_uri_idx");
+    std::vector<storage::RowId> ids =
+        index->Find(ValueKey{Value::String(stmt_uri)});
+    Row row(5);
+    storage::RowId rid = -1;
+    if (ids.empty()) {
+      row[kStmtUri] = Value::String(stmt_uri);
+      row[kReifSubj] = Value::Null();
+      row[kReifProp] = Value::Null();
+      row[kReifObj] = Value::Null();
+      row[kReifHasType] = Value::Int64(0);
+    } else {
+      rid = ids.front();
+      row = *model->reified->Get(rid);
+    }
+    if (is_type_statement) {
+      row[kReifHasType] = Value::Int64(1);
+    } else if (p == rdf::kRdfSubject) {
+      row[kReifSubj] = Value::String(triple.object.ToNTriples());
+    } else if (p == rdf::kRdfPredicate) {
+      row[kReifProp] = Value::String(triple.object.ToNTriples());
+    } else {
+      row[kReifObj] = Value::String(triple.object.ToNTriples());
+    }
+    if (rid < 0) {
+      auto insert = model->reified->Insert(std::move(row));
+      if (!insert.ok()) return insert.status();
+      return Status::OK();
+    }
+    return model->reified->Update(rid, std::move(row));
+  }
+
+  // Property-table routing.
+  for (const auto& pt : model->property_tables) {
+    if (!p.empty() && pt->Handles(p)) {
+      return pt->Put(triple.subject, p, triple.object);
+    }
+  }
+
+  // Plain asserted statement (deduplicated).
+  ValueKey key{Value::String(triple.subject.ToNTriples()),
+               Value::String(triple.predicate.ToNTriples()),
+               Value::String(triple.object.ToNTriples())};
+  const storage::Index* spo = model->asserted->GetIndex("asserted_spo_idx");
+  if (!spo->Find(key).empty()) return Status::OK();
+  auto insert = model->asserted->Insert(
+      {key[0], key[1], key[2]});
+  if (!insert.ok()) return insert.status();
+  return Status::OK();
+}
+
+Status Jena2Store::AddReified(const std::string& model_name,
+                              const std::string& stmt_uri,
+                              const rdf::NTriple& triple) {
+  RDFDB_ASSIGN_OR_RETURN(Model * model, GetModel(model_name));
+  const storage::Index* index = model->reified->GetIndex("reified_uri_idx");
+  if (!index->Find(ValueKey{Value::String(stmt_uri)}).empty()) {
+    return Status::AlreadyExists("reified statement " + stmt_uri);
+  }
+  auto insert = model->reified->Insert(
+      {Value::String(stmt_uri), Value::String(triple.subject.ToNTriples()),
+       Value::String(triple.predicate.ToNTriples()),
+       Value::String(triple.object.ToNTriples()), Value::Int64(1)});
+  if (!insert.ok()) return insert.status();
+  return Status::OK();
+}
+
+Result<std::vector<rdf::NTriple>> Jena2Store::ListStatements(
+    const std::string& model_name, const std::optional<rdf::Term>& s,
+    const std::optional<rdf::Term>& p,
+    const std::optional<rdf::Term>& o) const {
+  RDFDB_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  std::optional<std::string> s_key, p_key, o_key;
+  if (s.has_value()) s_key = s->ToNTriples();
+  if (p.has_value()) p_key = p->ToNTriples();
+  if (o.has_value()) o_key = o->ToNTriples();
+
+  std::vector<storage::RowId> candidates;
+  if (s_key.has_value()) {
+    candidates = model->asserted->GetIndex("asserted_s_idx")
+                     ->Find(ValueKey{Value::String(*s_key)});
+  } else if (o_key.has_value()) {
+    candidates = model->asserted->GetIndex("asserted_o_idx")
+                     ->Find(ValueKey{Value::String(*o_key)});
+  } else if (p_key.has_value()) {
+    candidates = model->asserted->GetIndex("asserted_p_idx")
+                     ->Find(ValueKey{Value::String(*p_key)});
+  } else {
+    model->asserted->Scan([&](storage::RowId id, const Row&) {
+      candidates.push_back(id);
+      return true;
+    });
+  }
+
+  std::vector<rdf::NTriple> out;
+  for (storage::RowId rid : candidates) {
+    const Row& row = *model->asserted->Get(rid);
+    if (s_key.has_value() && row[kSubj].as_string() != *s_key) continue;
+    if (p_key.has_value() && row[kProp].as_string() != *p_key) continue;
+    if (o_key.has_value() && row[kObj].as_string() != *o_key) continue;
+    rdf::NTriple triple;
+    RDFDB_ASSIGN_OR_RETURN(triple.subject,
+                           rdf::ParseApiTerm(row[kSubj].as_string()));
+    RDFDB_ASSIGN_OR_RETURN(triple.predicate,
+                           rdf::ParseApiTerm(row[kProp].as_string()));
+    RDFDB_ASSIGN_OR_RETURN(triple.object,
+                           rdf::ParseApiTerm(row[kObj].as_string()));
+    out.push_back(std::move(triple));
+  }
+  return out;
+}
+
+Result<bool> Jena2Store::IsReified(const std::string& model_name,
+                                   const rdf::NTriple& triple) const {
+  RDFDB_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  const storage::Index* index = model->reified->GetIndex("reified_spo_idx");
+  ValueKey key{Value::String(triple.subject.ToNTriples()),
+               Value::String(triple.predicate.ToNTriples()),
+               Value::String(triple.object.ToNTriples())};
+  for (storage::RowId rid : index->Find(key)) {
+    if (RowComplete(*model->reified->Get(rid))) return true;
+  }
+  return false;
+}
+
+Result<size_t> Jena2Store::StatementCount(
+    const std::string& model_name) const {
+  RDFDB_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  return model->asserted->row_count();
+}
+
+Result<size_t> Jena2Store::ReifiedCount(const std::string& model_name) const {
+  RDFDB_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  size_t n = 0;
+  model->reified->Scan([&](storage::RowId, const Row& row) {
+    if (RowComplete(row)) ++n;
+    return true;
+  });
+  return n;
+}
+
+Result<size_t> Jena2Store::ApproxBytes(const std::string& model_name) const {
+  RDFDB_ASSIGN_OR_RETURN(const Model* model, GetModel(model_name));
+  size_t n = model->asserted->ApproxTotalBytes() +
+             model->reified->ApproxTotalBytes();
+  for (const auto& pt : model->property_tables) n += pt->ApproxBytes();
+  return n;
+}
+
+const std::vector<std::unique_ptr<PropertyTable>>&
+Jena2Store::property_tables(const std::string& model_name) const {
+  static const std::vector<std::unique_ptr<PropertyTable>> kEmpty;
+  auto it = models_.find(model_name);
+  return it == models_.end() ? kEmpty : it->second.property_tables;
+}
+
+}  // namespace rdfdb::baseline

@@ -1,0 +1,99 @@
+// Jena2-style denormalized multi-model store (comparison baseline).
+//
+// §3.1: "Jena2 utilizes a denormalized, multi-model triple store
+// approach. Models are stored in separate tables, and each model stores
+// asserted statements in one table and reified statements in another.
+// The asserted statement table stores the actual text values for the
+// triples in subject, predicate, object columns. ... Reified statements
+// are stored in a property-class table that has columns StmtURI, rdf:
+// subject, rdf:predicate, rdf:object, and rdf:type. A single row with
+// all attributes present represents a reified triple."
+//
+// This is the system Experiments II and III compare against.
+
+#ifndef RDFDB_BASELINE_JENA2_STORE_H_
+#define RDFDB_BASELINE_JENA2_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/property_table.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "storage/database.h"
+
+namespace rdfdb::baseline {
+
+/// One Jena2 model's pair of tables (+ optional property tables).
+class Jena2Store {
+ public:
+  explicit Jena2Store(storage::Database* db) : db_(db) {}
+
+  /// Create a model: one asserted-statement table and one
+  /// reified-statement table, with subject/predicate/object indexes.
+  /// `property_table_predicates` optionally configures property tables
+  /// on graph creation (one table per inner vector).
+  Status CreateModel(
+      const std::string& model_name,
+      const std::vector<std::vector<std::string>>&
+          property_table_predicates = {});
+
+  /// model.add(stmt). Reification-vocabulary statements (rdf:subject /
+  /// rdf:predicate / rdf:object / rdf:type=rdf:Statement) are folded into
+  /// the reified-statement table row for their StmtURI, as Jena2 does;
+  /// statements whose predicate is configured in a property table go
+  /// there; everything else lands in the asserted-statement table.
+  Status Add(const std::string& model_name, const rdf::NTriple& triple);
+
+  /// createReifiedStatement(uri, stmt): one complete row in the
+  /// property-class table.
+  Status AddReified(const std::string& model_name,
+                    const std::string& stmt_uri, const rdf::NTriple& triple);
+
+  /// listStatements(s?, p?, o?) over the asserted table.
+  Result<std::vector<rdf::NTriple>> ListStatements(
+      const std::string& model_name, const std::optional<rdf::Term>& s,
+      const std::optional<rdf::Term>& p,
+      const std::optional<rdf::Term>& o) const;
+
+  /// isReified(stmt): single-row lookup on the (subject, predicate,
+  /// object) index of the reified table, requiring a complete row —
+  /// Jena2's optimized reification path.
+  Result<bool> IsReified(const std::string& model_name,
+                         const rdf::NTriple& triple) const;
+
+  /// Statement count of the asserted table.
+  Result<size_t> StatementCount(const std::string& model_name) const;
+
+  /// Complete rows in the reified table.
+  Result<size_t> ReifiedCount(const std::string& model_name) const;
+
+  /// Approximate bytes of one model's tables (data + indexes).
+  Result<size_t> ApproxBytes(const std::string& model_name) const;
+
+  /// Property tables of a model (empty if none configured).
+  const std::vector<std::unique_ptr<PropertyTable>>& property_tables(
+      const std::string& model_name) const;
+
+ private:
+  struct Model {
+    storage::Table* asserted = nullptr;
+    storage::Table* reified = nullptr;
+    std::vector<std::unique_ptr<PropertyTable>> property_tables;
+  };
+
+  Result<const Model*> GetModel(const std::string& model_name) const;
+  Result<Model*> GetModel(const std::string& model_name);
+
+  storage::Database* db_;
+  std::unordered_map<std::string, Model> models_;
+};
+
+}  // namespace rdfdb::baseline
+
+#endif  // RDFDB_BASELINE_JENA2_STORE_H_

@@ -1,0 +1,106 @@
+#include "baseline/property_table.h"
+
+namespace rdfdb::baseline {
+
+namespace {
+
+using storage::ColumnDef;
+using storage::IndexKind;
+using storage::KeyExtractor;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueKey;
+using storage::ValueType;
+
+constexpr size_t kSubject = 0;  // predicate columns follow
+
+}  // namespace
+
+PropertyTable::PropertyTable(storage::Database* db, const std::string& schema,
+                             const std::string& table_name,
+                             std::vector<std::string> predicates)
+    : predicates_(std::move(predicates)) {
+  std::vector<ColumnDef> columns;
+  columns.push_back(ColumnDef{"SUBJECT", ValueType::kString, false});
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    columns.push_back(
+        ColumnDef{"P" + std::to_string(i), ValueType::kString, true});
+  }
+  table_ = *db->CreateTable(schema, table_name, Schema(std::move(columns)));
+  (void)table_->CreateIndex("prop_subj_idx", IndexKind::kHash,
+                            KeyExtractor::Columns({kSubject}),
+                            /*unique=*/true);
+}
+
+int PropertyTable::ColumnFor(const std::string& predicate_uri) const {
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    if (predicates_[i] == predicate_uri) return static_cast<int>(i + 1);
+  }
+  return -1;
+}
+
+bool PropertyTable::Handles(const std::string& predicate_uri) const {
+  return ColumnFor(predicate_uri) >= 0;
+}
+
+Status PropertyTable::Put(const rdf::Term& subject,
+                          const std::string& predicate_uri,
+                          const rdf::Term& value) {
+  int col = ColumnFor(predicate_uri);
+  if (col < 0) {
+    return Status::InvalidArgument("predicate not in property table: " +
+                                   predicate_uri);
+  }
+  std::string subject_key = subject.ToNTriples();
+  const storage::Index* index = table_->GetIndex("prop_subj_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::String(subject_key)});
+  if (ids.empty()) {
+    Row row(table_->schema().num_columns(), Value::Null());
+    row[kSubject] = Value::String(subject_key);
+    row[static_cast<size_t>(col)] = Value::String(value.ToNTriples());
+    auto insert = table_->Insert(std::move(row));
+    if (!insert.ok()) return insert.status();
+    return Status::OK();
+  }
+  return table_->UpdateCell(ids.front(), static_cast<size_t>(col),
+                            Value::String(value.ToNTriples()));
+}
+
+Result<std::optional<rdf::Term>> PropertyTable::Get(
+    const rdf::Term& subject, const std::string& predicate_uri) const {
+  int col = ColumnFor(predicate_uri);
+  if (col < 0) {
+    return Status::InvalidArgument("predicate not in property table: " +
+                                   predicate_uri);
+  }
+  const storage::Index* index = table_->GetIndex("prop_subj_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::String(subject.ToNTriples())});
+  if (ids.empty()) return std::optional<rdf::Term>{};
+  const Value& cell = table_->Get(ids.front())->at(static_cast<size_t>(col));
+  if (cell.is_null()) return std::optional<rdf::Term>{};
+  RDFDB_ASSIGN_OR_RETURN(rdf::Term term, rdf::ParseApiTerm(cell.as_string()));
+  return std::optional<rdf::Term>{std::move(term)};
+}
+
+Result<std::unordered_map<std::string, rdf::Term>> PropertyTable::GetRow(
+    const rdf::Term& subject) const {
+  std::unordered_map<std::string, rdf::Term> out;
+  const storage::Index* index = table_->GetIndex("prop_subj_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::String(subject.ToNTriples())});
+  if (ids.empty()) return out;
+  const Row& row = *table_->Get(ids.front());
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    const Value& cell = row[i + 1];
+    if (cell.is_null()) continue;
+    RDFDB_ASSIGN_OR_RETURN(rdf::Term term,
+                           rdf::ParseApiTerm(cell.as_string()));
+    out.emplace(predicates_[i], std::move(term));
+  }
+  return out;
+}
+
+}  // namespace rdfdb::baseline

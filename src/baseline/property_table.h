@@ -1,0 +1,68 @@
+// Jena2 property tables (comparison baseline, §3.1).
+//
+// "Jena2 can be configured to include property tables on graph creation.
+// These tables store subject-value pairs for specified predicates ... a
+// single row stores the predicate values for a common subject. Property
+// tables ... provide modest storage reduction, since predicate URIs are
+// not stored. They attempt to cluster properties that are commonly
+// accessed together."
+
+#ifndef RDFDB_BASELINE_PROPERTY_TABLE_H_
+#define RDFDB_BASELINE_PROPERTY_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/term.h"
+#include "storage/database.h"
+
+namespace rdfdb::baseline {
+
+/// One property table: a subject column plus one column per configured
+/// predicate. The predicate URIs live in the schema, not in rows.
+class PropertyTable {
+ public:
+  /// `predicates` are the full predicate URIs given a column each.
+  PropertyTable(storage::Database* db, const std::string& schema,
+                const std::string& table_name,
+                std::vector<std::string> predicates);
+
+  /// True if this table is configured to absorb `predicate_uri`.
+  bool Handles(const std::string& predicate_uri) const;
+
+  /// Set the value of (subject, predicate); creates the subject row on
+  /// first use. Each (subject, predicate) holds one value — a second Put
+  /// overwrites, matching single-valued property-table semantics.
+  Status Put(const rdf::Term& subject, const std::string& predicate_uri,
+             const rdf::Term& value);
+
+  /// Value at (subject, predicate), or nullopt.
+  Result<std::optional<rdf::Term>> Get(
+      const rdf::Term& subject, const std::string& predicate_uri) const;
+
+  /// All values of a subject's row, keyed by predicate URI.
+  Result<std::unordered_map<std::string, rdf::Term>> GetRow(
+      const rdf::Term& subject) const;
+
+  /// Number of subject rows.
+  size_t row_count() const { return table_->row_count(); }
+
+  /// Approximate bytes (data + indexes).
+  size_t ApproxBytes() const { return table_->ApproxTotalBytes(); }
+
+  const std::vector<std::string>& predicates() const { return predicates_; }
+
+ private:
+  int ColumnFor(const std::string& predicate_uri) const;
+
+  storage::Table* table_;
+  std::vector<std::string> predicates_;
+};
+
+}  // namespace rdfdb::baseline
+
+#endif  // RDFDB_BASELINE_PROPERTY_TABLE_H_

@@ -1,0 +1,81 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace rdfdb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  // Reject to avoid modulo bias (negligible for our bounds, but cheap).
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Random::Skewed(uint64_t n) {
+  if (n <= 1) return 0;
+  // Inverse-CDF sample of weight 1/(r+1) over [0, n): harmonic tail.
+  double u = NextDouble();
+  double hn = std::log(static_cast<double>(n)) + 0.5772156649;  // ~H_n
+  double target = u * hn;
+  double r = std::exp(target) - 1.0;
+  if (r < 0) r = 0;
+  uint64_t rank = static_cast<uint64_t>(r);
+  return rank < n ? rank : n - 1;
+}
+
+std::string Random::Identifier(size_t len) {
+  static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) out.push_back(kAlpha[Uniform(26)]);
+  return out;
+}
+
+}  // namespace rdfdb

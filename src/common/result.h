@@ -1,0 +1,75 @@
+// Result<T>: value-or-Status return type (Arrow's arrow::Result idiom).
+
+#ifndef RDFDB_COMMON_RESULT_H_
+#define RDFDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rdfdb {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status: `return Status::NotFound(...);`
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result must not be built from an OK Status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the held value. Caller must have checked ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Evaluate `rexpr` (a Result<T>); on error return its Status, otherwise
+/// bind the value to `lhs`.
+#define RDFDB_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  RDFDB_ASSIGN_OR_RETURN_IMPL_(                         \
+      RDFDB_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define RDFDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr)   \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define RDFDB_CONCAT_(a, b) RDFDB_CONCAT_IMPL_(a, b)
+#define RDFDB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace rdfdb
+
+#endif  // RDFDB_COMMON_RESULT_H_

@@ -1,0 +1,50 @@
+#include "common/status.h"
+
+namespace rdfdb {
+
+namespace {
+
+const std::string& EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+const std::string& Status::message() const {
+  return rep_ ? rep_->message : EmptyString();
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code());
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+}  // namespace rdfdb

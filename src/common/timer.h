@@ -1,0 +1,38 @@
+// Monotonic stopwatch used by examples and ad-hoc measurement paths.
+// (The benchmark harness uses google-benchmark's own timing.)
+
+#ifndef RDFDB_COMMON_TIMER_H_
+#define RDFDB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rdfdb {
+
+/// Wall-clock stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Reset the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds since construction or last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rdfdb
+
+#endif  // RDFDB_COMMON_TIMER_H_

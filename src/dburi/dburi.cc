@@ -1,0 +1,159 @@
+#include "dburi/dburi.h"
+
+#include "common/string_util.h"
+
+namespace rdfdb::dburi {
+
+std::string DBUri::ToString() const {
+  std::string out = "/" + db + "/" + schema + "/" + table;
+  if (!key_column.empty()) {
+    out += "/ROW[" + key_column + "=" + key_value + "]";
+    if (!target_column.empty()) out += "/" + target_column;
+  }
+  return out;
+}
+
+DBUri DBUri::ForRow(std::string db, std::string schema, std::string table,
+                    std::string key_column, std::string key_value) {
+  DBUri uri;
+  uri.db = std::move(db);
+  uri.schema = std::move(schema);
+  uri.table = std::move(table);
+  uri.key_column = std::move(key_column);
+  uri.key_value = std::move(key_value);
+  return uri;
+}
+
+Result<DBUri> Parse(const std::string& text) {
+  if (text.empty() || text[0] != '/') {
+    return Status::InvalidArgument("DBUri must start with '/': " + text);
+  }
+  std::vector<std::string> parts = Split(text.substr(1), '/');
+  if (parts.size() < 3) {
+    return Status::InvalidArgument(
+        "DBUri needs at least /db/schema/table: " + text);
+  }
+  DBUri uri;
+  uri.db = parts[0];
+  uri.schema = parts[1];
+  uri.table = parts[2];
+  if (uri.db.empty() || uri.schema.empty() || uri.table.empty()) {
+    return Status::InvalidArgument("DBUri has empty component: " + text);
+  }
+  if (parts.size() == 3) return uri;
+
+  const std::string& row_part = parts[3];
+  if (!StartsWith(row_part, "ROW[") || !EndsWith(row_part, "]")) {
+    return Status::InvalidArgument("expected ROW[col=val] segment: " + text);
+  }
+  std::string predicate = row_part.substr(4, row_part.size() - 5);
+  size_t eq = predicate.find('=');
+  if (eq == std::string::npos || eq == 0 || eq == predicate.size() - 1) {
+    return Status::InvalidArgument("malformed ROW predicate: " + text);
+  }
+  uri.key_column = predicate.substr(0, eq);
+  uri.key_value = predicate.substr(eq + 1);
+
+  if (parts.size() == 5) {
+    if (parts[4].empty()) {
+      return Status::InvalidArgument("empty column selector: " + text);
+    }
+    uri.target_column = parts[4];
+  } else if (parts.size() > 5) {
+    return Status::InvalidArgument("too many segments: " + text);
+  }
+  return uri;
+}
+
+bool IsDBUri(const std::string& text) {
+  auto parsed = Parse(text);
+  return parsed.ok();
+}
+
+Result<storage::RowId> Resolver::ResolveRow(const DBUri& uri) const {
+  if (ToUpper(uri.db) != ToUpper(db_->name())) {
+    return Status::InvalidArgument("DBUri addresses database " + uri.db +
+                                   ", resolver is bound to " + db_->name());
+  }
+  if (!uri.addresses_row()) {
+    return Status::InvalidArgument("DBUri does not address a row: " +
+                                   uri.ToString());
+  }
+  const storage::Table* table = db_->GetTable(uri.schema, uri.table);
+  if (table == nullptr) {
+    return Status::NotFound("table " + uri.schema + "." + uri.table);
+  }
+  int col = table->schema().ColumnIndex(uri.key_column);
+  if (col < 0) {
+    return Status::NotFound("column " + uri.key_column + " in " + uri.table);
+  }
+
+  // Typed comparison: try numeric first so LINK_ID=2051 matches an INT64
+  // cell, falling back to text equality.
+  storage::Value key;
+  int64_t as_int;
+  double as_double;
+  if (ParseInt64(uri.key_value, &as_int)) {
+    key = storage::Value::Int64(as_int);
+  } else if (ParseDouble(uri.key_value, &as_double)) {
+    key = storage::Value::Double(as_double);
+  } else {
+    key = storage::Value::String(uri.key_value);
+  }
+
+  // Prefer an index on the key column when one exists.
+  for (const std::string& index_name : table->IndexNames()) {
+    const storage::Index* index = table->GetIndex(index_name);
+    if (index->extractor().description() ==
+        "columns(" + std::to_string(col) + ")") {
+      std::vector<storage::RowId> ids = index->Find({key});
+      if (ids.empty()) {
+        return Status::NotFound("no row with " + uri.key_column + "=" +
+                                uri.key_value);
+      }
+      return ids.front();
+    }
+  }
+
+  storage::RowId found = -1;
+  table->Scan([&](storage::RowId id, const storage::Row& row) {
+    if (row[static_cast<size_t>(col)] == key) {
+      found = id;
+      return false;
+    }
+    return true;
+  });
+  if (found < 0) {
+    return Status::NotFound("no row with " + uri.key_column + "=" +
+                            uri.key_value);
+  }
+  return found;
+}
+
+Result<storage::Row> Resolver::FetchRow(const DBUri& uri) const {
+  RDFDB_ASSIGN_OR_RETURN(storage::RowId id, ResolveRow(uri));
+  const storage::Table* table = db_->GetTable(uri.schema, uri.table);
+  const storage::Row* row = table->Get(id);
+  if (row == nullptr) return Status::NotFound("row vanished");
+  return *row;
+}
+
+Result<std::string> Resolver::FetchText(const DBUri& uri) const {
+  if (uri.target_column.empty()) {
+    return Status::InvalidArgument("DBUri does not address a column: " +
+                                   uri.ToString());
+  }
+  const storage::Table* table = db_->GetTable(uri.schema, uri.table);
+  if (table == nullptr) {
+    return Status::NotFound("table " + uri.schema + "." + uri.table);
+  }
+  int col = table->schema().ColumnIndex(uri.target_column);
+  if (col < 0) {
+    return Status::NotFound("column " + uri.target_column + " in " +
+                            uri.table);
+  }
+  RDFDB_ASSIGN_OR_RETURN(storage::Row row, FetchRow(uri));
+  return row[static_cast<size_t>(col)].ToString();
+}
+
+}  // namespace rdfdb::dburi

@@ -1,0 +1,74 @@
+// DBUri: intra-database URIs, our stand-in for Oracle XML DB's DBUriType.
+//
+// The paper reifies a triple by generating the resource
+//   /ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=2051]
+// — "a URI that points to a set of rows, a single row, or a single column
+// in a database". This module provides that: a parsed representation, a
+// canonical textual form, and a resolver that dereferences the URI against
+// a storage::Database.
+
+#ifndef RDFDB_DBURI_DBURI_H_
+#define RDFDB_DBURI_DBURI_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace rdfdb::dburi {
+
+/// Parsed DBUri. Forms supported:
+///   /<db>/<schema>/<table>                          — whole table
+///   /<db>/<schema>/<table>/ROW[<col>=<val>]         — one row
+///   /<db>/<schema>/<table>/ROW[<col>=<val>]/<col2>  — one column of a row
+struct DBUri {
+  std::string db;         ///< database name, e.g. "ORADB"
+  std::string schema;     ///< e.g. "MDSYS"
+  std::string table;      ///< e.g. "RDF_LINK$"
+  std::string key_column; ///< predicate column, empty for whole-table form
+  std::string key_value;  ///< predicate value text
+  std::string target_column;  ///< optional trailing column selector
+
+  bool addresses_row() const { return !key_column.empty(); }
+
+  /// Canonical textual form (round-trips through Parse).
+  std::string ToString() const;
+
+  /// Build the row-addressing form used for reification.
+  static DBUri ForRow(std::string db, std::string schema, std::string table,
+                      std::string key_column, std::string key_value);
+};
+
+/// Parse the textual form. Returns InvalidArgument on malformed input.
+Result<DBUri> Parse(const std::string& text);
+
+/// True if `text` looks like a DBUri (starts with "/<db>/" and names at
+/// least a schema and table). Cheap syntactic test used by the RDF layer
+/// to recognize reification resources.
+bool IsDBUri(const std::string& text);
+
+/// Dereferences DBUris against a Database.
+class Resolver {
+ public:
+  explicit Resolver(const storage::Database* db) : db_(db) {}
+
+  /// Resolve a row-addressing URI to its row id. NotFound if the table or
+  /// row does not exist; InvalidArgument if the URI form or database name
+  /// does not match.
+  Result<storage::RowId> ResolveRow(const DBUri& uri) const;
+
+  /// Resolve and fetch the row's cells.
+  Result<storage::Row> FetchRow(const DBUri& uri) const;
+
+  /// Resolve a column-addressing URI to the cell's text.
+  Result<std::string> FetchText(const DBUri& uri) const;
+
+ private:
+  const storage::Database* db_;
+};
+
+}  // namespace rdfdb::dburi
+
+#endif  // RDFDB_DBURI_DBURI_H_

@@ -1,0 +1,39 @@
+// The paper's Intelligence Community scenario (Figures 2, 6, 7, 8):
+// CIA / DHS / FBI models in one central schema, plus the ic.address
+// table joined against SDO_RDF_MATCH output.
+
+#ifndef RDFDB_GEN_IC_DATASET_H_
+#define RDFDB_GEN_IC_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/sparql_pattern.h"
+#include "rdf/app_table.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::gen {
+
+/// Namespaces used by the scenario. (The paper abbreviates gov: and id:
+/// "for simplicity" but notes full namespaces must be used on insert.)
+inline constexpr const char* kGovNs = "http://www.us.gov#";
+inline constexpr const char* kIdNs = "http://www.us.id#";
+
+/// Built scenario handles.
+struct IcScenario {
+  std::vector<std::string> model_names;  ///< {"cia", "dhs", "fbi"}
+  query::AliasList aliases;              ///< gov: and id:
+  storage::Table* address_table = nullptr;  ///< IC.ADDRESS (NAME, ADDRESS)
+  /// LINK_ID of the CIA's <gov:files, gov:terrorSuspect, id:JohnDoe>
+  /// triple (the paper's running reification example, RDF_T_ID 2051).
+  rdf::LinkId john_doe_link_id = 0;
+};
+
+/// Create the three models, their application tables (ciadata / dhsdata /
+/// fbidata), insert the Figure 2 triples, and build IC.ADDRESS.
+Result<IcScenario> BuildIcScenario(rdf::RdfStore* store);
+
+}  // namespace rdfdb::gen
+
+#endif  // RDFDB_GEN_IC_DATASET_H_

@@ -1,0 +1,195 @@
+#include "gen/uniprot_gen.h"
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::gen {
+
+namespace {
+
+using rdf::NTriple;
+using rdf::Term;
+
+std::string Accession(size_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "P%05zu", i % 100000);
+  std::string suffix = i >= 100000 ? std::to_string(i / 100000) : "";
+  return std::string("urn:lsid:uniprot.org:uniprot:") + buf + suffix;
+}
+
+std::string CrossRef(Random* rng) {
+  static const char* kFamilies[] = {"smart:SM", "pfam:PF", "prosite:PS"};
+  const char* family = kFamilies[rng->Uniform(3)];
+  // Skewed pool of ~5000 targets: popular domains are referenced by many
+  // proteins, matching real cross-reference reuse.
+  uint64_t id = rng->Skewed(5000);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%05llu",
+                static_cast<unsigned long long>(id));
+  return "urn:lsid:uniprot.org:" + std::string(family) + buf;
+}
+
+std::string Citation(Random* rng) {
+  return "urn:lsid:uniprot.org:citations:" +
+         std::to_string(1000000 + rng->Skewed(20000));
+}
+
+std::string Keyword(Random* rng) {
+  return "http://purl.uniprot.org/keywords/" +
+         std::to_string(rng->Skewed(400));
+}
+
+std::string Curator(Random* rng) {
+  return "http://purl.uniprot.org/curators/C" +
+         std::to_string(rng->Uniform(50));
+}
+
+NTriple Make(Term s, const char* p, Term o) {
+  return NTriple{std::move(s), Term::Uri(p), std::move(o)};
+}
+
+}  // namespace
+
+UniProtDataset GenerateUniProt(const UniProtOptions& options) {
+  UniProtDataset dataset;
+  Random rng(options.seed);
+  dataset.probe_subject = kProbeSubject;
+
+  std::vector<NTriple> see_also_pool;  // candidates for reification
+
+  // --- The probe protein: exactly 24 statements, fixed content ---------
+  {
+    Term s = Term::Uri(kProbeSubject);
+    auto& t = dataset.triples;
+    t.push_back(Make(s, std::string(rdf::kRdfType).c_str(),
+                     Term::Uri(kUpProtein)));
+    t.push_back(Make(s, kUpMnemonic, Term::PlainLiteral("PROBE_HUMAN")));
+    t.push_back(Make(s, std::string(rdf::kRdfsLabel).c_str(),
+                     Term::PlainLiteralLang("Probe protein", "en")));
+    t.push_back(Make(s, kUpOrganism,
+                     Term::TypedLiteral("9606", std::string(rdf::kXsdInt))));
+    t.push_back(Make(s, kUpCreated,
+                     Term::TypedLiteral("2005-03-01",
+                                        std::string(rdf::kXsdDate))));
+    t.push_back(Make(
+        s, kUpSequenceLength,
+        Term::TypedLiteral("472", std::string(rdf::kXsdInt))));
+    // The reified probe statement (Figure 11's true case).
+    dataset.reified_probe =
+        Make(s, std::string(rdf::kRdfsSeeAlso).c_str(),
+             Term::Uri(kProbeReifiedTarget));
+    t.push_back(dataset.reified_probe);
+    dataset.reified.push_back(
+        ReifiedStatement{dataset.reified_probe, Curator(&rng)});
+    // The false-probe statement: present but never reified.
+    dataset.unreified_probe =
+        Make(s, std::string(rdf::kRdfsSeeAlso).c_str(),
+             Term::Uri(kProbeUnreifiedTarget));
+    t.push_back(dataset.unreified_probe);
+    // Fill the remaining 16 statements with fixed cross-references and
+    // citations so the subject query returns exactly 24 rows.
+    for (int i = 0; i < 10; ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "PS%05d", 10000 + i);
+      t.push_back(Make(s, std::string(rdf::kRdfsSeeAlso).c_str(),
+                       Term::Uri("urn:lsid:uniprot.org:prosite:" +
+                                 std::string(buf))));
+    }
+    for (int i = 0; i < 6; ++i) {
+      t.push_back(Make(s, kUpCitation,
+                       Term::Uri("urn:lsid:uniprot.org:citations:" +
+                                 std::to_string(7000000 + i))));
+    }
+  }
+  const size_t probe_triples = dataset.triples.size();  // == 24
+
+  // --- Bulk proteins -----------------------------------------------------
+  size_t protein_index = 1;
+  while (dataset.triples.size() < options.target_triples) {
+    Term s = Term::Uri(Accession(protein_index));
+    auto& t = dataset.triples;
+
+    t.push_back(Make(s, std::string(rdf::kRdfType).c_str(),
+                     Term::Uri(kUpProtein)));
+    t.push_back(Make(s, kUpMnemonic,
+                     Term::PlainLiteral(
+                         "Q" + std::to_string(protein_index) + "_" +
+                         rng.Identifier(5))));
+    t.push_back(Make(s, std::string(rdf::kRdfsLabel).c_str(),
+                     Term::PlainLiteralLang(
+                         "Protein " + std::to_string(protein_index), "en")));
+    t.push_back(Make(
+        s, kUpOrganism,
+        Term::TypedLiteral(std::to_string(9000 + rng.Skewed(2000)),
+                           std::string(rdf::kXsdInt))));
+    t.push_back(Make(
+        s, kUpSequenceLength,
+        Term::TypedLiteral(std::to_string(rng.UniformRange(40, 4000)),
+                           std::string(rdf::kXsdInt))));
+
+    // Cross-references; each is a reification candidate.
+    size_t num_refs = 2 + rng.Uniform(6);
+    for (size_t r = 0; r < num_refs; ++r) {
+      NTriple ref = Make(s, std::string(rdf::kRdfsSeeAlso).c_str(),
+                         Term::Uri(CrossRef(&rng)));
+      t.push_back(ref);
+      see_also_pool.push_back(std::move(ref));
+    }
+
+    // Citations from a shared pool (value reuse across proteins).
+    size_t num_cites = 1 + rng.Uniform(3);
+    for (size_t c = 0; c < num_cites; ++c) {
+      t.push_back(Make(s, kUpCitation, Term::Uri(Citation(&rng))));
+    }
+
+    // One blank-node annotation per protein.
+    Term ann = Term::BlankNode("ann" + std::to_string(protein_index));
+    t.push_back(Make(s, kUpAnnotation, ann));
+    t.push_back(Make(ann, std::string(rdf::kRdfType).c_str(),
+                     Term::Uri(kUpAnnotationClass)));
+    t.push_back(Make(
+        ann, "http://www.w3.org/2000/01/rdf-schema#comment",
+        Term::PlainLiteral("annotation " + rng.Identifier(12))));
+
+    // Keyword container (rdf:Bag with rdf:_n membership properties).
+    if (rng.Bernoulli(0.5)) {
+      Term bag = Term::BlankNode("kw" + std::to_string(protein_index));
+      t.push_back(Make(s, kUpKeywords, bag));
+      t.push_back(Make(bag, std::string(rdf::kRdfType).c_str(),
+                       Term::Uri(std::string(rdf::kRdfBag))));
+      size_t members = 1 + rng.Uniform(3);
+      for (size_t m = 1; m <= members; ++m) {
+        std::string member_prop =
+            std::string(rdf::kRdfNs) + "_" + std::to_string(m);
+        t.push_back(Make(bag, member_prop.c_str(),
+                         Term::Uri(Keyword(&rng))));
+      }
+    }
+    ++protein_index;
+  }
+
+  // --- Reified statements -------------------------------------------------
+  // Target count scales with the base size (the paper: 659 of 10 k,
+  // 247 002 of 5 M). One probe reification already exists.
+  size_t target_reified = static_cast<size_t>(
+      options.reified_fraction *
+      static_cast<double>(dataset.triples.size()));
+  if (target_reified > 0) --target_reified;  // account for the probe
+  if (target_reified > see_also_pool.size()) {
+    target_reified = see_also_pool.size();
+  }
+  for (size_t i = 0; i < target_reified; ++i) {
+    // Evenly-spaced distinct picks so reified statements spread across
+    // proteins rather than clustering at the front.
+    size_t idx = i * see_also_pool.size() / target_reified;
+    dataset.reified.push_back(
+        ReifiedStatement{see_also_pool[idx], Curator(&rng)});
+  }
+
+  (void)probe_triples;
+  return dataset;
+}
+
+}  // namespace rdfdb::gen

@@ -1,0 +1,87 @@
+// Synthetic UniProt-like RDF dataset generator.
+//
+// The paper evaluates on UniProt (Universal Protein Resource) RDF dumps
+// of 10 k / 100 k / 1 M / 5 M triples with ~4.9 % reified statements
+// (247 002 of 5 M) and a probe subject returning 24 rows
+// (urn:lsid:uniprot.org:uniprot:P93259). We do not have the 2005 dump, so
+// this generator synthesizes data with the same shape: protein records
+// keyed by urn:lsid accession URIs, rdfs:seeAlso cross-references into
+// shared smart/pfam/prosite pools, typed and language-tagged literals,
+// blank-node annotations, rdf:Bag keyword containers, and a configurable
+// reified fraction — including the paper's exact true/false probe
+// statements.
+
+#ifndef RDFDB_GEN_UNIPROT_GEN_H_
+#define RDFDB_GEN_UNIPROT_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rdf/ntriples.h"
+
+namespace rdfdb::gen {
+
+/// UniProt vocabulary used by the generator.
+inline constexpr const char* kUpNs = "http://purl.uniprot.org/core/";
+inline constexpr const char* kUpProtein =
+    "http://purl.uniprot.org/core/Protein";
+inline constexpr const char* kUpMnemonic =
+    "http://purl.uniprot.org/core/mnemonic";
+inline constexpr const char* kUpOrganism =
+    "http://purl.uniprot.org/core/organism";
+inline constexpr const char* kUpCreated =
+    "http://purl.uniprot.org/core/created";
+inline constexpr const char* kUpSequenceLength =
+    "http://purl.uniprot.org/core/sequenceLength";
+inline constexpr const char* kUpCitation =
+    "http://purl.uniprot.org/core/citation";
+inline constexpr const char* kUpAnnotation =
+    "http://purl.uniprot.org/core/annotation";
+inline constexpr const char* kUpAnnotationClass =
+    "http://purl.uniprot.org/core/Annotation";
+inline constexpr const char* kUpKeywords =
+    "http://purl.uniprot.org/core/keywords";
+inline constexpr const char* kUpCuratedBy =
+    "http://purl.uniprot.org/core/curatedBy";
+
+/// The paper's probe subject and reified cross-reference (Figures 10/11).
+inline constexpr const char* kProbeSubject =
+    "urn:lsid:uniprot.org:uniprot:P93259";
+inline constexpr const char* kProbeReifiedTarget =
+    "urn:lsid:uniprot.org:smart:SM00101";
+inline constexpr const char* kProbeUnreifiedTarget =
+    "urn:lsid:uniprot.org:pfam:PF99999";
+
+/// Generator parameters.
+struct UniProtOptions {
+  size_t target_triples = 10000;   ///< approximate base-triple count
+  double reified_fraction = 0.05;  ///< fraction of statements reified
+  uint64_t seed = 42;              ///< RNG seed (fully deterministic)
+};
+
+/// One statement that gets reified, plus the curator who asserts it
+/// (<curator, up:curatedBy, reified-statement>).
+struct ReifiedStatement {
+  rdf::NTriple base;
+  std::string curator_uri;
+};
+
+/// Generated dataset.
+struct UniProtDataset {
+  std::vector<rdf::NTriple> triples;      ///< base statements (facts)
+  std::vector<ReifiedStatement> reified;  ///< statements to reify
+  std::string probe_subject;              ///< returns exactly 24 rows
+  rdf::NTriple reified_probe;             ///< IS_REIFIED -> true
+  rdf::NTriple unreified_probe;           ///< IS_REIFIED -> false
+
+  size_t triple_count() const { return triples.size(); }
+  size_t reified_count() const { return reified.size(); }
+};
+
+/// Generate a dataset. Deterministic for a given options struct.
+UniProtDataset GenerateUniProt(const UniProtOptions& options);
+
+}  // namespace rdfdb::gen
+
+#endif  // RDFDB_GEN_UNIPROT_GEN_H_

@@ -1,0 +1,111 @@
+#include "gen/workload.h"
+
+#include "rdf/vocab.h"
+
+namespace rdfdb::gen {
+
+namespace {
+using rdf::ApplicationTable;
+using rdf::SdoRdfTripleS;
+}  // namespace
+
+Result<OracleLoadResult> LoadUniProtIntoOracle(
+    rdf::RdfStore* store, const std::string& model_name,
+    const std::string& app_table, const UniProtDataset& dataset,
+    const OracleLoadOptions& options) {
+  OracleLoadResult result;
+  RDFDB_ASSIGN_OR_RETURN(
+      ApplicationTable table,
+      ApplicationTable::Create(store, "UP", app_table));
+  RDFDB_ASSIGN_OR_RETURN(
+      result.model,
+      store->CreateRdfModel(model_name, app_table, "triple", "UP"));
+
+  int64_t next_id = 1;
+  for (const rdf::NTriple& t : dataset.triples) {
+    RDFDB_ASSIGN_OR_RETURN(
+        SdoRdfTripleS triple,
+        store->InsertParsedTriple(result.model.model_id, t.subject,
+                                  t.predicate, t.object));
+    RDFDB_RETURN_NOT_OK(table.Insert(next_id++, triple));
+    ++result.base_triples;
+  }
+
+  for (const ReifiedStatement& r : dataset.reified) {
+    // The base triple already exists (Direct); the assertion constructor
+    // reifies it (if needed) and stores the curator assertion.
+    RDFDB_ASSIGN_OR_RETURN(
+        SdoRdfTripleS base,
+        store->InsertParsedTriple(result.model.model_id, r.base.subject,
+                                  r.base.predicate, r.base.object));
+    RDFDB_ASSIGN_OR_RETURN(
+        SdoRdfTripleS assertion,
+        store->AssertAboutTriple(model_name, r.curator_uri, kUpCuratedBy,
+                                 base.rdf_t_id()));
+    RDFDB_RETURN_NOT_OK(table.Insert(next_id++, assertion));
+    ++result.reified;
+  }
+
+  if (options.create_subject_index) {
+    RDFDB_RETURN_NOT_OK(table.CreateSubjectIndex());
+  }
+  if (options.create_property_index) {
+    RDFDB_RETURN_NOT_OK(table.CreatePropertyIndex());
+  }
+  if (options.create_object_index) {
+    RDFDB_RETURN_NOT_OK(table.CreateObjectIndex());
+  }
+  result.app_rows = table.row_count();
+  return result;
+}
+
+Status LoadUniProtIntoJena2(baseline::Jena2Store* jena,
+                            const std::string& model_name,
+                            const UniProtDataset& dataset) {
+  RDFDB_RETURN_NOT_OK(jena->CreateModel(model_name));
+  for (const rdf::NTriple& t : dataset.triples) {
+    RDFDB_RETURN_NOT_OK(jena->Add(model_name, t));
+  }
+  size_t reif_id = 1;
+  for (const ReifiedStatement& r : dataset.reified) {
+    std::string stmt_uri =
+        "<urn:reif:stmt" + std::to_string(reif_id++) + ">";
+    Status st = jena->AddReified(model_name, stmt_uri, r.base);
+    if (!st.ok() && !st.IsAlreadyExists()) return st;
+    rdf::NTriple assertion{rdf::Term::Uri(r.curator_uri),
+                           rdf::Term::Uri(kUpCuratedBy),
+                           rdf::Term::Uri(stmt_uri.substr(
+                               1, stmt_uri.size() - 2))};
+    RDFDB_RETURN_NOT_OK(jena->Add(model_name, assertion));
+  }
+  return Status::OK();
+}
+
+Status LoadUniProtIntoJena1(baseline::Jena1Store* jena,
+                            const UniProtDataset& dataset) {
+  for (const rdf::NTriple& t : dataset.triples) {
+    RDFDB_RETURN_NOT_OK(jena->Add(t));
+  }
+  size_t reif_id = 1;
+  for (const ReifiedStatement& r : dataset.reified) {
+    rdf::Term reifier =
+        rdf::Term::Uri("urn:reif:stmt" + std::to_string(reif_id++));
+    rdf::Term type = rdf::Term::Uri(std::string(rdf::kRdfType));
+    rdf::Term statement = rdf::Term::Uri(std::string(rdf::kRdfStatement));
+    RDFDB_RETURN_NOT_OK(jena->Add({reifier, type, statement}));
+    RDFDB_RETURN_NOT_OK(jena->Add(
+        {reifier, rdf::Term::Uri(std::string(rdf::kRdfSubject)),
+         r.base.subject}));
+    RDFDB_RETURN_NOT_OK(jena->Add(
+        {reifier, rdf::Term::Uri(std::string(rdf::kRdfPredicate)),
+         r.base.predicate}));
+    RDFDB_RETURN_NOT_OK(jena->Add(
+        {reifier, rdf::Term::Uri(std::string(rdf::kRdfObject)),
+         r.base.object}));
+    RDFDB_RETURN_NOT_OK(jena->Add({rdf::Term::Uri(r.curator_uri),
+                                   rdf::Term::Uri(kUpCuratedBy), reifier}));
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfdb::gen

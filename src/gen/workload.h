@@ -1,0 +1,59 @@
+// Workload loaders: push a generated UniProt dataset into the systems
+// under test (the RDF object store with its application table, and the
+// Jena2 baseline), mirroring §7.1's experimental setup.
+
+#ifndef RDFDB_GEN_WORKLOAD_H_
+#define RDFDB_GEN_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "baseline/jena1_store.h"
+#include "baseline/jena2_store.h"
+#include "common/result.h"
+#include "gen/uniprot_gen.h"
+#include "rdf/app_table.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::gen {
+
+/// Loading options for the RDF object store.
+struct OracleLoadOptions {
+  bool create_subject_index = true;   ///< §7.2's up*_sub_fbidx
+  bool create_property_index = false;
+  bool create_object_index = false;
+};
+
+/// Outcome of loading into the RDF object store.
+struct OracleLoadResult {
+  rdf::ModelInfo model;
+  size_t app_rows = 0;       ///< rows in the application table
+  size_t base_triples = 0;   ///< direct statements inserted
+  size_t reified = 0;        ///< streamlined reifications performed
+};
+
+/// Create `app_table` + model `model_name`, insert every dataset triple
+/// through the SDO_RDF_TRIPLE_S constructor path, reify the dataset's
+/// reified statements with the streamlined representation, and assert
+/// <curator, up:curatedBy, statement> for each.
+Result<OracleLoadResult> LoadUniProtIntoOracle(
+    rdf::RdfStore* store, const std::string& model_name,
+    const std::string& app_table, const UniProtDataset& dataset,
+    const OracleLoadOptions& options = {});
+
+/// Create Jena2 model `model_name` and load the dataset: plain adds, one
+/// complete property-class row per reified statement, and the curator
+/// assertions.
+Status LoadUniProtIntoJena2(baseline::Jena2Store* jena,
+                            const std::string& model_name,
+                            const UniProtDataset& dataset);
+
+/// Load the dataset into a Jena1-style normalized store. Jena1 has no
+/// reification optimization, so each reified statement is stored as the
+/// full four-triple quad plus the curator assertion (§3.1).
+Status LoadUniProtIntoJena1(baseline::Jena1Store* jena,
+                            const UniProtDataset& dataset);
+
+}  // namespace rdfdb::gen
+
+#endif  // RDFDB_GEN_WORKLOAD_H_

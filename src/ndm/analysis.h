@@ -1,0 +1,95 @@
+// NDM network-analysis functions.
+//
+// These are the analyses Oracle's Network Data Model exposes; the paper's
+// point is that, because RDF triples *are* NDM links, "all the NDM
+// functionality is exposed to RDF data". The RDF layer hands its logical
+// network to these functions directly.
+
+#ifndef RDFDB_NDM_ANALYSIS_H_
+#define RDFDB_NDM_ANALYSIS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ndm/network.h"
+
+namespace rdfdb::ndm {
+
+/// Result of a path search.
+struct PathResult {
+  bool found = false;
+  double cost = 0.0;
+  std::vector<NodeId> nodes;  ///< source..target, inclusive
+  std::vector<LinkId> links;  ///< links taken, size == nodes.size()-1
+};
+
+/// Traversal direction for searches over a directed network.
+enum class Direction {
+  kOutgoing,   ///< follow links start -> end
+  kIncoming,   ///< follow links end -> start
+  kBoth,       ///< treat links as undirected
+};
+
+/// Dijkstra shortest path by link cost. Costs must be non-negative.
+PathResult ShortestPath(const LogicalNetwork& net, NodeId source,
+                        NodeId target,
+                        Direction direction = Direction::kOutgoing);
+
+/// Minimum-hop path (BFS, ignores costs).
+PathResult ShortestPathByHops(const LogicalNetwork& net, NodeId source,
+                              NodeId target,
+                              Direction direction = Direction::kOutgoing);
+
+/// All nodes reachable within `max_cost` of `source`, with their costs
+/// (includes `source` at cost 0).
+std::unordered_map<NodeId, double> WithinCost(
+    const LogicalNetwork& net, NodeId source, double max_cost,
+    Direction direction = Direction::kOutgoing);
+
+/// The `k` nearest nodes to `source` by path cost, ascending (excludes
+/// `source` itself).
+std::vector<std::pair<NodeId, double>> NearestNeighbors(
+    const LogicalNetwork& net, NodeId source, size_t k,
+    Direction direction = Direction::kOutgoing);
+
+/// True if `target` is reachable from `source`.
+bool Reachable(const LogicalNetwork& net, NodeId source, NodeId target,
+               Direction direction = Direction::kOutgoing);
+
+/// Weakly-connected components: component id per node (ids are dense,
+/// starting at 0). Nodes in the same component share an id.
+std::unordered_map<NodeId, int> ConnectedComponents(
+    const LogicalNetwork& net);
+
+/// Number of weakly-connected components.
+size_t ConnectedComponentCount(const LogicalNetwork& net);
+
+/// Minimum-cost spanning forest over the undirected view (Prim per
+/// component). Returns chosen link ids.
+std::vector<LinkId> MinimumCostSpanningForest(const LogicalNetwork& net);
+
+/// Sum of costs of the links returned by MinimumCostSpanningForest.
+double SpanningForestCost(const LogicalNetwork& net);
+
+/// Nodes in BFS order from `source`.
+std::vector<NodeId> BreadthFirstOrder(const LogicalNetwork& net,
+                                      NodeId source,
+                                      Direction direction =
+                                          Direction::kOutgoing);
+
+/// Extract the induced subnetwork over `nodes`: all listed nodes plus
+/// every link with both endpoints in the set. (NDM's sub-network
+/// extraction for focused analysis.)
+LogicalNetwork ExtractSubnetwork(const LogicalNetwork& net,
+                                 const std::vector<NodeId>& nodes);
+
+/// The neighbourhood subnetwork within `max_cost` of `source`
+/// (convenience: WithinCost + ExtractSubnetwork).
+LogicalNetwork NeighborhoodSubnetwork(const LogicalNetwork& net,
+                                      NodeId source, double max_cost,
+                                      Direction direction =
+                                          Direction::kBoth);
+
+}  // namespace rdfdb::ndm
+
+#endif  // RDFDB_NDM_ANALYSIS_H_

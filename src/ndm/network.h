@@ -1,0 +1,108 @@
+// Network Data Model: directed logical networks.
+//
+// The paper builds its RDF store on Oracle Spatial's Network Data Model
+// (NDM): "RDF graphs are modeled as a directed logical network in NDM",
+// with triples' subjects/objects as nodes and predicates as links. This
+// module is our NDM — an in-memory directed multigraph keyed by the same
+// node/link identifiers stored in the node$/link$ tables, plus the
+// analysis functions NDM exposes (see analysis.h).
+
+#ifndef RDFDB_NDM_NETWORK_H_
+#define RDFDB_NDM_NETWORK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rdfdb::ndm {
+
+/// Node identifier (the RDF layer uses rdf_value$ VALUE_IDs).
+using NodeId = int64_t;
+
+/// Link identifier (the RDF layer uses rdf_link$ LINK_IDs).
+using LinkId = int64_t;
+
+/// One directed link.
+struct Link {
+  LinkId id = 0;
+  NodeId start = 0;
+  NodeId end = 0;
+  double cost = 1.0;
+  /// Free-form link classification; the RDF layer stores the predicate's
+  /// VALUE_ID here so network traversals can filter by property.
+  int64_t label = 0;
+};
+
+/// Directed logical network (multigraph: parallel links allowed — the RDF
+/// store creates "a new link whenever a new triple is inserted").
+class LogicalNetwork {
+ public:
+  explicit LogicalNetwork(std::string name = "rdf_network");
+
+  const std::string& name() const { return name_; }
+
+  // ---- Mutation -------------------------------------------------------
+
+  /// Add a node; idempotent.
+  void AddNode(NodeId node);
+
+  /// Add a directed link. Endpoints are added implicitly. Fails with
+  /// AlreadyExists if the link id is taken.
+  Status AddLink(const Link& link);
+
+  /// Remove a link. The endpoints stay ("nodes attached to this link are
+  /// not removed if there are other links connected to them" — callers
+  /// remove orphaned nodes explicitly via RemoveNodeIfIsolated).
+  Status RemoveLink(LinkId link);
+
+  /// Remove `node` if it has no in- or out-links; returns true if removed.
+  bool RemoveNodeIfIsolated(NodeId node);
+
+  // ---- Introspection --------------------------------------------------
+
+  bool HasNode(NodeId node) const;
+  bool HasLink(LinkId link) const;
+  const Link* GetLink(LinkId link) const;
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t link_count() const { return links_.size(); }
+
+  size_t OutDegree(NodeId node) const;
+  size_t InDegree(NodeId node) const;
+
+  /// Out-links leaving `node` (empty for unknown nodes).
+  const std::vector<LinkId>& OutLinks(NodeId node) const;
+
+  /// In-links arriving at `node` (empty for unknown nodes).
+  const std::vector<LinkId>& InLinks(NodeId node) const;
+
+  /// Distinct successor nodes of `node`.
+  std::vector<NodeId> Successors(NodeId node) const;
+
+  /// Distinct predecessor nodes of `node`.
+  std::vector<NodeId> Predecessors(NodeId node) const;
+
+  /// All node ids (unordered).
+  std::vector<NodeId> Nodes() const;
+
+  /// All link ids (unordered).
+  std::vector<LinkId> Links() const;
+
+ private:
+  struct NodeRec {
+    std::vector<LinkId> out;
+    std::vector<LinkId> in;
+  };
+
+  std::string name_;
+  std::unordered_map<NodeId, NodeRec> nodes_;
+  std::unordered_map<LinkId, Link> links_;
+};
+
+}  // namespace rdfdb::ndm
+
+#endif  // RDFDB_NDM_NETWORK_H_

@@ -1,0 +1,338 @@
+#include "query/filter.h"
+
+#include <cctype>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace rdfdb::query {
+
+namespace {
+
+enum class TokKind {
+  kVar,
+  kString,
+  kNumber,
+  kBare,
+  kOp,      // = != <> < <= > >=
+  kAnd,
+  kOr,
+  kNot,
+  kLParen,
+  kRParen,
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+};
+
+Result<std::vector<Tok>> Lex(const std::string& text) {
+  std::vector<Tok> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      out.push_back({TokKind::kLParen, "("});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      out.push_back({TokKind::kRParen, ")"});
+      ++i;
+      continue;
+    }
+    if (c == '?') {
+      size_t start = ++i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      if (i == start) return Status::InvalidArgument("empty variable name");
+      out.push_back({TokKind::kVar, text.substr(start, i - start)});
+      continue;
+    }
+    if (c == '"') {
+      std::string body;
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          body.push_back(text[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (text[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        body.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) return Status::InvalidArgument("unterminated string");
+      out.push_back({TokKind::kString, std::move(body)});
+      continue;
+    }
+    if (c == '=' ) {
+      out.push_back({TokKind::kOp, "="});
+      ++i;
+      continue;
+    }
+    if (c == '!' && i + 1 < text.size() && text[i + 1] == '=') {
+      out.push_back({TokKind::kOp, "!="});
+      i += 2;
+      continue;
+    }
+    if (c == '<') {
+      if (i + 1 < text.size() && text[i + 1] == '>') {
+        out.push_back({TokKind::kOp, "!="});
+        i += 2;
+      } else if (i + 1 < text.size() && text[i + 1] == '=') {
+        out.push_back({TokKind::kOp, "<="});
+        i += 2;
+      } else {
+        out.push_back({TokKind::kOp, "<"});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < text.size() && text[i + 1] == '=') {
+        out.push_back({TokKind::kOp, ">="});
+        i += 2;
+      } else {
+        out.push_back({TokKind::kOp, ">"});
+        ++i;
+      }
+      continue;
+    }
+    // bare word: keyword, number, or literal token
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])) &&
+           text[i] != '(' && text[i] != ')' && text[i] != '=' &&
+           text[i] != '!' && text[i] != '<' && text[i] != '>') {
+      ++i;
+    }
+    if (i == start) {
+      // An operator-ish character that matched no operator rule (e.g. a
+      // lone '!'): consuming nothing would loop forever.
+      return Status::InvalidArgument(
+          std::string("unexpected character '") + c + "' in filter");
+    }
+    std::string word = text.substr(start, i - start);
+    std::string upper = ToUpper(word);
+    if (upper == "AND") {
+      out.push_back({TokKind::kAnd, word});
+    } else if (upper == "OR") {
+      out.push_back({TokKind::kOr, word});
+    } else if (upper == "NOT") {
+      out.push_back({TokKind::kNot, word});
+    } else {
+      double d;
+      out.push_back({ParseDouble(word, &d) ? TokKind::kNumber
+                                           : TokKind::kBare,
+                     word});
+    }
+  }
+  out.push_back({TokKind::kEnd, ""});
+  return out;
+}
+
+/// One side of a comparison.
+struct Operand {
+  bool is_var = false;
+  std::string text;  ///< variable name or literal text
+};
+
+class CmpExpr final : public FilterExpr {
+ public:
+  CmpExpr(Operand lhs, std::string op, Operand rhs)
+      : lhs_(std::move(lhs)), op_(std::move(op)), rhs_(std::move(rhs)) {}
+
+  bool Evaluate(const Bindings& bindings) const override {
+    std::string a, b;
+    if (!Resolve(lhs_, bindings, &a) || !Resolve(rhs_, bindings, &b)) {
+      return false;
+    }
+    double na, nb;
+    int c;
+    if (ParseDouble(a, &na) && ParseDouble(b, &nb)) {
+      c = na < nb ? -1 : (na > nb ? 1 : 0);
+    } else {
+      int sc = a.compare(b);
+      c = sc < 0 ? -1 : (sc > 0 ? 1 : 0);
+    }
+    if (op_ == "=") return c == 0;
+    if (op_ == "!=") return c != 0;
+    if (op_ == "<") return c < 0;
+    if (op_ == "<=") return c <= 0;
+    if (op_ == ">") return c > 0;
+    if (op_ == ">=") return c >= 0;
+    return false;
+  }
+
+ private:
+  static bool Resolve(const Operand& operand, const Bindings& bindings,
+                      std::string* out) {
+    if (!operand.is_var) {
+      *out = operand.text;
+      return true;
+    }
+    auto it = bindings.find(operand.text);
+    if (it == bindings.end()) return false;
+    *out = it->second.ToDisplayString();
+    return true;
+  }
+
+  Operand lhs_;
+  std::string op_;
+  Operand rhs_;
+};
+
+class AndExpr final : public FilterExpr {
+ public:
+  AndExpr(FilterPtr a, FilterPtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  bool Evaluate(const Bindings& bindings) const override {
+    return a_->Evaluate(bindings) && b_->Evaluate(bindings);
+  }
+
+ private:
+  FilterPtr a_, b_;
+};
+
+class OrExpr final : public FilterExpr {
+ public:
+  OrExpr(FilterPtr a, FilterPtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  bool Evaluate(const Bindings& bindings) const override {
+    return a_->Evaluate(bindings) || b_->Evaluate(bindings);
+  }
+
+ private:
+  FilterPtr a_, b_;
+};
+
+class NotExpr final : public FilterExpr {
+ public:
+  explicit NotExpr(FilterPtr a) : a_(std::move(a)) {}
+  bool Evaluate(const Bindings& bindings) const override {
+    return !a_->Evaluate(bindings);
+  }
+
+ private:
+  FilterPtr a_;
+};
+
+class TrueExpr final : public FilterExpr {
+ public:
+  bool Evaluate(const Bindings&) const override { return true; }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<FilterPtr> Parse() {
+    RDFDB_ASSIGN_OR_RETURN(FilterPtr expr, ParseOr());
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens in filter");
+    }
+    return expr;
+  }
+
+ private:
+  const Tok& Peek() const { return toks_[pos_]; }
+  Tok Take() { return toks_[pos_++]; }
+
+  Result<FilterPtr> ParseOr() {
+    RDFDB_ASSIGN_OR_RETURN(FilterPtr lhs, ParseAnd());
+    while (Peek().kind == TokKind::kOr) {
+      Take();
+      RDFDB_ASSIGN_OR_RETURN(FilterPtr rhs, ParseAnd());
+      lhs = std::make_shared<OrExpr>(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FilterPtr> ParseAnd() {
+    RDFDB_ASSIGN_OR_RETURN(FilterPtr lhs, ParseUnary());
+    while (Peek().kind == TokKind::kAnd) {
+      Take();
+      RDFDB_ASSIGN_OR_RETURN(FilterPtr rhs, ParseUnary());
+      lhs = std::make_shared<AndExpr>(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FilterPtr> ParseUnary() {
+    if (Peek().kind == TokKind::kNot) {
+      Take();
+      RDFDB_ASSIGN_OR_RETURN(FilterPtr inner, ParseUnary());
+      return FilterPtr(std::make_shared<NotExpr>(std::move(inner)));
+    }
+    if (Peek().kind == TokKind::kLParen) {
+      Take();
+      RDFDB_ASSIGN_OR_RETURN(FilterPtr inner, ParseOr());
+      if (Peek().kind != TokKind::kRParen) {
+        return Status::InvalidArgument("missing ')' in filter");
+      }
+      Take();
+      return inner;
+    }
+    return ParseCmp();
+  }
+
+  Result<Operand> ParseOperand() {
+    Tok tok = Take();
+    Operand operand;
+    switch (tok.kind) {
+      case TokKind::kVar:
+        operand.is_var = true;
+        operand.text = tok.text;
+        return operand;
+      case TokKind::kString:
+      case TokKind::kNumber:
+      case TokKind::kBare:
+        operand.text = tok.text;
+        return operand;
+      default:
+        return Status::InvalidArgument("expected operand, got '" + tok.text +
+                                       "'");
+    }
+  }
+
+  Result<FilterPtr> ParseCmp() {
+    RDFDB_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    if (Peek().kind != TokKind::kOp) {
+      return Status::InvalidArgument("expected comparison operator");
+    }
+    std::string op = Take().text;
+    RDFDB_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    return FilterPtr(
+        std::make_shared<CmpExpr>(std::move(lhs), std::move(op),
+                                  std::move(rhs)));
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<FilterPtr> ParseFilter(const std::string& text) {
+  if (Trim(text).empty()) {
+    return FilterPtr(std::make_shared<TrueExpr>());
+  }
+  RDFDB_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(text));
+  return Parser(std::move(toks)).Parse();
+}
+
+}  // namespace rdfdb::query

@@ -1,0 +1,46 @@
+// Filter expressions for SDO_RDF_MATCH's `filter` argument and rule
+// filters.
+//
+// Grammar (case-insensitive keywords):
+//   expr   := and_e (OR and_e)*
+//   and_e  := unary (AND unary)*
+//   unary  := NOT unary | '(' expr ')' | cmp
+//   cmp    := operand (= | != | <> | < | <= | > | >=) operand
+//   operand:= ?var | "quoted string" | number | bare-token
+//
+// Comparisons are numeric when both sides parse as numbers, otherwise
+// string comparisons over the terms' display text. A comparison against
+// an unbound variable is false.
+
+#ifndef RDFDB_QUERY_FILTER_H_
+#define RDFDB_QUERY_FILTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfdb::query {
+
+/// Variable bindings produced by pattern matching.
+using Bindings = std::map<std::string, rdf::Term>;
+
+/// Compiled filter. Build with ParseFilter.
+class FilterExpr {
+ public:
+  virtual ~FilterExpr() = default;
+  virtual bool Evaluate(const Bindings& bindings) const = 0;
+};
+
+using FilterPtr = std::shared_ptr<const FilterExpr>;
+
+/// Compile a filter expression. An empty/blank string compiles to the
+/// always-true filter.
+Result<FilterPtr> ParseFilter(const std::string& text);
+
+}  // namespace rdfdb::query
+
+#endif  // RDFDB_QUERY_FILTER_H_

@@ -1,0 +1,81 @@
+// InferenceEngine: the C++ equivalent of the paper's SDO_RDF_INFERENCE
+// PL/SQL package — CREATE_RULEBASE, rule insertion (the mdsys.rdfr_<rb>
+// tables), and CREATE_RULES_INDEX.
+
+#ifndef RDFDB_QUERY_INFERENCE_H_
+#define RDFDB_QUERY_INFERENCE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "query/rulebase.h"
+#include "query/rules_index.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::query {
+
+/// Rulebase and rules-index registry bound to one RdfStore.
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(rdf::RdfStore* store) : store_(store) {}
+
+  // ---- Rulebases -------------------------------------------------------
+
+  /// SDO_RDF_INFERENCE.CREATE_RULEBASE: registers the rulebase and
+  /// creates its MDSYS.RDFR_<name> rule table.
+  Status CreateRulebase(const std::string& name);
+
+  /// Add a rule (the paper's INSERT INTO mdsys.rdfr_<rb>). Validates the
+  /// rule and appends a row to the rule table.
+  Status InsertRule(const std::string& rulebase_name, Rule rule);
+
+  /// Fetch a rulebase. "RDFS" (case-insensitive) resolves to the
+  /// built-in RDFS entailment rulebase.
+  Result<const Rulebase*> GetRulebase(const std::string& name) const;
+
+  /// Drop a user rulebase and its rule table.
+  Status DropRulebase(const std::string& name);
+
+  /// Registered user rulebase names (excludes the built-in RDFS).
+  std::vector<std::string> RulebaseNames() const;
+
+  // ---- Rules indexes ----------------------------------------------------
+
+  /// SDO_RDF_INFERENCE.CREATE_RULES_INDEX: pre-compute the entailment of
+  /// `rulebase_names` over `model_names` and register it under
+  /// `index_name`.
+  Result<const RulesIndex*> CreateRulesIndex(
+      const std::string& index_name,
+      const std::vector<std::string>& model_names,
+      const std::vector<std::string>& rulebase_names);
+
+  Status DropRulesIndex(const std::string& index_name);
+
+  /// The registered index covering exactly these models+rulebases, or
+  /// nullptr. SDO_RDF_MATCH uses this to pick the pre-computed path.
+  const RulesIndex* FindCoveringIndex(
+      const std::vector<std::string>& model_names,
+      const std::vector<std::string>& rulebase_names) const;
+
+  /// Resolve rulebase names to rulebase pointers (shared with
+  /// SdoRdfMatch's on-the-fly inference path).
+  Result<std::vector<const Rulebase*>> ResolveRulebases(
+      const std::vector<std::string>& names) const;
+
+  rdf::RdfStore* store() { return store_; }
+
+ private:
+  static std::string NormalizeName(const std::string& name);
+
+  rdf::RdfStore* store_;
+  std::map<std::string, Rulebase> rulebases_;  // key: normalized name
+  std::map<std::string, std::unique_ptr<RulesIndex>> indexes_;
+};
+
+}  // namespace rdfdb::query
+
+#endif  // RDFDB_QUERY_INFERENCE_H_

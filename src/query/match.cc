@@ -1,0 +1,142 @@
+#include "query/match.h"
+
+#include <algorithm>
+#include <set>
+
+#include "query/filter.h"
+#include "query/rules_index.h"
+
+namespace rdfdb::query {
+
+int MatchResult::ColumnIndex(const std::string& name) const {
+  auto it = std::find(columns_.begin(), columns_.end(), name);
+  return it == columns_.end()
+             ? -1
+             : static_cast<int>(it - columns_.begin());
+}
+
+std::string MatchResult::Get(size_t row, const std::string& name) const {
+  int col = ColumnIndex(name);
+  if (col < 0 || row >= rows_.size()) return "";
+  return rows_[row][static_cast<size_t>(col)].ToDisplayString();
+}
+
+std::string MatchResult::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += "\t";
+    out += "?" + columns_[i];
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += "\t";
+      out += row[i].ToDisplayString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
+                                const std::string& query,
+                                const std::vector<std::string>& model_names,
+                                const std::vector<std::string>& rulebase_names,
+                                const AliasList& aliases,
+                                const std::string& filter,
+                                const MatchOptions& options) {
+  if (model_names.empty()) {
+    return Status::InvalidArgument("SDO_RDF_MATCH needs at least one model");
+  }
+  RDFDB_ASSIGN_OR_RETURN(std::vector<TriplePattern> patterns,
+                         ParsePatterns(query, aliases));
+  RDFDB_ASSIGN_OR_RETURN(FilterPtr compiled_filter, ParseFilter(filter));
+
+  std::vector<rdf::ModelId> model_ids;
+  for (const std::string& name : model_names) {
+    RDFDB_ASSIGN_OR_RETURN(rdf::ModelId id, store->GetModelId(name));
+    model_ids.push_back(id);
+  }
+  ModelSource base(store, model_ids);
+
+  // Inference source: a covering pre-computed rules index if one exists,
+  // otherwise on-the-fly entailment.
+  TripleSet on_the_fly;
+  const TripleSet* inferred = nullptr;
+  if (!rulebase_names.empty()) {
+    if (engine == nullptr) {
+      return Status::InvalidArgument(
+          "rulebases requested but no inference engine supplied");
+    }
+    const RulesIndex* index =
+        engine->FindCoveringIndex(model_names, rulebase_names);
+    if (index != nullptr) {
+      inferred = &index->inferred();
+    } else {
+      RDFDB_ASSIGN_OR_RETURN(std::vector<const Rulebase*> rulebases,
+                             engine->ResolveRulebases(rulebase_names));
+      RDFDB_ASSIGN_OR_RETURN(
+          on_the_fly,
+          ComputeEntailment(store, base, rulebases, /*rounds_out=*/nullptr));
+      inferred = &on_the_fly;
+    }
+  }
+
+  std::vector<const TripleSource*> sources{&base};
+  if (inferred != nullptr) sources.push_back(inferred);
+  UnionSource source(std::move(sources));
+
+  // Column order: first appearance across patterns, or the explicit
+  // projection.
+  std::vector<std::string> all_vars;
+  for (const TriplePattern& pattern : patterns) {
+    for (const std::string& var : pattern.Variables()) {
+      if (std::find(all_vars.begin(), all_vars.end(), var) ==
+          all_vars.end()) {
+        all_vars.push_back(var);
+      }
+    }
+  }
+  MatchResult result;
+  std::vector<std::string>& columns = *MatchBuilder::columns(&result);
+  if (options.projection.empty()) {
+    columns = all_vars;
+  } else {
+    for (const std::string& var : options.projection) {
+      if (std::find(all_vars.begin(), all_vars.end(), var) ==
+          all_vars.end()) {
+        return Status::InvalidArgument("projection variable ?" + var +
+                                       " does not occur in the query");
+      }
+      columns.push_back(var);
+    }
+  }
+
+  std::vector<std::vector<rdf::Term>>& rows = *MatchBuilder::rows(&result);
+  std::set<std::string> seen;  // for DISTINCT
+  Status status = EvalPatterns(
+      *store, patterns, compiled_filter.get(), source,
+      [&](const IdBindings& binding) {
+        std::vector<rdf::Term> row;
+        row.reserve(columns.size());
+        for (const std::string& var : columns) {
+          auto term = store->TermForValueId(binding.at(var));
+          if (!term.ok()) return false;
+          row.push_back(std::move(term).value());
+        }
+        if (options.distinct) {
+          std::string key;
+          for (const rdf::Term& term : row) {
+            key += term.ToNTriples();
+            key.push_back('\x1f');
+          }
+          if (!seen.insert(key).second) return true;  // duplicate
+        }
+        rows.push_back(std::move(row));
+        return options.limit == 0 || rows.size() < options.limit;
+      });
+  RDFDB_RETURN_NOT_OK(status);
+  return result;
+}
+
+}  // namespace rdfdb::query

@@ -1,0 +1,89 @@
+// SDO_RDF_MATCH: the paper's SQL-based RDF querying table function.
+//
+//   SDO_RDF_MATCH(query, models, rulebases, aliases, filter)
+//
+// Queries use SPARQL-like pattern syntax, evaluate over one or more
+// models (the central schema makes cross-model reasoning a union), and
+// may apply rulebases. When a rules index covering the requested
+// models+rulebases exists, its pre-computed triples are used; otherwise
+// entailment is computed on the fly.
+
+#ifndef RDFDB_QUERY_MATCH_H_
+#define RDFDB_QUERY_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "query/inference.h"
+#include "query/sparql_pattern.h"
+#include "rdf/rdf_store.h"
+#include "rdf/term.h"
+
+namespace rdfdb::query {
+
+/// Result table: one column per distinct query variable (in order of
+/// first appearance), one row per solution.
+class MatchResult {
+ public:
+  const std::vector<std::string>& columns() const { return columns_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Term at (row, column index).
+  const rdf::Term& at(size_t row, size_t col) const {
+    return rows_[row][col];
+  }
+
+  /// Column position by variable name; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Display text at (row, variable name); empty if the column is absent.
+  std::string Get(size_t row, const std::string& name) const;
+
+  /// Rendered rows for diagnostics.
+  std::string ToString() const;
+
+ private:
+  friend class MatchBuilder;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<rdf::Term>> rows_;
+};
+
+/// Internal access shim so the executor can populate MatchResult.
+class MatchBuilder {
+ public:
+  static std::vector<std::string>* columns(MatchResult* r) {
+    return &r->columns_;
+  }
+  static std::vector<std::vector<rdf::Term>>* rows(MatchResult* r) {
+    return &r->rows_;
+  }
+};
+
+/// Result-shaping options (the SELECT-list half of the SQL statement
+/// that wraps SDO_RDF_MATCH in the paper's examples).
+struct MatchOptions {
+  /// Keep only these variables, in this order (empty = all variables in
+  /// first-appearance order). Unknown names are an error.
+  std::vector<std::string> projection;
+  /// Drop duplicate rows (applied after projection, like
+  /// SELECT DISTINCT).
+  bool distinct = false;
+  /// Stop after this many rows (0 = unlimited).
+  size_t limit = 0;
+};
+
+/// Execute a match. `engine` may be null when `rulebase_names` is empty.
+/// `filter` is an optional boolean expression over the variables (see
+/// filter.h); pass "" for none.
+Result<MatchResult> SdoRdfMatch(
+    rdf::RdfStore* store, InferenceEngine* engine, const std::string& query,
+    const std::vector<std::string>& model_names,
+    const std::vector<std::string>& rulebase_names,
+    const AliasList& aliases, const std::string& filter,
+    const MatchOptions& options = {});
+
+}  // namespace rdfdb::query
+
+#endif  // RDFDB_QUERY_MATCH_H_

@@ -1,0 +1,102 @@
+#include "query/rulebase.h"
+
+#include <algorithm>
+#include <set>
+
+#include "query/filter.h"
+
+namespace rdfdb::query {
+
+Status ValidateRule(const Rule& rule) {
+  if (rule.name.empty()) {
+    return Status::InvalidArgument("rule needs a name");
+  }
+  auto antecedent = ParsePatterns(rule.antecedent, rule.aliases);
+  if (!antecedent.ok()) {
+    return Status::InvalidArgument("rule " + rule.name + " antecedent: " +
+                                   antecedent.status().message());
+  }
+  auto consequent = ParsePatterns(rule.consequent, rule.aliases);
+  if (!consequent.ok()) {
+    return Status::InvalidArgument("rule " + rule.name + " consequent: " +
+                                   consequent.status().message());
+  }
+  if (consequent->size() != 1) {
+    return Status::InvalidArgument("rule " + rule.name +
+                                   " must have exactly one consequent "
+                                   "pattern");
+  }
+  auto fc = ParseFilter(rule.filter);
+  if (!fc.ok()) {
+    return Status::InvalidArgument("rule " + rule.name + " filter: " +
+                                   fc.status().message());
+  }
+  std::set<std::string> bound;
+  for (const TriplePattern& pattern : *antecedent) {
+    for (const std::string& var : pattern.Variables()) bound.insert(var);
+  }
+  for (const std::string& var : consequent->front().Variables()) {
+    if (bound.count(var) == 0) {
+      return Status::InvalidArgument("rule " + rule.name +
+                                     ": consequent variable ?" + var +
+                                     " is not bound by the antecedent");
+    }
+  }
+  return Status::OK();
+}
+
+Status Rulebase::AddRule(Rule rule) {
+  RDFDB_RETURN_NOT_OK(ValidateRule(rule));
+  bool duplicate =
+      std::any_of(rules_.begin(), rules_.end(),
+                  [&](const Rule& r) { return r.name == rule.name; });
+  if (duplicate) {
+    return Status::AlreadyExists("rule " + rule.name + " in rulebase " +
+                                 name_);
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+namespace {
+
+Rulebase MakeRdfsRulebase() {
+  Rulebase rb(kRdfsRulebaseName);
+  auto add = [&rb](const char* name, const char* antecedent,
+                   const char* consequent) {
+    Rule rule;
+    rule.name = name;
+    rule.antecedent = antecedent;
+    rule.consequent = consequent;
+    Status st = rb.AddRule(std::move(rule));
+    (void)st;  // built-in rules are statically valid
+  };
+  // W3C RDF Semantics, section 7.3 (entailment rule names kept).
+  add("rdfs2", "(?p rdfs:domain ?c) (?x ?p ?y)", "(?x rdf:type ?c)");
+  add("rdfs3", "(?p rdfs:range ?c) (?x ?p ?y)", "(?y rdf:type ?c)");
+  add("rdfs5", "(?p rdfs:subPropertyOf ?q) (?q rdfs:subPropertyOf ?r)",
+      "(?p rdfs:subPropertyOf ?r)");
+  add("rdfs6", "(?p rdf:type rdf:Property)", "(?p rdfs:subPropertyOf ?p)");
+  add("rdfs7", "(?p rdfs:subPropertyOf ?q) (?x ?p ?y)", "(?x ?q ?y)");
+  add("rdfs8", "(?c rdf:type rdfs:Class)",
+      "(?c rdfs:subClassOf rdfs:Resource)");
+  add("rdfs9", "(?c rdfs:subClassOf ?d) (?x rdf:type ?c)",
+      "(?x rdf:type ?d)");
+  add("rdfs10", "(?c rdf:type rdfs:Class)", "(?c rdfs:subClassOf ?c)");
+  add("rdfs11", "(?c rdfs:subClassOf ?d) (?d rdfs:subClassOf ?e)",
+      "(?c rdfs:subClassOf ?e)");
+  add("rdfs12", "(?p rdf:type rdfs:ContainerMembershipProperty)",
+      "(?p rdfs:subPropertyOf rdfs:member)");
+  add("rdfs13", "(?c rdf:type rdfs:Datatype)",
+      "(?c rdfs:subClassOf rdfs:Literal)");
+  return rb;
+}
+
+}  // namespace
+
+const Rulebase& BuiltinRdfsRulebase() {
+  static const Rulebase kRdfs = MakeRdfsRulebase();
+  return kRdfs;
+}
+
+}  // namespace rdfdb::query

@@ -1,0 +1,73 @@
+// Rulebases for SDO_RDF_INFERENCE.
+//
+// A rulebase is a named set of rules; each rule has an antecedent pattern
+// list, an optional filter, a consequent pattern, and its own aliases —
+// exactly the row shape of the paper's mdsys.rdfr_<rulebase> tables:
+//
+//   INSERT INTO mdsys.rdfr_intel_rb VALUES ('intel_rule',
+//     '(?x gov:terrorAction "bombing")', null,
+//     '(gov:files gov:terrorSuspect ?x)',
+//     SDO_RDF_ALIASES(SDO_RDF_ALIAS('gov','http://www.us.gov#')));
+//
+// The Oracle-supplied "RDFS" rulebase (the W3C RDFS entailment rules) is
+// available via BuiltinRdfsRulebase().
+
+#ifndef RDFDB_QUERY_RULEBASE_H_
+#define RDFDB_QUERY_RULEBASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "query/sparql_pattern.h"
+#include "storage/database.h"
+
+namespace rdfdb::query {
+
+/// One inference rule.
+struct Rule {
+  std::string name;
+  std::string antecedent;  ///< pattern list, e.g. '(?x gov:p "v") (?x ?q ?y)'
+  std::string filter;      ///< optional filter over antecedent bindings
+  std::string consequent;  ///< single pattern; its variables must be bound
+                           ///< by the antecedent
+  AliasList aliases;
+};
+
+/// Named set of rules.
+class Rulebase {
+ public:
+  explicit Rulebase(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Append a rule; fails if a rule of the same name exists or the rule's
+  /// patterns do not parse.
+  Status AddRule(Rule rule);
+
+ private:
+  std::string name_;
+  std::vector<Rule> rules_;
+};
+
+/// Validate that a rule is well-formed: antecedent and consequent parse,
+/// the filter parses, and every consequent variable is bound by the
+/// antecedent.
+Status ValidateRule(const Rule& rule);
+
+/// The Oracle-supplied RDFS rulebase: rdfs2 (domain), rdfs3 (range),
+/// rdfs5/rdfs7 (subPropertyOf transitivity/inheritance), rdfs6, rdfs8,
+/// rdfs9/rdfs11 (subClassOf instance/transitivity), rdfs10, rdfs12,
+/// rdfs13. (rdfs1/4a/4b — the "everything is an rdfs:Resource" axioms —
+/// are omitted, as most production reasoners do, to avoid universally
+/// typing every node.)
+const Rulebase& BuiltinRdfsRulebase();
+
+/// Name under which the built-in rulebase is registered.
+inline constexpr const char* kRdfsRulebaseName = "RDFS";
+
+}  // namespace rdfdb::query
+
+#endif  // RDFDB_QUERY_RULEBASE_H_

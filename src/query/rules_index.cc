@@ -1,0 +1,492 @@
+#include "query/rules_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/hash.h"
+#include "rdf/canonical.h"
+
+namespace rdfdb::query {
+
+namespace {
+
+using rdf::ModelId;
+using rdf::RdfStore;
+using rdf::Term;
+using rdf::ValueId;
+
+/// True if the source already holds a triple with this subject,
+/// predicate and canonical object.
+bool ContainsCanon(const TripleSource& source, ValueId s, ValueId p,
+                   ValueId canon_o) {
+  bool found = false;
+  source.Match(s, p, canon_o, [&](const IdTriple&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+}  // namespace
+
+uint64_t TripleSet::Key(ValueId s, ValueId p, ValueId o) {
+  uint64_t h = HashCombine(0x9d7f3aULL, static_cast<uint64_t>(s));
+  h = HashCombine(h, static_cast<uint64_t>(p));
+  h = HashCombine(h, static_cast<uint64_t>(o));
+  return h;
+}
+
+bool TripleSet::Add(const IdTriple& triple) {
+  uint64_t key = Key(triple.s, triple.p, triple.o);
+  if (seen_.count(key) > 0) {
+    // Verify on hash hit (collisions are possible in principle).
+    bool exists = false;
+    auto range = by_s_.equal_range(triple.s);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (triples_[it->second] == triple) {
+        exists = true;
+        break;
+      }
+    }
+    if (exists) return false;
+  }
+  size_t idx = triples_.size();
+  triples_.push_back(triple);
+  seen_.insert(key);
+  by_s_.emplace(triple.s, idx);
+  by_p_.emplace(triple.p, idx);
+  by_canon_o_.emplace(triple.canon_o, idx);
+  return true;
+}
+
+bool TripleSet::Contains(ValueId s, ValueId p, ValueId o) const {
+  auto range = by_s_.equal_range(s);
+  for (auto it = range.first; it != range.second; ++it) {
+    const IdTriple& t = triples_[it->second];
+    if (t.p == p && t.o == o) return true;
+  }
+  return false;
+}
+
+void TripleSet::Match(std::optional<ValueId> s, std::optional<ValueId> p,
+                      std::optional<ValueId> canon_o,
+                      const std::function<bool(const IdTriple&)>& fn) const {
+  auto emit = [&](size_t idx) {
+    const IdTriple& t = triples_[idx];
+    if (s.has_value() && t.s != *s) return true;
+    if (p.has_value() && t.p != *p) return true;
+    if (canon_o.has_value() && t.canon_o != *canon_o) return true;
+    return fn(t);
+  };
+  if (s.has_value()) {
+    auto range = by_s_.equal_range(*s);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (!emit(it->second)) return;
+    }
+    return;
+  }
+  if (canon_o.has_value()) {
+    auto range = by_canon_o_.equal_range(*canon_o);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (!emit(it->second)) return;
+    }
+    return;
+  }
+  if (p.has_value()) {
+    auto range = by_p_.equal_range(*p);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (!emit(it->second)) return;
+    }
+    return;
+  }
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    if (!emit(i)) return;
+  }
+}
+
+void ModelSource::Match(std::optional<ValueId> s, std::optional<ValueId> p,
+                        std::optional<ValueId> canon_o,
+                        const std::function<bool(const IdTriple&)>& fn)
+    const {
+  for (ModelId model : models_) {
+    bool keep_going = true;
+    store_->links().MatchEach(
+        model, s, p, canon_o, [&](const rdf::LinkRow& row) {
+          IdTriple t{row.start_node_id, row.p_value_id, row.end_node_id,
+                     row.canon_end_node_id};
+          keep_going = fn(t);
+          return keep_going;
+        });
+    if (!keep_going) return;
+  }
+}
+
+void UnionSource::Match(std::optional<ValueId> s, std::optional<ValueId> p,
+                        std::optional<ValueId> canon_o,
+                        const std::function<bool(const IdTriple&)>& fn)
+    const {
+  for (const TripleSource* source : sources_) {
+    bool keep_going = true;
+    source->Match(s, p, canon_o, [&](const IdTriple& t) {
+      keep_going = fn(t);
+      return keep_going;
+    });
+    if (!keep_going) return;
+  }
+}
+
+namespace {
+
+/// A pattern position resolved for execution: variable name, or a
+/// concrete VALUE_ID, or "constant missing from the store" (no matches).
+struct ResolvedNode {
+  bool is_var = false;
+  std::string var;
+  ValueId id = 0;
+  bool missing = false;
+};
+
+/// Resolve constants. Subject/predicate constants resolve as-is; object
+/// constants resolve to their *canonical* form's id, because object
+/// matching is canonical (CANON_END_NODE_ID).
+ResolvedNode ResolveNode(const RdfStore& store, const PatternNode& node,
+                         bool object_position) {
+  ResolvedNode out;
+  if (node.is_variable) {
+    out.is_var = true;
+    out.var = node.variable;
+    return out;
+  }
+  Term term = object_position ? rdf::CanonicalForm(node.term) : node.term;
+  if (term.is_blank()) {
+    // Blank-node constants in patterns are not addressable (labels are
+    // model-scoped); treat as unresolvable.
+    out.missing = true;
+    return out;
+  }
+  std::optional<ValueId> id = store.values().Lookup(term);
+  if (!id.has_value()) {
+    out.missing = true;
+    return out;
+  }
+  out.id = *id;
+  return out;
+}
+
+}  // namespace
+
+std::vector<size_t> PlanPatternOrder(
+    const std::vector<TriplePattern>& patterns) {
+  // Greedy selectivity order: prefer patterns with many constants and
+  // with variables already bound by earlier picks (so every step is a
+  // join, not a cross product). Subject/object constants weigh more
+  // than predicate constants (predicates are typically low-selectivity).
+  std::vector<size_t> order;
+  std::vector<bool> used(patterns.size(), false);
+  std::set<std::string> bound;
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    int best_score = -1;
+    size_t best = 0;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      const TriplePattern& p = patterns[i];
+      int score = 0;
+      if (!p.subject.is_variable) score += 4;
+      if (!p.object.is_variable) score += 4;
+      if (!p.predicate.is_variable) score += 1;
+      for (const std::string& var : p.Variables()) {
+        if (bound.count(var) > 0) score += 3;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const std::string& var : patterns[best].Variables()) {
+      bound.insert(var);
+    }
+  }
+  return order;
+}
+
+std::vector<size_t> PlanPatternOrderForSource(
+    const RdfStore& store, const std::vector<TriplePattern>& patterns,
+    const TripleSource& source) {
+  // Bounded candidate count per pattern using only its constants. The
+  // cap keeps planning cost negligible; distinguishing "1 row" from
+  // "over a hundred" is all the ordering needs.
+  constexpr size_t kCountCap = 128;
+  std::vector<size_t> estimate(patterns.size(), 0);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const TriplePattern& p = patterns[i];
+    ResolvedNode s = ResolveNode(store, p.subject, false);
+    ResolvedNode pr = ResolveNode(store, p.predicate, false);
+    ResolvedNode o = ResolveNode(store, p.object, true);
+    if (s.missing || pr.missing || o.missing) {
+      estimate[i] = 0;  // dead pattern: zero rows, run it first
+      continue;
+    }
+    auto constraint = [](const ResolvedNode& n) -> std::optional<ValueId> {
+      if (n.is_var) return std::nullopt;
+      return n.id;
+    };
+    size_t n = 0;
+    source.Match(constraint(s), constraint(pr), constraint(o),
+                 [&](const IdTriple&) { return ++n < kCountCap; });
+    estimate[i] = n;
+  }
+
+  std::vector<size_t> order;
+  std::vector<bool> used(patterns.size(), false);
+  std::set<std::string> bound;
+  for (size_t step = 0; step < patterns.size(); ++step) {
+    // Prefer patterns connected to the bound set; among those (or among
+    // all, at step 0 / when none connect), pick the smallest estimate.
+    ptrdiff_t best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (const std::string& var : patterns[i].Variables()) {
+        if (bound.count(var) > 0) connected = true;
+      }
+      if (best < 0 ||
+          (connected && !best_connected) ||
+          (connected == best_connected &&
+           estimate[i] < estimate[static_cast<size_t>(best)])) {
+        best = static_cast<ptrdiff_t>(i);
+        best_connected = connected;
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    order.push_back(static_cast<size_t>(best));
+    for (const std::string& var :
+         patterns[static_cast<size_t>(best)].Variables()) {
+      bound.insert(var);
+    }
+  }
+  return order;
+}
+
+Status EvalPatterns(const RdfStore& store,
+                    const std::vector<TriplePattern>& patterns,
+                    const FilterExpr* filter, const TripleSource& source,
+                    const std::function<bool(const IdBindings&)>& fn,
+                    const EvalOptions& options) {
+  std::vector<size_t> order;
+  if (options.reorder_patterns) {
+    order = PlanPatternOrderForSource(store, patterns, source);
+  } else {
+    for (size_t i = 0; i < patterns.size(); ++i) order.push_back(i);
+  }
+
+  // Resolve all constants up front, in execution order.
+  struct ExecPattern {
+    ResolvedNode s, p, o;
+  };
+  std::vector<ExecPattern> exec;
+  exec.reserve(patterns.size());
+  for (size_t index : order) {
+    const TriplePattern& pattern = patterns[index];
+    ExecPattern ep;
+    ep.s = ResolveNode(store, pattern.subject, /*object_position=*/false);
+    ep.p = ResolveNode(store, pattern.predicate, /*object_position=*/false);
+    ep.o = ResolveNode(store, pattern.object, /*object_position=*/true);
+    if (ep.s.missing || ep.p.missing || ep.o.missing) {
+      return Status::OK();  // a constant the store has never seen: no rows
+    }
+    exec.push_back(std::move(ep));
+  }
+
+  // Left-to-right join. Variables bind subject/predicate positions to the
+  // triple's s/p ids and object positions to the *canonical* object id,
+  // so equal RDF values join regardless of lexical form.
+  std::vector<IdBindings> current;
+  current.emplace_back();
+  for (const ExecPattern& ep : exec) {
+    std::vector<IdBindings> next;
+    for (const IdBindings& binding : current) {
+      auto constraint =
+          [&](const ResolvedNode& node) -> std::optional<ValueId> {
+        if (!node.is_var) return node.id;
+        auto it = binding.find(node.var);
+        if (it != binding.end()) return it->second;
+        return std::nullopt;
+      };
+      std::optional<ValueId> cs = constraint(ep.s);
+      std::optional<ValueId> cp = constraint(ep.p);
+      std::optional<ValueId> co = constraint(ep.o);
+      source.Match(cs, cp, co, [&](const IdTriple& t) {
+        IdBindings extended = binding;
+        bool consistent = true;
+        auto bind = [&](const ResolvedNode& node, ValueId id) {
+          if (!node.is_var) return;
+          auto [it, inserted] = extended.emplace(node.var, id);
+          if (!inserted && it->second != id) consistent = false;
+        };
+        bind(ep.s, t.s);
+        bind(ep.p, t.p);
+        bind(ep.o, t.canon_o);
+        if (consistent) next.push_back(std::move(extended));
+        return true;
+      });
+    }
+    current = std::move(next);
+    if (current.empty()) return Status::OK();
+  }
+
+  for (const IdBindings& binding : current) {
+    if (filter != nullptr) {
+      Bindings term_bindings;
+      for (const auto& [var, id] : binding) {
+        auto term = store.TermForValueId(id);
+        if (!term.ok()) return term.status();
+        term_bindings.emplace(var, std::move(term).value());
+      }
+      if (!filter->Evaluate(term_bindings)) continue;
+    }
+    if (!fn(binding)) break;
+  }
+  return Status::OK();
+}
+
+Result<TripleSet> ComputeEntailment(
+    RdfStore* store, const TripleSource& base,
+    const std::vector<const Rulebase*>& rulebases, size_t* rounds_out) {
+  // Pre-parse every rule once.
+  struct CompiledRule {
+    std::vector<TriplePattern> antecedent;
+    FilterPtr filter;
+    TriplePattern consequent;
+  };
+  std::vector<CompiledRule> compiled;
+  for (const Rulebase* rb : rulebases) {
+    for (const Rule& rule : rb->rules()) {
+      CompiledRule cr;
+      RDFDB_ASSIGN_OR_RETURN(cr.antecedent,
+                             ParsePatterns(rule.antecedent, rule.aliases));
+      RDFDB_ASSIGN_OR_RETURN(cr.filter, ParseFilter(rule.filter));
+      RDFDB_ASSIGN_OR_RETURN(std::vector<TriplePattern> cons,
+                             ParsePatterns(rule.consequent, rule.aliases));
+      cr.consequent = cons.front();
+      compiled.push_back(std::move(cr));
+    }
+  }
+
+  TripleSet inferred;
+  size_t rounds = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++rounds;
+    UnionSource all({&base, &inferred});
+    std::vector<IdTriple> pending;
+
+    for (const CompiledRule& rule : compiled) {
+      Status status = EvalPatterns(
+          *store, rule.antecedent, rule.filter.get(), all,
+          [&](const IdBindings& binding) {
+            // Instantiate the consequent.
+            auto instantiate =
+                [&](const PatternNode& node,
+                    bool object_position) -> Result<ValueId> {
+              if (node.is_variable) {
+                return binding.at(node.variable);
+              }
+              Term term = object_position ? rdf::CanonicalForm(node.term)
+                                          : node.term;
+              return store->values().LookupOrInsert(term);
+            };
+            auto s = instantiate(rule.consequent.subject, false);
+            auto p = instantiate(rule.consequent.predicate, false);
+            auto o = instantiate(rule.consequent.object, true);
+            if (!s.ok() || !p.ok() || !o.ok()) return true;
+
+            // Consequent subjects must be resources; a rule like rdfs3
+            // can bind ?y to a literal — skip those solutions.
+            auto s_code = store->values().GetTypeCode(*s);
+            if (!s_code.ok() ||
+                (*s_code != "UR" && *s_code != "BN")) {
+              return true;
+            }
+            // Predicates must be URIs.
+            auto p_code = store->values().GetTypeCode(*p);
+            if (!p_code.ok() || *p_code != "UR") return true;
+
+            pending.push_back(IdTriple{*s, *p, *o, *o});
+            return true;
+          });
+      RDFDB_RETURN_NOT_OK(status);
+    }
+
+    for (const IdTriple& t : pending) {
+      if (ContainsCanon(base, t.s, t.p, t.canon_o)) continue;
+      if (inferred.Add(t)) changed = true;
+    }
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+  return inferred;
+}
+
+Result<std::unique_ptr<RulesIndex>> RulesIndex::Build(
+    RdfStore* store, const std::string& index_name,
+    const std::vector<std::string>& model_names,
+    const std::vector<const Rulebase*>& rulebases) {
+  std::vector<ModelId> model_ids;
+  for (const std::string& name : model_names) {
+    RDFDB_ASSIGN_OR_RETURN(ModelId id, store->GetModelId(name));
+    model_ids.push_back(id);
+  }
+  ModelSource base(store, model_ids);
+
+  auto index = std::unique_ptr<RulesIndex>(new RulesIndex());
+  index->name_ = index_name;
+  index->model_names_ = model_names;
+  index->rulebase_names_.reserve(rulebases.size());
+  for (const Rulebase* rb : rulebases) {
+    index->rulebase_names_.push_back(rb->name());
+  }
+  RDFDB_ASSIGN_OR_RETURN(
+      index->inferred_,
+      ComputeEntailment(store, base, rulebases, &index->rounds_));
+
+  // Persist the pre-computed triples, as CREATE_RULES_INDEX does.
+  std::string table_name = "RDFI_" + index_name;
+  storage::Database& db = store->database();
+  if (db.GetTable("MDSYS", table_name) != nullptr) {
+    RDFDB_RETURN_NOT_OK(db.DropTable("MDSYS", table_name));
+  }
+  auto table = db.CreateTable(
+      "MDSYS", table_name,
+      storage::Schema({
+          {"S_ID", storage::ValueType::kInt64, false},
+          {"P_ID", storage::ValueType::kInt64, false},
+          {"O_ID", storage::ValueType::kInt64, false},
+      }));
+  if (!table.ok()) return table.status();
+  for (const IdTriple& t : index->inferred_.triples()) {
+    auto insert = (*table)->Insert({storage::Value::Int64(t.s),
+                                    storage::Value::Int64(t.p),
+                                    storage::Value::Int64(t.o)});
+    if (!insert.ok()) return insert.status();
+  }
+  return index;
+}
+
+bool RulesIndex::Covers(const std::vector<std::string>& model_names,
+                        const std::vector<std::string>& rulebase_names)
+    const {
+  auto sorted = [](std::vector<std::string> v) {
+    for (std::string& s : v) {
+      std::transform(s.begin(), s.end(), s.begin(), ::toupper);
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  return sorted(model_names_) == sorted(model_names) &&
+         sorted(rulebase_names_) == sorted(rulebase_names);
+}
+
+}  // namespace rdfdb::query

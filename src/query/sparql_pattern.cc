@@ -1,0 +1,175 @@
+#include "query/sparql_pattern.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::query {
+
+AliasList BuiltinAliases() {
+  return {
+      {"rdf", std::string(rdf::kRdfNs)},
+      {"rdfs", std::string(rdf::kRdfsNs)},
+      {"xsd", std::string(rdf::kXsdNs)},
+  };
+}
+
+PatternNode PatternNode::Var(std::string name) {
+  PatternNode node;
+  node.is_variable = true;
+  node.variable = std::move(name);
+  return node;
+}
+
+PatternNode PatternNode::Const(rdf::Term term) {
+  PatternNode node;
+  node.is_variable = false;
+  node.term = std::move(term);
+  return node;
+}
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> out;
+  for (const PatternNode* node : {&subject, &predicate, &object}) {
+    if (node->is_variable) out.push_back(node->variable);
+  }
+  return out;
+}
+
+namespace {
+
+/// Expand "prefix:local" through the alias map; returns false when the
+/// prefix is unknown (the token is then treated as a full URI as-is).
+bool ExpandAlias(const std::unordered_map<std::string, std::string>& aliases,
+                 const std::string& token, std::string* out) {
+  size_t colon = token.find(':');
+  if (colon == std::string::npos) return false;
+  auto it = aliases.find(token.substr(0, colon));
+  if (it == aliases.end()) return false;
+  *out = it->second + token.substr(colon + 1);
+  return true;
+}
+
+/// Split the body of one pattern into whitespace-separated tokens,
+/// keeping quoted literals (which may contain spaces) intact.
+Result<std::vector<std::string>> TokenizePatternBody(
+    const std::string& body) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < body.size()) {
+    while (i < body.size() &&
+           std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    if (i >= body.size()) break;
+    size_t start = i;
+    if (body[i] == '"') {
+      ++i;
+      while (i < body.size()) {
+        if (body[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (body[i] == '"') {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      // Attach any @lang / ^^<dt> suffix.
+      while (i < body.size() &&
+             !std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+    } else {
+      while (i < body.size() &&
+             !std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+    }
+    tokens.push_back(body.substr(start, i - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<PatternNode> ParsePatternToken(const std::string& token,
+                                      const AliasList& aliases) {
+  if (token.empty()) return Status::InvalidArgument("empty pattern token");
+  if (token[0] == '?') {
+    std::string name = token.substr(1);
+    if (name.empty()) {
+      return Status::InvalidArgument("variable needs a name: " + token);
+    }
+    return PatternNode::Var(std::move(name));
+  }
+  std::unordered_map<std::string, std::string> alias_map;
+  for (const SdoRdfAlias& alias : BuiltinAliases()) {
+    alias_map[alias.prefix] = alias.namespace_uri;
+  }
+  for (const SdoRdfAlias& alias : aliases) {
+    alias_map[alias.prefix] = alias.namespace_uri;  // user bindings win
+  }
+  std::string expanded;
+  if (token[0] != '"' && token[0] != '<' &&
+      ExpandAlias(alias_map, token, &expanded)) {
+    return PatternNode::Const(rdf::Term::Uri(std::move(expanded)));
+  }
+  RDFDB_ASSIGN_OR_RETURN(rdf::Term term, rdf::ParseApiTerm(token));
+  return PatternNode::Const(std::move(term));
+}
+
+Result<std::vector<TriplePattern>> ParsePatterns(const std::string& query,
+                                                 const AliasList& aliases) {
+  std::vector<TriplePattern> patterns;
+  size_t i = 0;
+  while (i < query.size()) {
+    while (i < query.size() &&
+           std::isspace(static_cast<unsigned char>(query[i]))) {
+      ++i;
+    }
+    if (i >= query.size()) break;
+    if (query[i] != '(') {
+      return Status::InvalidArgument("expected '(' at offset " +
+                                     std::to_string(i) + " in: " + query);
+    }
+    size_t close = query.find(')', i + 1);
+    if (close == std::string::npos) {
+      return Status::InvalidArgument("unbalanced '(' in: " + query);
+    }
+    std::string body = query.substr(i + 1, close - i - 1);
+    i = close + 1;
+
+    RDFDB_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                           TokenizePatternBody(body));
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument(
+          "pattern must have exactly 3 terms, got " +
+          std::to_string(tokens.size()) + " in: (" + body + ")");
+    }
+    TriplePattern pattern;
+    RDFDB_ASSIGN_OR_RETURN(pattern.subject,
+                           ParsePatternToken(tokens[0], aliases));
+    RDFDB_ASSIGN_OR_RETURN(pattern.predicate,
+                           ParsePatternToken(tokens[1], aliases));
+    RDFDB_ASSIGN_OR_RETURN(pattern.object,
+                           ParsePatternToken(tokens[2], aliases));
+    if (!pattern.subject.is_variable && pattern.subject.term.is_literal()) {
+      return Status::InvalidArgument("pattern subject must not be a literal");
+    }
+    if (!pattern.predicate.is_variable &&
+        !pattern.predicate.term.is_uri()) {
+      return Status::InvalidArgument("pattern predicate must be a URI");
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  if (patterns.empty()) {
+    return Status::InvalidArgument("query has no patterns: " + query);
+  }
+  return patterns;
+}
+
+}  // namespace rdfdb::query

@@ -1,0 +1,64 @@
+// SPARQL-like triple-pattern parsing for SDO_RDF_MATCH.
+//
+// The paper's query syntax is a sequence of parenthesized patterns, e.g.
+//   '(gov:files gov:terrorSuspect ?name) (?name gov:enteredCountry ?d)'
+// with namespace aliases supplied as SDO_RDF_ALIASES(SDO_RDF_ALIAS('gov',
+// 'http://www.us.gov#')). Tokens may be ?variables, prefixed names,
+// <uris>, quoted literals, or bare literals.
+
+#ifndef RDFDB_QUERY_SPARQL_PATTERN_H_
+#define RDFDB_QUERY_SPARQL_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfdb::query {
+
+/// SDO_RDF_ALIAS: one namespace prefix binding.
+struct SdoRdfAlias {
+  std::string prefix;
+  std::string namespace_uri;
+};
+
+/// SDO_RDF_ALIASES.
+using AliasList = std::vector<SdoRdfAlias>;
+
+/// Built-in aliases always available: rdf, rdfs, xsd.
+AliasList BuiltinAliases();
+
+/// One position of a pattern: either a variable or a concrete term.
+struct PatternNode {
+  bool is_variable = false;
+  std::string variable;  ///< name without the '?' sigil
+  rdf::Term term;        ///< valid when !is_variable
+
+  static PatternNode Var(std::string name);
+  static PatternNode Const(rdf::Term term);
+};
+
+/// One (s p o) pattern.
+struct TriplePattern {
+  PatternNode subject;
+  PatternNode predicate;
+  PatternNode object;
+
+  /// Variable names used, in position order (may repeat).
+  std::vector<std::string> Variables() const;
+};
+
+/// Parse the full pattern list. `aliases` are merged over the built-ins
+/// (user bindings win).
+Result<std::vector<TriplePattern>> ParsePatterns(const std::string& query,
+                                                 const AliasList& aliases);
+
+/// Parse a single token into a node (exposed for the rule parser).
+Result<PatternNode> ParsePatternToken(const std::string& token,
+                                      const AliasList& aliases);
+
+}  // namespace rdfdb::query
+
+#endif  // RDFDB_QUERY_SPARQL_PATTERN_H_

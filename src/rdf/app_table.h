@@ -1,0 +1,96 @@
+// ApplicationTable: a user table holding SDO_RDF_TRIPLE_S objects.
+//
+// Mirrors the paper's usage:
+//   CREATE TABLE ciadata (id NUMBER, triple SDO_RDF_TRIPLE_S);
+//   INSERT INTO ciadata VALUES (1, SDO_RDF_TRIPLE_S('cia', ...));
+// plus §7.2's function-based indexes:
+//   CREATE INDEX up5m_sub_fbidx ON uniprot5m (triple.GET_SUBJECT());
+
+#ifndef RDFDB_RDF_APP_TABLE_H_
+#define RDFDB_RDF_APP_TABLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/rdf_store.h"
+#include "rdf/triple.h"
+
+namespace rdfdb::rdf {
+
+/// A user application table with an ID column and an SDO_RDF_TRIPLE_S
+/// column (stored as its five reference IDs).
+class ApplicationTable {
+ public:
+  /// Create the table under `schema` inside the store's database.
+  static Result<ApplicationTable> Create(RdfStore* store,
+                                         const std::string& schema,
+                                         const std::string& table_name);
+
+  /// Attach to an existing table previously made by Create.
+  static Result<ApplicationTable> Attach(RdfStore* store,
+                                         const std::string& schema,
+                                         const std::string& table_name);
+
+  /// Append a row.
+  Status Insert(int64_t id, const SdoRdfTripleS& triple);
+
+  /// Number of rows.
+  size_t row_count() const;
+
+  // ---- Function-based indexes (§7.2) ----------------------------------
+  //
+  // Each index evaluates the member function against the central schema
+  // at indexing time — exactly what Oracle's function-based indexes do.
+
+  Status CreateSubjectIndex();   ///< ON (triple.GET_SUBJECT())
+  Status CreatePropertyIndex();  ///< ON (triple.GET_PROPERTY())
+  Status CreateObjectIndex();    ///< ON (TO_CHAR(triple.GET_OBJECT()))
+
+  Status DropSubjectIndex();
+  Status DropPropertyIndex();
+  Status DropObjectIndex();
+  bool HasSubjectIndex() const;
+
+  // ---- Queries ---------------------------------------------------------
+
+  /// WHERE triple.GET_SUBJECT() = :text. Uses the function-based index
+  /// when present; otherwise falls back to a full scan that evaluates the
+  /// member function per row (the un-indexed plan of §7.2).
+  std::vector<SdoRdfTripleS> FindBySubject(const std::string& text) const;
+
+  /// WHERE triple.GET_PROPERTY() = :text.
+  std::vector<SdoRdfTripleS> FindByProperty(const std::string& text) const;
+
+  /// WHERE TO_CHAR(triple.GET_OBJECT()) = :text.
+  std::vector<SdoRdfTripleS> FindByObject(const std::string& text) const;
+
+  /// Visit all rows as (id, triple) pairs.
+  void Scan(const std::function<bool(int64_t, const SdoRdfTripleS&)>& fn)
+      const;
+
+  const std::string& table_name() const { return table_name_; }
+  const storage::Table& table() const { return *table_; }
+
+ private:
+  ApplicationTable(RdfStore* store, storage::Table* table, std::string schema,
+                   std::string table_name);
+
+  SdoRdfTripleS RowToTriple(const storage::Row& row) const;
+  storage::KeyExtractor TextExtractor(size_t id_column,
+                                      std::string description) const;
+  std::vector<SdoRdfTripleS> FindByText(const std::string& index_name,
+                                        size_t id_column,
+                                        const std::string& text) const;
+
+  RdfStore* store_;
+  storage::Table* table_;
+  std::string schema_;
+  std::string table_name_;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_APP_TABLE_H_

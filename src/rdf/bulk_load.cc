@@ -1,0 +1,72 @@
+#include "rdf/bulk_load.h"
+
+namespace rdfdb::rdf {
+
+Result<BulkLoadStats> BulkLoad(RdfStore* store,
+                               const std::string& model_name,
+                               const std::vector<NTriple>& statements,
+                               ApplicationTable* table) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  BulkLoadStats stats;
+  int64_t next_id =
+      table != nullptr ? static_cast<int64_t>(table->row_count()) + 1 : 0;
+  for (const NTriple& t : statements) {
+    size_t links_before = store->links().TotalTripleCount();
+    RDFDB_ASSIGN_OR_RETURN(
+        SdoRdfTripleS triple,
+        store->InsertParsedTriple(model_id, t.subject, t.predicate,
+                                  t.object));
+    ++stats.statements;
+    if (store->links().TotalTripleCount() > links_before) {
+      ++stats.new_links;
+    } else {
+      ++stats.reused_links;
+    }
+    if (table != nullptr) {
+      RDFDB_RETURN_NOT_OK(table->Insert(next_id++, triple));
+      ++stats.app_rows;
+    }
+  }
+  return stats;
+}
+
+Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
+                                   const std::string& model_name,
+                                   const std::string& path,
+                                   ApplicationTable* table) {
+  RDFDB_ASSIGN_OR_RETURN(std::vector<NTriple> statements,
+                         ParseNTriplesFile(path));
+  return BulkLoad(store, model_name, statements, table);
+}
+
+Result<std::vector<NTriple>> ExportModel(const RdfStore& store,
+                                         const std::string& model_name) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store.GetModelId(model_name));
+  std::vector<NTriple> out;
+  Status status = Status::OK();
+  store.links().ScanModel(model_id, [&](const LinkRow& row) {
+    auto s = store.TermForValueId(row.start_node_id);
+    auto p = store.TermForValueId(row.p_value_id);
+    auto o = store.TermForValueId(row.end_node_id);
+    if (!s.ok() || !p.ok() || !o.ok()) {
+      status = Status::Corruption("dangling VALUE_ID in model " +
+                                  model_name);
+      return false;
+    }
+    out.push_back(NTriple{std::move(s).value(), std::move(p).value(),
+                          std::move(o).value()});
+    return true;
+  });
+  RDFDB_RETURN_NOT_OK(status);
+  return out;
+}
+
+Status ExportModelToFile(const RdfStore& store,
+                         const std::string& model_name,
+                         const std::string& path) {
+  RDFDB_ASSIGN_OR_RETURN(std::vector<NTriple> statements,
+                         ExportModel(store, model_name));
+  return WriteNTriplesFile(path, statements);
+}
+
+}  // namespace rdfdb::rdf

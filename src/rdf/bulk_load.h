@@ -1,0 +1,54 @@
+// Bulk loading of parsed statements into a model (+ optionally its
+// application table), the library-level equivalent of the paper's batch
+// load path for large datasets (§7.3 notes the loader reads "the entire
+// input file ... before inserting triples into the database").
+
+#ifndef RDFDB_RDF_BULK_LOAD_H_
+#define RDFDB_RDF_BULK_LOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/app_table.h"
+#include "rdf/ntriples.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::rdf {
+
+/// Counters reported by a bulk load.
+struct BulkLoadStats {
+  size_t statements = 0;      ///< statements processed
+  size_t new_links = 0;       ///< new rdf_link$ rows created
+  size_t reused_links = 0;    ///< duplicates that only bumped COST
+  size_t app_rows = 0;        ///< rows appended to the application table
+};
+
+/// Load statements into `model_name`. When `table` is non-null every
+/// statement also gets an application-table row (ids continue from the
+/// current row count).
+Result<BulkLoadStats> BulkLoad(RdfStore* store,
+                               const std::string& model_name,
+                               const std::vector<NTriple>& statements,
+                               ApplicationTable* table = nullptr);
+
+/// Parse an N-Triples file and BulkLoad it.
+Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
+                                   const std::string& model_name,
+                                   const std::string& path,
+                                   ApplicationTable* table = nullptr);
+
+/// Export every triple of a model as N-Triples statements (the inverse
+/// of BulkLoad; reification DBUris export as plain URIs).
+Result<std::vector<NTriple>> ExportModel(const RdfStore& store,
+                                         const std::string& model_name);
+
+/// Export a model to an N-Triples file.
+Status ExportModelToFile(const RdfStore& store,
+                         const std::string& model_name,
+                         const std::string& path);
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_BULK_LOAD_H_

@@ -1,0 +1,162 @@
+#include "rdf/canonical.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+bool IsIntegerType(const std::string& dt) {
+  return dt == kXsdInt || dt == kXsdInteger || dt == kXsdLong ||
+         dt == kXsdShort || dt == kXsdByte ||
+         dt == std::string(kXsdNs) + "nonNegativeInteger" ||
+         dt == std::string(kXsdNs) + "positiveInteger" ||
+         dt == std::string(kXsdNs) + "nonPositiveInteger" ||
+         dt == std::string(kXsdNs) + "negativeInteger" ||
+         dt == std::string(kXsdNs) + "unsignedInt" ||
+         dt == std::string(kXsdNs) + "unsignedLong" ||
+         dt == std::string(kXsdNs) + "unsignedShort" ||
+         dt == std::string(kXsdNs) + "unsignedByte";
+}
+
+bool CanonicalizeInteger(const std::string& lexical, std::string* out) {
+  std::string s = Trim(lexical);
+  if (s.empty()) return false;
+  bool negative = false;
+  size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') {
+    negative = s[0] == '-';
+    i = 1;
+  }
+  if (i >= s.size()) return false;
+  size_t digits_start = i;
+  while (i < s.size() && s[i] == '0') ++i;
+  size_t first_significant = i;
+  while (i < s.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    ++i;
+  }
+  if (first_significant == digits_start && digits_start == s.size()) {
+    return false;  // sign only
+  }
+  std::string digits = s.substr(first_significant);
+  if (digits.empty()) digits = "0";
+  *out = (negative && digits != "0") ? "-" + digits : digits;
+  return true;
+}
+
+bool CanonicalizeDecimal(const std::string& lexical, std::string* out) {
+  std::string s = Trim(lexical);
+  if (s.empty()) return false;
+  std::string sign;
+  size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') {
+    if (s[0] == '-') sign = "-";
+    i = 1;
+  }
+  std::string int_part, frac_part;
+  bool seen_dot = false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      (seen_dot ? frac_part : int_part).push_back(c);
+    } else {
+      return false;
+    }
+  }
+  if (int_part.empty() && frac_part.empty()) return false;
+  // Strip leading zeros of the integer part and trailing zeros of the
+  // fraction.
+  size_t nz = int_part.find_first_not_of('0');
+  int_part = nz == std::string::npos ? "0" : int_part.substr(nz);
+  size_t last = frac_part.find_last_not_of('0');
+  frac_part = last == std::string::npos ? "" : frac_part.substr(0, last + 1);
+  std::string body = int_part;
+  if (!frac_part.empty()) body += "." + frac_part;
+  if (body == "0") sign.clear();
+  *out = sign + body;
+  return true;
+}
+
+bool CanonicalizeDouble(const std::string& lexical, std::string* out) {
+  double v;
+  if (!ParseDouble(Trim(lexical), &v)) return false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Shorten when a lower precision round-trips.
+  for (int prec = 1; prec <= 16; ++prec) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", prec, v);
+    double back;
+    if (ParseDouble(candidate, &back) && back == v) {
+      *out = candidate;
+      return true;
+    }
+  }
+  *out = buf;
+  return true;
+}
+
+bool CanonicalizeBoolean(const std::string& lexical, std::string* out) {
+  std::string s = Trim(lexical);
+  if (s == "true" || s == "1") {
+    *out = "true";
+    return true;
+  }
+  if (s == "false" || s == "0") {
+    *out = "false";
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsCanonicalizableDatatype(const std::string& dt) {
+  return IsIntegerType(dt) || dt == kXsdDecimal || dt == kXsdDouble ||
+         dt == kXsdFloat || dt == kXsdBoolean || dt == kXsdString;
+}
+
+Term CanonicalForm(const Term& term) {
+  if (!term.is_typed_literal()) return term;
+  const std::string& dt = term.datatype();
+  std::string canon;
+  if (IsIntegerType(dt)) {
+    if (CanonicalizeInteger(term.lexical(), &canon)) {
+      return Term::TypedLiteral(std::move(canon), dt);
+    }
+    return term;
+  }
+  if (dt == kXsdDecimal) {
+    if (CanonicalizeDecimal(term.lexical(), &canon)) {
+      return Term::TypedLiteral(std::move(canon), dt);
+    }
+    return term;
+  }
+  if (dt == kXsdDouble || dt == kXsdFloat) {
+    if (CanonicalizeDouble(term.lexical(), &canon)) {
+      return Term::TypedLiteral(std::move(canon), dt);
+    }
+    return term;
+  }
+  if (dt == kXsdBoolean) {
+    if (CanonicalizeBoolean(term.lexical(), &canon)) {
+      return Term::TypedLiteral(std::move(canon), dt);
+    }
+    return term;
+  }
+  if (dt == kXsdString) {
+    // xsd:string literals are value-equal to plain literals.
+    return Term::PlainLiteral(term.lexical());
+  }
+  return term;
+}
+
+}  // namespace rdfdb::rdf

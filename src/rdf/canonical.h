@@ -1,0 +1,32 @@
+// Canonicalization of typed literals.
+//
+// The paper's rdf_link$ table stores CANON_END_NODE_ID — "the VALUE_ID for
+// the text value of the canonical form of the object of the triple" — so
+// that e.g. "+025"^^xsd:int and "25"^^xsd:int match as the same object.
+// This module computes that canonical form.
+
+#ifndef RDFDB_RDF_CANONICAL_H_
+#define RDFDB_RDF_CANONICAL_H_
+
+#include "rdf/term.h"
+
+namespace rdfdb::rdf {
+
+/// Canonical form of `term`:
+///  * integer XSD types: strip sign/leading zeros ("+025" -> "25")
+///  * xsd:decimal: trim trailing fractional zeros ("1.50" -> "1.5",
+///    "3.000" -> "3")
+///  * xsd:double / xsd:float: shortest round-trip rendering
+///  * xsd:boolean: "1"/"0" -> "true"/"false"
+///  * xsd:string typed literal -> plain literal with the same text
+///  * everything else (URIs, blank nodes, plain literals, unknown
+///    datatypes, invalid lexical forms): returned unchanged
+Term CanonicalForm(const Term& term);
+
+/// True if `datatype_uri` is one of the XSD numeric/boolean types the
+/// canonicalizer understands.
+bool IsCanonicalizableDatatype(const std::string& datatype_uri);
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_CANONICAL_H_

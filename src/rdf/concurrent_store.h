@@ -1,0 +1,171 @@
+// Thread-safe facade over RdfStore.
+//
+// The core store is single-writer by design (like most embedded
+// engines); this wrapper adds a readers-writer lock so an application
+// can serve concurrent lookups while one thread mutates — the usual
+// deployment shape for a metadata store. Reads (IS_TRIPLE, IS_REIFIED,
+// member-function resolution, stats) take the shared lock; every
+// mutation takes the exclusive lock.
+//
+// For anything not wrapped here, WithReadLock / WithWriteLock run an
+// arbitrary callback under the appropriate lock.
+
+#ifndef RDFDB_RDF_CONCURRENT_STORE_H_
+#define RDFDB_RDF_CONCURRENT_STORE_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::rdf {
+
+/// Readers-writer wrapper. All methods are safe to call from any thread.
+class ConcurrentRdfStore {
+ public:
+  ConcurrentRdfStore() = default;
+
+  // ---- Mutations (exclusive lock) --------------------------------------
+
+  Result<ModelInfo> CreateRdfModel(const std::string& model_name,
+                                   const std::string& app_table,
+                                   const std::string& app_column,
+                                   const std::string& owner = "") {
+    std::unique_lock lock(mutex_);
+    return store_.CreateRdfModel(model_name, app_table, app_column, owner);
+  }
+
+  Status DropRdfModel(const std::string& model_name) {
+    std::unique_lock lock(mutex_);
+    return store_.DropRdfModel(model_name);
+  }
+
+  Result<SdoRdfTripleS> InsertTriple(const std::string& model_name,
+                                     const std::string& subject,
+                                     const std::string& property,
+                                     const std::string& object) {
+    std::unique_lock lock(mutex_);
+    return store_.InsertTriple(model_name, subject, property, object);
+  }
+
+  Status DeleteTriple(const std::string& model_name,
+                      const std::string& subject,
+                      const std::string& property,
+                      const std::string& object) {
+    std::unique_lock lock(mutex_);
+    return store_.DeleteTriple(model_name, subject, property, object);
+  }
+
+  Result<SdoRdfTripleS> ReifyTriple(const std::string& model_name,
+                                    LinkId rdf_t_id) {
+    std::unique_lock lock(mutex_);
+    return store_.ReifyTriple(model_name, rdf_t_id);
+  }
+
+  Result<SdoRdfTripleS> AssertAboutTriple(const std::string& model_name,
+                                          const std::string& subject,
+                                          const std::string& property,
+                                          LinkId rdf_t_id) {
+    std::unique_lock lock(mutex_);
+    return store_.AssertAboutTriple(model_name, subject, property,
+                                    rdf_t_id);
+  }
+
+  Result<SdoRdfTripleS> AssertImplied(const std::string& model_name,
+                                      const std::string& reif_sub,
+                                      const std::string& reif_prop,
+                                      const std::string& subject,
+                                      const std::string& property,
+                                      const std::string& object) {
+    std::unique_lock lock(mutex_);
+    return store_.AssertImplied(model_name, reif_sub, reif_prop, subject,
+                                property, object);
+  }
+
+  // ---- Reads (shared lock) ----------------------------------------------
+  //
+  // Note: IsTriple / IsReified / GetTripleId on the core store may
+  // lazily intern nothing — they only perform lookups — so the shared
+  // lock is sufficient. (IsLinkReified's cached vocabulary ids are
+  // written at most once; the exclusive path below is used the first
+  // time to keep the fast path strictly read-only.)
+
+  Result<bool> IsTriple(const std::string& model_name,
+                        const std::string& subject,
+                        const std::string& property,
+                        const std::string& object) const {
+    std::shared_lock lock(mutex_);
+    return store_.IsTriple(model_name, subject, property, object);
+  }
+
+  Result<bool> IsReified(const std::string& model_name,
+                         const std::string& subject,
+                         const std::string& property,
+                         const std::string& object) const {
+    // IsReified touches the store's lazy rdf:type/rdf:Statement id cache
+    // on first use; take the exclusive lock until the cache is warm.
+    if (!reif_cache_warm_.load(std::memory_order_acquire)) {
+      std::unique_lock lock(mutex_);
+      auto result = store_.IsReified(model_name, subject, property, object);
+      reif_cache_warm_.store(true, std::memory_order_release);
+      return result;
+    }
+    std::shared_lock lock(mutex_);
+    return store_.IsReified(model_name, subject, property, object);
+  }
+
+  Result<LinkId> GetTripleId(const std::string& model_name,
+                             const std::string& subject,
+                             const std::string& property,
+                             const std::string& object) const {
+    std::shared_lock lock(mutex_);
+    return store_.GetTripleId(model_name, subject, property, object);
+  }
+
+  Result<SdoRdfTriple> ResolveTriple(LinkId rdf_t_id) const {
+    std::shared_lock lock(mutex_);
+    return store_.ResolveTriple(rdf_t_id);
+  }
+
+  Result<ModelId> GetModelId(const std::string& model_name) const {
+    std::shared_lock lock(mutex_);
+    return store_.GetModelId(model_name);
+  }
+
+  Result<RdfStore::ModelStats> GetModelStats(
+      const std::string& model_name) const {
+    std::shared_lock lock(mutex_);
+    return store_.GetModelStats(model_name);
+  }
+
+  // ---- Escape hatches ----------------------------------------------------
+
+  /// Run `fn` with shared (read) access to the underlying store.
+  template <typename Fn>
+  auto WithReadLock(Fn&& fn) const -> decltype(fn(std::declval<
+                                                  const RdfStore&>())) {
+    std::shared_lock lock(mutex_);
+    return fn(static_cast<const RdfStore&>(store_));
+  }
+
+  /// Run `fn` with exclusive (write) access to the underlying store.
+  template <typename Fn>
+  auto WithWriteLock(Fn&& fn) -> decltype(fn(std::declval<RdfStore&>())) {
+    std::unique_lock lock(mutex_);
+    return fn(store_);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  mutable std::atomic<bool> reif_cache_warm_{false};
+  RdfStore store_;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_CONCURRENT_STORE_H_

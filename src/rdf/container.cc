@@ -1,0 +1,132 @@
+#include "rdf/container.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+std::string MembershipProperty(int index) {
+  return std::string(kRdfNs) + "_" + std::to_string(index);
+}
+
+/// Parse the index of an rdf:_n property URI; -1 if it is not one.
+int MembershipIndex(const std::string& uri) {
+  if (!IsContainerMembershipProperty(uri)) return -1;
+  int64_t n;
+  if (!ParseInt64(uri.substr(kRdfNs.size() + 1), &n)) return -1;
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+std::string ContainerClassUri(ContainerKind kind) {
+  switch (kind) {
+    case ContainerKind::kBag:
+      return std::string(kRdfBag);
+    case ContainerKind::kSeq:
+      return std::string(kRdfSeq);
+    case ContainerKind::kAlt:
+      return std::string(kRdfAlt);
+  }
+  return {};
+}
+
+Result<Term> CreateContainer(RdfStore* store, const std::string& model_name,
+                             ContainerKind kind,
+                             const std::string& blank_label,
+                             const std::vector<Term>& members) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  Term container = Term::BlankNode(blank_label);
+  RDFDB_ASSIGN_OR_RETURN(
+      SdoRdfTripleS typed,
+      store->InsertParsedTriple(model_id, container,
+                                Term::Uri(std::string(kRdfType)),
+                                Term::Uri(ContainerClassUri(kind))));
+  (void)typed;
+  for (size_t i = 0; i < members.size(); ++i) {
+    RDFDB_ASSIGN_OR_RETURN(
+        SdoRdfTripleS member,
+        store->InsertParsedTriple(
+            model_id, container,
+            Term::Uri(MembershipProperty(static_cast<int>(i) + 1)),
+            members[i]));
+    (void)member;
+  }
+  return container;
+}
+
+Result<std::optional<ContainerKind>> GetContainerKind(
+    const RdfStore& store, const std::string& model_name,
+    const Term& container) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store.GetModelId(model_name));
+  std::optional<ValueId> c_id = store.LookupTerm(model_id, container);
+  std::optional<ValueId> type_id =
+      store.values().Lookup(Term::Uri(std::string(kRdfType)));
+  if (!c_id || !type_id) return std::optional<ContainerKind>{};
+  for (const ContainerKind kind :
+       {ContainerKind::kBag, ContainerKind::kSeq, ContainerKind::kAlt}) {
+    std::optional<ValueId> class_id =
+        store.values().Lookup(Term::Uri(ContainerClassUri(kind)));
+    if (!class_id) continue;
+    if (store.links().Find(model_id, *c_id, *type_id, *class_id)
+            .has_value()) {
+      return std::optional<ContainerKind>{kind};
+    }
+  }
+  return std::optional<ContainerKind>{};
+}
+
+Result<std::vector<Term>> ContainerMembers(const RdfStore& store,
+                                           const std::string& model_name,
+                                           const Term& container) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store.GetModelId(model_name));
+  std::optional<ValueId> c_id = store.LookupTerm(model_id, container);
+  if (!c_id) return Status::NotFound("container not in model");
+
+  std::vector<std::pair<int, ValueId>> indexed;
+  for (const LinkRow& row :
+       store.links().Match(model_id, *c_id, std::nullopt, std::nullopt)) {
+    auto pred = store.TermForValueId(row.p_value_id);
+    if (!pred.ok()) continue;
+    int index = MembershipIndex(pred->lexical());
+    if (index > 0) indexed.emplace_back(index, row.end_node_id);
+  }
+  std::sort(indexed.begin(), indexed.end());
+  std::vector<Term> members;
+  members.reserve(indexed.size());
+  for (const auto& [index, value_id] : indexed) {
+    RDFDB_ASSIGN_OR_RETURN(Term term, store.TermForValueId(value_id));
+    members.push_back(std::move(term));
+  }
+  return members;
+}
+
+Result<int> AppendContainerMember(RdfStore* store,
+                                  const std::string& model_name,
+                                  const Term& container, const Term& member) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  std::optional<ValueId> c_id = store->LookupTerm(model_id, container);
+  if (!c_id) return Status::NotFound("container not in model");
+
+  int max_index = 0;
+  for (const LinkRow& row :
+       store->links().Match(model_id, *c_id, std::nullopt, std::nullopt)) {
+    auto pred = store->TermForValueId(row.p_value_id);
+    if (!pred.ok()) continue;
+    max_index = std::max(max_index, MembershipIndex(pred->lexical()));
+  }
+  int next = max_index + 1;
+  RDFDB_ASSIGN_OR_RETURN(
+      SdoRdfTripleS inserted,
+      store->InsertParsedTriple(model_id, container,
+                                Term::Uri(MembershipProperty(next)),
+                                member));
+  (void)inserted;
+  return next;
+}
+
+}  // namespace rdfdb::rdf

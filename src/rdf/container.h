@@ -1,0 +1,57 @@
+// RDF containers (§2 of the paper): Bag / Seq / Alt.
+//
+// "To describe groups of things in RDF ... a resource called a container
+// is used. ... a blank node is typically generated for the container,
+// and each member is attached to this node as the object of a triple"
+// via the membership properties rdf:_1, rdf:_2, ... The link store
+// classifies those properties as LINK_TYPE = RDF_MEMBER.
+
+#ifndef RDFDB_RDF_CONTAINER_H_
+#define RDFDB_RDF_CONTAINER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/rdf_store.h"
+#include "rdf/term.h"
+
+namespace rdfdb::rdf {
+
+/// Container flavours defined by the RDF vocabulary.
+enum class ContainerKind { kBag, kSeq, kAlt };
+
+/// The rdf: class URI for a container kind.
+std::string ContainerClassUri(ContainerKind kind);
+
+/// Create a container in `model_name`: a blank node `blank_label` typed
+/// with the container class, plus one rdf:_n membership triple per
+/// member (1-based, in order). Returns the container term.
+Result<Term> CreateContainer(RdfStore* store, const std::string& model_name,
+                             ContainerKind kind,
+                             const std::string& blank_label,
+                             const std::vector<Term>& members);
+
+/// The container's kind, or nullopt if `container` is not typed as a
+/// Bag/Seq/Alt in the model.
+Result<std::optional<ContainerKind>> GetContainerKind(
+    const RdfStore& store, const std::string& model_name,
+    const Term& container);
+
+/// Members of a container ordered by their membership index (gaps are
+/// skipped, as RDF allows).
+Result<std::vector<Term>> ContainerMembers(const RdfStore& store,
+                                           const std::string& model_name,
+                                           const Term& container);
+
+/// Append one member at the next free rdf:_n index. Returns the index
+/// used.
+Result<int> AppendContainerMember(RdfStore* store,
+                                  const std::string& model_name,
+                                  const Term& container, const Term& member);
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_CONTAINER_H_

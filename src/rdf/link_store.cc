@@ -1,0 +1,348 @@
+#include "rdf/link_store.h"
+
+#include "common/string_util.h"
+#include "rdf/term.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+using storage::ColumnDef;
+using storage::IndexKind;
+using storage::KeyExtractor;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueKey;
+using storage::ValueType;
+
+// rdf_link$ column positions.
+constexpr size_t kLinkId = 0;
+constexpr size_t kStartNodeId = 1;
+constexpr size_t kPValueId = 2;
+constexpr size_t kEndNodeId = 3;
+constexpr size_t kCanonEndNodeId = 4;
+constexpr size_t kLinkType = 5;
+constexpr size_t kCost = 6;
+constexpr size_t kContext = 7;
+constexpr size_t kReifLink = 8;
+constexpr size_t kModelId = 9;
+
+// rdf_node$ column positions.
+constexpr size_t kNodeId = 0;
+constexpr size_t kNodeActive = 1;
+
+Schema LinkSchema() {
+  return Schema({
+      ColumnDef{"LINK_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"START_NODE_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"P_VALUE_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"END_NODE_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"CANON_END_NODE_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"LINK_TYPE", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"COST", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"CONTEXT", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"REIF_LINK", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"MODEL_ID", ValueType::kInt64, /*nullable=*/false},
+  });
+}
+
+Schema NodeSchema() {
+  return Schema({
+      ColumnDef{"NODE_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"ACTIVE", ValueType::kString, /*nullable=*/false},
+  });
+}
+
+}  // namespace
+
+std::string ClassifyPredicate(const std::string& predicate_uri) {
+  if (predicate_uri == kRdfType) return "RDF_TYPE";
+  if (predicate_uri == kRdfLi ||
+      IsContainerMembershipProperty(predicate_uri)) {
+    return "RDF_MEMBER";
+  }
+  if (StartsWith(predicate_uri, kRdfNs)) return "RDF_*";
+  return "STANDARD";
+}
+
+LinkStore::LinkStore(storage::Database* db, ndm::LogicalNetwork* net)
+    : db_(db), net_(net) {
+  links_ = db_->GetTable("MDSYS", "RDF_LINK$");
+  if (links_ == nullptr) {
+    links_ = *db_->CreateTable("MDSYS", "RDF_LINK$", LinkSchema());
+    (void)links_->SetPartitionColumn(kModelId);
+  }
+  nodes_ = db_->GetTable("MDSYS", "RDF_NODE$");
+  if (nodes_ == nullptr) {
+    nodes_ = *db_->CreateTable("MDSYS", "RDF_NODE$", NodeSchema());
+  }
+  link_seq_ = db_->GetSequence("MDSYS", "RDF_LINK_SEQ");
+  if (link_seq_ == nullptr) {
+    link_seq_ = *db_->CreateSequence("MDSYS", "RDF_LINK_SEQ", 2000);
+  }
+
+  auto ensure_index = [&](const char* name, std::vector<size_t> cols,
+                          bool unique) {
+    if (links_->GetIndex(name) == nullptr) {
+      (void)links_->CreateIndex(name, IndexKind::kHash,
+                                KeyExtractor::Columns(std::move(cols)),
+                                unique);
+    }
+  };
+  ensure_index(kLinkIdIndex, {kLinkId}, /*unique=*/true);
+  ensure_index(kSpoIndex, {kModelId, kStartNodeId, kPValueId, kEndNodeId},
+               /*unique=*/true);
+  ensure_index(kSubjectIndex, {kModelId, kStartNodeId}, /*unique=*/false);
+  ensure_index(kPredicateIndex, {kModelId, kPValueId}, /*unique=*/false);
+  ensure_index(kObjectIndex, {kModelId, kCanonEndNodeId}, /*unique=*/false);
+
+  if (nodes_->GetIndex("rdf_node_id_idx") == nullptr) {
+    (void)nodes_->CreateIndex("rdf_node_id_idx", IndexKind::kHash,
+                              KeyExtractor::Columns({kNodeId}),
+                              /*unique=*/true);
+  }
+}
+
+LinkRow LinkStore::RowToLink(const Row& row) const {
+  LinkRow link;
+  link.link_id = row[kLinkId].as_int64();
+  link.start_node_id = row[kStartNodeId].as_int64();
+  link.p_value_id = row[kPValueId].as_int64();
+  link.end_node_id = row[kEndNodeId].as_int64();
+  link.canon_end_node_id = row[kCanonEndNodeId].as_int64();
+  link.link_type = row[kLinkType].as_string();
+  link.cost = row[kCost].as_int64();
+  link.context = static_cast<TripleContext>(row[kContext].as_string()[0]);
+  link.reif_link = row[kReifLink].as_string() == "Y";
+  link.model_id = row[kModelId].as_int64();
+  return link;
+}
+
+storage::Row LinkStore::LinkToRow(const LinkRow& link) const {
+  Row row(10);
+  row[kLinkId] = Value::Int64(link.link_id);
+  row[kStartNodeId] = Value::Int64(link.start_node_id);
+  row[kPValueId] = Value::Int64(link.p_value_id);
+  row[kEndNodeId] = Value::Int64(link.end_node_id);
+  row[kCanonEndNodeId] = Value::Int64(link.canon_end_node_id);
+  row[kLinkType] = Value::String(link.link_type);
+  row[kCost] = Value::Int64(link.cost);
+  row[kContext] =
+      Value::String(std::string(1, static_cast<char>(link.context)));
+  row[kReifLink] = Value::String(link.reif_link ? "Y" : "N");
+  row[kModelId] = Value::Int64(link.model_id);
+  return row;
+}
+
+void LinkStore::EnsureNode(ValueId node) {
+  if (net_->HasNode(node)) return;
+  net_->AddNode(node);
+  Row row(2);
+  row[kNodeId] = Value::Int64(node);
+  row[kNodeActive] = Value::String("Y");
+  (void)nodes_->Insert(std::move(row));
+}
+
+void LinkStore::DropNodeIfOrphaned(ValueId node) {
+  if (!net_->RemoveNodeIfIsolated(node)) return;
+  auto ids = nodes_->FindByIndex("rdf_node_id_idx",
+                                 ValueKey{Value::Int64(node)});
+  if (ids.ok() && !ids->empty()) {
+    (void)nodes_->Delete(ids->front());
+  }
+}
+
+Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
+                                            ValueId p, ValueId o,
+                                            ValueId canon_o,
+                                            const std::string& link_type,
+                                            TripleContext context,
+                                            bool reif_link) {
+  // Reuse path: "If the triple already exists in the specified graph, the
+  // IDs for the previously inserted triple are returned".
+  const storage::Index* spo = links_->GetIndex(kSpoIndex);
+  std::vector<storage::RowId> existing = spo->Find(
+      ValueKey{Value::Int64(model_id), Value::Int64(s), Value::Int64(p),
+               Value::Int64(o)});
+  if (!existing.empty()) {
+    storage::RowId rid = existing.front();
+    LinkRow link = RowToLink(*links_->Get(rid));
+    link.cost += 1;
+    if (context == TripleContext::kDirect &&
+        link.context == TripleContext::kImplied) {
+      // "If the triple is subsequently entered into the database as a
+      // fact, the CONTEXT for this triple is changed from I to D."
+      link.context = TripleContext::kDirect;
+    }
+    link.reif_link = link.reif_link || reif_link;
+    RDFDB_RETURN_NOT_OK(links_->Update(rid, LinkToRow(link)));
+    return LinkInsertOutcome{link, /*inserted=*/false};
+  }
+
+  LinkRow link;
+  link.link_id = link_seq_->Next();
+  link.start_node_id = s;
+  link.p_value_id = p;
+  link.end_node_id = o;
+  link.canon_end_node_id = canon_o;
+  link.link_type = link_type;
+  link.cost = 1;
+  link.context = context;
+  link.reif_link = reif_link;
+  link.model_id = model_id;
+
+  auto insert = links_->Insert(LinkToRow(link));
+  if (!insert.ok()) return insert.status();
+
+  // Keep the NDM network in sync: "a new link is always created whenever
+  // a new triple is inserted"; nodes are reused.
+  EnsureNode(s);
+  EnsureNode(o);
+  RDFDB_RETURN_NOT_OK(net_->AddLink(ndm::Link{
+      link.link_id, s, o, /*cost=*/1.0, /*label=*/p}));
+  return LinkInsertOutcome{link, /*inserted=*/true};
+}
+
+std::optional<LinkRow> LinkStore::Find(int64_t model_id, ValueId s, ValueId p,
+                                       ValueId o) const {
+  const storage::Index* spo = links_->GetIndex(kSpoIndex);
+  std::vector<storage::RowId> ids = spo->Find(
+      ValueKey{Value::Int64(model_id), Value::Int64(s), Value::Int64(p),
+               Value::Int64(o)});
+  if (ids.empty()) return std::nullopt;
+  return RowToLink(*links_->Get(ids.front()));
+}
+
+Result<LinkRow> LinkStore::Get(LinkId link_id) const {
+  const storage::Index* index = links_->GetIndex(kLinkIdIndex);
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::Int64(link_id)});
+  if (ids.empty()) {
+    return Status::NotFound("LINK_ID " + std::to_string(link_id));
+  }
+  return RowToLink(*links_->Get(ids.front()));
+}
+
+std::vector<LinkRow> LinkStore::Match(int64_t model_id,
+                                      std::optional<ValueId> s,
+                                      std::optional<ValueId> p,
+                                      std::optional<ValueId> canon_o) const {
+  std::vector<LinkRow> out;
+  MatchEach(model_id, s, p, canon_o, [&](const LinkRow& row) {
+    out.push_back(row);
+    return true;
+  });
+  return out;
+}
+
+void LinkStore::MatchEach(
+    int64_t model_id, std::optional<ValueId> s, std::optional<ValueId> p,
+    std::optional<ValueId> canon_o,
+    const std::function<bool(const LinkRow&)>& fn) const {
+  auto emit_if_match = [&](const Row& row) {
+    if (s.has_value() && row[kStartNodeId].as_int64() != *s) return true;
+    if (p.has_value() && row[kPValueId].as_int64() != *p) return true;
+    if (canon_o.has_value() &&
+        row[kCanonEndNodeId].as_int64() != *canon_o) {
+      return true;
+    }
+    return fn(RowToLink(row));
+  };
+
+  // Choose the most selective available index.
+  const storage::Index* index = nullptr;
+  ValueKey key;
+  if (s.has_value()) {
+    index = links_->GetIndex(kSubjectIndex);
+    key = {Value::Int64(model_id), Value::Int64(*s)};
+  } else if (canon_o.has_value()) {
+    index = links_->GetIndex(kObjectIndex);
+    key = {Value::Int64(model_id), Value::Int64(*canon_o)};
+  } else if (p.has_value()) {
+    index = links_->GetIndex(kPredicateIndex);
+    key = {Value::Int64(model_id), Value::Int64(*p)};
+  }
+
+  if (index != nullptr) {
+    for (storage::RowId rid : index->Find(key)) {
+      if (!emit_if_match(*links_->Get(rid))) return;
+    }
+    return;
+  }
+
+  // Fully unbound: partition scan over the model.
+  links_->ScanPartition(Value::Int64(model_id),
+                        [&](storage::RowId, const Row& row) {
+                          if (row[kModelId].as_int64() != model_id) {
+                            return true;
+                          }
+                          return emit_if_match(row);
+                        });
+}
+
+Status LinkStore::Delete(int64_t model_id, ValueId s, ValueId p, ValueId o,
+                         bool force) {
+  const storage::Index* spo = links_->GetIndex(kSpoIndex);
+  std::vector<storage::RowId> ids = spo->Find(
+      ValueKey{Value::Int64(model_id), Value::Int64(s), Value::Int64(p),
+               Value::Int64(o)});
+  if (ids.empty()) {
+    return Status::NotFound("triple not found in model " +
+                            std::to_string(model_id));
+  }
+  storage::RowId rid = ids.front();
+  LinkRow link = RowToLink(*links_->Get(rid));
+  if (!force && link.cost > 1) {
+    link.cost -= 1;
+    return links_->Update(rid, LinkToRow(link));
+  }
+  RDFDB_RETURN_NOT_OK(links_->Delete(rid));
+  RemoveFromNetwork(link);
+  return Status::OK();
+}
+
+Status LinkStore::DeleteModel(int64_t model_id) {
+  std::vector<LinkRow> doomed;
+  ScanModel(model_id, [&](const LinkRow& link) {
+    doomed.push_back(link);
+    return true;
+  });
+  for (const LinkRow& link : doomed) {
+    const storage::Index* index = links_->GetIndex(kLinkIdIndex);
+    std::vector<storage::RowId> ids =
+        index->Find(ValueKey{Value::Int64(link.link_id)});
+    if (!ids.empty()) {
+      RDFDB_RETURN_NOT_OK(links_->Delete(ids.front()));
+      RemoveFromNetwork(link);
+    }
+  }
+  return Status::OK();
+}
+
+void LinkStore::RemoveFromNetwork(const LinkRow& link) {
+  // "When a triple is deleted from the database, the corresponding link
+  // is removed. However, the nodes attached to this link are not removed
+  // if there are other links connected to them."
+  (void)net_->RemoveLink(link.link_id);
+  DropNodeIfOrphaned(link.start_node_id);
+  DropNodeIfOrphaned(link.end_node_id);
+}
+
+size_t LinkStore::TripleCount(int64_t model_id) const {
+  return links_->PartitionRowCount(Value::Int64(model_id));
+}
+
+void LinkStore::ScanModel(
+    int64_t model_id, const std::function<bool(const LinkRow&)>& fn) const {
+  links_->ScanPartition(Value::Int64(model_id),
+                        [&](storage::RowId, const Row& row) {
+                          if (row[kModelId].as_int64() != model_id) {
+                            return true;
+                          }
+                          return fn(RowToLink(row));
+                        });
+}
+
+}  // namespace rdfdb::rdf

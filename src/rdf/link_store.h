@@ -1,0 +1,142 @@
+// LinkStore: binding over the central-schema rdf_link$ table.
+//
+// "The rdf_link$ table is dual-purposed: it stores the triples for all the
+// RDF graphs in the database, and it defines the logical network seen by
+// NDM." This class maintains the table rows, the companion rdf_node$
+// rows, and the in-memory NDM LogicalNetwork, keeping all three in sync.
+// The table is partitioned by MODEL_ID, as in the paper.
+
+#ifndef RDFDB_RDF_LINK_STORE_H_
+#define RDFDB_RDF_LINK_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "ndm/network.h"
+#include "rdf/value_store.h"
+#include "storage/database.h"
+
+namespace rdfdb::rdf {
+
+/// LINK_ID type (rdf_link$ primary key; also the triple id rdf_t_id).
+using LinkId = int64_t;
+
+/// Statement context: directly asserted fact vs. implied (entered only as
+/// the base of a reification).
+enum class TripleContext : char {
+  kDirect = 'D',
+  kImplied = 'I',
+};
+
+/// Materialized rdf_link$ row.
+struct LinkRow {
+  LinkId link_id = 0;
+  ValueId start_node_id = 0;       ///< subject VALUE_ID
+  ValueId p_value_id = 0;          ///< predicate VALUE_ID
+  ValueId end_node_id = 0;         ///< object VALUE_ID
+  ValueId canon_end_node_id = 0;   ///< canonical-object VALUE_ID
+  std::string link_type;           ///< STANDARD / RDF_TYPE / RDF_MEMBER / RDF_*
+  int64_t cost = 1;                ///< app-table reference count
+  TripleContext context = TripleContext::kDirect;
+  bool reif_link = false;          ///< any position references a reified triple
+  int64_t model_id = 0;
+};
+
+/// Outcome of an insert: the (possibly pre-existing) link and whether a
+/// new row was created.
+struct LinkInsertOutcome {
+  LinkRow row;
+  bool inserted = false;
+};
+
+/// Classify a predicate URI into the paper's LINK_TYPE codes.
+std::string ClassifyPredicate(const std::string& predicate_uri);
+
+/// Triple storage over rdf_link$ + rdf_node$ + the NDM network.
+class LinkStore {
+ public:
+  /// Creates (or reattaches to) MDSYS.RDF_LINK$ / MDSYS.RDF_NODE$ inside
+  /// `db` and binds the NDM network `net`.
+  LinkStore(storage::Database* db, ndm::LogicalNetwork* net);
+
+  /// Insert a triple into a model. If the identical (s, p, o) triple
+  /// already exists in the model, no new row is created: COST is
+  /// incremented ("the triple is only stored once ... but may exist in
+  /// several rows in a user's application table"), an Implied row is
+  /// upgraded to Direct when `context` is Direct, and REIF_LINK is OR-ed.
+  Result<LinkInsertOutcome> Insert(int64_t model_id, ValueId s, ValueId p,
+                                   ValueId o, ValueId canon_o,
+                                   const std::string& link_type,
+                                   TripleContext context, bool reif_link);
+
+  /// Exact lookup of a triple in a model.
+  std::optional<LinkRow> Find(int64_t model_id, ValueId s, ValueId p,
+                              ValueId o) const;
+
+  /// Fetch by LINK_ID.
+  Result<LinkRow> Get(LinkId link_id) const;
+
+  /// Pattern match within one model. Unbound positions are nullopt. The
+  /// object position matches on CANON_END_NODE_ID (query semantics), so
+  /// callers pass the canonical object's VALUE_ID.
+  std::vector<LinkRow> Match(int64_t model_id, std::optional<ValueId> s,
+                             std::optional<ValueId> p,
+                             std::optional<ValueId> canon_o) const;
+
+  /// Streaming variant of Match: visits each hit without materializing a
+  /// vector; return false from `fn` to stop early (used by the query
+  /// planner's bounded cardinality probes).
+  void MatchEach(int64_t model_id, std::optional<ValueId> s,
+                 std::optional<ValueId> p, std::optional<ValueId> canon_o,
+                 const std::function<bool(const LinkRow&)>& fn) const;
+
+  /// Drop one application-table reference: decrements COST and removes
+  /// the row (plus the NDM link, plus now-orphaned nodes and rdf_node$
+  /// rows) when the count reaches zero. `force` removes regardless of
+  /// COST.
+  Status Delete(int64_t model_id, ValueId s, ValueId p, ValueId o,
+                bool force = false);
+
+  /// Remove every triple of a model (model drop).
+  Status DeleteModel(int64_t model_id);
+
+  /// Number of triples in one model.
+  size_t TripleCount(int64_t model_id) const;
+
+  /// Number of triples across all models.
+  size_t TotalTripleCount() const { return links_->row_count(); }
+
+  /// Visit every link row of a model.
+  void ScanModel(int64_t model_id,
+                 const std::function<bool(const LinkRow&)>& fn) const;
+
+  /// Underlying table (Experiment I's direct-join query reads it).
+  const storage::Table& table() const { return *links_; }
+
+  static constexpr const char* kLinkIdIndex = "rdf_link_id_idx";
+  static constexpr const char* kSpoIndex = "rdf_link_spo_idx";
+  static constexpr const char* kSubjectIndex = "rdf_link_s_idx";
+  static constexpr const char* kPredicateIndex = "rdf_link_p_idx";
+  static constexpr const char* kObjectIndex = "rdf_link_o_idx";
+
+ private:
+  LinkRow RowToLink(const storage::Row& row) const;
+  storage::Row LinkToRow(const LinkRow& link) const;
+  void RemoveFromNetwork(const LinkRow& link);
+  void EnsureNode(ValueId node);
+  void DropNodeIfOrphaned(ValueId node);
+
+  storage::Database* db_;
+  ndm::LogicalNetwork* net_;
+  storage::Table* links_;   // MDSYS.RDF_LINK$
+  storage::Table* nodes_;   // MDSYS.RDF_NODE$
+  storage::Sequence* link_seq_;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_LINK_STORE_H_

@@ -1,0 +1,159 @@
+#include "rdf/model_store.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "storage/predicate.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+using storage::ColumnDef;
+using storage::IndexKind;
+using storage::KeyExtractor;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueKey;
+using storage::ValueType;
+
+constexpr size_t kModelId = 0;
+constexpr size_t kModelName = 1;
+constexpr size_t kAppTable = 2;
+constexpr size_t kAppColumn = 3;
+constexpr size_t kOwner = 4;
+
+Schema ModelSchema() {
+  return Schema({
+      ColumnDef{"MODEL_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"MODEL_NAME", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"APP_TABLE", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"APP_COLUMN", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"OWNER", ValueType::kString, /*nullable=*/true},
+  });
+}
+
+ModelInfo RowToInfo(const Row& row) {
+  ModelInfo info;
+  info.model_id = row[kModelId].as_int64();
+  info.model_name = row[kModelName].as_string();
+  info.app_table = row[kAppTable].as_string();
+  info.app_column = row[kAppColumn].as_string();
+  info.owner = row[kOwner].is_null() ? "" : row[kOwner].as_string();
+  return info;
+}
+
+}  // namespace
+
+ModelStore::ModelStore(storage::Database* db) : db_(db) {
+  models_ = db_->GetTable("MDSYS", "RDF_MODEL$");
+  if (models_ == nullptr) {
+    models_ = *db_->CreateTable("MDSYS", "RDF_MODEL$", ModelSchema());
+  }
+  model_seq_ = db_->GetSequence("MDSYS", "RDF_MODEL_SEQ");
+  if (model_seq_ == nullptr) {
+    model_seq_ = *db_->CreateSequence("MDSYS", "RDF_MODEL_SEQ", 1);
+  }
+  if (models_->GetIndex("rdf_model_name_idx") == nullptr) {
+    (void)models_->CreateIndex(
+        "rdf_model_name_idx", IndexKind::kHash,
+        KeyExtractor::Function(
+            [](const Row& row) {
+              return ValueKey{
+                  Value::String(ToLower(row[kModelName].as_string()))};
+            },
+            "lower(MODEL_NAME)"),
+        /*unique=*/true);
+  }
+  if (models_->GetIndex("rdf_model_id_idx") == nullptr) {
+    (void)models_->CreateIndex("rdf_model_id_idx", IndexKind::kHash,
+                               KeyExtractor::Columns({kModelId}),
+                               /*unique=*/true);
+  }
+}
+
+std::string ModelStore::ViewNameFor(const std::string& model_name) {
+  return "RDFM_" + ToUpper(model_name);
+}
+
+Result<ModelInfo> ModelStore::CreateModel(const std::string& model_name,
+                                          const std::string& app_table,
+                                          const std::string& app_column,
+                                          const std::string& owner,
+                                          const storage::Table* link_table,
+                                          size_t model_column) {
+  if (model_name.empty()) {
+    return Status::InvalidArgument("model name must not be empty");
+  }
+  if (GetModelId(model_name).ok()) {
+    return Status::AlreadyExists("model " + model_name);
+  }
+  ModelInfo info;
+  info.model_id = model_seq_->Next();
+  info.model_name = model_name;
+  info.app_table = app_table;
+  info.app_column = app_column;
+  info.owner = owner;
+
+  Row row(5);
+  row[kModelId] = Value::Int64(info.model_id);
+  row[kModelName] = Value::String(model_name);
+  row[kAppTable] = Value::String(app_table);
+  row[kAppColumn] = Value::String(app_column);
+  row[kOwner] = owner.empty() ? Value::Null() : Value::String(owner);
+  auto insert = models_->Insert(std::move(row));
+  if (!insert.ok()) return insert.status();
+
+  // "When a graph or model is created, a view of the rdf_link$ table that
+  // contains only data for the model is also created (rdfm_model_name)."
+  auto view = db_->CreateView(
+      "MDSYS", ViewNameFor(model_name), link_table,
+      storage::Eq(model_column, Value::Int64(info.model_id)), owner);
+  if (!view.ok()) return view.status();
+  return info;
+}
+
+Result<ModelId> ModelStore::GetModelId(const std::string& model_name) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelInfo info, GetModel(model_name));
+  return info.model_id;
+}
+
+Result<ModelInfo> ModelStore::GetModel(const std::string& model_name) const {
+  const storage::Index* index = models_->GetIndex("rdf_model_name_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::String(ToLower(model_name))});
+  if (ids.empty()) return Status::NotFound("model " + model_name);
+  return RowToInfo(*models_->Get(ids.front()));
+}
+
+Result<ModelInfo> ModelStore::GetModelById(ModelId model_id) const {
+  const storage::Index* index = models_->GetIndex("rdf_model_id_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::Int64(model_id)});
+  if (ids.empty()) {
+    return Status::NotFound("MODEL_ID " + std::to_string(model_id));
+  }
+  return RowToInfo(*models_->Get(ids.front()));
+}
+
+Status ModelStore::DropModel(const std::string& model_name) {
+  const storage::Index* index = models_->GetIndex("rdf_model_name_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::String(ToLower(model_name))});
+  if (ids.empty()) return Status::NotFound("model " + model_name);
+  RDFDB_RETURN_NOT_OK(models_->Delete(ids.front()));
+  return db_->DropView("MDSYS", ViewNameFor(model_name));
+}
+
+std::vector<std::string> ModelStore::ModelNames() const {
+  std::vector<std::string> names;
+  models_->Scan([&](storage::RowId, const Row& row) {
+    names.push_back(row[kModelName].as_string());
+    return true;
+  });
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace rdfdb::rdf

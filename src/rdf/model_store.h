@@ -1,0 +1,76 @@
+// ModelStore: binding over the central-schema rdf_model$ table.
+//
+// A model (RDF graph) registers the owning application table and triple
+// column, receives a MODEL_ID that logically partitions rdf_link$, and
+// gets a per-model view rdfm_<model_name> "accessible only to the owner
+// of the model and users with SELECT privileges on the model".
+
+#ifndef RDFDB_RDF_MODEL_STORE_H_
+#define RDFDB_RDF_MODEL_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace rdfdb::rdf {
+
+/// MODEL_ID type.
+using ModelId = int64_t;
+
+/// Registered model metadata.
+struct ModelInfo {
+  ModelId model_id = 0;
+  std::string model_name;
+  std::string app_table;    ///< user application table name
+  std::string app_column;   ///< SDO_RDF_TRIPLE_S column in that table
+  std::string owner;        ///< creating user
+};
+
+/// Model registry over MDSYS.RDF_MODEL$.
+class ModelStore {
+ public:
+  explicit ModelStore(storage::Database* db);
+
+  /// Create a model and its rdfm_<name> view over rdf_link$.
+  /// `link_table` is the rdf_link$ table the view filters;
+  /// `model_column` is its MODEL_ID column position.
+  Result<ModelInfo> CreateModel(const std::string& model_name,
+                                const std::string& app_table,
+                                const std::string& app_column,
+                                const std::string& owner,
+                                const storage::Table* link_table,
+                                size_t model_column);
+
+  /// Model id by (case-insensitive) name.
+  Result<ModelId> GetModelId(const std::string& model_name) const;
+
+  /// Full metadata by name.
+  Result<ModelInfo> GetModel(const std::string& model_name) const;
+
+  /// Metadata by id.
+  Result<ModelInfo> GetModelById(ModelId model_id) const;
+
+  /// Remove the registry row and the per-model view. (Triples are
+  /// removed by the RdfStore, which owns the LinkStore.)
+  Status DropModel(const std::string& model_name);
+
+  /// Names of all models, sorted.
+  std::vector<std::string> ModelNames() const;
+
+  /// Per-model view name: "rdfm_" + lower(model_name).
+  static std::string ViewNameFor(const std::string& model_name);
+
+ private:
+  storage::Database* db_;
+  storage::Table* models_;  // MDSYS.RDF_MODEL$
+  storage::Sequence* model_seq_;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_MODEL_STORE_H_

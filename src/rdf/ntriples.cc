@@ -1,0 +1,215 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+/// Cursor over one line.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t')) {
+      ++pos;
+    }
+  }
+  bool Done() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+};
+
+Result<Term> ParseUriRef(Cursor* c) {
+  // <...>
+  size_t end = c->text.find('>', c->pos + 1);
+  if (end == std::string::npos) {
+    return Status::InvalidArgument("unterminated URI ref");
+  }
+  std::string uri = c->text.substr(c->pos + 1, end - c->pos - 1);
+  c->pos = end + 1;
+  if (uri.empty()) return Status::InvalidArgument("empty URI ref");
+  return Term::Uri(std::move(uri));
+}
+
+Result<Term> ParseBlank(Cursor* c) {
+  // _:label
+  size_t start = c->pos + 2;
+  size_t end = start;
+  while (end < c->text.size() && !std::isspace(static_cast<unsigned char>(
+                                     c->text[end]))) {
+    if (c->text[end] == '.' && end + 1 >= c->text.size()) break;
+    ++end;
+  }
+  std::string label = c->text.substr(start, end - start);
+  if (label.empty()) return Status::InvalidArgument("empty blank label");
+  c->pos = end;
+  return Term::BlankNode(std::move(label));
+}
+
+Result<Term> ParseLiteral(Cursor* c) {
+  // "...", optional @lang or ^^<dt>; take up to the closing unescaped
+  // quote, then the suffix up to whitespace.
+  size_t i = c->pos + 1;
+  std::string body;
+  bool closed = false;
+  while (i < c->text.size()) {
+    char ch = c->text[i];
+    if (ch == '\\' && i + 1 < c->text.size()) {
+      char next = c->text[i + 1];
+      switch (next) {
+        case 'n':
+          body.push_back('\n');
+          break;
+        case 'r':
+          body.push_back('\r');
+          break;
+        case 't':
+          body.push_back('\t');
+          break;
+        case '\\':
+          body.push_back('\\');
+          break;
+        case '"':
+          body.push_back('"');
+          break;
+        default:
+          body.push_back(next);
+      }
+      i += 2;
+      continue;
+    }
+    if (ch == '"') {
+      closed = true;
+      ++i;
+      break;
+    }
+    body.push_back(ch);
+    ++i;
+  }
+  if (!closed) return Status::InvalidArgument("unterminated literal");
+  c->pos = i;
+  if (!c->Done() && c->Peek() == '@') {
+    size_t start = c->pos + 1;
+    size_t end = start;
+    while (end < c->text.size() &&
+           !std::isspace(static_cast<unsigned char>(c->text[end])) &&
+           c->text[end] != '.') {
+      ++end;
+    }
+    std::string lang = c->text.substr(start, end - start);
+    if (lang.empty()) return Status::InvalidArgument("empty language tag");
+    c->pos = end;
+    return Term::PlainLiteralLang(std::move(body), std::move(lang));
+  }
+  if (c->pos + 1 < c->text.size() && c->text[c->pos] == '^' &&
+      c->text[c->pos + 1] == '^') {
+    c->pos += 2;
+    if (c->Done() || c->Peek() != '<') {
+      return Status::InvalidArgument("datatype must be a URI ref");
+    }
+    RDFDB_ASSIGN_OR_RETURN(Term dt, ParseUriRef(c));
+    return Term::TypedLiteral(std::move(body), dt.lexical());
+  }
+  return Term::PlainLiteral(std::move(body));
+}
+
+Result<Term> ParseNode(Cursor* c, bool allow_literal) {
+  c->SkipSpace();
+  if (c->Done()) return Status::InvalidArgument("unexpected end of line");
+  char ch = c->Peek();
+  if (ch == '<') return ParseUriRef(c);
+  if (ch == '_' && c->pos + 1 < c->text.size() &&
+      c->text[c->pos + 1] == ':') {
+    return ParseBlank(c);
+  }
+  if (ch == '"') {
+    if (!allow_literal) {
+      return Status::InvalidArgument("literal not allowed here");
+    }
+    return ParseLiteral(c);
+  }
+  return Status::InvalidArgument(std::string("unexpected character '") + ch +
+                                 "'");
+}
+
+}  // namespace
+
+Result<std::optional<NTriple>> ParseNTriplesLine(const std::string& line) {
+  std::string trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') {
+    return std::optional<NTriple>{};
+  }
+  Cursor c{trimmed};
+  NTriple triple;
+  RDFDB_ASSIGN_OR_RETURN(triple.subject,
+                         ParseNode(&c, /*allow_literal=*/false));
+  if (triple.subject.is_literal()) {
+    return Status::InvalidArgument("subject must not be a literal");
+  }
+  c.SkipSpace();
+  RDFDB_ASSIGN_OR_RETURN(triple.predicate,
+                         ParseNode(&c, /*allow_literal=*/false));
+  if (!triple.predicate.is_uri()) {
+    return Status::InvalidArgument("predicate must be a URI");
+  }
+  c.SkipSpace();
+  RDFDB_ASSIGN_OR_RETURN(triple.object, ParseNode(&c, /*allow_literal=*/true));
+  c.SkipSpace();
+  if (c.Done() || c.Peek() != '.') {
+    return Status::InvalidArgument("missing '.' terminator");
+  }
+  ++c.pos;
+  c.SkipSpace();
+  if (!c.Done()) {
+    return Status::InvalidArgument("trailing content after '.'");
+  }
+  return std::optional<NTriple>{std::move(triple)};
+}
+
+Result<std::vector<NTriple>> ParseNTriplesDocument(const std::string& text) {
+  std::vector<NTriple> out;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto parsed = ParseNTriplesLine(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + parsed.status().message());
+    }
+    if (parsed->has_value()) out.push_back(std::move(**parsed));
+  }
+  return out;
+}
+
+Result<std::vector<NTriple>> ParseNTriplesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseNTriplesDocument(buffer.str());
+}
+
+std::string ToNTriplesLine(const NTriple& triple) {
+  return triple.subject.ToNTriples() + " " + triple.predicate.ToNTriples() +
+         " " + triple.object.ToNTriples() + " .";
+}
+
+Status WriteNTriplesFile(const std::string& path,
+                         const std::vector<NTriple>& triples) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  for (const NTriple& triple : triples) {
+    out << ToNTriplesLine(triple) << "\n";
+  }
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace rdfdb::rdf

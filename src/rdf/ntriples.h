@@ -1,0 +1,49 @@
+// N-Triples reader/writer — the line-based interchange format used to
+// load RDF datasets (e.g. the UniProt dump) into the store.
+
+#ifndef RDFDB_RDF_NTRIPLES_H_
+#define RDFDB_RDF_NTRIPLES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfdb::rdf {
+
+/// One parsed statement.
+struct NTriple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  bool operator==(const NTriple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+};
+
+/// Parse one line. Returns nullopt for blank lines and comments;
+/// InvalidArgument for malformed statements.
+Result<std::optional<NTriple>> ParseNTriplesLine(const std::string& line);
+
+/// Parse a whole document (newline-separated). Any malformed line fails
+/// the parse with its line number in the message.
+Result<std::vector<NTriple>> ParseNTriplesDocument(const std::string& text);
+
+/// Parse a file from disk.
+Result<std::vector<NTriple>> ParseNTriplesFile(const std::string& path);
+
+/// Serialize one statement, including the trailing " ." terminator.
+std::string ToNTriplesLine(const NTriple& triple);
+
+/// Write statements to a file, one per line.
+Status WriteNTriplesFile(const std::string& path,
+                         const std::vector<NTriple>& triples);
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_NTRIPLES_H_

@@ -1,0 +1,206 @@
+#include "rdf/quad_loader.h"
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "rdf/reification.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+/// Key for grouping quad components by reifying resource. Blank nodes and
+/// URIs both occur as reifiers; the N-Triples rendering is a stable key.
+std::string ReifierKey(const Term& term) { return term.ToNTriples(); }
+
+/// Components collected for one candidate reifying resource.
+struct QuadParts {
+  Term reifier;
+  bool has_type = false;
+  std::optional<Term> subject;
+  std::optional<Term> predicate;
+  std::optional<Term> object;
+  bool ambiguous = false;  ///< a component occurred twice with different values
+  std::vector<NTriple> source_triples;
+
+  bool complete() const {
+    return has_type && subject.has_value() && predicate.has_value() &&
+           object.has_value() && !ambiguous;
+  }
+};
+
+/// Which reification-vocabulary component (if any) a statement encodes.
+enum class QuadComponent { kNone, kType, kSubject, kPredicate, kObject };
+
+QuadComponent ClassifyQuadTriple(const NTriple& t) {
+  if (!t.predicate.is_uri()) return QuadComponent::kNone;
+  const std::string& p = t.predicate.lexical();
+  if (p == kRdfType && t.object.is_uri() &&
+      t.object.lexical() == kRdfStatement) {
+    return QuadComponent::kType;
+  }
+  if (p == kRdfSubject) return QuadComponent::kSubject;
+  if (p == kRdfPredicate) return QuadComponent::kPredicate;
+  if (p == kRdfObject) return QuadComponent::kObject;
+  return QuadComponent::kNone;
+}
+
+void RecordComponent(QuadParts* parts, QuadComponent which,
+                     const NTriple& t) {
+  parts->source_triples.push_back(t);
+  auto set = [&](std::optional<Term>* slot) {
+    if (slot->has_value()) {
+      if (**slot != t.object) parts->ambiguous = true;
+    } else {
+      *slot = t.object;
+    }
+  };
+  switch (which) {
+    case QuadComponent::kType:
+      parts->has_type = true;
+      break;
+    case QuadComponent::kSubject:
+      set(&parts->subject);
+      break;
+    case QuadComponent::kPredicate:
+      set(&parts->predicate);
+      break;
+    case QuadComponent::kObject:
+      set(&parts->object);
+      break;
+    case QuadComponent::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+Result<QuadLoadStats> QuadLoader::Load(const std::string& model_name,
+                                       const std::vector<NTriple>& triples) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store_->GetModelId(model_name));
+  QuadLoadStats stats;
+  stats.input_triples = triples.size();
+
+  // Pass 1: group reification-vocabulary statements by reifying resource.
+  // std::map keeps processing order deterministic across runs.
+  std::map<std::string, QuadParts> candidates;
+  std::vector<NTriple> others;
+  for (const NTriple& t : triples) {
+    QuadComponent which = ClassifyQuadTriple(t);
+    if (which == QuadComponent::kNone) {
+      others.push_back(t);
+      continue;
+    }
+    QuadParts& parts = candidates[ReifierKey(t.subject)];
+    parts.reifier = t.subject;
+    RecordComponent(&parts, which, t);
+  }
+
+  // Pass 2: convert complete quads; apply the policy to partial ones.
+  std::unordered_map<std::string, Term> replacement;  // R key -> DBUri term
+  std::vector<NTriple> incomplete_spill;
+  for (auto& [key, parts] : candidates) {
+    if (!parts.complete()) {
+      ++stats.incomplete_quads;
+      stats.incomplete_triples += parts.source_triples.size();
+      switch (options_.incomplete_policy) {
+        case IncompleteQuadPolicy::kDelete:
+          break;  // dropped
+        case IncompleteQuadPolicy::kEmitToFile:
+          incomplete_spill.insert(incomplete_spill.end(),
+                                  parts.source_triples.begin(),
+                                  parts.source_triples.end());
+          break;
+        case IncompleteQuadPolicy::kInsertAsTriples:
+          for (const NTriple& t : parts.source_triples) {
+            RDFDB_ASSIGN_OR_RETURN(
+                SdoRdfTripleS ignored,
+                store_->InsertParsedTriple(model_id, t.subject, t.predicate,
+                                           t.object));
+            (void)ignored;
+            ++stats.plain_triples;
+          }
+          break;
+      }
+      continue;
+    }
+
+    // Insert the base triple as an implied statement (it was "entered
+    // into the database as the base triple of reification statements
+    // only"), then store the one streamlined reification triple.
+    RDFDB_ASSIGN_OR_RETURN(
+        SdoRdfTripleS base,
+        store_->InsertParsedTriple(model_id, *parts.subject,
+                                   *parts.predicate, *parts.object,
+                                   TripleContext::kImplied));
+    RDFDB_ASSIGN_OR_RETURN(bool already,
+                           store_->IsLinkReified(model_id, base.rdf_t_id()));
+    if (!already) {
+      RDFDB_ASSIGN_OR_RETURN(SdoRdfTripleS reif,
+                             store_->ReifyTriple(model_name, base.rdf_t_id()));
+      (void)reif;
+    }
+    ++stats.complete_quads;
+
+    Term db_uri = Term::Uri(DBUriForLink(base.rdf_t_id()));
+    replacement.emplace(key, db_uri);
+
+    if (options_.store_replaced_uris) {
+      RDFDB_ASSIGN_OR_RETURN(
+          SdoRdfTripleS record,
+          store_->InsertParsedTriple(model_id, db_uri,
+                                     Term::Uri(kReplacesResourceUri),
+                                     parts.reifier));
+      (void)record;
+    }
+  }
+
+  if (options_.incomplete_policy == IncompleteQuadPolicy::kEmitToFile &&
+      !incomplete_spill.empty()) {
+    if (options_.incomplete_output_path.empty()) {
+      return Status::InvalidArgument(
+          "kEmitToFile requires incomplete_output_path");
+    }
+    RDFDB_RETURN_NOT_OK(WriteNTriplesFile(options_.incomplete_output_path,
+                                          incomplete_spill));
+  }
+
+  // Pass 3: everything else, with reifying resources rewritten to their
+  // DBUris so assertions attach to the streamlined statement.
+  for (const NTriple& t : others) {
+    Term subject = t.subject;
+    Term object = t.object;
+    bool rewritten = false;
+    auto sub_it = replacement.find(ReifierKey(subject));
+    if (sub_it != replacement.end()) {
+      subject = sub_it->second;
+      rewritten = true;
+    }
+    auto obj_it = replacement.find(ReifierKey(object));
+    if (obj_it != replacement.end()) {
+      object = obj_it->second;
+      rewritten = true;
+    }
+    RDFDB_ASSIGN_OR_RETURN(
+        SdoRdfTripleS ignored,
+        store_->InsertParsedTriple(model_id, subject, t.predicate, object));
+    (void)ignored;
+    if (rewritten) {
+      ++stats.assertions_rewritten;
+    } else {
+      ++stats.plain_triples;
+    }
+  }
+  return stats;
+}
+
+Result<QuadLoadStats> QuadLoader::LoadFile(const std::string& model_name,
+                                           const std::string& path) {
+  RDFDB_ASSIGN_OR_RETURN(std::vector<NTriple> triples,
+                         ParseNTriplesFile(path));
+  return Load(model_name, triples);
+}
+
+}  // namespace rdfdb::rdf

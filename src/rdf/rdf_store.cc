@@ -1,0 +1,506 @@
+#include "rdf/rdf_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "rdf/canonical.h"
+#include "rdf/reification.h"
+#include "rdf/vocab.h"
+#include "storage/snapshot.h"
+
+namespace rdfdb::rdf {
+
+RdfStore::RdfStore()
+    : db_(std::make_unique<storage::Database>("ORADB")),
+      network_(std::make_unique<ndm::LogicalNetwork>("rdf_network")) {
+  values_ = std::make_unique<ValueStore>(db_.get());
+  links_ = std::make_unique<LinkStore>(db_.get(), network_.get());
+  models_ = std::make_unique<ModelStore>(db_.get());
+}
+
+RdfStore::~RdfStore() = default;
+
+Result<ModelInfo> RdfStore::CreateRdfModel(const std::string& model_name,
+                                           const std::string& app_table,
+                                           const std::string& app_column,
+                                           const std::string& owner) {
+  // MODEL_ID column position in rdf_link$ is 9 (see link_store.cc).
+  return models_->CreateModel(model_name, app_table, app_column, owner,
+                              &links_->table(), /*model_column=*/9);
+}
+
+Status RdfStore::DropRdfModel(const std::string& model_name) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_RETURN_NOT_OK(links_->DeleteModel(model_id));
+  return models_->DropModel(model_name);
+}
+
+Result<ModelId> RdfStore::GetModelId(const std::string& model_name) const {
+  return models_->GetModelId(model_name);
+}
+
+std::vector<std::string> RdfStore::ModelNames() const {
+  return models_->ModelNames();
+}
+
+Status RdfStore::GrantSelectOnModel(const std::string& model_name,
+                                    const std::string& user) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId id, GetModelId(model_name));
+  (void)id;
+  storage::View* view =
+      db_->GetView("MDSYS", ModelStore::ViewNameFor(model_name));
+  if (view == nullptr) {
+    return Status::Internal("model view missing for " + model_name);
+  }
+  view->GrantSelect(user);
+  return Status::OK();
+}
+
+Result<bool> RdfStore::CanSelectModel(const std::string& model_name,
+                                      const std::string& user) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId id, GetModelId(model_name));
+  (void)id;
+  const storage::View* view = static_cast<const storage::Database&>(*db_)
+                                  .GetView("MDSYS",
+                                           ModelStore::ViewNameFor(
+                                               model_name));
+  if (view == nullptr) {
+    return Status::Internal("model view missing for " + model_name);
+  }
+  return view->CanSelect(user);
+}
+
+Result<ValueId> RdfStore::InternTerm(ModelId model_id, const Term& term) {
+  if (term.is_blank()) {
+    return values_->LookupOrInsertBlank(model_id, term.lexical());
+  }
+  return values_->LookupOrInsert(term);
+}
+
+std::optional<ValueId> RdfStore::LookupTerm(ModelId model_id,
+                                            const Term& term) const {
+  if (term.is_blank()) return values_->LookupBlank(model_id, term.lexical());
+  return values_->Lookup(term);
+}
+
+SdoRdfTripleS RdfStore::MakeHandle(const LinkRow& row) const {
+  return SdoRdfTripleS(this, row.link_id, row.model_id, row.start_node_id,
+                       row.p_value_id, row.end_node_id);
+}
+
+Result<SdoRdfTripleS> RdfStore::InsertTerms(ModelId model_id,
+                                            const Term& subject,
+                                            const Term& property,
+                                            const Term& object,
+                                            TripleContext context) {
+  RDFDB_ASSIGN_OR_RETURN(ValueId s_id, InternTerm(model_id, subject));
+  RDFDB_ASSIGN_OR_RETURN(ValueId p_id, InternTerm(model_id, property));
+  RDFDB_ASSIGN_OR_RETURN(ValueId o_id, InternTerm(model_id, object));
+
+  Term canon = CanonicalForm(object);
+  ValueId canon_id = o_id;
+  if (canon != object) {
+    RDFDB_ASSIGN_OR_RETURN(canon_id, InternTerm(model_id, canon));
+  }
+
+  // REIF_LINK is Y when any position "references a reified triple",
+  // i.e. carries a reification DBUri.
+  bool reif_link = (subject.is_uri() && IsReificationUri(subject.lexical())) ||
+                   (object.is_uri() && IsReificationUri(object.lexical()));
+
+  std::string link_type = ClassifyPredicate(property.lexical());
+  RDFDB_ASSIGN_OR_RETURN(
+      LinkInsertOutcome outcome,
+      links_->Insert(model_id, s_id, p_id, o_id, canon_id, link_type,
+                     context, reif_link));
+  return MakeHandle(outcome.row);
+}
+
+Result<SdoRdfTripleS> RdfStore::InsertParsedTriple(ModelId model_id,
+                                                   const Term& subject,
+                                                   const Term& property,
+                                                   const Term& object,
+                                                   TripleContext context) {
+  if (!subject.is_uri() && !subject.is_blank()) {
+    return Status::InvalidArgument("subject must be a URI or blank node");
+  }
+  if (!property.is_uri()) {
+    return Status::InvalidArgument("predicate must be a URI");
+  }
+  return InsertTerms(model_id, subject, property, object, context);
+}
+
+Result<SdoRdfTripleS> RdfStore::InsertTriple(const std::string& model_name,
+                                             const std::string& subject,
+                                             const std::string& property,
+                                             const std::string& object) {
+  // "When a user attempts to insert a triple, a check is first made to
+  // ensure that the RDF graph exists."
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  return InsertTerms(model_id, s, p, o, TripleContext::kDirect);
+}
+
+Result<SdoRdfTripleS> RdfStore::ReifyTriple(const std::string& model_name,
+                                            LinkId rdf_t_id) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  // The reified triple must exist.
+  RDFDB_ASSIGN_OR_RETURN(LinkRow base, links_->Get(rdf_t_id));
+  (void)base;
+  Term resource = Term::Uri(DBUriForLink(rdf_t_id, db_->name()));
+  Term type = Term::Uri(std::string(kRdfType));
+  Term statement = Term::Uri(std::string(kRdfStatement));
+  return InsertTerms(model_id, resource, type, statement,
+                     TripleContext::kDirect);
+}
+
+Result<bool> RdfStore::IsLinkReified(ModelId model_id, LinkId link_id) const {
+  Term resource = Term::Uri(DBUriForLink(link_id, db_->name()));
+  std::optional<ValueId> r_id = values_->Lookup(resource);
+  if (!r_id.has_value()) return false;
+  // rdf:type / rdf:Statement VALUE_IDs never change once assigned;
+  // resolve them once per store (an absent id is not cached — the term
+  // may be interned later).
+  if (!reif_type_id_.has_value()) {
+    reif_type_id_ = values_->Lookup(Term::Uri(std::string(kRdfType)));
+    if (!reif_type_id_.has_value()) return false;
+  }
+  if (!reif_stmt_id_.has_value()) {
+    reif_stmt_id_ = values_->Lookup(Term::Uri(std::string(kRdfStatement)));
+    if (!reif_stmt_id_.has_value()) return false;
+  }
+  return links_->Find(model_id, *r_id, *reif_type_id_, *reif_stmt_id_)
+      .has_value();
+}
+
+Result<SdoRdfTripleS> RdfStore::AssertAboutTriple(
+    const std::string& model_name, const std::string& subject,
+    const std::string& property, LinkId rdf_t_id) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(bool reified, IsLinkReified(model_id, rdf_t_id));
+  if (!reified) {
+    // "... which calls the reification constructor (if the triple was not
+    // previously reified)".
+    RDFDB_ASSIGN_OR_RETURN(SdoRdfTripleS reif,
+                           ReifyTriple(model_name, rdf_t_id));
+    (void)reif;
+  }
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  Term o = Term::Uri(DBUriForLink(rdf_t_id, db_->name()));
+  return InsertTerms(model_id, s, p, o, TripleContext::kDirect);
+}
+
+Result<SdoRdfTripleS> RdfStore::AssertImplied(const std::string& model_name,
+                                              const std::string& reif_sub,
+                                              const std::string& reif_prop,
+                                              const std::string& subject,
+                                              const std::string& property,
+                                              const std::string& object) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  // "It first inserts the base triple (subject, property, object)" — as
+  // an implied statement; if it already exists as a fact it stays Direct.
+  RDFDB_ASSIGN_OR_RETURN(
+      SdoRdfTripleS base,
+      InsertTerms(model_id, s, p, o, TripleContext::kImplied));
+  return AssertAboutTriple(model_name, reif_sub, reif_prop, base.rdf_t_id());
+}
+
+Result<bool> RdfStore::IsTriple(const std::string& model_name,
+                                const std::string& subject,
+                                const std::string& property,
+                                const std::string& object) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  std::optional<ValueId> s_id = LookupTerm(model_id, s);
+  std::optional<ValueId> p_id = LookupTerm(model_id, p);
+  std::optional<ValueId> o_id = LookupTerm(model_id, o);
+  if (!s_id || !p_id || !o_id) return false;
+  return links_->Find(model_id, *s_id, *p_id, *o_id).has_value();
+}
+
+Result<bool> RdfStore::IsReified(const std::string& model_name,
+                                 const std::string& subject,
+                                 const std::string& property,
+                                 const std::string& object) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  std::optional<ValueId> s_id = LookupTerm(model_id, s);
+  std::optional<ValueId> p_id = LookupTerm(model_id, p);
+  std::optional<ValueId> o_id = LookupTerm(model_id, o);
+  if (!s_id || !p_id || !o_id) return false;
+  std::optional<LinkRow> link = links_->Find(model_id, *s_id, *p_id, *o_id);
+  if (!link.has_value()) return false;
+  // "To determine if a triple is reified in a specified graph, a search
+  // is done for its DBUriType" — one more point lookup.
+  return IsLinkReified(model_id, link->link_id);
+}
+
+Result<LinkId> RdfStore::GetTripleId(const std::string& model_name,
+                                     const std::string& subject,
+                                     const std::string& property,
+                                     const std::string& object) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  std::optional<ValueId> s_id = LookupTerm(model_id, s);
+  std::optional<ValueId> p_id = LookupTerm(model_id, p);
+  std::optional<ValueId> o_id = LookupTerm(model_id, o);
+  if (!s_id || !p_id || !o_id) {
+    return Status::NotFound("triple not found in model " + model_name);
+  }
+  std::optional<LinkRow> row = links_->Find(model_id, *s_id, *p_id, *o_id);
+  if (!row.has_value()) {
+    return Status::NotFound("triple not found in model " + model_name);
+  }
+  return row->link_id;
+}
+
+Result<RdfStore::ModelStats> RdfStore::GetModelStats(
+    const std::string& model_name) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  ModelStats stats;
+  std::unordered_set<ValueId> subjects, predicates, objects;
+  std::optional<ValueId> type_id =
+      values_->Lookup(Term::Uri(std::string(kRdfType)));
+  std::optional<ValueId> stmt_id =
+      values_->Lookup(Term::Uri(std::string(kRdfStatement)));
+  links_->ScanModel(model_id, [&](const LinkRow& row) {
+    ++stats.triples;
+    subjects.insert(row.start_node_id);
+    predicates.insert(row.p_value_id);
+    objects.insert(row.end_node_id);
+    if (row.context == TripleContext::kImplied) ++stats.implied_statements;
+    if (type_id && stmt_id && row.p_value_id == *type_id &&
+        row.end_node_id == *stmt_id) {
+      ++stats.reified_statements;
+    }
+    return true;
+  });
+  stats.distinct_subjects = subjects.size();
+  stats.distinct_predicates = predicates.size();
+  stats.distinct_objects = objects.size();
+  return stats;
+}
+
+Status RdfStore::CheckConsistency() const {
+  const storage::Table* link_table = db_->GetTable("MDSYS", "RDF_LINK$");
+  const storage::Table* node_table = db_->GetTable("MDSYS", "RDF_NODE$");
+
+  if (network_->link_count() != link_table->row_count()) {
+    return Status::Corruption(
+        "network has " + std::to_string(network_->link_count()) +
+        " links, rdf_link$ has " + std::to_string(link_table->row_count()));
+  }
+  if (network_->node_count() != node_table->row_count()) {
+    return Status::Corruption(
+        "network has " + std::to_string(network_->node_count()) +
+        " nodes, rdf_node$ has " + std::to_string(node_table->row_count()));
+  }
+
+  // Every link row must be mirrored in the network with matching
+  // endpoints, and every endpoint must resolve in rdf_value$.
+  Status status = Status::OK();
+  link_table->Scan([&](storage::RowId, const storage::Row& row) {
+    int64_t link_id = row[0].as_int64();
+    const ndm::Link* link = network_->GetLink(link_id);
+    if (link == nullptr) {
+      status = Status::Corruption("LINK_ID " + std::to_string(link_id) +
+                                  " missing from the network");
+      return false;
+    }
+    if (link->start != row[1].as_int64() || link->end != row[3].as_int64()) {
+      status = Status::Corruption("LINK_ID " + std::to_string(link_id) +
+                                  " endpoints disagree with rdf_link$");
+      return false;
+    }
+    for (size_t col : {1u, 2u, 3u, 4u}) {
+      if (!values_->GetTerm(row[col].as_int64()).ok()) {
+        status = Status::Corruption(
+            "LINK_ID " + std::to_string(link_id) +
+            " references missing VALUE_ID " +
+            std::to_string(row[col].as_int64()));
+        return false;
+      }
+    }
+    return true;
+  });
+  RDFDB_RETURN_NOT_OK(status);
+
+  // No orphaned nodes: every network node has at least one link.
+  for (ndm::NodeId node : network_->Nodes()) {
+    if (network_->OutDegree(node) == 0 && network_->InDegree(node) == 0) {
+      return Status::Corruption("orphaned node " + std::to_string(node));
+    }
+  }
+  return Status::OK();
+}
+
+Status RdfStore::DeleteTriple(const std::string& model_name,
+                              const std::string& subject,
+                              const std::string& property,
+                              const std::string& object) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  std::optional<ValueId> s_id = LookupTerm(model_id, s);
+  std::optional<ValueId> p_id = LookupTerm(model_id, p);
+  std::optional<ValueId> o_id = LookupTerm(model_id, o);
+  if (!s_id || !p_id || !o_id) {
+    return Status::NotFound("triple not found in model " + model_name);
+  }
+  return links_->Delete(model_id, *s_id, *p_id, *o_id);
+}
+
+Result<SdoRdfTriple> RdfStore::ResolveTriple(LinkId rdf_t_id) const {
+  RDFDB_ASSIGN_OR_RETURN(LinkRow link, links_->Get(rdf_t_id));
+  SdoRdfTriple triple;
+  RDFDB_ASSIGN_OR_RETURN(triple.subject,
+                         values_->GetText(link.start_node_id));
+  RDFDB_ASSIGN_OR_RETURN(triple.property, values_->GetText(link.p_value_id));
+  RDFDB_ASSIGN_OR_RETURN(triple.object, values_->GetText(link.end_node_id));
+  return triple;
+}
+
+Result<std::string> RdfStore::ResolveSubject(LinkId rdf_t_id) const {
+  RDFDB_ASSIGN_OR_RETURN(LinkRow link, links_->Get(rdf_t_id));
+  return values_->GetText(link.start_node_id);
+}
+
+Result<std::string> RdfStore::ResolveProperty(LinkId rdf_t_id) const {
+  RDFDB_ASSIGN_OR_RETURN(LinkRow link, links_->Get(rdf_t_id));
+  return values_->GetText(link.p_value_id);
+}
+
+Result<std::string> RdfStore::ResolveObject(LinkId rdf_t_id) const {
+  RDFDB_ASSIGN_OR_RETURN(LinkRow link, links_->Get(rdf_t_id));
+  return values_->GetText(link.end_node_id);
+}
+
+Result<Term> RdfStore::TermForValueId(ValueId value_id) const {
+  return values_->GetTerm(value_id);
+}
+
+Result<std::string> RdfStore::TextForValueId(ValueId value_id) const {
+  return values_->GetText(value_id);
+}
+
+Status RdfStore::Save(const std::string& path) const {
+  return storage::SaveSnapshotToFile(*db_, path);
+}
+
+Result<std::unique_ptr<RdfStore>> RdfStore::Open(const std::string& path) {
+  // Load the snapshot into a scratch database first, then replay rows
+  // through a fresh store so indexes, the NDM network and sequences are
+  // all rebuilt consistently.
+  auto store = std::make_unique<RdfStore>();
+  storage::Database scratch("ORADB");
+  RDFDB_RETURN_NOT_OK(storage::LoadSnapshotFromFile(path, &scratch));
+
+  auto copy_rows = [&](const char* table_name) -> Status {
+    const storage::Table* src = scratch.GetTable("MDSYS", table_name);
+    if (src == nullptr) {
+      return Status::Corruption(std::string("snapshot missing MDSYS.") +
+                                table_name);
+    }
+    storage::Table* dst = store->db_->GetTable("MDSYS", table_name);
+    Status status = Status::OK();
+    src->Scan([&](storage::RowId, const storage::Row& row) {
+      auto insert = dst->Insert(row);
+      if (!insert.ok()) {
+        status = insert.status();
+        return false;
+      }
+      return true;
+    });
+    return status;
+  };
+
+  RDFDB_RETURN_NOT_OK(copy_rows("RDF_VALUE$"));
+  RDFDB_RETURN_NOT_OK(copy_rows("RDF_BLANK_NODE$"));
+  RDFDB_RETURN_NOT_OK(copy_rows("RDF_MODEL$"));
+  RDFDB_RETURN_NOT_OK(copy_rows("RDF_NODE$"));
+
+  // Links must go through the link store so the NDM network is rebuilt,
+  // but raw row copy preserves LINK_IDs; replay rows and links together.
+  {
+    const storage::Table* src = scratch.GetTable("MDSYS", "RDF_LINK$");
+    if (src == nullptr) {
+      return Status::Corruption("snapshot missing MDSYS.RDF_LINK$");
+    }
+    storage::Table* dst = store->db_->GetTable("MDSYS", "RDF_LINK$");
+    Status status = Status::OK();
+    src->Scan([&](storage::RowId, const storage::Row& row) {
+      auto insert = dst->Insert(row);
+      if (!insert.ok()) {
+        status = insert.status();
+        return false;
+      }
+      int64_t link_id = row[0].as_int64();
+      int64_t s = row[1].as_int64();
+      int64_t p = row[2].as_int64();
+      int64_t o = row[3].as_int64();
+      store->network_->AddNode(s);
+      store->network_->AddNode(o);
+      status = store->network_->AddLink(ndm::Link{link_id, s, o, 1.0, p});
+      return status.ok();
+    });
+    RDFDB_RETURN_NOT_OK(status);
+  }
+
+  // Re-seed sequences past the highest stored ids.
+  auto reseed = [&](const char* table_name, size_t id_col,
+                    const char* seq_name) {
+    const storage::Table* table =
+        store->db_->GetTable("MDSYS", table_name);
+    int64_t max_id = 0;
+    table->Scan([&](storage::RowId, const storage::Row& row) {
+      max_id = std::max(max_id, row[id_col].as_int64());
+      return true;
+    });
+    storage::Sequence* seq = store->db_->GetSequence("MDSYS", seq_name);
+    if (seq->Peek() <= max_id) seq->Reset(max_id + 1);
+  };
+  reseed("RDF_VALUE$", 0, "RDF_VALUE_SEQ");
+  reseed("RDF_LINK$", 0, "RDF_LINK_SEQ");
+  reseed("RDF_MODEL$", 0, "RDF_MODEL_SEQ");
+
+  // Recreate per-model views.
+  {
+    const storage::Table* model_table =
+        store->db_->GetTable("MDSYS", "RDF_MODEL$");
+    Status status = Status::OK();
+    model_table->Scan([&](storage::RowId, const storage::Row& row) {
+      int64_t model_id = row[0].as_int64();
+      const std::string& model_name = row[1].as_string();
+      std::string owner = row[4].is_null() ? "" : row[4].as_string();
+      auto view = store->db_->CreateView(
+          "MDSYS", ModelStore::ViewNameFor(model_name),
+          &store->links_->table(),
+          storage::Eq(/*MODEL_ID column=*/9,
+                      storage::Value::Int64(model_id)),
+          owner);
+      if (!view.ok()) {
+        status = view.status();
+        return false;
+      }
+      return true;
+    });
+    RDFDB_RETURN_NOT_OK(status);
+  }
+
+  return store;
+}
+
+}  // namespace rdfdb::rdf

@@ -1,0 +1,224 @@
+// RdfStore: the library's main entry point — the C++ equivalent of the
+// paper's SDO_RDF PL/SQL package plus the SDO_RDF_TRIPLE_S constructors.
+//
+// One RdfStore is "one universe for all RDF data in the database": all
+// models share the central-schema tables, values and nodes are stored
+// once, and reasoning can span models (see query/match.h).
+
+#ifndef RDFDB_RDF_RDF_STORE_H_
+#define RDFDB_RDF_RDF_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dburi/dburi.h"
+#include "ndm/network.h"
+#include "rdf/link_store.h"
+#include "rdf/model_store.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/value_store.h"
+#include "storage/database.h"
+
+namespace rdfdb::rdf {
+
+/// Central RDF store. Not thread-safe (single-writer embedded model).
+class RdfStore {
+ public:
+  RdfStore();
+  ~RdfStore();
+
+  RdfStore(const RdfStore&) = delete;
+  RdfStore& operator=(const RdfStore&) = delete;
+
+  // ---- Model management (SDO_RDF.CREATE_RDF_MODEL etc.) ---------------
+
+  /// Register a model and create its rdfm_<name> view.
+  Result<ModelInfo> CreateRdfModel(const std::string& model_name,
+                                   const std::string& app_table,
+                                   const std::string& app_column,
+                                   const std::string& owner = "");
+
+  /// Drop a model: removes its triples, view, and registry row.
+  Status DropRdfModel(const std::string& model_name);
+
+  /// SDO_RDF.GET_MODEL_ID.
+  Result<ModelId> GetModelId(const std::string& model_name) const;
+
+  /// Names of all models.
+  std::vector<std::string> ModelNames() const;
+
+  /// Grant SELECT on the model's rdfm_<name> view to `user` ("accessible
+  /// only to the owner of the model and users with SELECT privileges").
+  Status GrantSelectOnModel(const std::string& model_name,
+                            const std::string& user);
+
+  /// Whether `user` may read the model's view.
+  Result<bool> CanSelectModel(const std::string& model_name,
+                              const std::string& user) const;
+
+  // ---- The SDO_RDF_TRIPLE_S constructors -------------------------------
+
+  /// Constructor (model_name, subject, property, object): parse and store
+  /// a direct triple. Term syntax follows ParseApiTerm.
+  Result<SdoRdfTripleS> InsertTriple(const std::string& model_name,
+                                     const std::string& subject,
+                                     const std::string& property,
+                                     const std::string& object);
+
+  /// Constructor (model_name, rdf_t_id): the reification constructor —
+  /// stores the single streamlined triple
+  /// <DBUri(rdf_t_id), rdf:type, rdf:Statement>.
+  Result<SdoRdfTripleS> ReifyTriple(const std::string& model_name,
+                                    LinkId rdf_t_id);
+
+  /// Constructor (model_name, subject, property, rdf_t_id): assertion
+  /// about a (possibly not-yet-reified) triple; reifies it first if
+  /// needed, then stores <subject, property, DBUri(rdf_t_id)>.
+  Result<SdoRdfTripleS> AssertAboutTriple(const std::string& model_name,
+                                          const std::string& subject,
+                                          const std::string& property,
+                                          LinkId rdf_t_id);
+
+  /// Constructor (model_name, reif_sub, reif_prop, subject, property,
+  /// object): assertion about an *implied* statement. Inserts the base
+  /// triple with CONTEXT = I if it is new (an existing Direct triple
+  /// stays Direct), reifies it, then asserts
+  /// <reif_sub, reif_prop, DBUri(base)>.
+  Result<SdoRdfTripleS> AssertImplied(const std::string& model_name,
+                                      const std::string& reif_sub,
+                                      const std::string& reif_prop,
+                                      const std::string& subject,
+                                      const std::string& property,
+                                      const std::string& object);
+
+  // ---- Queries (SDO_RDF package subprograms) ---------------------------
+
+  /// SDO_RDF.IS_TRIPLE: does the exact triple exist in the model?
+  Result<bool> IsTriple(const std::string& model_name,
+                        const std::string& subject,
+                        const std::string& property,
+                        const std::string& object) const;
+
+  /// The LINK_ID (rdf_t_id) of an existing triple; NotFound if absent.
+  Result<LinkId> GetTripleId(const std::string& model_name,
+                             const std::string& subject,
+                             const std::string& property,
+                             const std::string& object) const;
+
+  /// Per-model statistics (the SDO_RDF package's analysis surface).
+  struct ModelStats {
+    size_t triples = 0;
+    size_t distinct_subjects = 0;
+    size_t distinct_predicates = 0;
+    size_t distinct_objects = 0;
+    size_t reified_statements = 0;  ///< streamlined reification rows
+    size_t implied_statements = 0;  ///< CONTEXT = I rows
+  };
+  Result<ModelStats> GetModelStats(const std::string& model_name) const;
+
+  /// Invariant check used by tests and tooling: the NDM network, the
+  /// rdf_node$ table, and rdf_link$ must agree (every link mirrored,
+  /// every node used by some link, no orphans).
+  Status CheckConsistency() const;
+
+  /// SDO_RDF.IS_REIFIED: has the triple been reified in the model?
+  /// Implemented as a single-row lookup of the streamlined reification
+  /// triple (§7.3: "queries ... are based on a single row retrieval").
+  Result<bool> IsReified(const std::string& model_name,
+                         const std::string& subject,
+                         const std::string& property,
+                         const std::string& object) const;
+
+  /// Remove one application-table reference to a triple; the row (and
+  /// NDM link, and orphaned nodes) disappears when the last reference is
+  /// deleted.
+  Status DeleteTriple(const std::string& model_name,
+                      const std::string& subject,
+                      const std::string& property,
+                      const std::string& object);
+
+  // ---- Member-function support ----------------------------------------
+
+  /// Resolve the triple texts for a LINK_ID (GET_TRIPLE()).
+  Result<SdoRdfTriple> ResolveTriple(LinkId rdf_t_id) const;
+
+  /// Resolve single positions (GET_SUBJECT()/GET_PROPERTY()/GET_OBJECT()).
+  Result<std::string> ResolveSubject(LinkId rdf_t_id) const;
+  Result<std::string> ResolveProperty(LinkId rdf_t_id) const;
+  Result<std::string> ResolveObject(LinkId rdf_t_id) const;
+
+  /// Term / display text for a VALUE_ID.
+  Result<Term> TermForValueId(ValueId value_id) const;
+  Result<std::string> TextForValueId(ValueId value_id) const;
+
+  /// Intern an already-parsed term for `model_id` (blank nodes are
+  /// model-scoped). Exposed for the loaders and the query layer.
+  Result<ValueId> InternTerm(ModelId model_id, const Term& term);
+
+  /// VALUE_ID lookup without insertion.
+  std::optional<ValueId> LookupTerm(ModelId model_id, const Term& term) const;
+
+  /// Insert an already-parsed triple (used by bulk loaders). Returns the
+  /// storage object; `context` defaults to Direct.
+  Result<SdoRdfTripleS> InsertParsedTriple(
+      ModelId model_id, const Term& subject, const Term& property,
+      const Term& object, TripleContext context = TripleContext::kDirect);
+
+  /// The reification lookup used by both IsReified and the assertion
+  /// constructors: is <DBUri(link), rdf:type, rdf:Statement> present in
+  /// the model?
+  Result<bool> IsLinkReified(ModelId model_id, LinkId link_id) const;
+
+  // ---- Substrate access -------------------------------------------------
+
+  storage::Database& database() { return *db_; }
+  const storage::Database& database() const { return *db_; }
+  ValueStore& values() { return *values_; }
+  const ValueStore& values() const { return *values_; }
+  LinkStore& links() { return *links_; }
+  const LinkStore& links() const { return *links_; }
+  ModelStore& models() { return *models_; }
+  const ModelStore& models() const { return *models_; }
+
+  /// The NDM logical network over all RDF data — "all the NDM
+  /// functionality is exposed to RDF data".
+  const ndm::LogicalNetwork& network() const { return *network_; }
+
+  /// DBUri resolver bound to this store's database.
+  dburi::Resolver resolver() const { return dburi::Resolver(db_.get()); }
+
+  // ---- Persistence -------------------------------------------------------
+
+  /// Save all central-schema tables to a snapshot file.
+  Status Save(const std::string& path) const;
+
+  /// Load a snapshot previously written by Save into a fresh store.
+  static Result<std::unique_ptr<RdfStore>> Open(const std::string& path);
+
+ private:
+  /// Intern subject/property/object + canonical object; classify; insert.
+  Result<SdoRdfTripleS> InsertTerms(ModelId model_id, const Term& subject,
+                                    const Term& property, const Term& object,
+                                    TripleContext context);
+
+  SdoRdfTripleS MakeHandle(const LinkRow& row) const;
+
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<ndm::LogicalNetwork> network_;
+  std::unique_ptr<ValueStore> values_;
+  std::unique_ptr<LinkStore> links_;
+  std::unique_ptr<ModelStore> models_;
+  // Cached VALUE_IDs for rdf:type / rdf:Statement (assigned on first
+  // successful reification lookup; never change afterwards).
+  mutable std::optional<ValueId> reif_type_id_;
+  mutable std::optional<ValueId> reif_stmt_id_;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_RDF_STORE_H_

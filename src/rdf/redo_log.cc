@@ -1,0 +1,339 @@
+#include "rdf/redo_log.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "storage/snapshot.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+// Record tags.
+constexpr const char* kTagCreateModel = "C";
+constexpr const char* kTagDropModel = "X";
+constexpr const char* kTagInsert = "I";
+constexpr const char* kTagDelete = "D";
+constexpr const char* kTagReify = "R";
+constexpr const char* kTagAssert = "A";         // about an existing triple
+constexpr const char* kTagAssertImplied = "M";  // six-arg constructor
+
+std::string EscapeField(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (value[i] != '\\' || i + 1 >= value.size()) {
+      out.push_back(value[i]);
+      continue;
+    }
+    ++i;
+    switch (value[i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        out.push_back(value[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RedoLog>> RedoLog::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError("cannot open redo log " + path);
+  }
+  return std::unique_ptr<RedoLog>(new RedoLog(path, file));
+}
+
+RedoLog::~RedoLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status RedoLog::Append(const std::vector<std::string>& fields) {
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back('\t');
+    line += EscapeField(fields[i]);
+  }
+  line.push_back('\n');
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IOError("redo log write failed");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("redo log flush failed");
+  }
+  return Status::OK();
+}
+
+Status RedoLog::LogCreateModel(const std::string& model,
+                               const std::string& table,
+                               const std::string& column,
+                               const std::string& owner) {
+  return Append({kTagCreateModel, model, table, column, owner});
+}
+
+Status RedoLog::LogDropModel(const std::string& model) {
+  return Append({kTagDropModel, model});
+}
+
+Status RedoLog::LogInsert(const std::string& model, const std::string& s,
+                          const std::string& p, const std::string& o) {
+  return Append({kTagInsert, model, s, p, o});
+}
+
+Status RedoLog::LogDelete(const std::string& model, const std::string& s,
+                          const std::string& p, const std::string& o) {
+  return Append({kTagDelete, model, s, p, o});
+}
+
+Status RedoLog::LogReify(const std::string& model, const std::string& s,
+                         const std::string& p, const std::string& o) {
+  return Append({kTagReify, model, s, p, o});
+}
+
+Status RedoLog::LogAssert(const std::string& model, const std::string& as,
+                          const std::string& ap, const std::string& s,
+                          const std::string& p, const std::string& o,
+                          bool implied) {
+  return Append({implied ? kTagAssertImplied : kTagAssert, model, as, ap,
+                 s, p, o});
+}
+
+Status RedoLog::Truncate() {
+  std::FILE* reopened = std::freopen(path_.c_str(), "wb", file_);
+  if (reopened == nullptr) {
+    file_ = nullptr;
+    return Status::IOError("redo log truncate failed: " + path_);
+  }
+  file_ = reopened;
+  return Status::OK();
+}
+
+Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    // A missing log is an empty log (fresh database).
+    return ReplayStats{};
+  }
+  ReplayStats stats;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    for (std::string& field : Split(line, '\t')) {
+      fields.push_back(UnescapeField(field));
+    }
+    auto bad = [&](const std::string& why) {
+      return Status::Corruption("redo log line " + std::to_string(line_no) +
+                                ": " + why);
+    };
+    const std::string& tag = fields[0];
+    ++stats.records;
+    if (tag == kTagCreateModel) {
+      if (fields.size() != 5) return bad("C needs 4 fields");
+      RDFDB_ASSIGN_OR_RETURN(ModelInfo info,
+                             store->CreateRdfModel(fields[1], fields[2],
+                                                   fields[3], fields[4]));
+      (void)info;
+      ++stats.models_created;
+    } else if (tag == kTagDropModel) {
+      if (fields.size() != 2) return bad("X needs 1 field");
+      RDFDB_RETURN_NOT_OK(store->DropRdfModel(fields[1]));
+      ++stats.models_dropped;
+    } else if (tag == kTagInsert) {
+      if (fields.size() != 5) return bad("I needs 4 fields");
+      RDFDB_ASSIGN_OR_RETURN(
+          SdoRdfTripleS triple,
+          store->InsertTriple(fields[1], fields[2], fields[3], fields[4]));
+      (void)triple;
+      ++stats.inserts;
+    } else if (tag == kTagDelete) {
+      if (fields.size() != 5) return bad("D needs 4 fields");
+      RDFDB_RETURN_NOT_OK(
+          store->DeleteTriple(fields[1], fields[2], fields[3], fields[4]));
+      ++stats.deletes;
+    } else if (tag == kTagReify) {
+      if (fields.size() != 5) return bad("R needs 4 fields");
+      RDFDB_ASSIGN_OR_RETURN(
+          LinkId base,
+          store->GetTripleId(fields[1], fields[2], fields[3], fields[4]));
+      RDFDB_ASSIGN_OR_RETURN(SdoRdfTripleS reif,
+                             store->ReifyTriple(fields[1], base));
+      (void)reif;
+      ++stats.reifications;
+    } else if (tag == kTagAssert) {
+      if (fields.size() != 7) return bad("A needs 6 fields");
+      RDFDB_ASSIGN_OR_RETURN(
+          LinkId base,
+          store->GetTripleId(fields[1], fields[4], fields[5], fields[6]));
+      RDFDB_ASSIGN_OR_RETURN(
+          SdoRdfTripleS assertion,
+          store->AssertAboutTriple(fields[1], fields[2], fields[3], base));
+      (void)assertion;
+      ++stats.assertions;
+    } else if (tag == kTagAssertImplied) {
+      if (fields.size() != 7) return bad("M needs 6 fields");
+      RDFDB_ASSIGN_OR_RETURN(
+          SdoRdfTripleS assertion,
+          store->AssertImplied(fields[1], fields[2], fields[3], fields[4],
+                               fields[5], fields[6]));
+      (void)assertion;
+      ++stats.assertions;
+    } else {
+      return bad("unknown record tag '" + tag + "'");
+    }
+  }
+  return stats;
+}
+
+Result<std::unique_ptr<LoggedRdfStore>> LoggedRdfStore::Open(
+    const std::string& snapshot_path, const std::string& log_path) {
+  std::unique_ptr<RdfStore> store;
+  std::ifstream probe(snapshot_path, std::ios::binary);
+  if (probe.is_open()) {
+    probe.close();
+    RDFDB_ASSIGN_OR_RETURN(store, RdfStore::Open(snapshot_path));
+  } else {
+    store = std::make_unique<RdfStore>();
+  }
+  RDFDB_ASSIGN_OR_RETURN(ReplayStats replayed,
+                         ReplayRedoLog(log_path, store.get()));
+  (void)replayed;
+  RDFDB_ASSIGN_OR_RETURN(std::unique_ptr<RedoLog> log,
+                         RedoLog::Open(log_path));
+  return std::unique_ptr<LoggedRdfStore>(new LoggedRdfStore(
+      std::move(store), std::move(log), snapshot_path));
+}
+
+Result<SdoRdfTriple> LoggedRdfStore::TripleTextFor(LinkId rdf_t_id) const {
+  RDFDB_ASSIGN_OR_RETURN(LinkRow row, store_->links().Get(rdf_t_id));
+  SdoRdfTriple out;
+  for (auto [value_id, slot] :
+       {std::make_pair(row.start_node_id, &out.subject),
+        std::make_pair(row.p_value_id, &out.property),
+        std::make_pair(row.end_node_id, &out.object)}) {
+    RDFDB_ASSIGN_OR_RETURN(Term term, store_->TermForValueId(value_id));
+    if (term.is_blank()) {
+      // Serialize the *original* label so replay re-resolves the same
+      // model-scoped node.
+      auto original = store_->values().LookupBlankLabel(value_id);
+      if (!original.has_value()) {
+        return Status::Corruption("blank node without rdf_blank_node$ row");
+      }
+      *slot = "_:" + original->second;
+    } else {
+      *slot = term.ToNTriples();
+    }
+  }
+  return out;
+}
+
+Result<ModelInfo> LoggedRdfStore::CreateRdfModel(
+    const std::string& model_name, const std::string& app_table,
+    const std::string& app_column, const std::string& owner) {
+  RDFDB_ASSIGN_OR_RETURN(
+      ModelInfo info,
+      store_->CreateRdfModel(model_name, app_table, app_column, owner));
+  RDFDB_RETURN_NOT_OK(
+      log_->LogCreateModel(model_name, app_table, app_column, owner));
+  return info;
+}
+
+Status LoggedRdfStore::DropRdfModel(const std::string& model_name) {
+  RDFDB_RETURN_NOT_OK(store_->DropRdfModel(model_name));
+  return log_->LogDropModel(model_name);
+}
+
+Result<SdoRdfTripleS> LoggedRdfStore::InsertTriple(
+    const std::string& model_name, const std::string& subject,
+    const std::string& property, const std::string& object) {
+  RDFDB_ASSIGN_OR_RETURN(
+      SdoRdfTripleS triple,
+      store_->InsertTriple(model_name, subject, property, object));
+  RDFDB_RETURN_NOT_OK(log_->LogInsert(model_name, subject, property,
+                                      object));
+  return triple;
+}
+
+Status LoggedRdfStore::DeleteTriple(const std::string& model_name,
+                                    const std::string& subject,
+                                    const std::string& property,
+                                    const std::string& object) {
+  RDFDB_RETURN_NOT_OK(
+      store_->DeleteTriple(model_name, subject, property, object));
+  return log_->LogDelete(model_name, subject, property, object);
+}
+
+Result<SdoRdfTripleS> LoggedRdfStore::ReifyTriple(
+    const std::string& model_name, LinkId rdf_t_id) {
+  RDFDB_ASSIGN_OR_RETURN(SdoRdfTriple base, TripleTextFor(rdf_t_id));
+  RDFDB_ASSIGN_OR_RETURN(SdoRdfTripleS reif,
+                         store_->ReifyTriple(model_name, rdf_t_id));
+  RDFDB_RETURN_NOT_OK(log_->LogReify(model_name, base.subject,
+                                     base.property, base.object));
+  return reif;
+}
+
+Result<SdoRdfTripleS> LoggedRdfStore::AssertAboutTriple(
+    const std::string& model_name, const std::string& subject,
+    const std::string& property, LinkId rdf_t_id) {
+  RDFDB_ASSIGN_OR_RETURN(SdoRdfTriple base, TripleTextFor(rdf_t_id));
+  RDFDB_ASSIGN_OR_RETURN(
+      SdoRdfTripleS assertion,
+      store_->AssertAboutTriple(model_name, subject, property, rdf_t_id));
+  RDFDB_RETURN_NOT_OK(log_->LogAssert(model_name, subject, property,
+                                      base.subject, base.property,
+                                      base.object, /*implied=*/false));
+  return assertion;
+}
+
+Result<SdoRdfTripleS> LoggedRdfStore::AssertImplied(
+    const std::string& model_name, const std::string& reif_sub,
+    const std::string& reif_prop, const std::string& subject,
+    const std::string& property, const std::string& object) {
+  RDFDB_ASSIGN_OR_RETURN(
+      SdoRdfTripleS assertion,
+      store_->AssertImplied(model_name, reif_sub, reif_prop, subject,
+                            property, object));
+  RDFDB_RETURN_NOT_OK(log_->LogAssert(model_name, reif_sub, reif_prop,
+                                      subject, property, object,
+                                      /*implied=*/true));
+  return assertion;
+}
+
+Status LoggedRdfStore::Checkpoint() {
+  RDFDB_RETURN_NOT_OK(store_->Save(snapshot_path_));
+  return log_->Truncate();
+}
+
+}  // namespace rdfdb::rdf

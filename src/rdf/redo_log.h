@@ -1,0 +1,153 @@
+// Logical redo logging for the RDF store.
+//
+// The storage engine is in-memory with snapshot checkpoints
+// (storage/snapshot.h); this module adds the write-ahead piece: an
+// append-only, human-readable log of the RDF-level mutations, and a
+// replayer that reapplies them to a store. The intended recovery
+// protocol is
+//
+//     load last snapshot  ->  ReplayRedoLog(log since snapshot)
+//
+// and LoggedRdfStore::Checkpoint() implements "snapshot + truncate".
+//
+// Records are logical (API strings, not physical ids): LINK_IDs are
+// assigned by sequences and would not be stable across replay, so
+// reification operations log the base triple's (s, p, o) instead of its
+// rdf_t_id.
+
+#ifndef RDFDB_RDF_REDO_LOG_H_
+#define RDFDB_RDF_REDO_LOG_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::rdf {
+
+/// Append-only log writer. Each record is one '\n'-terminated line of
+/// tab-separated fields; tabs/newlines/backslashes in values are
+/// escaped. Records are flushed on every append.
+class RedoLog {
+ public:
+  /// Open (creating or appending to) the log at `path`.
+  static Result<std::unique_ptr<RedoLog>> Open(const std::string& path);
+
+  ~RedoLog();
+  RedoLog(const RedoLog&) = delete;
+  RedoLog& operator=(const RedoLog&) = delete;
+
+  Status LogCreateModel(const std::string& model, const std::string& table,
+                        const std::string& column, const std::string& owner);
+  Status LogDropModel(const std::string& model);
+  Status LogInsert(const std::string& model, const std::string& s,
+                   const std::string& p, const std::string& o);
+  Status LogDelete(const std::string& model, const std::string& s,
+                   const std::string& p, const std::string& o);
+  /// Reification of the triple identified by (s, p, o).
+  Status LogReify(const std::string& model, const std::string& s,
+                  const std::string& p, const std::string& o);
+  /// Assertion <as, ap, DBUri(base)> about the base triple (s, p, o);
+  /// `implied` distinguishes the six-argument constructor.
+  Status LogAssert(const std::string& model, const std::string& as,
+                   const std::string& ap, const std::string& s,
+                   const std::string& p, const std::string& o,
+                   bool implied);
+
+  /// Truncate the log (after a successful checkpoint).
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  RedoLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  Status Append(const std::vector<std::string>& fields);
+
+  std::string path_;
+  std::FILE* file_;
+};
+
+/// Replay outcome.
+struct ReplayStats {
+  size_t records = 0;
+  size_t models_created = 0;
+  size_t models_dropped = 0;
+  size_t inserts = 0;
+  size_t deletes = 0;
+  size_t reifications = 0;
+  size_t assertions = 0;
+};
+
+/// Re-apply every record in `path` to `store`. Fails with Corruption on
+/// malformed records; individual operations that fail (e.g. delete of a
+/// vanished triple) fail the replay too — the log is authoritative.
+Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store);
+
+/// RdfStore façade that appends each successful mutation to the redo
+/// log (apply-then-log: with an in-memory store the log is the source
+/// of truth after a crash, so failed operations must never be logged),
+/// plus the checkpoint protocol.
+class LoggedRdfStore {
+ public:
+  /// Open the store at `snapshot_path` (if it exists) and replay
+  /// `log_path` on top; subsequent mutations append to the log.
+  static Result<std::unique_ptr<LoggedRdfStore>> Open(
+      const std::string& snapshot_path, const std::string& log_path);
+
+  RdfStore& store() { return *store_; }
+  const RdfStore& store() const { return *store_; }
+
+  Result<ModelInfo> CreateRdfModel(const std::string& model_name,
+                                   const std::string& app_table,
+                                   const std::string& app_column,
+                                   const std::string& owner = "");
+  Status DropRdfModel(const std::string& model_name);
+  Result<SdoRdfTripleS> InsertTriple(const std::string& model_name,
+                                     const std::string& subject,
+                                     const std::string& property,
+                                     const std::string& object);
+  Status DeleteTriple(const std::string& model_name,
+                      const std::string& subject,
+                      const std::string& property,
+                      const std::string& object);
+  Result<SdoRdfTripleS> ReifyTriple(const std::string& model_name,
+                                    LinkId rdf_t_id);
+  Result<SdoRdfTripleS> AssertAboutTriple(const std::string& model_name,
+                                          const std::string& subject,
+                                          const std::string& property,
+                                          LinkId rdf_t_id);
+  Result<SdoRdfTripleS> AssertImplied(const std::string& model_name,
+                                      const std::string& reif_sub,
+                                      const std::string& reif_prop,
+                                      const std::string& subject,
+                                      const std::string& property,
+                                      const std::string& object);
+
+  /// Snapshot the store and truncate the log.
+  Status Checkpoint();
+
+ private:
+  LoggedRdfStore(std::unique_ptr<RdfStore> store,
+                 std::unique_ptr<RedoLog> log, std::string snapshot_path)
+      : store_(std::move(store)),
+        log_(std::move(log)),
+        snapshot_path_(std::move(snapshot_path)) {}
+
+  /// Resolve a LINK_ID back to its triple's API display strings (for
+  /// logical logging of reification ops).
+  Result<SdoRdfTriple> TripleTextFor(LinkId rdf_t_id) const;
+
+  std::unique_ptr<RdfStore> store_;
+  std::unique_ptr<RedoLog> log_;
+  std::string snapshot_path_;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_REDO_LOG_H_

@@ -1,0 +1,30 @@
+#include "rdf/reification.h"
+
+#include "common/string_util.h"
+#include "dburi/dburi.h"
+
+namespace rdfdb::rdf {
+
+std::string DBUriForLink(LinkId link_id, const std::string& db_name) {
+  return "/" + db_name + "/MDSYS/RDF_LINK$/ROW[LINK_ID=" +
+         std::to_string(link_id) + "]";
+}
+
+std::optional<LinkId> LinkIdFromDBUri(const std::string& uri) {
+  auto parsed = dburi::Parse(uri);
+  if (!parsed.ok()) return std::nullopt;
+  const dburi::DBUri& u = *parsed;
+  if (ToUpper(u.schema) != "MDSYS" || ToUpper(u.table) != "RDF_LINK$" ||
+      ToUpper(u.key_column) != "LINK_ID" || !u.target_column.empty()) {
+    return std::nullopt;
+  }
+  int64_t link_id;
+  if (!ParseInt64(u.key_value, &link_id)) return std::nullopt;
+  return link_id;
+}
+
+bool IsReificationUri(const std::string& uri) {
+  return LinkIdFromDBUri(uri).has_value();
+}
+
+}  // namespace rdfdb::rdf

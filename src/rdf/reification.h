@@ -1,0 +1,33 @@
+// Streamlined reification support.
+//
+// The paper replaces the four-triple reification quad with a single
+// triple <DBUri(link), rdf:type, rdf:Statement>, where the DBUri
+// "/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=n]" addresses the reified triple's
+// row directly. This header holds the URI construction/recognition
+// helpers shared by RdfStore and the quad loader.
+
+#ifndef RDFDB_RDF_REIFICATION_H_
+#define RDFDB_RDF_REIFICATION_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "rdf/link_store.h"
+
+namespace rdfdb::rdf {
+
+/// Canonical DBUri text for a triple's rdf_link$ row:
+/// "/<db>/MDSYS/RDF_LINK$/ROW[LINK_ID=<link_id>]".
+std::string DBUriForLink(LinkId link_id, const std::string& db_name = "ORADB");
+
+/// If `uri` is a reification DBUri addressing rdf_link$ by LINK_ID,
+/// return that LINK_ID; otherwise nullopt.
+std::optional<LinkId> LinkIdFromDBUri(const std::string& uri);
+
+/// True if `uri` is a reification DBUri (syntactic test only).
+bool IsReificationUri(const std::string& uri);
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_REIFICATION_H_

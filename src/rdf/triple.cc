@@ -1,0 +1,36 @@
+#include "rdf/triple.h"
+
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::rdf {
+
+Result<SdoRdfTriple> SdoRdfTripleS::GetTriple() const {
+  if (store_ == nullptr) return Status::Internal("detached triple object");
+  // The storage object already carries the three VALUE_IDs — resolve
+  // them directly instead of re-fetching the rdf_link$ row. (This is
+  // why §7.1.3 sees the member functions ahead of the flat-table join
+  // on larger result sets.)
+  SdoRdfTriple triple;
+  RDFDB_ASSIGN_OR_RETURN(triple.subject, store_->TextForValueId(rdf_s_id_));
+  RDFDB_ASSIGN_OR_RETURN(triple.property,
+                         store_->TextForValueId(rdf_p_id_));
+  RDFDB_ASSIGN_OR_RETURN(triple.object, store_->TextForValueId(rdf_o_id_));
+  return triple;
+}
+
+Result<std::string> SdoRdfTripleS::GetSubject() const {
+  if (store_ == nullptr) return Status::Internal("detached triple object");
+  return store_->TextForValueId(rdf_s_id_);
+}
+
+Result<std::string> SdoRdfTripleS::GetProperty() const {
+  if (store_ == nullptr) return Status::Internal("detached triple object");
+  return store_->TextForValueId(rdf_p_id_);
+}
+
+Result<std::string> SdoRdfTripleS::GetObject() const {
+  if (store_ == nullptr) return Status::Internal("detached triple object");
+  return store_->TextForValueId(rdf_o_id_);
+}
+
+}  // namespace rdfdb::rdf

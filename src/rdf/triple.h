@@ -1,0 +1,93 @@
+// The paper's two RDF object types:
+//
+//   SDO_RDF_TRIPLE    — the triple *view*: subject / property / object text
+//   SDO_RDF_TRIPLE_S  — the triple *storage* object: only IDs pointing at
+//                       the one-copy triple in the central schema, plus
+//                       member functions that resolve text on demand.
+
+#ifndef RDFDB_RDF_TRIPLE_H_
+#define RDFDB_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "rdf/link_store.h"
+#include "rdf/model_store.h"
+#include "rdf/value_store.h"
+
+namespace rdfdb::rdf {
+
+class RdfStore;
+
+/// SDO_RDF_TRIPLE: resolved triple text.
+struct SdoRdfTriple {
+  std::string subject;
+  std::string property;
+  std::string object;
+
+  /// "(<s>, <p>, <o>)" — the printed output of GET_TRIPLE().
+  std::string ToString() const {
+    return "(" + subject + ", " + property + ", " + object + ")";
+  }
+
+  bool operator==(const SdoRdfTriple& other) const {
+    return subject == other.subject && property == other.property &&
+           object == other.object;
+  }
+};
+
+/// SDO_RDF_TRIPLE_S: the persistent object stored in application tables.
+/// It "contains only IDs that point to the triple maintained in the
+/// central schema".
+class SdoRdfTripleS {
+ public:
+  SdoRdfTripleS() = default;
+  SdoRdfTripleS(const RdfStore* store, LinkId rdf_t_id, ModelId rdf_m_id,
+                ValueId rdf_s_id, ValueId rdf_p_id, ValueId rdf_o_id)
+      : store_(store),
+        rdf_t_id_(rdf_t_id),
+        rdf_m_id_(rdf_m_id),
+        rdf_s_id_(rdf_s_id),
+        rdf_p_id_(rdf_p_id),
+        rdf_o_id_(rdf_o_id) {}
+
+  /// LINK_ID of the triple in rdf_link$.
+  LinkId rdf_t_id() const { return rdf_t_id_; }
+  /// MODEL_ID of the owning graph.
+  ModelId rdf_m_id() const { return rdf_m_id_; }
+  /// VALUE_ID of the subject.
+  ValueId rdf_s_id() const { return rdf_s_id_; }
+  /// VALUE_ID of the predicate.
+  ValueId rdf_p_id() const { return rdf_p_id_; }
+  /// VALUE_ID of the object.
+  ValueId rdf_o_id() const { return rdf_o_id_; }
+
+  /// GET_TRIPLE(): resolve all three texts from the central schema.
+  Result<SdoRdfTriple> GetTriple() const;
+
+  /// GET_SUBJECT(): subject text.
+  Result<std::string> GetSubject() const;
+
+  /// GET_PROPERTY(): predicate text.
+  Result<std::string> GetProperty() const;
+
+  /// GET_OBJECT(): object text. Returned as a full (possibly long)
+  /// string — the paper returns a CLOB "since the returned object may be
+  /// a long literal".
+  Result<std::string> GetObject() const;
+
+  bool valid() const { return store_ != nullptr; }
+
+ private:
+  const RdfStore* store_ = nullptr;
+  LinkId rdf_t_id_ = 0;
+  ModelId rdf_m_id_ = 0;
+  ValueId rdf_s_id_ = 0;
+  ValueId rdf_p_id_ = 0;
+  ValueId rdf_o_id_ = 0;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_TRIPLE_H_

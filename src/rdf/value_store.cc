@@ -1,0 +1,262 @@
+#include "rdf/value_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+using storage::ColumnDef;
+using storage::IndexKind;
+using storage::KeyExtractor;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+using storage::ValueKey;
+using storage::ValueType;
+
+// rdf_value$ column positions.
+constexpr size_t kValueId = 0;
+constexpr size_t kValueName = 1;
+constexpr size_t kValueType = 2;
+constexpr size_t kLiteralType = 3;
+constexpr size_t kLanguageType = 4;
+constexpr size_t kLongValue = 5;
+
+// rdf_blank_node$ column positions.
+constexpr size_t kBnModelId = 0;
+constexpr size_t kBnLabel = 1;
+constexpr size_t kBnValueId = 2;
+
+Schema ValueSchema() {
+  return Schema({
+      ColumnDef{"VALUE_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"VALUE_NAME", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"VALUE_TYPE", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"LITERAL_TYPE", ValueType::kString, /*nullable=*/true},
+      ColumnDef{"LANGUAGE_TYPE", ValueType::kString, /*nullable=*/true},
+      ColumnDef{"LONG_VALUE", ValueType::kClob, /*nullable=*/true},
+  });
+}
+
+Schema BlankNodeSchema() {
+  return Schema({
+      ColumnDef{"MODEL_ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"NODE_LABEL", ValueType::kString, /*nullable=*/false},
+      ColumnDef{"VALUE_ID", ValueType::kInt64, /*nullable=*/false},
+  });
+}
+
+}  // namespace
+
+ValueStore::ValueStore(storage::Database* db) : db_(db) {
+  values_ = db_->GetTable("MDSYS", "RDF_VALUE$");
+  if (values_ == nullptr) {
+    values_ = *db_->CreateTable("MDSYS", "RDF_VALUE$", ValueSchema());
+  }
+  blank_nodes_ = db_->GetTable("MDSYS", "RDF_BLANK_NODE$");
+  if (blank_nodes_ == nullptr) {
+    blank_nodes_ =
+        *db_->CreateTable("MDSYS", "RDF_BLANK_NODE$", BlankNodeSchema());
+  }
+  value_seq_ = db_->GetSequence("MDSYS", "RDF_VALUE_SEQ");
+  if (value_seq_ == nullptr) {
+    value_seq_ = *db_->CreateSequence("MDSYS", "RDF_VALUE_SEQ", 1000);
+  }
+  if (values_->GetIndex(kIdIndex) == nullptr) {
+    (void)values_->CreateIndex(kIdIndex, IndexKind::kHash,
+                               KeyExtractor::Columns({kValueId}),
+                               /*unique=*/true);
+  }
+  if (values_->GetIndex(kNameIndex) == nullptr) {
+    (void)values_->CreateIndex(
+        kNameIndex, IndexKind::kHash,
+        KeyExtractor::Columns(
+            {kValueName, kValueType, kLiteralType, kLanguageType}),
+        /*unique=*/true);
+  }
+  if (blank_nodes_->GetIndex("rdf_bn_idx") == nullptr) {
+    (void)blank_nodes_->CreateIndex("rdf_bn_idx", IndexKind::kHash,
+                                    KeyExtractor::Columns({kBnModelId,
+                                                           kBnLabel}),
+                                    /*unique=*/true);
+  }
+  if (blank_nodes_->GetIndex("rdf_bn_value_idx") == nullptr) {
+    (void)blank_nodes_->CreateIndex("rdf_bn_value_idx", IndexKind::kHash,
+                                    KeyExtractor::Columns({kBnValueId}),
+                                    /*unique=*/true);
+  }
+}
+
+std::string ValueStore::ValueNameFor(const Term& term) {
+  if (term.is_long_literal()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "longlit:%016" PRIx64,
+                  Fnv1a64(term.lexical()));
+    return buf;
+  }
+  return term.lexical();
+}
+
+storage::ValueKey ValueStore::DedupKey(const Term& term) {
+  return ValueKey{
+      Value::String(ValueNameFor(term)),
+      Value::String(term.TypeCode()),
+      term.datatype().empty() ? Value::Null()
+                              : Value::String(term.datatype()),
+      term.language().empty() ? Value::Null()
+                              : Value::String(term.language()),
+  };
+}
+
+Result<ValueId> ValueStore::LookupOrInsert(const Term& term) {
+  if (term.is_blank()) {
+    return Status::InvalidArgument(
+        "blank nodes are model-scoped; use LookupOrInsertBlank");
+  }
+  std::optional<ValueId> existing = Lookup(term);
+  if (existing.has_value()) return *existing;
+
+  ValueId id = value_seq_->Next();
+  Row row(6);
+  row[kValueId] = Value::Int64(id);
+  row[kValueName] = Value::String(ValueNameFor(term));
+  row[kValueType] = Value::String(term.TypeCode());
+  row[kLiteralType] = term.datatype().empty()
+                          ? Value::Null()
+                          : Value::String(term.datatype());
+  row[kLanguageType] = term.language().empty()
+                           ? Value::Null()
+                           : Value::String(term.language());
+  row[kLongValue] = term.is_long_literal() ? Value::Clob(term.lexical())
+                                           : Value::Null();
+  auto insert = values_->Insert(std::move(row));
+  if (!insert.ok()) return insert.status();
+  return id;
+}
+
+std::optional<ValueId> ValueStore::Lookup(const Term& term) const {
+  const storage::Index* index = values_->GetIndex(kNameIndex);
+  std::vector<storage::RowId> ids = index->Find(DedupKey(term));
+  if (ids.empty()) return std::nullopt;
+  const Row* row = values_->Get(ids.front());
+  if (term.is_long_literal()) {
+    // Long literals are keyed by a 64-bit fingerprint; verify the full
+    // text so a (vanishingly unlikely) collision cannot alias two
+    // different literals.
+    if (row->at(kLongValue).is_null() ||
+        row->at(kLongValue).as_clob() != term.lexical()) {
+      return std::nullopt;
+    }
+  }
+  return row->at(kValueId).as_int64();
+}
+
+Result<ValueId> ValueStore::LookupOrInsertBlank(int64_t model_id,
+                                                const std::string& label) {
+  std::optional<ValueId> existing = LookupBlank(model_id, label);
+  if (existing.has_value()) return *existing;
+
+  // Allocate the VALUE_ID first and derive a globally-unique internal
+  // name from it so blank nodes from different models never unify in
+  // rdf_value$.
+  ValueId id = value_seq_->Next();
+  std::string internal = "_:m" + std::to_string(model_id) + "x" + label;
+  Row row(6);
+  row[kValueId] = Value::Int64(id);
+  row[kValueName] = Value::String(internal);
+  row[kValueType] = Value::String("BN");
+  row[kLiteralType] = Value::Null();
+  row[kLanguageType] = Value::Null();
+  row[kLongValue] = Value::Null();
+  auto insert = values_->Insert(std::move(row));
+  if (!insert.ok()) return insert.status();
+
+  Row mapping(3);
+  mapping[kBnModelId] = Value::Int64(model_id);
+  mapping[kBnLabel] = Value::String(label);
+  mapping[kBnValueId] = Value::Int64(id);
+  auto bn_insert = blank_nodes_->Insert(std::move(mapping));
+  if (!bn_insert.ok()) return bn_insert.status();
+  return id;
+}
+
+std::optional<ValueId> ValueStore::LookupBlank(
+    int64_t model_id, const std::string& label) const {
+  const storage::Index* index = blank_nodes_->GetIndex("rdf_bn_idx");
+  std::vector<storage::RowId> ids = index->Find(
+      ValueKey{Value::Int64(model_id), Value::String(label)});
+  if (ids.empty()) return std::nullopt;
+  const Row* row = blank_nodes_->Get(ids.front());
+  return row->at(kBnValueId).as_int64();
+}
+
+std::optional<std::pair<int64_t, std::string>> ValueStore::LookupBlankLabel(
+    ValueId value_id) const {
+  const storage::Index* index = blank_nodes_->GetIndex("rdf_bn_value_idx");
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::Int64(value_id)});
+  if (ids.empty()) return std::nullopt;
+  const Row* row = blank_nodes_->Get(ids.front());
+  return std::make_pair(row->at(kBnModelId).as_int64(),
+                        row->at(kBnLabel).as_string());
+}
+
+Result<Term> ValueStore::GetTerm(ValueId value_id) const {
+  const storage::Index* index = values_->GetIndex(kIdIndex);
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::Int64(value_id)});
+  if (ids.empty()) {
+    return Status::NotFound("VALUE_ID " + std::to_string(value_id));
+  }
+  const Row* row = values_->Get(ids.front());
+  const std::string& type_code = row->at(kValueType).as_string();
+  const std::string& name = row->at(kValueName).as_string();
+  if (type_code == "UR") return Term::Uri(name);
+  if (type_code == "BN") {
+    // Internal names begin "_:"; strip it for the label.
+    return Term::BlankNode(name.substr(2));
+  }
+  std::string text = row->at(kLongValue).is_null()
+                         ? name
+                         : row->at(kLongValue).as_clob();
+  if (type_code == "PL" || type_code == "PLL") {
+    std::string lang = row->at(kLanguageType).is_null()
+                           ? ""
+                           : row->at(kLanguageType).as_string();
+    return lang.empty() ? Term::PlainLiteral(std::move(text))
+                        : Term::PlainLiteralLang(std::move(text),
+                                                 std::move(lang));
+  }
+  if (type_code == "PL@") {
+    return Term::PlainLiteralLang(std::move(text),
+                                  row->at(kLanguageType).as_string());
+  }
+  if (type_code == "TL" || type_code == "TLL") {
+    return Term::TypedLiteral(std::move(text),
+                              row->at(kLiteralType).as_string());
+  }
+  return Status::Corruption("unknown VALUE_TYPE " + type_code);
+}
+
+Result<std::string> ValueStore::GetText(ValueId value_id) const {
+  RDFDB_ASSIGN_OR_RETURN(Term term, GetTerm(value_id));
+  return term.ToDisplayString();
+}
+
+Result<std::string> ValueStore::GetTypeCode(ValueId value_id) const {
+  const storage::Index* index = values_->GetIndex(kIdIndex);
+  std::vector<storage::RowId> ids =
+      index->Find(ValueKey{Value::Int64(value_id)});
+  if (ids.empty()) {
+    return Status::NotFound("VALUE_ID " + std::to_string(value_id));
+  }
+  return values_->Get(ids.front())->at(kValueType).as_string();
+}
+
+size_t ValueStore::value_count() const { return values_->row_count(); }
+
+}  // namespace rdfdb::rdf

@@ -1,0 +1,91 @@
+// ValueStore: binding over the central-schema rdf_value$ table.
+//
+// "The rdf_value$ table stores the text values (i.e. URIs, blank nodes,
+// and literals) for a triple. Each text entry is uniquely stored." This
+// class owns lookup-or-insert deduplication, long-literal spill into
+// LONG_VALUE, and the model-scoped blank-node mapping (rdf_blank_node$).
+
+#ifndef RDFDB_RDF_VALUE_STORE_H_
+#define RDFDB_RDF_VALUE_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rdf/term.h"
+#include "storage/database.h"
+
+namespace rdfdb::rdf {
+
+/// VALUE_ID type (rdf_value$ primary key).
+using ValueId = int64_t;
+
+/// Central deduplicated term dictionary.
+class ValueStore {
+ public:
+  /// Creates (or reattaches to) MDSYS.RDF_VALUE$, MDSYS.RDF_BLANK_NODE$
+  /// and their sequences/indexes inside `db`.
+  explicit ValueStore(storage::Database* db);
+
+  /// Find the VALUE_ID for `term`, inserting a new row if absent.
+  /// Blank nodes must go through LookupOrInsertBlank (they are
+  /// model-scoped).
+  Result<ValueId> LookupOrInsert(const Term& term);
+
+  /// Find without inserting; nullopt if the term has never been stored.
+  std::optional<ValueId> Lookup(const Term& term) const;
+
+  /// Model-scoped blank node: the same label in different models maps to
+  /// different VALUE_IDs; within one model the mapping is stable.
+  Result<ValueId> LookupOrInsertBlank(int64_t model_id,
+                                      const std::string& label);
+  std::optional<ValueId> LookupBlank(int64_t model_id,
+                                     const std::string& label) const;
+
+  /// Reverse mapping: the (model_id, original label) under which a blank
+  /// node VALUE_ID was created (used by logical logging).
+  std::optional<std::pair<int64_t, std::string>> LookupBlankLabel(
+      ValueId value_id) const;
+
+  /// Reconstruct the Term stored under `value_id`.
+  Result<Term> GetTerm(ValueId value_id) const;
+
+  /// Full text of the value (reads LONG_VALUE for long literals). This is
+  /// the paper's VALUE_NAME.GETURL()-style accessor.
+  Result<std::string> GetText(ValueId value_id) const;
+
+  /// VALUE_TYPE code of the stored value ("UR", "BN", "PL", ...).
+  Result<std::string> GetTypeCode(ValueId value_id) const;
+
+  /// Number of distinct values stored.
+  size_t value_count() const;
+
+  /// Underlying table (benchmarks join against it directly, as the
+  /// paper's Experiment I does).
+  const storage::Table& table() const { return *values_; }
+  storage::Table* mutable_table() { return values_; }
+
+  /// Names of the key lookup indexes (used by the direct-join benchmark).
+  static constexpr const char* kIdIndex = "rdf_value_id_idx";
+  static constexpr const char* kNameIndex = "rdf_value_name_idx";
+
+ private:
+  /// Key under which a term is deduplicated: (VALUE_NAME, VALUE_TYPE,
+  /// LITERAL_TYPE, LANGUAGE_TYPE).
+  static storage::ValueKey DedupKey(const Term& term);
+
+  /// VALUE_NAME cell for a term — long literals store a fingerprint here
+  /// and spill full text into LONG_VALUE.
+  static std::string ValueNameFor(const Term& term);
+
+  storage::Database* db_;
+  storage::Table* values_;        // MDSYS.RDF_VALUE$
+  storage::Table* blank_nodes_;   // MDSYS.RDF_BLANK_NODE$
+  storage::Sequence* value_seq_;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_VALUE_STORE_H_

@@ -1,0 +1,94 @@
+// W3C RDF / RDFS / XSD vocabulary constants used across the RDF layer.
+
+#ifndef RDFDB_RDF_VOCAB_H_
+#define RDFDB_RDF_VOCAB_H_
+
+#include <string_view>
+
+namespace rdfdb::rdf {
+
+inline constexpr std::string_view kRdfNs =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr std::string_view kRdfsNs =
+    "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr std::string_view kXsdNs =
+    "http://www.w3.org/2001/XMLSchema#";
+
+// RDF core.
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfStatement =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#Statement";
+inline constexpr std::string_view kRdfSubject =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#subject";
+inline constexpr std::string_view kRdfPredicate =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#predicate";
+inline constexpr std::string_view kRdfObject =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#object";
+inline constexpr std::string_view kRdfBag =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#Bag";
+inline constexpr std::string_view kRdfSeq =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#Seq";
+inline constexpr std::string_view kRdfAlt =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#Alt";
+inline constexpr std::string_view kRdfLi =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#li";
+inline constexpr std::string_view kRdfProperty =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+
+// RDFS.
+inline constexpr std::string_view kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr std::string_view kRdfsSubPropertyOf =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr std::string_view kRdfsDomain =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr std::string_view kRdfsRange =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr std::string_view kRdfsResource =
+    "http://www.w3.org/2000/01/rdf-schema#Resource";
+inline constexpr std::string_view kRdfsClass =
+    "http://www.w3.org/2000/01/rdf-schema#Class";
+inline constexpr std::string_view kRdfsLiteral =
+    "http://www.w3.org/2000/01/rdf-schema#Literal";
+inline constexpr std::string_view kRdfsSeeAlso =
+    "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+inline constexpr std::string_view kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr std::string_view kRdfsMember =
+    "http://www.w3.org/2000/01/rdf-schema#member";
+inline constexpr std::string_view kRdfsContainerMembershipProperty =
+    "http://www.w3.org/2000/01/rdf-schema#ContainerMembershipProperty";
+
+// XSD datatypes.
+inline constexpr std::string_view kXsdString =
+    "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr std::string_view kXsdInt =
+    "http://www.w3.org/2001/XMLSchema#int";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdLong =
+    "http://www.w3.org/2001/XMLSchema#long";
+inline constexpr std::string_view kXsdShort =
+    "http://www.w3.org/2001/XMLSchema#short";
+inline constexpr std::string_view kXsdByte =
+    "http://www.w3.org/2001/XMLSchema#byte";
+inline constexpr std::string_view kXsdDecimal =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+inline constexpr std::string_view kXsdDouble =
+    "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr std::string_view kXsdFloat =
+    "http://www.w3.org/2001/XMLSchema#float";
+inline constexpr std::string_view kXsdBoolean =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+inline constexpr std::string_view kXsdDate =
+    "http://www.w3.org/2001/XMLSchema#date";
+inline constexpr std::string_view kXsdDateTime =
+    "http://www.w3.org/2001/XMLSchema#dateTime";
+
+/// True for rdf:_1, rdf:_2, ... (container membership properties).
+bool IsContainerMembershipProperty(std::string_view uri);
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_VOCAB_H_

@@ -1,0 +1,126 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace rdfdb::storage {
+
+Database::Database(std::string name) : name_(std::move(name)) {}
+
+std::string Database::Qualify(const std::string& schema,
+                              const std::string& name) {
+  return ToUpper(schema) + "." + ToUpper(name);
+}
+
+Result<Table*> Database::CreateTable(const std::string& schema,
+                                     const std::string& table_name,
+                                     Schema columns) {
+  std::string key = Qualify(schema, table_name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table " + key);
+  }
+  auto table = std::make_unique<Table>(key, std::move(columns));
+  Table* raw = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return raw;
+}
+
+Table* Database::GetTable(const std::string& schema,
+                          const std::string& table_name) {
+  auto it = tables_.find(Qualify(schema, table_name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& schema,
+                                const std::string& table_name) const {
+  auto it = tables_.find(Qualify(schema, table_name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropTable(const std::string& schema,
+                           const std::string& table_name) {
+  std::string key = Qualify(schema, table_name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) return Status::NotFound("table " + key);
+  // Drop dependent views first.
+  const Table* base = it->second.get();
+  for (auto vit = views_.begin(); vit != views_.end();) {
+    if (&vit->second->base() == base) {
+      vit = views_.erase(vit);
+    } else {
+      ++vit;
+    }
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(key);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<View*> Database::CreateView(const std::string& schema,
+                                   const std::string& view_name,
+                                   const Table* base, PredicatePtr predicate,
+                                   std::string owner) {
+  std::string key = Qualify(schema, view_name);
+  if (views_.count(key) > 0) {
+    return Status::AlreadyExists("view " + key);
+  }
+  auto view = std::make_unique<View>(key, base, std::move(predicate),
+                                     std::move(owner));
+  View* raw = view.get();
+  views_.emplace(std::move(key), std::move(view));
+  return raw;
+}
+
+View* Database::GetView(const std::string& schema,
+                        const std::string& view_name) {
+  auto it = views_.find(Qualify(schema, view_name));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+const View* Database::GetView(const std::string& schema,
+                              const std::string& view_name) const {
+  auto it = views_.find(Qualify(schema, view_name));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+Status Database::DropView(const std::string& schema,
+                          const std::string& view_name) {
+  std::string key = Qualify(schema, view_name);
+  if (views_.erase(key) == 0) return Status::NotFound("view " + key);
+  return Status::OK();
+}
+
+Result<Sequence*> Database::CreateSequence(const std::string& schema,
+                                           const std::string& seq_name,
+                                           int64_t start) {
+  std::string key = Qualify(schema, seq_name);
+  if (sequences_.count(key) > 0) {
+    return Status::AlreadyExists("sequence " + key);
+  }
+  auto seq = std::make_unique<Sequence>(key, start);
+  Sequence* raw = seq.get();
+  sequences_.emplace(std::move(key), std::move(seq));
+  return raw;
+}
+
+Sequence* Database::GetSequence(const std::string& schema,
+                                const std::string& seq_name) {
+  auto it = sequences_.find(Qualify(schema, seq_name));
+  return it == sequences_.end() ? nullptr : it->second.get();
+}
+
+size_t Database::ApproxTotalBytes() const {
+  size_t n = 0;
+  for (const auto& [key, table] : tables_) n += table->ApproxTotalBytes();
+  return n;
+}
+
+}  // namespace rdfdb::storage

@@ -1,0 +1,79 @@
+// Database: the catalog of tables, views and sequences, organized by
+// schema (the paper stores all RDF data "in a central schema", MDSYS).
+
+#ifndef RDFDB_STORAGE_DATABASE_H_
+#define RDFDB_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/sequence.h"
+#include "storage/table.h"
+#include "storage/view.h"
+
+namespace rdfdb::storage {
+
+/// Catalog and owner of all storage objects. Object names are qualified
+/// as "<schema>.<name>"; the convenience overloads default the schema.
+class Database {
+ public:
+  explicit Database(std::string name = "ORADB");
+
+  const std::string& name() const { return name_; }
+
+  // ---- Tables ---------------------------------------------------------
+
+  /// Create a table; fails with AlreadyExists if the qualified name is
+  /// taken.
+  Result<Table*> CreateTable(const std::string& schema,
+                             const std::string& table_name, Schema columns);
+
+  /// Fetch a table; nullptr if absent.
+  Table* GetTable(const std::string& schema, const std::string& table_name);
+  const Table* GetTable(const std::string& schema,
+                        const std::string& table_name) const;
+
+  /// Drop a table (and any views defined on it).
+  Status DropTable(const std::string& schema, const std::string& table_name);
+
+  /// Qualified names of all tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  // ---- Views ----------------------------------------------------------
+
+  Result<View*> CreateView(const std::string& schema,
+                           const std::string& view_name, const Table* base,
+                           PredicatePtr predicate, std::string owner = "");
+  View* GetView(const std::string& schema, const std::string& view_name);
+  const View* GetView(const std::string& schema,
+                      const std::string& view_name) const;
+  Status DropView(const std::string& schema, const std::string& view_name);
+
+  // ---- Sequences ------------------------------------------------------
+
+  Result<Sequence*> CreateSequence(const std::string& schema,
+                                   const std::string& seq_name,
+                                   int64_t start = 1);
+  Sequence* GetSequence(const std::string& schema,
+                        const std::string& seq_name);
+
+  /// Total approximate footprint of all tables (data + indexes).
+  size_t ApproxTotalBytes() const;
+
+ private:
+  static std::string Qualify(const std::string& schema,
+                             const std::string& name);
+
+  std::string name_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<View>> views_;
+  std::unordered_map<std::string, std::unique_ptr<Sequence>> sequences_;
+};
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_DATABASE_H_

@@ -1,0 +1,136 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+namespace rdfdb::storage {
+
+KeyExtractor KeyExtractor::Columns(std::vector<size_t> columns) {
+  KeyExtractor e;
+  e.columns_ = std::move(columns);
+  std::string d = "columns(";
+  for (size_t i = 0; i < e.columns_.size(); ++i) {
+    if (i > 0) d += ",";
+    d += std::to_string(e.columns_[i]);
+  }
+  e.description_ = d + ")";
+  return e;
+}
+
+KeyExtractor KeyExtractor::Function(std::function<ValueKey(const Row&)> fn,
+                                    std::string description) {
+  KeyExtractor e;
+  e.fn_ = std::move(fn);
+  e.description_ = std::move(description);
+  return e;
+}
+
+ValueKey KeyExtractor::Extract(const Row& row) const {
+  if (fn_) return fn_(row);
+  ValueKey key;
+  key.reserve(columns_.size());
+  for (size_t c : columns_) {
+    key.push_back(c < row.size() ? row[c] : Value::Null());
+  }
+  return key;
+}
+
+namespace {
+
+// Shared by both index kinds: postings-list maintenance.
+Status InsertPosting(std::vector<RowId>* postings, RowId row_id, bool unique,
+                     const std::string& index_name, size_t* entries) {
+  if (unique && !postings->empty()) {
+    return Status::AlreadyExists("unique index " + index_name +
+                                 " violated");
+  }
+  postings->push_back(row_id);
+  ++*entries;
+  return Status::OK();
+}
+
+void ErasePosting(std::vector<RowId>* postings, RowId row_id,
+                  size_t* entries) {
+  auto it = std::find(postings->begin(), postings->end(), row_id);
+  if (it != postings->end()) {
+    postings->erase(it);
+    --*entries;
+  }
+}
+
+size_t KeyBytes(const ValueKey& key) {
+  size_t n = sizeof(ValueKey);
+  for (const Value& v : key) n += v.ApproxBytes();
+  return n;
+}
+
+}  // namespace
+
+Status HashIndex::Insert(const ValueKey& key, RowId row_id) {
+  return InsertPosting(&map_[key], row_id, unique(), name(), &entries_);
+}
+
+void HashIndex::Erase(const ValueKey& key, RowId row_id) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  ErasePosting(&it->second, row_id, &entries_);
+  if (it->second.empty()) map_.erase(it);
+}
+
+std::vector<RowId> HashIndex::Find(const ValueKey& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? std::vector<RowId>{} : it->second;
+}
+
+size_t HashIndex::ApproxBytes() const {
+  size_t n = sizeof(*this);
+  for (const auto& [key, postings] : map_) {
+    n += KeyBytes(key) + postings.size() * sizeof(RowId) + 32;
+  }
+  return n;
+}
+
+Status OrderedIndex::Insert(const ValueKey& key, RowId row_id) {
+  return InsertPosting(&map_[key], row_id, unique(), name(), &entries_);
+}
+
+void OrderedIndex::Erase(const ValueKey& key, RowId row_id) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  ErasePosting(&it->second, row_id, &entries_);
+  if (it->second.empty()) map_.erase(it);
+}
+
+std::vector<RowId> OrderedIndex::Find(const ValueKey& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? std::vector<RowId>{} : it->second;
+}
+
+std::vector<RowId> OrderedIndex::FindRange(const ValueKey& lo,
+                                           const ValueKey& hi) const {
+  std::vector<RowId> out;
+  for (auto it = map_.lower_bound(lo); it != map_.end(); ++it) {
+    if (ValueKeyLess{}(hi, it->first)) break;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+size_t OrderedIndex::ApproxBytes() const {
+  size_t n = sizeof(*this);
+  for (const auto& [key, postings] : map_) {
+    n += KeyBytes(key) + postings.size() * sizeof(RowId) + 48;
+  }
+  return n;
+}
+
+std::unique_ptr<Index> MakeIndex(IndexKind kind, std::string name,
+                                 KeyExtractor extractor, bool unique) {
+  if (kind == IndexKind::kHash) {
+    return std::make_unique<HashIndex>(std::move(name), std::move(extractor),
+                                       unique);
+  }
+  return std::make_unique<OrderedIndex>(std::move(name), std::move(extractor),
+                                        unique);
+}
+
+}  // namespace rdfdb::storage

@@ -1,0 +1,189 @@
+#include "storage/predicate.h"
+
+#include <utility>
+
+namespace rdfdb::storage {
+
+namespace {
+
+const char* OpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+class ComparePredicate final : public Predicate {
+ public:
+  ComparePredicate(size_t column, CompareOp op, Value constant)
+      : column_(column), op_(op), constant_(std::move(constant)) {}
+
+  bool Evaluate(const Row& row) const override {
+    if (column_ >= row.size()) return false;
+    const Value& cell = row[column_];
+    if (cell.is_null() || constant_.is_null()) return false;
+    int c = cell.Compare(constant_);
+    switch (op_) {
+      case CompareOp::kEq:
+        return c == 0;
+      case CompareOp::kNe:
+        return c != 0;
+      case CompareOp::kLt:
+        return c < 0;
+      case CompareOp::kLe:
+        return c <= 0;
+      case CompareOp::kGt:
+        return c > 0;
+      case CompareOp::kGe:
+        return c >= 0;
+    }
+    return false;
+  }
+
+  std::string ToString() const override {
+    return "col[" + std::to_string(column_) + "] " + OpName(op_) + " '" +
+           constant_.ToString() + "'";
+  }
+
+ private:
+  size_t column_;
+  CompareOp op_;
+  Value constant_;
+};
+
+class IsNullPredicate final : public Predicate {
+ public:
+  explicit IsNullPredicate(size_t column) : column_(column) {}
+
+  bool Evaluate(const Row& row) const override {
+    return column_ < row.size() && row[column_].is_null();
+  }
+
+  std::string ToString() const override {
+    return "col[" + std::to_string(column_) + "] IS NULL";
+  }
+
+ private:
+  size_t column_;
+};
+
+class AndPredicate final : public Predicate {
+ public:
+  explicit AndPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  bool Evaluate(const Row& row) const override {
+    for (const auto& c : children_) {
+      if (!c->Evaluate(row)) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const override {
+    std::string out = "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += children_[i]->ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+class OrPredicate final : public Predicate {
+ public:
+  explicit OrPredicate(std::vector<PredicatePtr> children)
+      : children_(std::move(children)) {}
+
+  bool Evaluate(const Row& row) const override {
+    for (const auto& c : children_) {
+      if (c->Evaluate(row)) return true;
+    }
+    return false;
+  }
+
+  std::string ToString() const override {
+    std::string out = "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += " OR ";
+      out += children_[i]->ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<PredicatePtr> children_;
+};
+
+class NotPredicate final : public Predicate {
+ public:
+  explicit NotPredicate(PredicatePtr child) : child_(std::move(child)) {}
+
+  bool Evaluate(const Row& row) const override {
+    return !child_->Evaluate(row);
+  }
+
+  std::string ToString() const override {
+    return "NOT " + child_->ToString();
+  }
+
+ private:
+  PredicatePtr child_;
+};
+
+class TruePredicate final : public Predicate {
+ public:
+  bool Evaluate(const Row&) const override { return true; }
+  std::string ToString() const override { return "TRUE"; }
+};
+
+}  // namespace
+
+PredicatePtr Compare(size_t column, CompareOp op, Value constant) {
+  return std::make_shared<ComparePredicate>(column, op, std::move(constant));
+}
+
+PredicatePtr Eq(size_t column, Value constant) {
+  return Compare(column, CompareOp::kEq, std::move(constant));
+}
+
+PredicatePtr IsNull(size_t column) {
+  return std::make_shared<IsNullPredicate>(column);
+}
+
+PredicatePtr And(std::vector<PredicatePtr> children) {
+  return std::make_shared<AndPredicate>(std::move(children));
+}
+
+PredicatePtr And(PredicatePtr a, PredicatePtr b) {
+  return And(std::vector<PredicatePtr>{std::move(a), std::move(b)});
+}
+
+PredicatePtr Or(std::vector<PredicatePtr> children) {
+  return std::make_shared<OrPredicate>(std::move(children));
+}
+
+PredicatePtr Or(PredicatePtr a, PredicatePtr b) {
+  return Or(std::vector<PredicatePtr>{std::move(a), std::move(b)});
+}
+
+PredicatePtr Not(PredicatePtr child) {
+  return std::make_shared<NotPredicate>(std::move(child));
+}
+
+PredicatePtr True() { return std::make_shared<TruePredicate>(); }
+
+}  // namespace rdfdb::storage

@@ -1,0 +1,60 @@
+// Predicate expression trees evaluated against rows, used by table scans
+// and filtered views (the engine's WHERE-clause equivalent).
+
+#ifndef RDFDB_STORAGE_PREDICATE_H_
+#define RDFDB_STORAGE_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace rdfdb::storage {
+
+/// Comparison operators for leaf predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Immutable boolean expression over a row. Build with the factory
+/// functions below and combine with And/Or/Not.
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// Evaluate against a row. NULL cells make comparisons false
+  /// (SQL-like: NULL = x is not true).
+  virtual bool Evaluate(const Row& row) const = 0;
+
+  /// Diagnostic rendering, e.g. "(col[2] = 'cia' AND col[0] > 10)".
+  virtual std::string ToString() const = 0;
+};
+
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// column <op> constant.
+PredicatePtr Compare(size_t column, CompareOp op, Value constant);
+
+/// Shorthand for Compare(column, kEq, constant).
+PredicatePtr Eq(size_t column, Value constant);
+
+/// column IS NULL.
+PredicatePtr IsNull(size_t column);
+
+/// Conjunction; with no children evaluates to true.
+PredicatePtr And(std::vector<PredicatePtr> children);
+PredicatePtr And(PredicatePtr a, PredicatePtr b);
+
+/// Disjunction; with no children evaluates to false.
+PredicatePtr Or(std::vector<PredicatePtr> children);
+PredicatePtr Or(PredicatePtr a, PredicatePtr b);
+
+/// Negation.
+PredicatePtr Not(PredicatePtr child);
+
+/// Constant TRUE.
+PredicatePtr True();
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_PREDICATE_H_

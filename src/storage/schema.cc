@@ -1,0 +1,51 @@
+#include "storage/schema.h"
+
+namespace rdfdb::storage {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    by_name_.emplace(columns_[i].name, i);
+  }
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+namespace {
+
+bool TypeCompatible(ValueType cell, ValueType col) {
+  if (cell == col) return true;
+  if (cell == ValueType::kInt64 && col == ValueType::kDouble) return true;
+  if (cell == ValueType::kString && col == ValueType::kClob) return true;
+  return false;
+}
+
+}  // namespace
+
+Status Schema::ValidateRow(const std::vector<Value>& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " cells, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = columns_[i];
+    if (row[i].is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL column " + col.name);
+      }
+      continue;
+    }
+    if (!TypeCompatible(row[i].type(), col.type)) {
+      return Status::InvalidArgument(
+          std::string("type mismatch in column ") + col.name + ": cell is " +
+          ValueTypeName(row[i].type()) + ", column is " +
+          ValueTypeName(col.type));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rdfdb::storage

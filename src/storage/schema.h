@@ -1,0 +1,50 @@
+// Table schema: ordered, named, typed columns.
+
+#ifndef RDFDB_STORAGE_SCHEMA_H_
+#define RDFDB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace rdfdb::storage {
+
+/// One column declaration.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+  bool nullable = true;
+};
+
+/// Ordered column list with name lookup and row validation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Check arity, per-column type compatibility and NOT NULL constraints.
+  /// kInt64 values are accepted into kDouble columns, and kString into
+  /// kClob columns (widening only).
+  Status ValidateRow(const std::vector<Value>& row) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+/// A row is a cell per schema column.
+using Row = std::vector<Value>;
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_SCHEMA_H_

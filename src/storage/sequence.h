@@ -1,0 +1,36 @@
+// Monotonic ID sequences — the engine's equivalent of Oracle sequences,
+// used to generate VALUE_ID, LINK_ID and MODEL_ID values.
+
+#ifndef RDFDB_STORAGE_SEQUENCE_H_
+#define RDFDB_STORAGE_SEQUENCE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rdfdb::storage {
+
+/// Named monotonic counter. `start` is the first value returned.
+class Sequence {
+ public:
+  explicit Sequence(std::string name, int64_t start = 1)
+      : name_(std::move(name)), next_(start) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Return the next value and advance.
+  int64_t Next() { return next_++; }
+
+  /// Value the next call to Next() would return (for snapshots/tests).
+  int64_t Peek() const { return next_; }
+
+  /// Restore the counter (snapshot load).
+  void Reset(int64_t next) { next_ = next; }
+
+ private:
+  std::string name_;
+  int64_t next_;
+};
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_SEQUENCE_H_

@@ -1,0 +1,201 @@
+#include "storage/snapshot.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace rdfdb::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x52444244;  // "RDBD"
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutString(std::ostream& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool GetI64(std::istream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool GetString(std::istream& in, std::string* s) {
+  uint32_t len;
+  if (!GetU32(in, &len)) return false;
+  s->resize(len);
+  in.read(s->data(), len);
+  return in.good() || (len == 0 && !in.bad());
+}
+
+void PutValue(std::ostream& out, const Value& v) {
+  PutU32(out, static_cast<uint32_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64:
+      PutI64(out, v.as_int64());
+      break;
+    case ValueType::kDouble: {
+      double d = v.as_double();
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+      break;
+    }
+    case ValueType::kString:
+      PutString(out, v.as_string());
+      break;
+    case ValueType::kClob:
+      PutString(out, v.as_clob());
+      break;
+  }
+}
+
+bool GetValue(std::istream& in, Value* v) {
+  uint32_t tag;
+  if (!GetU32(in, &tag)) return false;
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *v = Value::Null();
+      return true;
+    case ValueType::kInt64: {
+      int64_t i;
+      if (!GetI64(in, &i)) return false;
+      *v = Value::Int64(i);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double d;
+      in.read(reinterpret_cast<char*>(&d), sizeof(d));
+      if (!in.good()) return false;
+      *v = Value::Double(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!GetString(in, &s)) return false;
+      *v = Value::String(std::move(s));
+      return true;
+    }
+    case ValueType::kClob: {
+      std::string s;
+      if (!GetString(in, &s)) return false;
+      *v = Value::Clob(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Database& db, std::ostream& out) {
+  PutU32(out, kMagic);
+  PutU32(out, kVersion);
+
+  std::vector<std::string> names = db.TableNames();
+  PutU32(out, static_cast<uint32_t>(names.size()));
+  for (const std::string& qualified : names) {
+    size_t dot = qualified.find('.');
+    std::string schema = qualified.substr(0, dot);
+    std::string table_name = qualified.substr(dot + 1);
+    const Table* table = db.GetTable(schema, table_name);
+    PutString(out, schema);
+    PutString(out, table_name);
+    // Schema.
+    PutU32(out, static_cast<uint32_t>(table->schema().num_columns()));
+    for (const ColumnDef& col : table->schema().columns()) {
+      PutString(out, col.name);
+      PutU32(out, static_cast<uint32_t>(col.type));
+      PutU32(out, col.nullable ? 1 : 0);
+    }
+    // Rows.
+    PutU32(out, static_cast<uint32_t>(table->row_count()));
+    table->Scan([&](RowId, const Row& row) {
+      for (const Value& cell : row) PutValue(out, cell);
+      return true;
+    });
+  }
+
+  if (!out.good()) return Status::IOError("snapshot write failed");
+  return Status::OK();
+}
+
+Status SaveSnapshotToFile(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  return SaveSnapshot(db, out);
+}
+
+Status LoadSnapshot(std::istream& in, Database* db) {
+  uint32_t magic, version;
+  if (!GetU32(in, &magic) || magic != kMagic) {
+    return Status::Corruption("bad snapshot magic");
+  }
+  if (!GetU32(in, &version) || version != kVersion) {
+    return Status::Corruption("unsupported snapshot version");
+  }
+  uint32_t num_tables;
+  if (!GetU32(in, &num_tables)) return Status::Corruption("truncated header");
+
+  for (uint32_t t = 0; t < num_tables; ++t) {
+    std::string schema_name, table_name;
+    if (!GetString(in, &schema_name) || !GetString(in, &table_name)) {
+      return Status::Corruption("truncated table header");
+    }
+    uint32_t num_cols;
+    if (!GetU32(in, &num_cols)) return Status::Corruption("truncated schema");
+    std::vector<ColumnDef> cols;
+    cols.reserve(num_cols);
+    for (uint32_t c = 0; c < num_cols; ++c) {
+      ColumnDef col;
+      uint32_t type_tag, nullable;
+      if (!GetString(in, &col.name) || !GetU32(in, &type_tag) ||
+          !GetU32(in, &nullable)) {
+        return Status::Corruption("truncated column def");
+      }
+      col.type = static_cast<ValueType>(type_tag);
+      col.nullable = nullable != 0;
+      cols.push_back(std::move(col));
+    }
+    auto table_result =
+        db->CreateTable(schema_name, table_name, Schema(std::move(cols)));
+    if (!table_result.ok()) return table_result.status();
+    Table* table = *table_result;
+
+    uint32_t num_rows;
+    if (!GetU32(in, &num_rows)) return Status::Corruption("truncated rows");
+    for (uint32_t r = 0; r < num_rows; ++r) {
+      Row row(table->schema().num_columns());
+      for (Value& cell : row) {
+        if (!GetValue(in, &cell)) return Status::Corruption("truncated cell");
+      }
+      auto insert = table->Insert(std::move(row));
+      if (!insert.ok()) return insert.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadSnapshotFromFile(const std::string& path, Database* db) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  return LoadSnapshot(in, db);
+}
+
+}  // namespace rdfdb::storage

@@ -1,0 +1,34 @@
+// Binary snapshot persistence for a Database.
+//
+// Persists table schemas, partition declarations, live rows, and sequence
+// positions. Indexes and views are *not* serialized (function-based index
+// extractors are arbitrary code); callers re-create them after load — the
+// RDF layer does this in RdfStore::Open.
+
+#ifndef RDFDB_STORAGE_SNAPSHOT_H_
+#define RDFDB_STORAGE_SNAPSHOT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace rdfdb::storage {
+
+/// Serialize every table and sequence of `db` to `out`.
+Status SaveSnapshot(const Database& db, std::ostream& out);
+
+/// Serialize to a file path.
+Status SaveSnapshotToFile(const Database& db, const std::string& path);
+
+/// Recreate tables and sequences from `in` into `db` (which must be empty
+/// of conflicting names).
+Status LoadSnapshot(std::istream& in, Database* db);
+
+/// Load from a file path.
+Status LoadSnapshotFromFile(const std::string& path, Database* db);
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_SNAPSHOT_H_

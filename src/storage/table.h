@@ -1,0 +1,128 @@
+// Heap table: rows addressed by dense RowId, with secondary indexes and
+// optional hash partitioning on one column (the engine's equivalent of the
+// paper's "rdf_link$ is partitioned by MODEL_ID").
+
+#ifndef RDFDB_STORAGE_TABLE_H_
+#define RDFDB_STORAGE_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/predicate.h"
+#include "storage/schema.h"
+
+namespace rdfdb::storage {
+
+/// Heap-organized table. Not thread-safe; callers serialize access
+/// (single-writer model, as in an embedded engine).
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  // ---- Row operations -----------------------------------------------
+
+  /// Validate and insert; returns the new row id.
+  Result<RowId> Insert(Row row);
+
+  /// Replace the row at `row_id`; all indexes and the partition map are
+  /// updated.
+  Status Update(RowId row_id, Row row);
+
+  /// Update a single cell in place.
+  Status UpdateCell(RowId row_id, size_t column, Value value);
+
+  /// Tombstone the row at `row_id`.
+  Status Delete(RowId row_id);
+
+  /// Row pointer, or nullptr if the id is out of range or deleted.
+  const Row* Get(RowId row_id) const;
+
+  /// Number of live rows.
+  size_t row_count() const { return live_rows_; }
+
+  // ---- Scans ----------------------------------------------------------
+
+  /// Visit every live row; return false from the callback to stop early.
+  void Scan(const std::function<bool(RowId, const Row&)>& fn) const;
+
+  /// Row ids of live rows satisfying `pred` (full scan).
+  std::vector<RowId> Select(const Predicate& pred) const;
+
+  // ---- Indexes --------------------------------------------------------
+
+  /// Create and backfill a secondary index. Fails with AlreadyExists if the
+  /// name is taken, or with the unique violation if backfill detects one.
+  Status CreateIndex(const std::string& index_name, IndexKind kind,
+                     KeyExtractor extractor, bool unique);
+
+  /// Drop an index by name.
+  Status DropIndex(const std::string& index_name);
+
+  /// Lookup an index; nullptr if absent.
+  const Index* GetIndex(const std::string& index_name) const;
+
+  /// Point lookup through a named index.
+  Result<std::vector<RowId>> FindByIndex(const std::string& index_name,
+                                         const ValueKey& key) const;
+
+  /// Names of all indexes.
+  std::vector<std::string> IndexNames() const;
+
+  // ---- Partitioning ---------------------------------------------------
+
+  /// Declare hash partitioning on `column`. Must be called while the table
+  /// is empty.
+  Status SetPartitionColumn(size_t column);
+
+  /// Whether partitioning is configured.
+  bool partitioned() const { return partition_column_.has_value(); }
+
+  /// Visit live rows in the partition whose key equals `key`; returns the
+  /// number of rows visited. Falls back to a full scan (with filter) when
+  /// the table is not partitioned.
+  size_t ScanPartition(const Value& key,
+                       const std::function<bool(RowId, const Row&)>& fn) const;
+
+  /// Row count of one partition (0 if the partition is empty/unknown).
+  size_t PartitionRowCount(const Value& key) const;
+
+  // ---- Accounting -----------------------------------------------------
+
+  /// Approximate bytes of row data (excluding indexes).
+  size_t ApproxDataBytes() const { return data_bytes_; }
+
+  /// Approximate bytes including all indexes.
+  size_t ApproxTotalBytes() const;
+
+ private:
+  Status IndexesInsert(const Row& row, RowId row_id);
+  void IndexesErase(const Row& row, RowId row_id);
+  void PartitionInsert(const Row& row, RowId row_id);
+  void PartitionErase(const Row& row, RowId row_id);
+  static size_t RowBytes(const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<std::optional<Row>> rows_;  // index == RowId
+  size_t live_rows_ = 0;
+  size_t data_bytes_ = 0;
+  std::vector<std::unique_ptr<Index>> indexes_;
+  std::unordered_map<std::string, size_t> index_by_name_;
+  std::optional<size_t> partition_column_;
+  std::unordered_map<ValueKey, std::vector<RowId>, ValueKeyHash, ValueKeyEq>
+      partitions_;
+};
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_TABLE_H_

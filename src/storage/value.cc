@@ -1,0 +1,166 @@
+#include "storage/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace rdfdb::storage {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kClob:
+      return "CLOB";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(as_int64());
+    case ValueType::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", as_double());
+      return buf;
+    }
+    case ValueType::kString:
+      return as_string();
+    case ValueType::kClob:
+      return as_clob();
+  }
+  return {};
+}
+
+namespace {
+
+// Rank for cross-type ordering: NULL < numeric < string < clob.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 1;
+    case ValueType::kString:
+      return 2;
+    case ValueType::kClob:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      // Compare in int64 space when both sides are integers to avoid
+      // precision loss above 2^53.
+      if (type() == ValueType::kInt64 &&
+          other.type() == ValueType::kInt64) {
+        int64_t a = as_int64();
+        int64_t b = other.as_int64();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = numeric();
+      double b = other.numeric();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString:
+    case ValueType::kClob: {
+      const std::string& a = text();
+      const std::string& b = other.text();
+      int c = a.compare(b);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6e756c6cULL;
+    case ValueType::kInt64: {
+      // Hash integers through double when representable so that
+      // Int64(5) == Double(5.0) implies equal hashes.
+      double d = static_cast<double>(as_int64());
+      if (static_cast<int64_t>(d) == as_int64()) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return HashCombine(1, bits);
+      }
+      return HashCombine(1, static_cast<uint64_t>(as_int64()));
+    }
+    case ValueType::kDouble: {
+      double d = as_double();
+      if (d == 0.0) d = 0.0;  // collapse -0.0
+      uint64_t bits;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(1, bits);
+    }
+    case ValueType::kString:
+      return HashCombine(2, Fnv1a64(as_string()));
+    case ValueType::kClob:
+      return HashCombine(3, Fnv1a64(as_clob()));
+  }
+  return 0;
+}
+
+size_t Value::ApproxBytes() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return sizeof(Value);
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return sizeof(Value);
+    case ValueType::kString:
+      return sizeof(Value) + as_string().size();
+    case ValueType::kClob:
+      return sizeof(Value) + as_clob().size();
+  }
+  return sizeof(Value);
+}
+
+uint64_t ValueKeyHash::operator()(const ValueKey& key) const {
+  uint64_t h = 0x12345678ULL;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool ValueKeyEq::operator()(const ValueKey& a, const ValueKey& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+bool ValueKeyLess::operator()(const ValueKey& a, const ValueKey& b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace rdfdb::storage

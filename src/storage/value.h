@@ -1,0 +1,115 @@
+// Value: the dynamically-typed cell stored in storage-engine rows.
+//
+// The engine supports five cell types, mirroring what the paper's schema
+// needs from Oracle: NUMBER (int64 / double), VARCHAR2 (string), CLOB
+// (long string, used for long literals), and NULL.
+
+#ifndef RDFDB_STORAGE_VALUE_H_
+#define RDFDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace rdfdb::storage {
+
+/// Cell type tags. kClob is distinct from kString so schemas can declare
+/// long-text columns (the paper's LONG_VALUE / GET_OBJECT() CLOB paths).
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kClob,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// A single dynamically-typed cell.
+class Value {
+ public:
+  /// NULL cell.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int64(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) {
+    return Value(Rep(std::in_place_index<3>, std::move(v)));
+  }
+  static Value Clob(std::string v) {
+    return Value(Rep(std::in_place_index<4>, ClobRep{std::move(v)}));
+  }
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors. Caller must check type() first; calling the wrong
+  /// accessor is undefined (asserts in debug builds).
+  int64_t as_int64() const { return std::get<1>(rep_); }
+  double as_double() const { return std::get<2>(rep_); }
+  const std::string& as_string() const { return std::get<3>(rep_); }
+  const std::string& as_clob() const { return std::get<4>(rep_).data; }
+
+  /// String payload for kString or kClob cells.
+  const std::string& text() const {
+    return type() == ValueType::kClob ? as_clob() : as_string();
+  }
+
+  /// Numeric payload widened to double (kInt64 or kDouble cells).
+  double numeric() const {
+    return type() == ValueType::kInt64 ? static_cast<double>(as_int64())
+                                       : as_double();
+  }
+
+  /// Render for diagnostics; NULL renders as "NULL".
+  std::string ToString() const;
+
+  /// Total-order comparison used by ordered indexes: NULL < numbers <
+  /// strings < clobs; numbers compare numerically across kInt64/kDouble.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (numeric cells hash by double value).
+  uint64_t Hash() const;
+
+  /// Approximate in-memory footprint in bytes (for storage accounting).
+  size_t ApproxBytes() const;
+
+ private:
+  struct ClobRep {
+    std::string data;
+  };
+  using Rep =
+      std::variant<std::monostate, int64_t, double, std::string, ClobRep>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// Composite key: an ordered list of cells. Used as index key type.
+using ValueKey = std::vector<Value>;
+
+struct ValueKeyHash {
+  uint64_t operator()(const ValueKey& key) const;
+};
+
+struct ValueKeyEq {
+  bool operator()(const ValueKey& a, const ValueKey& b) const;
+};
+
+struct ValueKeyLess {
+  bool operator()(const ValueKey& a, const ValueKey& b) const;
+};
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_VALUE_H_

@@ -1,0 +1,40 @@
+#include "storage/view.h"
+
+#include <algorithm>
+
+namespace rdfdb::storage {
+
+View::View(std::string name, const Table* base, PredicatePtr predicate,
+           std::string owner)
+    : name_(std::move(name)),
+      base_(base),
+      predicate_(std::move(predicate)),
+      owner_(std::move(owner)) {}
+
+void View::GrantSelect(const std::string& user) {
+  if (!CanSelect(user)) grantees_.push_back(user);
+}
+
+bool View::CanSelect(const std::string& user) const {
+  if (owner_.empty() || user == owner_) return true;
+  return std::find(grantees_.begin(), grantees_.end(), user) !=
+         grantees_.end();
+}
+
+void View::Scan(const std::function<bool(RowId, const Row&)>& fn) const {
+  base_->Scan([&](RowId id, const Row& row) {
+    if (!predicate_->Evaluate(row)) return true;
+    return fn(id, row);
+  });
+}
+
+size_t View::row_count() const {
+  size_t n = 0;
+  Scan([&](RowId, const Row&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace rdfdb::storage

@@ -1,0 +1,56 @@
+// Filtered views over a base table — the engine's equivalent of the
+// per-model rdfm_<model_name> views the paper creates at CREATE_RDF_MODEL
+// time ("a view of the rdf_link$ table that contains only data for the
+// model").
+
+#ifndef RDFDB_STORAGE_VIEW_H_
+#define RDFDB_STORAGE_VIEW_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/predicate.h"
+#include "storage/table.h"
+
+namespace rdfdb::storage {
+
+/// Read-only predicate view of a table. Rows are filtered on the fly;
+/// the view holds no data of its own.
+class View {
+ public:
+  View(std::string name, const Table* base, PredicatePtr predicate,
+       std::string owner = "");
+
+  const std::string& name() const { return name_; }
+  const Table& base() const { return *base_; }
+
+  /// Owner principal (used to model the paper's "accessible only to the
+  /// owner of the model and users with SELECT privileges").
+  const std::string& owner() const { return owner_; }
+
+  /// Grant SELECT on this view to `user`.
+  void GrantSelect(const std::string& user);
+
+  /// True if `user` may read the view (owner or grantee; empty owner means
+  /// unrestricted).
+  bool CanSelect(const std::string& user) const;
+
+  /// Visit rows of the base table that satisfy the view predicate.
+  void Scan(const std::function<bool(RowId, const Row&)>& fn) const;
+
+  /// Count of visible rows (scans).
+  size_t row_count() const;
+
+ private:
+  std::string name_;
+  const Table* base_;
+  PredicatePtr predicate_;
+  std::string owner_;
+  std::vector<std::string> grantees_;
+};
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_VIEW_H_

@@ -1,0 +1,250 @@
+#include "ndm/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace rdfdb::ndm {
+namespace {
+
+/// Diamond with a costly direct edge:
+///   1 -> 2 (1), 2 -> 4 (1), 1 -> 3 (2), 3 -> 4 (2), 1 -> 4 (5)
+LogicalNetwork Diamond() {
+  LogicalNetwork net;
+  EXPECT_TRUE(net.AddLink({1, 1, 2, 1.0}).ok());
+  EXPECT_TRUE(net.AddLink({2, 2, 4, 1.0}).ok());
+  EXPECT_TRUE(net.AddLink({3, 1, 3, 2.0}).ok());
+  EXPECT_TRUE(net.AddLink({4, 3, 4, 2.0}).ok());
+  EXPECT_TRUE(net.AddLink({5, 1, 4, 5.0}).ok());
+  return net;
+}
+
+TEST(ShortestPathTest, PicksCheapestRoute) {
+  LogicalNetwork net = Diamond();
+  PathResult path = ShortestPath(net, 1, 4);
+  ASSERT_TRUE(path.found);
+  EXPECT_DOUBLE_EQ(path.cost, 2.0);
+  EXPECT_EQ(path.nodes, (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_EQ(path.links, (std::vector<LinkId>{1, 2}));
+}
+
+TEST(ShortestPathTest, SourceEqualsTarget) {
+  LogicalNetwork net = Diamond();
+  PathResult path = ShortestPath(net, 1, 1);
+  ASSERT_TRUE(path.found);
+  EXPECT_DOUBLE_EQ(path.cost, 0.0);
+  EXPECT_EQ(path.nodes, std::vector<NodeId>{1});
+  EXPECT_TRUE(path.links.empty());
+}
+
+TEST(ShortestPathTest, RespectsDirection) {
+  LogicalNetwork net = Diamond();
+  EXPECT_FALSE(ShortestPath(net, 4, 1).found);
+  PathResult back = ShortestPath(net, 4, 1, Direction::kIncoming);
+  ASSERT_TRUE(back.found);
+  EXPECT_DOUBLE_EQ(back.cost, 2.0);
+  PathResult both = ShortestPath(net, 4, 1, Direction::kBoth);
+  EXPECT_TRUE(both.found);
+}
+
+TEST(ShortestPathTest, UnknownNodes) {
+  LogicalNetwork net = Diamond();
+  EXPECT_FALSE(ShortestPath(net, 1, 99).found);
+  EXPECT_FALSE(ShortestPath(net, 99, 1).found);
+}
+
+TEST(ShortestPathTest, DisconnectedTarget) {
+  LogicalNetwork net = Diamond();
+  net.AddNode(50);
+  EXPECT_FALSE(ShortestPath(net, 1, 50).found);
+}
+
+TEST(ShortestPathByHopsTest, MinimizesLinkCount) {
+  LogicalNetwork net = Diamond();
+  PathResult path = ShortestPathByHops(net, 1, 4);
+  ASSERT_TRUE(path.found);
+  EXPECT_DOUBLE_EQ(path.cost, 1.0);  // the direct (expensive) edge
+  EXPECT_EQ(path.links, std::vector<LinkId>{5});
+}
+
+TEST(WithinCostTest, BoundsExploration) {
+  LogicalNetwork net = Diamond();
+  auto costs = WithinCost(net, 1, 2.0);
+  EXPECT_EQ(costs.size(), 4u);  // 1@0, 2@1, 3@2, 4@2
+  EXPECT_DOUBLE_EQ(costs.at(1), 0.0);
+  EXPECT_DOUBLE_EQ(costs.at(2), 1.0);
+  EXPECT_DOUBLE_EQ(costs.at(3), 2.0);
+  EXPECT_DOUBLE_EQ(costs.at(4), 2.0);
+  auto tight = WithinCost(net, 1, 0.5);
+  EXPECT_EQ(tight.size(), 1u);
+}
+
+TEST(WithinCostTest, IncomingDirection) {
+  LogicalNetwork net = Diamond();
+  auto costs = WithinCost(net, 4, 2.0, Direction::kIncoming);
+  // Reaching 4 backwards within cost 2: 4@0, 2@1, 3@2, 1@2 (via 2).
+  EXPECT_EQ(costs.size(), 4u);
+  EXPECT_DOUBLE_EQ(costs.at(2), 1.0);
+  EXPECT_DOUBLE_EQ(costs.at(1), 2.0);
+}
+
+TEST(NearestNeighborsTest, OrderedByCost) {
+  LogicalNetwork net = Diamond();
+  auto nn = NearestNeighbors(net, 1, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].first, 2);
+  EXPECT_DOUBLE_EQ(nn[0].second, 1.0);
+  // 3 and 4 are both at cost 2; node id breaks the tie.
+  EXPECT_EQ(nn[1].first, 3);
+}
+
+TEST(NearestNeighborsTest, KLargerThanReachable) {
+  LogicalNetwork net = Diamond();
+  auto nn = NearestNeighbors(net, 1, 100);
+  EXPECT_EQ(nn.size(), 3u);  // excludes the source
+}
+
+TEST(ReachableTest, Directed) {
+  LogicalNetwork net = Diamond();
+  EXPECT_TRUE(Reachable(net, 1, 4));
+  EXPECT_FALSE(Reachable(net, 4, 1));
+  EXPECT_TRUE(Reachable(net, 4, 1, Direction::kBoth));
+  EXPECT_TRUE(Reachable(net, 2, 2));
+  EXPECT_FALSE(Reachable(net, 1, 99));
+}
+
+TEST(ConnectedComponentsTest, CountsWeakComponents) {
+  LogicalNetwork net = Diamond();
+  EXPECT_TRUE(net.AddLink({10, 20, 21}).ok());
+  net.AddNode(30);
+  EXPECT_EQ(ConnectedComponentCount(net), 3u);
+  auto comp = ConnectedComponents(net);
+  EXPECT_EQ(comp.at(1), comp.at(4));
+  EXPECT_EQ(comp.at(20), comp.at(21));
+  EXPECT_NE(comp.at(1), comp.at(20));
+  EXPECT_NE(comp.at(30), comp.at(20));
+}
+
+TEST(SpanningForestTest, DiamondTreeCost) {
+  LogicalNetwork net = Diamond();
+  auto forest = MinimumCostSpanningForest(net);
+  EXPECT_EQ(forest.size(), 3u);  // 4 nodes -> 3 edges
+  // Cheapest connection: 1-2 (1), 2-4 (1), 1-3 (2) = 4.
+  EXPECT_DOUBLE_EQ(SpanningForestCost(net), 4.0);
+}
+
+TEST(SpanningForestTest, ForestAcrossComponents) {
+  LogicalNetwork net;
+  EXPECT_TRUE(net.AddLink({1, 1, 2, 1.0}).ok());
+  EXPECT_TRUE(net.AddLink({2, 3, 4, 2.0}).ok());
+  auto forest = MinimumCostSpanningForest(net);
+  EXPECT_EQ(forest.size(), 2u);
+  EXPECT_DOUBLE_EQ(SpanningForestCost(net), 3.0);
+}
+
+TEST(BreadthFirstOrderTest, DeterministicOrder) {
+  LogicalNetwork net = Diamond();
+  auto order = BreadthFirstOrder(net, 1);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);
+  // Level 1 sorted: 2, 3, 4 (4 via the direct link).
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+  EXPECT_EQ(order[3], 4);
+  EXPECT_TRUE(BreadthFirstOrder(net, 99).empty());
+}
+
+TEST(SubnetworkTest, InducedSubgraphKeepsInternalLinksOnly) {
+  LogicalNetwork net = Diamond();
+  LogicalNetwork sub = ExtractSubnetwork(net, {1, 2, 4});
+  EXPECT_EQ(sub.node_count(), 3u);
+  // Links 1 (1->2), 2 (2->4), 5 (1->4) are internal; 3 and 4 touch node 3.
+  EXPECT_EQ(sub.link_count(), 3u);
+  EXPECT_TRUE(sub.HasLink(1));
+  EXPECT_TRUE(sub.HasLink(2));
+  EXPECT_TRUE(sub.HasLink(5));
+  EXPECT_FALSE(sub.HasLink(3));
+  EXPECT_FALSE(sub.HasNode(3));
+  // Analysis runs on the extract: costs unchanged for internal paths.
+  PathResult path = ShortestPath(sub, 1, 4);
+  ASSERT_TRUE(path.found);
+  EXPECT_DOUBLE_EQ(path.cost, 2.0);
+}
+
+TEST(SubnetworkTest, UnknownNodesIgnored) {
+  LogicalNetwork net = Diamond();
+  LogicalNetwork sub = ExtractSubnetwork(net, {1, 99});
+  EXPECT_EQ(sub.node_count(), 1u);
+  EXPECT_EQ(sub.link_count(), 0u);
+}
+
+TEST(SubnetworkTest, NeighborhoodSubnetwork) {
+  LogicalNetwork net = Diamond();
+  // Within cost 1 of node 1 (undirected): nodes 1, 2.
+  LogicalNetwork hood = NeighborhoodSubnetwork(net, 1, 1.0);
+  EXPECT_EQ(hood.node_count(), 2u);
+  EXPECT_TRUE(hood.HasNode(1));
+  EXPECT_TRUE(hood.HasNode(2));
+  EXPECT_EQ(hood.link_count(), 1u);
+}
+
+// Property check over random graphs: Dijkstra's cost never exceeds the
+// hop-path cost-sum, within-cost results agree with full Dijkstra, and
+// every shortest path's links actually connect source to target.
+class RandomGraphTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphTest, ShortestPathInvariants) {
+  rdfdb::Random rng(GetParam());
+  LogicalNetwork net;
+  const int kNodes = 40;
+  for (int i = 0; i < 120; ++i) {
+    NodeId a = static_cast<NodeId>(rng.Uniform(kNodes));
+    NodeId b = static_cast<NodeId>(rng.Uniform(kNodes));
+    (void)net.AddLink({i, a, b,
+                       1.0 + static_cast<double>(rng.Uniform(9))});
+  }
+  auto all_costs = WithinCost(net, 0, 1e18);
+  for (const auto& [node, cost] : all_costs) {
+    PathResult path = ShortestPath(net, 0, node);
+    ASSERT_TRUE(path.found);
+    EXPECT_DOUBLE_EQ(path.cost, cost);
+    // Path is structurally valid.
+    ASSERT_EQ(path.links.size() + 1, path.nodes.size());
+    double sum = 0;
+    for (size_t i = 0; i < path.links.size(); ++i) {
+      const Link* link = net.GetLink(path.links[i]);
+      ASSERT_NE(link, nullptr);
+      EXPECT_EQ(link->start, path.nodes[i]);
+      EXPECT_EQ(link->end, path.nodes[i + 1]);
+      sum += link->cost;
+    }
+    EXPECT_DOUBLE_EQ(sum, path.cost);
+    // Hop-optimal path exists whenever a cost-optimal one does.
+    EXPECT_TRUE(ShortestPathByHops(net, 0, node).found);
+  }
+}
+
+TEST_P(RandomGraphTest, ComponentsPartitionNodes) {
+  rdfdb::Random rng(GetParam() + 1000);
+  LogicalNetwork net;
+  for (int i = 0; i < 60; ++i) {
+    (void)net.AddLink({i, static_cast<NodeId>(rng.Uniform(50)),
+                       static_cast<NodeId>(rng.Uniform(50))});
+  }
+  auto comp = ConnectedComponents(net);
+  EXPECT_EQ(comp.size(), net.node_count());
+  // Reachability (undirected) implies same component.
+  auto nodes = net.Nodes();
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    for (size_t j = 0; j < nodes.size(); j += 11) {
+      bool connected = Reachable(net, nodes[i], nodes[j], Direction::kBoth);
+      EXPECT_EQ(connected, comp.at(nodes[i]) == comp.at(nodes[j]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace rdfdb::ndm

@@ -1,0 +1,132 @@
+#include "rdf/app_table.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfdb::rdf {
+namespace {
+
+class AppTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.CreateRdfModel("cia", "ciadata", "triple").ok());
+    auto table = ApplicationTable::Create(&store_, "APP", "ciadata");
+    ASSERT_TRUE(table.ok());
+    table_ = std::make_unique<ApplicationTable>(*table);
+  }
+
+  SdoRdfTripleS Insert(int64_t id, const std::string& s,
+                       const std::string& p, const std::string& o) {
+    auto triple = store_.InsertTriple("cia", s, p, o);
+    EXPECT_TRUE(triple.ok());
+    EXPECT_TRUE(table_->Insert(id, *triple).ok());
+    return *triple;
+  }
+
+  RdfStore store_;
+  std::unique_ptr<ApplicationTable> table_;
+};
+
+TEST_F(AppTableTest, InsertAndScan) {
+  Insert(1, "gov:files", "gov:terrorSuspect", "id:JohnDoe");
+  Insert(2, "gov:files", "gov:terrorSuspect", "id:JaneDoe");
+  EXPECT_EQ(table_->row_count(), 2u);
+  std::vector<int64_t> ids;
+  table_->Scan([&](int64_t id, const SdoRdfTripleS& triple) {
+    ids.push_back(id);
+    EXPECT_TRUE(triple.valid());
+    return true;
+  });
+  EXPECT_EQ(ids, (std::vector<int64_t>{1, 2}));
+}
+
+TEST_F(AppTableTest, FindBySubjectWithoutIndexScans) {
+  Insert(1, "gov:files", "gov:terrorSuspect", "id:JohnDoe");
+  Insert(2, "id:JimDoe", "gov:terrorAction", "bombing");
+  EXPECT_FALSE(table_->HasSubjectIndex());
+  auto hits = table_->FindBySubject("gov:files");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(*hits[0].GetObject(), "id:JohnDoe");
+  EXPECT_TRUE(table_->FindBySubject("gov:nothing").empty());
+}
+
+TEST_F(AppTableTest, FunctionBasedSubjectIndex) {
+  // §7.2: CREATE INDEX ... ON table (triple.GET_SUBJECT()).
+  Insert(1, "gov:files", "gov:terrorSuspect", "id:JohnDoe");
+  Insert(2, "gov:files", "gov:terrorSuspect", "id:JaneDoe");
+  Insert(3, "id:JimDoe", "gov:terrorAction", "bombing");
+  ASSERT_TRUE(table_->CreateSubjectIndex().ok());
+  EXPECT_TRUE(table_->HasSubjectIndex());
+  auto hits = table_->FindBySubject("gov:files");
+  EXPECT_EQ(hits.size(), 2u);
+  // Index stays correct for rows inserted after creation.
+  Insert(4, "gov:files", "gov:knows", "id:JimDoe");
+  EXPECT_EQ(table_->FindBySubject("gov:files").size(), 3u);
+}
+
+TEST_F(AppTableTest, IndexedAndScanResultsAgree) {
+  for (int i = 0; i < 20; ++i) {
+    Insert(i, "id:subj" + std::to_string(i % 4), "gov:p",
+           "id:obj" + std::to_string(i));
+  }
+  auto scanned = table_->FindBySubject("id:subj2");
+  ASSERT_TRUE(table_->CreateSubjectIndex().ok());
+  auto indexed = table_->FindBySubject("id:subj2");
+  ASSERT_EQ(scanned.size(), indexed.size());
+  EXPECT_EQ(scanned.size(), 5u);
+}
+
+TEST_F(AppTableTest, PropertyAndObjectIndexes) {
+  Insert(1, "gov:a", "gov:p1", "id:x");
+  Insert(2, "gov:b", "gov:p1", "id:y");
+  Insert(3, "gov:c", "gov:p2", "id:x");
+  ASSERT_TRUE(table_->CreatePropertyIndex().ok());
+  ASSERT_TRUE(table_->CreateObjectIndex().ok());
+  EXPECT_EQ(table_->FindByProperty("gov:p1").size(), 2u);
+  EXPECT_EQ(table_->FindByObject("id:x").size(), 2u);
+  EXPECT_TRUE(table_->FindByObject("id:zzz").empty());
+}
+
+TEST_F(AppTableTest, DropIndexFallsBackToScan) {
+  Insert(1, "gov:a", "gov:p", "id:x");
+  ASSERT_TRUE(table_->CreateSubjectIndex().ok());
+  ASSERT_TRUE(table_->DropSubjectIndex().ok());
+  EXPECT_FALSE(table_->HasSubjectIndex());
+  EXPECT_EQ(table_->FindBySubject("gov:a").size(), 1u);
+  EXPECT_TRUE(table_->DropSubjectIndex().IsNotFound());
+}
+
+TEST_F(AppTableTest, DuplicateIndexCreationFails) {
+  ASSERT_TRUE(table_->CreateSubjectIndex().ok());
+  EXPECT_TRUE(table_->CreateSubjectIndex().IsAlreadyExists());
+}
+
+TEST_F(AppTableTest, AttachSeesExistingRows) {
+  Insert(1, "gov:a", "gov:p", "id:x");
+  auto attached = ApplicationTable::Attach(&store_, "APP", "ciadata");
+  ASSERT_TRUE(attached.ok());
+  EXPECT_EQ(attached->row_count(), 1u);
+  EXPECT_TRUE(
+      ApplicationTable::Attach(&store_, "APP", "ghost").status().IsNotFound());
+}
+
+TEST_F(AppTableTest, RepeatedTripleInMultipleRows) {
+  // The paper: "the triple is only stored once in the rdf_link$ table,
+  // but may exist in several rows in a user's application table."
+  SdoRdfTripleS a = Insert(1, "gov:files", "gov:terrorSuspect",
+                           "id:JohnDoe");
+  SdoRdfTripleS b = Insert(2, "gov:files", "gov:terrorSuspect",
+                           "id:JohnDoe");
+  EXPECT_EQ(a.rdf_t_id(), b.rdf_t_id());
+  EXPECT_EQ(table_->row_count(), 2u);
+  EXPECT_EQ(store_.links().Get(a.rdf_t_id())->cost, 2);
+  EXPECT_EQ(table_->FindBySubject("gov:files").size(), 2u);
+}
+
+TEST_F(AppTableTest, FindByObjectHandlesLiterals) {
+  Insert(1, "id:JimDoe", "gov:terrorAction", "bombing");
+  ASSERT_TRUE(table_->CreateObjectIndex().ok());
+  EXPECT_EQ(table_->FindByObject("bombing").size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdfdb::rdf

@@ -1,0 +1,132 @@
+#include "rdf/bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rdfdb::rdf {
+namespace {
+
+Term U(const std::string& uri) { return Term::Uri(uri); }
+
+class BulkLoadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.CreateRdfModel("m", "mdata", "triple").ok());
+  }
+
+  RdfStore store_;
+};
+
+TEST_F(BulkLoadTest, LoadsStatements) {
+  std::vector<NTriple> statements = {
+      {U("http://a"), U("http://p"), U("http://b")},
+      {U("http://a"), U("http://p"), Term::PlainLiteral("v")},
+      {Term::BlankNode("x"), U("http://q"), U("http://a")},
+  };
+  auto stats = BulkLoad(&store_, "m", statements);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->statements, 3u);
+  EXPECT_EQ(stats->new_links, 3u);
+  EXPECT_EQ(stats->reused_links, 0u);
+  EXPECT_EQ(stats->app_rows, 0u);
+  EXPECT_EQ(store_.links().TotalTripleCount(), 3u);
+}
+
+TEST_F(BulkLoadTest, DuplicatesReuseLinks) {
+  std::vector<NTriple> statements = {
+      {U("http://a"), U("http://p"), U("http://b")},
+      {U("http://a"), U("http://p"), U("http://b")},
+  };
+  auto stats = BulkLoad(&store_, "m", statements);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->new_links, 1u);
+  EXPECT_EQ(stats->reused_links, 1u);
+  EXPECT_EQ(store_.links().TotalTripleCount(), 1u);
+}
+
+TEST_F(BulkLoadTest, PopulatesApplicationTable) {
+  auto table = ApplicationTable::Create(&store_, "APP", "mdata");
+  ASSERT_TRUE(table.ok());
+  std::vector<NTriple> statements = {
+      {U("http://a"), U("http://p"), U("http://b")},
+      {U("http://c"), U("http://p"), U("http://d")},
+  };
+  auto stats = BulkLoad(&store_, "m", statements, &*table);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->app_rows, 2u);
+  EXPECT_EQ(table->row_count(), 2u);
+  // Row ids continue across loads.
+  auto more = BulkLoad(&store_, "m",
+                       {{U("http://e"), U("http://p"), U("http://f")}},
+                       &*table);
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(table->row_count(), 3u);
+}
+
+TEST_F(BulkLoadTest, UnknownModelFails) {
+  EXPECT_TRUE(BulkLoad(&store_, "ghost", {}).status().IsNotFound());
+}
+
+TEST_F(BulkLoadTest, ExportRoundTrip) {
+  std::vector<NTriple> statements = {
+      {U("http://a"), U("http://p"), U("http://b")},
+      {U("http://a"), U("http://p"),
+       Term::TypedLiteral("5", "http://www.w3.org/2001/XMLSchema#int")},
+      {U("http://a"), U("http://p"), Term::PlainLiteralLang("hei", "no")},
+  };
+  ASSERT_TRUE(BulkLoad(&store_, "m", statements).ok());
+  auto exported = ExportModel(store_, "m");
+  ASSERT_TRUE(exported.ok());
+  ASSERT_EQ(exported->size(), statements.size());
+  // Order is not guaranteed; compare as sets of serialized lines.
+  auto lines = [](const std::vector<NTriple>& ts) {
+    std::vector<std::string> out;
+    for (const NTriple& t : ts) out.push_back(ToNTriplesLine(t));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(lines(*exported), lines(statements));
+}
+
+TEST_F(BulkLoadTest, ExportBlankNodesUseInternalLabels) {
+  ASSERT_TRUE(BulkLoad(&store_, "m",
+                       {{Term::BlankNode("x"), U("http://p"),
+                         U("http://o")}})
+                  .ok());
+  auto exported = ExportModel(store_, "m");
+  ASSERT_TRUE(exported.ok());
+  ASSERT_EQ(exported->size(), 1u);
+  EXPECT_TRUE((*exported)[0].subject.is_blank());
+  // Internal labels are model-qualified, so reloading into another model
+  // cannot capture the original model's nodes.
+  EXPECT_NE((*exported)[0].subject.lexical(), "x");
+}
+
+TEST_F(BulkLoadTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/rdfdb_bulk.nt";
+  std::vector<NTriple> statements = {
+      {U("http://a"), U("http://p"), U("http://b")},
+      {U("http://c"), U("http://q"), Term::PlainLiteral("text value")},
+  };
+  ASSERT_TRUE(WriteNTriplesFile(path, statements).ok());
+  auto stats = BulkLoadFile(&store_, "m", path);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->new_links, 2u);
+
+  std::string out_path = ::testing::TempDir() + "/rdfdb_bulk_out.nt";
+  ASSERT_TRUE(ExportModelToFile(store_, "m", out_path).ok());
+  auto reparsed = ParseNTriplesFile(out_path);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->size(), 2u);
+  std::remove(path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST_F(BulkLoadTest, ExportUnknownModelFails) {
+  EXPECT_TRUE(ExportModel(store_, "ghost").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rdfdb::rdf

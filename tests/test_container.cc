@@ -1,0 +1,162 @@
+#include "rdf/container.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfdb::rdf {
+namespace {
+
+class ContainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.CreateRdfModel("class", "classdata", "triple").ok());
+  }
+
+  RdfStore store_;
+};
+
+TEST_F(ContainerTest, CreateBagWithMembers) {
+  // The paper's example: "to illustrate that a class has several
+  // students".
+  std::vector<Term> students = {
+      Term::Uri("http://ex/students/alice"),
+      Term::Uri("http://ex/students/bob"),
+      Term::Uri("http://ex/students/carol"),
+  };
+  auto bag = CreateContainer(&store_, "class", ContainerKind::kBag,
+                             "students001", students);
+  ASSERT_TRUE(bag.ok());
+  EXPECT_TRUE(bag->is_blank());
+
+  // Stored triples: rdf:type + 3 membership triples.
+  ModelId model = *store_.GetModelId("class");
+  EXPECT_EQ(store_.links().TripleCount(model), 4u);
+
+  auto kind = GetContainerKind(store_, "class", *bag);
+  ASSERT_TRUE(kind.ok());
+  ASSERT_TRUE(kind->has_value());
+  EXPECT_EQ(**kind, ContainerKind::kBag);
+
+  auto members = ContainerMembers(store_, "class", *bag);
+  ASSERT_TRUE(members.ok());
+  EXPECT_EQ(*members, students);
+}
+
+TEST_F(ContainerTest, MembershipTriplesAreRdfMemberLinkType) {
+  auto bag = CreateContainer(&store_, "class", ContainerKind::kBag, "b",
+                             {Term::Uri("http://ex/m1")});
+  ASSERT_TRUE(bag.ok());
+  ModelId model = *store_.GetModelId("class");
+  size_t member_links = 0;
+  store_.links().ScanModel(model, [&](const LinkRow& row) {
+    if (row.link_type == "RDF_MEMBER") ++member_links;
+    return true;
+  });
+  EXPECT_EQ(member_links, 1u);
+}
+
+TEST_F(ContainerTest, SeqAndAltKinds) {
+  auto seq = CreateContainer(&store_, "class", ContainerKind::kSeq, "s",
+                             {Term::PlainLiteral("first")});
+  ASSERT_TRUE(seq.ok());
+  auto alt = CreateContainer(&store_, "class", ContainerKind::kAlt, "a",
+                             {Term::PlainLiteral("choice")});
+  ASSERT_TRUE(alt.ok());
+  EXPECT_EQ(**GetContainerKind(store_, "class", *seq), ContainerKind::kSeq);
+  EXPECT_EQ(**GetContainerKind(store_, "class", *alt), ContainerKind::kAlt);
+}
+
+TEST_F(ContainerTest, EmptyContainer) {
+  auto bag =
+      CreateContainer(&store_, "class", ContainerKind::kBag, "empty", {});
+  ASSERT_TRUE(bag.ok());
+  auto members = ContainerMembers(store_, "class", *bag);
+  ASSERT_TRUE(members.ok());
+  EXPECT_TRUE(members->empty());
+}
+
+TEST_F(ContainerTest, AppendAssignsNextIndex) {
+  auto bag = CreateContainer(&store_, "class", ContainerKind::kBag, "b",
+                             {Term::Uri("http://ex/m1")});
+  ASSERT_TRUE(bag.ok());
+  auto idx2 = AppendContainerMember(&store_, "class", *bag,
+                                    Term::Uri("http://ex/m2"));
+  ASSERT_TRUE(idx2.ok());
+  EXPECT_EQ(*idx2, 2);
+  auto idx3 = AppendContainerMember(&store_, "class", *bag,
+                                    Term::PlainLiteral("a literal member"));
+  ASSERT_TRUE(idx3.ok());
+  EXPECT_EQ(*idx3, 3);
+  auto members = ContainerMembers(store_, "class", *bag);
+  ASSERT_TRUE(members.ok());
+  ASSERT_EQ(members->size(), 3u);
+  EXPECT_EQ((*members)[2].lexical(), "a literal member");
+}
+
+TEST_F(ContainerTest, MembersOrderedByIndexNotInsertion) {
+  // Build a container manually with out-of-order membership indexes.
+  ModelId model = *store_.GetModelId("class");
+  Term bag = Term::BlankNode("manual");
+  ASSERT_TRUE(store_
+                  .InsertParsedTriple(model, bag,
+                                      Term::Uri(std::string(kRdfType)),
+                                      Term::Uri(std::string(kRdfBag)))
+                  .ok());
+  ASSERT_TRUE(store_
+                  .InsertParsedTriple(model, bag,
+                                      Term::Uri(std::string(kRdfNs) + "_3"),
+                                      Term::Uri("http://ex/third"))
+                  .ok());
+  ASSERT_TRUE(store_
+                  .InsertParsedTriple(model, bag,
+                                      Term::Uri(std::string(kRdfNs) + "_1"),
+                                      Term::Uri("http://ex/first"))
+                  .ok());
+  auto members = ContainerMembers(store_, "class", bag);
+  ASSERT_TRUE(members.ok());
+  ASSERT_EQ(members->size(), 2u);  // gap at _2 is fine
+  EXPECT_EQ((*members)[0].lexical(), "http://ex/first");
+  EXPECT_EQ((*members)[1].lexical(), "http://ex/third");
+  // Append continues after the highest index.
+  auto next = AppendContainerMember(&store_, "class", bag,
+                                    Term::Uri("http://ex/fourth"));
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 4);
+}
+
+TEST_F(ContainerTest, NonContainerQueries) {
+  ASSERT_TRUE(
+      store_.InsertTriple("class", "http://ex/x", "http://ex/p", "v").ok());
+  auto kind =
+      GetContainerKind(store_, "class", Term::Uri("http://ex/x"));
+  ASSERT_TRUE(kind.ok());
+  EXPECT_FALSE(kind->has_value());
+  // Unknown term.
+  auto members = ContainerMembers(store_, "class", Term::BlankNode("ghost"));
+  EXPECT_TRUE(members.status().IsNotFound());
+  EXPECT_TRUE(AppendContainerMember(&store_, "class",
+                                    Term::BlankNode("ghost"),
+                                    Term::PlainLiteral("x"))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(ContainerTest, ContainersAreModelScoped) {
+  ASSERT_TRUE(store_.CreateRdfModel("other", "otherdata", "triple").ok());
+  auto bag = CreateContainer(&store_, "class", ContainerKind::kBag, "b",
+                             {Term::Uri("http://ex/m")});
+  ASSERT_TRUE(bag.ok());
+  // The same blank label in another model is a different node.
+  auto members = ContainerMembers(store_, "other", *bag);
+  EXPECT_TRUE(members.status().IsNotFound());
+}
+
+TEST(ContainerClassUriTest, MapsToVocabulary) {
+  EXPECT_EQ(ContainerClassUri(ContainerKind::kBag), kRdfBag);
+  EXPECT_EQ(ContainerClassUri(ContainerKind::kSeq), kRdfSeq);
+  EXPECT_EQ(ContainerClassUri(ContainerKind::kAlt), kRdfAlt);
+}
+
+}  // namespace
+}  // namespace rdfdb::rdf

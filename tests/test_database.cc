@@ -1,0 +1,133 @@
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfdb::storage {
+namespace {
+
+Schema OneCol() {
+  return Schema({ColumnDef{"ID", ValueType::kInt64, false}});
+}
+
+TEST(DatabaseTest, CreateAndGetTable) {
+  Database db("TESTDB");
+  EXPECT_EQ(db.name(), "TESTDB");
+  auto table = db.CreateTable("APP", "DATA", OneCol());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(db.GetTable("APP", "DATA"), *table);
+  EXPECT_EQ(db.GetTable("APP", "MISSING"), nullptr);
+}
+
+TEST(DatabaseTest, NamesAreCaseInsensitive) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("app", "data", OneCol()).ok());
+  EXPECT_NE(db.GetTable("APP", "DATA"), nullptr);
+  EXPECT_NE(db.GetTable("App", "Data"), nullptr);
+  EXPECT_TRUE(db.CreateTable("APP", "DATA", OneCol())
+                  .status()
+                  .IsAlreadyExists());
+}
+
+TEST(DatabaseTest, SchemaSeparatesNamespaces) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("A", "T", OneCol()).ok());
+  ASSERT_TRUE(db.CreateTable("B", "T", OneCol()).ok());
+  EXPECT_NE(db.GetTable("A", "T"), db.GetTable("B", "T"));
+}
+
+TEST(DatabaseTest, DropTable) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("A", "T", OneCol()).ok());
+  ASSERT_TRUE(db.DropTable("A", "T").ok());
+  EXPECT_EQ(db.GetTable("A", "T"), nullptr);
+  EXPECT_TRUE(db.DropTable("A", "T").IsNotFound());
+}
+
+TEST(DatabaseTest, DropTableCascadesViews) {
+  Database db;
+  Table* table = *db.CreateTable("A", "T", OneCol());
+  ASSERT_TRUE(db.CreateView("A", "V", table, True()).ok());
+  ASSERT_TRUE(db.DropTable("A", "T").ok());
+  EXPECT_EQ(db.GetView("A", "V"), nullptr);
+}
+
+TEST(DatabaseTest, TableNamesSorted) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("B", "T2", OneCol()).ok());
+  ASSERT_TRUE(db.CreateTable("A", "T1", OneCol()).ok());
+  EXPECT_EQ(db.TableNames(), (std::vector<std::string>{"A.T1", "B.T2"}));
+}
+
+TEST(DatabaseTest, Views) {
+  Database db;
+  Table* table = *db.CreateTable("A", "T", OneCol());
+  (void)*table->Insert({Value::Int64(1)});
+  (void)*table->Insert({Value::Int64(2)});
+  auto view = db.CreateView("A", "EVENS", table, Eq(0, Value::Int64(2)));
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->row_count(), 1u);
+  EXPECT_EQ(db.GetView("A", "EVENS"), *view);
+  EXPECT_TRUE(db.CreateView("A", "EVENS", table, True())
+                  .status()
+                  .IsAlreadyExists());
+  ASSERT_TRUE(db.DropView("A", "EVENS").ok());
+  EXPECT_TRUE(db.DropView("A", "EVENS").IsNotFound());
+}
+
+TEST(DatabaseTest, ViewAccessControl) {
+  Database db;
+  Table* table = *db.CreateTable("A", "T", OneCol());
+  View* view = *db.CreateView("A", "V", table, True(), "alice");
+  EXPECT_TRUE(view->CanSelect("alice"));
+  EXPECT_FALSE(view->CanSelect("bob"));
+  view->GrantSelect("bob");
+  EXPECT_TRUE(view->CanSelect("bob"));
+  EXPECT_FALSE(view->CanSelect("carol"));
+}
+
+TEST(DatabaseTest, ViewWithoutOwnerIsPublic) {
+  Database db;
+  Table* table = *db.CreateTable("A", "T", OneCol());
+  View* view = *db.CreateView("A", "V", table, True());
+  EXPECT_TRUE(view->CanSelect("anyone"));
+}
+
+TEST(DatabaseTest, Sequences) {
+  Database db;
+  auto seq = db.CreateSequence("A", "S", 100);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ((*seq)->Next(), 100);
+  EXPECT_EQ((*seq)->Next(), 101);
+  EXPECT_EQ((*seq)->Peek(), 102);
+  EXPECT_EQ(db.GetSequence("A", "S"), *seq);
+  EXPECT_EQ(db.GetSequence("A", "MISSING"), nullptr);
+  EXPECT_TRUE(db.CreateSequence("A", "S").status().IsAlreadyExists());
+  (*seq)->Reset(5);
+  EXPECT_EQ((*seq)->Next(), 5);
+}
+
+TEST(DatabaseTest, ApproxTotalBytesSumsTables) {
+  Database db;
+  Table* table = *db.CreateTable("A", "T", OneCol());
+  size_t before = db.ApproxTotalBytes();
+  for (int i = 0; i < 100; ++i) (void)*table->Insert({Value::Int64(i)});
+  EXPECT_GT(db.ApproxTotalBytes(), before);
+}
+
+TEST(ViewTest, ScanFiltersRows) {
+  Database db;
+  Table* table = *db.CreateTable("A", "T", OneCol());
+  for (int i = 0; i < 10; ++i) (void)*table->Insert({Value::Int64(i)});
+  View* view = *db.CreateView("A", "BIG", table,
+                              Compare(0, CompareOp::kGe, Value::Int64(7)));
+  size_t count = 0;
+  view->Scan([&](RowId, const Row& row) {
+    EXPECT_GE(row[0].as_int64(), 7);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace rdfdb::storage

@@ -1,0 +1,157 @@
+#include "dburi/dburi.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfdb::dburi {
+namespace {
+
+using storage::ColumnDef;
+using storage::Database;
+using storage::Schema;
+using storage::Table;
+using storage::Value;
+using storage::ValueType;
+
+TEST(DBUriParseTest, RowForm) {
+  auto uri = Parse("/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=2051]");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->db, "ORADB");
+  EXPECT_EQ(uri->schema, "MDSYS");
+  EXPECT_EQ(uri->table, "RDF_LINK$");
+  EXPECT_EQ(uri->key_column, "LINK_ID");
+  EXPECT_EQ(uri->key_value, "2051");
+  EXPECT_TRUE(uri->addresses_row());
+  EXPECT_TRUE(uri->target_column.empty());
+}
+
+TEST(DBUriParseTest, TableForm) {
+  auto uri = Parse("/ORADB/MDSYS/RDF_VALUE$");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_FALSE(uri->addresses_row());
+}
+
+TEST(DBUriParseTest, ColumnForm) {
+  auto uri = Parse("/ORADB/APP/T/ROW[ID=3]/NAME");
+  ASSERT_TRUE(uri.ok());
+  EXPECT_EQ(uri->target_column, "NAME");
+}
+
+TEST(DBUriParseTest, RoundTripsThroughToString) {
+  const char* cases[] = {
+      "/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=2051]",
+      "/ORADB/MDSYS/RDF_VALUE$",
+      "/ORADB/APP/T/ROW[ID=3]/NAME",
+  };
+  for (const char* text : cases) {
+    auto uri = Parse(text);
+    ASSERT_TRUE(uri.ok()) << text;
+    EXPECT_EQ(uri->ToString(), text);
+  }
+}
+
+TEST(DBUriParseTest, Malformed) {
+  const char* cases[] = {
+      "",
+      "no-slash",
+      "/ORADB",
+      "/ORADB/MDSYS",
+      "/ORADB//T",
+      "/ORADB/MDSYS/T/ROW[novalue]",
+      "/ORADB/MDSYS/T/ROW[=v]",
+      "/ORADB/MDSYS/T/ROW[k=]",
+      "/ORADB/MDSYS/T/notrow",
+      "/ORADB/MDSYS/T/ROW[k=v]/COL/EXTRA",
+      "/ORADB/MDSYS/T/ROW[k=v]/",
+  };
+  for (const char* text : cases) {
+    EXPECT_FALSE(Parse(text).ok()) << text;
+    EXPECT_FALSE(IsDBUri(text)) << text;
+  }
+}
+
+TEST(DBUriParseTest, ForRowBuilder) {
+  DBUri uri = DBUri::ForRow("ORADB", "MDSYS", "RDF_LINK$", "LINK_ID", "7");
+  EXPECT_EQ(uri.ToString(), "/ORADB/MDSYS/RDF_LINK$/ROW[LINK_ID=7]");
+}
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = *db_.CreateTable(
+        "APP", "PEOPLE",
+        Schema({ColumnDef{"ID", ValueType::kInt64, false},
+                ColumnDef{"NAME", ValueType::kString, false}}));
+    (void)*table_->Insert({Value::Int64(1), Value::String("alice")});
+    (void)*table_->Insert({Value::Int64(2), Value::String("bob")});
+  }
+
+  Database db_{"ORADB"};
+  Table* table_ = nullptr;
+};
+
+TEST_F(ResolverTest, ResolvesRowByScan) {
+  Resolver resolver(&db_);
+  auto uri = Parse("/ORADB/APP/PEOPLE/ROW[ID=2]");
+  ASSERT_TRUE(uri.ok());
+  auto row_id = resolver.ResolveRow(*uri);
+  ASSERT_TRUE(row_id.ok());
+  auto row = resolver.FetchRow(*uri);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].as_string(), "bob");
+}
+
+TEST_F(ResolverTest, ResolvesRowThroughIndex) {
+  ASSERT_TRUE(table_->CreateIndex("people_id_idx",
+                                  storage::IndexKind::kHash,
+                                  storage::KeyExtractor::Columns({0}), true)
+                  .ok());
+  Resolver resolver(&db_);
+  auto uri = Parse("/ORADB/APP/PEOPLE/ROW[ID=1]");
+  auto row = resolver.FetchRow(*uri);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].as_string(), "alice");
+}
+
+TEST_F(ResolverTest, FetchText) {
+  Resolver resolver(&db_);
+  auto uri = Parse("/ORADB/APP/PEOPLE/ROW[ID=1]/NAME");
+  auto text = resolver.FetchText(*uri);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "alice");
+}
+
+TEST_F(ResolverTest, FetchTextRequiresColumnForm) {
+  Resolver resolver(&db_);
+  auto uri = Parse("/ORADB/APP/PEOPLE/ROW[ID=1]");
+  EXPECT_TRUE(resolver.FetchText(*uri).status().IsInvalidArgument());
+}
+
+TEST_F(ResolverTest, StringKeyedLookup) {
+  Resolver resolver(&db_);
+  auto uri = Parse("/ORADB/APP/PEOPLE/ROW[NAME=bob]/ID");
+  auto text = resolver.FetchText(*uri);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "2");
+}
+
+TEST_F(ResolverTest, Errors) {
+  Resolver resolver(&db_);
+  EXPECT_TRUE(resolver.ResolveRow(*Parse("/OTHERDB/APP/PEOPLE/ROW[ID=1]"))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(resolver.ResolveRow(*Parse("/ORADB/APP/MISSING/ROW[ID=1]"))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(resolver.ResolveRow(*Parse("/ORADB/APP/PEOPLE/ROW[NOPE=1]"))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(resolver.ResolveRow(*Parse("/ORADB/APP/PEOPLE/ROW[ID=99]"))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(resolver.ResolveRow(*Parse("/ORADB/APP/PEOPLE"))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace rdfdb::dburi

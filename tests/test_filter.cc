@@ -1,0 +1,125 @@
+#include "query/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfdb::query {
+namespace {
+
+Bindings B() {
+  Bindings b;
+  b.emplace("name", rdf::Term::Uri("http://www.us.id#JohnDoe"));
+  b.emplace("age", rdf::Term::TypedLiteral(
+                       "25", "http://www.w3.org/2001/XMLSchema#int"));
+  b.emplace("city", rdf::Term::PlainLiteral("Brooklyn"));
+  return b;
+}
+
+bool Eval(const std::string& expr) {
+  auto f = ParseFilter(expr);
+  EXPECT_TRUE(f.ok()) << expr << ": " << f.status().ToString();
+  return (*f)->Evaluate(B());
+}
+
+TEST(FilterTest, EmptyFilterIsTrue) {
+  EXPECT_TRUE(Eval(""));
+  EXPECT_TRUE(Eval("   "));
+}
+
+TEST(FilterTest, StringEquality) {
+  EXPECT_TRUE(Eval("?city = \"Brooklyn\""));
+  EXPECT_FALSE(Eval("?city = \"Trenton\""));
+  EXPECT_TRUE(Eval("?city != \"Trenton\""));
+  EXPECT_TRUE(Eval("?city <> \"Trenton\""));
+}
+
+TEST(FilterTest, UriComparedByDisplayText) {
+  EXPECT_TRUE(Eval("?name = \"http://www.us.id#JohnDoe\""));
+}
+
+TEST(FilterTest, NumericComparisons) {
+  EXPECT_TRUE(Eval("?age = 25"));
+  EXPECT_TRUE(Eval("?age > 20"));
+  EXPECT_TRUE(Eval("?age >= 25"));
+  EXPECT_TRUE(Eval("?age < 30"));
+  EXPECT_TRUE(Eval("?age <= 25"));
+  EXPECT_FALSE(Eval("?age > 25"));
+  // Numeric semantics, not lexicographic: "100" > "25" numerically.
+  EXPECT_TRUE(Eval("?age < 100"));
+}
+
+TEST(FilterTest, VariableToVariable) {
+  EXPECT_TRUE(Eval("?name != ?city"));
+  EXPECT_FALSE(Eval("?name = ?city"));
+  EXPECT_TRUE(Eval("?age = ?age"));
+}
+
+TEST(FilterTest, UnboundVariableIsFalse) {
+  EXPECT_FALSE(Eval("?ghost = \"x\""));
+  EXPECT_FALSE(Eval("?ghost != \"x\""));  // unbound: no comparison holds
+}
+
+TEST(FilterTest, BooleanConnectives) {
+  EXPECT_TRUE(Eval("?age > 20 AND ?city = \"Brooklyn\""));
+  EXPECT_FALSE(Eval("?age > 20 AND ?city = \"Trenton\""));
+  EXPECT_TRUE(Eval("?age > 99 OR ?city = \"Brooklyn\""));
+  EXPECT_FALSE(Eval("?age > 99 OR ?city = \"Trenton\""));
+  EXPECT_TRUE(Eval("NOT ?age > 99"));
+  EXPECT_FALSE(Eval("NOT ?age = 25"));
+}
+
+TEST(FilterTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(Eval("?age > 20 and ?city = \"Brooklyn\""));
+  EXPECT_TRUE(Eval("?age > 99 or ?city = \"Brooklyn\""));
+  EXPECT_TRUE(Eval("not ?age > 99"));
+}
+
+TEST(FilterTest, ParenthesesAndPrecedence) {
+  // AND binds tighter than OR.
+  EXPECT_TRUE(Eval("?age = 0 AND ?age = 1 OR ?city = \"Brooklyn\""));
+  EXPECT_FALSE(Eval("?age = 0 AND (?age = 1 OR ?city = \"Brooklyn\")"));
+  EXPECT_TRUE(Eval("(?age = 25)"));
+  EXPECT_TRUE(Eval("NOT (?age = 1 OR ?age = 2)"));
+}
+
+TEST(FilterTest, BareTokenOperand) {
+  EXPECT_TRUE(Eval("?city = Brooklyn"));
+}
+
+TEST(FilterTest, EscapedStringLiteral) {
+  Bindings b;
+  b.emplace("v", rdf::Term::PlainLiteral("say \"hi\""));
+  auto f = ParseFilter("?v = \"say \\\"hi\\\"\"");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE((*f)->Evaluate(b));
+}
+
+TEST(FilterTest, MalformedFilters) {
+  const char* cases[] = {
+      "?x =",            // missing rhs
+      "= \"x\"",         // missing lhs
+      "?x ? \"y\"",      // bad operator
+      "(?x = 1",         // missing ')'
+      "?x = 1 extra",    // trailing tokens (no operator)
+      "? = 1",           // empty variable
+      "\"unterminated",  // bad string
+      "AND",             // operand expected
+  };
+  for (const char* expr : cases) {
+    EXPECT_FALSE(ParseFilter(expr).ok()) << expr;
+  }
+}
+
+TEST(FilterTest, LoneOperatorCharactersRejected) {
+  // Regression: a lone '!' used to loop forever in the lexer.
+  EXPECT_FALSE(ParseFilter("!").ok());
+  EXPECT_FALSE(ParseFilter("?x ! 1").ok());
+  EXPECT_FALSE(ParseFilter("!!!!").ok());
+}
+
+TEST(FilterTest, ChainedConnectives) {
+  EXPECT_TRUE(Eval("?age = 25 AND ?city = \"Brooklyn\" AND ?age < 26"));
+  EXPECT_TRUE(Eval("?age = 1 OR ?age = 2 OR ?age = 25"));
+}
+
+}  // namespace
+}  // namespace rdfdb::query

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include "baseline/jena1_store.h"
+#include "baseline/jena2_store.h"
+#include "baseline/property_table.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::baseline {
+namespace {
+
+using rdf::NTriple;
+using rdf::Term;
+
+Term U(const std::string& uri) { return Term::Uri(uri); }
+
+NTriple T(const std::string& s, const std::string& p,
+          const std::string& o) {
+  return NTriple{U(s), U(p), U(o)};
+}
+
+// ---------------- Jena1 (normalized) ----------------
+
+class Jena1Test : public ::testing::Test {
+ protected:
+  storage::Database db_{"ORADB"};
+  Jena1Store store_{&db_, "J1"};
+};
+
+TEST_F(Jena1Test, AddAndFindBySubject) {
+  ASSERT_TRUE(store_.Add(T("http://s", "http://p", "http://o1")).ok());
+  ASSERT_TRUE(store_.Add(T("http://s", "http://p", "http://o2")).ok());
+  ASSERT_TRUE(store_.Add(T("http://t", "http://p", "http://o1")).ok());
+  auto hits = store_.Find(U("http://s"), std::nullopt, std::nullopt);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+  EXPECT_EQ(store_.statement_count(), 3u);
+}
+
+TEST_F(Jena1Test, DuplicateAddIsIdempotent) {
+  ASSERT_TRUE(store_.Add(T("http://s", "http://p", "http://o")).ok());
+  ASSERT_TRUE(store_.Add(T("http://s", "http://p", "http://o")).ok());
+  EXPECT_EQ(store_.statement_count(), 1u);
+}
+
+TEST_F(Jena1Test, NormalizationStoresValuesOnce) {
+  // Resources are interned: same URI reused across statements.
+  ASSERT_TRUE(store_.Add(T("http://s", "http://p", "http://o1")).ok());
+  size_t bytes_one = store_.ApproxBytes();
+  ASSERT_TRUE(store_.Add(T("http://s", "http://p", "http://o2")).ok());
+  size_t delta = store_.ApproxBytes() - bytes_one;
+  // The second statement only adds one new resource + one statement row,
+  // far less than storing all three texts again.
+  EXPECT_LT(delta, bytes_one);
+}
+
+TEST_F(Jena1Test, FindFullyUnbound) {
+  ASSERT_TRUE(store_.Add(T("http://a", "http://p", "http://b")).ok());
+  ASSERT_TRUE(store_.Add(T("http://c", "http://q", "http://d")).ok());
+  auto all = store_.Find(std::nullopt, std::nullopt, std::nullopt);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+}
+
+TEST_F(Jena1Test, FindDistinguishesLiteralsFromResources) {
+  ASSERT_TRUE(store_.Add({U("http://s"), U("http://p"),
+                          Term::PlainLiteral("http://o")})
+                  .ok());
+  ASSERT_TRUE(store_.Add(T("http://s", "http://p", "http://o")).ok());
+  EXPECT_EQ(store_.statement_count(), 2u);
+  auto uri_hits =
+      store_.Find(std::nullopt, std::nullopt, U("http://o"));
+  ASSERT_TRUE(uri_hits.ok());
+  ASSERT_EQ(uri_hits->size(), 1u);
+  EXPECT_TRUE((*uri_hits)[0].object.is_uri());
+  auto lit_hits = store_.Find(std::nullopt, std::nullopt,
+                              Term::PlainLiteral("http://o"));
+  ASSERT_TRUE(lit_hits.ok());
+  ASSERT_EQ(lit_hits->size(), 1u);
+  EXPECT_TRUE((*lit_hits)[0].object.is_literal());
+}
+
+TEST_F(Jena1Test, FindUnknownConstantIsEmpty) {
+  auto hits = store_.Find(U("http://never"), std::nullopt, std::nullopt);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(Jena1Test, RoundTripsTermKinds) {
+  NTriple typed{U("http://s"), U("http://p"),
+                Term::TypedLiteral("5", "http://www.w3.org/2001/"
+                                        "XMLSchema#int")};
+  NTriple lang{U("http://s"), U("http://p"),
+               Term::PlainLiteralLang("hej", "sv")};
+  NTriple blank{Term::BlankNode("b1"), U("http://p"), U("http://o")};
+  for (const NTriple& t : {typed, lang, blank}) {
+    ASSERT_TRUE(store_.Add(t).ok());
+  }
+  auto hits = store_.Find(std::nullopt, U("http://p"), std::nullopt);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 3u);
+  bool saw_typed = false, saw_lang = false, saw_blank = false;
+  for (const NTriple& t : *hits) {
+    if (t.object.is_typed_literal()) saw_typed = true;
+    if (!t.object.language().empty()) saw_lang = true;
+    if (t.subject.is_blank()) saw_blank = true;
+  }
+  EXPECT_TRUE(saw_typed && saw_lang && saw_blank);
+}
+
+// ---------------- Jena2 (denormalized) ----------------
+
+class Jena2Test : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(store_.CreateModel("m").ok()); }
+
+  storage::Database db_{"ORADB"};
+  Jena2Store store_{&db_};
+};
+
+TEST_F(Jena2Test, ModelManagement) {
+  EXPECT_TRUE(store_.CreateModel("m").IsAlreadyExists());
+  EXPECT_TRUE(store_.Add("ghost", T("http://a", "http://b", "http://c"))
+                  .IsNotFound());
+  EXPECT_TRUE(store_.StatementCount("ghost").status().IsNotFound());
+}
+
+TEST_F(Jena2Test, AddAndListStatements) {
+  ASSERT_TRUE(store_.Add("m", T("http://s", "http://p", "http://o1")).ok());
+  ASSERT_TRUE(store_.Add("m", T("http://s", "http://p", "http://o2")).ok());
+  ASSERT_TRUE(store_.Add("m", T("http://t", "http://q", "http://o1")).ok());
+  auto by_subject =
+      store_.ListStatements("m", U("http://s"), std::nullopt, std::nullopt);
+  ASSERT_TRUE(by_subject.ok());
+  EXPECT_EQ(by_subject->size(), 2u);
+  auto by_object =
+      store_.ListStatements("m", std::nullopt, std::nullopt, U("http://o1"));
+  ASSERT_TRUE(by_object.ok());
+  EXPECT_EQ(by_object->size(), 2u);
+  auto by_pred =
+      store_.ListStatements("m", std::nullopt, U("http://q"), std::nullopt);
+  ASSERT_TRUE(by_pred.ok());
+  EXPECT_EQ(by_pred->size(), 1u);
+  auto all =
+      store_.ListStatements("m", std::nullopt, std::nullopt, std::nullopt);
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST_F(Jena2Test, DuplicateAddIsIdempotent) {
+  ASSERT_TRUE(store_.Add("m", T("http://s", "http://p", "http://o")).ok());
+  ASSERT_TRUE(store_.Add("m", T("http://s", "http://p", "http://o")).ok());
+  EXPECT_EQ(*store_.StatementCount("m"), 1u);
+}
+
+TEST_F(Jena2Test, ModelsAreSeparateTables) {
+  ASSERT_TRUE(store_.CreateModel("m2").ok());
+  ASSERT_TRUE(store_.Add("m", T("http://s", "http://p", "http://o")).ok());
+  EXPECT_EQ(*store_.StatementCount("m"), 1u);
+  EXPECT_EQ(*store_.StatementCount("m2"), 0u);
+}
+
+TEST_F(Jena2Test, AddReifiedAndIsReified) {
+  NTriple stmt = T("http://s", "http://p", "http://o");
+  EXPECT_FALSE(*store_.IsReified("m", stmt));
+  ASSERT_TRUE(store_.AddReified("m", "urn:reif:1", stmt).ok());
+  EXPECT_TRUE(*store_.IsReified("m", stmt));
+  EXPECT_EQ(*store_.ReifiedCount("m"), 1u);
+  EXPECT_TRUE(store_.AddReified("m", "urn:reif:1", stmt).IsAlreadyExists());
+}
+
+TEST_F(Jena2Test, ReificationVocabularyFoldsIntoPropertyClassRow) {
+  // Jena2 folds the four quad statements into one row.
+  Term r = U("http://reif/1");
+  NTriple stmt = T("http://s", "http://p", "http://o");
+  ASSERT_TRUE(store_.Add("m", {r, U(std::string(rdf::kRdfSubject)),
+                               stmt.subject})
+                  .ok());
+  EXPECT_FALSE(*store_.IsReified("m", stmt));  // incomplete row
+  ASSERT_TRUE(store_.Add("m", {r, U(std::string(rdf::kRdfPredicate)),
+                               stmt.predicate})
+                  .ok());
+  ASSERT_TRUE(store_.Add("m", {r, U(std::string(rdf::kRdfObject)),
+                               stmt.object})
+                  .ok());
+  EXPECT_FALSE(*store_.IsReified("m", stmt));  // rdf:type still missing
+  ASSERT_TRUE(store_.Add("m", {r, U(std::string(rdf::kRdfType)),
+                               U(std::string(rdf::kRdfStatement))})
+                  .ok());
+  EXPECT_TRUE(*store_.IsReified("m", stmt));
+  // None of those landed in the asserted table.
+  EXPECT_EQ(*store_.StatementCount("m"), 0u);
+  EXPECT_EQ(*store_.ReifiedCount("m"), 1u);
+}
+
+TEST_F(Jena2Test, IsReifiedFalseForDifferentStatement) {
+  ASSERT_TRUE(
+      store_.AddReified("m", "urn:reif:1", T("http://s", "http://p",
+                                             "http://o"))
+          .ok());
+  EXPECT_FALSE(*store_.IsReified("m", T("http://s", "http://p",
+                                        "http://other")));
+}
+
+TEST_F(Jena2Test, DenormalizedStorageDuplicatesText) {
+  // Jena2 "consumes more storage space than Jena1": adding the same
+  // subject text in many rows grows bytes linearly.
+  std::string long_subject(500, 's');
+  size_t before = *store_.ApproxBytes("m");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store_.Add("m", T("http://" + long_subject, "http://p",
+                                  "http://o" + std::to_string(i)))
+                    .ok());
+  }
+  size_t delta = *store_.ApproxBytes("m") - before;
+  EXPECT_GT(delta, 10u * 500u);  // subject text stored in every row
+}
+
+TEST_F(Jena2Test, PropertyTableRouting) {
+  ASSERT_TRUE(store_.CreateModel("dc", {{"http://purl.org/dc/title",
+                                         "http://purl.org/dc/publisher"}})
+                  .ok());
+  ASSERT_TRUE(store_.Add("dc", {U("http://doc1"),
+                                U("http://purl.org/dc/title"),
+                                Term::PlainLiteral("Title 1")})
+                  .ok());
+  ASSERT_TRUE(store_.Add("dc", {U("http://doc1"),
+                                U("http://purl.org/dc/publisher"),
+                                Term::PlainLiteral("ACM")})
+                  .ok());
+  ASSERT_TRUE(store_.Add("dc", T("http://doc1", "http://other",
+                                 "http://x"))
+                  .ok());
+  // Property-table predicates do not land in the asserted table.
+  EXPECT_EQ(*store_.StatementCount("dc"), 1u);
+  const auto& tables = store_.property_tables("dc");
+  ASSERT_EQ(tables.size(), 1u);
+  auto row = tables[0]->GetRow(U("http://doc1"));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->size(), 2u);
+  EXPECT_EQ(row->at("http://purl.org/dc/title").lexical(), "Title 1");
+}
+
+// ---------------- Property tables ----------------
+
+TEST(PropertyTableTest, PutGetAndOverwrite) {
+  storage::Database db("ORADB");
+  PropertyTable table(&db, "PT", "T", {"http://p1", "http://p2"});
+  EXPECT_TRUE(table.Handles("http://p1"));
+  EXPECT_FALSE(table.Handles("http://p3"));
+  ASSERT_TRUE(table.Put(U("http://s"), "http://p1",
+                        Term::PlainLiteral("v1"))
+                  .ok());
+  auto got = table.Get(U("http://s"), "http://p1");
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  EXPECT_EQ((*got)->lexical(), "v1");
+  // Overwrite (single-valued semantics).
+  ASSERT_TRUE(table.Put(U("http://s"), "http://p1",
+                        Term::PlainLiteral("v2"))
+                  .ok());
+  EXPECT_EQ((*table.Get(U("http://s"), "http://p1"))->lexical(), "v2");
+  EXPECT_EQ(table.row_count(), 1u);
+  // Unset predicate on existing subject.
+  auto missing = table.Get(U("http://s"), "http://p2");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+  // Unknown subject.
+  auto unknown = table.Get(U("http://ghost"), "http://p1");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_FALSE(unknown->has_value());
+  // Unconfigured predicate errors.
+  EXPECT_TRUE(table.Put(U("http://s"), "http://p9",
+                        Term::PlainLiteral("x"))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      table.Get(U("http://s"), "http://p9").status().IsInvalidArgument());
+}
+
+TEST(PropertyTableTest, GetRowEmptyForUnknownSubject) {
+  storage::Database db("ORADB");
+  PropertyTable table(&db, "PT", "T", {"http://p1"});
+  auto row = table.GetRow(U("http://ghost"));
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE(row->empty());
+}
+
+}  // namespace
+}  // namespace rdfdb::baseline

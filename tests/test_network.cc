@@ -1,0 +1,114 @@
+#include "ndm/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rdfdb::ndm {
+namespace {
+
+TEST(NetworkTest, AddNodeIdempotent) {
+  LogicalNetwork net;
+  net.AddNode(1);
+  net.AddNode(1);
+  EXPECT_EQ(net.node_count(), 1u);
+  EXPECT_TRUE(net.HasNode(1));
+  EXPECT_FALSE(net.HasNode(2));
+}
+
+TEST(NetworkTest, AddLinkCreatesEndpoints) {
+  LogicalNetwork net;
+  ASSERT_TRUE(net.AddLink({100, 1, 2, 1.0, 0}).ok());
+  EXPECT_TRUE(net.HasNode(1));
+  EXPECT_TRUE(net.HasNode(2));
+  EXPECT_TRUE(net.HasLink(100));
+  EXPECT_EQ(net.link_count(), 1u);
+  const Link* link = net.GetLink(100);
+  ASSERT_NE(link, nullptr);
+  EXPECT_EQ(link->start, 1);
+  EXPECT_EQ(link->end, 2);
+}
+
+TEST(NetworkTest, DuplicateLinkIdRejected) {
+  LogicalNetwork net;
+  ASSERT_TRUE(net.AddLink({100, 1, 2}).ok());
+  EXPECT_TRUE(net.AddLink({100, 3, 4}).IsAlreadyExists());
+}
+
+TEST(NetworkTest, ParallelLinksAllowed) {
+  // "A new link is always created whenever a new triple is inserted."
+  LogicalNetwork net;
+  ASSERT_TRUE(net.AddLink({1, 10, 20}).ok());
+  ASSERT_TRUE(net.AddLink({2, 10, 20}).ok());
+  EXPECT_EQ(net.OutDegree(10), 2u);
+  EXPECT_EQ(net.InDegree(20), 2u);
+  // Successors deduplicates.
+  EXPECT_EQ(net.Successors(10), std::vector<NodeId>{20});
+}
+
+TEST(NetworkTest, DegreesAndAdjacency) {
+  LogicalNetwork net;
+  ASSERT_TRUE(net.AddLink({1, 1, 2}).ok());
+  ASSERT_TRUE(net.AddLink({2, 1, 3}).ok());
+  ASSERT_TRUE(net.AddLink({3, 4, 1}).ok());
+  EXPECT_EQ(net.OutDegree(1), 2u);
+  EXPECT_EQ(net.InDegree(1), 1u);
+  EXPECT_EQ(net.OutDegree(99), 0u);  // unknown node
+  auto succ = net.Successors(1);
+  std::sort(succ.begin(), succ.end());
+  EXPECT_EQ(succ, (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(net.Predecessors(1), std::vector<NodeId>{4});
+  EXPECT_TRUE(net.OutLinks(99).empty());
+}
+
+TEST(NetworkTest, RemoveLinkKeepsConnectedNodes) {
+  // "The nodes attached to this link are not removed if there are other
+  // links connected to them."
+  LogicalNetwork net;
+  ASSERT_TRUE(net.AddLink({1, 1, 2}).ok());
+  ASSERT_TRUE(net.AddLink({2, 1, 3}).ok());
+  ASSERT_TRUE(net.RemoveLink(1).ok());
+  EXPECT_FALSE(net.HasLink(1));
+  EXPECT_TRUE(net.HasNode(1));  // still has link 2
+  EXPECT_TRUE(net.HasNode(2));  // node removal is explicit
+  EXPECT_TRUE(net.RemoveNodeIfIsolated(2));
+  EXPECT_FALSE(net.RemoveNodeIfIsolated(1));  // not isolated
+  EXPECT_FALSE(net.RemoveNodeIfIsolated(42));  // unknown
+}
+
+TEST(NetworkTest, RemoveMissingLink) {
+  LogicalNetwork net;
+  EXPECT_TRUE(net.RemoveLink(7).IsNotFound());
+}
+
+TEST(NetworkTest, NodesAndLinksEnumerate) {
+  LogicalNetwork net;
+  ASSERT_TRUE(net.AddLink({1, 1, 2}).ok());
+  ASSERT_TRUE(net.AddLink({2, 2, 3}).ok());
+  auto nodes = net.Nodes();
+  std::sort(nodes.begin(), nodes.end());
+  EXPECT_EQ(nodes, (std::vector<NodeId>{1, 2, 3}));
+  auto links = net.Links();
+  std::sort(links.begin(), links.end());
+  EXPECT_EQ(links, (std::vector<LinkId>{1, 2}));
+}
+
+TEST(NetworkTest, LinkLabelAndCostStored) {
+  LogicalNetwork net;
+  ASSERT_TRUE(net.AddLink({5, 1, 2, 2.5, 77}).ok());
+  const Link* link = net.GetLink(5);
+  EXPECT_DOUBLE_EQ(link->cost, 2.5);
+  EXPECT_EQ(link->label, 77);
+}
+
+TEST(NetworkTest, SelfLoop) {
+  LogicalNetwork net;
+  ASSERT_TRUE(net.AddLink({1, 7, 7}).ok());
+  EXPECT_EQ(net.OutDegree(7), 1u);
+  EXPECT_EQ(net.InDegree(7), 1u);
+  ASSERT_TRUE(net.RemoveLink(1).ok());
+  EXPECT_TRUE(net.RemoveNodeIfIsolated(7));
+}
+
+}  // namespace
+}  // namespace rdfdb::ndm

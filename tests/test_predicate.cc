@@ -1,0 +1,84 @@
+#include "storage/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfdb::storage {
+namespace {
+
+Row MakeRow(int64_t id, const std::string& name) {
+  return Row{Value::Int64(id), Value::String(name)};
+}
+
+TEST(PredicateTest, Equality) {
+  PredicatePtr p = Eq(0, Value::Int64(5));
+  EXPECT_TRUE(p->Evaluate(MakeRow(5, "a")));
+  EXPECT_FALSE(p->Evaluate(MakeRow(6, "a")));
+}
+
+TEST(PredicateTest, AllComparisonOps) {
+  Row row = MakeRow(5, "m");
+  EXPECT_TRUE(Compare(0, CompareOp::kNe, Value::Int64(4))->Evaluate(row));
+  EXPECT_TRUE(Compare(0, CompareOp::kLt, Value::Int64(6))->Evaluate(row));
+  EXPECT_TRUE(Compare(0, CompareOp::kLe, Value::Int64(5))->Evaluate(row));
+  EXPECT_TRUE(Compare(0, CompareOp::kGt, Value::Int64(4))->Evaluate(row));
+  EXPECT_TRUE(Compare(0, CompareOp::kGe, Value::Int64(5))->Evaluate(row));
+  EXPECT_FALSE(Compare(0, CompareOp::kLt, Value::Int64(5))->Evaluate(row));
+  EXPECT_FALSE(Compare(0, CompareOp::kGt, Value::Int64(5))->Evaluate(row));
+}
+
+TEST(PredicateTest, StringComparison) {
+  PredicatePtr p = Compare(1, CompareOp::kGt, Value::String("a"));
+  EXPECT_TRUE(p->Evaluate(MakeRow(0, "b")));
+  EXPECT_FALSE(p->Evaluate(MakeRow(0, "a")));
+}
+
+TEST(PredicateTest, NullsMakeComparisonsFalse) {
+  Row row{Value::Null(), Value::String("x")};
+  EXPECT_FALSE(Eq(0, Value::Int64(0))->Evaluate(row));
+  EXPECT_FALSE(Compare(0, CompareOp::kNe, Value::Int64(0))->Evaluate(row));
+}
+
+TEST(PredicateTest, IsNull) {
+  Row row{Value::Null(), Value::String("x")};
+  EXPECT_TRUE(IsNull(0)->Evaluate(row));
+  EXPECT_FALSE(IsNull(1)->Evaluate(row));
+}
+
+TEST(PredicateTest, OutOfRangeColumnIsFalse) {
+  Row row = MakeRow(1, "a");
+  EXPECT_FALSE(Eq(9, Value::Int64(1))->Evaluate(row));
+}
+
+TEST(PredicateTest, AndOrNot) {
+  Row row = MakeRow(5, "m");
+  PredicatePtr five = Eq(0, Value::Int64(5));
+  PredicatePtr m = Eq(1, Value::String("m"));
+  PredicatePtr other = Eq(1, Value::String("z"));
+  EXPECT_TRUE(And(five, m)->Evaluate(row));
+  EXPECT_FALSE(And(five, other)->Evaluate(row));
+  EXPECT_TRUE(Or(other, m)->Evaluate(row));
+  EXPECT_FALSE(Or(other, Not(five))->Evaluate(row));
+  EXPECT_TRUE(Not(other)->Evaluate(row));
+}
+
+TEST(PredicateTest, EmptyAndIsTrueEmptyOrIsFalse) {
+  Row row = MakeRow(1, "a");
+  EXPECT_TRUE(And(std::vector<PredicatePtr>{})->Evaluate(row));
+  EXPECT_FALSE(Or(std::vector<PredicatePtr>{})->Evaluate(row));
+}
+
+TEST(PredicateTest, TrueConstant) {
+  EXPECT_TRUE(True()->Evaluate(MakeRow(0, "")));
+}
+
+TEST(PredicateTest, ToStringRendersStructure) {
+  PredicatePtr p = And(Eq(0, Value::Int64(1)),
+                       Not(Eq(1, Value::String("x"))));
+  std::string s = p->ToString();
+  EXPECT_NE(s.find("col[0] = '1'"), std::string::npos);
+  EXPECT_NE(s.find("NOT"), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfdb::storage

@@ -1,0 +1,112 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rdfdb {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTest, UniformStaysInBound) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, UniformCoversAllValues) {
+  Random rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all of -2..2 hit
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliEdges) {
+  Random rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(17);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RandomTest, SkewedFavorsSmallRanks) {
+  Random rng(19);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t r = rng.Skewed(1000);
+    EXPECT_LT(r, 1000u);
+    if (r < 10) ++low;
+    if (r >= 500) ++high;
+  }
+  // Harmonic weighting: the first 10 ranks should be far more popular
+  // than the top half combined.
+  EXPECT_GT(low, high);
+}
+
+TEST(RandomTest, SkewedDegenerateBounds) {
+  Random rng(21);
+  EXPECT_EQ(rng.Skewed(0), 0u);
+  EXPECT_EQ(rng.Skewed(1), 0u);
+}
+
+TEST(RandomTest, IdentifierShapeAndDeterminism) {
+  Random a(23), b(23);
+  std::string ia = a.Identifier(8);
+  std::string ib = b.Identifier(8);
+  EXPECT_EQ(ia, ib);
+  EXPECT_EQ(ia.size(), 8u);
+  for (char c : ia) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace rdfdb

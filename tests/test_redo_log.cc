@@ -1,0 +1,251 @@
+#include "rdf/redo_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rdfdb::rdf {
+namespace {
+
+class RedoLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    snapshot_path_ = ::testing::TempDir() + "/rdfdb_redo_snap.bin";
+    log_path_ = ::testing::TempDir() + "/rdfdb_redo.log";
+    std::remove(snapshot_path_.c_str());
+    std::remove(log_path_.c_str());
+  }
+
+  void TearDown() override {
+    std::remove(snapshot_path_.c_str());
+    std::remove(log_path_.c_str());
+  }
+
+  std::string snapshot_path_;
+  std::string log_path_;
+};
+
+TEST_F(RedoLogTest, CrashRecoveryFromLogOnly) {
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("cia", "ciadata", "triple").ok());
+    ASSERT_TRUE((*db)
+                    ->InsertTriple("cia", "gov:files",
+                                   "gov:terrorSuspect", "id:JohnDoe")
+                    .ok());
+    ASSERT_TRUE((*db)
+                    ->InsertTriple("cia", "gov:files",
+                                   "gov:terrorSuspect", "id:JaneDoe")
+                    .ok());
+    // "Crash": drop the in-memory store without checkpointing.
+  }
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  RdfStore& store = (*recovered)->store();
+  EXPECT_TRUE(*store.IsTriple("cia", "gov:files", "gov:terrorSuspect",
+                              "id:JohnDoe"));
+  EXPECT_TRUE(*store.IsTriple("cia", "gov:files", "gov:terrorSuspect",
+                              "id:JaneDoe"));
+  EXPECT_EQ(store.links().TotalTripleCount(), 2u);
+  EXPECT_TRUE(store.CheckConsistency().ok());
+}
+
+TEST_F(RedoLogTest, ReificationAndAssertionsReplay) {
+  LinkId original_base = 0;
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("cia", "ciadata", "triple").ok());
+    auto base = (*db)->InsertTriple("cia", "gov:files",
+                                    "gov:terrorSuspect", "id:JohnDoe");
+    ASSERT_TRUE(base.ok());
+    original_base = base->rdf_t_id();
+    ASSERT_TRUE((*db)->ReifyTriple("cia", base->rdf_t_id()).ok());
+    ASSERT_TRUE((*db)
+                    ->AssertAboutTriple("cia", "gov:MI5", "gov:source",
+                                        base->rdf_t_id())
+                    .ok());
+    ASSERT_TRUE((*db)
+                    ->AssertImplied("cia", "gov:Interpol", "gov:source",
+                                    "gov:files", "gov:terrorSuspect",
+                                    "id:JohnDoeJr")
+                    .ok());
+  }
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  RdfStore& store = (*recovered)->store();
+  EXPECT_TRUE(*store.IsReified("cia", "gov:files", "gov:terrorSuspect",
+                               "id:JohnDoe"));
+  EXPECT_TRUE(*store.IsReified("cia", "gov:files", "gov:terrorSuspect",
+                               "id:JohnDoeJr"));
+  // Implied context preserved through replay.
+  auto implied_id = store.GetTripleId("cia", "gov:files",
+                                      "gov:terrorSuspect", "id:JohnDoeJr");
+  ASSERT_TRUE(implied_id.ok());
+  EXPECT_EQ(store.links().Get(*implied_id)->context,
+            TripleContext::kImplied);
+  // Same logical state: 1 fact + 2 reifs + 2 assertions + 1 implied = 6.
+  EXPECT_EQ(store.links().TotalTripleCount(), 6u);
+  (void)original_base;
+}
+
+TEST_F(RedoLogTest, DeletesReplay) {
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("m", "mdata", "triple").ok());
+    ASSERT_TRUE((*db)->InsertTriple("m", "gov:a", "gov:p", "gov:b").ok());
+    ASSERT_TRUE((*db)->InsertTriple("m", "gov:c", "gov:p", "gov:d").ok());
+    ASSERT_TRUE((*db)->DeleteTriple("m", "gov:a", "gov:p", "gov:b").ok());
+  }
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  RdfStore& store = (*recovered)->store();
+  EXPECT_FALSE(*store.IsTriple("m", "gov:a", "gov:p", "gov:b"));
+  EXPECT_TRUE(*store.IsTriple("m", "gov:c", "gov:p", "gov:d"));
+}
+
+TEST_F(RedoLogTest, TypedLiteralsAndBlanksSurviveReplay) {
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("m", "mdata", "triple").ok());
+    ASSERT_TRUE(
+        (*db)->InsertTriple("m", "gov:x", "gov:age", "\"+025\"^^xsd:int")
+            .ok());
+    ASSERT_TRUE((*db)
+                    ->InsertTriple("m", "_:b1", "gov:label",
+                                   "\"tab\\there\"@en")
+                    .ok());
+    // Reify a triple with a blank subject (exercises the original-label
+    // recovery path in logical logging).
+    auto base = (*db)->store().GetTripleId("m", "_:b1", "gov:label",
+                                           "\"tab\\there\"@en");
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE((*db)->ReifyTriple("m", *base).ok());
+  }
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  RdfStore& store = (*recovered)->store();
+  EXPECT_TRUE(*store.IsTriple("m", "gov:x", "gov:age",
+                              "\"+025\"^^xsd:int"));
+  // Canonicalization still applied after replay: query the canon form.
+  auto id = store.GetTripleId("m", "gov:x", "gov:age",
+                              "\"+025\"^^xsd:int");
+  ASSERT_TRUE(id.ok());
+  auto row = store.links().Get(*id);
+  EXPECT_NE(row->end_node_id, row->canon_end_node_id);
+  EXPECT_TRUE(*store.IsReified("m", "_:b1", "gov:label",
+                               "\"tab\\there\"@en"));
+}
+
+TEST_F(RedoLogTest, CheckpointTruncatesLogAndKeepsState) {
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("m", "mdata", "triple").ok());
+    ASSERT_TRUE((*db)->InsertTriple("m", "gov:a", "gov:p", "gov:b").ok());
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+    // Post-checkpoint mutation lands in the fresh log.
+    ASSERT_TRUE((*db)->InsertTriple("m", "gov:c", "gov:p", "gov:d").ok());
+  }
+  // Log contains only the post-checkpoint record.
+  std::ifstream log(log_path_);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(log, line)) {
+    if (!line.empty()) ++lines;
+  }
+  EXPECT_EQ(lines, 1u);
+
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  RdfStore& store = (*recovered)->store();
+  EXPECT_TRUE(*store.IsTriple("m", "gov:a", "gov:p", "gov:b"));
+  EXPECT_TRUE(*store.IsTriple("m", "gov:c", "gov:p", "gov:d"));
+  EXPECT_TRUE(store.CheckConsistency().ok());
+}
+
+TEST_F(RedoLogTest, ModelDropReplays) {
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("temp", "t", "triple").ok());
+    ASSERT_TRUE((*db)->InsertTriple("temp", "gov:a", "gov:p", "gov:b")
+                    .ok());
+    ASSERT_TRUE((*db)->DropRdfModel("temp").ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("keep", "k", "triple").ok());
+  }
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  RdfStore& store = (*recovered)->store();
+  EXPECT_TRUE(store.GetModelId("temp").status().IsNotFound());
+  EXPECT_TRUE(store.GetModelId("keep").ok());
+  EXPECT_EQ(store.links().TotalTripleCount(), 0u);
+}
+
+TEST_F(RedoLogTest, FailedOperationsAreNotLogged) {
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    // Inserting into a missing model fails and must leave no record.
+    EXPECT_FALSE(
+        (*db)->InsertTriple("ghost", "gov:a", "gov:p", "gov:b").ok());
+    EXPECT_FALSE((*db)->DeleteTriple("ghost", "a", "b", "c").ok());
+  }
+  std::ifstream log(log_path_);
+  std::string contents((std::istreambuf_iterator<char>(log)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_TRUE(contents.empty());
+  // And recovery from the empty log succeeds.
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+}
+
+TEST_F(RedoLogTest, CorruptLogRejected) {
+  {
+    std::ofstream log(log_path_);
+    log << "Z\tgarbage\trecord\n";
+  }
+  EXPECT_TRUE(LoggedRdfStore::Open(snapshot_path_, log_path_)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST_F(RedoLogTest, TruncatedFieldCountRejected) {
+  {
+    std::ofstream log(log_path_);
+    log << "I\tmodel\tsubject\n";  // too few fields
+  }
+  RdfStore store;
+  EXPECT_TRUE(ReplayRedoLog(log_path_, &store).status().IsCorruption());
+}
+
+TEST_F(RedoLogTest, MissingLogIsEmpty) {
+  RdfStore store;
+  auto stats = ReplayRedoLog("/nonexistent/never.log", &store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records, 0u);
+}
+
+TEST_F(RedoLogTest, EscapingRoundTrips) {
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("m", "mdata", "triple").ok());
+    // Literal with tab, newline and backslash.
+    ASSERT_TRUE((*db)
+                    ->InsertTriple("m", "gov:doc", "gov:body",
+                                   "\"line1\\nline2\\ttabbed\"")
+                    .ok());
+  }
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(*(*recovered)->store().IsTriple(
+      "m", "gov:doc", "gov:body", "\"line1\\nline2\\ttabbed\""));
+}
+
+}  // namespace
+}  // namespace rdfdb::rdf

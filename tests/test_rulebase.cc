@@ -1,0 +1,117 @@
+#include "query/rulebase.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace rdfdb::query {
+namespace {
+
+Rule IntelRule() {
+  // The paper's intel_rule: anyone who performs 'bombing' is a suspect.
+  Rule rule;
+  rule.name = "intel_rule";
+  rule.antecedent = "(?x gov:terrorAction \"bombing\")";
+  rule.consequent = "(gov:files gov:terrorSuspect ?x)";
+  rule.aliases = {{"gov", "http://www.us.gov#"}};
+  return rule;
+}
+
+TEST(RuleValidationTest, PaperIntelRuleIsValid) {
+  EXPECT_TRUE(ValidateRule(IntelRule()).ok());
+}
+
+TEST(RuleValidationTest, RequiresName) {
+  Rule rule = IntelRule();
+  rule.name = "";
+  EXPECT_TRUE(ValidateRule(rule).IsInvalidArgument());
+}
+
+TEST(RuleValidationTest, RejectsBadAntecedent) {
+  Rule rule = IntelRule();
+  rule.antecedent = "not a pattern";
+  EXPECT_TRUE(ValidateRule(rule).IsInvalidArgument());
+}
+
+TEST(RuleValidationTest, RejectsBadConsequent) {
+  Rule rule = IntelRule();
+  rule.consequent = "(?x ?y)";
+  EXPECT_TRUE(ValidateRule(rule).IsInvalidArgument());
+}
+
+TEST(RuleValidationTest, RejectsMultipleConsequents) {
+  Rule rule = IntelRule();
+  rule.consequent = "(?x gov:a ?x) (?x gov:b ?x)";
+  EXPECT_TRUE(ValidateRule(rule).IsInvalidArgument());
+}
+
+TEST(RuleValidationTest, RejectsUnboundConsequentVariable) {
+  Rule rule = IntelRule();
+  rule.consequent = "(gov:files gov:terrorSuspect ?unbound)";
+  Status st = ValidateRule(rule);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("unbound"), std::string::npos);
+}
+
+TEST(RuleValidationTest, RejectsBadFilter) {
+  Rule rule = IntelRule();
+  rule.filter = "?x =";
+  EXPECT_TRUE(ValidateRule(rule).IsInvalidArgument());
+}
+
+TEST(RuleValidationTest, AcceptsFilterAndMultiPatternAntecedent) {
+  Rule rule;
+  rule.name = "r";
+  rule.antecedent = "(?x gov:age ?a) (?x gov:knows ?y)";
+  rule.filter = "?a > 18";
+  rule.consequent = "(?x gov:adultKnows ?y)";
+  rule.aliases = {{"gov", "http://www.us.gov#"}};
+  EXPECT_TRUE(ValidateRule(rule).ok());
+}
+
+TEST(RulebaseTest, AddRuleAndDuplicateDetection) {
+  Rulebase rb("intel_rb");
+  EXPECT_EQ(rb.name(), "intel_rb");
+  ASSERT_TRUE(rb.AddRule(IntelRule()).ok());
+  EXPECT_EQ(rb.rules().size(), 1u);
+  EXPECT_TRUE(rb.AddRule(IntelRule()).IsAlreadyExists());
+  Rule other = IntelRule();
+  other.name = "other_rule";
+  EXPECT_TRUE(rb.AddRule(other).ok());
+  EXPECT_EQ(rb.rules().size(), 2u);
+}
+
+TEST(RulebaseTest, InvalidRuleNotAdded) {
+  Rulebase rb("rb");
+  Rule bad = IntelRule();
+  bad.antecedent = "(broken";
+  EXPECT_FALSE(rb.AddRule(bad).ok());
+  EXPECT_TRUE(rb.rules().empty());
+}
+
+TEST(RdfsRulebaseTest, ContainsExpectedRules) {
+  const Rulebase& rdfs = BuiltinRdfsRulebase();
+  EXPECT_EQ(rdfs.name(), kRdfsRulebaseName);
+  std::vector<std::string> names;
+  for (const Rule& rule : rdfs.rules()) names.push_back(rule.name);
+  for (const char* expected :
+       {"rdfs2", "rdfs3", "rdfs5", "rdfs6", "rdfs7", "rdfs8", "rdfs9",
+        "rdfs10", "rdfs11", "rdfs12", "rdfs13"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected),
+              names.end())
+        << expected;
+  }
+}
+
+TEST(RdfsRulebaseTest, AllRulesValid) {
+  for (const Rule& rule : BuiltinRdfsRulebase().rules()) {
+    EXPECT_TRUE(ValidateRule(rule).ok()) << rule.name;
+  }
+}
+
+TEST(RdfsRulebaseTest, SingletonInstance) {
+  EXPECT_EQ(&BuiltinRdfsRulebase(), &BuiltinRdfsRulebase());
+}
+
+}  // namespace
+}  // namespace rdfdb::query

@@ -1,0 +1,86 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfdb::storage {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({
+      ColumnDef{"ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"NAME", ValueType::kString, /*nullable=*/true},
+      ColumnDef{"SCORE", ValueType::kDouble, /*nullable=*/true},
+      ColumnDef{"BODY", ValueType::kClob, /*nullable=*/true},
+  });
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.ColumnIndex("ID"), 0);
+  EXPECT_EQ(s.ColumnIndex("BODY"), 3);
+  EXPECT_EQ(s.ColumnIndex("NOPE"), -1);
+  EXPECT_EQ(s.column(1).name, "NAME");
+}
+
+TEST(SchemaTest, ValidRowPasses) {
+  Schema s = MakeSchema();
+  Row row{Value::Int64(1), Value::String("a"), Value::Double(0.5),
+          Value::Clob("body")};
+  EXPECT_TRUE(s.ValidateRow(row).ok());
+}
+
+TEST(SchemaTest, ArityMismatchFails) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(s.ValidateRow({Value::Int64(1)}).IsInvalidArgument());
+  EXPECT_TRUE(s.ValidateRow({}).IsInvalidArgument());
+}
+
+TEST(SchemaTest, NullInNotNullColumnFails) {
+  Schema s = MakeSchema();
+  Row row{Value::Null(), Value::Null(), Value::Null(), Value::Null()};
+  Status st = s.ValidateRow(row);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("ID"), std::string::npos);
+}
+
+TEST(SchemaTest, NullInNullableColumnsPasses) {
+  Schema s = MakeSchema();
+  Row row{Value::Int64(1), Value::Null(), Value::Null(), Value::Null()};
+  EXPECT_TRUE(s.ValidateRow(row).ok());
+}
+
+TEST(SchemaTest, TypeMismatchFails) {
+  Schema s = MakeSchema();
+  Row row{Value::String("oops"), Value::Null(), Value::Null(), Value::Null()};
+  EXPECT_TRUE(s.ValidateRow(row).IsInvalidArgument());
+}
+
+TEST(SchemaTest, WideningCoercionsAllowed) {
+  Schema s = MakeSchema();
+  // Int into double column; string into clob column.
+  Row row{Value::Int64(1), Value::Null(), Value::Int64(3),
+          Value::String("short text")};
+  EXPECT_TRUE(s.ValidateRow(row).ok());
+}
+
+TEST(SchemaTest, NarrowingCoercionsRejected) {
+  Schema s = MakeSchema();
+  // Double into int column.
+  Row bad_int{Value::Double(1.5), Value::Null(), Value::Null(),
+              Value::Null()};
+  EXPECT_TRUE(s.ValidateRow(bad_int).IsInvalidArgument());
+  // Clob into string column.
+  Row bad_str{Value::Int64(1), Value::Clob("x"), Value::Null(),
+              Value::Null()};
+  EXPECT_TRUE(s.ValidateRow(bad_str).IsInvalidArgument());
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema s;
+  EXPECT_EQ(s.num_columns(), 0u);
+  EXPECT_TRUE(s.ValidateRow({}).ok());
+}
+
+}  // namespace
+}  // namespace rdfdb::storage

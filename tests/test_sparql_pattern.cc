@@ -1,0 +1,131 @@
+#include "query/sparql_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfdb::query {
+namespace {
+
+AliasList GovAliases() {
+  return {{"gov", "http://www.us.gov#"}, {"id", "http://www.us.id#"}};
+}
+
+TEST(PatternParseTest, SinglePatternWithVariable) {
+  auto patterns =
+      ParsePatterns("(gov:files gov:terrorSuspect ?name)", GovAliases());
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 1u);
+  const TriplePattern& p = (*patterns)[0];
+  EXPECT_FALSE(p.subject.is_variable);
+  EXPECT_EQ(p.subject.term.lexical(), "http://www.us.gov#files");
+  EXPECT_EQ(p.predicate.term.lexical(), "http://www.us.gov#terrorSuspect");
+  ASSERT_TRUE(p.object.is_variable);
+  EXPECT_EQ(p.object.variable, "name");
+  EXPECT_EQ(p.Variables(), std::vector<std::string>{"name"});
+}
+
+TEST(PatternParseTest, MultiplePatterns) {
+  auto patterns = ParsePatterns(
+      "(?x gov:terrorAction \"bombing\") (?x gov:knows ?y)", GovAliases());
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->size(), 2u);
+  EXPECT_TRUE((*patterns)[0].subject.is_variable);
+  EXPECT_EQ((*patterns)[0].object.term.lexical(), "bombing");
+  EXPECT_TRUE((*patterns)[0].object.term.is_literal());
+}
+
+TEST(PatternParseTest, BuiltinAliasesAlwaysAvailable) {
+  auto patterns = ParsePatterns("(?x rdf:type rdfs:Class)", {});
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ((*patterns)[0].predicate.term.lexical(),
+            std::string(rdf::kRdfType));
+  EXPECT_EQ((*patterns)[0].object.term.lexical(),
+            std::string(rdf::kRdfsNs) + "Class");
+}
+
+TEST(PatternParseTest, UserAliasOverridesBuiltin) {
+  AliasList aliases = {{"rdf", "http://custom#"}};
+  auto patterns = ParsePatterns("(?x rdf:thing ?y)", aliases);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ((*patterns)[0].predicate.term.lexical(), "http://custom#thing");
+}
+
+TEST(PatternParseTest, UnknownPrefixTreatedAsUri) {
+  auto patterns = ParsePatterns("(urn:a urn:b urn:c)", {});
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ((*patterns)[0].subject.term.lexical(), "urn:a");
+  EXPECT_TRUE((*patterns)[0].subject.term.is_uri());
+}
+
+TEST(PatternParseTest, AngleBracketUriBypassesAliases) {
+  auto patterns = ParsePatterns("(<rdf:notalias> gov:p ?x)", GovAliases());
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ((*patterns)[0].subject.term.lexical(), "rdf:notalias");
+}
+
+TEST(PatternParseTest, QuotedLiteralWithSpaces) {
+  auto patterns =
+      ParsePatterns("(?x gov:label \"two words\")", GovAliases());
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ((*patterns)[0].object.term.lexical(), "two words");
+}
+
+TEST(PatternParseTest, TypedAndLangLiterals) {
+  auto typed = ParsePatterns(
+      "(?x gov:age \"25\"^^<http://www.w3.org/2001/XMLSchema#int>)",
+      GovAliases());
+  ASSERT_TRUE(typed.ok());
+  EXPECT_STREQ((*typed)[0].object.term.TypeCode(), "TL");
+  auto lang = ParsePatterns("(?x gov:label \"chat\"@fr)", GovAliases());
+  ASSERT_TRUE(lang.ok());
+  EXPECT_STREQ((*lang)[0].object.term.TypeCode(), "PL@");
+}
+
+TEST(PatternParseTest, Malformed) {
+  const char* cases[] = {
+      "",                       // no patterns
+      "no parens here",         // missing '('
+      "(?x gov:p",              // unbalanced
+      "(?x gov:p ?y ?z)",       // four terms
+      "(?x gov:p)",             // two terms
+      "(? gov:p ?y)",           // empty variable name
+      "(\"lit\" gov:p ?y)",     // literal subject
+      "(?x \"lit\" ?y)",        // literal predicate
+      "(?x _:b ?y)",            // blank predicate
+  };
+  for (const char* query : cases) {
+    EXPECT_FALSE(ParsePatterns(query, GovAliases()).ok()) << query;
+  }
+}
+
+TEST(PatternParseTest, RepeatedVariable) {
+  auto patterns = ParsePatterns("(?x gov:knows ?x)", GovAliases());
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ((*patterns)[0].Variables(),
+            (std::vector<std::string>{"x", "x"}));
+}
+
+TEST(PatternTokenTest, VariableToken) {
+  auto node = ParsePatternToken("?abc", {});
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE(node->is_variable);
+  EXPECT_EQ(node->variable, "abc");
+}
+
+TEST(PatternTokenTest, BareLiteralToken) {
+  auto node = ParsePatternToken("bombing", {});
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE(node->term.is_literal());
+}
+
+TEST(BuiltinAliasesTest, ContainsRdfRdfsXsd) {
+  AliasList builtin = BuiltinAliases();
+  ASSERT_EQ(builtin.size(), 3u);
+  EXPECT_EQ(builtin[0].prefix, "rdf");
+  EXPECT_EQ(builtin[1].prefix, "rdfs");
+  EXPECT_EQ(builtin[2].prefix, "xsd");
+}
+
+}  // namespace
+}  // namespace rdfdb::query

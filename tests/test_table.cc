@@ -1,0 +1,290 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfdb::storage {
+namespace {
+
+Schema TwoCol() {
+  return Schema({
+      ColumnDef{"ID", ValueType::kInt64, /*nullable=*/false},
+      ColumnDef{"NAME", ValueType::kString, /*nullable=*/true},
+  });
+}
+
+Row R(int64_t id, const std::string& name) {
+  return Row{Value::Int64(id), Value::String(name)};
+}
+
+TEST(TableTest, InsertAssignsDenseRowIds) {
+  Table t("T", TwoCol());
+  EXPECT_EQ(*t.Insert(R(1, "a")), 0);
+  EXPECT_EQ(*t.Insert(R(2, "b")), 1);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, InsertValidatesSchema) {
+  Table t("T", TwoCol());
+  EXPECT_TRUE(t.Insert({Value::String("bad"), Value::Null()})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(t.Insert({Value::Null(), Value::Null()})
+                  .status()
+                  .IsInvalidArgument());  // NOT NULL
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
+TEST(TableTest, GetReturnsRowOrNull) {
+  Table t("T", TwoCol());
+  RowId id = *t.Insert(R(7, "x"));
+  ASSERT_NE(t.Get(id), nullptr);
+  EXPECT_EQ((*t.Get(id))[0].as_int64(), 7);
+  EXPECT_EQ(t.Get(99), nullptr);
+  EXPECT_EQ(t.Get(-1), nullptr);
+}
+
+TEST(TableTest, DeleteTombstones) {
+  Table t("T", TwoCol());
+  RowId a = *t.Insert(R(1, "a"));
+  RowId b = *t.Insert(R(2, "b"));
+  ASSERT_TRUE(t.Delete(a).ok());
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.Get(a), nullptr);
+  EXPECT_NE(t.Get(b), nullptr);
+  EXPECT_TRUE(t.Delete(a).IsNotFound());  // double delete
+}
+
+TEST(TableTest, UpdateReplacesRow) {
+  Table t("T", TwoCol());
+  RowId id = *t.Insert(R(1, "old"));
+  ASSERT_TRUE(t.Update(id, R(1, "new")).ok());
+  EXPECT_EQ((*t.Get(id))[1].as_string(), "new");
+  EXPECT_TRUE(t.Update(42, R(1, "x")).IsNotFound());
+}
+
+TEST(TableTest, UpdateCell) {
+  Table t("T", TwoCol());
+  RowId id = *t.Insert(R(1, "a"));
+  ASSERT_TRUE(t.UpdateCell(id, 1, Value::String("z")).ok());
+  EXPECT_EQ((*t.Get(id))[1].as_string(), "z");
+  EXPECT_TRUE(t.UpdateCell(id, 9, Value::Null()).IsInvalidArgument());
+}
+
+TEST(TableTest, ScanVisitsLiveRowsOnly) {
+  Table t("T", TwoCol());
+  RowId a = *t.Insert(R(1, "a"));
+  (void)*t.Insert(R(2, "b"));
+  ASSERT_TRUE(t.Delete(a).ok());
+  int count = 0;
+  t.Scan([&](RowId, const Row& row) {
+    EXPECT_EQ(row[0].as_int64(), 2);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(TableTest, ScanEarlyStop) {
+  Table t("T", TwoCol());
+  for (int i = 0; i < 10; ++i) (void)*t.Insert(R(i, "x"));
+  int count = 0;
+  t.Scan([&](RowId, const Row&) { return ++count < 3; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(TableTest, SelectByPredicate) {
+  Table t("T", TwoCol());
+  for (int i = 0; i < 10; ++i) (void)*t.Insert(R(i, i % 2 ? "odd" : "even"));
+  auto hits = t.Select(*Eq(1, Value::String("odd")));
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+TEST(TableTest, IndexMaintainedAcrossMutations) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.CreateIndex("by_name", IndexKind::kHash,
+                            KeyExtractor::Columns({1}), false)
+                  .ok());
+  RowId a = *t.Insert(R(1, "x"));
+  (void)*t.Insert(R(2, "x"));
+  EXPECT_EQ((*t.FindByIndex("by_name", {Value::String("x")})).size(), 2u);
+
+  ASSERT_TRUE(t.Update(a, R(1, "y")).ok());
+  EXPECT_EQ((*t.FindByIndex("by_name", {Value::String("x")})).size(), 1u);
+  EXPECT_EQ((*t.FindByIndex("by_name", {Value::String("y")})).size(), 1u);
+
+  ASSERT_TRUE(t.Delete(a).ok());
+  EXPECT_TRUE((*t.FindByIndex("by_name", {Value::String("y")})).empty());
+}
+
+TEST(TableTest, CreateIndexBackfills) {
+  Table t("T", TwoCol());
+  for (int i = 0; i < 5; ++i) (void)*t.Insert(R(i, "same"));
+  ASSERT_TRUE(t.CreateIndex("late", IndexKind::kHash,
+                            KeyExtractor::Columns({1}), false)
+                  .ok());
+  EXPECT_EQ((*t.FindByIndex("late", {Value::String("same")})).size(), 5u);
+}
+
+TEST(TableTest, DuplicateIndexNameRejected) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.CreateIndex("i", IndexKind::kHash,
+                            KeyExtractor::Columns({0}), false)
+                  .ok());
+  EXPECT_TRUE(t.CreateIndex("i", IndexKind::kHash,
+                            KeyExtractor::Columns({1}), false)
+                  .IsAlreadyExists());
+}
+
+TEST(TableTest, UniqueIndexRejectsDuplicateInsert) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.CreateIndex("uniq", IndexKind::kHash,
+                            KeyExtractor::Columns({0}), true)
+                  .ok());
+  ASSERT_TRUE(t.Insert(R(1, "a")).ok());
+  auto dup = t.Insert(R(1, "b"));
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+  EXPECT_EQ(t.row_count(), 1u);  // failed insert left no row behind
+}
+
+TEST(TableTest, UniqueBackfillDetectsExistingDuplicates) {
+  Table t("T", TwoCol());
+  (void)*t.Insert(R(1, "a"));
+  (void)*t.Insert(R(1, "b"));
+  EXPECT_TRUE(t.CreateIndex("uniq", IndexKind::kHash,
+                            KeyExtractor::Columns({0}), true)
+                  .IsAlreadyExists());
+}
+
+TEST(TableTest, UpdateUniqueViolationRollsBack) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.CreateIndex("uniq", IndexKind::kHash,
+                            KeyExtractor::Columns({0}), true)
+                  .ok());
+  RowId a = *t.Insert(R(1, "a"));
+  (void)*t.Insert(R(2, "b"));
+  // Updating row a to key 2 collides with row b: the update must fail
+  // and leave row a fully intact (row data, index entries).
+  EXPECT_TRUE(t.Update(a, R(2, "a")).IsAlreadyExists());
+  EXPECT_EQ((*t.Get(a))[0].as_int64(), 1);
+  EXPECT_EQ((*t.FindByIndex("uniq", {Value::Int64(1)})).size(), 1u);
+  EXPECT_EQ((*t.FindByIndex("uniq", {Value::Int64(2)})).size(), 1u);
+  // The rolled-back row can still be updated to a free key.
+  EXPECT_TRUE(t.Update(a, R(3, "a")).ok());
+  EXPECT_EQ((*t.FindByIndex("uniq", {Value::Int64(3)})).size(), 1u);
+}
+
+TEST(TableTest, DropIndex) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.CreateIndex("a", IndexKind::kHash,
+                            KeyExtractor::Columns({0}), false)
+                  .ok());
+  ASSERT_TRUE(t.CreateIndex("b", IndexKind::kHash,
+                            KeyExtractor::Columns({1}), false)
+                  .ok());
+  ASSERT_TRUE(t.DropIndex("a").ok());
+  EXPECT_EQ(t.GetIndex("a"), nullptr);
+  // Remaining index still works after the positional shift.
+  (void)*t.Insert(R(1, "x"));
+  EXPECT_EQ((*t.FindByIndex("b", {Value::String("x")})).size(), 1u);
+  EXPECT_TRUE(t.DropIndex("a").IsNotFound());
+}
+
+TEST(TableTest, FindByMissingIndexFails) {
+  Table t("T", TwoCol());
+  EXPECT_TRUE(t.FindByIndex("nope", {Value::Int64(1)})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(TableTest, OrderedIndexRangeThroughTable) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.CreateIndex("ord", IndexKind::kOrdered,
+                            KeyExtractor::Columns({0}), false)
+                  .ok());
+  for (int i = 0; i < 20; ++i) (void)*t.Insert(R(i, "v"));
+  const auto* ordered =
+      dynamic_cast<const OrderedIndex*>(t.GetIndex("ord"));
+  ASSERT_NE(ordered, nullptr);
+  auto hits = ordered->FindRange({Value::Int64(5)}, {Value::Int64(8)});
+  EXPECT_EQ(hits.size(), 4u);
+  // Range stays correct after deletes.
+  ASSERT_TRUE(t.Delete(hits.front()).ok());
+  EXPECT_EQ(ordered->FindRange({Value::Int64(5)}, {Value::Int64(8)}).size(),
+            3u);
+}
+
+TEST(TablePartitionTest, MustBeDeclaredOnEmptyTable) {
+  Table t("T", TwoCol());
+  (void)*t.Insert(R(1, "a"));
+  EXPECT_TRUE(t.SetPartitionColumn(0).IsInvalidArgument());
+}
+
+TEST(TablePartitionTest, PartitionColumnOutOfRange) {
+  Table t("T", TwoCol());
+  EXPECT_TRUE(t.SetPartitionColumn(7).IsInvalidArgument());
+}
+
+TEST(TablePartitionTest, ScanPartitionVisitsOnlyMatchingRows) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.SetPartitionColumn(0).ok());
+  for (int i = 0; i < 30; ++i) (void)*t.Insert(R(i % 3, "r"));
+  size_t visited = t.ScanPartition(Value::Int64(1),
+                                   [&](RowId, const Row& row) {
+                                     EXPECT_EQ(row[0].as_int64(), 1);
+                                     return true;
+                                   });
+  EXPECT_EQ(visited, 10u);
+  EXPECT_EQ(t.PartitionRowCount(Value::Int64(0)), 10u);
+  EXPECT_EQ(t.PartitionRowCount(Value::Int64(9)), 0u);
+}
+
+TEST(TablePartitionTest, UnpartitionedFallbackScansAll) {
+  Table t("T", TwoCol());
+  for (int i = 0; i < 6; ++i) (void)*t.Insert(R(i % 2, "r"));
+  size_t visited =
+      t.ScanPartition(Value::Int64(1), [&](RowId, const Row&) {
+        return true;
+      });
+  EXPECT_EQ(visited, 6u);  // full scan: caller filters
+}
+
+TEST(TablePartitionTest, DeleteUpdatesPartition) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.SetPartitionColumn(0).ok());
+  RowId id = *t.Insert(R(5, "a"));
+  EXPECT_EQ(t.PartitionRowCount(Value::Int64(5)), 1u);
+  ASSERT_TRUE(t.Delete(id).ok());
+  EXPECT_EQ(t.PartitionRowCount(Value::Int64(5)), 0u);
+}
+
+TEST(TablePartitionTest, UpdateMovesBetweenPartitions) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.SetPartitionColumn(0).ok());
+  RowId id = *t.Insert(R(1, "a"));
+  ASSERT_TRUE(t.Update(id, R(2, "a")).ok());
+  EXPECT_EQ(t.PartitionRowCount(Value::Int64(1)), 0u);
+  EXPECT_EQ(t.PartitionRowCount(Value::Int64(2)), 1u);
+}
+
+TEST(TableAccountingTest, BytesTrackMutations) {
+  Table t("T", TwoCol());
+  size_t empty = t.ApproxDataBytes();
+  RowId id = *t.Insert(R(1, std::string(1000, 'x')));
+  size_t after_insert = t.ApproxDataBytes();
+  EXPECT_GT(after_insert, empty + 900);
+  ASSERT_TRUE(t.Delete(id).ok());
+  EXPECT_EQ(t.ApproxDataBytes(), empty);
+}
+
+TEST(TableAccountingTest, TotalBytesIncludeIndexes) {
+  Table t("T", TwoCol());
+  for (int i = 0; i < 50; ++i) (void)*t.Insert(R(i, "v"));
+  size_t without = t.ApproxTotalBytes();
+  ASSERT_TRUE(t.CreateIndex("i", IndexKind::kHash,
+                            KeyExtractor::Columns({0}), false)
+                  .ok());
+  EXPECT_GT(t.ApproxTotalBytes(), without);
+}
+
+}  // namespace
+}  // namespace rdfdb::storage

@@ -1,0 +1,205 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocab.h"
+
+namespace rdfdb::rdf {
+namespace {
+
+TEST(TermTest, UriBasics) {
+  Term t = Term::Uri("http://www.us.gov#files");
+  EXPECT_TRUE(t.is_uri());
+  EXPECT_FALSE(t.is_blank());
+  EXPECT_FALSE(t.is_literal());
+  EXPECT_STREQ(t.TypeCode(), "UR");
+  EXPECT_EQ(t.ToNTriples(), "<http://www.us.gov#files>");
+  EXPECT_EQ(t.ToDisplayString(), "http://www.us.gov#files");
+}
+
+TEST(TermTest, BlankNodeBasics) {
+  Term t = Term::BlankNode("anyname001");
+  EXPECT_TRUE(t.is_blank());
+  EXPECT_STREQ(t.TypeCode(), "BN");
+  EXPECT_EQ(t.ToNTriples(), "_:anyname001");
+  EXPECT_EQ(t.ToDisplayString(), "_:anyname001");
+}
+
+TEST(TermTest, PlainLiteral) {
+  Term t = Term::PlainLiteral("bombing");
+  EXPECT_TRUE(t.is_literal());
+  EXPECT_STREQ(t.TypeCode(), "PL");
+  EXPECT_EQ(t.ToNTriples(), "\"bombing\"");
+  EXPECT_EQ(t.ToDisplayString(), "bombing");
+}
+
+TEST(TermTest, LanguageTaggedLiteral) {
+  Term t = Term::PlainLiteralLang("chat", "fr");
+  EXPECT_STREQ(t.TypeCode(), "PL@");
+  EXPECT_EQ(t.language(), "fr");
+  EXPECT_EQ(t.ToNTriples(), "\"chat\"@fr");
+}
+
+TEST(TermTest, EmptyLanguageFallsBackToPlain) {
+  Term t = Term::PlainLiteralLang("x", "");
+  EXPECT_STREQ(t.TypeCode(), "PL");
+}
+
+TEST(TermTest, TypedLiteral) {
+  Term t = Term::TypedLiteral("25", std::string(kXsdInt));
+  EXPECT_STREQ(t.TypeCode(), "TL");
+  EXPECT_TRUE(t.is_typed_literal());
+  EXPECT_EQ(t.datatype(), kXsdInt);
+  EXPECT_EQ(t.ToNTriples(),
+            "\"25\"^^<http://www.w3.org/2001/XMLSchema#int>");
+}
+
+TEST(TermTest, LongLiteralThreshold) {
+  // "Long-literals are text values that exceed 4000 characters."
+  std::string at_threshold(kLongLiteralThreshold, 'x');
+  std::string over_threshold(kLongLiteralThreshold + 1, 'x');
+  EXPECT_STREQ(Term::PlainLiteral(at_threshold).TypeCode(), "PL");
+  EXPECT_STREQ(Term::PlainLiteral(over_threshold).TypeCode(), "PLL");
+  EXPECT_STREQ(Term::TypedLiteral(over_threshold,
+                                  std::string(kXsdString))
+                   .TypeCode(),
+               "TLL");
+  EXPECT_TRUE(Term::PlainLiteral(over_threshold).is_long_literal());
+}
+
+TEST(TermTest, EscapingInNTriples) {
+  Term t = Term::PlainLiteral("line1\nline2\t\"quoted\"\\slash");
+  EXPECT_EQ(t.ToNTriples(),
+            "\"line1\\nline2\\t\\\"quoted\\\"\\\\slash\"");
+}
+
+TEST(TermTest, EqualityAndHash) {
+  EXPECT_EQ(Term::Uri("a"), Term::Uri("a"));
+  EXPECT_NE(Term::Uri("a"), Term::Uri("b"));
+  EXPECT_NE(Term::Uri("a"), Term::PlainLiteral("a"));
+  EXPECT_NE(Term::PlainLiteral("a"), Term::PlainLiteralLang("a", "en"));
+  EXPECT_NE(Term::TypedLiteral("a", "t1"), Term::TypedLiteral("a", "t2"));
+  EXPECT_EQ(Term::Uri("a").Hash(), Term::Uri("a").Hash());
+  EXPECT_NE(Term::Uri("a").Hash(), Term::PlainLiteral("a").Hash());
+}
+
+TEST(ParseApiTermTest, PrefixedNameIsUri) {
+  auto t = ParseApiTerm("gov:files");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_uri());
+  EXPECT_EQ(t->lexical(), "gov:files");
+}
+
+TEST(ParseApiTermTest, FullUri) {
+  auto t = ParseApiTerm("http://www.us.gov#files");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_uri());
+}
+
+TEST(ParseApiTermTest, UrnIsUri) {
+  auto t = ParseApiTerm("urn:lsid:uniprot.org:uniprot:P93259");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_uri());
+}
+
+TEST(ParseApiTermTest, AngleBracketUri) {
+  auto t = ParseApiTerm("<http://example.org/x>");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_uri());
+  EXPECT_EQ(t->lexical(), "http://example.org/x");
+}
+
+TEST(ParseApiTermTest, BareWordIsPlainLiteral) {
+  // The paper's example inserts the object 'bombing' unquoted.
+  auto t = ParseApiTerm("bombing");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_literal());
+  EXPECT_EQ(t->lexical(), "bombing");
+}
+
+TEST(ParseApiTermTest, DateLikeStringIsLiteral) {
+  auto t = ParseApiTerm("June-20-2000");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_literal());
+}
+
+TEST(ParseApiTermTest, BlankNode) {
+  auto t = ParseApiTerm("_:b1");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->is_blank());
+  EXPECT_EQ(t->lexical(), "b1");
+  EXPECT_FALSE(ParseApiTerm("_:").ok());
+}
+
+TEST(ParseApiTermTest, QuotedLiteralForms) {
+  auto plain = ParseApiTerm("\"hello world\"");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_STREQ(plain->TypeCode(), "PL");
+  EXPECT_EQ(plain->lexical(), "hello world");
+
+  auto lang = ParseApiTerm("\"chat\"@fr");
+  ASSERT_TRUE(lang.ok());
+  EXPECT_STREQ(lang->TypeCode(), "PL@");
+  EXPECT_EQ(lang->language(), "fr");
+
+  auto typed =
+      ParseApiTerm("\"25\"^^<http://www.w3.org/2001/XMLSchema#int>");
+  ASSERT_TRUE(typed.ok());
+  EXPECT_STREQ(typed->TypeCode(), "TL");
+  EXPECT_EQ(typed->datatype(), kXsdInt);
+
+  // Well-known prefixes expand so canonicalization applies uniformly.
+  auto typed_bare = ParseApiTerm("\"25\"^^xsd:int");
+  ASSERT_TRUE(typed_bare.ok());
+  EXPECT_EQ(typed_bare->datatype(), kXsdInt);
+  auto custom_bare = ParseApiTerm("\"x\"^^my:type");
+  ASSERT_TRUE(custom_bare.ok());
+  EXPECT_EQ(custom_bare->datatype(), "my:type");
+}
+
+TEST(ParseApiTermTest, EscapedQuotedLiteral) {
+  auto t = ParseApiTerm("\"a\\\"b\\nc\"");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lexical(), "a\"b\nc");
+}
+
+TEST(ParseApiTermTest, Malformed) {
+  EXPECT_FALSE(ParseApiTerm("").ok());
+  EXPECT_FALSE(ParseApiTerm("   ").ok());
+  EXPECT_FALSE(ParseApiTerm("\"unterminated").ok());
+  EXPECT_FALSE(ParseApiTerm("\"x\"@").ok());
+  EXPECT_FALSE(ParseApiTerm("\"x\"^^").ok());
+  EXPECT_FALSE(ParseApiTerm("\"x\"junk").ok());
+  EXPECT_FALSE(ParseApiTerm("<>").ok());
+}
+
+TEST(ParseApiTermTest, TrimsWhitespace) {
+  auto t = ParseApiTerm("  gov:files  ");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->lexical(), "gov:files");
+}
+
+TEST(ParseApiSubjectTest, RejectsLiterals) {
+  EXPECT_TRUE(ParseApiSubject("gov:files").ok());
+  EXPECT_TRUE(ParseApiSubject("_:b").ok());
+  EXPECT_FALSE(ParseApiSubject("\"literal\"").ok());
+  EXPECT_FALSE(ParseApiSubject("bareword").ok());
+}
+
+TEST(ParseApiPredicateTest, RequiresUri) {
+  EXPECT_TRUE(ParseApiPredicate("gov:terrorSuspect").ok());
+  EXPECT_FALSE(ParseApiPredicate("_:b").ok());
+  EXPECT_FALSE(ParseApiPredicate("\"lit\"").ok());
+}
+
+TEST(VocabTest, ContainerMembershipProperty) {
+  EXPECT_TRUE(IsContainerMembershipProperty(std::string(kRdfNs) + "_1"));
+  EXPECT_TRUE(IsContainerMembershipProperty(std::string(kRdfNs) + "_42"));
+  EXPECT_FALSE(IsContainerMembershipProperty(std::string(kRdfNs) + "_"));
+  EXPECT_FALSE(IsContainerMembershipProperty(std::string(kRdfNs) + "_1a"));
+  EXPECT_FALSE(IsContainerMembershipProperty(std::string(kRdfNs) + "type"));
+  EXPECT_FALSE(IsContainerMembershipProperty("http://other#_1"));
+}
+
+}  // namespace
+}  // namespace rdfdb::rdf

@@ -1,0 +1,155 @@
+#include "gen/uniprot_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "rdf/vocab.h"
+
+namespace rdfdb::gen {
+namespace {
+
+UniProtOptions Opts(size_t triples, uint64_t seed = 42) {
+  UniProtOptions options;
+  options.target_triples = triples;
+  options.seed = seed;
+  return options;
+}
+
+TEST(UniProtGenTest, HitsApproximateTripleTarget) {
+  for (size_t target : {1000u, 5000u, 20000u}) {
+    UniProtDataset dataset = GenerateUniProt(Opts(target));
+    EXPECT_GE(dataset.triple_count(), target);
+    EXPECT_LT(dataset.triple_count(), target + 40);  // one protein overshoot
+  }
+}
+
+TEST(UniProtGenTest, DeterministicForSameSeed) {
+  UniProtDataset a = GenerateUniProt(Opts(2000, 7));
+  UniProtDataset b = GenerateUniProt(Opts(2000, 7));
+  ASSERT_EQ(a.triple_count(), b.triple_count());
+  for (size_t i = 0; i < a.triples.size(); i += 97) {
+    EXPECT_EQ(a.triples[i], b.triples[i]) << i;
+  }
+  ASSERT_EQ(a.reified_count(), b.reified_count());
+}
+
+TEST(UniProtGenTest, DifferentSeedsDiffer) {
+  UniProtDataset a = GenerateUniProt(Opts(2000, 1));
+  UniProtDataset b = GenerateUniProt(Opts(2000, 2));
+  bool any_diff = a.triple_count() != b.triple_count();
+  for (size_t i = 24; !any_diff && i < a.triples.size() &&
+                      i < b.triples.size();
+       ++i) {
+    if (!(a.triples[i] == b.triples[i])) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(UniProtGenTest, ProbeSubjectHasExactly24Statements) {
+  // Table 1: the subject query returns 24 rows at every dataset size.
+  for (size_t target : {1000u, 10000u}) {
+    UniProtDataset dataset = GenerateUniProt(Opts(target));
+    EXPECT_EQ(dataset.probe_subject, kProbeSubject);
+    size_t count = 0;
+    for (const rdf::NTriple& t : dataset.triples) {
+      if (t.subject.is_uri() && t.subject.lexical() == kProbeSubject) {
+        ++count;
+      }
+    }
+    EXPECT_EQ(count, 24u) << "target " << target;
+  }
+}
+
+TEST(UniProtGenTest, ProbeStatementsPresent) {
+  UniProtDataset dataset = GenerateUniProt(Opts(1000));
+  EXPECT_EQ(dataset.reified_probe.subject.lexical(), kProbeSubject);
+  EXPECT_EQ(dataset.reified_probe.object.lexical(), kProbeReifiedTarget);
+  EXPECT_EQ(dataset.unreified_probe.object.lexical(),
+            kProbeUnreifiedTarget);
+  // The reified probe is in the reified list; the unreified one is not.
+  bool probe_reified = false, false_probe_reified = false;
+  for (const ReifiedStatement& r : dataset.reified) {
+    if (r.base == dataset.reified_probe) probe_reified = true;
+    if (r.base == dataset.unreified_probe) false_probe_reified = true;
+  }
+  EXPECT_TRUE(probe_reified);
+  EXPECT_FALSE(false_probe_reified);
+}
+
+TEST(UniProtGenTest, ReifiedFractionMatchesPaperShape) {
+  // ~5% of statements reified (659/10k ... 247002/5M in the paper).
+  UniProtDataset dataset = GenerateUniProt(Opts(10000));
+  double fraction = static_cast<double>(dataset.reified_count()) /
+                    static_cast<double>(dataset.triple_count());
+  EXPECT_GT(fraction, 0.03);
+  EXPECT_LT(fraction, 0.07);
+}
+
+TEST(UniProtGenTest, ReifiedStatementsComeFromDataset) {
+  UniProtDataset dataset = GenerateUniProt(Opts(3000));
+  std::set<std::string> keys;
+  for (const rdf::NTriple& t : dataset.triples) {
+    keys.insert(t.subject.ToNTriples() + "|" + t.predicate.ToNTriples() +
+                "|" + t.object.ToNTriples());
+  }
+  for (const ReifiedStatement& r : dataset.reified) {
+    EXPECT_EQ(keys.count(r.base.subject.ToNTriples() + "|" +
+                         r.base.predicate.ToNTriples() + "|" +
+                         r.base.object.ToNTriples()),
+              1u);
+    EXPECT_FALSE(r.curator_uri.empty());
+  }
+}
+
+TEST(UniProtGenTest, ValueReuseProfile) {
+  // Cross-references draw from shared pools: distinct objects must be
+  // far fewer than seeAlso statements (the paper's node-reuse premise).
+  UniProtDataset dataset = GenerateUniProt(Opts(20000));
+  size_t see_also = 0;
+  std::unordered_set<std::string> targets;
+  for (const rdf::NTriple& t : dataset.triples) {
+    if (t.predicate.lexical() == rdf::kRdfsSeeAlso) {
+      ++see_also;
+      targets.insert(t.object.lexical());
+    }
+  }
+  ASSERT_GT(see_also, 1000u);
+  EXPECT_LT(targets.size(), see_also / 2);
+}
+
+TEST(UniProtGenTest, ContainsExpectedTermVariety) {
+  UniProtDataset dataset = GenerateUniProt(Opts(5000));
+  bool typed = false, lang = false, blank_subject = false,
+       container_member = false, bag = false;
+  for (const rdf::NTriple& t : dataset.triples) {
+    if (t.object.is_typed_literal()) typed = true;
+    if (!t.object.language().empty()) lang = true;
+    if (t.subject.is_blank()) blank_subject = true;
+    if (rdf::IsContainerMembershipProperty(t.predicate.lexical())) {
+      container_member = true;
+    }
+    if (t.object.is_uri() && t.object.lexical() == rdf::kRdfBag) {
+      bag = true;
+    }
+  }
+  EXPECT_TRUE(typed);
+  EXPECT_TRUE(lang);
+  EXPECT_TRUE(blank_subject);
+  EXPECT_TRUE(container_member);
+  EXPECT_TRUE(bag);
+}
+
+TEST(UniProtGenTest, AllTriplesWellFormed) {
+  UniProtDataset dataset = GenerateUniProt(Opts(2000));
+  for (const rdf::NTriple& t : dataset.triples) {
+    EXPECT_FALSE(t.subject.is_literal());
+    EXPECT_TRUE(t.predicate.is_uri());
+    EXPECT_FALSE(t.subject.lexical().empty());
+    EXPECT_FALSE(t.predicate.lexical().empty());
+  }
+}
+
+}  // namespace
+}  // namespace rdfdb::gen

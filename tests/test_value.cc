@@ -1,0 +1,121 @@
+#include "storage/value.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfdb::storage {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int64(42).as_int64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::String("abc").as_string(), "abc");
+  EXPECT_EQ(Value::Clob("long text").as_clob(), "long text");
+}
+
+TEST(ValueTest, TextWorksForStringAndClob) {
+  EXPECT_EQ(Value::String("s").text(), "s");
+  EXPECT_EQ(Value::Clob("c").text(), "c");
+}
+
+TEST(ValueTest, NumericWidens) {
+  EXPECT_DOUBLE_EQ(Value::Int64(3).numeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).numeric(), 3.5);
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_GT(Value::Int64(5).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Int64(5)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, CompareAcrossNumericTypes) {
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_LT(Value::Int64(5).Compare(Value::Double(5.5)), 0);
+  EXPECT_GT(Value::Double(6.0).Compare(Value::Int64(5)), 0);
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // NULL < numeric < string < clob
+  EXPECT_LT(Value::Null().Compare(Value::Int64(0)), 0);
+  EXPECT_LT(Value::Int64(999).Compare(Value::String("")), 0);
+  EXPECT_LT(Value::String("zzz").Compare(Value::Clob("")), 0);
+}
+
+TEST(ValueTest, NullsCompareEqual) {
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_TRUE(Value::Null() == Value::Null());
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // Values above 2^53 lose precision in double space.
+  int64_t big = (1LL << 60) + 1;
+  EXPECT_GT(Value::Int64(big).Compare(Value::Int64(big - 1)), 0);
+}
+
+TEST(ValueTest, EqualityOperators) {
+  EXPECT_TRUE(Value::String("a") == Value::String("a"));
+  EXPECT_TRUE(Value::String("a") != Value::String("b"));
+  EXPECT_TRUE(Value::Int64(1) < Value::Int64(2));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::String("abc").Hash(), Value::Clob("abc").Hash());
+}
+
+TEST(ValueTest, ApproxBytesGrowsWithPayload) {
+  EXPECT_GT(Value::String(std::string(100, 'x')).ApproxBytes(),
+            Value::String("x").ApproxBytes());
+  EXPECT_GE(Value::Int64(1).ApproxBytes(), sizeof(Value));
+}
+
+TEST(ValueTest, DoubleToStringRoundTrips) {
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(ValueKeyTest, HashAndEquality) {
+  ValueKey a{Value::Int64(1), Value::String("x")};
+  ValueKey b{Value::Int64(1), Value::String("x")};
+  ValueKey c{Value::Int64(1), Value::String("y")};
+  EXPECT_TRUE(ValueKeyEq{}(a, b));
+  EXPECT_FALSE(ValueKeyEq{}(a, c));
+  EXPECT_EQ(ValueKeyHash{}(a), ValueKeyHash{}(b));
+}
+
+TEST(ValueKeyTest, DifferentLengthsUnequal) {
+  ValueKey a{Value::Int64(1)};
+  ValueKey b{Value::Int64(1), Value::Int64(2)};
+  EXPECT_FALSE(ValueKeyEq{}(a, b));
+  EXPECT_TRUE(ValueKeyLess{}(a, b));  // prefix sorts first
+}
+
+TEST(ValueKeyTest, LexicographicOrder) {
+  ValueKey a{Value::Int64(1), Value::Int64(5)};
+  ValueKey b{Value::Int64(1), Value::Int64(9)};
+  ValueKey c{Value::Int64(2), Value::Int64(0)};
+  EXPECT_TRUE(ValueKeyLess{}(a, b));
+  EXPECT_TRUE(ValueKeyLess{}(b, c));
+  EXPECT_FALSE(ValueKeyLess{}(c, a));
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "NULL");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt64), "INT64");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "STRING");
+  EXPECT_STREQ(ValueTypeName(ValueType::kClob), "CLOB");
+}
+
+}  // namespace
+}  // namespace rdfdb::storage
