@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_member_functions.dir/bench_exp1_member_functions.cpp.o"
+  "CMakeFiles/bench_exp1_member_functions.dir/bench_exp1_member_functions.cpp.o.d"
+  "bench_exp1_member_functions"
+  "bench_exp1_member_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_member_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp2_subject_query.dir/bench_exp2_subject_query.cpp.o"
+  "CMakeFiles/bench_exp2_subject_query.dir/bench_exp2_subject_query.cpp.o.d"
+  "bench_exp2_subject_query"
+  "bench_exp2_subject_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp2_subject_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_is_reified.dir/bench_exp3_is_reified.cpp.o"
+  "CMakeFiles/bench_exp3_is_reified.dir/bench_exp3_is_reified.cpp.o.d"
+  "bench_exp3_is_reified"
+  "bench_exp3_is_reified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_is_reified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exp3_is_reified.
+# This may be replaced when dependencies are built.

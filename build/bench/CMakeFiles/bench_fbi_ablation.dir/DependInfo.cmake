@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fbi_ablation.cpp" "bench/CMakeFiles/bench_fbi_ablation.dir/bench_fbi_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_fbi_ablation.dir/bench_fbi_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfdb_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_ndm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_dburi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

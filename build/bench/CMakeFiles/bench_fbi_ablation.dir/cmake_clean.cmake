@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fbi_ablation.dir/bench_fbi_ablation.cpp.o"
+  "CMakeFiles/bench_fbi_ablation.dir/bench_fbi_ablation.cpp.o.d"
+  "bench_fbi_ablation"
+  "bench_fbi_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fbi_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ndm_analysis.dir/bench_ndm_analysis.cpp.o"
+  "CMakeFiles/bench_ndm_analysis.dir/bench_ndm_analysis.cpp.o.d"
+  "bench_ndm_analysis"
+  "bench_ndm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ndm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_plan.dir/bench_query_plan.cpp.o"
+  "CMakeFiles/bench_query_plan.dir/bench_query_plan.cpp.o.d"
+  "bench_query_plan"
+  "bench_query_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

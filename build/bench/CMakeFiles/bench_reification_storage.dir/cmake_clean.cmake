@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reification_storage.dir/bench_reification_storage.cpp.o"
+  "CMakeFiles/bench_reification_storage.dir/bench_reification_storage.cpp.o.d"
+  "bench_reification_storage"
+  "bench_reification_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reification_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

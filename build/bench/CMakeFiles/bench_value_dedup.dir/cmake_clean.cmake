@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_dedup.dir/bench_value_dedup.cpp.o"
+  "CMakeFiles/bench_value_dedup.dir/bench_value_dedup.cpp.o.d"
+  "bench_value_dedup"
+  "bench_value_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intelligence_community.dir/intelligence_community.cpp.o"
+  "CMakeFiles/intelligence_community.dir/intelligence_community.cpp.o.d"
+  "intelligence_community"
+  "intelligence_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intelligence_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_reification.dir/provenance_reification.cpp.o"
+  "CMakeFiles/provenance_reification.dir/provenance_reification.cpp.o.d"
+  "provenance_reification"
+  "provenance_reification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_reification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_shell.dir/rdf_shell.cpp.o"
+  "CMakeFiles/rdf_shell.dir/rdf_shell.cpp.o.d"
+  "rdf_shell"
+  "rdf_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uniprot_catalog.dir/uniprot_catalog.cpp.o"
+  "CMakeFiles/uniprot_catalog.dir/uniprot_catalog.cpp.o.d"
+  "uniprot_catalog"
+  "uniprot_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uniprot_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

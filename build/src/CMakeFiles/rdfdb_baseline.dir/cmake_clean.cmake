@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfdb_baseline.dir/baseline/jena1_store.cc.o"
+  "CMakeFiles/rdfdb_baseline.dir/baseline/jena1_store.cc.o.d"
+  "CMakeFiles/rdfdb_baseline.dir/baseline/jena2_store.cc.o"
+  "CMakeFiles/rdfdb_baseline.dir/baseline/jena2_store.cc.o.d"
+  "CMakeFiles/rdfdb_baseline.dir/baseline/property_table.cc.o"
+  "CMakeFiles/rdfdb_baseline.dir/baseline/property_table.cc.o.d"
+  "librdfdb_baseline.a"
+  "librdfdb_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfdb_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

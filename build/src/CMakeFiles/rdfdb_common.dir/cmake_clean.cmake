@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfdb_common.dir/common/random.cc.o"
+  "CMakeFiles/rdfdb_common.dir/common/random.cc.o.d"
+  "CMakeFiles/rdfdb_common.dir/common/status.cc.o"
+  "CMakeFiles/rdfdb_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rdfdb_common.dir/common/string_util.cc.o"
+  "CMakeFiles/rdfdb_common.dir/common/string_util.cc.o.d"
+  "librdfdb_common.a"
+  "librdfdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

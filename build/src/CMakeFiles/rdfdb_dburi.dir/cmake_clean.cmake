@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfdb_dburi.dir/dburi/dburi.cc.o"
+  "CMakeFiles/rdfdb_dburi.dir/dburi/dburi.cc.o.d"
+  "librdfdb_dburi.a"
+  "librdfdb_dburi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfdb_dburi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

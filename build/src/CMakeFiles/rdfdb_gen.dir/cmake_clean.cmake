@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfdb_gen.dir/gen/ic_dataset.cc.o"
+  "CMakeFiles/rdfdb_gen.dir/gen/ic_dataset.cc.o.d"
+  "CMakeFiles/rdfdb_gen.dir/gen/uniprot_gen.cc.o"
+  "CMakeFiles/rdfdb_gen.dir/gen/uniprot_gen.cc.o.d"
+  "CMakeFiles/rdfdb_gen.dir/gen/workload.cc.o"
+  "CMakeFiles/rdfdb_gen.dir/gen/workload.cc.o.d"
+  "librdfdb_gen.a"
+  "librdfdb_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfdb_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndm/analysis.cc" "src/CMakeFiles/rdfdb_ndm.dir/ndm/analysis.cc.o" "gcc" "src/CMakeFiles/rdfdb_ndm.dir/ndm/analysis.cc.o.d"
+  "/root/repo/src/ndm/network.cc" "src/CMakeFiles/rdfdb_ndm.dir/ndm/network.cc.o" "gcc" "src/CMakeFiles/rdfdb_ndm.dir/ndm/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfdb_ndm.dir/ndm/analysis.cc.o"
+  "CMakeFiles/rdfdb_ndm.dir/ndm/analysis.cc.o.d"
+  "CMakeFiles/rdfdb_ndm.dir/ndm/network.cc.o"
+  "CMakeFiles/rdfdb_ndm.dir/ndm/network.cc.o.d"
+  "librdfdb_ndm.a"
+  "librdfdb_ndm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfdb_ndm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdfdb_ndm.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for rdfdb_ndm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/filter.cc" "src/CMakeFiles/rdfdb_query.dir/query/filter.cc.o" "gcc" "src/CMakeFiles/rdfdb_query.dir/query/filter.cc.o.d"
+  "/root/repo/src/query/inference.cc" "src/CMakeFiles/rdfdb_query.dir/query/inference.cc.o" "gcc" "src/CMakeFiles/rdfdb_query.dir/query/inference.cc.o.d"
+  "/root/repo/src/query/match.cc" "src/CMakeFiles/rdfdb_query.dir/query/match.cc.o" "gcc" "src/CMakeFiles/rdfdb_query.dir/query/match.cc.o.d"
+  "/root/repo/src/query/rulebase.cc" "src/CMakeFiles/rdfdb_query.dir/query/rulebase.cc.o" "gcc" "src/CMakeFiles/rdfdb_query.dir/query/rulebase.cc.o.d"
+  "/root/repo/src/query/rules_index.cc" "src/CMakeFiles/rdfdb_query.dir/query/rules_index.cc.o" "gcc" "src/CMakeFiles/rdfdb_query.dir/query/rules_index.cc.o.d"
+  "/root/repo/src/query/sparql_pattern.cc" "src/CMakeFiles/rdfdb_query.dir/query/sparql_pattern.cc.o" "gcc" "src/CMakeFiles/rdfdb_query.dir/query/sparql_pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfdb_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_ndm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_dburi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfdb_query.dir/query/filter.cc.o"
+  "CMakeFiles/rdfdb_query.dir/query/filter.cc.o.d"
+  "CMakeFiles/rdfdb_query.dir/query/inference.cc.o"
+  "CMakeFiles/rdfdb_query.dir/query/inference.cc.o.d"
+  "CMakeFiles/rdfdb_query.dir/query/match.cc.o"
+  "CMakeFiles/rdfdb_query.dir/query/match.cc.o.d"
+  "CMakeFiles/rdfdb_query.dir/query/rulebase.cc.o"
+  "CMakeFiles/rdfdb_query.dir/query/rulebase.cc.o.d"
+  "CMakeFiles/rdfdb_query.dir/query/rules_index.cc.o"
+  "CMakeFiles/rdfdb_query.dir/query/rules_index.cc.o.d"
+  "CMakeFiles/rdfdb_query.dir/query/sparql_pattern.cc.o"
+  "CMakeFiles/rdfdb_query.dir/query/sparql_pattern.cc.o.d"
+  "librdfdb_query.a"
+  "librdfdb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfdb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

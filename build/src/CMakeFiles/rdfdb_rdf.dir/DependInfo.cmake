@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/app_table.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/app_table.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/app_table.cc.o.d"
+  "/root/repo/src/rdf/bulk_load.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/bulk_load.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/bulk_load.cc.o.d"
+  "/root/repo/src/rdf/canonical.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/canonical.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/canonical.cc.o.d"
+  "/root/repo/src/rdf/container.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/container.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/container.cc.o.d"
+  "/root/repo/src/rdf/link_store.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/link_store.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/link_store.cc.o.d"
+  "/root/repo/src/rdf/model_store.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/model_store.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/model_store.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/quad_loader.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/quad_loader.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/quad_loader.cc.o.d"
+  "/root/repo/src/rdf/rdf_store.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/rdf_store.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/rdf_store.cc.o.d"
+  "/root/repo/src/rdf/redo_log.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/redo_log.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/redo_log.cc.o.d"
+  "/root/repo/src/rdf/reification.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/reification.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/reification.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/term.cc.o.d"
+  "/root/repo/src/rdf/triple.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/triple.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/triple.cc.o.d"
+  "/root/repo/src/rdf/value_store.cc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/value_store.cc.o" "gcc" "src/CMakeFiles/rdfdb_rdf.dir/rdf/value_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_ndm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_dburi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdfdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfdb_rdf.dir/rdf/app_table.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/app_table.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/bulk_load.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/bulk_load.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/canonical.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/canonical.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/container.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/container.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/link_store.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/link_store.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/model_store.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/model_store.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/ntriples.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/ntriples.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/quad_loader.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/quad_loader.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/rdf_store.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/rdf_store.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/redo_log.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/redo_log.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/reification.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/reification.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/term.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/term.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/triple.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/triple.cc.o.d"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/value_store.cc.o"
+  "CMakeFiles/rdfdb_rdf.dir/rdf/value_store.cc.o.d"
+  "librdfdb_rdf.a"
+  "librdfdb_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfdb_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/rdfdb_storage.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/rdfdb_storage.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/rdfdb_storage.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/rdfdb_storage.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/predicate.cc" "src/CMakeFiles/rdfdb_storage.dir/storage/predicate.cc.o" "gcc" "src/CMakeFiles/rdfdb_storage.dir/storage/predicate.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/rdfdb_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/rdfdb_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/CMakeFiles/rdfdb_storage.dir/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/rdfdb_storage.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/rdfdb_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/rdfdb_storage.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/rdfdb_storage.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/rdfdb_storage.dir/storage/value.cc.o.d"
+  "/root/repo/src/storage/view.cc" "src/CMakeFiles/rdfdb_storage.dir/storage/view.cc.o" "gcc" "src/CMakeFiles/rdfdb_storage.dir/storage/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdfdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

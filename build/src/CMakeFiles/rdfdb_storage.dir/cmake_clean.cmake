@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfdb_storage.dir/storage/database.cc.o"
+  "CMakeFiles/rdfdb_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/rdfdb_storage.dir/storage/index.cc.o"
+  "CMakeFiles/rdfdb_storage.dir/storage/index.cc.o.d"
+  "CMakeFiles/rdfdb_storage.dir/storage/predicate.cc.o"
+  "CMakeFiles/rdfdb_storage.dir/storage/predicate.cc.o.d"
+  "CMakeFiles/rdfdb_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/rdfdb_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/rdfdb_storage.dir/storage/snapshot.cc.o"
+  "CMakeFiles/rdfdb_storage.dir/storage/snapshot.cc.o.d"
+  "CMakeFiles/rdfdb_storage.dir/storage/table.cc.o"
+  "CMakeFiles/rdfdb_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/rdfdb_storage.dir/storage/value.cc.o"
+  "CMakeFiles/rdfdb_storage.dir/storage/value.cc.o.d"
+  "CMakeFiles/rdfdb_storage.dir/storage/view.cc.o"
+  "CMakeFiles/rdfdb_storage.dir/storage/view.cc.o.d"
+  "librdfdb_storage.a"
+  "librdfdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

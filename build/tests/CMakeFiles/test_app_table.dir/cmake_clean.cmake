@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_table.dir/test_app_table.cc.o"
+  "CMakeFiles/test_app_table.dir/test_app_table.cc.o.d"
+  "test_app_table"
+  "test_app_table.pdb"
+  "test_app_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bulk_load.dir/test_bulk_load.cc.o"
+  "CMakeFiles/test_bulk_load.dir/test_bulk_load.cc.o.d"
+  "test_bulk_load"
+  "test_bulk_load.pdb"
+  "test_bulk_load[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canonical.dir/test_canonical.cc.o"
+  "CMakeFiles/test_canonical.dir/test_canonical.cc.o.d"
+  "test_canonical"
+  "test_canonical.pdb"
+  "test_canonical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent_store.dir/test_concurrent_store.cc.o"
+  "CMakeFiles/test_concurrent_store.dir/test_concurrent_store.cc.o.d"
+  "test_concurrent_store"
+  "test_concurrent_store.pdb"
+  "test_concurrent_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dburi.dir/test_dburi.cc.o"
+  "CMakeFiles/test_dburi.dir/test_dburi.cc.o.d"
+  "test_dburi"
+  "test_dburi.pdb"
+  "test_dburi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dburi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

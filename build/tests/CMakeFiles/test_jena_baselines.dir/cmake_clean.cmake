@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jena_baselines.dir/test_jena_baselines.cc.o"
+  "CMakeFiles/test_jena_baselines.dir/test_jena_baselines.cc.o.d"
+  "test_jena_baselines"
+  "test_jena_baselines.pdb"
+  "test_jena_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jena_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_store.dir/test_link_store.cc.o"
+  "CMakeFiles/test_link_store.dir/test_link_store.cc.o.d"
+  "test_link_store"
+  "test_link_store.pdb"
+  "test_link_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntriples.dir/test_ntriples.cc.o"
+  "CMakeFiles/test_ntriples.dir/test_ntriples.cc.o.d"
+  "test_ntriples"
+  "test_ntriples.pdb"
+  "test_ntriples[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntriples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quad_loader.dir/test_quad_loader.cc.o"
+  "CMakeFiles/test_quad_loader.dir/test_quad_loader.cc.o.d"
+  "test_quad_loader"
+  "test_quad_loader.pdb"
+  "test_quad_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quad_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rdf_store.dir/test_rdf_store.cc.o"
+  "CMakeFiles/test_rdf_store.dir/test_rdf_store.cc.o.d"
+  "test_rdf_store"
+  "test_rdf_store.pdb"
+  "test_rdf_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rdf_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

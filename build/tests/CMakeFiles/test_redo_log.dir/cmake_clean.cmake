@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redo_log.dir/test_redo_log.cc.o"
+  "CMakeFiles/test_redo_log.dir/test_redo_log.cc.o.d"
+  "test_redo_log"
+  "test_redo_log.pdb"
+  "test_redo_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redo_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rulebase.dir/test_rulebase.cc.o"
+  "CMakeFiles/test_rulebase.dir/test_rulebase.cc.o.d"
+  "test_rulebase"
+  "test_rulebase.pdb"
+  "test_rulebase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rulebase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

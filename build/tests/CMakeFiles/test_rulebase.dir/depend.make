@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rulebase.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rules_index.dir/test_rules_index.cc.o"
+  "CMakeFiles/test_rules_index.dir/test_rules_index.cc.o.d"
+  "test_rules_index"
+  "test_rules_index.pdb"
+  "test_rules_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rules_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

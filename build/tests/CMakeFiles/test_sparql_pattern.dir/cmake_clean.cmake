@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparql_pattern.dir/test_sparql_pattern.cc.o"
+  "CMakeFiles/test_sparql_pattern.dir/test_sparql_pattern.cc.o.d"
+  "test_sparql_pattern"
+  "test_sparql_pattern.pdb"
+  "test_sparql_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparql_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_api.dir/test_store_api.cc.o"
+  "CMakeFiles/test_store_api.dir/test_store_api.cc.o.d"
+  "test_store_api"
+  "test_store_api.pdb"
+  "test_store_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uniprot_gen.dir/test_uniprot_gen.cc.o"
+  "CMakeFiles/test_uniprot_gen.dir/test_uniprot_gen.cc.o.d"
+  "test_uniprot_gen"
+  "test_uniprot_gen.pdb"
+  "test_uniprot_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uniprot_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_store.dir/test_value_store.cc.o"
+  "CMakeFiles/test_value_store.dir/test_value_store.cc.o.d"
+  "test_value_store"
+  "test_value_store.pdb"
+  "test_value_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
