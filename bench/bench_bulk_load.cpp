@@ -1,0 +1,156 @@
+// Load-throughput benchmark: the sequential per-statement loader
+// (the paper's §7.3 "read everything, then insert" path) against the
+// chunked/batched pipeline, in triples/sec. Run with
+// --benchmark_format=json to record machine-readable numbers for
+// EXPERIMENTS.md. Each iteration loads into a fresh store so the two
+// paths do identical work.
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "rdf/bulk_load.h"
+
+namespace rdfdb::bench {
+namespace {
+
+std::unique_ptr<rdf::RdfStore> FreshStore() {
+  auto store = std::make_unique<rdf::RdfStore>();
+  auto model = store->CreateRdfModel("uniprot", "uniprot_app", "triple");
+  if (!model.ok()) {
+    std::fprintf(stderr, "model create failed: %s\n",
+                 model.status().ToString().c_str());
+    std::abort();
+  }
+  return store;
+}
+
+void ReportLoad(benchmark::State& state, size_t triples_per_iter) {
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() *
+                                               triples_per_iter));
+  state.counters["triples"] = static_cast<double>(triples_per_iter);
+  state.counters["triples_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * triples_per_iter),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_LoadSequential(benchmark::State& state) {
+  const gen::UniProtDataset& data = DatasetFor(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = FreshStore();
+    state.ResumeTiming();
+    auto stats = rdf::BulkLoadSequential(store.get(), "uniprot",
+                                         data.triples);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(stats->new_links);
+  }
+  ReportLoad(state, data.triple_count());
+}
+BENCHMARK(BM_LoadSequential)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoadPipelined(benchmark::State& state) {
+  const gen::UniProtDataset& data = DatasetFor(state.range(0));
+  rdf::BulkLoadOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = FreshStore();
+    state.ResumeTiming();
+    auto stats = rdf::BulkLoad(store.get(), "uniprot", data.triples,
+                               nullptr, options);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(stats->new_links);
+  }
+  ReportLoad(state, data.triple_count());
+}
+BENCHMARK(BM_LoadPipelined)
+    ->ArgNames({"triples", "threads"})
+    ->Apply([](benchmark::internal::Benchmark* bench) {
+      for (int64_t size : BenchSizes()) {
+        for (int64_t threads : {1, 2, 4}) {
+          bench->Args({size, threads});
+        }
+      }
+    })
+    ->Unit(benchmark::kMillisecond);
+
+// File path: N-Triples text → store, which adds parsing to the timed
+// region (this is where the chunked parallel parse shows up).
+void BM_LoadFileSequential(benchmark::State& state) {
+  const gen::UniProtDataset& data = DatasetFor(state.range(0));
+  const std::string path =
+      "/tmp/rdfdb_bench_" + std::to_string(state.range(0)) + ".nt";
+  Status write = rdf::WriteNTriplesFile(path, data.triples);
+  if (!write.ok()) {
+    state.SkipWithError(write.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = FreshStore();
+    state.ResumeTiming();
+    auto parsed = rdf::ParseNTriplesFile(path);
+    if (!parsed.ok()) {
+      state.SkipWithError(parsed.status().ToString().c_str());
+      return;
+    }
+    auto stats = rdf::BulkLoadSequential(store.get(), "uniprot", *parsed);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(stats->new_links);
+  }
+  ReportLoad(state, data.triple_count());
+}
+BENCHMARK(BM_LoadFileSequential)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoadFilePipelined(benchmark::State& state) {
+  const gen::UniProtDataset& data = DatasetFor(state.range(0));
+  const std::string path =
+      "/tmp/rdfdb_bench_" + std::to_string(state.range(0)) + ".nt";
+  Status write = rdf::WriteNTriplesFile(path, data.triples);
+  if (!write.ok()) {
+    state.SkipWithError(write.ToString().c_str());
+    return;
+  }
+  rdf::BulkLoadOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = FreshStore();
+    state.ResumeTiming();
+    auto stats = rdf::BulkLoadFile(store.get(), "uniprot", path, nullptr,
+                                   options);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(stats->new_links);
+  }
+  ReportLoad(state, data.triple_count());
+}
+BENCHMARK(BM_LoadFilePipelined)
+    ->ArgNames({"triples", "threads"})
+    ->Apply([](benchmark::internal::Benchmark* bench) {
+      for (int64_t size : BenchSizes()) {
+        for (int64_t threads : {1, 2, 4}) {
+          bench->Args({size, threads});
+        }
+      }
+    })
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfdb::bench
+
+BENCHMARK_MAIN();

@@ -27,6 +27,20 @@ Status LogicalNetwork::AddLink(const Link& link) {
   return Status::OK();
 }
 
+void LogicalNetwork::ReserveAdditional(size_t extra_nodes,
+                                       size_t extra_links) {
+  nodes_.reserve(nodes_.size() + extra_nodes);
+  links_.reserve(links_.size() + extra_links);
+}
+
+Status LogicalNetwork::AddLinksBulk(const std::vector<Link>& links) {
+  ReserveAdditional(2 * links.size(), links.size());
+  for (const Link& link : links) {
+    RDFDB_RETURN_NOT_OK(AddLink(link));
+  }
+  return Status::OK();
+}
+
 Status LogicalNetwork::RemoveLink(LinkId link) {
   auto it = links_.find(link);
   if (it == links_.end()) {

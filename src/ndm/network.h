@@ -54,6 +54,15 @@ class LogicalNetwork {
   /// AlreadyExists if the link id is taken.
   Status AddLink(const Link& link);
 
+  /// Pre-size the node/link maps for an upcoming bulk registration of up
+  /// to `extra_nodes` new nodes and `extra_links` new links.
+  void ReserveAdditional(size_t extra_nodes, size_t extra_links);
+
+  /// Bulk AddLink: reserves capacity, then registers every link in order
+  /// (endpoints created implicitly). Fails on the first duplicate link
+  /// id, leaving the earlier links of the batch registered.
+  Status AddLinksBulk(const std::vector<Link>& links);
+
   /// Remove a link. The endpoints stay ("nodes attached to this link are
   /// not removed if there are other links connected to them" — callers
   /// remove orphaned nodes explicitly via RemoveNodeIfIsolated).

@@ -1,18 +1,38 @@
 #include "query/match.h"
 
 #include <algorithm>
-#include <set>
+#include <unordered_set>
 
+#include "common/hash.h"
 #include "query/filter.h"
 #include "query/rules_index.h"
 
 namespace rdfdb::query {
 
+namespace {
+
+/// Hash for a row of bound VALUE_IDs (the DISTINCT key).
+struct IdRowHash {
+  size_t operator()(const std::vector<rdf::ValueId>& row) const {
+    uint64_t h = 0;
+    for (rdf::ValueId id : row) {
+      h = HashCombine(h, static_cast<uint64_t>(id));
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
 int MatchResult::ColumnIndex(const std::string& name) const {
-  auto it = std::find(columns_.begin(), columns_.end(), name);
-  return it == columns_.end()
-             ? -1
-             : static_cast<int>(it - columns_.begin());
+  if (column_index_.size() != columns_.size()) {
+    column_index_.clear();
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      column_index_.emplace(columns_[i], static_cast<int>(i));
+    }
+  }
+  auto it = column_index_.find(name);
+  return it == column_index_.end() ? -1 : it->second;
 }
 
 std::string MatchResult::Get(size_t row, const std::string& name) const {
@@ -113,24 +133,28 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
   }
 
   std::vector<std::vector<rdf::Term>>& rows = *MatchBuilder::rows(&result);
-  std::set<std::string> seen;  // for DISTINCT
+  // DISTINCT dedupes on the bound VALUE_ID tuple, before any term
+  // resolution: the central rdf_value$ store already dedupes terms, so
+  // equal rows have equal id tuples, and duplicates skip the per-column
+  // TermForValueId lookups entirely.
+  std::unordered_set<std::vector<rdf::ValueId>, IdRowHash> seen;
   Status status = EvalPatterns(
       *store, patterns, compiled_filter.get(), source,
       [&](const IdBindings& binding) {
+        if (options.distinct) {
+          std::vector<rdf::ValueId> key;
+          key.reserve(columns.size());
+          for (const std::string& var : columns) {
+            key.push_back(binding.at(var));
+          }
+          if (!seen.insert(std::move(key)).second) return true;  // duplicate
+        }
         std::vector<rdf::Term> row;
         row.reserve(columns.size());
         for (const std::string& var : columns) {
           auto term = store->TermForValueId(binding.at(var));
           if (!term.ok()) return false;
           row.push_back(std::move(term).value());
-        }
-        if (options.distinct) {
-          std::string key;
-          for (const rdf::Term& term : row) {
-            key += term.ToNTriples();
-            key.push_back('\x1f');
-          }
-          if (!seen.insert(key).second) return true;  // duplicate
         }
         rows.push_back(std::move(row));
         return options.limit == 0 || rows.size() < options.limit;

@@ -12,6 +12,7 @@
 #define RDFDB_QUERY_MATCH_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -35,7 +36,9 @@ class MatchResult {
     return rows_[row][col];
   }
 
-  /// Column position by variable name; -1 if absent.
+  /// Column position by variable name; -1 if absent. Memoized: the
+  /// first call after the columns change builds a name→index map, so
+  /// per-row Get() loops don't rescan the column list.
   int ColumnIndex(const std::string& name) const;
 
   /// Display text at (row, variable name); empty if the column is absent.
@@ -48,6 +51,9 @@ class MatchResult {
   friend class MatchBuilder;
   std::vector<std::string> columns_;
   std::vector<std::vector<rdf::Term>> rows_;
+  /// Lazy name→index cache; rebuilt when its size disagrees with
+  /// columns_ (column names are unique, so size is a reliable check).
+  mutable std::unordered_map<std::string, int> column_index_;
 };
 
 /// Internal access shim so the executor can populate MatchResult.

@@ -42,8 +42,8 @@ namespace {
 
 /// Expand "prefix:local" through the alias map; returns false when the
 /// prefix is unknown (the token is then treated as a full URI as-is).
-bool ExpandAlias(const std::unordered_map<std::string, std::string>& aliases,
-                 const std::string& token, std::string* out) {
+bool ExpandAlias(const AliasMap& aliases, const std::string& token,
+                 std::string* out) {
   size_t colon = token.find(':');
   if (colon == std::string::npos) return false;
   auto it = aliases.find(token.substr(0, colon));
@@ -96,8 +96,19 @@ Result<std::vector<std::string>> TokenizePatternBody(
 
 }  // namespace
 
+AliasMap BuildAliasMap(const AliasList& aliases) {
+  AliasMap alias_map;
+  for (const SdoRdfAlias& alias : BuiltinAliases()) {
+    alias_map[alias.prefix] = alias.namespace_uri;
+  }
+  for (const SdoRdfAlias& alias : aliases) {
+    alias_map[alias.prefix] = alias.namespace_uri;  // user bindings win
+  }
+  return alias_map;
+}
+
 Result<PatternNode> ParsePatternToken(const std::string& token,
-                                      const AliasList& aliases) {
+                                      const AliasMap& aliases) {
   if (token.empty()) return Status::InvalidArgument("empty pattern token");
   if (token[0] == '?') {
     std::string name = token.substr(1);
@@ -106,24 +117,23 @@ Result<PatternNode> ParsePatternToken(const std::string& token,
     }
     return PatternNode::Var(std::move(name));
   }
-  std::unordered_map<std::string, std::string> alias_map;
-  for (const SdoRdfAlias& alias : BuiltinAliases()) {
-    alias_map[alias.prefix] = alias.namespace_uri;
-  }
-  for (const SdoRdfAlias& alias : aliases) {
-    alias_map[alias.prefix] = alias.namespace_uri;  // user bindings win
-  }
   std::string expanded;
   if (token[0] != '"' && token[0] != '<' &&
-      ExpandAlias(alias_map, token, &expanded)) {
+      ExpandAlias(aliases, token, &expanded)) {
     return PatternNode::Const(rdf::Term::Uri(std::move(expanded)));
   }
   RDFDB_ASSIGN_OR_RETURN(rdf::Term term, rdf::ParseApiTerm(token));
   return PatternNode::Const(std::move(term));
 }
 
+Result<PatternNode> ParsePatternToken(const std::string& token,
+                                      const AliasList& aliases) {
+  return ParsePatternToken(token, BuildAliasMap(aliases));
+}
+
 Result<std::vector<TriplePattern>> ParsePatterns(const std::string& query,
                                                  const AliasList& aliases) {
+  const AliasMap alias_map = BuildAliasMap(aliases);
   std::vector<TriplePattern> patterns;
   size_t i = 0;
   while (i < query.size()) {
@@ -152,11 +162,11 @@ Result<std::vector<TriplePattern>> ParsePatterns(const std::string& query,
     }
     TriplePattern pattern;
     RDFDB_ASSIGN_OR_RETURN(pattern.subject,
-                           ParsePatternToken(tokens[0], aliases));
+                           ParsePatternToken(tokens[0], alias_map));
     RDFDB_ASSIGN_OR_RETURN(pattern.predicate,
-                           ParsePatternToken(tokens[1], aliases));
+                           ParsePatternToken(tokens[1], alias_map));
     RDFDB_ASSIGN_OR_RETURN(pattern.object,
-                           ParsePatternToken(tokens[2], aliases));
+                           ParsePatternToken(tokens[2], alias_map));
     if (!pattern.subject.is_variable && pattern.subject.term.is_literal()) {
       return Status::InvalidArgument("pattern subject must not be a literal");
     }

@@ -10,6 +10,7 @@
 #define RDFDB_QUERY_SPARQL_PATTERN_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -29,6 +30,14 @@ using AliasList = std::vector<SdoRdfAlias>;
 
 /// Built-in aliases always available: rdf, rdfs, xsd.
 AliasList BuiltinAliases();
+
+/// prefix → namespace URI, ready for token expansion.
+using AliasMap = std::unordered_map<std::string, std::string>;
+
+/// Merge `aliases` over the built-ins (user bindings win). Build this
+/// once per query and reuse it for every token — ParsePatternToken's
+/// AliasList overload rebuilds it per call.
+AliasMap BuildAliasMap(const AliasList& aliases);
 
 /// One position of a pattern: either a variable or a concrete term.
 struct PatternNode {
@@ -56,6 +65,11 @@ Result<std::vector<TriplePattern>> ParsePatterns(const std::string& query,
                                                  const AliasList& aliases);
 
 /// Parse a single token into a node (exposed for the rule parser).
+Result<PatternNode> ParsePatternToken(const std::string& token,
+                                      const AliasMap& aliases);
+
+/// Convenience overload for one-off tokens: builds the merged map and
+/// delegates. Prefer BuildAliasMap + the AliasMap overload in loops.
 Result<PatternNode> ParsePatternToken(const std::string& token,
                                       const AliasList& aliases);
 

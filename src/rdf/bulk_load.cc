@@ -1,11 +1,223 @@
 #include "rdf/bulk_load.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "rdf/canonical.h"
+#include "rdf/link_store.h"
+#include "rdf/reification.h"
+
 namespace rdfdb::rdf {
 
-Result<BulkLoadStats> BulkLoad(RdfStore* store,
-                               const std::string& model_name,
-                               const std::vector<NTriple>& statements,
-                               ApplicationTable* table) {
+namespace {
+
+constexpr unsigned kMaxAutoThreads = 8;
+
+unsigned EffectiveThreads(const BulkLoadOptions& options) {
+  if (options.threads != 0) return options.threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min(hw, kMaxAutoThreads);
+}
+
+/// One statement with the CPU-side per-statement work already done
+/// (canonicalization, predicate classification, reification detection)
+/// so the storage thread only interns and inserts. The term pointers
+/// borrow from the chunk's parsed statements (or the caller's vector),
+/// which stay alive and unmoved until the chunk is consumed.
+struct PreparedTriple {
+  const Term* s = nullptr;
+  const Term* p = nullptr;
+  const Term* o = nullptr;
+  Term canon;             ///< valid only when has_canon
+  bool has_canon = false;
+  std::string link_type;
+  bool reif_link = false;
+};
+
+/// Unit of hand-off from a parse/prepare worker to the storage thread.
+struct PreparedChunk {
+  std::vector<NTriple> owned;  ///< file loads: the chunk's parsed statements
+  std::vector<PreparedTriple> prepared;
+};
+
+/// Same validation as RdfStore::InsertParsedTriple, plus the pure parts
+/// of InsertTerms.
+Status PrepareStatement(const NTriple& t, PreparedTriple* out) {
+  if (!t.subject.is_uri() && !t.subject.is_blank()) {
+    return Status::InvalidArgument("subject must be a URI or blank node");
+  }
+  if (!t.predicate.is_uri()) {
+    return Status::InvalidArgument("predicate must be a URI");
+  }
+  out->s = &t.subject;
+  out->p = &t.predicate;
+  out->o = &t.object;
+  Term canon = CanonicalForm(t.object);
+  if (canon != t.object) {
+    out->canon = std::move(canon);
+    out->has_canon = true;
+  }
+  out->link_type = ClassifyPredicate(t.predicate.lexical());
+  out->reif_link =
+      (t.subject.is_uri() && IsReificationUri(t.subject.lexical())) ||
+      (t.object.is_uri() && IsReificationUri(t.object.lexical()));
+  return Status::OK();
+}
+
+Status PrepareAll(const std::vector<NTriple>& statements,
+                  std::vector<PreparedTriple>* prepared) {
+  prepared->resize(statements.size());
+  for (size_t i = 0; i < statements.size(); ++i) {
+    RDFDB_RETURN_NOT_OK(PrepareStatement(statements[i], &(*prepared)[i]));
+  }
+  return Status::OK();
+}
+
+/// Serial phase, run on the calling thread in chunk order: batched
+/// intern, batched link insert, stats and application-table rows. The
+/// intern order per statement (s, p, o, then canonical object only when
+/// it differs) matches InsertTerms, so VALUE_ID assignment is identical
+/// to the sequential loader.
+Status ProcessChunk(RdfStore* store, ModelId model_id,
+                    const std::vector<PreparedTriple>& prepared,
+                    ValueStore::InternCache* cache, ApplicationTable* table,
+                    int64_t* next_app_id, BulkLoadStats* stats) {
+  std::vector<const Term*> terms;
+  terms.reserve(prepared.size() * 4);
+  for (const PreparedTriple& pt : prepared) {
+    terms.push_back(pt.s);
+    terms.push_back(pt.p);
+    terms.push_back(pt.o);
+    if (pt.has_canon) terms.push_back(&pt.canon);
+  }
+  RDFDB_ASSIGN_OR_RETURN(
+      std::vector<ValueId> ids,
+      store->values().LookupOrInsertBatch(model_id, terms, cache));
+
+  std::vector<LinkBatchEntry> entries(prepared.size());
+  size_t k = 0;
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    const PreparedTriple& pt = prepared[i];
+    LinkBatchEntry& e = entries[i];
+    e.s = ids[k++];
+    e.p = ids[k++];
+    e.o = ids[k++];
+    e.canon_o = pt.has_canon ? ids[k++] : e.o;
+    e.link_type = pt.link_type;
+    e.context = TripleContext::kDirect;
+    e.reif_link = pt.reif_link;
+  }
+  RDFDB_ASSIGN_OR_RETURN(std::vector<LinkInsertOutcome> outcomes,
+                         store->links().InsertBatch(model_id, entries));
+
+  for (const LinkInsertOutcome& outcome : outcomes) {
+    ++stats->statements;
+    if (outcome.inserted) {
+      ++stats->new_links;
+    } else {
+      ++stats->reused_links;
+    }
+    if (table != nullptr) {
+      SdoRdfTripleS triple(store, outcome.row.link_id, outcome.row.model_id,
+                           outcome.row.start_node_id, outcome.row.p_value_id,
+                           outcome.row.end_node_id);
+      RDFDB_RETURN_NOT_OK(table->Insert((*next_app_id)++, triple));
+      ++stats->app_rows;
+    }
+  }
+  return Status::OK();
+}
+
+/// Run `produce(k)` for chunk indices [0, chunk_count) on worker
+/// threads and feed each result to `consume` strictly in index order on
+/// the calling thread. Workers observe a bounded window ahead of the
+/// consumer so a fast parser cannot buffer the whole input. With one
+/// thread (or one chunk) everything runs inline.
+template <typename Produce, typename Consume>
+Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
+                          Produce produce, Consume consume) {
+  if (threads <= 1 || chunk_count <= 1) {
+    for (size_t k = 0; k < chunk_count; ++k) {
+      Result<PreparedChunk> chunk = produce(k);
+      RDFDB_RETURN_NOT_OK(chunk.status());
+      RDFDB_RETURN_NOT_OK(consume(std::move(*chunk)));
+    }
+    return Status::OK();
+  }
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<size_t>(threads, chunk_count));
+  const size_t window = 2 * static_cast<size_t>(workers) + 2;
+  std::vector<std::optional<Result<PreparedChunk>>> slots(chunk_count);
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<size_t> next_chunk{0};
+  size_t consumed = 0;       // guarded by mu
+  bool cancelled = false;    // guarded by mu
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        size_t k = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (k >= chunk_count) return;
+        {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return cancelled || k < consumed + window; });
+          if (cancelled) return;
+        }
+        Result<PreparedChunk> result = produce(k);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          slots[k] = std::move(result);
+        }
+        cv.notify_all();
+      }
+    });
+  }
+
+  Status status = Status::OK();
+  for (size_t k = 0; k < chunk_count; ++k) {
+    std::optional<Result<PreparedChunk>> chunk;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return slots[k].has_value(); });
+      chunk = std::move(slots[k]);
+      slots[k].reset();
+      consumed = k + 1;
+    }
+    cv.notify_all();
+    if (chunk->ok()) {
+      status = consume(std::move(**chunk));
+    } else {
+      status = chunk->status();
+    }
+    if (!status.ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    cancelled = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : pool) t.join();
+  return status;
+}
+
+}  // namespace
+
+Result<BulkLoadStats> BulkLoadSequential(RdfStore* store,
+                                         const std::string& model_name,
+                                         const std::vector<NTriple>& statements,
+                                         ApplicationTable* table) {
   RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
   BulkLoadStats stats;
   int64_t next_id =
@@ -30,13 +242,80 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
   return stats;
 }
 
+Result<BulkLoadStats> BulkLoad(RdfStore* store,
+                               const std::string& model_name,
+                               const std::vector<NTriple>& statements,
+                               ApplicationTable* table,
+                               const BulkLoadOptions& options) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  const size_t batch = std::max<size_t>(1, options.batch_size);
+  const size_t chunk_count = (statements.size() + batch - 1) / batch;
+
+  BulkLoadStats stats;
+  int64_t next_app_id =
+      table != nullptr ? static_cast<int64_t>(table->row_count()) + 1 : 0;
+  ValueStore::InternCache cache;
+
+  RDFDB_RETURN_NOT_OK(RunOrderedPipeline(
+      chunk_count, EffectiveThreads(options),
+      [&](size_t k) -> Result<PreparedChunk> {
+        const size_t begin = k * batch;
+        const size_t end = std::min(statements.size(), begin + batch);
+        PreparedChunk chunk;
+        chunk.prepared.resize(end - begin);
+        for (size_t i = begin; i < end; ++i) {
+          RDFDB_RETURN_NOT_OK(
+              PrepareStatement(statements[i], &chunk.prepared[i - begin]));
+        }
+        return chunk;
+      },
+      [&](PreparedChunk&& chunk) {
+        return ProcessChunk(store, model_id, chunk.prepared, &cache, table,
+                            &next_app_id, &stats);
+      }));
+  return stats;
+}
+
 Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
                                    const std::string& model_name,
                                    const std::string& path,
-                                   ApplicationTable* table) {
-  RDFDB_ASSIGN_OR_RETURN(std::vector<NTriple> statements,
-                         ParseNTriplesFile(path));
-  return BulkLoad(store, model_name, statements, table);
+                                   ApplicationTable* table,
+                                   const BulkLoadOptions& options) {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = std::move(buffer).str();
+
+  const size_t batch = std::max<size_t>(1, options.batch_size);
+  const std::vector<NTriplesChunkSpec> specs =
+      SplitNTriplesChunks(text, batch);
+
+  BulkLoadStats stats;
+  int64_t next_app_id =
+      table != nullptr ? static_cast<int64_t>(table->row_count()) + 1 : 0;
+  ValueStore::InternCache cache;
+
+  RDFDB_RETURN_NOT_OK(RunOrderedPipeline(
+      specs.size(), EffectiveThreads(options),
+      [&](size_t k) -> Result<PreparedChunk> {
+        const NTriplesChunkSpec& spec = specs[k];
+        PreparedChunk chunk;
+        RDFDB_ASSIGN_OR_RETURN(
+            chunk.owned,
+            ParseNTriplesChunk(
+                std::string_view(text).substr(spec.begin,
+                                              spec.end - spec.begin),
+                spec.first_line));
+        RDFDB_RETURN_NOT_OK(PrepareAll(chunk.owned, &chunk.prepared));
+        return chunk;
+      },
+      [&](PreparedChunk&& chunk) {
+        return ProcessChunk(store, model_id, chunk.prepared, &cache, table,
+                            &next_app_id, &stats);
+      }));
+  return stats;
 }
 
 Result<std::vector<NTriple>> ExportModel(const RdfStore& store,

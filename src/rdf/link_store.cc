@@ -1,5 +1,8 @@
 #include "rdf/link_store.h"
 
+#include <unordered_map>
+
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "rdf/term.h"
 #include "rdf/vocab.h"
@@ -203,6 +206,129 @@ Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
   RDFDB_RETURN_NOT_OK(net_->AddLink(ndm::Link{
       link.link_id, s, o, /*cost=*/1.0, /*label=*/p}));
   return LinkInsertOutcome{link, /*inserted=*/true};
+}
+
+namespace {
+
+struct SpoKey {
+  ValueId s, p, o;
+  bool operator==(const SpoKey& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+struct SpoKeyHash {
+  size_t operator()(const SpoKey& k) const {
+    uint64_t h = HashCombine(static_cast<uint64_t>(k.s),
+                             static_cast<uint64_t>(k.p));
+    return static_cast<size_t>(HashCombine(h, static_cast<uint64_t>(k.o)));
+  }
+};
+
+}  // namespace
+
+Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
+    int64_t model_id, const std::vector<LinkBatchEntry>& entries) {
+  // Phase 1: group the batch by (s, p, o) — one SPO probe per distinct
+  // triple — and fold duplicate occurrences into per-group aggregates
+  // (COST += occurrences, Implied→Direct upgrade, REIF_LINK OR), exactly
+  // the state N sequential Insert() calls would leave behind.
+  struct Group {
+    LinkRow row;
+    std::optional<storage::RowId> existing_rid;
+    size_t first_entry = 0;
+    int64_t occurrences = 0;
+    bool is_new = false;
+  };
+  std::unordered_map<SpoKey, size_t, SpoKeyHash> group_of;
+  group_of.reserve(entries.size());
+  std::vector<Group> groups;
+  groups.reserve(entries.size());
+  std::vector<size_t> entry_group(entries.size());
+  size_t new_groups = 0;
+
+  const storage::Index* spo = links_->GetIndex(kSpoIndex);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LinkBatchEntry& e = entries[i];
+    auto [it, first_sighting] =
+        group_of.try_emplace(SpoKey{e.s, e.p, e.o}, groups.size());
+    if (first_sighting) {
+      Group g;
+      g.first_entry = i;
+      std::vector<storage::RowId> existing = spo->Find(
+          ValueKey{Value::Int64(model_id), Value::Int64(e.s),
+                   Value::Int64(e.p), Value::Int64(e.o)});
+      if (!existing.empty()) {
+        g.existing_rid = existing.front();
+        g.row = RowToLink(*links_->Get(existing.front()));
+      } else {
+        g.is_new = true;
+        ++new_groups;
+        g.row.start_node_id = e.s;
+        g.row.p_value_id = e.p;
+        g.row.end_node_id = e.o;
+        g.row.canon_end_node_id = e.canon_o;
+        g.row.link_type = e.link_type;
+        g.row.cost = 0;  // set from occurrences below
+        g.row.context = e.context;
+        g.row.reif_link = e.reif_link;
+        g.row.model_id = model_id;
+      }
+      groups.push_back(std::move(g));
+    }
+    Group& g = groups[it->second];
+    ++g.occurrences;
+    if (e.context == TripleContext::kDirect &&
+        g.row.context == TripleContext::kImplied) {
+      g.row.context = TripleContext::kDirect;
+    }
+    g.row.reif_link = g.row.reif_link || e.reif_link;
+    entry_group[i] = it->second;
+  }
+
+  // Phase 2: reserve the LINK_ID range and assign in first-occurrence
+  // order (identical ids to per-statement Next() calls), apply the folded
+  // updates, and append all new rows through the staged batch path.
+  LinkId next_id = link_seq_->NextRange(static_cast<int64_t>(new_groups));
+  std::vector<Row> new_rows;
+  new_rows.reserve(new_groups);
+  for (Group& g : groups) {
+    if (g.is_new) {
+      g.row.link_id = next_id++;
+      g.row.cost = g.occurrences;
+      new_rows.push_back(LinkToRow(g.row));
+    } else {
+      g.row.cost += g.occurrences;
+      RDFDB_RETURN_NOT_OK(links_->Update(*g.existing_rid, LinkToRow(g.row)));
+    }
+  }
+  auto staged = links_->InsertBatch(std::move(new_rows));
+  if (!staged.ok()) return staged.status();
+
+  // Phase 3: bulk-register the NDM side. Node creation order matches the
+  // sequential path (subject then object, per new link, in link order) so
+  // rdf_node$ contents are bit-identical.
+  net_->ReserveAdditional(2 * new_groups, new_groups);
+  std::vector<ndm::Link> ndm_links;
+  ndm_links.reserve(new_groups);
+  for (const Group& g : groups) {
+    if (!g.is_new) continue;
+    EnsureNode(g.row.start_node_id);
+    EnsureNode(g.row.end_node_id);
+    ndm_links.push_back(ndm::Link{g.row.link_id, g.row.start_node_id,
+                                  g.row.end_node_id, /*cost=*/1.0,
+                                  /*label=*/g.row.p_value_id});
+  }
+  RDFDB_RETURN_NOT_OK(net_->AddLinksBulk(ndm_links));
+
+  std::vector<LinkInsertOutcome> outcomes;
+  outcomes.reserve(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Group& g = groups[entry_group[i]];
+    outcomes.push_back(
+        LinkInsertOutcome{g.row, g.is_new && g.first_entry == i});
+  }
+  return outcomes;
 }
 
 std::optional<LinkRow> LinkStore::Find(int64_t model_id, ValueId s, ValueId p,

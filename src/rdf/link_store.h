@@ -53,6 +53,17 @@ struct LinkInsertOutcome {
   bool inserted = false;
 };
 
+/// One statement of a batched link insert (already-interned VALUE_IDs).
+struct LinkBatchEntry {
+  ValueId s = 0;
+  ValueId p = 0;
+  ValueId o = 0;
+  ValueId canon_o = 0;
+  std::string link_type;
+  TripleContext context = TripleContext::kDirect;
+  bool reif_link = false;
+};
+
 /// Classify a predicate URI into the paper's LINK_TYPE codes.
 std::string ClassifyPredicate(const std::string& predicate_uri);
 
@@ -72,6 +83,17 @@ class LinkStore {
                                    ValueId o, ValueId canon_o,
                                    const std::string& link_type,
                                    TripleContext context, bool reif_link);
+
+  /// Batched Insert for the bulk loader: semantically identical to
+  /// calling Insert() once per entry in order (same LINK_ID assignment,
+  /// same final COST / CONTEXT-upgrade / REIF_LINK state), but duplicate
+  /// detection probes the SPO index once per distinct (s, p, o), repeated
+  /// statements fold into a single UPDATE, new rows go through the
+  /// table's staged append path with a pre-reserved LINK_ID range, and
+  /// NDM nodes/links are registered in bulk. Outcome i reports whether
+  /// entry i was the batch's first sighting of a brand-new triple.
+  Result<std::vector<LinkInsertOutcome>> InsertBatch(
+      int64_t model_id, const std::vector<LinkBatchEntry>& entries);
 
   /// Exact lookup of a triple in a model.
   std::optional<LinkRow> Find(int64_t model_id, ValueId s, ValueId p,

@@ -1,17 +1,17 @@
 #include "rdf/ntriples.h"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
-
-#include "common/string_util.h"
 
 namespace rdfdb::rdf {
 
 namespace {
 
-/// Cursor over one line.
+/// Cursor over one line (borrowed view — the chunked parse path feeds
+/// slices of the whole document buffer through here with no copies).
 struct Cursor {
-  const std::string& text;
+  std::string_view text;
   size_t pos = 0;
 
   void SkipSpace() {
@@ -27,10 +27,10 @@ struct Cursor {
 Result<Term> ParseUriRef(Cursor* c) {
   // <...>
   size_t end = c->text.find('>', c->pos + 1);
-  if (end == std::string::npos) {
+  if (end == std::string_view::npos) {
     return Status::InvalidArgument("unterminated URI ref");
   }
-  std::string uri = c->text.substr(c->pos + 1, end - c->pos - 1);
+  std::string uri(c->text.substr(c->pos + 1, end - c->pos - 1));
   c->pos = end + 1;
   if (uri.empty()) return Status::InvalidArgument("empty URI ref");
   return Term::Uri(std::move(uri));
@@ -45,7 +45,7 @@ Result<Term> ParseBlank(Cursor* c) {
     if (c->text[end] == '.' && end + 1 >= c->text.size()) break;
     ++end;
   }
-  std::string label = c->text.substr(start, end - start);
+  std::string label(c->text.substr(start, end - start));
   if (label.empty()) return Status::InvalidArgument("empty blank label");
   c->pos = end;
   return Term::BlankNode(std::move(label));
@@ -101,7 +101,7 @@ Result<Term> ParseLiteral(Cursor* c) {
            c->text[end] != '.') {
       ++end;
     }
-    std::string lang = c->text.substr(start, end - start);
+    std::string lang(c->text.substr(start, end - start));
     if (lang.empty()) return Status::InvalidArgument("empty language tag");
     c->pos = end;
     return Term::PlainLiteralLang(std::move(body), std::move(lang));
@@ -137,10 +137,21 @@ Result<Term> ParseNode(Cursor* c, bool allow_literal) {
                                  "'");
 }
 
-}  // namespace
+/// View-trimmed slice of `s` (same whitespace set as Trim, no copy).
+std::string_view TrimView(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
 
-Result<std::optional<NTriple>> ParseNTriplesLine(const std::string& line) {
-  std::string trimmed = Trim(line);
+Result<std::optional<NTriple>> ParseLineView(std::string_view line) {
+  std::string_view trimmed = TrimView(line);
   if (trimmed.empty() || trimmed[0] == '#') {
     return std::optional<NTriple>{};
   }
@@ -169,6 +180,58 @@ Result<std::optional<NTriple>> ParseNTriplesLine(const std::string& line) {
     return Status::InvalidArgument("trailing content after '.'");
   }
   return std::optional<NTriple>{std::move(triple)};
+}
+
+}  // namespace
+
+Result<std::optional<NTriple>> ParseNTriplesLine(const std::string& line) {
+  return ParseLineView(line);
+}
+
+Result<std::vector<NTriple>> ParseNTriplesChunk(std::string_view text,
+                                                size_t first_line) {
+  std::vector<NTriple> out;
+  size_t line_no = first_line;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      if (pos == text.size()) break;  // no trailing fragment
+      eol = text.size();
+    }
+    auto parsed = ParseLineView(text.substr(pos, eol - pos));
+    if (!parsed.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + parsed.status().message());
+    }
+    if (parsed->has_value()) out.push_back(std::move(**parsed));
+    ++line_no;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::vector<NTriplesChunkSpec> SplitNTriplesChunks(std::string_view text,
+                                                   size_t max_lines) {
+  if (max_lines == 0) max_lines = 1;
+  std::vector<NTriplesChunkSpec> chunks;
+  size_t pos = 0;
+  size_t line = 1;
+  while (pos < text.size()) {
+    NTriplesChunkSpec spec;
+    spec.begin = pos;
+    spec.first_line = line;
+    size_t lines = 0;
+    while (pos < text.size() && lines < max_lines) {
+      size_t eol = text.find('\n', pos);
+      pos = eol == std::string_view::npos ? text.size() : eol + 1;
+      ++lines;
+    }
+    spec.end = pos;
+    line += lines;
+    chunks.push_back(spec);
+  }
+  return chunks;
 }
 
 Result<std::vector<NTriple>> ParseNTriplesDocument(const std::string& text) {

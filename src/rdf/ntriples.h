@@ -6,6 +6,8 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -33,6 +35,29 @@ Result<std::optional<NTriple>> ParseNTriplesLine(const std::string& line);
 /// Parse a whole document (newline-separated). Any malformed line fails
 /// the parse with its line number in the message.
 Result<std::vector<NTriple>> ParseNTriplesDocument(const std::string& text);
+
+/// Parse a consecutive run of lines — a chunk of a larger document, as
+/// produced by SplitNTriplesChunks. Unlike ParseNTriplesDocument this
+/// works on a borrowed view with no per-line string copies (the parallel
+/// bulk-load parse path). `first_line` is the 1-based document line
+/// number of the chunk's first line; malformed lines report absolute
+/// document line numbers.
+Result<std::vector<NTriple>> ParseNTriplesChunk(std::string_view text,
+                                                size_t first_line);
+
+/// One line-aligned chunk of a document: [begin, end) byte offsets plus
+/// the 1-based line number of the first line in the chunk.
+struct NTriplesChunkSpec {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t first_line = 1;
+};
+
+/// Split a document into chunks of at most `max_lines` lines each, always
+/// cutting at line boundaries, so chunks can parse independently (and in
+/// parallel) while preserving overall statement order on reassembly.
+std::vector<NTriplesChunkSpec> SplitNTriplesChunks(std::string_view text,
+                                                   size_t max_lines);
 
 /// Parse a file from disk.
 Result<std::vector<NTriple>> ParseNTriplesFile(const std::string& path);

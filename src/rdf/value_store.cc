@@ -138,6 +138,27 @@ Result<ValueId> ValueStore::LookupOrInsert(const Term& term) {
   return id;
 }
 
+Result<std::vector<ValueId>> ValueStore::LookupOrInsertBatch(
+    int64_t model_id, const std::vector<const Term*>& terms,
+    InternCache* cache) {
+  std::vector<ValueId> out;
+  out.reserve(terms.size());
+  for (const Term* term : terms) {
+    auto it = cache->find(*term);
+    if (it != cache->end()) {
+      out.push_back(it->second);
+      continue;
+    }
+    Result<ValueId> id = term->is_blank()
+                             ? LookupOrInsertBlank(model_id, term->lexical())
+                             : LookupOrInsert(*term);
+    RDFDB_RETURN_NOT_OK(id.status());
+    cache->emplace(*term, *id);
+    out.push_back(*id);
+  }
+  return out;
+}
+
 std::optional<ValueId> ValueStore::Lookup(const Term& term) const {
   const storage::Index* index = values_->GetIndex(kNameIndex);
   std::vector<storage::RowId> ids = index->Find(DedupKey(term));

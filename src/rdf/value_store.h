@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -25,6 +27,17 @@ using ValueId = int64_t;
 /// Central deduplicated term dictionary.
 class ValueStore {
  public:
+  /// Memo of already-resolved terms, carried across LookupOrInsertBatch
+  /// calls by the bulk loader so each distinct term pays the rdf_value$
+  /// index probe (and its DedupKey construction) only once per load.
+  /// Blank-node entries are model-scoped: never share a cache across
+  /// models.
+  struct TermHash {
+    size_t operator()(const Term& term) const {
+      return static_cast<size_t>(term.Hash());
+    }
+  };
+  using InternCache = std::unordered_map<Term, ValueId, TermHash>;
   /// Creates (or reattaches to) MDSYS.RDF_VALUE$, MDSYS.RDF_BLANK_NODE$
   /// and their sequences/indexes inside `db`.
   explicit ValueStore(storage::Database* db);
@@ -36,6 +49,16 @@ class ValueStore {
 
   /// Find without inserting; nullopt if the term has never been stored.
   std::optional<ValueId> Lookup(const Term& term) const;
+
+  /// Batched two-phase intern for the bulk loader: resolves every term in
+  /// `terms` (in order) to its VALUE_ID, consulting and filling `cache`.
+  /// New terms hit rdf_value$ in first-occurrence order, so VALUE_ID
+  /// assignment is identical to a sequential LookupOrInsert /
+  /// LookupOrInsertBlank walk over the same sequence. Blank nodes are
+  /// scoped to `model_id`.
+  Result<std::vector<ValueId>> LookupOrInsertBatch(
+      int64_t model_id, const std::vector<const Term*>& terms,
+      InternCache* cache);
 
   /// Model-scoped blank node: the same label in different models maps to
   /// different VALUE_IDs; within one model the mapping is stable.

@@ -24,6 +24,49 @@ Result<RowId> Table::Insert(Row row) {
   return row_id;
 }
 
+Result<std::vector<RowId>> Table::InsertBatch(std::vector<Row> rows) {
+  for (const Row& row : rows) {
+    RDFDB_RETURN_NOT_OK(schema_.ValidateRow(row));
+  }
+
+  // Stage: append every row to the heap first, then wire up indexes and
+  // partitions. Index maintenance deferred to a second pass means a
+  // mid-batch unique violation can unwind without ever exposing a
+  // half-indexed table.
+  const size_t first = rows_.size();
+  rows_.reserve(first + rows.size());
+  std::vector<RowId> ids;
+  ids.reserve(rows.size());
+  for (Row& row : rows) {
+    ids.push_back(static_cast<RowId>(rows_.size()));
+    rows_.emplace_back(std::move(row));
+  }
+
+  Status st = Status::OK();
+  size_t done = 0;
+  for (; done < ids.size(); ++done) {
+    const Row& row = *rows_[first + done];
+    st = IndexesInsert(row, ids[done]);
+    if (!st.ok()) break;  // IndexesInsert unwinds its own partial entries
+    PartitionInsert(row, ids[done]);
+  }
+  if (!st.ok()) {
+    for (size_t i = 0; i < done; ++i) {
+      const Row& row = *rows_[first + i];
+      IndexesErase(row, ids[i]);
+      PartitionErase(row, ids[i]);
+    }
+    rows_.resize(first);
+    return st;
+  }
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    data_bytes_ += RowBytes(*rows_[first + i]);
+  }
+  live_rows_ += ids.size();
+  return ids;
+}
+
 Status Table::Update(RowId row_id, Row row) {
   if (row_id < 0 || static_cast<size_t>(row_id) >= rows_.size() ||
       !rows_[row_id].has_value()) {

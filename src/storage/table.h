@@ -34,6 +34,13 @@ class Table {
   /// Validate and insert; returns the new row id.
   Result<RowId> Insert(Row row);
 
+  /// Append a batch of rows. Every row is validated and staged into the
+  /// heap before any secondary-index maintenance runs (the bulk-load
+  /// append path); if an index rejects a row (unique violation) the whole
+  /// batch is rolled back and the table is unchanged. Returns the new row
+  /// ids in input order.
+  Result<std::vector<RowId>> InsertBatch(std::vector<Row> rows);
+
   /// Replace the row at `row_id`; all indexes and the partition map are
   /// updated.
   Status Update(RowId row_id, Row row);

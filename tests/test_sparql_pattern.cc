@@ -107,14 +107,14 @@ TEST(PatternParseTest, RepeatedVariable) {
 }
 
 TEST(PatternTokenTest, VariableToken) {
-  auto node = ParsePatternToken("?abc", {});
+  auto node = ParsePatternToken("?abc", AliasList{});
   ASSERT_TRUE(node.ok());
   EXPECT_TRUE(node->is_variable);
   EXPECT_EQ(node->variable, "abc");
 }
 
 TEST(PatternTokenTest, BareLiteralToken) {
-  auto node = ParsePatternToken("bombing", {});
+  auto node = ParsePatternToken("bombing", AliasList{});
   ASSERT_TRUE(node.ok());
   EXPECT_TRUE(node->term.is_literal());
 }

@@ -116,6 +116,41 @@ TEST(TableTest, IndexMaintainedAcrossMutations) {
   EXPECT_TRUE((*t.FindByIndex("by_name", {Value::String("y")})).empty());
 }
 
+TEST(TableTest, InsertBatchAssignsIdsInInputOrder) {
+  Table t("T", TwoCol());
+  (void)*t.Insert(R(0, "pre"));
+  auto ids = t.InsertBatch({R(1, "a"), R(2, "b"), R(3, "c")});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_EQ(*ids, (std::vector<RowId>{1, 2, 3}));
+  EXPECT_EQ(t.row_count(), 4u);
+  EXPECT_EQ((*t.Get(2))[1].as_string(), "b");
+}
+
+TEST(TableTest, InsertBatchRollsBackOnUniqueViolation) {
+  Table t("T", TwoCol());
+  ASSERT_TRUE(t.CreateIndex("by_id", IndexKind::kHash,
+                            KeyExtractor::Columns({0}), /*unique=*/true)
+                  .ok());
+  (void)*t.Insert(R(1, "existing"));
+  // Third row collides with the pre-existing id; the whole batch must
+  // unwind, including the rows and index entries staged before it.
+  auto ids = t.InsertBatch({R(2, "a"), R(3, "b"), R(1, "dup")});
+  EXPECT_FALSE(ids.ok());
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_TRUE((*t.FindByIndex("by_id", {Value::Int64(2)})).empty());
+  EXPECT_TRUE((*t.FindByIndex("by_id", {Value::Int64(3)})).empty());
+  EXPECT_EQ((*t.FindByIndex("by_id", {Value::Int64(1)})).size(), 1u);
+  // The table still accepts inserts afterwards, with dense ids.
+  EXPECT_EQ(*t.Insert(R(4, "after")), 1);
+}
+
+TEST(TableTest, InsertBatchValidatesBeforeStaging) {
+  Table t("T", TwoCol());
+  auto ids = t.InsertBatch({R(1, "a"), {Value::Null(), Value::Null()}});
+  EXPECT_TRUE(ids.status().IsInvalidArgument());
+  EXPECT_EQ(t.row_count(), 0u);
+}
+
 TEST(TableTest, CreateIndexBackfills) {
   Table t("T", TwoCol());
   for (int i = 0; i < 5; ++i) (void)*t.Insert(R(i, "same"));

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# ThreadSanitizer job for the concurrency-sensitive targets: the
+# pipelined bulk loader and the concurrent store wrapper. Builds a
+# dedicated build-tsan tree (so a normal build/ is left untouched) and
+# runs the two test binaries directly; any TSan report fails the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRDFDB_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target test_bulk_load test_concurrent_store
+
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+"$BUILD_DIR"/tests/test_bulk_load
+"$BUILD_DIR"/tests/test_concurrent_store
+
+echo "TSan run clean."
