@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "baseline/jena2_store.h"
+#include "common/timer.h"
 #include "gen/uniprot_gen.h"
 #include "gen/workload.h"
 #include "rdf/app_table.h"
@@ -46,6 +47,24 @@ inline const std::vector<int64_t>& BenchSizes() {
 inline void ApplyBenchSizes(benchmark::internal::Benchmark* bench) {
   for (int64_t size : BenchSizes()) bench->Arg(size);
 }
+
+/// Manual-timing helper for ->UseManualTime() benchmarks that must
+/// exclude per-iteration setup from the measurement. Standardises on
+/// Timer::ElapsedNanos, the unit the obs latency histograms use, so
+/// bench numbers and in-store metrics are directly comparable.
+class ManualTimer {
+ public:
+  void Start() { timer_.Restart(); }
+
+  /// End the timed section and report it as this iteration's time.
+  void StopAndReport(benchmark::State& state) {
+    state.SetIterationTime(static_cast<double>(timer_.ElapsedNanos()) *
+                           1e-9);
+  }
+
+ private:
+  Timer timer_;
+};
 
 /// Generated dataset cache (shared across systems for a given size).
 inline const gen::UniProtDataset& DatasetFor(int64_t size) {

@@ -40,10 +40,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("loaded model '%s' in %.2fs: %zu app rows, %zu distinct "
-              "values, %zu links\n\n",
-              load->model.model_name.c_str(), timer.ElapsedSeconds(),
+              "values, %zu links\n",
+              load->model.model_name.c_str(),
+              static_cast<double>(timer.ElapsedNanos()) * 1e-9,
               load->app_rows, store.values().value_count(),
               store.links().TotalTripleCount());
+
+  // The store's own instruments saw the same load.
+  const rdfdb::obs::StoreMetrics* metrics = store.metrics();
+  std::printf("store metrics: %llu value lookups, %llu value inserts, "
+              "%llu link inserts, %llu duplicates folded\n\n",
+              static_cast<unsigned long long>(
+                  metrics->value_lookups->Value()),
+              static_cast<unsigned long long>(
+                  metrics->value_inserts->Value()),
+              static_cast<unsigned long long>(
+                  metrics->link_inserts->Value()),
+              static_cast<unsigned long long>(
+                  metrics->link_duplicates->Value()));
 
   // --- the paper's subject query (Figure 10) -----------------------------
   auto table = rdfdb::rdf::ApplicationTable::Attach(&store, "UP",

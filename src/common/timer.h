@@ -28,6 +28,15 @@ class Timer {
         .count();
   }
 
+  /// Elapsed nanoseconds since construction or last Restart(). This is
+  /// the unit the observability layer (obs::ScopedSpan, latency
+  /// histograms) and the manual-timing bench helpers standardise on.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

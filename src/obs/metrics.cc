@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rdfdb::obs {
+
+Histogram::Histogram(std::vector<uint64_t> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(uint64_t value) {
+  // First bound >= value; everything above the last bound lands in the
+  // implicit +Inf bucket at index bounds_.size().
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> DefaultLatencyBucketsNs() {
+  std::vector<uint64_t> bounds;
+  uint64_t bound = 1000;  // 1 µs
+  for (int i = 0; i < 11; ++i) {
+    bounds.push_back(bound);
+    bound *= 4;
+  }
+  return bounds;  // 1µs 4µs 16µs 64µs 256µs ~1ms ~4ms ~16ms ~67ms ~268ms ~1.07s
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == Kind::kCounter ? it->second.counter.get()
+                                             : nullptr;
+  }
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.help = help;
+  entry.counter = std::make_unique<Counter>();
+  Counter* out = entry.counter.get();
+  entries_.emplace(name, std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == Kind::kGauge ? it->second.gauge.get() : nullptr;
+  }
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.help = help;
+  entry.gauge = std::make_unique<Gauge>();
+  Gauge* out = entry.gauge.get();
+  entries_.emplace(name, std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(
+    const std::string& name, const std::string& help,
+    std::vector<uint64_t> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == Kind::kHistogram ? it->second.histogram.get()
+                                               : nullptr;
+  }
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.help = help;
+  entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  Histogram* out = entry.histogram.get();
+  entries_.emplace(name, std::move(entry));
+  return out;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kCounter) return nullptr;
+  return it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kGauge) return nullptr;
+  return it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kHistogram) {
+    return nullptr;
+  }
+  return it->second.histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    out << "# HELP " << name << " " << entry.help << "\n";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << entry.counter->Value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << entry.gauge->Value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "# TYPE " << name << " histogram\n";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          out << name << "_bucket{le=\"" << h.bounds()[i] << "\"} "
+              << cumulative << "\n";
+        }
+        cumulative += h.BucketCount(h.bounds().size());
+        out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        out << name << "_sum " << h.sum() << "\n";
+        out << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, entry] : entries_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << name << "\": {";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "\"type\": \"counter\", \"value\": " << entry.counter->Value();
+        break;
+      case Kind::kGauge:
+        out << "\"type\": \"gauge\", \"value\": " << entry.gauge->Value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out << "\"type\": \"histogram\", \"buckets\": [";
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          if (i != 0) out << ", ";
+          out << "{\"le\": " << h.bounds()[i] << ", \"count\": " << cumulative
+              << "}";
+        }
+        cumulative += h.BucketCount(h.bounds().size());
+        if (!h.bounds().empty()) out << ", ";
+        out << "{\"le\": \"+Inf\", \"count\": " << cumulative << "}]";
+        out << ", \"sum\": " << h.sum() << ", \"count\": " << h.count();
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace rdfdb::obs

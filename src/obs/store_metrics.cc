@@ -1,0 +1,84 @@
+#include "obs/store_metrics.h"
+
+namespace rdfdb::obs {
+
+StoreMetrics::StoreMetrics(MetricsRegistry* reg) : registry(reg) {
+  value_lookups = reg->RegisterCounter(
+      "rdfdb_value_lookups_total", "rdf_value$ dictionary probes");
+  value_lookup_hits = reg->RegisterCounter(
+      "rdfdb_value_lookup_hits_total", "dictionary probes that hit");
+  value_inserts = reg->RegisterCounter(
+      "rdfdb_value_inserts_total", "new rdf_value$/rdf_blank_node$ rows");
+  value_batch_terms = reg->RegisterCounter(
+      "rdfdb_value_batch_terms_total",
+      "terms presented to LookupOrInsertBatch");
+  value_intern_cache_hits = reg->RegisterCounter(
+      "rdfdb_value_intern_cache_hits_total",
+      "batch terms resolved from the loader intern cache");
+
+  link_inserts = reg->RegisterCounter(
+      "rdfdb_link_inserts_total", "new rdf_link$ rows");
+  link_duplicates = reg->RegisterCounter(
+      "rdfdb_link_duplicates_total",
+      "triple inserts folded into an existing rdf_link$ row");
+  link_deletes = reg->RegisterCounter(
+      "rdfdb_link_deletes_total", "rdf_link$ delete operations");
+  link_rows_scanned = reg->RegisterCounter(
+      "rdfdb_link_rows_scanned_total",
+      "rdf_link$ rows visited by Match/ScanModel");
+
+  reif_checks = reg->RegisterCounter(
+      "rdfdb_reif_checks_total", "IsLinkReified probes");
+  reif_dburi_resolutions = reg->RegisterCounter(
+      "rdfdb_reif_dburi_resolutions_total",
+      "DBUri strings resolved back to link ids");
+
+  queries = reg->RegisterCounter(
+      "rdfdb_query_total", "SDO_RDF_MATCH executions");
+  query_rows = reg->RegisterCounter(
+      "rdfdb_query_rows_total", "result rows returned by SDO_RDF_MATCH");
+  query_ns = reg->RegisterHistogram(
+      "rdfdb_query_ns", "end-to-end SDO_RDF_MATCH latency (ns)",
+      DefaultLatencyBucketsNs());
+
+  inference_rounds = reg->RegisterCounter(
+      "rdfdb_inference_rounds_total", "entailment fixpoint rounds");
+  inference_derived = reg->RegisterCounter(
+      "rdfdb_inference_derived_total",
+      "distinct inferred triples retained by entailment");
+
+  bulkload_statements = reg->RegisterCounter(
+      "rdfdb_bulkload_statements_total", "statements consumed by bulk load");
+  bulkload_chunks = reg->RegisterCounter(
+      "rdfdb_bulkload_chunks_total", "chunks through the load pipeline");
+  bulkload_queue_depth = reg->RegisterGauge(
+      "rdfdb_bulkload_queue_depth",
+      "pipeline high-water mark of produced-but-unconsumed chunks");
+  bulkload_parse_ns = reg->RegisterHistogram(
+      "rdfdb_bulkload_parse_ns", "per-chunk parse/prepare time (ns)",
+      DefaultLatencyBucketsNs());
+  bulkload_intern_ns = reg->RegisterHistogram(
+      "rdfdb_bulkload_intern_ns", "per-chunk batched intern time (ns)",
+      DefaultLatencyBucketsNs());
+  bulkload_insert_ns = reg->RegisterHistogram(
+      "rdfdb_bulkload_insert_ns", "per-chunk rdf_link$ insert time (ns)",
+      DefaultLatencyBucketsNs());
+
+  snapshot_saves = reg->RegisterCounter(
+      "rdfdb_snapshot_saves_total", "snapshot save operations");
+  snapshot_loads = reg->RegisterCounter(
+      "rdfdb_snapshot_loads_total", "snapshot load (RdfStore::Open) calls");
+  snapshot_save_ns = reg->RegisterHistogram(
+      "rdfdb_snapshot_save_ns", "snapshot save latency (ns)",
+      DefaultLatencyBucketsNs());
+  snapshot_load_ns = reg->RegisterHistogram(
+      "rdfdb_snapshot_load_ns", "snapshot open latency (ns)",
+      DefaultLatencyBucketsNs());
+  replay_records = reg->RegisterCounter(
+      "rdfdb_replay_records_total", "redo-log records applied");
+  replay_ns = reg->RegisterHistogram(
+      "rdfdb_replay_ns", "redo-log replay latency (ns)",
+      DefaultLatencyBucketsNs());
+}
+
+}  // namespace rdfdb::obs

@@ -1,0 +1,69 @@
+// Pre-registered instrument handles for one RdfStore.
+//
+// RdfStore owns a MetricsRegistry and one StoreMetrics; the storage
+// layers (ValueStore, LinkStore, bulk load, redo log, match) hold a
+// raw StoreMetrics pointer so the steady-state write path is a relaxed
+// atomic increment — no name lookup, no registry mutex. Components
+// constructed standalone (unit tests) leave the pointer null and all
+// instrumentation sites degrade to a single predictable branch.
+
+#ifndef RDFDB_OBS_STORE_METRICS_H_
+#define RDFDB_OBS_STORE_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace rdfdb::obs {
+
+struct StoreMetrics {
+  /// Registers every instrument in `registry` (idempotent per registry,
+  /// since re-registration returns the existing instrument).
+  explicit StoreMetrics(MetricsRegistry* registry);
+
+  MetricsRegistry* registry = nullptr;
+
+  // rdf_value$ interning.
+  Counter* value_lookups;        ///< dictionary probes (incl. blank nodes)
+  Counter* value_lookup_hits;    ///< probes that found an existing id
+  Counter* value_inserts;        ///< new rdf_value$/rdf_blank_node$ rows
+  Counter* value_batch_terms;    ///< terms presented to LookupOrInsertBatch
+  Counter* value_intern_cache_hits;  ///< batch terms resolved by InternCache
+
+  // rdf_link$ triples.
+  Counter* link_inserts;       ///< new rdf_link$ rows
+  Counter* link_duplicates;    ///< inserts folded into an existing row
+  Counter* link_deletes;       ///< rows removed (or cost-decremented)
+  Counter* link_rows_scanned;  ///< rows visited by Match/ScanModel
+
+  // Reification (DBUri-driven).
+  Counter* reif_checks;             ///< IsLinkReified probes
+  Counter* reif_dburi_resolutions;  ///< DBUri strings parsed back to link ids
+
+  // SDO_RDF_MATCH.
+  Counter* queries;        ///< SdoRdfMatch calls that reached execution
+  Counter* query_rows;     ///< result rows returned across all queries
+  Histogram* query_ns;     ///< end-to-end SdoRdfMatch latency
+
+  // Inference.
+  Counter* inference_rounds;   ///< fixpoint rounds across all entailments
+  Counter* inference_derived;  ///< distinct inferred triples retained
+
+  // Bulk load pipeline.
+  Counter* bulkload_statements;  ///< statements consumed (incl. rejects)
+  Counter* bulkload_chunks;      ///< chunks through the ordered pipeline
+  Gauge* bulkload_queue_depth;   ///< high-water produced-minus-consumed
+  Histogram* bulkload_parse_ns;   ///< per-chunk parse/prepare time
+  Histogram* bulkload_intern_ns;  ///< per-chunk batched intern time
+  Histogram* bulkload_insert_ns;  ///< per-chunk link-insert time
+
+  // Persistence.
+  Counter* snapshot_saves;
+  Counter* snapshot_loads;
+  Histogram* snapshot_save_ns;
+  Histogram* snapshot_load_ns;
+  Counter* replay_records;   ///< redo-log records applied
+  Histogram* replay_ns;      ///< whole-log replay time
+};
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_STORE_METRICS_H_

@@ -1,0 +1,49 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rdfdb::obs {
+namespace {
+
+std::string Us(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+}  // namespace
+
+std::string QueryTrace::ToString() const {
+  std::ostringstream out;
+  out << "query trace: " << patterns.size() << " pattern(s), plan [";
+  for (size_t i = 0; i < plan_order.size(); ++i) {
+    if (i != 0) out << " ";
+    out << plan_order[i];
+  }
+  out << "]" << (reordered ? "" : " (as written)")
+      << ", rules index: " << (used_rules_index ? "yes" : "no");
+  if (dead_constant) out << ", DEAD CONSTANT (zero rows)";
+  out << "\n";
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const PatternTrace& p = patterns[i];
+    out << "  step " << (i + 1) << ": pattern " << p.pattern_index << " "
+        << p.text << "  scanned=" << p.rows_scanned
+        << " emitted=" << p.rows_emitted << "\n";
+  }
+  out << "  value lookups: " << value_lookups << " (" << value_lookup_misses
+      << " miss), terms resolved: " << value_resolutions << "\n";
+  out << "  filter: " << filter_evaluations << " evaluated, "
+      << filter_rejections << " rejected; distinct drops: " << distinct_drops
+      << "; rows: " << rows_emitted << "\n";
+  if (inference_rounds > 0 || inferred_triples > 0) {
+    out << "  inference: " << inference_rounds << " round(s), "
+        << inferred_triples << " triple(s) derived\n";
+  }
+  out << "  stages (us): parse=" << Us(parse_ns) << " plan=" << Us(plan_ns)
+      << " infer=" << Us(infer_ns) << " exec=" << Us(exec_ns)
+      << " resolve=" << Us(resolve_ns) << " total=" << Us(total_ns) << "\n";
+  return out.str();
+}
+
+}  // namespace rdfdb::obs

@@ -234,6 +234,7 @@ class NotExpr final : public FilterExpr {
 class TrueExpr final : public FilterExpr {
  public:
   bool Evaluate(const Bindings&) const override { return true; }
+  bool IsAlwaysTrue() const override { return true; }
 };
 
 class Parser {

@@ -33,6 +33,10 @@ class FilterExpr {
  public:
   virtual ~FilterExpr() = default;
   virtual bool Evaluate(const Bindings& bindings) const = 0;
+  /// True only for the trivial filter an empty expression compiles to.
+  /// Evaluators use this to skip materialising term bindings for rows
+  /// that could never be rejected.
+  virtual bool IsAlwaysTrue() const { return false; }
 };
 
 using FilterPtr = std::shared_ptr<const FilterExpr>;

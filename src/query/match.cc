@@ -1,9 +1,12 @@
 #include "query/match.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/timer.h"
+#include "obs/store_metrics.h"
 #include "query/filter.h"
 #include "query/rules_index.h"
 
@@ -65,12 +68,22 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
                                 const AliasList& aliases,
                                 const std::string& filter,
                                 const MatchOptions& options) {
+  obs::QueryTrace* trace = options.trace;
+  if (trace != nullptr) *trace = obs::QueryTrace{};
+  Timer total_timer;
+  obs::StoreMetrics* metrics = store->metrics();
+
   if (model_names.empty()) {
     return Status::InvalidArgument("SDO_RDF_MATCH needs at least one model");
   }
-  RDFDB_ASSIGN_OR_RETURN(std::vector<TriplePattern> patterns,
-                         ParsePatterns(query, aliases));
-  RDFDB_ASSIGN_OR_RETURN(FilterPtr compiled_filter, ParseFilter(filter));
+  std::vector<TriplePattern> patterns;
+  FilterPtr compiled_filter;
+  {
+    obs::ScopedSpan parse_span(trace != nullptr ? &trace->parse_ns
+                                                : nullptr);
+    RDFDB_ASSIGN_OR_RETURN(patterns, ParsePatterns(query, aliases));
+    RDFDB_ASSIGN_OR_RETURN(compiled_filter, ParseFilter(filter));
+  }
 
   std::vector<rdf::ModelId> model_ids;
   for (const std::string& name : model_names) {
@@ -84,6 +97,8 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
   TripleSet on_the_fly;
   const TripleSet* inferred = nullptr;
   if (!rulebase_names.empty()) {
+    obs::ScopedSpan infer_span(trace != nullptr ? &trace->infer_ns
+                                                : nullptr);
     if (engine == nullptr) {
       return Status::InvalidArgument(
           "rulebases requested but no inference engine supplied");
@@ -92,13 +107,22 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
         engine->FindCoveringIndex(model_names, rulebase_names);
     if (index != nullptr) {
       inferred = &index->inferred();
+      if (trace != nullptr) {
+        trace->used_rules_index = true;
+        trace->inference_rounds = index->rounds();
+        trace->inferred_triples = index->inferred_count();
+      }
     } else {
       RDFDB_ASSIGN_OR_RETURN(std::vector<const Rulebase*> rulebases,
                              engine->ResolveRulebases(rulebase_names));
+      size_t rounds = 0;
       RDFDB_ASSIGN_OR_RETURN(
-          on_the_fly,
-          ComputeEntailment(store, base, rulebases, /*rounds_out=*/nullptr));
+          on_the_fly, ComputeEntailment(store, base, rulebases, &rounds));
       inferred = &on_the_fly;
+      if (trace != nullptr) {
+        trace->inference_rounds = rounds;
+        trace->inferred_triples = on_the_fly.size();
+      }
     }
   }
 
@@ -138,28 +162,55 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
   // equal rows have equal id tuples, and duplicates skip the per-column
   // TermForValueId lookups entirely.
   std::unordered_set<std::vector<rdf::ValueId>, IdRowHash> seen;
-  Status status = EvalPatterns(
-      *store, patterns, compiled_filter.get(), source,
-      [&](const IdBindings& binding) {
-        if (options.distinct) {
-          std::vector<rdf::ValueId> key;
-          key.reserve(columns.size());
-          for (const std::string& var : columns) {
-            key.push_back(binding.at(var));
+  EvalOptions eval_options;
+  eval_options.trace = trace;
+  Status status;
+  {
+    obs::ScopedSpan exec_span(trace != nullptr ? &trace->exec_ns : nullptr);
+    status = EvalPatterns(
+        *store, patterns, compiled_filter.get(), source,
+        [&](const IdBindings& binding) {
+          if (options.distinct) {
+            std::vector<rdf::ValueId> key;
+            key.reserve(columns.size());
+            for (const std::string& var : columns) {
+              key.push_back(binding.at(var));
+            }
+            if (!seen.insert(std::move(key)).second) {
+              if (trace != nullptr) ++trace->distinct_drops;
+              return true;  // duplicate
+            }
           }
-          if (!seen.insert(std::move(key)).second) return true;  // duplicate
-        }
-        std::vector<rdf::Term> row;
-        row.reserve(columns.size());
-        for (const std::string& var : columns) {
-          auto term = store->TermForValueId(binding.at(var));
-          if (!term.ok()) return false;
-          row.push_back(std::move(term).value());
-        }
-        rows.push_back(std::move(row));
-        return options.limit == 0 || rows.size() < options.limit;
-      });
+          // resolve_ns overlaps exec_ns: the timer only runs when
+          // traced, so the untraced path pays no clock reads per row.
+          std::optional<Timer> resolve_timer;
+          if (trace != nullptr) resolve_timer.emplace();
+          std::vector<rdf::Term> row;
+          row.reserve(columns.size());
+          for (const std::string& var : columns) {
+            auto term = store->TermForValueId(binding.at(var));
+            if (!term.ok()) return false;
+            row.push_back(std::move(term).value());
+          }
+          if (trace != nullptr) {
+            trace->resolve_ns += resolve_timer->ElapsedNanos();
+            trace->value_resolutions += columns.size();
+          }
+          rows.push_back(std::move(row));
+          return options.limit == 0 || rows.size() < options.limit;
+        },
+        eval_options);
+  }
   RDFDB_RETURN_NOT_OK(status);
+  if (trace != nullptr) {
+    trace->rows_emitted = rows.size();
+    trace->total_ns = total_timer.ElapsedNanos();
+  }
+  if (metrics != nullptr) {
+    metrics->queries->Inc();
+    metrics->query_rows->Inc(rows.size());
+    metrics->query_ns->Observe(total_timer.ElapsedNanos());
+  }
   return result;
 }
 

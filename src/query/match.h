@@ -17,6 +17,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "query/inference.h"
 #include "query/sparql_pattern.h"
 #include "rdf/rdf_store.h"
@@ -78,6 +79,12 @@ struct MatchOptions {
   bool distinct = false;
   /// Stop after this many rows (0 = unlimited).
   size_t limit = 0;
+  /// EXPLAIN ANALYZE hook: when non-null, SdoRdfMatch resets the trace
+  /// and fills it with the chosen plan, per-pattern scan/emit counts,
+  /// dictionary traffic, DISTINCT/filter drops and per-stage wall
+  /// times. Null (the default) keeps every instrumentation site to a
+  /// single branch.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Execute a match. `engine` may be null when `rulebase_names` is empty.

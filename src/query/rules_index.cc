@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/hash.h"
+#include "obs/store_metrics.h"
 #include "rdf/canonical.h"
 
 namespace rdfdb::query {
@@ -14,6 +15,19 @@ using rdf::ModelId;
 using rdf::RdfStore;
 using rdf::Term;
 using rdf::ValueId;
+
+/// Metric-name fragment: anything outside [A-Za-z0-9_] becomes '_'
+/// (rule names are free-form text; Prometheus names are not).
+std::string SanitizeMetricPart(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
 
 /// True if the source already holds a triple with this subject,
 /// predicate and canonical object.
@@ -148,9 +162,12 @@ struct ResolvedNode {
 
 /// Resolve constants. Subject/predicate constants resolve as-is; object
 /// constants resolve to their *canonical* form's id, because object
-/// matching is canonical (CANON_END_NODE_ID).
+/// matching is canonical (CANON_END_NODE_ID). A non-null `trace`
+/// tallies real rdf_value$ probes (blank-node constants never probe);
+/// the planner passes nullptr so its probes stay out of the trace.
 ResolvedNode ResolveNode(const RdfStore& store, const PatternNode& node,
-                         bool object_position) {
+                         bool object_position,
+                         obs::QueryTrace* trace = nullptr) {
   ResolvedNode out;
   if (node.is_variable) {
     out.is_var = true;
@@ -164,8 +181,10 @@ ResolvedNode ResolveNode(const RdfStore& store, const PatternNode& node,
     out.missing = true;
     return out;
   }
+  if (trace != nullptr) ++trace->value_lookups;
   std::optional<ValueId> id = store.values().Lookup(term);
   if (!id.has_value()) {
+    if (trace != nullptr) ++trace->value_lookup_misses;
     out.missing = true;
     return out;
   }
@@ -275,12 +294,26 @@ Status EvalPatterns(const RdfStore& store,
                     const FilterExpr* filter, const TripleSource& source,
                     const std::function<bool(const IdBindings&)>& fn,
                     const EvalOptions& options) {
+  // The always-true filter can never reject a row; dropping it here
+  // skips the per-row term materialisation the filter loop would do.
+  if (filter != nullptr && filter->IsAlwaysTrue()) filter = nullptr;
+  obs::QueryTrace* trace = options.trace;
   std::vector<size_t> order;
-  if (options.reorder_patterns) {
-    order = PlanPatternOrderForSource(store, patterns, source);
-  } else {
-    for (size_t i = 0; i < patterns.size(); ++i) order.push_back(i);
+  {
+    obs::ScopedSpan plan_span(trace != nullptr ? &trace->plan_ns : nullptr);
+    if (options.reorder_patterns) {
+      order = PlanPatternOrderForSource(store, patterns, source);
+    } else {
+      for (size_t i = 0; i < patterns.size(); ++i) order.push_back(i);
+    }
   }
+  if (trace != nullptr) {
+    trace->plan_order = order;
+    trace->reordered = options.reorder_patterns;
+  }
+  // Trace entries this call appends start here (the trace may already
+  // hold entries from an earlier EvalPatterns over the same trace).
+  const size_t trace_base = trace != nullptr ? trace->patterns.size() : 0;
 
   // Resolve all constants up front, in execution order.
   struct ExecPattern {
@@ -290,12 +323,24 @@ Status EvalPatterns(const RdfStore& store,
   exec.reserve(patterns.size());
   for (size_t index : order) {
     const TriplePattern& pattern = patterns[index];
+    if (trace != nullptr) {
+      obs::PatternTrace pt;
+      pt.pattern_index = index;
+      pt.text = pattern.ToString();
+      trace->patterns.push_back(std::move(pt));
+    }
     ExecPattern ep;
-    ep.s = ResolveNode(store, pattern.subject, /*object_position=*/false);
-    ep.p = ResolveNode(store, pattern.predicate, /*object_position=*/false);
-    ep.o = ResolveNode(store, pattern.object, /*object_position=*/true);
+    ep.s = ResolveNode(store, pattern.subject, /*object_position=*/false,
+                       trace);
+    ep.p = ResolveNode(store, pattern.predicate, /*object_position=*/false,
+                       trace);
+    ep.o = ResolveNode(store, pattern.object, /*object_position=*/true,
+                       trace);
     if (ep.s.missing || ep.p.missing || ep.o.missing) {
-      return Status::OK();  // a constant the store has never seen: no rows
+      // A constant the store has never seen: no rows. The pattern's
+      // trace entry stays at zero scanned/emitted.
+      if (trace != nullptr) trace->dead_constant = true;
+      return Status::OK();
     }
     exec.push_back(std::move(ep));
   }
@@ -305,7 +350,9 @@ Status EvalPatterns(const RdfStore& store,
   // so equal RDF values join regardless of lexical form.
   std::vector<IdBindings> current;
   current.emplace_back();
-  for (const ExecPattern& ep : exec) {
+  for (size_t step = 0; step < exec.size(); ++step) {
+    const ExecPattern& ep = exec[step];
+    size_t scanned = 0;
     std::vector<IdBindings> next;
     for (const IdBindings& binding : current) {
       auto constraint =
@@ -319,6 +366,7 @@ Status EvalPatterns(const RdfStore& store,
       std::optional<ValueId> cp = constraint(ep.p);
       std::optional<ValueId> co = constraint(ep.o);
       source.Match(cs, cp, co, [&](const IdTriple& t) {
+        ++scanned;
         IdBindings extended = binding;
         bool consistent = true;
         auto bind = [&](const ResolvedNode& node, ValueId id) {
@@ -333,19 +381,28 @@ Status EvalPatterns(const RdfStore& store,
         return true;
       });
     }
+    if (trace != nullptr) {
+      trace->patterns[trace_base + step].rows_scanned = scanned;
+      trace->patterns[trace_base + step].rows_emitted = next.size();
+    }
     current = std::move(next);
     if (current.empty()) return Status::OK();
   }
 
   for (const IdBindings& binding : current) {
     if (filter != nullptr) {
+      if (trace != nullptr) ++trace->filter_evaluations;
       Bindings term_bindings;
       for (const auto& [var, id] : binding) {
         auto term = store.TermForValueId(id);
         if (!term.ok()) return term.status();
         term_bindings.emplace(var, std::move(term).value());
       }
-      if (!filter->Evaluate(term_bindings)) continue;
+      if (trace != nullptr) trace->value_resolutions += binding.size();
+      if (!filter->Evaluate(term_bindings)) {
+        if (trace != nullptr) ++trace->filter_rejections;
+        continue;
+      }
     }
     if (!fn(binding)) break;
   }
@@ -355,11 +412,15 @@ Status EvalPatterns(const RdfStore& store,
 Result<TripleSet> ComputeEntailment(
     RdfStore* store, const TripleSource& base,
     const std::vector<const Rulebase*>& rulebases, size_t* rounds_out) {
-  // Pre-parse every rule once.
+  // Pre-parse every rule once; each rule gets a per-rule derivation
+  // counter in the store's registry (registration is idempotent, so
+  // repeated entailments over the same rulebases reuse one counter).
+  obs::StoreMetrics* metrics = store->metrics();
   struct CompiledRule {
     std::vector<TriplePattern> antecedent;
     FilterPtr filter;
     TriplePattern consequent;
+    obs::Counter* derived = nullptr;  ///< solutions produced (pre-dedup)
   };
   std::vector<CompiledRule> compiled;
   for (const Rulebase* rb : rulebases) {
@@ -371,6 +432,14 @@ Result<TripleSet> ComputeEntailment(
       RDFDB_ASSIGN_OR_RETURN(std::vector<TriplePattern> cons,
                              ParsePatterns(rule.consequent, rule.aliases));
       cr.consequent = cons.front();
+      if (metrics != nullptr) {
+        cr.derived = metrics->registry->RegisterCounter(
+            "rdfdb_inference_rule_" +
+                SanitizeMetricPart(rb->name() + "_" + rule.name) +
+                "_derived_total",
+            "Consequent instantiations by rule " + rb->name() + ":" +
+                rule.name + " before deduplication");
+      }
       compiled.push_back(std::move(cr));
     }
   }
@@ -416,6 +485,7 @@ Result<TripleSet> ComputeEntailment(
             if (!p_code.ok() || *p_code != "UR") return true;
 
             pending.push_back(IdTriple{*s, *p, *o, *o});
+            if (rule.derived != nullptr) rule.derived->Inc();
             return true;
           });
       RDFDB_RETURN_NOT_OK(status);
@@ -425,6 +495,10 @@ Result<TripleSet> ComputeEntailment(
       if (ContainsCanon(base, t.s, t.p, t.canon_o)) continue;
       if (inferred.Add(t)) changed = true;
     }
+  }
+  if (metrics != nullptr) {
+    metrics->inference_rounds->Inc(rounds);
+    metrics->inference_derived->Inc(inferred.size());
   }
   if (rounds_out != nullptr) *rounds_out = rounds;
   return inferred;

@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "query/filter.h"
 #include "query/rulebase.h"
 #include "query/sparql_pattern.h"
@@ -116,6 +117,13 @@ struct EvalOptions {
   /// already-bound variables (avoiding cross products). Results are
   /// identical either way; only the work per solution changes.
   bool reorder_patterns = true;
+
+  /// When non-null, EvalPatterns appends one PatternTrace per executed
+  /// pattern (scan/emit counts in execution order) and accumulates the
+  /// plan order, dictionary-probe tallies, filter counts and plan wall
+  /// time into this trace. Counts accumulate — SdoRdfMatch resets the
+  /// trace once per query; direct callers reset it themselves.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// The greedy join order the static planner would pick (no data

@@ -40,6 +40,14 @@ std::vector<std::string> TriplePattern::Variables() const {
 
 namespace {
 
+std::string NodeToString(const PatternNode& node) {
+  if (node.is_variable) return "?" + node.variable;
+  const rdf::Term& term = node.term;
+  if (term.is_uri()) return "<" + term.ToDisplayString() + ">";
+  if (term.is_literal()) return "\"" + term.ToDisplayString() + "\"";
+  return term.ToDisplayString();  // blank node
+}
+
 /// Expand "prefix:local" through the alias map; returns false when the
 /// prefix is unknown (the token is then treated as a full URI as-is).
 bool ExpandAlias(const AliasMap& aliases, const std::string& token,
@@ -95,6 +103,11 @@ Result<std::vector<std::string>> TokenizePatternBody(
 }
 
 }  // namespace
+
+std::string TriplePattern::ToString() const {
+  return "(" + NodeToString(subject) + " " + NodeToString(predicate) + " " +
+         NodeToString(object) + ")";
+}
 
 AliasMap BuildAliasMap(const AliasList& aliases) {
   AliasMap alias_map;

@@ -57,6 +57,10 @@ struct TriplePattern {
 
   /// Variable names used, in position order (may repeat).
   std::vector<std::string> Variables() const;
+
+  /// Compact rendering for plans and traces: variables as "?name",
+  /// URIs in angle brackets, literals quoted — e.g. '(?s <uri> "v")'.
+  std::string ToString() const;
 };
 
 /// Parse the full pattern list. `aliases` are merged over the built-ins

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -10,6 +11,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/timer.h"
+#include "obs/store_metrics.h"
 #include "rdf/canonical.h"
 #include "rdf/link_store.h"
 #include "rdf/reification.h"
@@ -90,6 +93,7 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
                     const std::vector<PreparedTriple>& prepared,
                     ValueStore::InternCache* cache, ApplicationTable* table,
                     int64_t* next_app_id, BulkLoadStats* stats) {
+  obs::StoreMetrics* metrics = store->metrics();
   std::vector<const Term*> terms;
   terms.reserve(prepared.size() * 4);
   for (const PreparedTriple& pt : prepared) {
@@ -98,9 +102,12 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
     terms.push_back(pt.o);
     if (pt.has_canon) terms.push_back(&pt.canon);
   }
-  RDFDB_ASSIGN_OR_RETURN(
-      std::vector<ValueId> ids,
-      store->values().LookupOrInsertBatch(model_id, terms, cache));
+  std::vector<ValueId> ids;
+  {
+    obs::ScopedLatency span(metrics->bulkload_intern_ns, &stats->intern_ns);
+    RDFDB_ASSIGN_OR_RETURN(
+        ids, store->values().LookupOrInsertBatch(model_id, terms, cache));
+  }
 
   std::vector<LinkBatchEntry> entries(prepared.size());
   size_t k = 0;
@@ -115,8 +122,15 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
     e.context = TripleContext::kDirect;
     e.reif_link = pt.reif_link;
   }
-  RDFDB_ASSIGN_OR_RETURN(std::vector<LinkInsertOutcome> outcomes,
-                         store->links().InsertBatch(model_id, entries));
+  std::vector<LinkInsertOutcome> outcomes;
+  {
+    obs::ScopedLatency span(metrics->bulkload_insert_ns, &stats->insert_ns);
+    RDFDB_ASSIGN_OR_RETURN(outcomes,
+                           store->links().InsertBatch(model_id, entries));
+  }
+  ++stats->chunks;
+  metrics->bulkload_chunks->Inc();
+  metrics->bulkload_statements->Inc(outcomes.size());
 
   for (const LinkInsertOutcome& outcome : outcomes) {
     ++stats->statements;
@@ -140,11 +154,15 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
 /// threads and feed each result to `consume` strictly in index order on
 /// the calling thread. Workers observe a bounded window ahead of the
 /// consumer so a fast parser cannot buffer the whole input. With one
-/// thread (or one chunk) everything runs inline.
+/// thread (or one chunk) everything runs inline. `max_depth` (optional)
+/// receives the high-water mark of produced-but-unconsumed chunks —
+/// the pipeline's effective queue depth.
 template <typename Produce, typename Consume>
 Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
-                          Produce produce, Consume consume) {
+                          Produce produce, Consume consume,
+                          size_t* max_depth = nullptr) {
   if (threads <= 1 || chunk_count <= 1) {
+    if (max_depth != nullptr) *max_depth = chunk_count > 0 ? 1 : 0;
     for (size_t k = 0; k < chunk_count; ++k) {
       Result<PreparedChunk> chunk = produce(k);
       RDFDB_RETURN_NOT_OK(chunk.status());
@@ -161,6 +179,8 @@ Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
   std::condition_variable cv;
   std::atomic<size_t> next_chunk{0};
   size_t consumed = 0;       // guarded by mu
+  size_t produced = 0;       // guarded by mu
+  size_t depth_hw = 0;       // guarded by mu
   bool cancelled = false;    // guarded by mu
 
   std::vector<std::thread> pool;
@@ -179,6 +199,8 @@ Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
         {
           std::lock_guard<std::mutex> lock(mu);
           slots[k] = std::move(result);
+          ++produced;
+          depth_hw = std::max(depth_hw, produced - consumed);
         }
         cv.notify_all();
       }
@@ -206,6 +228,7 @@ Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
   {
     std::lock_guard<std::mutex> lock(mu);
     cancelled = true;
+    if (max_depth != nullptr) *max_depth = depth_hw;
   }
   cv.notify_all();
   for (std::thread& t : pool) t.join();
@@ -214,11 +237,26 @@ Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
 
 }  // namespace
 
+std::string BulkLoadStats::ToString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "bulk load: %zu statement(s), %zu new link(s), %zu reused, "
+                "%zu app row(s); %zu chunk(s), queue depth %zu; "
+                "parse=%.1fms intern=%.1fms insert=%.1fms total=%.1fms",
+                statements, new_links, reused_links, app_rows, chunks,
+                max_queue_depth, static_cast<double>(parse_ns) / 1e6,
+                static_cast<double>(intern_ns) / 1e6,
+                static_cast<double>(insert_ns) / 1e6,
+                static_cast<double>(total_ns) / 1e6);
+  return buf;
+}
+
 Result<BulkLoadStats> BulkLoadSequential(RdfStore* store,
                                          const std::string& model_name,
                                          const std::vector<NTriple>& statements,
                                          ApplicationTable* table) {
   RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  Timer total;
   BulkLoadStats stats;
   int64_t next_id =
       table != nullptr ? static_cast<int64_t>(table->row_count()) + 1 : 0;
@@ -239,6 +277,8 @@ Result<BulkLoadStats> BulkLoadSequential(RdfStore* store,
       ++stats.app_rows;
     }
   }
+  stats.total_ns = total.ElapsedNanos();
+  store->metrics()->bulkload_statements->Inc(stats.statements);
   return stats;
 }
 
@@ -248,6 +288,7 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
                                ApplicationTable* table,
                                const BulkLoadOptions& options) {
   RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  Timer total;
   const size_t batch = std::max<size_t>(1, options.batch_size);
   const size_t chunk_count = (statements.size() + batch - 1) / batch;
 
@@ -255,10 +296,15 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
   int64_t next_app_id =
       table != nullptr ? static_cast<int64_t>(table->row_count()) + 1 : 0;
   ValueStore::InternCache cache;
+  // Parse time is summed across workers through an atomic; per-chunk
+  // times go straight to the (thread-safe) histogram.
+  std::atomic<int64_t> parse_ns{0};
+  obs::StoreMetrics* metrics = store->metrics();
 
   RDFDB_RETURN_NOT_OK(RunOrderedPipeline(
       chunk_count, EffectiveThreads(options),
       [&](size_t k) -> Result<PreparedChunk> {
+        Timer chunk_timer;
         const size_t begin = k * batch;
         const size_t end = std::min(statements.size(), begin + batch);
         PreparedChunk chunk;
@@ -267,12 +313,20 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
           RDFDB_RETURN_NOT_OK(
               PrepareStatement(statements[i], &chunk.prepared[i - begin]));
         }
+        const int64_t ns = chunk_timer.ElapsedNanos();
+        parse_ns.fetch_add(ns, std::memory_order_relaxed);
+        metrics->bulkload_parse_ns->Observe(static_cast<uint64_t>(ns));
         return chunk;
       },
       [&](PreparedChunk&& chunk) {
         return ProcessChunk(store, model_id, chunk.prepared, &cache, table,
                             &next_app_id, &stats);
-      }));
+      },
+      &stats.max_queue_depth));
+  stats.parse_ns = parse_ns.load(std::memory_order_relaxed);
+  stats.total_ns = total.ElapsedNanos();
+  metrics->bulkload_queue_depth->SetMax(
+      static_cast<int64_t>(stats.max_queue_depth));
   return stats;
 }
 
@@ -282,6 +336,7 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
                                    ApplicationTable* table,
                                    const BulkLoadOptions& options) {
   RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  Timer total;
   std::ifstream in(path);
   if (!in.is_open()) return Status::IOError("cannot open " + path);
   std::ostringstream buffer;
@@ -296,10 +351,13 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
   int64_t next_app_id =
       table != nullptr ? static_cast<int64_t>(table->row_count()) + 1 : 0;
   ValueStore::InternCache cache;
+  std::atomic<int64_t> parse_ns{0};
+  obs::StoreMetrics* metrics = store->metrics();
 
   RDFDB_RETURN_NOT_OK(RunOrderedPipeline(
       specs.size(), EffectiveThreads(options),
       [&](size_t k) -> Result<PreparedChunk> {
+        Timer chunk_timer;
         const NTriplesChunkSpec& spec = specs[k];
         PreparedChunk chunk;
         RDFDB_ASSIGN_OR_RETURN(
@@ -309,12 +367,20 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
                                               spec.end - spec.begin),
                 spec.first_line));
         RDFDB_RETURN_NOT_OK(PrepareAll(chunk.owned, &chunk.prepared));
+        const int64_t ns = chunk_timer.ElapsedNanos();
+        parse_ns.fetch_add(ns, std::memory_order_relaxed);
+        metrics->bulkload_parse_ns->Observe(static_cast<uint64_t>(ns));
         return chunk;
       },
       [&](PreparedChunk&& chunk) {
         return ProcessChunk(store, model_id, chunk.prepared, &cache, table,
                             &next_app_id, &stats);
-      }));
+      },
+      &stats.max_queue_depth));
+  stats.parse_ns = parse_ns.load(std::memory_order_relaxed);
+  stats.total_ns = total.ElapsedNanos();
+  metrics->bulkload_queue_depth->SetMax(
+      static_cast<int64_t>(stats.max_queue_depth));
   return stats;
 }
 

@@ -34,12 +34,25 @@
 
 namespace rdfdb::rdf {
 
-/// Counters reported by a bulk load.
+/// Counters reported by a bulk load. The pipeline fields (chunks,
+/// queue depth, stage times) are filled by BulkLoad/BulkLoadFile; the
+/// sequential loader reports only total_ns of them. All stage times are
+/// also observed into the store's metrics registry per chunk.
 struct BulkLoadStats {
   size_t statements = 0;      ///< statements processed
   size_t new_links = 0;       ///< new rdf_link$ rows created
   size_t reused_links = 0;    ///< duplicates that only bumped COST
   size_t app_rows = 0;        ///< rows appended to the application table
+  size_t chunks = 0;          ///< pipeline chunks consumed
+  size_t max_queue_depth = 0; ///< high-water produced-but-unconsumed chunks
+  int64_t parse_ns = 0;       ///< summed worker parse/prepare time
+                              ///< (can exceed wall time with >1 worker)
+  int64_t intern_ns = 0;      ///< batched rdf_value$ intern time
+  int64_t insert_ns = 0;      ///< batched rdf_link$ insert time
+  int64_t total_ns = 0;       ///< wall time of the whole load
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
 };
 
 /// Tuning knobs for the pipelined loader.

@@ -138,9 +138,27 @@ class ConcurrentRdfStore {
   }
 
   Result<RdfStore::ModelStats> GetModelStats(
-      const std::string& model_name) const {
+      const std::string& model_name,
+      const RdfStore::ModelStatsOptions& options = {}) const {
     std::shared_lock lock(mutex_);
-    return store_.GetModelStats(model_name);
+    return store_.GetModelStats(model_name, options);
+  }
+
+  // ---- Observability -----------------------------------------------------
+  //
+  // Metric writes inside the store are relaxed atomics, so they are
+  // safe under the shared lock; dumps snapshot each instrument with the
+  // registry's own mutex. The shared lock here only pins the store
+  // alive relative to WithWriteLock callbacks that might rebuild it.
+
+  std::string MetricsText() const {
+    std::shared_lock lock(mutex_);
+    return store_.metrics_registry().RenderPrometheus();
+  }
+
+  std::string MetricsJson() const {
+    std::shared_lock lock(mutex_);
+    return store_.metrics_registry().RenderJson();
   }
 
   // ---- Escape hatches ----------------------------------------------------

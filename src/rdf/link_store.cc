@@ -4,6 +4,7 @@
 
 #include "common/hash.h"
 #include "common/string_util.h"
+#include "obs/store_metrics.h"
 #include "rdf/term.h"
 #include "rdf/vocab.h"
 
@@ -181,6 +182,7 @@ Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
     }
     link.reif_link = link.reif_link || reif_link;
     RDFDB_RETURN_NOT_OK(links_->Update(rid, LinkToRow(link)));
+    if (metrics_ != nullptr) metrics_->link_duplicates->Inc();
     return LinkInsertOutcome{link, /*inserted=*/false};
   }
 
@@ -205,6 +207,7 @@ Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
   EnsureNode(o);
   RDFDB_RETURN_NOT_OK(net_->AddLink(ndm::Link{
       link.link_id, s, o, /*cost=*/1.0, /*label=*/p}));
+  if (metrics_ != nullptr) metrics_->link_inserts->Inc();
   return LinkInsertOutcome{link, /*inserted=*/true};
 }
 
@@ -321,6 +324,13 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
   }
   RDFDB_RETURN_NOT_OK(net_->AddLinksBulk(ndm_links));
 
+  if (metrics_ != nullptr) {
+    // Mirror the sequential path: each entry either created a row or
+    // folded into an existing one.
+    metrics_->link_inserts->Inc(new_groups);
+    metrics_->link_duplicates->Inc(entries.size() - new_groups);
+  }
+
   std::vector<LinkInsertOutcome> outcomes;
   outcomes.reserve(entries.size());
   for (size_t i = 0; i < entries.size(); ++i) {
@@ -368,6 +378,7 @@ void LinkStore::MatchEach(
     std::optional<ValueId> canon_o,
     const std::function<bool(const LinkRow&)>& fn) const {
   auto emit_if_match = [&](const Row& row) {
+    if (metrics_ != nullptr) metrics_->link_rows_scanned->Inc();
     if (s.has_value() && row[kStartNodeId].as_int64() != *s) return true;
     if (p.has_value() && row[kPValueId].as_int64() != *p) return true;
     if (canon_o.has_value() &&
@@ -420,6 +431,7 @@ Status LinkStore::Delete(int64_t model_id, ValueId s, ValueId p, ValueId o,
   }
   storage::RowId rid = ids.front();
   LinkRow link = RowToLink(*links_->Get(rid));
+  if (metrics_ != nullptr) metrics_->link_deletes->Inc();
   if (!force && link.cost > 1) {
     link.cost -= 1;
     return links_->Update(rid, LinkToRow(link));
@@ -466,6 +478,9 @@ void LinkStore::ScanModel(
                         [&](storage::RowId, const Row& row) {
                           if (row[kModelId].as_int64() != model_id) {
                             return true;
+                          }
+                          if (metrics_ != nullptr) {
+                            metrics_->link_rows_scanned->Inc();
                           }
                           return fn(RowToLink(row));
                         });

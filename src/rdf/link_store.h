@@ -145,6 +145,10 @@ class LinkStore {
   static constexpr const char* kPredicateIndex = "rdf_link_p_idx";
   static constexpr const char* kObjectIndex = "rdf_link_o_idx";
 
+  /// Attach the owning store's metric handles. Null (the default, and
+  /// the state of standalone test instances) disables instrumentation.
+  void set_metrics(obs::StoreMetrics* metrics) { metrics_ = metrics; }
+
  private:
   LinkRow RowToLink(const storage::Row& row) const;
   storage::Row LinkToRow(const LinkRow& link) const;
@@ -157,6 +161,7 @@ class LinkStore {
   storage::Table* links_;   // MDSYS.RDF_LINK$
   storage::Table* nodes_;   // MDSYS.RDF_NODE$
   storage::Sequence* link_seq_;
+  obs::StoreMetrics* metrics_ = nullptr;
 };
 
 }  // namespace rdfdb::rdf

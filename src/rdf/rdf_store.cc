@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/timer.h"
 #include "rdf/canonical.h"
 #include "rdf/reification.h"
 #include "rdf/vocab.h"
@@ -13,8 +14,12 @@ namespace rdfdb::rdf {
 RdfStore::RdfStore()
     : db_(std::make_unique<storage::Database>("ORADB")),
       network_(std::make_unique<ndm::LogicalNetwork>("rdf_network")) {
+  registry_ = std::make_unique<obs::MetricsRegistry>();
+  metrics_ = std::make_unique<obs::StoreMetrics>(registry_.get());
   values_ = std::make_unique<ValueStore>(db_.get());
+  values_->set_metrics(metrics_.get());
   links_ = std::make_unique<LinkStore>(db_.get(), network_.get());
+  links_->set_metrics(metrics_.get());
   models_ = std::make_unique<ModelStore>(db_.get());
 }
 
@@ -157,6 +162,8 @@ Result<SdoRdfTripleS> RdfStore::ReifyTriple(const std::string& model_name,
 }
 
 Result<bool> RdfStore::IsLinkReified(ModelId model_id, LinkId link_id) const {
+  metrics_->reif_checks->Inc();
+  metrics_->reif_dburi_resolutions->Inc();
   Term resource = Term::Uri(DBUriForLink(link_id, db_->name()));
   std::optional<ValueId> r_id = values_->Lookup(resource);
   if (!r_id.has_value()) return false;
@@ -268,28 +275,50 @@ Result<LinkId> RdfStore::GetTripleId(const std::string& model_name,
 
 Result<RdfStore::ModelStats> RdfStore::GetModelStats(
     const std::string& model_name) const {
+  return GetModelStats(model_name, ModelStatsOptions{});
+}
+
+Result<RdfStore::ModelStats> RdfStore::GetModelStats(
+    const std::string& model_name, const ModelStatsOptions& options) const {
   RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
   ModelStats stats;
-  std::unordered_set<ValueId> subjects, predicates, objects;
+
+  // The cheap counters never require a scan with per-row bookkeeping:
+  // the triple count is the maintained partition row counter, and the
+  // reified-statement count is one object-index probe for
+  // <?, rdf:type, rdf:Statement> (rdf:Statement is a URI, so canonical
+  // object equals stored object).
+  stats.triples = links_->TripleCount(model_id);
   std::optional<ValueId> type_id =
       values_->Lookup(Term::Uri(std::string(kRdfType)));
   std::optional<ValueId> stmt_id =
       values_->Lookup(Term::Uri(std::string(kRdfStatement)));
-  links_->ScanModel(model_id, [&](const LinkRow& row) {
-    ++stats.triples;
-    subjects.insert(row.start_node_id);
-    predicates.insert(row.p_value_id);
-    objects.insert(row.end_node_id);
-    if (row.context == TripleContext::kImplied) ++stats.implied_statements;
-    if (type_id && stmt_id && row.p_value_id == *type_id &&
-        row.end_node_id == *stmt_id) {
-      ++stats.reified_statements;
-    }
-    return true;
-  });
-  stats.distinct_subjects = subjects.size();
-  stats.distinct_predicates = predicates.size();
-  stats.distinct_objects = objects.size();
+  if (type_id && stmt_id) {
+    links_->MatchEach(model_id, std::nullopt, *type_id, *stmt_id,
+                      [&](const LinkRow&) {
+                        ++stats.reified_statements;
+                        return true;
+                      });
+  }
+
+  if (options.distinct_counts) {
+    std::unordered_set<ValueId> subjects, predicates, objects;
+    links_->ScanModel(model_id, [&](const LinkRow& row) {
+      subjects.insert(row.start_node_id);
+      predicates.insert(row.p_value_id);
+      objects.insert(row.end_node_id);
+      if (row.context == TripleContext::kImplied) ++stats.implied_statements;
+      return true;
+    });
+    stats.distinct_subjects = subjects.size();
+    stats.distinct_predicates = predicates.size();
+    stats.distinct_objects = objects.size();
+  } else {
+    links_->ScanModel(model_id, [&](const LinkRow& row) {
+      if (row.context == TripleContext::kImplied) ++stats.implied_statements;
+      return true;
+    });
+  }
   return stats;
 }
 
@@ -397,10 +426,13 @@ Result<std::string> RdfStore::TextForValueId(ValueId value_id) const {
 }
 
 Status RdfStore::Save(const std::string& path) const {
+  obs::ScopedLatency span(metrics_->snapshot_save_ns);
+  metrics_->snapshot_saves->Inc();
   return storage::SaveSnapshotToFile(*db_, path);
 }
 
 Result<std::unique_ptr<RdfStore>> RdfStore::Open(const std::string& path) {
+  Timer open_timer;
   // Load the snapshot into a scratch database first, then replay rows
   // through a fresh store so indexes, the NDM network and sequences are
   // all rebuilt consistently.
@@ -500,6 +532,9 @@ Result<std::unique_ptr<RdfStore>> RdfStore::Open(const std::string& path) {
     RDFDB_RETURN_NOT_OK(status);
   }
 
+  store->metrics_->snapshot_loads->Inc();
+  store->metrics_->snapshot_load_ns->Observe(
+      static_cast<uint64_t>(open_timer.ElapsedNanos()));
   return store;
 }
 

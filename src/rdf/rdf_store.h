@@ -17,6 +17,8 @@
 #include "common/status.h"
 #include "dburi/dburi.h"
 #include "ndm/network.h"
+#include "obs/metrics.h"
+#include "obs/store_metrics.h"
 #include "rdf/link_store.h"
 #include "rdf/model_store.h"
 #include "rdf/term.h"
@@ -119,7 +121,17 @@ class RdfStore {
     size_t reified_statements = 0;  ///< streamlined reification rows
     size_t implied_statements = 0;  ///< CONTEXT = I rows
   };
+  struct ModelStatsOptions {
+    /// Distinct subject/predicate/object counts require a full model
+    /// scan with three hash sets; callers that only want the cheap
+    /// counters (triples, reified, implied) turn this off and the scan
+    /// carries no per-row set inserts. The triple count always comes
+    /// from the partition row counter, never from the scan.
+    bool distinct_counts = true;
+  };
   Result<ModelStats> GetModelStats(const std::string& model_name) const;
+  Result<ModelStats> GetModelStats(const std::string& model_name,
+                                   const ModelStatsOptions& options) const;
 
   /// Invariant check used by tests and tooling: the NDM network, the
   /// rdf_node$ table, and rdf_link$ must agree (every link mirrored,
@@ -192,6 +204,16 @@ class RdfStore {
   /// DBUri resolver bound to this store's database.
   dburi::Resolver resolver() const { return dburi::Resolver(db_.get()); }
 
+  // ---- Observability -----------------------------------------------------
+
+  /// The store's metric instruments. Write operations on the returned
+  /// handles are relaxed atomics, so handing out a mutable pointer from
+  /// a const store is sound.
+  obs::StoreMetrics* metrics() const { return metrics_.get(); }
+
+  /// Registry backing metrics(); dump with RenderPrometheus()/RenderJson().
+  obs::MetricsRegistry& metrics_registry() const { return *registry_; }
+
   // ---- Persistence -------------------------------------------------------
 
   /// Save all central-schema tables to a snapshot file.
@@ -210,6 +232,9 @@ class RdfStore {
 
   std::unique_ptr<storage::Database> db_;
   std::unique_ptr<ndm::LogicalNetwork> network_;
+  // Created before the stores so their set_metrics targets outlive them.
+  std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::StoreMetrics> metrics_;
   std::unique_ptr<ValueStore> values_;
   std::unique_ptr<LinkStore> links_;
   std::unique_ptr<ModelStore> models_;

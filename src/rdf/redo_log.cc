@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/store_metrics.h"
 #include "storage/snapshot.h"
 
 namespace rdfdb::rdf {
@@ -137,7 +139,20 @@ Status RedoLog::Truncate() {
   return Status::OK();
 }
 
+std::string ReplayStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "replay: %zu record(s) — %zu model(s) created, %zu dropped, "
+                "%zu insert(s), %zu delete(s), %zu reification(s), "
+                "%zu assertion(s) in %.1fms",
+                records, models_created, models_dropped, inserts, deletes,
+                reifications, assertions,
+                static_cast<double>(replay_ns) / 1e6);
+  return buf;
+}
+
 Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store) {
+  Timer replay_timer;
   std::ifstream in(path);
   if (!in.is_open()) {
     // A missing log is an empty log (fresh database).
@@ -213,6 +228,10 @@ Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store) {
       return bad("unknown record tag '" + tag + "'");
     }
   }
+  stats.replay_ns = replay_timer.ElapsedNanos();
+  store->metrics()->replay_records->Inc(stats.records);
+  store->metrics()->replay_ns->Observe(
+      static_cast<uint64_t>(stats.replay_ns));
   return stats;
 }
 
@@ -226,6 +245,8 @@ Result<std::unique_ptr<LoggedRdfStore>> LoggedRdfStore::Open(
   } else {
     store = std::make_unique<RdfStore>();
   }
+  // Replay stats land in the store's metrics registry (ReplayRedoLog
+  // emits them), so recovery is observable after the fact.
   RDFDB_ASSIGN_OR_RETURN(ReplayStats replayed,
                          ReplayRedoLog(log_path, store.get()));
   (void)replayed;

@@ -73,7 +73,8 @@ class RedoLog {
   std::FILE* file_;
 };
 
-/// Replay outcome.
+/// Replay outcome. Also emitted into the store's metrics registry
+/// (rdfdb_replay_records_total / rdfdb_replay_ns) by ReplayRedoLog.
 struct ReplayStats {
   size_t records = 0;
   size_t models_created = 0;
@@ -82,6 +83,10 @@ struct ReplayStats {
   size_t deletes = 0;
   size_t reifications = 0;
   size_t assertions = 0;
+  int64_t replay_ns = 0;  ///< wall time of the whole replay
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
 };
 
 /// Re-apply every record in `path` to `store`. Fails with Corruption on

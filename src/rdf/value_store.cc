@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/hash.h"
+#include "obs/store_metrics.h"
 
 namespace rdfdb::rdf {
 
@@ -120,6 +121,7 @@ Result<ValueId> ValueStore::LookupOrInsert(const Term& term) {
   std::optional<ValueId> existing = Lookup(term);
   if (existing.has_value()) return *existing;
 
+  if (metrics_ != nullptr) metrics_->value_inserts->Inc();
   ValueId id = value_seq_->Next();
   Row row(6);
   row[kValueId] = Value::Int64(id);
@@ -143,9 +145,11 @@ Result<std::vector<ValueId>> ValueStore::LookupOrInsertBatch(
     InternCache* cache) {
   std::vector<ValueId> out;
   out.reserve(terms.size());
+  if (metrics_ != nullptr) metrics_->value_batch_terms->Inc(terms.size());
   for (const Term* term : terms) {
     auto it = cache->find(*term);
     if (it != cache->end()) {
+      if (metrics_ != nullptr) metrics_->value_intern_cache_hits->Inc();
       out.push_back(it->second);
       continue;
     }
@@ -160,6 +164,7 @@ Result<std::vector<ValueId>> ValueStore::LookupOrInsertBatch(
 }
 
 std::optional<ValueId> ValueStore::Lookup(const Term& term) const {
+  if (metrics_ != nullptr) metrics_->value_lookups->Inc();
   const storage::Index* index = values_->GetIndex(kNameIndex);
   std::vector<storage::RowId> ids = index->Find(DedupKey(term));
   if (ids.empty()) return std::nullopt;
@@ -173,6 +178,7 @@ std::optional<ValueId> ValueStore::Lookup(const Term& term) const {
       return std::nullopt;
     }
   }
+  if (metrics_ != nullptr) metrics_->value_lookup_hits->Inc();
   return row->at(kValueId).as_int64();
 }
 
@@ -181,6 +187,7 @@ Result<ValueId> ValueStore::LookupOrInsertBlank(int64_t model_id,
   std::optional<ValueId> existing = LookupBlank(model_id, label);
   if (existing.has_value()) return *existing;
 
+  if (metrics_ != nullptr) metrics_->value_inserts->Inc();
   // Allocate the VALUE_ID first and derive a globally-unique internal
   // name from it so blank nodes from different models never unify in
   // rdf_value$.
@@ -207,10 +214,12 @@ Result<ValueId> ValueStore::LookupOrInsertBlank(int64_t model_id,
 
 std::optional<ValueId> ValueStore::LookupBlank(
     int64_t model_id, const std::string& label) const {
+  if (metrics_ != nullptr) metrics_->value_lookups->Inc();
   const storage::Index* index = blank_nodes_->GetIndex("rdf_bn_idx");
   std::vector<storage::RowId> ids = index->Find(
       ValueKey{Value::Int64(model_id), Value::String(label)});
   if (ids.empty()) return std::nullopt;
+  if (metrics_ != nullptr) metrics_->value_lookup_hits->Inc();
   const Row* row = blank_nodes_->Get(ids.front());
   return row->at(kBnValueId).as_int64();
 }

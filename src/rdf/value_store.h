@@ -19,6 +19,10 @@
 #include "rdf/term.h"
 #include "storage/database.h"
 
+namespace rdfdb::obs {
+struct StoreMetrics;
+}  // namespace rdfdb::obs
+
 namespace rdfdb::rdf {
 
 /// VALUE_ID type (rdf_value$ primary key).
@@ -94,6 +98,10 @@ class ValueStore {
   static constexpr const char* kIdIndex = "rdf_value_id_idx";
   static constexpr const char* kNameIndex = "rdf_value_name_idx";
 
+  /// Attach the owning store's metric handles. Null (the default, and
+  /// the state of standalone test instances) disables instrumentation.
+  void set_metrics(obs::StoreMetrics* metrics) { metrics_ = metrics; }
+
  private:
   /// Key under which a term is deduplicated: (VALUE_NAME, VALUE_TYPE,
   /// LITERAL_TYPE, LANGUAGE_TYPE).
@@ -107,6 +115,7 @@ class ValueStore {
   storage::Table* values_;        // MDSYS.RDF_VALUE$
   storage::Table* blank_nodes_;   // MDSYS.RDF_BLANK_NODE$
   storage::Sequence* value_seq_;
+  obs::StoreMetrics* metrics_ = nullptr;
 };
 
 }  // namespace rdfdb::rdf

@@ -1,0 +1,201 @@
+// QueryTrace (EXPLAIN ANALYZE) assertions: the per-pattern scan/emit
+// counts, the chosen plan, and the dictionary/filter/DISTINCT tallies
+// must be exact on a deterministic dataset.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/ic_dataset.h"
+#include "obs/trace.h"
+#include "query/inference.h"
+#include "query/match.h"
+
+namespace rdfdb::query {
+namespace {
+
+class QueryTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.CreateRdfModel("m", "mdata", "triple").ok());
+    Insert("urn:s1", "urn:type", "urn:Protein");
+    Insert("urn:s2", "urn:type", "urn:Protein");
+    Insert("urn:s1", "urn:name", "\"alpha\"");
+    Insert("urn:s2", "urn:name", "\"alpha\"");
+    Insert("urn:s3", "urn:name", "\"gamma\"");
+  }
+
+  void Insert(const std::string& s, const std::string& p,
+              const std::string& o) {
+    ASSERT_TRUE(store_.InsertTriple("m", s, p, o).ok());
+  }
+
+  Result<MatchResult> Run(const std::string& query, MatchOptions options,
+                          const std::string& filter = "") {
+    return SdoRdfMatch(&store_, nullptr, query, {"m"}, {}, {}, filter,
+                       options);
+  }
+
+  rdf::RdfStore store_;
+};
+
+TEST_F(QueryTraceTest, PerPatternScanAndEmitCounts) {
+  obs::QueryTrace trace;
+  MatchOptions options;
+  options.trace = &trace;
+  auto result =
+      Run("(?s urn:type urn:Protein) (?s urn:name ?n)", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count(), 2u);
+
+  // The planner keeps the selective type pattern (2 candidate rows)
+  // ahead of the name pattern (3 candidate rows).
+  EXPECT_TRUE(trace.reordered);
+  EXPECT_EQ(trace.plan_order, (std::vector<size_t>{0, 1}));
+  ASSERT_EQ(trace.patterns.size(), 2u);
+  EXPECT_EQ(trace.patterns[0].pattern_index, 0u);
+  EXPECT_EQ(trace.patterns[0].text, "(?s <urn:type> <urn:Protein>)");
+  EXPECT_EQ(trace.patterns[0].rows_scanned, 2u);
+  EXPECT_EQ(trace.patterns[0].rows_emitted, 2u);
+  // Second step: one probe per bound ?s, each yielding one name row.
+  EXPECT_EQ(trace.patterns[1].pattern_index, 1u);
+  EXPECT_EQ(trace.patterns[1].rows_scanned, 2u);
+  EXPECT_EQ(trace.patterns[1].rows_emitted, 2u);
+
+  // Constant resolution: urn:type + urn:Protein + urn:name (the
+  // planner's own probes are not traced).
+  EXPECT_EQ(trace.value_lookups, 3u);
+  EXPECT_EQ(trace.value_lookup_misses, 0u);
+  EXPECT_FALSE(trace.dead_constant);
+  EXPECT_EQ(trace.rows_emitted, 2u);
+  // Two rows, two columns each.
+  EXPECT_EQ(trace.value_resolutions, 4u);
+
+  EXPECT_GT(trace.total_ns, 0);
+  EXPECT_GE(trace.total_ns, trace.exec_ns);
+  EXPECT_GT(trace.exec_ns, 0);
+
+  std::string text = trace.ToString();
+  EXPECT_NE(text.find("query trace: 2 pattern(s)"), std::string::npos);
+  EXPECT_NE(text.find("scanned=2"), std::string::npos);
+}
+
+TEST_F(QueryTraceTest, DistinctDropsCounted) {
+  obs::QueryTrace trace;
+  MatchOptions options;
+  options.trace = &trace;
+  options.projection = {"n"};
+  options.distinct = true;
+  auto result = Run("(?s urn:name ?n)", options);
+  ASSERT_TRUE(result.ok());
+  // alpha, alpha, gamma -> two distinct rows, one drop.
+  EXPECT_EQ(result->row_count(), 2u);
+  EXPECT_EQ(trace.distinct_drops, 1u);
+  EXPECT_EQ(trace.rows_emitted, 2u);
+}
+
+TEST_F(QueryTraceTest, FilterEvaluationsAndRejectionsCounted) {
+  obs::QueryTrace trace;
+  MatchOptions options;
+  options.trace = &trace;
+  auto result = Run("(?s urn:name ?n)", options, "?n = \"alpha\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count(), 2u);
+  EXPECT_EQ(trace.filter_evaluations, 3u);
+  EXPECT_EQ(trace.filter_rejections, 1u);  // gamma
+}
+
+TEST_F(QueryTraceTest, DeadConstantShortCircuits) {
+  obs::QueryTrace trace;
+  MatchOptions options;
+  options.trace = &trace;
+  auto result = Run("(?s urn:never_inserted ?n)", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row_count(), 0u);
+  EXPECT_TRUE(trace.dead_constant);
+  EXPECT_EQ(trace.value_lookup_misses, 1u);
+  ASSERT_EQ(trace.patterns.size(), 1u);
+  EXPECT_EQ(trace.patterns[0].rows_scanned, 0u);
+  EXPECT_EQ(trace.patterns[0].rows_emitted, 0u);
+}
+
+TEST_F(QueryTraceTest, TraceIsResetPerQuery) {
+  obs::QueryTrace trace;
+  MatchOptions options;
+  options.trace = &trace;
+  ASSERT_TRUE(
+      Run("(?s urn:type urn:Protein) (?s urn:name ?n)", options).ok());
+  ASSERT_EQ(trace.patterns.size(), 2u);
+  // Reusing the same trace must not accumulate across queries.
+  ASSERT_TRUE(Run("(?s urn:name ?n)", options).ok());
+  ASSERT_EQ(trace.patterns.size(), 1u);
+  EXPECT_EQ(trace.rows_emitted, 3u);
+}
+
+TEST_F(QueryTraceTest, QueryMetricsEmittedIntoRegistry) {
+  MatchOptions options;
+  ASSERT_TRUE(Run("(?s urn:name ?n)", options).ok());
+  ASSERT_TRUE(Run("(?s urn:name ?n)", options).ok());
+  const obs::Counter* queries =
+      store_.metrics_registry().FindCounter("rdfdb_query_total");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->Value(), 2u);
+  const obs::Counter* rows =
+      store_.metrics_registry().FindCounter("rdfdb_query_rows_total");
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->Value(), 6u);
+  const obs::Histogram* latency =
+      store_.metrics_registry().FindHistogram("rdfdb_query_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 2u);
+}
+
+TEST(QueryTraceInferenceTest, OnTheFlyEntailmentAndRulesIndexFlag) {
+  rdf::RdfStore store;
+  auto scenario = gen::BuildIcScenario(&store);
+  ASSERT_TRUE(scenario.ok());
+  InferenceEngine engine(&store);
+  ASSERT_TRUE(engine.CreateRulebase("intel_rb").ok());
+  Rule rule;
+  rule.name = "intel_rule";
+  rule.antecedent = "(?x gov:terrorAction \"bombing\")";
+  rule.consequent = "(gov:files gov:terrorSuspect ?x)";
+  rule.aliases = scenario->aliases;
+  ASSERT_TRUE(engine.InsertRule("intel_rb", rule).ok());
+
+  obs::QueryTrace trace;
+  MatchOptions options;
+  options.trace = &trace;
+  auto on_the_fly = SdoRdfMatch(
+      &store, &engine, "(gov:files gov:terrorSuspect ?name)",
+      {"cia", "dhs", "fbi"}, {"RDFS", "intel_rb"}, scenario->aliases, "",
+      options);
+  ASSERT_TRUE(on_the_fly.ok());
+  EXPECT_FALSE(trace.used_rules_index);
+  EXPECT_GE(trace.inference_rounds, 1u);
+  EXPECT_GE(trace.inferred_triples, 1u);
+  EXPECT_GT(trace.infer_ns, 0);
+
+  // The per-rule derivation counter was registered and bumped.
+  const obs::Counter* rule_counter = store.metrics_registry().FindCounter(
+      "rdfdb_inference_rule_intel_rb_intel_rule_derived_total");
+  ASSERT_NE(rule_counter, nullptr);
+  EXPECT_GE(rule_counter->Value(), 1u);
+
+  // With a covering index the flag flips and its stats are reported.
+  ASSERT_TRUE(engine
+                  .CreateRulesIndex("rix", {"cia", "dhs", "fbi"},
+                                    {"RDFS", "intel_rb"})
+                  .ok());
+  auto indexed = SdoRdfMatch(
+      &store, &engine, "(gov:files gov:terrorSuspect ?name)",
+      {"cia", "dhs", "fbi"}, {"RDFS", "intel_rb"}, scenario->aliases, "",
+      options);
+  ASSERT_TRUE(indexed.ok());
+  EXPECT_TRUE(trace.used_rules_index);
+  EXPECT_GE(trace.inferred_triples, 1u);
+  EXPECT_EQ(on_the_fly->row_count(), indexed->row_count());
+}
+
+}  // namespace
+}  // namespace rdfdb::query

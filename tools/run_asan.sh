@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UndefinedBehaviorSanitizer job (the memory-safety
+# twin of run_tsan.sh). Builds a dedicated build-asan tree and runs the
+# full test suite under ASan+UBSan; any report fails the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRDFDB_SANITIZE=address
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+echo "ASan+UBSan run clean."

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer job for the concurrency-sensitive targets: the
-# pipelined bulk loader and the concurrent store wrapper. Builds a
-# dedicated build-tsan tree (so a normal build/ is left untouched) and
-# runs the two test binaries directly; any TSan report fails the run.
+# pipelined bulk loader, the concurrent store wrapper, and the metrics
+# instruments (relaxed-atomic counters hammered from many threads while
+# the registry renders). Builds a dedicated build-tsan tree (so a
+# normal build/ is left untouched) and runs the test binaries directly;
+# any TSan report fails the run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,10 +15,11 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFDB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target test_bulk_load test_concurrent_store
+  --target test_bulk_load test_concurrent_store test_metrics
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_bulk_load
 "$BUILD_DIR"/tests/test_concurrent_store
+"$BUILD_DIR"/tests/test_metrics
 
 echo "TSan run clean."
