@@ -40,6 +40,10 @@ std::string QueryTrace::ToString() const {
     out << "  inference: " << inference_rounds << " round(s), "
         << inferred_triples << " triple(s) derived\n";
   }
+  if (exec_threads > 1) {
+    out << "  parallel: " << exec_threads << " thread(s), " << exec_chunks
+        << " chunk(s)\n";
+  }
   out << "  stages (us): parse=" << Us(parse_ns) << " plan=" << Us(plan_ns)
       << " infer=" << Us(infer_ns) << " exec=" << Us(exec_ns)
       << " resolve=" << Us(resolve_ns) << " total=" << Us(total_ns) << "\n";

@@ -51,6 +51,13 @@ struct QueryTrace {
   size_t inference_rounds = 0;
   size_t inferred_triples = 0;
 
+  // Parallel execution (compiled executor). Worker counters are merged
+  // on the consumer thread in chunk order, so these and the per-pattern
+  // counts stay deterministic; a LIMIT-stopped parallel run may scan
+  // more than its sequential twin (whole chunks run to completion).
+  size_t exec_threads = 1;  ///< worker threads the join executor used
+  size_t exec_chunks = 0;   ///< outer-frame chunks dispatched (parallel)
+
   // Stage wall times (ns). exec_ns covers the join loop including
   // filtering and emission, so resolve_ns overlaps it.
   int64_t parse_ns = 0;

@@ -180,6 +180,11 @@ class CmpExpr final : public FilterExpr {
     return false;
   }
 
+  void CollectVariables(std::set<std::string>* out) const override {
+    if (lhs_.is_var) out->insert(lhs_.text);
+    if (rhs_.is_var) out->insert(rhs_.text);
+  }
+
  private:
   static bool Resolve(const Operand& operand, const Bindings& bindings,
                       std::string* out) {
@@ -204,6 +209,10 @@ class AndExpr final : public FilterExpr {
   bool Evaluate(const Bindings& bindings) const override {
     return a_->Evaluate(bindings) && b_->Evaluate(bindings);
   }
+  void CollectVariables(std::set<std::string>* out) const override {
+    a_->CollectVariables(out);
+    b_->CollectVariables(out);
+  }
 
  private:
   FilterPtr a_, b_;
@@ -215,6 +224,10 @@ class OrExpr final : public FilterExpr {
   bool Evaluate(const Bindings& bindings) const override {
     return a_->Evaluate(bindings) || b_->Evaluate(bindings);
   }
+  void CollectVariables(std::set<std::string>* out) const override {
+    a_->CollectVariables(out);
+    b_->CollectVariables(out);
+  }
 
  private:
   FilterPtr a_, b_;
@@ -225,6 +238,9 @@ class NotExpr final : public FilterExpr {
   explicit NotExpr(FilterPtr a) : a_(std::move(a)) {}
   bool Evaluate(const Bindings& bindings) const override {
     return !a_->Evaluate(bindings);
+  }
+  void CollectVariables(std::set<std::string>* out) const override {
+    a_->CollectVariables(out);
   }
 
  private:

@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "common/result.h"
@@ -37,6 +38,13 @@ class FilterExpr {
   /// Evaluators use this to skip materialising term bindings for rows
   /// that could never be rejected.
   virtual bool IsAlwaysTrue() const { return false; }
+
+  /// Add every variable the expression references to `out`. The
+  /// compiled executor uses this to evaluate the filter as soon as
+  /// those variables are bound, and to resolve only their terms.
+  virtual void CollectVariables(std::set<std::string>* out) const {
+    (void)out;
+  }
 };
 
 using FilterPtr = std::shared_ptr<const FilterExpr>;

@@ -7,6 +7,7 @@
 #include "common/hash.h"
 #include "common/timer.h"
 #include "obs/store_metrics.h"
+#include "query/exec.h"
 #include "query/filter.h"
 #include "query/rules_index.h"
 
@@ -162,44 +163,79 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
   // equal rows have equal id tuples, and duplicates skip the per-column
   // TermForValueId lookups entirely.
   std::unordered_set<std::vector<rdf::ValueId>, IdRowHash> seen;
-  EvalOptions eval_options;
-  eval_options.trace = trace;
+
+  // Shared row sink over the projected VALUE_IDs (both executors land
+  // here, so DISTINCT/LIMIT/resolution behave identically).
+  auto emit_row = [&](const rdf::ValueId* ids) {
+    if (options.distinct) {
+      std::vector<rdf::ValueId> key(ids, ids + columns.size());
+      if (!seen.insert(std::move(key)).second) {
+        if (trace != nullptr) ++trace->distinct_drops;
+        return true;  // duplicate
+      }
+    }
+    // resolve_ns overlaps exec_ns: the timer only runs when traced, so
+    // the untraced path pays no clock reads per row.
+    std::optional<Timer> resolve_timer;
+    if (trace != nullptr) resolve_timer.emplace();
+    std::vector<rdf::Term> row;
+    row.reserve(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i) {
+      auto term = store->TermForValueId(ids[i]);
+      if (!term.ok()) return false;
+      row.push_back(std::move(term).value());
+    }
+    if (trace != nullptr) {
+      trace->resolve_ns += resolve_timer->ElapsedNanos();
+      trace->value_resolutions += columns.size();
+    }
+    rows.push_back(std::move(row));
+    return options.limit == 0 || rows.size() < options.limit;
+  };
+
   Status status;
   {
     obs::ScopedSpan exec_span(trace != nullptr ? &trace->exec_ns : nullptr);
-    status = EvalPatterns(
-        *store, patterns, compiled_filter.get(), source,
-        [&](const IdBindings& binding) {
-          if (options.distinct) {
-            std::vector<rdf::ValueId> key;
-            key.reserve(columns.size());
-            for (const std::string& var : columns) {
-              key.push_back(binding.at(var));
+    std::vector<rdf::ValueId> ids(columns.size());
+    if (options.use_legacy) {
+      EvalOptions eval_options;
+      eval_options.trace = trace;
+      eval_options.use_legacy = true;
+      status = EvalPatterns(
+          *store, patterns, compiled_filter.get(), source,
+          [&](const IdBindings& binding) {
+            for (size_t i = 0; i < columns.size(); ++i) {
+              ids[i] = binding.at(columns[i]);
             }
-            if (!seen.insert(std::move(key)).second) {
-              if (trace != nullptr) ++trace->distinct_drops;
-              return true;  // duplicate
+            return emit_row(ids.data());
+          },
+          eval_options);
+    } else {
+      // Compiled path: project straight out of the executor's slot
+      // frame — no per-solution binding map.
+      const FilterExpr* f = compiled_filter.get();
+      if (f != nullptr && f->IsAlwaysTrue()) f = nullptr;
+      CompiledPlan plan = CompilePatterns(*store, patterns, f, source,
+                                          /*reorder_patterns=*/true, trace);
+      std::vector<SlotIndex> col_slots;
+      col_slots.reserve(columns.size());
+      for (const std::string& var : columns) {
+        col_slots.push_back(plan.SlotOf(var));
+      }
+      ExecOptions exec_options;
+      exec_options.threads = options.threads;
+      exec_options.chunk_frames = options.chunk_frames;
+      exec_options.trace = trace;
+      status = ExecutePlan(
+          *store, plan, source,
+          [&](const rdf::ValueId* slots) {
+            for (size_t i = 0; i < columns.size(); ++i) {
+              ids[i] = slots[col_slots[i]];
             }
-          }
-          // resolve_ns overlaps exec_ns: the timer only runs when
-          // traced, so the untraced path pays no clock reads per row.
-          std::optional<Timer> resolve_timer;
-          if (trace != nullptr) resolve_timer.emplace();
-          std::vector<rdf::Term> row;
-          row.reserve(columns.size());
-          for (const std::string& var : columns) {
-            auto term = store->TermForValueId(binding.at(var));
-            if (!term.ok()) return false;
-            row.push_back(std::move(term).value());
-          }
-          if (trace != nullptr) {
-            trace->resolve_ns += resolve_timer->ElapsedNanos();
-            trace->value_resolutions += columns.size();
-          }
-          rows.push_back(std::move(row));
-          return options.limit == 0 || rows.size() < options.limit;
-        },
-        eval_options);
+            return emit_row(ids.data());
+          },
+          exec_options);
+    }
   }
   RDFDB_RETURN_NOT_OK(status);
   if (trace != nullptr) {

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "obs/store_metrics.h"
+#include "query/exec.h"
 #include "rdf/canonical.h"
 
 namespace rdfdb::query {
@@ -124,15 +125,22 @@ void ModelSource::Match(std::optional<ValueId> s, std::optional<ValueId> p,
     const {
   for (ModelId model : models_) {
     bool keep_going = true;
-    store_->links().MatchEach(
-        model, s, p, canon_o, [&](const rdf::LinkRow& row) {
-          IdTriple t{row.start_node_id, row.p_value_id, row.end_node_id,
-                     row.canon_end_node_id};
-          keep_going = fn(t);
+    // Id-only scan: the join only consumes VALUE_IDs, so skip the
+    // LinkRow materialization (string columns) per matched row.
+    store_->links().MatchEachIds(
+        model, s, p, canon_o,
+        [&](ValueId ts, ValueId tp, ValueId to, ValueId tco) {
+          keep_going = fn(IdTriple{ts, tp, to, tco});
           return keep_going;
         });
     if (!keep_going) return;
   }
+}
+
+const rdf::LinkStore* ModelSource::DirectStore(int64_t* model_id) const {
+  if (models_.size() != 1) return nullptr;
+  *model_id = models_.front();
+  return &store_->links();
 }
 
 void UnionSource::Match(std::optional<ValueId> s, std::optional<ValueId> p,
@@ -148,51 +156,6 @@ void UnionSource::Match(std::optional<ValueId> s, std::optional<ValueId> p,
     if (!keep_going) return;
   }
 }
-
-namespace {
-
-/// A pattern position resolved for execution: variable name, or a
-/// concrete VALUE_ID, or "constant missing from the store" (no matches).
-struct ResolvedNode {
-  bool is_var = false;
-  std::string var;
-  ValueId id = 0;
-  bool missing = false;
-};
-
-/// Resolve constants. Subject/predicate constants resolve as-is; object
-/// constants resolve to their *canonical* form's id, because object
-/// matching is canonical (CANON_END_NODE_ID). A non-null `trace`
-/// tallies real rdf_value$ probes (blank-node constants never probe);
-/// the planner passes nullptr so its probes stay out of the trace.
-ResolvedNode ResolveNode(const RdfStore& store, const PatternNode& node,
-                         bool object_position,
-                         obs::QueryTrace* trace = nullptr) {
-  ResolvedNode out;
-  if (node.is_variable) {
-    out.is_var = true;
-    out.var = node.variable;
-    return out;
-  }
-  Term term = object_position ? rdf::CanonicalForm(node.term) : node.term;
-  if (term.is_blank()) {
-    // Blank-node constants in patterns are not addressable (labels are
-    // model-scoped); treat as unresolvable.
-    out.missing = true;
-    return out;
-  }
-  if (trace != nullptr) ++trace->value_lookups;
-  std::optional<ValueId> id = store.values().Lookup(term);
-  if (!id.has_value()) {
-    if (trace != nullptr) ++trace->value_lookup_misses;
-    out.missing = true;
-    return out;
-  }
-  out.id = *id;
-  return out;
-}
-
-}  // namespace
 
 std::vector<size_t> PlanPatternOrder(
     const std::vector<TriplePattern>& patterns) {
@@ -233,70 +196,30 @@ std::vector<size_t> PlanPatternOrder(
 std::vector<size_t> PlanPatternOrderForSource(
     const RdfStore& store, const std::vector<TriplePattern>& patterns,
     const TripleSource& source) {
-  // Bounded candidate count per pattern using only its constants. The
-  // cap keeps planning cost negligible; distinguishing "1 row" from
-  // "over a hundred" is all the ordering needs.
-  constexpr size_t kCountCap = 128;
-  std::vector<size_t> estimate(patterns.size(), 0);
+  // Untraced resolution (this entry point is advisory — the compiled
+  // path resolves once, traced, inside CompilePatterns and shares the
+  // same ordering function).
+  std::vector<ResolvedPattern> resolved(patterns.size());
   for (size_t i = 0; i < patterns.size(); ++i) {
-    const TriplePattern& p = patterns[i];
-    ResolvedNode s = ResolveNode(store, p.subject, false);
-    ResolvedNode pr = ResolveNode(store, p.predicate, false);
-    ResolvedNode o = ResolveNode(store, p.object, true);
-    if (s.missing || pr.missing || o.missing) {
-      estimate[i] = 0;  // dead pattern: zero rows, run it first
-      continue;
-    }
-    auto constraint = [](const ResolvedNode& n) -> std::optional<ValueId> {
-      if (n.is_var) return std::nullopt;
-      return n.id;
-    };
-    size_t n = 0;
-    source.Match(constraint(s), constraint(pr), constraint(o),
-                 [&](const IdTriple&) { return ++n < kCountCap; });
-    estimate[i] = n;
+    resolved[i].s = ResolveNode(store, patterns[i].subject, false);
+    resolved[i].p = ResolveNode(store, patterns[i].predicate, false);
+    resolved[i].o = ResolveNode(store, patterns[i].object, true);
   }
-
-  std::vector<size_t> order;
-  std::vector<bool> used(patterns.size(), false);
-  std::set<std::string> bound;
-  for (size_t step = 0; step < patterns.size(); ++step) {
-    // Prefer patterns connected to the bound set; among those (or among
-    // all, at step 0 / when none connect), pick the smallest estimate.
-    ptrdiff_t best = -1;
-    bool best_connected = false;
-    for (size_t i = 0; i < patterns.size(); ++i) {
-      if (used[i]) continue;
-      bool connected = false;
-      for (const std::string& var : patterns[i].Variables()) {
-        if (bound.count(var) > 0) connected = true;
-      }
-      if (best < 0 ||
-          (connected && !best_connected) ||
-          (connected == best_connected &&
-           estimate[i] < estimate[static_cast<size_t>(best)])) {
-        best = static_cast<ptrdiff_t>(i);
-        best_connected = connected;
-      }
-    }
-    used[static_cast<size_t>(best)] = true;
-    order.push_back(static_cast<size_t>(best));
-    for (const std::string& var :
-         patterns[static_cast<size_t>(best)].Variables()) {
-      bound.insert(var);
-    }
-  }
-  return order;
+  return OrderResolvedPatterns(patterns, resolved, source);
 }
 
-Status EvalPatterns(const RdfStore& store,
-                    const std::vector<TriplePattern>& patterns,
-                    const FilterExpr* filter, const TripleSource& source,
-                    const std::function<bool(const IdBindings&)>& fn,
-                    const EvalOptions& options) {
-  // The always-true filter can never reject a row; dropping it here
-  // skips the per-row term materialisation the filter loop would do.
-  if (filter != nullptr && filter->IsAlwaysTrue()) filter = nullptr;
+namespace {
+
+/// The original materializing join, kept verbatim as the differential
+/// oracle for the compiled executor (EvalOptions::use_legacy). Joins by
+/// copying a full binding map per consistent candidate row and
+/// materializes every intermediate relation.
+Status EvalPatternsLegacy(const RdfStore& store,
+                          const std::vector<TriplePattern>& patterns,
+                          const FilterExpr* filter,
+                          const TripleSource& source,
+                          const std::function<bool(const IdBindings&)>& fn,
+                          const EvalOptions& options) {
   obs::QueryTrace* trace = options.trace;
   std::vector<size_t> order;
   {
@@ -367,17 +290,40 @@ Status EvalPatterns(const RdfStore& store,
       std::optional<ValueId> co = constraint(ep.o);
       source.Match(cs, cp, co, [&](const IdTriple& t) {
         ++scanned;
+        // Probe first, copy on success: collect the row's variable
+        // values and check consistency (a variable repeated within the
+        // pattern, or already bound) before paying for the map copy.
+        const ResolvedNode* nodes[3] = {&ep.s, &ep.p, &ep.o};
+        const ValueId values[3] = {t.s, t.p, t.canon_o};
+        const std::string* fresh_vars[3];
+        ValueId fresh_values[3];
+        size_t fresh = 0;
+        for (size_t pos = 0; pos < 3; ++pos) {
+          if (!nodes[pos]->is_var) continue;
+          const std::string& var = nodes[pos]->var;
+          auto it = binding.find(var);
+          if (it != binding.end()) {
+            if (it->second != values[pos]) return true;
+            continue;
+          }
+          bool dup = false;
+          for (size_t f = 0; f < fresh; ++f) {
+            if (*fresh_vars[f] == var) {
+              if (fresh_values[f] != values[pos]) return true;
+              dup = true;
+              break;
+            }
+          }
+          if (dup) continue;
+          fresh_vars[fresh] = &var;
+          fresh_values[fresh] = values[pos];
+          ++fresh;
+        }
         IdBindings extended = binding;
-        bool consistent = true;
-        auto bind = [&](const ResolvedNode& node, ValueId id) {
-          if (!node.is_var) return;
-          auto [it, inserted] = extended.emplace(node.var, id);
-          if (!inserted && it->second != id) consistent = false;
-        };
-        bind(ep.s, t.s);
-        bind(ep.p, t.p);
-        bind(ep.o, t.canon_o);
-        if (consistent) next.push_back(std::move(extended));
+        for (size_t f = 0; f < fresh; ++f) {
+          extended.emplace(*fresh_vars[f], fresh_values[f]);
+        }
+        next.push_back(std::move(extended));
         return true;
       });
     }
@@ -407,6 +353,40 @@ Status EvalPatterns(const RdfStore& store,
     if (!fn(binding)) break;
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status EvalPatterns(const RdfStore& store,
+                    const std::vector<TriplePattern>& patterns,
+                    const FilterExpr* filter, const TripleSource& source,
+                    const std::function<bool(const IdBindings&)>& fn,
+                    const EvalOptions& options) {
+  // The always-true filter can never reject a row; dropping it here
+  // skips the per-row term materialisation the filter loop would do.
+  if (filter != nullptr && filter->IsAlwaysTrue()) filter = nullptr;
+  if (options.use_legacy) {
+    return EvalPatternsLegacy(store, patterns, filter, source, fn, options);
+  }
+
+  CompiledPlan plan =
+      CompilePatterns(store, patterns, filter, source,
+                      options.reorder_patterns, options.trace);
+  ExecOptions exec_options;
+  exec_options.threads = options.threads;
+  exec_options.chunk_frames = options.chunk_frames;
+  exec_options.trace = options.trace;
+  const size_t slot_count = plan.slot_count();
+  return ExecutePlan(
+      store, plan, source,
+      [&](const ValueId* slots) {
+        IdBindings binding;
+        for (size_t i = 0; i < slot_count; ++i) {
+          binding.emplace(plan.vars[i], slots[i]);
+        }
+        return fn(binding);
+      },
+      exec_options);
 }
 
 Result<TripleSet> ComputeEntailment(

@@ -52,6 +52,18 @@ class TripleSource {
       std::optional<rdf::ValueId> s, std::optional<rdf::ValueId> p,
       std::optional<rdf::ValueId> canon_o,
       const std::function<bool(const IdTriple&)>& fn) const = 0;
+
+  /// Compiled-executor leaf hook: when this source is a plain
+  /// single-model store scan, returns the store's LinkStore and sets
+  /// `model_id`, letting the executor probe the id-native quad cache
+  /// directly (LinkStore::LeafScan) with no virtual dispatch or per-row
+  /// callback. Sources with composite semantics (unions, in-memory
+  /// sets, multi-model scans) return nullptr and are driven through
+  /// Match; results are identical either way.
+  virtual const rdf::LinkStore* DirectStore(int64_t* model_id) const {
+    (void)model_id;
+    return nullptr;
+  }
 };
 
 /// In-memory indexed triple collection (deduplicated on (s, p, o)).
@@ -88,6 +100,8 @@ class ModelSource final : public TripleSource {
              std::optional<rdf::ValueId> canon_o,
              const std::function<bool(const IdTriple&)>& fn) const override;
 
+  const rdf::LinkStore* DirectStore(int64_t* model_id) const override;
+
  private:
   const rdf::RdfStore* store_;
   std::vector<rdf::ModelId> models_;
@@ -118,6 +132,23 @@ struct EvalOptions {
   /// identical either way; only the work per solution changes.
   bool reorder_patterns = true;
 
+  /// Evaluate with the original materializing join (one binding map
+  /// copied per candidate row) instead of the compiled streaming
+  /// executor (query/exec.h). Kept as the differential-testing oracle:
+  /// slower, identical rows in identical order.
+  bool use_legacy = false;
+
+  /// Worker threads for the compiled executor's outer-pattern
+  /// partition: 1 = sequential, 0 = one per hardware thread (capped).
+  /// Ignored by the legacy executor. Row order and results are
+  /// identical at any thread count.
+  unsigned threads = 1;
+
+  /// Outer frames per parallel work chunk (compiled executor only).
+  /// Smaller chunks spread skewed outer bindings across workers at the
+  /// cost of more hand-off; results are identical at any size.
+  size_t chunk_frames = 512;
+
   /// When non-null, EvalPatterns appends one PatternTrace per executed
   /// pattern (scan/emit counts in execution order) and accumulates the
   /// plan order, dictionary-probe tallies, filter counts and plan wall
@@ -139,10 +170,13 @@ std::vector<size_t> PlanPatternOrderForSource(
     const rdf::RdfStore& store,
     const std::vector<TriplePattern>& patterns, const TripleSource& source);
 
-/// Evaluate a pattern list against `source` with hash-key joins; calls
-/// `fn` once per solution. `filter` (nullable) is applied to full
-/// bindings, with terms resolved through `store`. Returns false from
-/// `fn` to stop early.
+/// Evaluate a pattern list against `source`; calls `fn` once per
+/// solution. The default path compiles the patterns to the slot-based
+/// streaming executor (query/exec.h) and builds one IdBindings map per
+/// solution; EvalOptions::use_legacy selects the original materializing
+/// join. `filter` (nullable) rejects solutions, with the terms it
+/// references resolved through `store`. Return false from `fn` to stop
+/// early — the stop unwinds out of the innermost scan.
 Status EvalPatterns(const rdf::RdfStore& store,
                     const std::vector<TriplePattern>& patterns,
                     const FilterExpr* filter, const TripleSource& source,

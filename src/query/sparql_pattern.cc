@@ -38,6 +38,17 @@ std::vector<std::string> TriplePattern::Variables() const {
   return out;
 }
 
+const PatternNode& TriplePattern::Position(size_t i) const {
+  switch (i) {
+    case 0:
+      return subject;
+    case 1:
+      return predicate;
+    default:
+      return object;
+  }
+}
+
 namespace {
 
 std::string NodeToString(const PatternNode& node) {

@@ -58,6 +58,11 @@ struct TriplePattern {
   /// Variable names used, in position order (may repeat).
   std::vector<std::string> Variables() const;
 
+  /// Position accessor: 0 = subject, 1 = predicate, 2 = object. Lets
+  /// the compiler/planner loop over positions instead of repeating
+  /// per-position code.
+  const PatternNode& Position(size_t i) const;
+
   /// Compact rendering for plans and traces: variables as "?name",
   /// URIs in angle brackets, literals quoted — e.g. '(?s <uri> "v")'.
   std::string ToString() const;

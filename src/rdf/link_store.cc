@@ -1,5 +1,6 @@
 #include "rdf/link_store.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/hash.h"
@@ -101,12 +102,200 @@ LinkStore::LinkStore(storage::Database* db, ndm::LogicalNetwork* net)
   ensure_index(kSubjectIndex, {kModelId, kStartNodeId}, /*unique=*/false);
   ensure_index(kPredicateIndex, {kModelId, kPValueId}, /*unique=*/false);
   ensure_index(kObjectIndex, {kModelId, kCanonEndNodeId}, /*unique=*/false);
+  ensure_index(kSpoCanonIndex,
+               {kModelId, kStartNodeId, kPValueId, kCanonEndNodeId},
+               /*unique=*/false);
 
   if (nodes_->GetIndex("rdf_node_id_idx") == nullptr) {
     (void)nodes_->CreateIndex("rdf_node_id_idx", IndexKind::kHash,
                               KeyExtractor::Columns({kNodeId}),
                               /*unique=*/true);
   }
+
+  // Reattach: rebuild the id-native quad cache from existing rows.
+  RebuildCache();
+}
+
+void LinkStore::RebuildCache() {
+  id_cache_.clear();
+  links_->Scan([&](storage::RowId, const Row& row) {
+    CacheInsert(row[kModelId].as_int64(),
+                IdQuad{row[kStartNodeId].as_int64(),
+                       row[kPValueId].as_int64(),
+                       row[kEndNodeId].as_int64(),
+                       row[kCanonEndNodeId].as_int64(),
+                       row[kLinkId].as_int64()});
+    return true;
+  });
+}
+
+LinkStore::SpMap::Slot& LinkStore::SpMap::SlotFor(ValueId s, ValueId p) {
+  size_t first_gone = SIZE_MAX;
+  for (size_t i = IndexFor(s, p);; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.s == kEmpty) {
+      return first_gone != SIZE_MAX ? slots_[first_gone] : slot;
+    }
+    if (slot.s == kGone) {
+      if (first_gone == SIZE_MAX) first_gone = i;
+      continue;
+    }
+    if (slot.s == s && slot.p == p) return slot;
+  }
+}
+
+void LinkStore::SpMap::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  size_t live = 0;
+  for (const Slot& slot : old) {
+    if (slot.s >= 0) ++live;
+  }
+  size_t capacity = 64;
+  while (capacity < 2 * (live + 8)) capacity <<= 1;
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+  used_ = live;
+  for (const Slot& slot : old) {
+    if (slot.s < 0) continue;
+    size_t i = IndexFor(slot.s, slot.p);
+    while (slots_[i].s != kEmpty) i = (i + 1) & mask_;
+    slots_[i] = slot;
+  }
+}
+
+void LinkStore::SpMap::Insert(ValueId s, ValueId p, uint32_t idx, ValueId o,
+                              ValueId canon_o) {
+  if (slots_.empty() || (used_ + 1) * 10 >= slots_.size() * 7) Grow();
+  Slot& slot = SlotFor(s, p);
+  if (slot.s < 0) {
+    if (slot.s == kEmpty) ++used_;  // tombstone reuse keeps used_ flat
+    slot.s = s;
+    slot.p = p;
+    slot.head = idx;
+    slot.overflow = -1;
+    slot.o = o;
+    slot.canon_o = canon_o;
+    return;
+  }
+  if (slot.overflow < 0) {
+    int32_t ref;
+    if (!free_overflow_.empty()) {
+      ref = free_overflow_.back();
+      free_overflow_.pop_back();
+      overflow_[ref] = {slot.head, idx};
+    } else {
+      ref = static_cast<int32_t>(overflow_.size());
+      overflow_.push_back({slot.head, idx});
+    }
+    slot.overflow = ref;
+  } else {
+    overflow_[slot.overflow].push_back(idx);
+  }
+}
+
+void LinkStore::SpMap::Erase(ValueId s, ValueId p, uint32_t idx,
+                             const std::vector<IdQuad>& quads) {
+  for (size_t i = IndexFor(s, p);; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.s == kEmpty) return;
+    if (slot.s != s || slot.p != p) continue;
+    if (slot.overflow < 0) {
+      slot.s = kGone;
+      return;
+    }
+    std::vector<uint32_t>& rows = overflow_[slot.overflow];
+    rows.erase(std::find(rows.begin(), rows.end(), idx));
+    if (rows.size() == 1) {
+      const IdQuad& q = quads[rows.front()];
+      slot.head = rows.front();
+      slot.o = q.o;
+      slot.canon_o = q.canon_o;
+      free_overflow_.push_back(slot.overflow);
+      rows.clear();
+      slot.overflow = -1;
+    }
+    return;
+  }
+}
+
+void LinkStore::SpMap::Reindex(ValueId s, ValueId p, uint32_t from,
+                               uint32_t to) {
+  for (size_t i = IndexFor(s, p);; i = (i + 1) & mask_) {
+    Slot& slot = slots_[i];
+    if (slot.s == kEmpty) return;
+    if (slot.s != s || slot.p != p) continue;
+    if (slot.overflow < 0) {
+      slot.head = to;
+    } else {
+      std::vector<uint32_t>& rows = overflow_[slot.overflow];
+      *std::find(rows.begin(), rows.end(), from) = to;
+    }
+    return;
+  }
+}
+
+LinkStore::LeafScan LinkStore::Leaf(int64_t model_id) const {
+  LeafScan leaf;
+  auto it = id_cache_.find(model_id);
+  if (it == id_cache_.end()) return leaf;
+  leaf.cache_ = &it->second;
+  leaf.scans_ = metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr;
+  return leaf;
+}
+
+void LinkStore::CacheInsert(int64_t model_id, const IdQuad& quad) {
+  ModelIdCache& cache = id_cache_[model_id];
+  const uint32_t idx = static_cast<uint32_t>(cache.quads.size());
+  cache.quads.push_back(quad);
+  cache.by_s[quad.s].push_back(idx);
+  cache.by_sp.Insert(quad.s, quad.p, idx, quad.o, quad.canon_o);
+  cache.by_canon[quad.canon_o].push_back(idx);
+  cache.by_p[quad.p].push_back(idx);
+  cache.by_link.emplace(quad.link_id, idx);
+}
+
+void LinkStore::CacheErase(int64_t model_id, LinkId link_id) {
+  auto mit = id_cache_.find(model_id);
+  if (mit == id_cache_.end()) return;
+  ModelIdCache& cache = mit->second;
+  auto lit = cache.by_link.find(link_id);
+  if (lit == cache.by_link.end()) return;
+  const uint32_t idx = lit->second;
+  const uint32_t back = static_cast<uint32_t>(cache.quads.size() - 1);
+
+  auto unpost = [](auto& postings, const auto& key, uint32_t at) {
+    auto pit = postings.find(key);
+    auto& v = pit->second;
+    v.erase(std::find(v.begin(), v.end(), at));
+    if (v.empty()) postings.erase(pit);
+  };
+  // Rewrite the moved quad's index in place, keeping every posting
+  // list's creation order intact.
+  auto repost = [](auto& postings, const auto& key, uint32_t from,
+                   uint32_t to) {
+    auto& v = postings.find(key)->second;
+    *std::find(v.begin(), v.end(), from) = to;
+  };
+
+  {
+    const IdQuad& q = cache.quads[idx];
+    unpost(cache.by_s, q.s, idx);
+    cache.by_sp.Erase(q.s, q.p, idx, cache.quads);
+    unpost(cache.by_canon, q.canon_o, idx);
+    unpost(cache.by_p, q.p, idx);
+  }
+  cache.by_link.erase(lit);
+  if (idx != back) {
+    const IdQuad moved = cache.quads[back];
+    repost(cache.by_s, moved.s, back, idx);
+    cache.by_sp.Reindex(moved.s, moved.p, back, idx);
+    repost(cache.by_canon, moved.canon_o, back, idx);
+    repost(cache.by_p, moved.p, back, idx);
+    cache.by_link[moved.link_id] = idx;
+    cache.quads[idx] = moved;
+  }
+  cache.quads.pop_back();
+  if (cache.quads.empty()) id_cache_.erase(mit);
 }
 
 LinkRow LinkStore::RowToLink(const Row& row) const {
@@ -200,6 +389,7 @@ Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
 
   auto insert = links_->Insert(LinkToRow(link));
   if (!insert.ok()) return insert.status();
+  CacheInsert(model_id, IdQuad{s, p, o, canon_o, link.link_id});
 
   // Keep the NDM network in sync: "a new link is always created whenever
   // a new triple is inserted"; nodes are reused.
@@ -307,6 +497,15 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
   }
   auto staged = links_->InsertBatch(std::move(new_rows));
   if (!staged.ok()) return staged.status();
+  for (const Group& g : groups) {
+    if (!g.is_new) continue;
+    // First-occurrence order: identical cache state to per-statement
+    // Insert() calls.
+    CacheInsert(model_id,
+                IdQuad{g.row.start_node_id, g.row.p_value_id,
+                       g.row.end_node_id, g.row.canon_end_node_id,
+                       g.row.link_id});
+  }
 
   // Phase 3: bulk-register the NDM side. Node creation order matches the
   // sequential path (subject then object, per new link, in link order) so
@@ -373,10 +572,10 @@ std::vector<LinkRow> LinkStore::Match(int64_t model_id,
   return out;
 }
 
-void LinkStore::MatchEach(
+void LinkStore::MatchRows(
     int64_t model_id, std::optional<ValueId> s, std::optional<ValueId> p,
     std::optional<ValueId> canon_o,
-    const std::function<bool(const LinkRow&)>& fn) const {
+    const std::function<bool(const Row&)>& fn) const {
   auto emit_if_match = [&](const Row& row) {
     if (metrics_ != nullptr) metrics_->link_rows_scanned->Inc();
     if (s.has_value() && row[kStartNodeId].as_int64() != *s) return true;
@@ -385,13 +584,18 @@ void LinkStore::MatchEach(
         row[kCanonEndNodeId].as_int64() != *canon_o) {
       return true;
     }
-    return fn(RowToLink(row));
+    return fn(row);
   };
 
-  // Choose the most selective available index.
+  // Choose the most selective available index. All three bound is a
+  // point lookup on the canonical SPO index — no residual filter work.
   const storage::Index* index = nullptr;
   ValueKey key;
-  if (s.has_value()) {
+  if (s.has_value() && p.has_value() && canon_o.has_value()) {
+    index = links_->GetIndex(kSpoCanonIndex);
+    key = {Value::Int64(model_id), Value::Int64(*s), Value::Int64(*p),
+           Value::Int64(*canon_o)};
+  } else if (s.has_value()) {
     index = links_->GetIndex(kSubjectIndex);
     key = {Value::Int64(model_id), Value::Int64(*s)};
   } else if (canon_o.has_value()) {
@@ -403,9 +607,9 @@ void LinkStore::MatchEach(
   }
 
   if (index != nullptr) {
-    for (storage::RowId rid : index->Find(key)) {
-      if (!emit_if_match(*links_->Get(rid))) return;
-    }
+    index->FindEach(key, [&](storage::RowId rid) {
+      return emit_if_match(*links_->Get(rid));
+    });
     return;
   }
 
@@ -417,6 +621,76 @@ void LinkStore::MatchEach(
                           }
                           return emit_if_match(row);
                         });
+}
+
+void LinkStore::MatchEach(
+    int64_t model_id, std::optional<ValueId> s, std::optional<ValueId> p,
+    std::optional<ValueId> canon_o,
+    const std::function<bool(const LinkRow&)>& fn) const {
+  MatchRows(model_id, s, p, canon_o,
+            [&](const Row& row) { return fn(RowToLink(row)); });
+}
+
+void LinkStore::MatchEachIds(
+    int64_t model_id, std::optional<ValueId> s, std::optional<ValueId> p,
+    std::optional<ValueId> canon_o,
+    const std::function<bool(ValueId, ValueId, ValueId, ValueId)>& fn)
+    const {
+  auto mit = id_cache_.find(model_id);
+  if (mit == id_cache_.end()) return;
+  const ModelIdCache& cache = mit->second;
+  obs::Counter* scans =
+      metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr;
+
+  auto visit = [&](const IdQuad& q) {
+    if (scans != nullptr) scans->Inc();
+    if (s.has_value() && q.s != *s) return true;
+    if (p.has_value() && q.p != *p) return true;
+    if (canon_o.has_value() && q.canon_o != *canon_o) return true;
+    return fn(q.s, q.p, q.o, q.canon_o);
+  };
+
+  // Most selective postings first. An (s, p) probe — the inner loop of
+  // chain joins — is answered from one SpMap slot (residual only on
+  // canon_o, when all three are bound).
+  const std::vector<uint32_t>* postings = nullptr;
+  if (s.has_value() && p.has_value()) {
+    SpMap::Hit hit = cache.by_sp.Probe(*s, *p);
+    if (hit.n == 0) return;
+    if (hit.n == 1) {
+      if (scans != nullptr) scans->Inc();
+      if (canon_o.has_value() && hit.canon_o != *canon_o) return;
+      fn(*s, *p, hit.o, hit.canon_o);
+      return;
+    }
+    for (uint32_t i = 0; i < hit.n; ++i) {
+      if (!visit(cache.quads[hit.list[i]])) return;
+    }
+    return;
+  }
+  if (s.has_value()) {
+    auto it = cache.by_s.find(*s);
+    if (it == cache.by_s.end()) return;
+    postings = &it->second;
+  } else if (canon_o.has_value()) {
+    auto it = cache.by_canon.find(*canon_o);
+    if (it == cache.by_canon.end()) return;
+    postings = &it->second;
+  } else if (p.has_value()) {
+    auto it = cache.by_p.find(*p);
+    if (it == cache.by_p.end()) return;
+    postings = &it->second;
+  }
+
+  if (postings != nullptr) {
+    for (uint32_t idx : *postings) {
+      if (!visit(cache.quads[idx])) return;
+    }
+    return;
+  }
+  for (const IdQuad& q : cache.quads) {
+    if (!visit(q)) return;
+  }
 }
 
 Status LinkStore::Delete(int64_t model_id, ValueId s, ValueId p, ValueId o,
@@ -437,11 +711,13 @@ Status LinkStore::Delete(int64_t model_id, ValueId s, ValueId p, ValueId o,
     return links_->Update(rid, LinkToRow(link));
   }
   RDFDB_RETURN_NOT_OK(links_->Delete(rid));
+  CacheErase(model_id, link.link_id);
   RemoveFromNetwork(link);
   return Status::OK();
 }
 
 Status LinkStore::DeleteModel(int64_t model_id) {
+  id_cache_.erase(model_id);
   std::vector<LinkRow> doomed;
   ScanModel(model_id, [&](const LinkRow& link) {
     doomed.push_back(link);

@@ -10,12 +10,16 @@
 #define RDFDB_RDF_LINK_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "ndm/network.h"
 #include "rdf/value_store.h"
 #include "storage/database.h"
@@ -111,10 +115,32 @@ class LinkStore {
 
   /// Streaming variant of Match: visits each hit without materializing a
   /// vector; return false from `fn` to stop early (used by the query
-  /// planner's bounded cardinality probes).
+  /// planner's bounded cardinality probes). All three positions bound is
+  /// a point lookup on the (model, s, p, canon_o) index instead of a
+  /// posting scan.
   void MatchEach(int64_t model_id, std::optional<ValueId> s,
                  std::optional<ValueId> p, std::optional<ValueId> canon_o,
                  const std::function<bool(const LinkRow&)>& fn) const;
+
+  /// Id-only streaming match for the join executor's hot loop: same
+  /// semantics as MatchEach, but served from the id-native quad cache —
+  /// no ValueKey construction per probe, no row fetch or Value decode
+  /// per posting, and no LinkRow (whose LINK_TYPE/CONTEXT string
+  /// columns the executor never reads). A probe with both subject and
+  /// predicate bound — the inner loop of chain joins — hits a dedicated
+  /// (s, p) posting list with no residual filtering at all.
+  void MatchEachIds(
+      int64_t model_id, std::optional<ValueId> s, std::optional<ValueId> p,
+      std::optional<ValueId> canon_o,
+      const std::function<bool(ValueId s, ValueId p, ValueId o,
+                               ValueId canon_o)>& fn) const;
+
+  /// Rebuild the id-native quad cache from the rdf_link$ rows. The
+  /// cache is maintained in lockstep by Insert/InsertBatch/Delete/
+  /// DeleteModel; this is for callers that populate the table behind
+  /// the store's back (snapshot restore copies raw rows to preserve
+  /// LINK_IDs). The constructor runs it for reattach.
+  void RebuildCache();
 
   /// Drop one application-table reference: decrements COST and removes
   /// the row (plus the NDM link, plus now-orphaned nodes and rdf_node$
@@ -144,12 +170,173 @@ class LinkStore {
   static constexpr const char* kSubjectIndex = "rdf_link_s_idx";
   static constexpr const char* kPredicateIndex = "rdf_link_p_idx";
   static constexpr const char* kObjectIndex = "rdf_link_o_idx";
+  /// Canonical-object SPO twin: (model, s, p, canon_o). kSpoIndex keys
+  /// the *lexical* object (insert/delete identity), so a fully-bound
+  /// query match — which is canonical — needs its own point-lookup
+  /// index; non-unique because distinct lexical forms share a
+  /// canonical object.
+  static constexpr const char* kSpoCanonIndex = "rdf_link_spoc_idx";
 
   /// Attach the owning store's metric handles. Null (the default, and
   /// the state of standalone test instances) disables instrumentation.
   void set_metrics(obs::StoreMetrics* metrics) { metrics_ = metrics; }
 
+  /// One rdf_link$ row's VALUE_ID columns, as cached for query scans.
+  struct IdQuad {
+    ValueId s, p, o, canon_o;
+    LinkId link_id;
+  };
+
+  /// Flat open-addressing (subject, predicate) → rows map with the
+  /// single-row answer inlined in the slot: the overwhelmingly common
+  /// probe shape in chain and star joins (one matching row) is answered
+  /// from one slot load, with no posting-list or quad-array
+  /// indirection. Multi-row groups spill to an overflow posting list in
+  /// creation order. Deletes tombstone the slot; rehashing drops
+  /// tombstones.
+  class SpMap {
+   public:
+    struct Hit {
+      const uint32_t* list = nullptr;  ///< row indexes when n > 1
+      uint32_t n = 0;                  ///< match count (0 = miss)
+      uint32_t head = 0;               ///< single row's quad index
+      ValueId o = 0;                   ///< single row's object
+      ValueId canon_o = 0;             ///< single row's canonical object
+    };
+
+    Hit Probe(ValueId s, ValueId p) const {
+      if (slots_.empty()) return Hit{};
+      for (size_t i = IndexFor(s, p);; i = (i + 1) & mask_) {
+        const Slot& slot = slots_[i];
+        if (slot.s == kEmpty) return Hit{};
+        if (slot.s != s || slot.p != p) continue;  // incl. tombstones
+        Hit hit;
+        if (slot.overflow < 0) {
+          hit.n = 1;
+          hit.head = slot.head;
+          hit.o = slot.o;
+          hit.canon_o = slot.canon_o;
+        } else {
+          const std::vector<uint32_t>& rows = overflow_[slot.overflow];
+          hit.list = rows.data();
+          hit.n = static_cast<uint32_t>(rows.size());
+        }
+        return hit;
+      }
+    }
+
+    void Insert(ValueId s, ValueId p, uint32_t idx, ValueId o,
+                ValueId canon_o);
+    /// Remove row `idx`; `quads` re-derives the inline payload when an
+    /// overflow list collapses back to a single row.
+    void Erase(ValueId s, ValueId p, uint32_t idx,
+               const std::vector<IdQuad>& quads);
+    /// Row moved from quad index `from` to `to` (swap-remove upkeep).
+    void Reindex(ValueId s, ValueId p, uint32_t from, uint32_t to);
+
+   private:
+    static constexpr ValueId kEmpty = -1;
+    static constexpr ValueId kGone = -2;  ///< tombstone
+    struct Slot {
+      ValueId s = kEmpty;
+      ValueId p = 0;
+      uint32_t head = 0;
+      int32_t overflow = -1;
+      ValueId o = 0;
+      ValueId canon_o = 0;
+    };
+
+    size_t IndexFor(ValueId s, ValueId p) const {
+      uint64_t h = HashCombine(static_cast<uint64_t>(s),
+                               static_cast<uint64_t>(p));
+      // Full-avalanche finalizer: linear probing clusters badly on
+      // HashCombine alone when ids are near-sequential.
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h) & mask_;
+    }
+    Slot& SlotFor(ValueId s, ValueId p);
+    void Grow();
+
+    std::vector<Slot> slots_;
+    std::vector<std::vector<uint32_t>> overflow_;
+    std::vector<int32_t> free_overflow_;
+    size_t used_ = 0;  ///< full + tombstoned slots
+    size_t mask_ = 0;
+  };
+
+  /// Per-model id-native postings backing MatchEachIds and the
+  /// executors' leaf scans: quads in creation order plus posting lists
+  /// by subject, (subject, predicate), canonical object, and predicate,
+  /// each holding indexes into `quads`. Scans walk these flat int
+  /// arrays instead of the Value-typed storage indexes. Maintained by
+  /// every mutation path in lockstep with the table (and rebuilt from
+  /// it on reattach), so reads need no locking beyond what the table
+  /// itself requires.
+  struct ModelIdCache {
+    std::vector<IdQuad> quads;
+    std::unordered_map<ValueId, std::vector<uint32_t>> by_s;
+    SpMap by_sp;
+    std::unordered_map<ValueId, std::vector<uint32_t>> by_canon;
+    std::unordered_map<ValueId, std::vector<uint32_t>> by_p;
+    std::unordered_map<LinkId, uint32_t> by_link;  ///< delete maintenance
+  };
+
+  /// Borrowed read-only view of one model's quad cache for the compiled
+  /// executor's leaf scans: direct posting access with no virtual
+  /// dispatch or per-row callback. Invalidated by any mutation of the
+  /// store, so hold one only for the duration of a query.
+  class LeafScan {
+   public:
+    LeafScan() = default;
+    bool valid() const { return cache_ != nullptr; }
+    const IdQuad* quads() const { return cache_->quads.data(); }
+    uint32_t quad_count() const {
+      return static_cast<uint32_t>(cache_->quads.size());
+    }
+    SpMap::Hit ProbeSp(ValueId s, ValueId p) const {
+      return cache_->by_sp.Probe(s, p);
+    }
+    const std::vector<uint32_t>* PostingsS(ValueId s) const {
+      return FindPostings(cache_->by_s, s);
+    }
+    const std::vector<uint32_t>* PostingsCanon(ValueId canon_o) const {
+      return FindPostings(cache_->by_canon, canon_o);
+    }
+    const std::vector<uint32_t>* PostingsP(ValueId p) const {
+      return FindPostings(cache_->by_p, p);
+    }
+    /// Mirror MatchEachIds' store-level scan accounting.
+    void CountScanned(size_t n) const {
+      if (scans_ != nullptr && n > 0) scans_->Inc(n);
+    }
+
+   private:
+    friend class LinkStore;
+    static const std::vector<uint32_t>* FindPostings(
+        const std::unordered_map<ValueId, std::vector<uint32_t>>& postings,
+        ValueId key) {
+      auto it = postings.find(key);
+      return it == postings.end() ? nullptr : &it->second;
+    }
+    const ModelIdCache* cache_ = nullptr;
+    obs::Counter* scans_ = nullptr;
+  };
+
+  /// Leaf-scan view of `model_id`; invalid when the model has no rows.
+  LeafScan Leaf(int64_t model_id) const;
+
  private:
+  /// Row-level match kernel: index choice + residual filtering + scan
+  /// metrics, for callers that need full rdf_link$ rows (MatchEach).
+  void MatchRows(int64_t model_id, std::optional<ValueId> s,
+                 std::optional<ValueId> p, std::optional<ValueId> canon_o,
+                 const std::function<bool(const storage::Row&)>& fn) const;
+
+  void CacheInsert(int64_t model_id, const IdQuad& quad);
+  void CacheErase(int64_t model_id, LinkId link_id);
+
   LinkRow RowToLink(const storage::Row& row) const;
   storage::Row LinkToRow(const LinkRow& link) const;
   void RemoveFromNetwork(const LinkRow& link);
@@ -161,6 +348,7 @@ class LinkStore {
   storage::Table* links_;   // MDSYS.RDF_LINK$
   storage::Table* nodes_;   // MDSYS.RDF_NODE$
   storage::Sequence* link_seq_;
+  std::unordered_map<int64_t, ModelIdCache> id_cache_;
   obs::StoreMetrics* metrics_ = nullptr;
 };
 

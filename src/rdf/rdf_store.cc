@@ -491,6 +491,10 @@ Result<std::unique_ptr<RdfStore>> RdfStore::Open(const std::string& path) {
     RDFDB_RETURN_NOT_OK(status);
   }
 
+  // The raw row copy above bypassed LinkStore::Insert, so the id-native
+  // quad cache (which serves every pattern scan) is still empty.
+  store->links_->RebuildCache();
+
   // Re-seed sequences past the highest stored ids.
   auto reseed = [&](const char* table_name, size_t id_col,
                     const char* seq_name) {

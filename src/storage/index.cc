@@ -65,6 +65,13 @@ size_t KeyBytes(const ValueKey& key) {
 
 }  // namespace
 
+void Index::FindEach(const ValueKey& key,
+                     const std::function<bool(RowId)>& fn) const {
+  for (RowId row_id : Find(key)) {
+    if (!fn(row_id)) return;
+  }
+}
+
 Status HashIndex::Insert(const ValueKey& key, RowId row_id) {
   return InsertPosting(&map_[key], row_id, unique(), name(), &entries_);
 }
@@ -79,6 +86,15 @@ void HashIndex::Erase(const ValueKey& key, RowId row_id) {
 std::vector<RowId> HashIndex::Find(const ValueKey& key) const {
   auto it = map_.find(key);
   return it == map_.end() ? std::vector<RowId>{} : it->second;
+}
+
+void HashIndex::FindEach(const ValueKey& key,
+                         const std::function<bool(RowId)>& fn) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  for (RowId row_id : it->second) {
+    if (!fn(row_id)) return;
+  }
 }
 
 size_t HashIndex::ApproxBytes() const {
@@ -103,6 +119,15 @@ void OrderedIndex::Erase(const ValueKey& key, RowId row_id) {
 std::vector<RowId> OrderedIndex::Find(const ValueKey& key) const {
   auto it = map_.find(key);
   return it == map_.end() ? std::vector<RowId>{} : it->second;
+}
+
+void OrderedIndex::FindEach(const ValueKey& key,
+                            const std::function<bool(RowId)>& fn) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  for (RowId row_id : it->second) {
+    if (!fn(row_id)) return;
+  }
 }
 
 std::vector<RowId> OrderedIndex::FindRange(const ValueKey& lo,

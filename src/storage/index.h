@@ -77,6 +77,14 @@ class Index {
   /// Row ids whose key equals `key`.
   virtual std::vector<RowId> Find(const ValueKey& key) const = 0;
 
+  /// Stream the row ids whose key equals `key`; return false from `fn`
+  /// to stop. Equivalent to iterating Find(key) but without
+  /// materializing the posting copy — the join executor probes one key
+  /// per binding, so the per-probe allocation matters. The default
+  /// delegates to Find(); concrete indexes iterate in place.
+  virtual void FindEach(const ValueKey& key,
+                        const std::function<bool(RowId)>& fn) const;
+
   /// Number of distinct (key, row) entries.
   virtual size_t entry_count() const = 0;
 
@@ -106,6 +114,8 @@ class HashIndex final : public Index {
   Status Insert(const ValueKey& key, RowId row_id) override;
   void Erase(const ValueKey& key, RowId row_id) override;
   std::vector<RowId> Find(const ValueKey& key) const override;
+  void FindEach(const ValueKey& key,
+                const std::function<bool(RowId)>& fn) const override;
   size_t entry_count() const override { return entries_; }
   size_t ApproxBytes() const override;
 
@@ -124,6 +134,8 @@ class OrderedIndex final : public Index {
   Status Insert(const ValueKey& key, RowId row_id) override;
   void Erase(const ValueKey& key, RowId row_id) override;
   std::vector<RowId> Find(const ValueKey& key) const override;
+  void FindEach(const ValueKey& key,
+                const std::function<bool(RowId)>& fn) const override;
   size_t entry_count() const override { return entries_; }
   size_t ApproxBytes() const override;
 

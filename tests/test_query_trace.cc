@@ -132,6 +132,62 @@ TEST_F(QueryTraceTest, TraceIsResetPerQuery) {
   EXPECT_EQ(trace.rows_emitted, 3u);
 }
 
+TEST_F(QueryTraceTest, ParallelTraceMatchesSequential) {
+  // Without an early stop, the parallel executor's ordered chunk merge
+  // must reproduce the sequential counters exactly.
+  obs::QueryTrace sequential;
+  MatchOptions options;
+  options.trace = &sequential;
+  auto seq_result =
+      Run("(?s urn:type urn:Protein) (?s urn:name ?n)", options);
+  ASSERT_TRUE(seq_result.ok());
+  EXPECT_EQ(sequential.exec_threads, 1u);
+
+  obs::QueryTrace parallel;
+  options.trace = &parallel;
+  options.threads = 2;
+  options.chunk_frames = 1;  // force one outer frame per chunk
+  auto par_result =
+      Run("(?s urn:type urn:Protein) (?s urn:name ?n)", options);
+  ASSERT_TRUE(par_result.ok());
+  EXPECT_EQ(par_result->row_count(), seq_result->row_count());
+
+  EXPECT_EQ(parallel.exec_threads, 2u);
+  EXPECT_EQ(parallel.exec_chunks, 2u);
+  EXPECT_EQ(parallel.plan_order, sequential.plan_order);
+  ASSERT_EQ(parallel.patterns.size(), sequential.patterns.size());
+  for (size_t i = 0; i < parallel.patterns.size(); ++i) {
+    EXPECT_EQ(parallel.patterns[i].rows_scanned,
+              sequential.patterns[i].rows_scanned);
+    EXPECT_EQ(parallel.patterns[i].rows_emitted,
+              sequential.patterns[i].rows_emitted);
+  }
+  EXPECT_EQ(parallel.value_lookups, sequential.value_lookups);
+  EXPECT_EQ(parallel.rows_emitted, sequential.rows_emitted);
+  EXPECT_EQ(parallel.value_resolutions, sequential.value_resolutions);
+  EXPECT_NE(parallel.ToString().find("parallel: 2 thread(s), 2 chunk(s)"),
+            std::string::npos);
+}
+
+TEST_F(QueryTraceTest, ParallelFilterCountersMatchSequential) {
+  obs::QueryTrace sequential;
+  MatchOptions options;
+  options.trace = &sequential;
+  ASSERT_TRUE(
+      Run("(?s urn:name ?n) (?s ?p ?o)", options, "?n = \"alpha\"").ok());
+
+  obs::QueryTrace parallel;
+  options.trace = &parallel;
+  options.threads = 4;
+  options.chunk_frames = 1;
+  ASSERT_TRUE(
+      Run("(?s urn:name ?n) (?s ?p ?o)", options, "?n = \"alpha\"").ok());
+  EXPECT_GT(parallel.exec_chunks, 1u);
+  EXPECT_EQ(parallel.filter_evaluations, sequential.filter_evaluations);
+  EXPECT_EQ(parallel.filter_rejections, sequential.filter_rejections);
+  EXPECT_EQ(parallel.rows_emitted, sequential.rows_emitted);
+}
+
 TEST_F(QueryTraceTest, QueryMetricsEmittedIntoRegistry) {
   MatchOptions options;
   ASSERT_TRUE(Run("(?s urn:name ?n)", options).ok());

@@ -287,6 +287,20 @@ TEST_F(RdfStoreTest, SaveAndOpenRoundTrip) {
             store_.links().TotalTripleCount());
   EXPECT_EQ(loaded.network().link_count(),
             store_.network().link_count());
+  // Pattern scans are served from the id-native quad cache, which must
+  // be rebuilt after the raw-row snapshot copy — point lookups passing
+  // while wildcard scans return nothing is exactly the regression this
+  // guards against.
+  {
+    size_t matched = 0;
+    loaded.links().MatchEachIds(
+        *loaded.GetModelId("cia"), std::nullopt, std::nullopt, std::nullopt,
+        [&](ValueId, ValueId, ValueId, ValueId) {
+          ++matched;
+          return true;
+        });
+    EXPECT_EQ(matched, loaded.links().TotalTripleCount());
+  }
   // New inserts continue from fresh sequence values (no id collisions).
   auto fresh = loaded.InsertTriple("cia", "gov:new", "gov:p", "gov:o");
   ASSERT_TRUE(fresh.ok());

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # ThreadSanitizer job for the concurrency-sensitive targets: the
-# pipelined bulk loader, the concurrent store wrapper, and the metrics
+# pipelined bulk loader, the concurrent store wrapper, the metrics
 # instruments (relaxed-atomic counters hammered from many threads while
-# the registry renders). Builds a dedicated build-tsan tree (so a
-# normal build/ is left untouched) and runs the test binaries directly;
-# any TSan report fails the run.
+# the registry renders), and the parallel join executor's differential
+# tests (which exercise the chunked worker/consumer pipeline at several
+# thread counts). Builds a dedicated build-tsan tree (so a normal
+# build/ is left untouched) and runs the test binaries directly; any
+# TSan report fails the run.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,11 +17,13 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFDB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target test_bulk_load test_concurrent_store test_metrics
+  --target test_bulk_load test_concurrent_store test_metrics \
+  test_exec_diff
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_bulk_load
 "$BUILD_DIR"/tests/test_concurrent_store
 "$BUILD_DIR"/tests/test_metrics
+"$BUILD_DIR"/tests/test_exec_diff
 
 echo "TSan run clean."
