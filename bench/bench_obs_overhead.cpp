@@ -1,0 +1,206 @@
+// Overhead of the always-on observability layer (DESIGN.md §10):
+// identical workloads with every facility detached (Off — the default
+// shipping configuration) and attached (On — event log draining to a
+// discard sink, slow-query log at a realistic 50 ms threshold, span
+// timeline). Both variants live in one binary so an interleaved run
+// (--benchmark_repetitions=N --benchmark_enable_random_interleaving)
+// sees the same thermal/scheduling drift; the budget is < 3 % (the Off
+// hooks are single pointer branches, so Off-vs-parent is not even
+// measurable — On-vs-Off is the honest comparison).
+//
+// Workloads: the pipelined bulk load (event-log chunk events + worker
+// spans on the hot path) and the Chain3 join (query span, slow-query
+// gating, per-chunk exec spans in the parallel variant).
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "obs/event_log.h"
+#include "obs/slow_query_log.h"
+#include "obs/span_timeline.h"
+#include "query/match.h"
+#include "rdf/bulk_load.h"
+
+namespace rdfdb::bench {
+namespace {
+
+/// Shared attached-mode facilities (the event log's drainer thread and
+/// sink live for the whole binary, as they would in a server).
+struct ObsKit {
+  std::ostringstream discard;
+  std::unique_ptr<obs::EventLog> events;
+  obs::SlowQueryLog slow_queries{/*threshold_ns=*/50'000'000};
+  obs::Timeline timeline;
+
+  static ObsKit& Get() {
+    static ObsKit kit;
+    if (kit.events == nullptr) {
+      obs::EventLog::Options options;
+      options.sink = &kit.discard;
+      auto log = obs::EventLog::Open(std::move(options));
+      if (!log.ok()) std::abort();
+      kit.events = std::move(*log);
+    }
+    return kit;
+  }
+};
+
+void Attach(rdf::RdfStore* store) {
+  ObsKit& kit = ObsKit::Get();
+  kit.timeline.Clear();
+  kit.discard.str("");
+  store->set_event_log(kit.events.get());
+  store->set_slow_query_log(&kit.slow_queries);
+  store->set_timeline(&kit.timeline);
+}
+
+// ---------------------------------------------------------------------------
+// Bulk load: fresh store per iteration, obs attached or not.
+
+void RunLoadBench(benchmark::State& state, bool attached) {
+  const gen::UniProtDataset& data = DatasetFor(state.range(0));
+  rdf::BulkLoadOptions options;
+  options.threads = 2;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = std::make_unique<rdf::RdfStore>();
+    if (!store->CreateRdfModel("uniprot", "uniprot_app", "triple").ok()) {
+      std::abort();
+    }
+    if (attached) Attach(store.get());
+    state.ResumeTiming();
+    auto stats = rdf::BulkLoad(store.get(), "uniprot", data.triples,
+                               nullptr, options);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(stats->new_links);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.triple_count()));
+  state.counters["triples_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * data.triple_count()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_BulkLoad_ObsOff(benchmark::State& state) {
+  RunLoadBench(state, /*attached=*/false);
+}
+BENCHMARK(BM_BulkLoad_ObsOff)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BulkLoad_ObsOn(benchmark::State& state) {
+  RunLoadBench(state, /*attached=*/true);
+}
+BENCHMARK(BM_BulkLoad_ObsOn)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Chain3 join over the social graph of bench_query_plan, through the
+// full SDO_RDF_MATCH path (where the query span, slow-query gating and
+// metrics hooks live).
+
+struct JoinSystem {
+  std::unique_ptr<rdf::RdfStore> store;
+
+  static JoinSystem& For(int64_t triples) {
+    static std::map<int64_t, std::unique_ptr<JoinSystem>> cache;
+    auto it = cache.find(triples);
+    if (it == cache.end()) {
+      auto sys = std::make_unique<JoinSystem>();
+      sys->store = std::make_unique<rdf::RdfStore>();
+      if (!sys->store->CreateRdfModel("social", "social_app", "triple")
+               .ok()) {
+        std::abort();
+      }
+      const int64_t n = triples / 5;
+      for (int64_t i = 0; i < n; ++i) {
+        const std::string e = "urn:join:e" + std::to_string(i);
+        auto insert = [&](const char* p, const std::string& o) {
+          if (!sys->store->InsertTriple("social", e, p, o).ok()) {
+            std::abort();
+          }
+        };
+        insert("urn:join:type",
+               "urn:join:Person_" + std::to_string(i % 100));
+        insert("urn:join:name", "\"name_" + std::to_string(i) + "\"");
+        insert("urn:join:city", "\"city_" + std::to_string(i % 50) + "\"");
+        insert("urn:join:email",
+               "\"e" + std::to_string(i) + "@example.org\"");
+        insert("urn:join:knows",
+               "urn:join:e" + std::to_string((7 * i + 13) % n));
+      }
+      it = cache.emplace(triples, std::move(sys)).first;
+    }
+    return *it->second;
+  }
+};
+
+const char* kChain3 =
+    "(?a <urn:join:knows> ?b) (?b <urn:join:knows> ?c) "
+    "(?c <urn:join:city> ?d)";
+
+void RunChain3Bench(benchmark::State& state, bool attached,
+                    unsigned threads) {
+  JoinSystem& sys = JoinSystem::For(state.range(0));
+  if (attached) {
+    Attach(sys.store.get());
+  } else {
+    sys.store->set_event_log(nullptr);
+    sys.store->set_slow_query_log(nullptr);
+    sys.store->set_timeline(nullptr);
+  }
+  query::MatchOptions options;
+  options.threads = threads;
+  size_t rows = 0;
+  for (auto _ : state) {
+    // Keep the attached-mode span buffer in steady state (a server
+    // would export and clear; an unbounded buffer would eventually hit
+    // capacity and stop paying the record cost).
+    if (attached) ObsKit::Get().timeline.Clear();
+    auto result = query::SdoRdfMatch(sys.store.get(), nullptr, kChain3,
+                                     {"social"}, {}, {}, "", options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = result->row_count();
+    benchmark::DoNotOptimize(rows);
+  }
+  sys.store->set_event_log(nullptr);
+  sys.store->set_slow_query_log(nullptr);
+  sys.store->set_timeline(nullptr);
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Chain3_ObsOff(benchmark::State& state) {
+  RunChain3Bench(state, /*attached=*/false, /*threads=*/1);
+}
+BENCHMARK(BM_Chain3_ObsOff)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Chain3_ObsOn(benchmark::State& state) {
+  RunChain3Bench(state, /*attached=*/true, /*threads=*/1);
+}
+BENCHMARK(BM_Chain3_ObsOn)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Chain3Par2_ObsOff(benchmark::State& state) {
+  RunChain3Bench(state, /*attached=*/false, /*threads=*/2);
+}
+BENCHMARK(BM_Chain3Par2_ObsOff)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Chain3Par2_ObsOn(benchmark::State& state) {
+  RunChain3Bench(state, /*attached=*/true, /*threads=*/2);
+}
+BENCHMARK(BM_Chain3Par2_ObsOn)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+#include "obs/event_log.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace rdfdb::obs {
+
+EventLog::EventLog(Options options)
+    : options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()),
+      ring_(options_.capacity == 0 ? 1 : options_.capacity) {}
+
+Result<std::unique_ptr<EventLog>> EventLog::Open(Options options) {
+  std::unique_ptr<EventLog> log(new EventLog(std::move(options)));
+  if (log->options_.sink != nullptr) {
+    log->out_ = log->options_.sink;
+  } else {
+    log->file_ = std::make_unique<std::ofstream>(log->options_.path,
+                                                 std::ios::app);
+    if (!log->file_->is_open()) {
+      return Status::IOError("cannot open event log sink " +
+                             log->options_.path);
+    }
+    log->out_ = log->file_.get();
+  }
+  log->drainer_ = std::thread([raw = log.get()] { raw->DrainLoop(); });
+  return log;
+}
+
+EventLog::~EventLog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (drainer_.joinable()) drainer_.join();
+}
+
+int64_t EventLog::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void EventLog::Append(const char* category, const char* name,
+                      std::vector<EventField> fields) {
+  Event event;
+  event.ts_us = NowUs();
+  event.category = category;
+  event.name = name;
+  event.fields = std::move(fields);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ == ring_.size()) {
+      // Overload: drop the *new* event so the buffered prefix stays an
+      // ordered, gap-free record of what led up to the overload.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      appended_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    event.seq = appended_.fetch_add(1, std::memory_order_relaxed);
+    ring_[(head_ + count_) % ring_.size()] = std::move(event);
+    ++count_;
+  }
+  cv_.notify_one();
+}
+
+void EventLog::Flush() {
+  const uint64_t target = appended_.load(std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.notify_all();
+  flush_cv_.wait(lock, [&] {
+    return written_.load(std::memory_order_relaxed) +
+               dropped_.load(std::memory_order_relaxed) >=
+           target;
+  });
+}
+
+std::string EventLog::RenderJsonl(const Event& event) {
+  std::string line = "{\"ts_us\":" + std::to_string(event.ts_us) +
+                     ",\"seq\":" + std::to_string(event.seq) + ",\"cat\":";
+  AppendJsonString(event.category, &line);
+  line += ",\"event\":";
+  AppendJsonString(event.name, &line);
+  for (const EventField& field : event.fields) {
+    line += ",";
+    AppendJsonString(field.key, &line);
+    line += ":";
+    if (field.is_num) {
+      line += std::to_string(field.num);
+    } else {
+      AppendJsonString(field.str, &line);
+    }
+  }
+  line += "}\n";
+  return line;
+}
+
+void EventLog::DrainLoop() {
+  std::vector<Event> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return count_ > 0 || stop_; });
+      if (count_ == 0 && stop_) return;
+      // Claim the whole buffered run so producers regain ring space in
+      // one motion and the sink sees large sequential writes.
+      batch.clear();
+      batch.reserve(count_);
+      while (count_ > 0) {
+        batch.push_back(std::move(ring_[head_]));
+        head_ = (head_ + 1) % ring_.size();
+        --count_;
+      }
+    }
+    std::string chunk;
+    for (const Event& event : batch) chunk += RenderJsonl(event);
+    out_->write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    out_->flush();
+    {
+      // Publish under mu_: Flush() checks the counter with mu_ held, so
+      // the lock both prevents a lost wakeup (increment between a
+      // waiter's predicate check and its sleep) and orders the sink
+      // writes above before any Flush() caller that sees the new count
+      // reads the sink.
+      std::lock_guard<std::mutex> lock(mu_);
+      written_.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+    flush_cv_.notify_all();
+  }
+}
+
+void LogErrorEvent(EventLog* log, const char* where, const Status& status) {
+  if (log == nullptr || status.ok()) return;
+  log->Append("error", where,
+              {EventField::Str("status", status.ToString())});
+}
+
+}  // namespace rdfdb::obs

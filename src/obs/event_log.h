@@ -1,0 +1,139 @@
+// Asynchronous structured event log.
+//
+// Producers (store lifecycle, model DDL, bulk-load chunks, snapshot and
+// redo-replay, errors) append small structured events to a bounded
+// multi-producer ring; a background drainer thread serializes them to a
+// JSONL sink. Appending never blocks on I/O: when the ring is full the
+// event is dropped and counted, so an overloaded sink degrades the log,
+// never the store. A null EventLog pointer at every emission site keeps
+// the facility strictly opt-in with a single branch on the hot path
+// (see DESIGN.md §10).
+
+#ifndef RDFDB_OBS_EVENT_LOG_H_
+#define RDFDB_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rdfdb::obs {
+
+/// One key/value field of an event. Numeric fields render unquoted.
+struct EventField {
+  const char* key = "";  ///< static string (field names are compile-time)
+  std::string str;       ///< valid when !is_num
+  int64_t num = 0;       ///< valid when is_num
+  bool is_num = false;
+
+  static EventField Num(const char* key, int64_t value) {
+    EventField f;
+    f.key = key;
+    f.num = value;
+    f.is_num = true;
+    return f;
+  }
+  static EventField Str(const char* key, std::string value) {
+    EventField f;
+    f.key = key;
+    f.str = std::move(value);
+    return f;
+  }
+};
+
+/// One structured event. `category` and `name` are static strings
+/// (every emission site names its event at compile time); dynamic data
+/// goes in `fields`.
+struct Event {
+  int64_t ts_us = 0;        ///< microseconds since the log was opened
+  uint64_t seq = 0;         ///< per-log append sequence (gap = drop)
+  const char* category = "";  ///< "store", "model", "bulkload", ...
+  const char* name = "";      ///< event name within the category
+  std::vector<EventField> fields;
+};
+
+/// Bounded MPSC event ring with a background JSONL drainer.
+///
+/// Thread-safety: Append may be called from any number of threads
+/// concurrently (the ring mutex is held only to link the event in — the
+/// drainer does all serialization and I/O off-thread). The counters are
+/// relaxed atomics readable at any time.
+class EventLog {
+ public:
+  struct Options {
+    size_t capacity = 4096;  ///< ring slots; full ring drops new events
+    std::string path;        ///< JSONL sink path (append); empty with
+                             ///< `sink` for an in-memory stream
+    std::ostream* sink = nullptr;  ///< test hook: drain here instead of
+                                   ///< the file (not owned; must outlive
+                                   ///< the log)
+  };
+
+  /// Opens the sink and starts the drainer thread.
+  static Result<std::unique_ptr<EventLog>> Open(Options options);
+
+  /// Stops the drainer after draining everything still buffered.
+  ~EventLog();
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Append one event (non-blocking; drops when the ring is full).
+  void Append(const char* category, const char* name,
+              std::vector<EventField> fields = {});
+
+  /// Block until every event appended before the call has been written
+  /// and the sink flushed.
+  void Flush();
+
+  uint64_t appended() const {
+    return appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t written() const { return written_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the log was opened (the events' time base).
+  int64_t NowUs() const;
+
+ private:
+  explicit EventLog(Options options);
+
+  void DrainLoop();
+  static std::string RenderJsonl(const Event& event);
+
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::unique_ptr<std::ofstream> file_;  ///< set when options_.path used
+  std::ostream* out_ = nullptr;          ///< the active sink
+
+  std::mutex mu_;
+  std::condition_variable cv_;        ///< wakes the drainer
+  std::condition_variable flush_cv_;  ///< wakes Flush waiters
+  std::vector<Event> ring_;           // guarded by mu_; fixed capacity
+  size_t head_ = 0;                   // guarded by mu_; oldest slot
+  size_t count_ = 0;                  // guarded by mu_; occupied slots
+  bool stop_ = false;                 // guarded by mu_
+
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> written_{0};
+
+  std::thread drainer_;  ///< started last, joined in the destructor
+};
+
+/// Emit an error event (no-op on a null log): category "error",
+/// fields {where, code, message}.
+void LogErrorEvent(EventLog* log, const char* where, const Status& status);
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_EVENT_LOG_H_

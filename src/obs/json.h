@@ -1,0 +1,59 @@
+// Minimal JSON string escaping shared by the observability sinks
+// (event-log JSONL lines, Chrome trace-event export, /varz rendering).
+// Full JSON parsing is deliberately out of scope — the library only
+// *emits* JSON, and every consumer (jq, chrome://tracing, Prometheus
+// scrapers) parses it on the other side.
+
+#ifndef RDFDB_OBS_JSON_H_
+#define RDFDB_OBS_JSON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace rdfdb::obs {
+
+/// Append `value` to `out` as a double-quoted JSON string, escaping
+/// quotes, backslashes and control characters.
+inline void AppendJsonString(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+inline std::string JsonString(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  AppendJsonString(value, &out);
+  return out;
+}
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_JSON_H_

@@ -29,6 +29,44 @@ std::vector<uint64_t> DefaultLatencyBucketsNs() {
   return bounds;  // 1µs 4µs 16µs 64µs 256µs ~1ms ~4ms ~16ms ~67ms ~268ms ~1.07s
 }
 
+double QuantileFromBuckets(const std::vector<uint64_t>& bounds,
+                           const std::vector<uint64_t>& counts, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const uint64_t in_bucket = counts[i];
+    if (static_cast<double>(cumulative + in_bucket) < rank ||
+        in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) {
+      // +Inf bucket: no upper bound to interpolate toward — clamp to
+      // the last finite bound (a floor, not an estimate).
+      return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+    }
+    const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+    const double upper = static_cast<double>(bounds[i]);
+    const double into = (rank - static_cast<double>(cumulative)) /
+                        static_cast<double>(in_bucket);
+    return lower + (upper - lower) * into;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+double HistogramQuantile(const Histogram& histogram, double q) {
+  std::vector<uint64_t> counts(histogram.bounds().size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = histogram.BucketCount(i);
+  }
+  return QuantileFromBuckets(histogram.bounds(), counts, q);
+}
+
 Counter* MetricsRegistry::RegisterCounter(const std::string& name,
                                           const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -131,6 +169,10 @@ std::string MetricsRegistry::RenderPrometheus() const {
         out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
         out << name << "_sum " << h.sum() << "\n";
         out << name << "_count " << h.count() << "\n";
+        for (double q : {0.5, 0.95, 0.99}) {
+          out << name << "{quantile=\"" << q << "\"} "
+              << static_cast<uint64_t>(HistogramQuantile(h, q)) << "\n";
+        }
         break;
       }
     }
@@ -168,6 +210,11 @@ std::string MetricsRegistry::RenderJson() const {
         if (!h.bounds().empty()) out << ", ";
         out << "{\"le\": \"+Inf\", \"count\": " << cumulative << "}]";
         out << ", \"sum\": " << h.sum() << ", \"count\": " << h.count();
+        out << ", \"p50\": " << static_cast<uint64_t>(HistogramQuantile(h, 0.5))
+            << ", \"p95\": "
+            << static_cast<uint64_t>(HistogramQuantile(h, 0.95))
+            << ", \"p99\": "
+            << static_cast<uint64_t>(HistogramQuantile(h, 0.99));
         break;
       }
     }

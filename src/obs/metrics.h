@@ -100,6 +100,19 @@ class Histogram {
 /// through a multi-hundred-millisecond bulk load with one series.
 std::vector<uint64_t> DefaultLatencyBucketsNs();
 
+/// Estimate the q-quantile (q in [0, 1]) of a histogram from its
+/// *disjoint* bucket counts (`counts.size() == bounds.size() + 1`, the
+/// layout Histogram stores), linearly interpolating within the landing
+/// bucket. Observations in the +Inf bucket clamp to the last finite
+/// bound (the estimate is a floor there, not a value). Returns 0 when
+/// the histogram is empty. The interval-snapshot machinery calls this
+/// on bucket *deltas* to get per-interval quantiles.
+double QuantileFromBuckets(const std::vector<uint64_t>& bounds,
+                           const std::vector<uint64_t>& counts, double q);
+
+/// Convenience over a live instrument's current counts.
+double HistogramQuantile(const Histogram& histogram, double q);
+
 /// Owns the instruments for one store. Registration hands back a
 /// stable pointer that callers cache (StoreMetrics does exactly this),
 /// so steady-state operation never performs a name lookup.
@@ -107,6 +120,19 @@ std::vector<uint64_t> DefaultLatencyBucketsNs();
 /// existing instrument; a kind mismatch returns nullptr.
 class MetricsRegistry {
  public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// Read-only view of one registered instrument (exactly one of the
+  /// three pointers is non-null, per `kind`). Valid only during ForEach.
+  struct InstrumentView {
+    const std::string* name;
+    const std::string* help;
+    Kind kind;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
@@ -122,15 +148,34 @@ class MetricsRegistry {
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
 
+  /// Visit every instrument in lexicographic name order under the
+  /// registry mutex (the interval-snapshot API is built on this; `fn`
+  /// must not call back into the registry).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : entries_) {
+      InstrumentView view;
+      view.name = &name;
+      view.help = &entry.help;
+      view.kind = entry.kind;
+      view.counter = entry.counter.get();
+      view.gauge = entry.gauge.get();
+      view.histogram = entry.histogram.get();
+      fn(view);
+    }
+  }
+
   /// Prometheus text exposition format (# HELP / # TYPE / samples),
-  /// instruments in lexicographic name order.
+  /// instruments in lexicographic name order. Histograms additionally
+  /// carry summary-style p50/p95/p99 quantile lines estimated from the
+  /// bucket counts.
   std::string RenderPrometheus() const;
   /// One JSON object keyed by metric name; histograms carry
-  /// cumulative buckets plus sum and count.
+  /// cumulative buckets plus sum, count, and p50/p95/p99 estimates.
   std::string RenderJson() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
     Kind kind;
     std::string help;

@@ -1,0 +1,186 @@
+#include "obs/metrics_snapshot.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace rdfdb::obs {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+const MetricsSnapshot::Sample* Find(const MetricsSnapshot& snap,
+                                    const std::string& name) {
+  auto it = snap.samples.find(name);
+  return it == snap.samples.end() ? nullptr : &it->second;
+}
+
+double IntervalSeconds(const MetricsSnapshot& prev,
+                       const MetricsSnapshot& cur) {
+  return static_cast<double>(cur.ts_ns - prev.ts_ns) / 1e9;
+}
+
+/// Per-interval disjoint bucket deltas; empty when shapes mismatch.
+std::vector<uint64_t> BucketDeltas(const MetricsSnapshot::Sample* prev,
+                                   const MetricsSnapshot::Sample& cur) {
+  std::vector<uint64_t> deltas = cur.buckets;
+  if (prev != nullptr && prev->buckets.size() == deltas.size()) {
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      deltas[i] -= prev->buckets[i];
+    }
+  }
+  return deltas;
+}
+
+}  // namespace
+
+int64_t MetricsSnapshot::Counter(const std::string& name) const {
+  const Sample* s = Find(*this, name);
+  return (s != nullptr && s->kind == MetricsRegistry::Kind::kCounter)
+             ? s->value
+             : 0;
+}
+
+int64_t MetricsSnapshot::Gauge(const std::string& name) const {
+  const Sample* s = Find(*this, name);
+  return (s != nullptr && s->kind == MetricsRegistry::Kind::kGauge) ? s->value
+                                                                    : 0;
+}
+
+MetricsSnapshot TakeMetricsSnapshot(const MetricsRegistry& registry) {
+  MetricsSnapshot snap;
+  snap.ts_ns = NowNs();
+  registry.ForEach([&snap](const MetricsRegistry::InstrumentView& view) {
+    MetricsSnapshot::Sample sample;
+    sample.kind = view.kind;
+    switch (view.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        sample.value = static_cast<int64_t>(view.counter->Value());
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        sample.value = view.gauge->Value();
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const Histogram& h = *view.histogram;
+        sample.count = h.count();
+        sample.sum = h.sum();
+        sample.bounds = h.bounds();
+        sample.buckets.resize(h.bounds().size() + 1);
+        for (size_t i = 0; i < sample.buckets.size(); ++i) {
+          sample.buckets[i] = h.BucketCount(i);
+        }
+        break;
+      }
+    }
+    snap.samples.emplace(*view.name, std::move(sample));
+  });
+  return snap;
+}
+
+double CounterRate(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
+                   const std::string& name) {
+  const double seconds = IntervalSeconds(prev, cur);
+  if (seconds <= 0.0) return 0.0;
+  const int64_t delta = cur.Counter(name) - prev.Counter(name);
+  return delta <= 0 ? 0.0 : static_cast<double>(delta) / seconds;
+}
+
+double IntervalQuantile(const MetricsSnapshot& prev,
+                        const MetricsSnapshot& cur, const std::string& name,
+                        double q) {
+  const MetricsSnapshot::Sample* c = Find(cur, name);
+  if (c == nullptr || c->kind != MetricsRegistry::Kind::kHistogram) return 0.0;
+  return QuantileFromBuckets(c->bounds, BucketDeltas(Find(prev, name), *c), q);
+}
+
+uint64_t IntervalCount(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
+                       const std::string& name) {
+  const MetricsSnapshot::Sample* c = Find(cur, name);
+  if (c == nullptr || c->kind != MetricsRegistry::Kind::kHistogram) return 0;
+  const MetricsSnapshot::Sample* p = Find(prev, name);
+  const uint64_t before = p == nullptr ? 0 : p->count;
+  return c->count >= before ? c->count - before : 0;
+}
+
+std::string RenderIntervalText(const MetricsSnapshot& prev,
+                               const MetricsSnapshot& cur) {
+  const double seconds = IntervalSeconds(prev, cur);
+  std::ostringstream out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "interval %.2fs\n",
+                seconds > 0.0 ? seconds : 0.0);
+  out << buf;
+  for (const auto& [name, sample] : cur.samples) {
+    switch (sample.kind) {
+      case MetricsRegistry::Kind::kCounter: {
+        const int64_t delta = sample.value - prev.Counter(name);
+        if (delta <= 0) break;
+        std::snprintf(buf, sizeof(buf), "  %-44s +%lld (%.1f/s)\n",
+                      name.c_str(), static_cast<long long>(delta),
+                      seconds > 0.0 ? static_cast<double>(delta) / seconds
+                                    : 0.0);
+        out << buf;
+        break;
+      }
+      case MetricsRegistry::Kind::kGauge:
+        if (sample.value == 0) break;
+        std::snprintf(buf, sizeof(buf), "  %-44s %lld\n", name.c_str(),
+                      static_cast<long long>(sample.value));
+        out << buf;
+        break;
+      case MetricsRegistry::Kind::kHistogram: {
+        const uint64_t n = IntervalCount(prev, cur, name);
+        if (n == 0) break;
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %-44s n=%llu p50=%.0f p95=%.0f p99=%.0f\n", name.c_str(),
+            static_cast<unsigned long long>(n),
+            IntervalQuantile(prev, cur, name, 0.5),
+            IntervalQuantile(prev, cur, name, 0.95),
+            IntervalQuantile(prev, cur, name, 0.99));
+        out << buf;
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string RenderVarzJson(const MetricsRegistry& registry,
+                           const MetricsSnapshot& prev,
+                           const MetricsSnapshot& cur, double uptime_seconds,
+                           const std::string& extra_json) {
+  std::ostringstream out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "{\"uptime_seconds\": %.3f",
+                uptime_seconds);
+  out << buf;
+  std::snprintf(buf, sizeof(buf), ",\n \"interval_seconds\": %.3f",
+                IntervalSeconds(prev, cur));
+  out << buf;
+  out << ",\n \"rates\": {";
+  bool first = true;
+  for (const auto& [name, sample] : cur.samples) {
+    if (sample.kind != MetricsRegistry::Kind::kCounter) continue;
+    const double rate = CounterRate(prev, cur, name);
+    if (rate <= 0.0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\n  " << JsonString(name) << ": ";
+    std::snprintf(buf, sizeof(buf), "%.2f", rate);
+    out << buf;
+  }
+  out << (first ? "}" : "\n }");
+  if (!extra_json.empty()) out << extra_json;
+  out << ",\n \"metrics\": " << registry.RenderJson() << "}\n";
+  return out.str();
+}
+
+}  // namespace rdfdb::obs

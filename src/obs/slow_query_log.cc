@@ -1,0 +1,82 @@
+#include "obs/slow_query_log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace rdfdb::obs {
+
+SlowQueryLog::SlowQueryLog(int64_t threshold_ns, size_t capacity)
+    : threshold_ns_(threshold_ns),
+      capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void SlowQueryLog::Record(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = captured_++;
+  entry.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count();
+  if (entries_.size() == capacity_) entries_.pop_front();
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
+uint64_t SlowQueryLog::captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return captured_;
+}
+
+std::string SlowQueryLog::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "slow query log: " << captured_ << " captured over "
+      << static_cast<double>(threshold_ns_) / 1e6 << " ms, "
+      << entries_.size() << " retained\n";
+  for (const Entry& entry : entries_) {
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "#%llu +%.3fs %.2fms %zu row(s) [%s] ",
+                  static_cast<unsigned long long>(entry.id),
+                  static_cast<double>(entry.ts_us) / 1e6,
+                  static_cast<double>(entry.total_ns) / 1e6, entry.rows,
+                  entry.models.c_str());
+    out << head << entry.query << "\n";
+    // Indent the trace under its header line.
+    std::istringstream trace(entry.trace.ToString());
+    std::string line;
+    while (std::getline(trace, line)) out << "    " << line << "\n";
+  }
+  return out.str();
+}
+
+std::string SlowQueryLog::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "[";
+  bool first = true;
+  for (const Entry& entry : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"id\": " + std::to_string(entry.id) +
+           ", \"ts_us\": " + std::to_string(entry.ts_us) + ", \"query\": ";
+    AppendJsonString(entry.query, &out);
+    out += ", \"models\": ";
+    AppendJsonString(entry.models, &out);
+    out += ", \"rows\": " + std::to_string(entry.rows) +
+           ", \"total_ns\": " + std::to_string(entry.total_ns) +
+           ", \"exec_ns\": " + std::to_string(entry.trace.exec_ns) +
+           ", \"plan_ns\": " + std::to_string(entry.trace.plan_ns) +
+           ", \"threads\": " + std::to_string(entry.trace.exec_threads) +
+           "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace rdfdb::obs

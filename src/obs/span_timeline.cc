@@ -1,0 +1,78 @@
+#include "obs/span_timeline.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace rdfdb::obs {
+
+Timeline::Timeline(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t Timeline::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Timeline::Record(SpanEvent span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanEvent> Timeline::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Timeline::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+uint64_t Timeline::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Timeline::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+std::string Timeline::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  for (const SpanEvent& span : spans_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n {\"name\":";
+    AppendJsonString(span.name, &out);
+    out += ",\"cat\":";
+    AppendJsonString(span.category, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                  "\"dur\":%.3f",
+                  span.lane, static_cast<double>(span.start_ns) / 1e3,
+                  static_cast<double>(span.dur_ns) / 1e3);
+    out += buf;
+    if (!span.detail.empty()) {
+      out += ",\"args\":{\"detail\":";
+      AppendJsonString(span.detail, &out);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace rdfdb::obs

@@ -1,0 +1,99 @@
+// Span timeline: named wall-time intervals from the parallel pipelines
+// (bulk-load parse workers, ExecuteParallel join workers, inference
+// rounds, snapshot tables, redo replay), exportable as Chrome
+// trace-event JSON for chrome://tracing / Perfetto — the visual answer
+// to "which worker is the straggler?".
+//
+// Spans carry a *lane* id (0 = the calling/consumer thread, 1..N =
+// pipeline worker index) rather than an OS thread id, so two runs with
+// the same skew produce the same picture regardless of thread-pool
+// scheduling. Recording is a mutex push into a bounded vector — spans
+// are chunk-/phase-grained, never per row — and a null Timeline pointer
+// keeps every site to a single branch (see DESIGN.md §10).
+
+#ifndef RDFDB_OBS_SPAN_TIMELINE_H_
+#define RDFDB_OBS_SPAN_TIMELINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rdfdb::obs {
+
+struct SpanEvent {
+  const char* name = "";      ///< static span name ("chunk_parse", ...)
+  const char* category = "";  ///< subsystem ("bulkload", "exec", ...)
+  uint32_t lane = 0;          ///< 0 = caller/consumer, 1..N = worker
+  int64_t start_ns = 0;       ///< ns since the timeline's epoch
+  int64_t dur_ns = 0;
+  std::string detail;         ///< optional args payload (chunk index...)
+};
+
+class Timeline {
+ public:
+  /// `capacity` bounds retained spans; once full, new spans are counted
+  /// as dropped (the prefix of a run is the interesting part when a
+  /// capture overflows).
+  explicit Timeline(size_t capacity = 1 << 16);
+
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  /// Nanoseconds since the timeline was created (span time base).
+  int64_t NowNs() const;
+
+  /// Record a completed span. Thread-safe.
+  void Record(SpanEvent span);
+
+  /// Snapshot of the recorded spans in record order. Thread-safe.
+  std::vector<SpanEvent> Spans() const;
+
+  size_t size() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in µs; lanes
+  /// map to tids under one pid). Load via chrome://tracing or Perfetto.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> spans_;  // guarded by mu_
+  uint64_t dropped_ = 0;          // guarded by mu_
+
+};
+
+/// RAII span: records [construction, destruction) into `timeline`
+/// (nullptr = single-branch no-op).
+class TimelineScope {
+ public:
+  TimelineScope(Timeline* timeline, const char* name, const char* category,
+                uint32_t lane = 0, std::string detail = "")
+      : timeline_(timeline) {
+    if (timeline_ == nullptr) return;
+    span_.name = name;
+    span_.category = category;
+    span_.lane = lane;
+    span_.detail = std::move(detail);
+    span_.start_ns = timeline_->NowNs();
+  }
+  TimelineScope(const TimelineScope&) = delete;
+  TimelineScope& operator=(const TimelineScope&) = delete;
+  ~TimelineScope() {
+    if (timeline_ == nullptr) return;
+    span_.dur_ns = timeline_->NowNs() - span_.start_ns;
+    timeline_->Record(std::move(span_));
+  }
+
+ private:
+  Timeline* timeline_;
+  SpanEvent span_;
+};
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_SPAN_TIMELINE_H_

@@ -1,0 +1,218 @@
+#include "obs/stats_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/event_log.h"
+#include "obs/slow_query_log.h"
+#include "obs/span_timeline.h"
+
+namespace rdfdb::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+StatsServer::StatsServer(Sources sources)
+    : sources_(sources), started_(std::chrono::steady_clock::now()) {}
+
+StatsServer::~StatsServer() {
+  Stop();
+}
+
+Status StatsServer::Start(uint16_t port) {
+  if (sources_.registry == nullptr) {
+    return Status::InvalidArgument("StatsServer requires a MetricsRegistry");
+  }
+  if (listen_fd_ >= 0) {
+    return Status::InvalidArgument("StatsServer already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  listen_fd_ = fd;
+  stopping_.store(false, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+bool StatsServer::ServeOne() {
+  if (listen_fd_ < 0) return false;
+  const int conn = ::accept(listen_fd_, nullptr, nullptr);
+  if (conn < 0) return false;
+  if (stopping_.load(std::memory_order_relaxed)) {
+    ::close(conn);
+    return false;
+  }
+
+  // Read the request head (first line is all we route on).
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  Response resp;
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  if (line.compare(0, 4, "GET ") != 0) {
+    resp.status = 405;
+    resp.content_type = "text/plain; charset=utf-8";
+    resp.body = "method not allowed\n";
+  } else {
+    const size_t path_end = line.find(' ', 4);
+    std::string path = line.substr(
+        4, path_end == std::string::npos ? std::string::npos : path_end - 4);
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+    resp = Handle(path);
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  SendAll(conn, out);
+  ::shutdown(conn, SHUT_RDWR);
+  ::close(conn);
+  return !stopping_.load(std::memory_order_relaxed);
+}
+
+void StatsServer::ServeForever() {
+  while (ServeOne()) {
+  }
+}
+
+void StatsServer::Stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+StatsServer::Response StatsServer::Handle(const std::string& path) {
+  Response resp;
+  if (path == "/healthz") {
+    resp.content_type = "text/plain; charset=utf-8";
+    resp.body = "ok\n";
+    return resp;
+  }
+  if (path == "/metrics") {
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = sources_.registry->RenderPrometheus();
+    return resp;
+  }
+  if (path == "/varz" || path == "/") {
+    const double uptime =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - started_)
+            .count();
+    std::string extra;
+    if (sources_.events != nullptr) {
+      extra += ",\n \"events_appended\": " +
+               std::to_string(sources_.events->appended());
+      extra += ",\n \"events_dropped\": " +
+               std::to_string(sources_.events->dropped());
+    }
+    if (sources_.slow_queries != nullptr) {
+      extra += ",\n \"slow_queries_captured\": " +
+               std::to_string(sources_.slow_queries->captured());
+    }
+    if (sources_.timeline != nullptr) {
+      extra += ",\n \"timeline_spans\": " +
+               std::to_string(sources_.timeline->size());
+    }
+    const MetricsSnapshot cur = TakeMetricsSnapshot(*sources_.registry);
+    MetricsSnapshot prev;
+    {
+      std::lock_guard<std::mutex> lock(varz_mu_);
+      prev = have_prev_ ? prev_snapshot_ : cur;
+      prev_snapshot_ = cur;
+      have_prev_ = true;
+    }
+    resp.content_type = "application/json";
+    resp.body = RenderVarzJson(*sources_.registry, prev, cur, uptime, extra);
+    return resp;
+  }
+  if (path == "/slow" && sources_.slow_queries != nullptr) {
+    resp.content_type = "application/json";
+    resp.body = sources_.slow_queries->ToJson();
+    return resp;
+  }
+  if (path == "/timeline" && sources_.timeline != nullptr) {
+    resp.content_type = "application/json";
+    resp.body = sources_.timeline->ToChromeTraceJson();
+    return resp;
+  }
+  resp.status = 404;
+  resp.content_type = "text/plain; charset=utf-8";
+  resp.body = "not found: " + path +
+              "\nendpoints: /metrics /varz /healthz /slow /timeline\n";
+  return resp;
+}
+
+}  // namespace rdfdb::obs

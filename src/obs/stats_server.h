@@ -1,0 +1,92 @@
+// Embedded stats endpoint: a deliberately small, blocking TCP HTTP/1.1
+// server bound to 127.0.0.1 that exposes the observability surfaces of
+// one store:
+//
+//   GET /metrics   Prometheus text exposition (scrape target)
+//   GET /varz      JSON: uptime, per-interval counter rates, full
+//                  registry dump (+ optional extra members)
+//   GET /healthz   "ok\n"
+//   GET /slow      slow-query log, JSON (404 when not attached)
+//   GET /timeline  Chrome trace-event JSON (404 when not attached)
+//
+// One request per connection, response closes the socket — the server
+// is an operator peephole, not a web framework. `Handle()` is public so
+// tests (and the in-process tools) can exercise routing without
+// sockets.
+
+#ifndef RDFDB_OBS_STATS_SERVER_H_
+#define RDFDB_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/metrics_snapshot.h"
+
+namespace rdfdb::obs {
+
+class SlowQueryLog;
+class Timeline;
+class EventLog;
+
+class StatsServer {
+ public:
+  /// Data sources; only `registry` is required. All pointers are
+  /// non-owning and must outlive the server.
+  struct Sources {
+    const MetricsRegistry* registry = nullptr;
+    const SlowQueryLog* slow_queries = nullptr;
+    const Timeline* timeline = nullptr;
+    const EventLog* events = nullptr;
+  };
+
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+
+  explicit StatsServer(Sources sources);
+  ~StatsServer();
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Bind + listen on 127.0.0.1:`port` (0 = ephemeral; see port()).
+  Status Start(uint16_t port);
+
+  /// Port actually bound (after Start); 0 before.
+  uint16_t port() const { return port_; }
+
+  /// Accept and serve exactly one connection. Returns false when the
+  /// listener was shut down (Stop) or accept failed.
+  bool ServeOne();
+
+  /// ServeOne until Stop().
+  void ServeForever();
+
+  /// Shut down the listener; unblocks a pending accept.
+  void Stop();
+
+  /// Route a request path to a response (no sockets involved).
+  Response Handle(const std::string& path);
+
+ private:
+  Sources sources_;
+  const std::chrono::steady_clock::time_point started_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex varz_mu_;               ///< guards the /varz interval state
+  MetricsSnapshot prev_snapshot_;    ///< previous /varz scrape
+  bool have_prev_ = false;
+};
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_STATS_SERVER_H_

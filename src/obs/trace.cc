@@ -43,6 +43,11 @@ std::string QueryTrace::ToString() const {
   if (exec_threads > 1) {
     out << "  parallel: " << exec_threads << " thread(s), " << exec_chunks
         << " chunk(s)\n";
+    for (const ExecWorkerTrace& w : exec_workers) {
+      out << "    worker " << w.worker << ": chunks=" << w.chunks
+          << " rows=" << w.rows_emitted << " busy_us=" << Us(w.busy_ns)
+          << "\n";
+    }
   }
   out << "  stages (us): parse=" << Us(parse_ns) << " plan=" << Us(plan_ns)
       << " infer=" << Us(infer_ns) << " exec=" << Us(exec_ns)

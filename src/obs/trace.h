@@ -17,6 +17,17 @@
 
 namespace rdfdb::obs {
 
+/// Per-worker activity of one ExecuteParallel run. Accumulated on the
+/// consumer thread from per-chunk results; chunk-to-worker assignment
+/// is scheduling-dependent, but the totals across workers equal the
+/// chunk-ordered (deterministic) counters.
+struct ExecWorkerTrace {
+  size_t worker = 0;        ///< 1-based worker index (lane id)
+  size_t chunks = 0;        ///< outer-frame chunks this worker joined
+  size_t rows_emitted = 0;  ///< rows produced across those chunks
+  int64_t busy_ns = 0;      ///< wall time spent inside chunk joins
+};
+
 /// One executed triple pattern (one join step), in execution order.
 struct PatternTrace {
   size_t pattern_index = 0;  ///< position of the pattern as written
@@ -57,6 +68,7 @@ struct QueryTrace {
   // more than its sequential twin (whole chunks run to completion).
   size_t exec_threads = 1;  ///< worker threads the join executor used
   size_t exec_chunks = 0;   ///< outer-frame chunks dispatched (parallel)
+  std::vector<ExecWorkerTrace> exec_workers;  ///< one entry per worker
 
   // Stage wall times (ns). exec_ns covers the join loop including
   // filtering and emission, so resolve_ns overlaps it.

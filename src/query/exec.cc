@@ -289,7 +289,7 @@ Status ExecuteSequential(const RdfStore& store, const CompiledPlan& plan,
 Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
                        const TripleSource& source, const SlotRowFn& fn,
                        unsigned threads, size_t chunk_frames,
-                       obs::QueryTrace* trace) {
+                       obs::QueryTrace* trace, obs::Timeline* timeline) {
   const size_t nslots = plan.slot_count();
   const size_t last = plan.steps.size() - 1;
   const rdf::LinkStore::LeafScan leaf = LeafFor(source);
@@ -299,6 +299,7 @@ Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
   std::vector<ValueId> frames;
   size_t frame_count = 0;
   {
+    obs::TimelineScope outer_span(timeline, "outer_scan", "exec", /*lane=*/0);
     std::vector<ValueId> slots(std::max<size_t>(nslots, 1), 0);
     StepRunner outer(store, plan, source, leaf, &counters, nullptr);
     Status status = outer.Run(0, 0, slots.data(), [&](const ValueId* s) {
@@ -326,11 +327,17 @@ Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
     size_t count = 0;  ///< solution frames (solutions.size() / nslots,
                        ///< tracked separately so nslots == 0 still works)
     ExecCounters counters;
+    unsigned worker = 0;   ///< 1-based lane that joined this chunk
+    int64_t busy_ns = 0;   ///< wall time of the chunk join
   };
   std::atomic<bool> cancel{false};
 
-  auto produce = [&](size_t k) -> Result<ChunkOut> {
-    ChunkOut out{{}, 0, ExecCounters(plan.steps.size())};
+  auto produce = [&](size_t k, unsigned worker) -> Result<ChunkOut> {
+    obs::TimelineScope chunk_span(
+        timeline, "chunk_join", "exec", worker,
+        timeline != nullptr ? "chunk=" + std::to_string(k) : std::string());
+    Timer busy_timer;
+    ChunkOut out{{}, 0, ExecCounters(plan.steps.size()), worker, 0};
     std::vector<ValueId> slots(std::max<size_t>(nslots, 1), 0);
     StepRunner runner(store, plan, source, leaf, &out.counters, &cancel);
     const size_t begin = k * per_chunk;
@@ -348,29 +355,48 @@ Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
           });
       if (!status.ok()) return status;
     }
+    out.busy_ns = busy_timer.ElapsedNanos();
     return out;
   };
+
+  // Per-worker accumulators, merged on the consumer thread only.
+  std::vector<obs::ExecWorkerTrace> worker_acc(std::max<unsigned>(workers, 1));
 
   // Consume: merge a chunk's counters, then emit its rows in order.
   // Returns false to stop the whole run.
   auto consume = [&](ChunkOut&& chunk) {
     counters.MergeFrom(chunk.counters);
+    if (chunk.worker >= 1 && chunk.worker <= worker_acc.size()) {
+      obs::ExecWorkerTrace& w = worker_acc[chunk.worker - 1];
+      w.worker = chunk.worker;
+      ++w.chunks;
+      w.rows_emitted += chunk.count;
+      w.busy_ns += chunk.busy_ns;
+    }
     for (size_t f = 0; f < chunk.count; ++f) {
       if (!fn(chunk.solutions.data() + f * nslots)) return false;
     }
     return true;
   };
 
+  auto flush_workers = [&] {
+    if (trace == nullptr) return;
+    for (const obs::ExecWorkerTrace& w : worker_acc) {
+      if (w.chunks > 0) trace->exec_workers.push_back(w);
+    }
+  };
+
   Status status = Status::OK();
   if (workers <= 1 || chunk_count <= 1) {
     for (size_t k = 0; k < chunk_count; ++k) {
-      Result<ChunkOut> chunk = produce(k);
+      Result<ChunkOut> chunk = produce(k, /*worker=*/1);
       if (!chunk.ok()) {
         status = chunk.status();
         break;
       }
       if (!consume(std::move(*chunk))) break;
     }
+    flush_workers();
     FlushCounters(trace, plan, counters);
     return status;
   }
@@ -389,7 +415,7 @@ Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, w] {
       for (;;) {
         size_t k = next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (k >= chunk_count) return;
@@ -398,7 +424,7 @@ Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
           cv.wait(lock, [&] { return cancelled || k < consumed + window; });
           if (cancelled) return;
         }
-        Result<ChunkOut> result = produce(k);
+        Result<ChunkOut> result = produce(k, w + 1);
         {
           std::lock_guard<std::mutex> lock(mu);
           slots_q[k] = std::move(result);
@@ -434,6 +460,7 @@ Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
   cv.notify_all();
   for (std::thread& t : pool) t.join();
 
+  flush_workers();
   FlushCounters(trace, plan, counters);
   return status;
 }
@@ -662,7 +689,7 @@ Status ExecutePlan(const RdfStore& store, const CompiledPlan& plan,
   const unsigned threads = EffectiveThreads(options.threads);
   if (threads > 1 && plan.steps.size() >= 2) {
     return ExecuteParallel(store, plan, source, fn, threads,
-                           options.chunk_frames, trace);
+                           options.chunk_frames, trace, options.timeline);
   }
   return ExecuteSequential(store, plan, source, fn, trace);
 }

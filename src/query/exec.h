@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/span_timeline.h"
 #include "obs/trace.h"
 #include "query/filter.h"
 #include "query/sparql_pattern.h"
@@ -137,6 +138,11 @@ struct ExecOptions {
   /// accumulate here (entries appended by CompilePatterns). Null keeps
   /// every instrumentation site to a single branch.
   obs::QueryTrace* trace = nullptr;
+
+  /// Span timeline for the parallel executor: the phase-A outer scan
+  /// (lane 0) and each chunk join (worker lanes) record one span. Null
+  /// keeps every site to a single branch.
+  obs::Timeline* timeline = nullptr;
 };
 
 /// Row callback: `slots` holds slot_count() bound VALUE_IDs, valid only

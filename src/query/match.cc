@@ -70,9 +70,18 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
                                 const std::string& filter,
                                 const MatchOptions& options) {
   obs::QueryTrace* trace = options.trace;
+  // Slow-query capture: when a log is attached and the caller didn't
+  // ask for a trace, trace into a stack frame — fast queries then pay
+  // only the tracing counters; the lock/copy happens solely for queries
+  // that cross the threshold (below).
+  obs::SlowQueryLog* slow_log = store->slow_query_log();
+  obs::QueryTrace local_trace;
+  if (trace == nullptr && slow_log != nullptr) trace = &local_trace;
   if (trace != nullptr) *trace = obs::QueryTrace{};
   Timer total_timer;
   obs::StoreMetrics* metrics = store->metrics();
+  obs::TimelineScope query_span(store->timeline(), "query", "query",
+                                /*lane=*/0);
 
   if (model_names.empty()) {
     return Status::InvalidArgument("SDO_RDF_MATCH needs at least one model");
@@ -226,6 +235,7 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
       exec_options.threads = options.threads;
       exec_options.chunk_frames = options.chunk_frames;
       exec_options.trace = trace;
+      exec_options.timeline = store->timeline();
       status = ExecutePlan(
           *store, plan, source,
           [&](const rdf::ValueId* slots) {
@@ -246,6 +256,19 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
     metrics->queries->Inc();
     metrics->query_rows->Inc(rows.size());
     metrics->query_ns->Observe(total_timer.ElapsedNanos());
+  }
+  if (slow_log != nullptr && trace != nullptr &&
+      trace->total_ns >= slow_log->threshold_ns()) {
+    obs::SlowQueryLog::Entry entry;
+    entry.query = query;
+    for (size_t i = 0; i < model_names.size(); ++i) {
+      if (i > 0) entry.models += ",";
+      entry.models += model_names[i];
+    }
+    entry.rows = rows.size();
+    entry.total_ns = trace->total_ns;
+    entry.trace = *trace;
+    slow_log->Record(std::move(entry));
   }
   return result;
 }

@@ -427,9 +427,16 @@ Result<TripleSet> ComputeEntailment(
   TripleSet inferred;
   size_t rounds = 0;
   bool changed = true;
+  obs::Timeline* timeline = store->timeline();
   while (changed) {
     changed = false;
     ++rounds;
+    // One span per fixpoint round on lane 0 — the trace export shows
+    // the convergence shape (rounds shrink as fewer triples are new).
+    obs::TimelineScope round_span(
+        timeline, "entailment_round", "infer", /*lane=*/0,
+        timeline != nullptr ? "round=" + std::to_string(rounds)
+                            : std::string());
     UnionSource all({&base, &inferred});
     std::vector<IdTriple> pending;
 

@@ -94,6 +94,13 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
                     ValueStore::InternCache* cache, ApplicationTable* table,
                     int64_t* next_app_id, BulkLoadStats* stats) {
   obs::StoreMetrics* metrics = store->metrics();
+  obs::Timeline* timeline = store->timeline();
+  // Lane 0 = the consumer (calling) thread; parse spans sit on worker
+  // lanes, so the export shows hand-off skew directly.
+  obs::TimelineScope consume_span(
+      timeline, "chunk_consume", "bulkload", /*lane=*/0,
+      timeline != nullptr ? "chunk=" + std::to_string(stats->chunks)
+                          : std::string());
   std::vector<const Term*> terms;
   terms.reserve(prepared.size() * 4);
   for (const PreparedTriple& pt : prepared) {
@@ -132,10 +139,12 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
   metrics->bulkload_chunks->Inc();
   metrics->bulkload_statements->Inc(outcomes.size());
 
+  size_t chunk_new_links = 0;
   for (const LinkInsertOutcome& outcome : outcomes) {
     ++stats->statements;
     if (outcome.inserted) {
       ++stats->new_links;
+      ++chunk_new_links;
     } else {
       ++stats->reused_links;
     }
@@ -147,12 +156,24 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
       ++stats->app_rows;
     }
   }
+  if (obs::EventLog* elog = store->event_log()) {
+    elog->Append(
+        "bulkload", "chunk",
+        {obs::EventField::Num("chunk",
+                              static_cast<int64_t>(stats->chunks - 1)),
+         obs::EventField::Num("statements",
+                              static_cast<int64_t>(outcomes.size())),
+         obs::EventField::Num("new_links",
+                              static_cast<int64_t>(chunk_new_links))});
+  }
   return Status::OK();
 }
 
-/// Run `produce(k)` for chunk indices [0, chunk_count) on worker
-/// threads and feed each result to `consume` strictly in index order on
-/// the calling thread. Workers observe a bounded window ahead of the
+/// Run `produce(k, worker)` for chunk indices [0, chunk_count) on
+/// worker threads and feed each result to `consume` strictly in index
+/// order on the calling thread. `worker` is the 1-based index of the
+/// pool thread running the call (0 when everything runs inline) — the
+/// span-timeline lane id. Workers observe a bounded window ahead of the
 /// consumer so a fast parser cannot buffer the whole input. With one
 /// thread (or one chunk) everything runs inline. `max_depth` (optional)
 /// receives the high-water mark of produced-but-unconsumed chunks —
@@ -164,7 +185,7 @@ Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
   if (threads <= 1 || chunk_count <= 1) {
     if (max_depth != nullptr) *max_depth = chunk_count > 0 ? 1 : 0;
     for (size_t k = 0; k < chunk_count; ++k) {
-      Result<PreparedChunk> chunk = produce(k);
+      Result<PreparedChunk> chunk = produce(k, /*worker=*/0u);
       RDFDB_RETURN_NOT_OK(chunk.status());
       RDFDB_RETURN_NOT_OK(consume(std::move(*chunk)));
     }
@@ -186,7 +207,7 @@ Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
+    pool.emplace_back([&, w] {
       for (;;) {
         size_t k = next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (k >= chunk_count) return;
@@ -195,7 +216,7 @@ Status RunOrderedPipeline(size_t chunk_count, unsigned threads,
           cv.wait(lock, [&] { return cancelled || k < consumed + window; });
           if (cancelled) return;
         }
-        Result<PreparedChunk> result = produce(k);
+        Result<PreparedChunk> result = produce(k, w + 1);
         {
           std::lock_guard<std::mutex> lock(mu);
           slots[k] = std::move(result);
@@ -301,9 +322,15 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
   std::atomic<int64_t> parse_ns{0};
   obs::StoreMetrics* metrics = store->metrics();
 
-  RDFDB_RETURN_NOT_OK(RunOrderedPipeline(
+  obs::Timeline* timeline = store->timeline();
+
+  Status status = RunOrderedPipeline(
       chunk_count, EffectiveThreads(options),
-      [&](size_t k) -> Result<PreparedChunk> {
+      [&](size_t k, unsigned worker) -> Result<PreparedChunk> {
+        obs::TimelineScope parse_span(
+            timeline, "chunk_prepare", "bulkload", worker,
+            timeline != nullptr ? "chunk=" + std::to_string(k)
+                                : std::string());
         Timer chunk_timer;
         const size_t begin = k * batch;
         const size_t end = std::min(statements.size(), begin + batch);
@@ -322,11 +349,26 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
         return ProcessChunk(store, model_id, chunk.prepared, &cache, table,
                             &next_app_id, &stats);
       },
-      &stats.max_queue_depth));
+      &stats.max_queue_depth);
+  if (!status.ok()) {
+    obs::LogErrorEvent(store->event_log(), "BulkLoad", status);
+    return status;
+  }
   stats.parse_ns = parse_ns.load(std::memory_order_relaxed);
   stats.total_ns = total.ElapsedNanos();
   metrics->bulkload_queue_depth->SetMax(
       static_cast<int64_t>(stats.max_queue_depth));
+  if (obs::EventLog* elog = store->event_log()) {
+    elog->Append(
+        "bulkload", "done",
+        {obs::EventField::Str("model", model_name),
+         obs::EventField::Num("statements",
+                              static_cast<int64_t>(stats.statements)),
+         obs::EventField::Num("new_links",
+                              static_cast<int64_t>(stats.new_links)),
+         obs::EventField::Num("chunks", static_cast<int64_t>(stats.chunks)),
+         obs::EventField::Num("elapsed_us", stats.total_ns / 1000)});
+  }
   return stats;
 }
 
@@ -354,9 +396,15 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
   std::atomic<int64_t> parse_ns{0};
   obs::StoreMetrics* metrics = store->metrics();
 
-  RDFDB_RETURN_NOT_OK(RunOrderedPipeline(
+  obs::Timeline* timeline = store->timeline();
+
+  Status status = RunOrderedPipeline(
       specs.size(), EffectiveThreads(options),
-      [&](size_t k) -> Result<PreparedChunk> {
+      [&](size_t k, unsigned worker) -> Result<PreparedChunk> {
+        obs::TimelineScope parse_span(
+            timeline, "chunk_parse", "bulkload", worker,
+            timeline != nullptr ? "chunk=" + std::to_string(k)
+                                : std::string());
         Timer chunk_timer;
         const NTriplesChunkSpec& spec = specs[k];
         PreparedChunk chunk;
@@ -376,11 +424,27 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
         return ProcessChunk(store, model_id, chunk.prepared, &cache, table,
                             &next_app_id, &stats);
       },
-      &stats.max_queue_depth));
+      &stats.max_queue_depth);
+  if (!status.ok()) {
+    obs::LogErrorEvent(store->event_log(), "BulkLoadFile", status);
+    return status;
+  }
   stats.parse_ns = parse_ns.load(std::memory_order_relaxed);
   stats.total_ns = total.ElapsedNanos();
   metrics->bulkload_queue_depth->SetMax(
       static_cast<int64_t>(stats.max_queue_depth));
+  if (obs::EventLog* elog = store->event_log()) {
+    elog->Append(
+        "bulkload", "done",
+        {obs::EventField::Str("model", model_name),
+         obs::EventField::Str("path", path),
+         obs::EventField::Num("statements",
+                              static_cast<int64_t>(stats.statements)),
+         obs::EventField::Num("new_links",
+                              static_cast<int64_t>(stats.new_links)),
+         obs::EventField::Num("chunks", static_cast<int64_t>(stats.chunks)),
+         obs::EventField::Num("elapsed_us", stats.total_ns / 1000)});
+  }
   return stats;
 }
 

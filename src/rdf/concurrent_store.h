@@ -161,6 +161,24 @@ class ConcurrentRdfStore {
     return store_.metrics_registry().RenderJson();
   }
 
+  /// Attach the always-on facilities under the exclusive lock (any null
+  /// pointer detaches that facility). The objects must outlive the
+  /// store while attached.
+  void SetObservability(obs::EventLog* event_log,
+                        obs::SlowQueryLog* slow_query_log,
+                        obs::Timeline* timeline) {
+    std::unique_lock lock(mutex_);
+    store_.set_event_log(event_log);
+    store_.set_slow_query_log(slow_query_log);
+    store_.set_timeline(timeline);
+  }
+
+  /// The registry backing this store's instruments (instrument reads
+  /// are relaxed atomics; no lock needed to scrape).
+  obs::MetricsRegistry& metrics_registry() const {
+    return store_.metrics_registry();
+  }
+
   // ---- Escape hatches ----------------------------------------------------
 
   /// Run `fn` with shared (read) access to the underlying store.

@@ -23,21 +23,69 @@ RdfStore::RdfStore()
   models_ = std::make_unique<ModelStore>(db_.get());
 }
 
-RdfStore::~RdfStore() = default;
+RdfStore::~RdfStore() {
+  if (event_log_ != nullptr) {
+    event_log_->Append(
+        "store", "close",
+        {obs::EventField::Num("links",
+                              static_cast<int64_t>(network_->link_count())),
+         obs::EventField::Num("nodes",
+                              static_cast<int64_t>(network_->node_count()))});
+  }
+}
+
+void RdfStore::set_event_log(obs::EventLog* log) {
+  event_log_ = log;
+  if (event_log_ != nullptr) {
+    // Lifecycle marker: the counts let a log reader anchor every later
+    // event against the store state at attach time.
+    event_log_->Append(
+        "store", "attach",
+        {obs::EventField::Num("links",
+                              static_cast<int64_t>(network_->link_count())),
+         obs::EventField::Num("nodes",
+                              static_cast<int64_t>(network_->node_count())),
+         obs::EventField::Num("models",
+                              static_cast<int64_t>(ModelNames().size()))});
+  }
+}
 
 Result<ModelInfo> RdfStore::CreateRdfModel(const std::string& model_name,
                                            const std::string& app_table,
                                            const std::string& app_column,
                                            const std::string& owner) {
   // MODEL_ID column position in rdf_link$ is 9 (see link_store.cc).
-  return models_->CreateModel(model_name, app_table, app_column, owner,
-                              &links_->table(), /*model_column=*/9);
+  Result<ModelInfo> info =
+      models_->CreateModel(model_name, app_table, app_column, owner,
+                           &links_->table(), /*model_column=*/9);
+  if (event_log_ != nullptr) {
+    if (info.ok()) {
+      event_log_->Append(
+          "model", "create",
+          {obs::EventField::Str("model", model_name),
+           obs::EventField::Num("model_id", info->model_id),
+           obs::EventField::Str("app_table", app_table)});
+    } else {
+      obs::LogErrorEvent(event_log_, "CreateRdfModel", info.status());
+    }
+  }
+  return info;
 }
 
 Status RdfStore::DropRdfModel(const std::string& model_name) {
   RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
   RDFDB_RETURN_NOT_OK(links_->DeleteModel(model_id));
-  return models_->DropModel(model_name);
+  Status status = models_->DropModel(model_name);
+  if (event_log_ != nullptr) {
+    if (status.ok()) {
+      event_log_->Append("model", "drop",
+                         {obs::EventField::Str("model", model_name),
+                          obs::EventField::Num("model_id", model_id)});
+    } else {
+      obs::LogErrorEvent(event_log_, "DropRdfModel", status);
+    }
+  }
+  return status;
 }
 
 Result<ModelId> RdfStore::GetModelId(const std::string& model_name) const {
@@ -426,9 +474,24 @@ Result<std::string> RdfStore::TextForValueId(ValueId value_id) const {
 }
 
 Status RdfStore::Save(const std::string& path) const {
+  Timer save_timer;
   obs::ScopedLatency span(metrics_->snapshot_save_ns);
   metrics_->snapshot_saves->Inc();
-  return storage::SaveSnapshotToFile(*db_, path);
+  Status status = storage::SaveSnapshotToFile(*db_, path, timeline_);
+  if (event_log_ != nullptr) {
+    if (status.ok()) {
+      event_log_->Append(
+          "snapshot", "save",
+          {obs::EventField::Str("path", path),
+           obs::EventField::Num("links",
+                                static_cast<int64_t>(network_->link_count())),
+           obs::EventField::Num("elapsed_us",
+                                save_timer.ElapsedNanos() / 1000)});
+    } else {
+      obs::LogErrorEvent(event_log_, "Save", status);
+    }
+  }
+  return status;
 }
 
 Result<std::unique_ptr<RdfStore>> RdfStore::Open(const std::string& path) {

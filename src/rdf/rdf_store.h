@@ -17,7 +17,10 @@
 #include "common/status.h"
 #include "dburi/dburi.h"
 #include "ndm/network.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/slow_query_log.h"
+#include "obs/span_timeline.h"
 #include "obs/store_metrics.h"
 #include "rdf/link_store.h"
 #include "rdf/model_store.h"
@@ -214,6 +217,19 @@ class RdfStore {
   /// Registry backing metrics(); dump with RenderPrometheus()/RenderJson().
   obs::MetricsRegistry& metrics_registry() const { return *registry_; }
 
+  /// Attach/detach the always-on facilities (see DESIGN.md §10). All
+  /// three pointers are non-owning, default to null (every emission
+  /// site is then a single branch), and must outlive the store while
+  /// attached. Not thread-safe with respect to concurrent operations —
+  /// attach before sharing the store (ConcurrentRdfStore::
+  /// SetObservability does this under its write lock).
+  void set_event_log(obs::EventLog* log);
+  obs::EventLog* event_log() const { return event_log_; }
+  void set_slow_query_log(obs::SlowQueryLog* log) { slow_query_log_ = log; }
+  obs::SlowQueryLog* slow_query_log() const { return slow_query_log_; }
+  void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
+  obs::Timeline* timeline() const { return timeline_; }
+
   // ---- Persistence -------------------------------------------------------
 
   /// Save all central-schema tables to a snapshot file.
@@ -238,6 +254,11 @@ class RdfStore {
   std::unique_ptr<ValueStore> values_;
   std::unique_ptr<LinkStore> links_;
   std::unique_ptr<ModelStore> models_;
+  // Always-on facilities; non-owning, null = disabled (one branch per
+  // emission site).
+  obs::EventLog* event_log_ = nullptr;
+  obs::SlowQueryLog* slow_query_log_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
   // Cached VALUE_IDs for rdf:type / rdf:Statement (assigned on first
   // successful reification lookup; never change afterwards).
   mutable std::optional<ValueId> reif_type_id_;

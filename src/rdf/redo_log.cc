@@ -153,6 +153,8 @@ std::string ReplayStats::ToString() const {
 
 Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store) {
   Timer replay_timer;
+  obs::TimelineScope replay_span(store->timeline(), "redo_replay", "replay",
+                                 /*lane=*/0, path);
   std::ifstream in(path);
   if (!in.is_open()) {
     // A missing log is an empty log (fresh database).
@@ -232,6 +234,16 @@ Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store) {
   store->metrics()->replay_records->Inc(stats.records);
   store->metrics()->replay_ns->Observe(
       static_cast<uint64_t>(stats.replay_ns));
+  if (obs::EventLog* elog = store->event_log()) {
+    elog->Append(
+        "replay", "done",
+        {obs::EventField::Str("path", path),
+         obs::EventField::Num("records",
+                              static_cast<int64_t>(stats.records)),
+         obs::EventField::Num("inserts",
+                              static_cast<int64_t>(stats.inserts)),
+         obs::EventField::Num("elapsed_us", stats.replay_ns / 1000)});
+  }
   return stats;
 }
 

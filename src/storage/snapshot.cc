@@ -104,13 +104,16 @@ bool GetValue(std::istream& in, Value* v) {
 
 }  // namespace
 
-Status SaveSnapshot(const Database& db, std::ostream& out) {
+Status SaveSnapshot(const Database& db, std::ostream& out,
+                    obs::Timeline* timeline) {
   PutU32(out, kMagic);
   PutU32(out, kVersion);
 
   std::vector<std::string> names = db.TableNames();
   PutU32(out, static_cast<uint32_t>(names.size()));
   for (const std::string& qualified : names) {
+    obs::TimelineScope table_span(timeline, "save_table", "snapshot",
+                                  /*lane=*/0, qualified);
     size_t dot = qualified.find('.');
     std::string schema = qualified.substr(0, dot);
     std::string table_name = qualified.substr(dot + 1);
@@ -136,13 +139,14 @@ Status SaveSnapshot(const Database& db, std::ostream& out) {
   return Status::OK();
 }
 
-Status SaveSnapshotToFile(const Database& db, const std::string& path) {
+Status SaveSnapshotToFile(const Database& db, const std::string& path,
+                          obs::Timeline* timeline) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) return Status::IOError("cannot open " + path);
-  return SaveSnapshot(db, out);
+  return SaveSnapshot(db, out, timeline);
 }
 
-Status LoadSnapshot(std::istream& in, Database* db) {
+Status LoadSnapshot(std::istream& in, Database* db, obs::Timeline* timeline) {
   uint32_t magic, version;
   if (!GetU32(in, &magic) || magic != kMagic) {
     return Status::Corruption("bad snapshot magic");
@@ -154,6 +158,7 @@ Status LoadSnapshot(std::istream& in, Database* db) {
   if (!GetU32(in, &num_tables)) return Status::Corruption("truncated header");
 
   for (uint32_t t = 0; t < num_tables; ++t) {
+    obs::TimelineScope table_span(timeline, "load_table", "snapshot");
     std::string schema_name, table_name;
     if (!GetString(in, &schema_name) || !GetString(in, &table_name)) {
       return Status::Corruption("truncated table header");
@@ -192,10 +197,11 @@ Status LoadSnapshot(std::istream& in, Database* db) {
   return Status::OK();
 }
 
-Status LoadSnapshotFromFile(const std::string& path, Database* db) {
+Status LoadSnapshotFromFile(const std::string& path, Database* db,
+                            obs::Timeline* timeline) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::IOError("cannot open " + path);
-  return LoadSnapshot(in, db);
+  return LoadSnapshot(in, db, timeline);
 }
 
 }  // namespace rdfdb::storage

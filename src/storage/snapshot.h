@@ -12,22 +12,28 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/span_timeline.h"
 #include "storage/database.h"
 
 namespace rdfdb::storage {
 
-/// Serialize every table and sequence of `db` to `out`.
-Status SaveSnapshot(const Database& db, std::ostream& out);
+/// Serialize every table and sequence of `db` to `out`. A non-null
+/// `timeline` gets one span per table (category "snapshot") on lane 0.
+Status SaveSnapshot(const Database& db, std::ostream& out,
+                    obs::Timeline* timeline = nullptr);
 
 /// Serialize to a file path.
-Status SaveSnapshotToFile(const Database& db, const std::string& path);
+Status SaveSnapshotToFile(const Database& db, const std::string& path,
+                          obs::Timeline* timeline = nullptr);
 
 /// Recreate tables and sequences from `in` into `db` (which must be empty
-/// of conflicting names).
-Status LoadSnapshot(std::istream& in, Database* db);
+/// of conflicting names). A non-null `timeline` gets one span per table.
+Status LoadSnapshot(std::istream& in, Database* db,
+                    obs::Timeline* timeline = nullptr);
 
 /// Load from a file path.
-Status LoadSnapshotFromFile(const std::string& path, Database* db);
+Status LoadSnapshotFromFile(const std::string& path, Database* db,
+                            obs::Timeline* timeline = nullptr);
 
 }  // namespace rdfdb::storage
 

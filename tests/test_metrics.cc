@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics_snapshot.h"
 #include "obs/store_metrics.h"
 #include "rdf/bulk_load.h"
 #include "rdf/concurrent_store.h"
@@ -55,6 +57,36 @@ TEST(HistogramTest, DefaultLatencyBucketsCoverMicrosToSeconds) {
     EXPECT_EQ(bounds[i], bounds[i - 1] * 4);
   }
   EXPECT_GT(bounds.back(), 1000000000u);  // past one second
+}
+
+TEST(QuantileTest, InterpolatesWithinTheLandingBucket) {
+  // Disjoint counts, one more slot than bounds (+Inf last).
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({100}, {4, 0}, 0.5), 50.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({100}, {4, 0}, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({10, 20}, {0, 10, 0}, 0.5), 15.0);
+  // Spanning buckets: 2 in [0,10], 2 in (10,100].
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({10, 100}, {2, 2, 0}, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({10, 100}, {2, 2, 0}, 0.75), 55.0);
+}
+
+TEST(QuantileTest, InfBucketClampsToLastFiniteBound) {
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({10}, {0, 5}, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({10, 40}, {1, 0, 9}, 0.99), 40.0);
+}
+
+TEST(QuantileTest, EmptyHistogramIsZero) {
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({10, 100}, {0, 0, 0}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets({}, {0}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, LiveInstrumentConvenience) {
+  Histogram h({10, 100});
+  h.Observe(3);
+  h.Observe(7);
+  h.Observe(40);
+  h.Observe(60);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(h, 0.75), 55.0);
 }
 
 TEST(RegistryTest, RegistrationIsIdempotentPerKind) {
@@ -111,6 +143,80 @@ TEST(RegistryTest, JsonRendering) {
   EXPECT_NE(json.find("\"type\": \"histogram\""), std::string::npos);
   EXPECT_NE(json.find("{\"le\": \"+Inf\", \"count\": 1}"),
             std::string::npos);
+}
+
+TEST(RegistryTest, DumpsCarryQuantileEstimates) {
+  MetricsRegistry registry;
+  Histogram* h =
+      registry.RegisterHistogram("rdfdb_latency_ns", "Latency", {10, 100});
+  for (int i = 0; i < 4; ++i) h->Observe(5);
+  std::string text = registry.RenderPrometheus();
+  // Summary-style quantile lines derived from the buckets.
+  EXPECT_NE(text.find("rdfdb_latency_ns{quantile=\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rdfdb_latency_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(SnapshotTest, DeltasAndIntervalQuantilesAreExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("rdfdb_ticks_total", "t");
+  Gauge* g = registry.RegisterGauge("rdfdb_depth", "d");
+  Histogram* h = registry.RegisterHistogram("rdfdb_lat_ns", "l", {10, 20});
+  c->Inc(5);
+  h->Observe(5);  // pre-interval observation must not leak into deltas
+
+  MetricsSnapshot prev = TakeMetricsSnapshot(registry);
+  EXPECT_EQ(prev.Counter("rdfdb_ticks_total"), 5);
+  EXPECT_EQ(prev.Counter("rdfdb_absent"), 0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  c->Inc(7);
+  g->Set(3);
+  h->Observe(15);
+  MetricsSnapshot cur = TakeMetricsSnapshot(registry);
+
+  EXPECT_EQ(cur.Counter("rdfdb_ticks_total") -
+                prev.Counter("rdfdb_ticks_total"),
+            7);
+  EXPECT_EQ(cur.Gauge("rdfdb_depth"), 3);
+  EXPECT_GT(CounterRate(prev, cur, "rdfdb_ticks_total"), 0.0);
+  EXPECT_DOUBLE_EQ(CounterRate(prev, cur, "rdfdb_absent"), 0.0);
+  // Only the in-interval observation (15, in (10,20]) counts.
+  EXPECT_EQ(IntervalCount(prev, cur, "rdfdb_lat_ns"), 1u);
+  EXPECT_DOUBLE_EQ(IntervalQuantile(prev, cur, "rdfdb_lat_ns", 0.5), 15.0);
+
+  std::string text = RenderIntervalText(prev, cur);
+  EXPECT_NE(text.find("rdfdb_ticks_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("+7"), std::string::npos);
+  EXPECT_NE(text.find("rdfdb_lat_ns"), std::string::npos);
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+  // A counter that did not move is not reported.
+  registry.RegisterCounter("rdfdb_idle_total", "i");
+  EXPECT_EQ(RenderIntervalText(prev, cur).find("rdfdb_idle_total"),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, VarzJsonCarriesRatesAndExtras) {
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("rdfdb_ticks_total", "t");
+  MetricsSnapshot prev = TakeMetricsSnapshot(registry);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  c->Inc(2);
+  MetricsSnapshot cur = TakeMetricsSnapshot(registry);
+  std::string json = RenderVarzJson(registry, prev, cur, 1.5,
+                                    ",\"custom\": 9");
+  EXPECT_NE(json.find("\"uptime_seconds\": 1.5"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rates\""), std::string::npos);
+  EXPECT_NE(json.find("\"rdfdb_ticks_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"custom\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
 }
 
 // Concurrent hammering: totals must be exact (no lost updates). This is

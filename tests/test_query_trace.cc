@@ -169,6 +169,40 @@ TEST_F(QueryTraceTest, ParallelTraceMatchesSequential) {
             std::string::npos);
 }
 
+TEST_F(QueryTraceTest, ParallelTraceCarriesPerWorkerActivity) {
+  obs::QueryTrace trace;
+  MatchOptions options;
+  options.trace = &trace;
+  options.threads = 2;
+  options.chunk_frames = 1;
+  auto result = Run("(?s urn:type urn:Protein) (?s urn:name ?n)", options);
+  ASSERT_TRUE(result.ok());
+
+  // Chunk-to-worker assignment is scheduling-dependent, but every chunk
+  // and every row must be accounted to exactly one worker.
+  ASSERT_FALSE(trace.exec_workers.empty());
+  size_t chunks = 0;
+  size_t rows = 0;
+  for (const obs::ExecWorkerTrace& worker : trace.exec_workers) {
+    EXPECT_GE(worker.worker, 1u);
+    EXPECT_LE(worker.worker, trace.exec_threads);
+    EXPECT_GT(worker.chunks, 0u);  // idle workers are omitted
+    EXPECT_GE(worker.busy_ns, 0);
+    chunks += worker.chunks;
+    rows += worker.rows_emitted;
+  }
+  EXPECT_EQ(chunks, trace.exec_chunks);
+  EXPECT_EQ(rows, trace.rows_emitted);
+  EXPECT_NE(trace.ToString().find("worker "), std::string::npos);
+
+  // The sequential path reports no per-worker breakdown.
+  obs::QueryTrace sequential;
+  options.trace = &sequential;
+  options.threads = 1;
+  ASSERT_TRUE(Run("(?s urn:name ?n)", options).ok());
+  EXPECT_TRUE(sequential.exec_workers.empty());
+}
+
 TEST_F(QueryTraceTest, ParallelFilterCountersMatchSequential) {
   obs::QueryTrace sequential;
   MatchOptions options;

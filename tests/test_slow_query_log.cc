@@ -1,0 +1,136 @@
+#include "obs/slow_query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "query/match.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::obs {
+namespace {
+
+SlowQueryLog::Entry MakeEntry(const std::string& query, int64_t total_ns) {
+  SlowQueryLog::Entry entry;
+  entry.query = query;
+  entry.models = "m";
+  entry.rows = 1;
+  entry.total_ns = total_ns;
+  return entry;
+}
+
+TEST(SlowQueryLogTest, RingEvictsOldestAndKeepsCapturedTotal) {
+  SlowQueryLog log(/*threshold_ns=*/0, /*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(MakeEntry("q" + std::to_string(i), 1000 + i));
+  }
+  EXPECT_EQ(log.captured(), 5u);
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Oldest first, and the two oldest captures were evicted.
+  EXPECT_EQ(entries[0].query, "q2");
+  EXPECT_EQ(entries[1].query, "q3");
+  EXPECT_EQ(entries[2].query, "q4");
+  // Capture ids stay monotonic across eviction.
+  EXPECT_LT(entries[0].id, entries[1].id);
+  EXPECT_LT(entries[1].id, entries[2].id);
+}
+
+TEST(SlowQueryLogTest, RenderingsCarryQueryAndLatency) {
+  SlowQueryLog log(/*threshold_ns=*/0);
+  SlowQueryLog::Entry entry = MakeEntry("(?s ?p ?o)", 5000000);
+  entry.trace.rows_emitted = 1;
+  entry.trace.total_ns = 5000000;
+  log.Record(std::move(entry));
+  EXPECT_NE(log.ToString().find("(?s ?p ?o)"), std::string::npos);
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"query\": \"(?s ?p ?o)\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"total_ns\": 5000000"), std::string::npos) << json;
+}
+
+class SlowQueryCaptureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.CreateRdfModel("m", "mdata", "triple").ok());
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(store_
+                      .InsertTriple("m", "<urn:s" + std::to_string(i) + ">",
+                                    "<urn:p>", "\"v\"")
+                      .ok());
+    }
+  }
+
+  Result<query::MatchResult> RunQuery() {
+    query::MatchOptions options;
+    return query::SdoRdfMatch(&store_, nullptr, "(?s <urn:p> ?o)", {"m"},
+                              {}, {}, "", options);
+  }
+
+  rdf::RdfStore store_;
+};
+
+// Threshold 0: every query is "slow" — the capture must carry the full
+// trace even though the caller asked for none.
+TEST_F(SlowQueryCaptureTest, ZeroThresholdCapturesEveryQueryWithTrace) {
+  SlowQueryLog log(/*threshold_ns=*/0, /*capacity=*/4);
+  store_.set_slow_query_log(&log);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(RunQuery().ok());
+  }
+  EXPECT_EQ(log.captured(), 6u);
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 4u);  // ring capacity
+  for (const SlowQueryLog::Entry& entry : entries) {
+    EXPECT_EQ(entry.query, "(?s <urn:p> ?o)");
+    EXPECT_EQ(entry.models, "m");
+    EXPECT_EQ(entry.rows, 64u);
+    // The retained trace is the full EXPLAIN ANALYZE payload.
+    EXPECT_EQ(entry.trace.rows_emitted, 64u);
+    ASSERT_EQ(entry.trace.patterns.size(), 1u);
+    EXPECT_EQ(entry.trace.patterns[0].rows_emitted, 64u);
+    EXPECT_GT(entry.trace.total_ns, 0);
+    EXPECT_EQ(entry.total_ns, entry.trace.total_ns);
+  }
+}
+
+// A threshold far above any realistic latency: nothing is captured, and
+// the store stays usable (the fast path is gated, not the query).
+TEST_F(SlowQueryCaptureTest, HugeThresholdCapturesNothing) {
+  SlowQueryLog log(/*threshold_ns=*/int64_t{1} << 60);
+  store_.set_slow_query_log(&log);
+  for (int i = 0; i < 4; ++i) {
+    auto result = RunQuery();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->row_count(), 64u);
+  }
+  EXPECT_EQ(log.captured(), 0u);
+  EXPECT_TRUE(log.Entries().empty());
+}
+
+// A caller-supplied trace must still be honoured (not clobbered by the
+// capture machinery), and the captured entry equals it.
+TEST_F(SlowQueryCaptureTest, CallerTraceAndCaptureCoexist) {
+  SlowQueryLog log(/*threshold_ns=*/0);
+  store_.set_slow_query_log(&log);
+  QueryTrace trace;
+  query::MatchOptions options;
+  options.trace = &trace;
+  auto result = query::SdoRdfMatch(&store_, nullptr, "(?s <urn:p> ?o)",
+                                   {"m"}, {}, {}, "", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(trace.rows_emitted, 64u);
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].trace.rows_emitted, trace.rows_emitted);
+  EXPECT_EQ(entries[0].total_ns, trace.total_ns);
+}
+
+// Detached log: queries trace nothing and capture nothing.
+TEST_F(SlowQueryCaptureTest, DetachedStoreCapturesNothing) {
+  ASSERT_EQ(store_.slow_query_log(), nullptr);
+  ASSERT_TRUE(RunQuery().ok());
+}
+
+}  // namespace
+}  // namespace rdfdb::obs

@@ -1,0 +1,229 @@
+#include "obs/span_timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/match.h"
+#include "rdf/bulk_load.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::obs {
+namespace {
+
+// Minimal JSON well-formedness check (objects, arrays, strings,
+// numbers, literals) — enough to prove the Chrome-trace export would
+// load, without a JSON dependency.
+bool SkipJsonValue(const std::string& s, size_t& i);
+
+void SkipWs(const std::string& s, size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+bool SkipJsonString(const std::string& s, size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;
+    } else if (s[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SkipJsonValue(const std::string& s, size_t& i) {
+  SkipWs(s, i);
+  if (i >= s.size()) return false;
+  if (s[i] == '"') return SkipJsonString(s, i);
+  if (s[i] == '{') {
+    ++i;
+    SkipWs(s, i);
+    if (i < s.size() && s[i] == '}') return ++i, true;
+    while (true) {
+      SkipWs(s, i);
+      if (!SkipJsonString(s, i)) return false;  // key
+      SkipWs(s, i);
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      if (!SkipJsonValue(s, i)) return false;
+      SkipWs(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == '}') return ++i, true;
+      return false;
+    }
+  }
+  if (s[i] == '[') {
+    ++i;
+    SkipWs(s, i);
+    if (i < s.size() && s[i] == ']') return ++i, true;
+    while (true) {
+      if (!SkipJsonValue(s, i)) return false;
+      SkipWs(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == ']') return ++i, true;
+      return false;
+    }
+  }
+  // number / true / false / null
+  const size_t start = i;
+  while (i < s.size() &&
+         (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+          s[i] == '+' || s[i] == '.')) {
+    ++i;
+  }
+  return i > start;
+}
+
+bool IsValidJson(const std::string& s) {
+  size_t i = 0;
+  if (!SkipJsonValue(s, i)) return false;
+  SkipWs(s, i);
+  return i == s.size();
+}
+
+// Spans on one lane come from one logical thread of control, so any two
+// must nest (one contains the other) or be disjoint — never partially
+// overlap. A small slack absorbs clock granularity at the boundaries.
+void ExpectLaneSpansNest(const std::vector<SpanEvent>& spans) {
+  std::map<uint32_t, std::vector<const SpanEvent*>> lanes;
+  for (const SpanEvent& span : spans) lanes[span.lane].push_back(&span);
+  constexpr int64_t kSlackNs = 1000;
+  for (const auto& [lane, list] : lanes) {
+    for (size_t a = 0; a < list.size(); ++a) {
+      for (size_t b = a + 1; b < list.size(); ++b) {
+        const int64_t a0 = list[a]->start_ns;
+        const int64_t a1 = a0 + list[a]->dur_ns;
+        const int64_t b0 = list[b]->start_ns;
+        const int64_t b1 = b0 + list[b]->dur_ns;
+        const bool disjoint = b0 >= a1 - kSlackNs || a0 >= b1 - kSlackNs;
+        const bool a_in_b = a0 >= b0 - kSlackNs && a1 <= b1 + kSlackNs;
+        const bool b_in_a = b0 >= a0 - kSlackNs && b1 <= a1 + kSlackNs;
+        EXPECT_TRUE(disjoint || a_in_b || b_in_a)
+            << "lane " << lane << ": spans " << list[a]->name << " ["
+            << a0 << "," << a1 << ") and " << list[b]->name << " [" << b0
+            << "," << b1 << ") partially overlap";
+      }
+    }
+  }
+}
+
+TEST(TimelineTest, RecordsSpansAndCountsDropsPastCapacity) {
+  Timeline timeline(/*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    SpanEvent span;
+    span.name = "s";
+    span.category = "test";
+    span.start_ns = i * 100;
+    span.dur_ns = 50;
+    timeline.Record(std::move(span));
+  }
+  EXPECT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline.dropped(), 2u);
+  // The retained prefix is the oldest spans (the interesting part of an
+  // overflowing capture).
+  EXPECT_EQ(timeline.Spans()[0].start_ns, 0);
+  timeline.Clear();
+  EXPECT_EQ(timeline.size(), 0u);
+}
+
+TEST(TimelineTest, TimelineScopeRecordsAndNullIsNoop) {
+  Timeline timeline;
+  {
+    TimelineScope outer(&timeline, "outer", "test", /*lane=*/0);
+    TimelineScope inner(&timeline, "inner", "test", /*lane=*/0, "d=1");
+  }
+  { TimelineScope noop(nullptr, "x", "test"); }  // must not crash
+  std::vector<SpanEvent> spans = timeline.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner scope destructs first.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_STREQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[0].detail, "d=1");
+  ExpectLaneSpansNest(spans);
+}
+
+TEST(TimelineTest, ChromeTraceJsonIsWellFormed) {
+  Timeline timeline;
+  {
+    TimelineScope span(&timeline, "alpha", "test", /*lane=*/2,
+                       "weird \"detail\"\\path");
+  }
+  std::string json = timeline.ToChromeTraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(TimelineTest, EmptyTimelineStillExportsValidJson) {
+  Timeline timeline;
+  std::string json = timeline.ToChromeTraceJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+}
+
+// End-to-end: bulk load + parallel query through a store with a
+// timeline attached. The export must be valid JSON and spans must nest
+// per lane — the determinism contract behind "same skew, same picture".
+TEST(TimelineTest, StorePipelinesRecordNestedSpans) {
+  Timeline timeline;
+  rdf::RdfStore store;
+  store.set_timeline(&timeline);
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+
+  std::vector<rdf::NTriple> triples;
+  for (int i = 0; i < 6000; ++i) {
+    triples.push_back({rdf::Term::Uri("urn:s" + std::to_string(i % 500)),
+                       rdf::Term::Uri("urn:p" + std::to_string(i % 7)),
+                       rdf::Term::PlainLiteral("v" + std::to_string(i))});
+  }
+  ASSERT_TRUE(rdf::BulkLoad(&store, "m", triples).ok());
+
+  query::MatchOptions options;
+  options.threads = 2;
+  options.chunk_frames = 64;
+  auto result = query::SdoRdfMatch(&store, nullptr,
+                                   "(?s <urn:p1> ?o) (?s <urn:p2> ?o2)",
+                                   {"m"}, {}, {}, "", options);
+  ASSERT_TRUE(result.ok());
+
+  std::vector<SpanEvent> spans = timeline.Spans();
+  ASSERT_FALSE(spans.empty());
+  auto has = [&](const char* name) {
+    return std::any_of(spans.begin(), spans.end(), [&](const SpanEvent& s) {
+      return std::string(s.name) == name;
+    });
+  };
+  EXPECT_TRUE(has("chunk_prepare"));  // bulk-load worker lane
+  EXPECT_TRUE(has("chunk_consume"));  // bulk-load consumer lane
+  EXPECT_TRUE(has("query"));          // whole SdoRdfMatch
+  EXPECT_TRUE(has("outer_scan"));     // parallel executor phase A
+  EXPECT_TRUE(has("chunk_join"));     // parallel executor workers
+
+  // Worker spans landed on worker lanes, not the consumer lane.
+  EXPECT_TRUE(std::any_of(spans.begin(), spans.end(), [](const SpanEvent& s) {
+    return std::string(s.name) == "chunk_join" && s.lane >= 1;
+  }));
+
+  ExpectLaneSpansNest(spans);
+  EXPECT_TRUE(IsValidJson(timeline.ToChromeTraceJson()));
+}
+
+}  // namespace
+}  // namespace rdfdb::obs

@@ -1,0 +1,145 @@
+#include "obs/stats_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/event_log.h"
+#include "obs/slow_query_log.h"
+#include "obs/span_timeline.h"
+#include "query/match.h"
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::obs {
+namespace {
+
+class StatsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(store_.CreateRdfModel("m", "mdata", "triple").ok());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(store_
+                      .InsertTriple("m", "<urn:s" + std::to_string(i) + ">",
+                                    "<urn:p>", "\"v\"")
+                      .ok());
+    }
+  }
+
+  StatsServer::Sources FullSources() {
+    StatsServer::Sources sources;
+    sources.registry = &store_.metrics_registry();
+    sources.slow_queries = &slow_;
+    sources.timeline = &timeline_;
+    return sources;
+  }
+
+  rdf::RdfStore store_;
+  SlowQueryLog slow_{/*threshold_ns=*/0};
+  Timeline timeline_;
+};
+
+TEST_F(StatsServerTest, HandleRoutesAllEndpoints) {
+  // Drive one traced query through the store so every surface has data.
+  store_.set_slow_query_log(&slow_);
+  store_.set_timeline(&timeline_);
+  query::MatchOptions options;
+  ASSERT_TRUE(query::SdoRdfMatch(&store_, nullptr, "(?s <urn:p> ?o)",
+                                 {"m"}, {}, {}, "", options)
+                  .ok());
+
+  StatsServer server(FullSources());
+
+  StatsServer::Response health = server.Handle("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  StatsServer::Response metrics = server.Handle("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("text/plain"), std::string::npos);
+  EXPECT_NE(metrics.body.find("rdfdb_link_inserts_total 8"),
+            std::string::npos);
+
+  StatsServer::Response varz = server.Handle("/varz");
+  EXPECT_EQ(varz.status, 200);
+  EXPECT_NE(varz.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(varz.body.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(varz.body.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(varz.body.find("\"slow_queries_captured\""), std::string::npos);
+
+  StatsServer::Response slow = server.Handle("/slow");
+  EXPECT_EQ(slow.status, 200);
+  EXPECT_NE(slow.body.find("(?s <urn:p> ?o)"), std::string::npos);
+
+  StatsServer::Response trace = server.Handle("/timeline");
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_NE(trace.body.find("\"traceEvents\""), std::string::npos);
+
+  StatsServer::Response missing = server.Handle("/nope");
+  EXPECT_EQ(missing.status, 404);
+}
+
+TEST_F(StatsServerTest, DetachedSurfacesReturn404) {
+  StatsServer::Sources sources;
+  sources.registry = &store_.metrics_registry();
+  StatsServer server(sources);
+  EXPECT_EQ(server.Handle("/slow").status, 404);
+  EXPECT_EQ(server.Handle("/timeline").status, 404);
+  EXPECT_EQ(server.Handle("/metrics").status, 200);
+}
+
+TEST_F(StatsServerTest, VarzRatesReflectActivityBetweenScrapes) {
+  StatsServer server(FullSources());
+  (void)server.Handle("/varz");  // establish the previous snapshot
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  query::MatchOptions options;
+  ASSERT_TRUE(query::SdoRdfMatch(&store_, nullptr, "(?s <urn:p> ?o)",
+                                 {"m"}, {}, {}, "", options)
+                  .ok());
+  StatsServer::Response varz = server.Handle("/varz");
+  EXPECT_NE(varz.body.find("\"rdfdb_query_total\""), std::string::npos)
+      << varz.body;
+}
+
+// Real sockets: an ephemeral-port listener must answer a GET over
+// loopback with a well-formed HTTP response.
+TEST_F(StatsServerTest, ServesHealthzOverLoopback) {
+  StatsServer server(FullSources());
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_NE(server.port(), 0);
+  std::thread serving([&] { server.ServeOne(); });
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char request[] = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, request, sizeof(request) - 1, 0),
+            static_cast<ssize_t>(sizeof(request) - 1));
+  std::string response;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  serving.join();
+  server.Stop();
+
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  EXPECT_NE(response.find("ok\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfdb::obs

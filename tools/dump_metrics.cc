@@ -1,7 +1,8 @@
 // dump_metrics: load RDF data, exercise the query path, and dump the
 // store's metrics registry.
 //
-//   dump_metrics [--json] [file.nt [model_name]]
+//   dump_metrics [--json] [--watch <sec> [--intervals <k>]]
+//                [file.nt [model_name]]
 //
 // Loads the N-Triples file through the pipelined bulk loader (or, with
 // no file, generates a ~10k-triple synthetic UniProt-style dataset and
@@ -9,14 +10,24 @@
 // trace of a sample query to stderr, then the registry — Prometheus
 // text by default, JSON with --json — to stdout, so the dump can be
 // piped into other tooling.
+//
+// With --watch <sec>, a background thread keeps running the sample
+// query while the main thread prints one per-interval report (counter
+// deltas/rates, per-interval histogram quantiles) every <sec> seconds
+// for --intervals rounds (default 5), then the final registry dump.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "gen/uniprot_gen.h"
+#include "obs/metrics_snapshot.h"
 #include "obs/trace.h"
 #include "query/match.h"
 #include "rdf/bulk_load.h"
@@ -24,10 +35,16 @@
 
 int main(int argc, char** argv) {
   bool json = false;
+  double watch_seconds = 0.0;
+  int intervals = 5;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--watch") == 0 && i + 1 < argc) {
+      watch_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--intervals") == 0 && i + 1 < argc) {
+      intervals = std::atoi(argv[++i]);
     } else {
       args.push_back(argv[i]);
     }
@@ -71,6 +88,36 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "sample query: %s\n",
                  match.status().ToString().c_str());
+  }
+
+  if (watch_seconds > 0.0 && intervals > 0) {
+    // Keep the instruments moving on a background thread (the query
+    // path is read-only, so this is safe against the main thread's
+    // snapshot reads) and report per-interval deltas.
+    std::atomic<bool> stop{false};
+    std::thread worker([&] {
+      rdfdb::query::MatchOptions watch_options;
+      watch_options.limit = 64;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = rdfdb::query::SdoRdfMatch(&store, nullptr, "(?s ?p ?o)",
+                                           {model}, {}, {}, "",
+                                           watch_options);
+        if (!r.ok()) break;
+      }
+    });
+    rdfdb::obs::MetricsSnapshot prev =
+        rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
+    for (int i = 0; i < intervals; ++i) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(watch_seconds));
+      rdfdb::obs::MetricsSnapshot cur =
+          rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
+      std::fprintf(stderr, "%s",
+                   rdfdb::obs::RenderIntervalText(prev, cur).c_str());
+      prev = std::move(cur);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    worker.join();
   }
 
   const std::string dump = json ? store.metrics_registry().RenderJson()

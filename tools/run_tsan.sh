@@ -18,12 +18,15 @@ cmake -B "$BUILD_DIR" -S . \
   -DRDFDB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_bulk_load test_concurrent_store test_metrics \
-  test_exec_diff
+  test_exec_diff test_event_log test_span_timeline test_slow_query_log
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_bulk_load
 "$BUILD_DIR"/tests/test_concurrent_store
 "$BUILD_DIR"/tests/test_metrics
 "$BUILD_DIR"/tests/test_exec_diff
+"$BUILD_DIR"/tests/test_event_log
+"$BUILD_DIR"/tests/test_span_timeline
+"$BUILD_DIR"/tests/test_slow_query_log
 
 echo "TSan run clean."

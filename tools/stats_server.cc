@@ -1,0 +1,154 @@
+// stats_server: run a live store with every observability facility
+// attached and expose it over HTTP.
+//
+//   stats_server [--port <n>] [--events <path>] [--slow-ms <n>]
+//                [file.nt [model_name]]
+//
+// Loads the N-Triples file (or a ~10k-triple synthetic UniProt-style
+// dataset with no file), attaches an event log (JSONL to --events, or a
+// discard sink), a slow-query log (--slow-ms threshold, default 1ms)
+// and a span timeline, keeps a background thread running queries so the
+// instruments move, and serves until interrupted:
+//
+//   GET /metrics    Prometheus text exposition
+//   GET /varz       JSON with per-interval rates since the last scrape
+//   GET /healthz    liveness probe
+//   GET /slow       slow-query log as JSON
+//   GET /timeline   Chrome trace-event JSON (load in chrome://tracing)
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "gen/uniprot_gen.h"
+#include "obs/event_log.h"
+#include "obs/slow_query_log.h"
+#include "obs/span_timeline.h"
+#include "obs/stats_server.h"
+#include "query/match.h"
+#include "rdf/bulk_load.h"
+#include "rdf/rdf_store.h"
+
+namespace {
+
+rdfdb::obs::StatsServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 8080;
+  std::string events_path;
+  double slow_ms = 1.0;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      events_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
+      slow_ms = std::atof(argv[++i]);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  // The observability objects must outlive the store (the store's
+  // destructor emits a final "close" event).
+  std::ostringstream discard;
+  rdfdb::obs::EventLog::Options event_options;
+  if (!events_path.empty()) {
+    event_options.path = events_path;
+  } else {
+    event_options.sink = &discard;
+  }
+  auto event_log = rdfdb::obs::EventLog::Open(std::move(event_options));
+  if (!event_log.ok()) {
+    std::fprintf(stderr, "event log: %s\n",
+                 event_log.status().ToString().c_str());
+    return 1;
+  }
+  rdfdb::obs::SlowQueryLog slow_queries(
+      static_cast<int64_t>(slow_ms * 1e6));
+  rdfdb::obs::Timeline timeline;
+
+  rdfdb::rdf::RdfStore store;
+  store.set_event_log(event_log->get());
+  store.set_slow_query_log(&slow_queries);
+  store.set_timeline(&timeline);
+
+  const std::string model = args.size() > 1 ? args[1] : "m";
+  auto created = store.CreateRdfModel(model, model + "_app", "triple");
+  if (!created.ok()) {
+    std::fprintf(stderr, "create model: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = [&]() -> rdfdb::Result<rdfdb::rdf::BulkLoadStats> {
+    if (!args.empty()) {
+      return rdfdb::rdf::BulkLoadFile(&store, model, args[0]);
+    }
+    rdfdb::gen::UniProtOptions options;
+    options.target_triples = 10000;
+    auto dataset = rdfdb::gen::GenerateUniProt(options);
+    return rdfdb::rdf::BulkLoad(&store, model, dataset.triples);
+  }();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "load: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s\n", stats->ToString().c_str());
+
+  // Background workload: keep the query instruments (and the slow-query
+  // log) moving so /varz rates are non-zero. Queries are read-only, so
+  // running them alongside scrapes is safe.
+  std::atomic<bool> stop{false};
+  std::thread workload([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      rdfdb::query::MatchOptions options;
+      options.limit = 256;
+      auto r = rdfdb::query::SdoRdfMatch(&store, nullptr, "(?s ?p ?o)",
+                                         {model}, {}, {}, "", options);
+      if (!r.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  rdfdb::obs::StatsServer::Sources sources;
+  sources.registry = &store.metrics_registry();
+  sources.slow_queries = &slow_queries;
+  sources.timeline = &timeline;
+  sources.events = event_log->get();
+  rdfdb::obs::StatsServer server(sources);
+  auto started = server.Start(port);
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    stop.store(true, std::memory_order_relaxed);
+    workload.join();
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::fprintf(stderr,
+               "serving on http://127.0.0.1:%u "
+               "(/metrics /varz /healthz /slow /timeline)\n",
+               static_cast<unsigned>(server.port()));
+  server.ServeForever();
+
+  stop.store(true, std::memory_order_relaxed);
+  workload.join();
+  g_server = nullptr;
+  return 0;
+}
