@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78):
+// the checksum guarding snapshot payloads, redo-log records, and the
+// checkpoint manifest. Software slice-by-8 implementation — no SSE4.2
+// dependency, identical output on every platform.
+
+#ifndef RDFDB_COMMON_CRC32C_H_
+#define RDFDB_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rdfdb {
+
+/// Extend `crc` (a previous Crc32c result, or 0 for a fresh stream)
+/// with `data`. Crc32c(a+b) == Crc32cExtend(Crc32c(a), b).
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// One-shot CRC32C of `data`.
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data);
+}
+
+}  // namespace rdfdb
+
+#endif  // RDFDB_COMMON_CRC32C_H_

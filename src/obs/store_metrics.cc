@@ -79,6 +79,15 @@ StoreMetrics::StoreMetrics(MetricsRegistry* reg) : registry(reg) {
   replay_ns = reg->RegisterHistogram(
       "rdfdb_replay_ns", "redo-log replay latency (ns)",
       DefaultLatencyBucketsNs());
+  replay_torn_tails = reg->RegisterCounter(
+      "rdfdb_replay_torn_tails_total",
+      "torn final redo-log records dropped during replay");
+  replay_stale_skipped = reg->RegisterCounter(
+      "rdfdb_replay_stale_skipped_total",
+      "pre-checkpoint redo-log records skipped by seq during replay");
+  recovery_opens = reg->RegisterCounter(
+      "rdfdb_recovery_opens_total",
+      "LoggedRdfStore::Open crash-recovery cycles");
 }
 
 }  // namespace rdfdb::obs

@@ -62,6 +62,9 @@ struct StoreMetrics {
   Histogram* snapshot_load_ns;
   Counter* replay_records;   ///< redo-log records applied
   Histogram* replay_ns;      ///< whole-log replay time
+  Counter* replay_torn_tails;    ///< torn final records dropped on replay
+  Counter* replay_stale_skipped; ///< pre-checkpoint records skipped by seq
+  Counter* recovery_opens;       ///< LoggedRdfStore::Open recoveries
 };
 
 }  // namespace rdfdb::obs

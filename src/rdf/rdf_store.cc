@@ -473,11 +473,11 @@ Result<std::string> RdfStore::TextForValueId(ValueId value_id) const {
   return values_->GetText(value_id);
 }
 
-Status RdfStore::Save(const std::string& path) const {
+Status RdfStore::Save(const std::string& path, storage::Env* env) const {
   Timer save_timer;
   obs::ScopedLatency span(metrics_->snapshot_save_ns);
   metrics_->snapshot_saves->Inc();
-  Status status = storage::SaveSnapshotToFile(*db_, path, timeline_);
+  Status status = storage::SaveSnapshotToFile(*db_, path, env, timeline_);
   if (event_log_ != nullptr) {
     if (status.ok()) {
       event_log_->Append(
@@ -494,14 +494,15 @@ Status RdfStore::Save(const std::string& path) const {
   return status;
 }
 
-Result<std::unique_ptr<RdfStore>> RdfStore::Open(const std::string& path) {
+Result<std::unique_ptr<RdfStore>> RdfStore::Open(const std::string& path,
+                                                 storage::Env* env) {
   Timer open_timer;
   // Load the snapshot into a scratch database first, then replay rows
   // through a fresh store so indexes, the NDM network and sequences are
   // all rebuilt consistently.
   auto store = std::make_unique<RdfStore>();
   storage::Database scratch("ORADB");
-  RDFDB_RETURN_NOT_OK(storage::LoadSnapshotFromFile(path, &scratch));
+  RDFDB_RETURN_NOT_OK(storage::LoadSnapshotFromFile(path, &scratch, env));
 
   auto copy_rows = [&](const char* table_name) -> Status {
     const storage::Table* src = scratch.GetTable("MDSYS", table_name);

@@ -29,6 +29,10 @@
 #include "rdf/value_store.h"
 #include "storage/database.h"
 
+namespace rdfdb::storage {
+class Env;
+}  // namespace rdfdb::storage
+
 namespace rdfdb::rdf {
 
 /// Central RDF store. Not thread-safe (single-writer embedded model).
@@ -232,11 +236,15 @@ class RdfStore {
 
   // ---- Persistence -------------------------------------------------------
 
-  /// Save all central-schema tables to a snapshot file.
-  Status Save(const std::string& path) const;
+  /// Save all central-schema tables to a snapshot file (atomic footered
+  /// format; see storage/snapshot.h). `env` == nullptr uses
+  /// storage::Env::Default().
+  Status Save(const std::string& path,
+              storage::Env* env = nullptr) const;
 
   /// Load a snapshot previously written by Save into a fresh store.
-  static Result<std::unique_ptr<RdfStore>> Open(const std::string& path);
+  static Result<std::unique_ptr<RdfStore>> Open(
+      const std::string& path, storage::Env* env = nullptr);
 
  private:
   /// Intern subject/property/object + canonical object; classify; insert.

@@ -1,8 +1,13 @@
 #include "rdf/redo_log.h"
 
-#include <fstream>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
 #include <sstream>
+#include <string_view>
 
+#include "common/crc32c.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "obs/store_metrics.h"
@@ -65,33 +70,238 @@ std::string UnescapeField(const std::string& value) {
   return out;
 }
 
-}  // namespace
-
-Result<std::unique_ptr<RedoLog>> RedoLog::Open(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "ab");
-  if (file == nullptr) {
-    return Status::IOError("cannot open redo log " + path);
-  }
-  return std::unique_ptr<RedoLog>(new RedoLog(path, file));
+std::string CrcHex(uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
 }
 
-RedoLog::~RedoLog() {
-  if (file_ != nullptr) std::fclose(file_);
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseCrcHex(std::string_view s, uint32_t* out) {
+  if (s.size() != 8) return false;
+  uint32_t v = 0;
+  for (char c : s) {
+    uint32_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = 10u + static_cast<uint32_t>(c - 'a');
+    else return false;
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return true;
+}
+
+storage::Env* OrDefault(storage::Env* env) {
+  return env != nullptr ? env : storage::Env::Default();
+}
+
+/// One framing-intact record: seq verified monotonic by ScanLog, CRC
+/// verified, body still escaped.
+struct RawRecord {
+  uint64_t seq = 0;
+  std::string_view body;  ///< escaped tag + fields
+  size_t offset = 0;      ///< byte offset of the record's first byte
+};
+
+struct ScanOutcome {
+  uint64_t first_seq = 0;
+  uint64_t last_seq = 0;
+  size_t intact_records = 0;
+  bool torn_tail = false;
+  uint64_t torn_offset = 0;
+};
+
+/// Walk every line of `data`, verifying framing (seq, CRC32C, strict
+/// seq continuity). Intact records are handed to `cb` in order; a cb
+/// error aborts the scan. An integrity failure on the *final* record
+/// is reported as a torn tail; anywhere else it is Corruption with the
+/// byte offset.
+Result<ScanOutcome> ScanLog(
+    const std::string& data,
+    const std::function<Status(const RawRecord&)>& cb) {
+  // Collect (offset, line) pairs, skipping blank lines, so "final
+  // record" is well-defined even with a missing trailing newline.
+  std::vector<std::pair<size_t, std::string_view>> lines;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t nl = data.find('\n', pos);
+    size_t end = (nl == std::string::npos) ? data.size() : nl;
+    if (end > pos) lines.emplace_back(pos, std::string_view(data).substr(pos, end - pos));
+    pos = (nl == std::string::npos) ? data.size() : nl + 1;
+  }
+
+  ScanOutcome out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const auto& [offset, line] = lines[i];
+    const bool is_final = (i + 1 == lines.size());
+
+    auto torn_or_corrupt = [&](const std::string& why) -> Result<ScanOutcome> {
+      if (is_final) {
+        out.torn_tail = true;
+        out.torn_offset = offset;
+        return out;
+      }
+      return Status::Corruption("redo log record at byte offset " +
+                                std::to_string(offset) + ": " + why);
+    };
+
+    size_t tab1 = line.find('\t');
+    size_t tab2 =
+        (tab1 == std::string_view::npos) ? std::string_view::npos
+                                         : line.find('\t', tab1 + 1);
+    if (tab2 == std::string_view::npos) {
+      return torn_or_corrupt("missing seq/crc framing");
+    }
+    uint64_t seq;
+    if (!ParseU64(line.substr(0, tab1), &seq)) {
+      return torn_or_corrupt("unparseable seq field");
+    }
+    uint32_t stored_crc;
+    if (!ParseCrcHex(line.substr(tab1 + 1, tab2 - tab1 - 1), &stored_crc)) {
+      return torn_or_corrupt("unparseable crc field");
+    }
+    std::string_view body = line.substr(tab2 + 1);
+    uint32_t actual_crc = Crc32c(body);
+    if (actual_crc != stored_crc) {
+      return torn_or_corrupt("CRC32C mismatch (stored " +
+                             CrcHex(stored_crc) + ", computed " +
+                             CrcHex(actual_crc) + ")");
+    }
+    // Integrity established: seq gaps beyond this point are hard
+    // corruption even on the final record (the bytes are intact, so a
+    // gap means lost records, not a torn write).
+    if (out.intact_records == 0) {
+      out.first_seq = seq;
+    } else if (seq != out.last_seq + 1) {
+      return Status::Corruption(
+          "redo log record at byte offset " + std::to_string(offset) +
+          ": seq gap (" + std::to_string(out.last_seq) + " -> " +
+          std::to_string(seq) + ")");
+    }
+    out.last_seq = seq;
+    ++out.intact_records;
+    RDFDB_RETURN_NOT_OK(cb(RawRecord{seq, body, offset}));
+  }
+  return out;
+}
+
+/// Shared by replay and verify: scan `path` through `opts.env`,
+/// applying `apply` to every intact record with seq >= opts.min_seq;
+/// fills the framing-level fields of `stats`. `enforce_start_seq` is
+/// the recovery-only check that the log begins at or before
+/// opts.min_seq (records missing otherwise); standalone verification
+/// has no manifest context, so fsck turns it off.
+Status ScanLogFile(const std::string& path, const ReplayOptions& opts,
+                   bool enforce_start_seq, ReplayStats* stats,
+                   const std::function<Status(const RawRecord&)>& apply) {
+  storage::Env* env = OrDefault(opts.env);
+  if (!env->FileExists(path)) return Status::OK();  // fresh database
+  RDFDB_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+
+  auto scanned = ScanLog(data, [&](const RawRecord& rec) -> Status {
+    if (rec.seq < opts.min_seq) {
+      ++stats->stale_skipped;
+      return Status::OK();
+    }
+    return apply(rec);
+  });
+  if (!scanned.ok()) return scanned.status();
+
+  stats->first_seq = scanned->first_seq;
+  stats->last_seq = scanned->last_seq;
+  stats->torn_tail = scanned->torn_tail;
+  stats->torn_offset = scanned->torn_offset;
+
+  if (enforce_start_seq && scanned->intact_records > 0 &&
+      scanned->first_seq > opts.min_seq) {
+    return Status::Corruption(
+        "redo log " + path + " starts at seq " +
+        std::to_string(scanned->first_seq) + " but the manifest covers " +
+        "only up to seq " + std::to_string(opts.min_seq) +
+        ": records are missing");
+  }
+
+  if (scanned->torn_tail && opts.truncate_torn_tail) {
+    RDFDB_RETURN_NOT_OK(
+        env->TruncateFile(path, scanned->torn_offset));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<RedoLog>> RedoLog::Open(
+    const std::string& path, const RedoLogOptions& options) {
+  storage::Env* env = OrDefault(options.env);
+  auto file = env->NewWritableFile(path, /*truncate=*/false);
+  if (!file.ok()) {
+    return Status::IOError("cannot open redo log " + path + ": " +
+                           file.status().message());
+  }
+  RedoLogOptions resolved = options;
+  resolved.env = env;
+  return std::unique_ptr<RedoLog>(
+      new RedoLog(path, std::move(*file), resolved));
 }
 
 Status RedoLog::Append(const std::vector<std::string>& fields) {
-  std::string line;
+  if (!poisoned_.ok()) return poisoned_;
+  std::string body;
   for (size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) line.push_back('\t');
-    line += EscapeField(fields[i]);
+    if (i > 0) body.push_back('\t');
+    body += EscapeField(fields[i]);
   }
+  std::string line = std::to_string(next_seq_);
+  line.push_back('\t');
+  line += CrcHex(Crc32c(body));
+  line.push_back('\t');
+  line += body;
   line.push_back('\n');
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
-    return Status::IOError("redo log write failed");
+
+  auto poison = [this](const char* stage, const Status& cause) {
+    poisoned_ = Status::IOError("redo log poisoned by failed " +
+                                std::string(stage) + ": " +
+                                cause.message());
+    return poisoned_;
+  };
+
+  Status appended = file_->Append(line);
+  if (!appended.ok()) return poison("append", appended);
+  Status flushed = file_->Flush();
+  if (!flushed.ok()) return poison("flush", flushed);
+  ++unsynced_records_;
+  if (sync_mode_ == SyncMode::kEveryRecord ||
+      (sync_mode_ == SyncMode::kBatch &&
+       unsynced_records_ >= batch_sync_every_)) {
+    Status synced = file_->Sync();
+    if (!synced.ok()) return poison("sync", synced);
+    unsynced_records_ = 0;
   }
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("redo log flush failed");
+  ++next_seq_;
+  return Status::OK();
+}
+
+Status RedoLog::Sync() {
+  if (!poisoned_.ok()) return poisoned_;
+  if (unsynced_records_ == 0) return Status::OK();
+  RDFDB_RETURN_NOT_OK(file_->Flush());
+  Status synced = file_->Sync();
+  if (!synced.ok()) {
+    poisoned_ = Status::IOError("redo log poisoned by failed sync: " +
+                                synced.message());
+    return poisoned_;
   }
+  unsynced_records_ = 0;
   return Status::OK();
 }
 
@@ -130,49 +340,52 @@ Status RedoLog::LogAssert(const std::string& model, const std::string& as,
 }
 
 Status RedoLog::Truncate() {
-  std::FILE* reopened = std::freopen(path_.c_str(), "wb", file_);
-  if (reopened == nullptr) {
-    file_ = nullptr;
-    return Status::IOError("redo log truncate failed: " + path_);
+  if (!poisoned_.ok()) return poisoned_;
+  Status closed = file_->Close();
+  if (!closed.ok()) {
+    poisoned_ = closed;
+    return poisoned_;
   }
-  file_ = reopened;
-  return Status::OK();
+  auto reopened = env_->NewWritableFile(path_, /*truncate=*/true);
+  if (!reopened.ok()) {
+    poisoned_ = Status::IOError("redo log truncate failed: " +
+                                reopened.status().message());
+    return poisoned_;
+  }
+  file_ = std::move(*reopened);
+  unsynced_records_ = 0;
+  return file_->Sync();
 }
 
 std::string ReplayStats::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "replay: %zu record(s) — %zu model(s) created, %zu dropped, "
                 "%zu insert(s), %zu delete(s), %zu reification(s), "
-                "%zu assertion(s) in %.1fms",
+                "%zu assertion(s), %zu stale skipped%s in %.1fms",
                 records, models_created, models_dropped, inserts, deletes,
-                reifications, assertions,
+                reifications, assertions, stale_skipped,
+                torn_tail ? ", torn tail dropped" : "",
                 static_cast<double>(replay_ns) / 1e6);
   return buf;
 }
 
-Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store) {
+Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store,
+                                  const ReplayOptions& opts) {
   Timer replay_timer;
   obs::TimelineScope replay_span(store->timeline(), "redo_replay", "replay",
                                  /*lane=*/0, path);
-  std::ifstream in(path);
-  if (!in.is_open()) {
-    // A missing log is an empty log (fresh database).
-    return ReplayStats{};
-  }
   ReplayStats stats;
-  std::string line;
-  size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
+
+  auto apply = [&](const RawRecord& rec) -> Status {
     std::vector<std::string> fields;
-    for (std::string& field : Split(line, '\t')) {
+    for (std::string& field : Split(std::string(rec.body), '\t')) {
       fields.push_back(UnescapeField(field));
     }
     auto bad = [&](const std::string& why) {
-      return Status::Corruption("redo log line " + std::to_string(line_no) +
-                                ": " + why);
+      return Status::Corruption(
+          "redo log record seq " + std::to_string(rec.seq) +
+          " (byte offset " + std::to_string(rec.offset) + "): " + why);
     };
     const std::string& tag = fields[0];
     ++stats.records;
@@ -229,12 +442,30 @@ Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store) {
     } else {
       return bad("unknown record tag '" + tag + "'");
     }
-  }
+    return Status::OK();
+  };
+
+  RDFDB_RETURN_NOT_OK(
+      ScanLogFile(path, opts, /*enforce_start_seq=*/true, &stats, apply));
+
   stats.replay_ns = replay_timer.ElapsedNanos();
   store->metrics()->replay_records->Inc(stats.records);
   store->metrics()->replay_ns->Observe(
       static_cast<uint64_t>(stats.replay_ns));
+  if (stats.torn_tail) store->metrics()->replay_torn_tails->Inc();
+  if (stats.stale_skipped > 0) {
+    store->metrics()->replay_stale_skipped->Inc(stats.stale_skipped);
+  }
   if (obs::EventLog* elog = store->event_log()) {
+    if (stats.torn_tail) {
+      elog->Append(
+          "replay", "torn_tail",
+          {obs::EventField::Str("path", path),
+           obs::EventField::Num("truncated_at",
+                                static_cast<int64_t>(stats.torn_offset)),
+           obs::EventField::Num("last_seq",
+                                static_cast<int64_t>(stats.last_seq))});
+    }
     elog->Append(
         "replay", "done",
         {obs::EventField::Str("path", path),
@@ -242,30 +473,196 @@ Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store) {
                               static_cast<int64_t>(stats.records)),
          obs::EventField::Num("inserts",
                               static_cast<int64_t>(stats.inserts)),
+         obs::EventField::Num("stale_skipped",
+                              static_cast<int64_t>(stats.stale_skipped)),
          obs::EventField::Num("elapsed_us", stats.replay_ns / 1000)});
   }
   return stats;
 }
 
-Result<std::unique_ptr<LoggedRdfStore>> LoggedRdfStore::Open(
-    const std::string& snapshot_path, const std::string& log_path) {
-  std::unique_ptr<RdfStore> store;
-  std::ifstream probe(snapshot_path, std::ios::binary);
-  if (probe.is_open()) {
-    probe.close();
-    RDFDB_ASSIGN_OR_RETURN(store, RdfStore::Open(snapshot_path));
-  } else {
-    store = std::make_unique<RdfStore>();
+Result<ReplayStats> VerifyRedoLog(const std::string& path,
+                                  const ReplayOptions& opts) {
+  ReplayStats stats;
+  ReplayOptions read_only = opts;
+  read_only.truncate_torn_tail = false;
+  // No manifest context here: a log legitimately truncated by a past
+  // checkpoint starts at seq > 1, which is not damage. Callers compare
+  // stats.first_seq against their manifest themselves (rdfdb_fsck).
+  RDFDB_RETURN_NOT_OK(ScanLogFile(path, read_only,
+                                  /*enforce_start_seq=*/false, &stats,
+                                  [&](const RawRecord&) {
+                                    ++stats.records;
+                                    return Status::OK();
+                                  }));
+  return stats;
+}
+
+// --- Checkpoint manifest ------------------------------------------------
+
+namespace {
+
+constexpr const char* kManifestHeader = "RDFDB-MANIFEST v1";
+
+std::string EncodeManifestBody(const CheckpointManifest& m) {
+  std::string body;
+  body += kManifestHeader;
+  body += '\n';
+  body += "gen " + std::to_string(m.generation) + '\n';
+  body += "snapshot " + m.snapshot_file + '\n';
+  body += "log_start_seq " + std::to_string(m.log_start_seq) + '\n';
+  return body;
+}
+
+}  // namespace
+
+Status WriteManifest(const std::string& path, const CheckpointManifest& m,
+                     storage::Env* env) {
+  env = OrDefault(env);
+  std::string body = EncodeManifestBody(m);
+  body += "crc " + CrcHex(Crc32c(body)) + '\n';
+  const std::string tmp = path + ".tmp";
+  RDFDB_ASSIGN_OR_RETURN(std::unique_ptr<storage::WritableFile> file,
+                         env->NewWritableFile(tmp, /*truncate=*/true));
+  RDFDB_RETURN_NOT_OK(file->Append(body));
+  RDFDB_RETURN_NOT_OK(file->Sync());
+  RDFDB_RETURN_NOT_OK(file->Close());
+  RDFDB_RETURN_NOT_OK(env->RenameFile(tmp, path));
+  return env->SyncDir(storage::DirName(path));
+}
+
+Result<CheckpointManifest> ReadManifest(const std::string& path,
+                                        storage::Env* env) {
+  env = OrDefault(env);
+  RDFDB_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  auto bad = [&](const std::string& why) {
+    return Status::Corruption("manifest " + path + ": " + why);
+  };
+  // The crc line is the last one; everything before it is checksummed.
+  size_t crc_pos = data.rfind("crc ");
+  if (crc_pos == std::string::npos || crc_pos == 0 ||
+      data[crc_pos - 1] != '\n') {
+    return bad("missing crc line");
   }
+  std::string body = data.substr(0, crc_pos);
+  uint32_t stored_crc;
+  std::string crc_line = data.substr(crc_pos + 4);
+  while (!crc_line.empty() &&
+         (crc_line.back() == '\n' || crc_line.back() == '\r')) {
+    crc_line.pop_back();
+  }
+  if (!ParseCrcHex(crc_line, &stored_crc)) return bad("unparseable crc");
+  if (Crc32c(body) != stored_crc) {
+    return bad("CRC32C mismatch (stored " + CrcHex(stored_crc) +
+               ", computed " + CrcHex(Crc32c(body)) + ")");
+  }
+
+  std::istringstream in(body);
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestHeader) {
+    return bad("bad header");
+  }
+  CheckpointManifest m;
+  bool have_gen = false, have_snap = false, have_seq = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("gen ", 0) == 0) {
+      if (!ParseU64(std::string_view(line).substr(4), &m.generation)) {
+        return bad("unparseable gen");
+      }
+      have_gen = true;
+    } else if (line.rfind("snapshot ", 0) == 0) {
+      m.snapshot_file = line.substr(9);
+      have_snap = true;
+    } else if (line.rfind("log_start_seq ", 0) == 0) {
+      if (!ParseU64(std::string_view(line).substr(14), &m.log_start_seq)) {
+        return bad("unparseable log_start_seq");
+      }
+      have_seq = true;
+    } else {
+      return bad("unknown manifest line '" + line + "'");
+    }
+  }
+  if (!have_gen || !have_snap || !have_seq) {
+    return bad("missing required field");
+  }
+  if (m.snapshot_file.find('/') != std::string::npos) {
+    return bad("snapshot entry must be a bare file name");
+  }
+  return m;
+}
+
+// --- LoggedRdfStore -----------------------------------------------------
+
+std::string LoggedRdfStore::GenerationFileName(
+    const std::string& snapshot_path, uint64_t gen) {
+  return snapshot_path + ".g" + std::to_string(gen);
+}
+
+std::string LoggedRdfStore::ManifestPath(const std::string& snapshot_path) {
+  return snapshot_path + ".manifest";
+}
+
+Result<std::unique_ptr<LoggedRdfStore>> LoggedRdfStore::Open(
+    const std::string& snapshot_path, const std::string& log_path,
+    const LoggedStoreOptions& options) {
+  storage::Env* env = OrDefault(options.env);
+  const std::string manifest_path = ManifestPath(snapshot_path);
+
+  uint64_t generation = 0;
+  uint64_t min_seq = 1;
+  std::string snapshot_to_load;
+  if (env->FileExists(manifest_path)) {
+    RDFDB_ASSIGN_OR_RETURN(CheckpointManifest manifest,
+                           ReadManifest(manifest_path, env));
+    generation = manifest.generation;
+    min_seq = manifest.log_start_seq;
+    if (generation > 0) {
+      snapshot_to_load = storage::DirName(snapshot_path) + "/" +
+                         manifest.snapshot_file;
+    }
+  } else if (env->FileExists(snapshot_path)) {
+    // Legacy single-file layout (no manifest yet): the bare snapshot
+    // plus the full log.
+    snapshot_to_load = snapshot_path;
+  }
+
+  std::unique_ptr<RdfStore> store;
+  if (snapshot_to_load.empty()) {
+    store = std::make_unique<RdfStore>();
+  } else {
+    RDFDB_ASSIGN_OR_RETURN(store, RdfStore::Open(snapshot_to_load, env));
+  }
+
   // Replay stats land in the store's metrics registry (ReplayRedoLog
   // emits them), so recovery is observable after the fact.
+  ReplayOptions replay_opts;
+  replay_opts.min_seq = min_seq;
+  replay_opts.env = env;
   RDFDB_ASSIGN_OR_RETURN(ReplayStats replayed,
-                         ReplayRedoLog(log_path, store.get()));
-  (void)replayed;
+                         ReplayRedoLog(log_path, store.get(), replay_opts));
+
+  RedoLogOptions log_opts;
+  log_opts.sync_mode = options.sync_mode;
+  log_opts.env = env;
+  log_opts.next_seq = std::max(replayed.last_seq + 1, min_seq);
   RDFDB_ASSIGN_OR_RETURN(std::unique_ptr<RedoLog> log,
-                         RedoLog::Open(log_path));
-  return std::unique_ptr<LoggedRdfStore>(new LoggedRdfStore(
-      std::move(store), std::move(log), snapshot_path));
+                         RedoLog::Open(log_path, log_opts));
+
+  store->metrics()->recovery_opens->Inc();
+  if (obs::EventLog* elog = store->event_log()) {
+    elog->Append(
+        "recovery", "open",
+        {obs::EventField::Str("snapshot", snapshot_to_load),
+         obs::EventField::Num("generation",
+                              static_cast<int64_t>(generation)),
+         obs::EventField::Num("replayed",
+                              static_cast<int64_t>(replayed.records)),
+         obs::EventField::Num("torn_tail", replayed.torn_tail ? 1 : 0)});
+  }
+
+  auto logged = std::unique_ptr<LoggedRdfStore>(new LoggedRdfStore(
+      std::move(store), std::move(log), snapshot_path, env, generation));
+  logged->recovery_stats_ = replayed;
+  return logged;
 }
 
 Result<SdoRdfTriple> LoggedRdfStore::TripleTextFor(LinkId rdf_t_id) const {
@@ -365,8 +762,38 @@ Result<SdoRdfTripleS> LoggedRdfStore::AssertImplied(
 }
 
 Status LoggedRdfStore::Checkpoint() {
-  RDFDB_RETURN_NOT_OK(store_->Save(snapshot_path_));
-  return log_->Truncate();
+  // 1. Snapshot the current state into the next generation (atomic:
+  //    SaveSnapshotToFile writes tmp + fsync + rename + dir fsync).
+  const uint64_t next_gen = generation_ + 1;
+  const std::string snap_file =
+      GenerationFileName(snapshot_path_, next_gen);
+  // Capture before Save: every record below this seq is in the store
+  // state being snapshotted (single-writer store).
+  const uint64_t log_start_seq = log_->next_seq();
+  RDFDB_RETURN_NOT_OK(store_->Save(snap_file, env_));
+
+  // 2. Swap the manifest. From this instant recovery uses the new
+  //    generation; records below log_start_seq become stale.
+  CheckpointManifest manifest;
+  manifest.generation = next_gen;
+  manifest.snapshot_file = storage::BaseName(snap_file);
+  manifest.log_start_seq = log_start_seq;
+  RDFDB_RETURN_NOT_OK(
+      WriteManifest(ManifestPath(snapshot_path_), manifest, env_));
+  const uint64_t prev_gen = generation_;
+  generation_ = next_gen;
+
+  // 3. Reclaim: truncate the log (stale records would be skipped by
+  //    seq anyway) and drop the superseded snapshot. A crash in here
+  //    costs disk space, not correctness.
+  RDFDB_RETURN_NOT_OK(log_->Truncate());
+  if (prev_gen > 0) {
+    (void)env_->RemoveFile(GenerationFileName(snapshot_path_, prev_gen));
+  } else if (env_->FileExists(snapshot_path_)) {
+    // Legacy bare snapshot superseded by the first manifest.
+    (void)env_->RemoveFile(snapshot_path_);
+  }
+  return Status::OK();
 }
 
 }  // namespace rdfdb::rdf

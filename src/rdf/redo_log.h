@@ -1,24 +1,39 @@
-// Logical redo logging for the RDF store.
+// Logical redo logging + crash-safe checkpointing for the RDF store.
 //
 // The storage engine is in-memory with snapshot checkpoints
 // (storage/snapshot.h); this module adds the write-ahead piece: an
-// append-only, human-readable log of the RDF-level mutations, and a
-// replayer that reapplies them to a store. The intended recovery
-// protocol is
+// append-only, checksummed log of the RDF-level mutations, a replayer
+// that reapplies them to a store, and the generation-numbered
+// checkpoint protocol that ties the two together. Recovery is
 //
-//     load last snapshot  ->  ReplayRedoLog(log since snapshot)
+//     read manifest -> load snapshot generation G -> replay log
+//                      records with seq >= manifest.log_start_seq
 //
-// and LoggedRdfStore::Checkpoint() implements "snapshot + truncate".
+// Record framing (one '\n'-terminated line per record):
+//
+//     <seq>\t<crc32c-hex>\t<tag>\t<field>...\n
+//
+// `seq` is a store-lifetime monotonic sequence number (decimal), `crc`
+// is CRC32C over everything after the second tab (the escaped body).
+// Tabs/newlines/backslashes inside field values are escaped. Replay
+// tolerates exactly one *torn final* record — an integrity failure
+// (unparseable seq/crc or CRC mismatch) on the last record truncates
+// the log at the last valid boundary and counts/logs the event — but
+// fails hard with Corruption on mid-log damage, sequence gaps, or any
+// CRC-valid record that is semantically malformed.
 //
 // Records are logical (API strings, not physical ids): LINK_IDs are
 // assigned by sequences and would not be stable across replay, so
-// reification operations log the base triple's (s, p, o) instead of its
-// rdf_t_id.
+// reification operations log the base triple's (s, p, o) instead of
+// its rdf_t_id.
+//
+// All I/O goes through storage::Env so the crash torture harness can
+// inject faults at any byte (tests/test_crash_recovery.cc).
 
 #ifndef RDFDB_RDF_REDO_LOG_H_
 #define RDFDB_RDF_REDO_LOG_H_
 
-#include <cstdio>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,18 +41,39 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "rdf/rdf_store.h"
+#include "storage/env.h"
 
 namespace rdfdb::rdf {
 
-/// Append-only log writer. Each record is one '\n'-terminated line of
-/// tab-separated fields; tabs/newlines/backslashes in values are
-/// escaped. Records are flushed on every append.
+/// When appended records are pushed to durable storage.
+enum class SyncMode {
+  kNone,         ///< OS decides (fastest; a crash may lose recent records)
+  kBatch,        ///< fdatasync every `batch_sync_every` records
+  kEveryRecord,  ///< fdatasync per append: an OK return is durable
+};
+
+struct RedoLogOptions {
+  SyncMode sync_mode = SyncMode::kEveryRecord;
+  /// Filesystem to write through; nullptr = storage::Env::Default().
+  storage::Env* env = nullptr;
+  /// Sequence number the next appended record carries. Callers recover
+  /// it from ReplayStats::last_seq (+1) / the checkpoint manifest.
+  uint64_t next_seq = 1;
+  /// kBatch: fdatasync after every N appended records.
+  size_t batch_sync_every = 64;
+};
+
+/// Append-only log writer. After any failed append or sync the log is
+/// *poisoned*: the partial tail on disk must not be extended, so every
+/// later append fails fast with the original error (which carries the
+/// errno text) instead of interleaving records after garbage.
 class RedoLog {
  public:
   /// Open (creating or appending to) the log at `path`.
-  static Result<std::unique_ptr<RedoLog>> Open(const std::string& path);
+  static Result<std::unique_ptr<RedoLog>> Open(
+      const std::string& path, const RedoLogOptions& options = {});
 
-  ~RedoLog();
+  ~RedoLog() = default;
   RedoLog(const RedoLog&) = delete;
   RedoLog& operator=(const RedoLog&) = delete;
 
@@ -58,25 +94,60 @@ class RedoLog {
                    const std::string& p, const std::string& o,
                    bool implied);
 
-  /// Truncate the log (after a successful checkpoint).
+  /// Force buffered records durable (kBatch callers; no-op work-wise
+  /// for kEveryRecord).
+  Status Sync();
+
+  /// Truncate the log (after a successful checkpoint). The sequence
+  /// counter keeps running — seq is monotonic for the store lifetime.
   Status Truncate();
 
   const std::string& path() const { return path_; }
+  /// Sequence number the next append will carry.
+  uint64_t next_seq() const { return next_seq_; }
+  /// Non-OK once the log is poisoned by a failed append/sync.
+  const Status& poisoned() const { return poisoned_; }
 
  private:
-  RedoLog(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  RedoLog(std::string path, std::unique_ptr<storage::WritableFile> file,
+          const RedoLogOptions& options)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        env_(options.env != nullptr ? options.env
+                                    : storage::Env::Default()),
+        sync_mode_(options.sync_mode),
+        batch_sync_every_(options.batch_sync_every),
+        next_seq_(options.next_seq) {}
 
   Status Append(const std::vector<std::string>& fields);
 
   std::string path_;
-  std::FILE* file_;
+  std::unique_ptr<storage::WritableFile> file_;
+  storage::Env* env_;
+  SyncMode sync_mode_;
+  size_t batch_sync_every_;
+  uint64_t next_seq_;
+  size_t unsynced_records_ = 0;
+  Status poisoned_;  // non-OK => log is dead
+};
+
+struct ReplayOptions {
+  /// Records with seq < min_seq are already covered by the snapshot the
+  /// caller loaded (the manifest's log_start_seq); they are skipped,
+  /// not reapplied.
+  uint64_t min_seq = 1;
+  /// Filesystem; nullptr = storage::Env::Default().
+  storage::Env* env = nullptr;
+  /// When false, a torn final record is reported in the stats but the
+  /// file is left untouched (rdfdb_fsck's read-only verification).
+  bool truncate_torn_tail = true;
 };
 
 /// Replay outcome. Also emitted into the store's metrics registry
-/// (rdfdb_replay_records_total / rdfdb_replay_ns) by ReplayRedoLog.
+/// (rdfdb_replay_records_total / rdfdb_replay_ns / torn-tail and
+/// stale-skip counters) by ReplayRedoLog.
 struct ReplayStats {
-  size_t records = 0;
+  size_t records = 0;  ///< applied records (excludes stale-skipped)
   size_t models_created = 0;
   size_t models_dropped = 0;
   size_t inserts = 0;
@@ -85,25 +156,79 @@ struct ReplayStats {
   size_t assertions = 0;
   int64_t replay_ns = 0;  ///< wall time of the whole replay
 
+  uint64_t first_seq = 0;  ///< seq of the first record in the file (0 = empty)
+  uint64_t last_seq = 0;   ///< seq of the last intact record (0 = empty)
+  size_t stale_skipped = 0;   ///< records below min_seq (pre-checkpoint)
+  bool torn_tail = false;     ///< a torn final record was dropped
+  uint64_t torn_offset = 0;   ///< byte offset the log was truncated at
+
   /// One-line human-readable rendering.
   std::string ToString() const;
 };
 
-/// Re-apply every record in `path` to `store`. Fails with Corruption on
-/// malformed records; individual operations that fail (e.g. delete of a
-/// vanished triple) fail the replay too — the log is authoritative.
-Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store);
+/// Re-apply every record in `path` with seq >= opts.min_seq to
+/// `store`. Fails with Corruption (annotated with byte offsets) on
+/// mid-log damage, seq gaps, or malformed CRC-valid records;
+/// individual operations that fail (e.g. delete of a vanished triple)
+/// fail the replay too — the log is authoritative. A missing file is
+/// an empty log.
+Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store,
+                                  const ReplayOptions& opts = {});
+
+/// Integrity-check the log without applying anything (rdfdb_fsck):
+/// verifies per-record CRCs and seq continuity, reports a torn tail,
+/// never writes. `store` semantics (whether an op would apply) are NOT
+/// checked.
+Result<ReplayStats> VerifyRedoLog(const std::string& path,
+                                  const ReplayOptions& opts = {});
+
+/// The checkpoint manifest: a tiny text file naming the authoritative
+/// snapshot generation and the first log seq not covered by it. It is
+/// the recovery root — swapped by atomic rename, guarded by CRC32C.
+struct CheckpointManifest {
+  uint64_t generation = 0;
+  std::string snapshot_file;  ///< basename, relative to the manifest dir
+  uint64_t log_start_seq = 1;
+};
+
+Result<CheckpointManifest> ReadManifest(const std::string& path,
+                                        storage::Env* env = nullptr);
+Status WriteManifest(const std::string& path, const CheckpointManifest& m,
+                     storage::Env* env = nullptr);
+
+struct LoggedStoreOptions {
+  SyncMode sync_mode = SyncMode::kEveryRecord;
+  /// Filesystem everything (snapshots, log, manifest) goes through;
+  /// nullptr = storage::Env::Default().
+  storage::Env* env = nullptr;
+};
 
 /// RdfStore façade that appends each successful mutation to the redo
 /// log (apply-then-log: with an in-memory store the log is the source
 /// of truth after a crash, so failed operations must never be logged),
-/// plus the checkpoint protocol.
+/// plus the crash-safe checkpoint protocol:
+///
+///   Checkpoint():
+///     1. write snapshot generation G+1 to <base>.g<G+1> (atomic:
+///        tmp + fsync + rename + dir fsync)
+///     2. atomically swap <base>.manifest to point at G+1 with
+///        log_start_seq = next unused seq
+///     3. truncate the log, delete generation G (both safe to lose:
+///        stale records are skipped by seq on replay, stale snapshots
+///        are simply never referenced)
+///
+/// A crash at any point recovers from the previous generation + the
+/// full log, or the new generation + the (possibly still un-truncated)
+/// log filtered by seq.
 class LoggedRdfStore {
  public:
-  /// Open the store at `snapshot_path` (if it exists) and replay
+  /// Open the store rooted at `snapshot_path`: read
+  /// `<snapshot_path>.manifest` if present (else fall back to a bare
+  /// snapshot file at `snapshot_path`, else start empty) and replay
   /// `log_path` on top; subsequent mutations append to the log.
   static Result<std::unique_ptr<LoggedRdfStore>> Open(
-      const std::string& snapshot_path, const std::string& log_path);
+      const std::string& snapshot_path, const std::string& log_path,
+      const LoggedStoreOptions& options = {});
 
   RdfStore& store() { return *store_; }
   const RdfStore& store() const { return *store_; }
@@ -134,15 +259,31 @@ class LoggedRdfStore {
                                       const std::string& property,
                                       const std::string& object);
 
-  /// Snapshot the store and truncate the log.
+  /// Snapshot the store into the next generation, swap the manifest,
+  /// truncate the log (see class comment for the crash analysis).
   Status Checkpoint();
+
+  /// Current snapshot generation (0 = none yet).
+  uint64_t generation() const { return generation_; }
+  /// Stats from the replay that Open performed.
+  const ReplayStats& recovery_stats() const { return recovery_stats_; }
+
+  /// Snapshot file name for generation `gen` of the store rooted at
+  /// `snapshot_path` ("<snapshot_path>.g<gen>").
+  static std::string GenerationFileName(const std::string& snapshot_path,
+                                        uint64_t gen);
+  /// Manifest path for the store rooted at `snapshot_path`.
+  static std::string ManifestPath(const std::string& snapshot_path);
 
  private:
   LoggedRdfStore(std::unique_ptr<RdfStore> store,
-                 std::unique_ptr<RedoLog> log, std::string snapshot_path)
+                 std::unique_ptr<RedoLog> log, std::string snapshot_path,
+                 storage::Env* env, uint64_t generation)
       : store_(std::move(store)),
         log_(std::move(log)),
-        snapshot_path_(std::move(snapshot_path)) {}
+        snapshot_path_(std::move(snapshot_path)),
+        env_(env),
+        generation_(generation) {}
 
   /// Resolve a LINK_ID back to its triple's API display strings (for
   /// logical logging of reification ops).
@@ -151,6 +292,9 @@ class LoggedRdfStore {
   std::unique_ptr<RdfStore> store_;
   std::unique_ptr<RedoLog> log_;
   std::string snapshot_path_;
+  storage::Env* env_;
+  uint64_t generation_;
+  ReplayStats recovery_stats_;
 };
 
 }  // namespace rdfdb::rdf

@@ -1,0 +1,398 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rdfdb::storage {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+// --- PosixEnv -----------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write failed on", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return Status::OK(); }  // unbuffered
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) {
+      return ErrnoStatus("fdatasync failed on", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close failed on", path_);
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("cannot open", path);
+    return std::unique_ptr<WritableFile>(
+        new PosixWritableFile(path, fd));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("cannot open", path);
+    std::string out;
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      out.reserve(static_cast<size_t>(st.st_size));
+    }
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status = ErrnoStatus("read failed on", path);
+        ::close(fd);
+        return status;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("cannot stat", path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from,
+                    const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename failed for", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("unlink failed for", path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("truncate failed for", path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("cannot open dir", dir);
+    Status status;
+    if (::fsync(fd) != 0) status = ErrnoStatus("fsync failed on dir", dir);
+    ::close(fd);
+    return status;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return path;
+  return path.substr(slash + 1);
+}
+
+// --- FaultInjectingEnv --------------------------------------------------
+
+namespace {
+
+Status FrozenStatus() {
+  return Status::IOError("simulated crash: env is frozen");
+}
+
+}  // namespace
+
+/// WritableFile wrapper that charges the owning FaultInjectingEnv for
+/// every append byte and mutating op.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingEnv* env,
+                    std::unique_ptr<WritableFile> base,
+                    std::shared_ptr<FaultInjectingEnv::OpenFileState> state)
+      : env_(env), base_(std::move(base)), state_(std::move(state)) {}
+
+  ~FaultWritableFile() override { Unregister(); }
+
+  Status Append(std::string_view data) override {
+    RDFDB_RETURN_NOT_OK(env_->ChargeOp("append"));
+    uint64_t allowed = 0;
+    Status budget = env_->ChargeBytes(data.size(), &allowed);
+    if (allowed > 0) {
+      Status written = base_->Append(data.substr(0, allowed));
+      if (!written.ok()) return written;
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      state_->written_size += allowed;
+    }
+    if (!budget.ok()) {
+      // The crash fired mid-append: apply unsynced-drop *after* the
+      // torn bytes landed, so the drop policy governs what survives.
+      std::lock_guard<std::mutex> lock(env_->mu_);
+      env_->TriggerCrashLocked();
+      return budget;
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    RDFDB_RETURN_NOT_OK(env_->ChargeOp("sync"));
+    RDFDB_RETURN_NOT_OK(base_->Sync());
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    state_->synced_size = state_->written_size;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    Unregister();
+    return base_->Close();
+  }
+
+ private:
+  void Unregister() {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    auto& files = env_->open_files_;
+    for (auto it = files.begin(); it != files.end(); ++it) {
+      if (it->get() == state_.get()) {
+        files.erase(it);
+        break;
+      }
+    }
+  }
+
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::shared_ptr<FaultInjectingEnv::OpenFileState> state_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base)
+    : base_(base != nullptr ? base : Env::Default()) {}
+
+void FaultInjectingEnv::CrashAfterBytes(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_after_bytes_ = n + 1;
+}
+
+void FaultInjectingEnv::CrashAfterOps(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_after_ops_ = n + 1;
+}
+
+void FaultInjectingEnv::FailOnce(uint64_t op_from_now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_once_at_ = ops_ + op_from_now;
+}
+
+void FaultInjectingEnv::set_drop_unsynced_on_crash(bool v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  drop_unsynced_on_crash_ = v;
+}
+
+void FaultInjectingEnv::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  crash_after_ops_ = 0;
+  crash_after_bytes_ = 0;
+  fail_once_at_ = 0;
+}
+
+bool FaultInjectingEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectingEnv::bytes_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+uint64_t FaultInjectingEnv::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+void FaultInjectingEnv::TriggerCrashLocked() {
+  if (crashed_) return;
+  crashed_ = true;
+  if (drop_unsynced_on_crash_) {
+    for (const auto& file : open_files_) {
+      if (file->written_size != file->synced_size) {
+        (void)base_->TruncateFile(file->path, file->synced_size);
+        file->written_size = file->synced_size;
+      }
+    }
+  }
+}
+
+Status FaultInjectingEnv::ChargeOp(const char* what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return FrozenStatus();
+  ++ops_;
+  if (fail_once_at_ != 0 && ops_ == fail_once_at_) {
+    fail_once_at_ = 0;
+    return Status::IOError(std::string("injected fault on op '") + what +
+                           "'");
+  }
+  if (crash_after_ops_ != 0) {
+    if (crash_after_ops_ == 1) {
+      TriggerCrashLocked();
+      return Status::IOError(std::string("simulated crash before op '") +
+                             what + "'");
+    }
+    --crash_after_ops_;
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingEnv::ChargeBytes(uint64_t n, uint64_t* allowed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *allowed = n;
+  if (crashed_) {
+    *allowed = 0;
+    return FrozenStatus();
+  }
+  if (crash_after_bytes_ != 0) {
+    uint64_t remaining = crash_after_bytes_ - 1;
+    if (n >= remaining) {
+      *allowed = remaining;
+      crash_after_bytes_ = 1;  // budget exhausted
+      bytes_ += remaining;
+      // Caller triggers the crash after writing the torn prefix.
+      return Status::IOError("simulated crash: short write");
+    }
+    crash_after_bytes_ -= n;
+  }
+  bytes_ += n;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  RDFDB_RETURN_NOT_OK(ChargeOp("create"));
+  uint64_t initial_size = 0;
+  if (!truncate && base_->FileExists(path)) {
+    RDFDB_ASSIGN_OR_RETURN(initial_size, base_->GetFileSize(path));
+  }
+  RDFDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                         base_->NewWritableFile(path, truncate));
+  auto state = std::make_shared<OpenFileState>();
+  state->path = path;
+  state->written_size = initial_size;
+  state->synced_size = initial_size;  // pre-existing bytes are durable
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_files_.push_back(state);
+  }
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, std::move(base), std::move(state)));
+}
+
+Result<std::string> FaultInjectingEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectingEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  RDFDB_RETURN_NOT_OK(ChargeOp("rename"));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  RDFDB_RETURN_NOT_OK(ChargeOp("remove"));
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  RDFDB_RETURN_NOT_OK(ChargeOp("truncate"));
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& dir) {
+  RDFDB_RETURN_NOT_OK(ChargeOp("syncdir"));
+  return base_->SyncDir(dir);
+}
+
+}  // namespace rdfdb::storage

@@ -1,0 +1,171 @@
+// Env: the filesystem seam for everything persistence touches.
+//
+// All snapshot, redo-log, and manifest I/O goes through an Env so the
+// crash-recovery torture harness (tests/test_crash_recovery.cc) can
+// substitute a FaultInjectingEnv that short-writes, fails, or freezes
+// ("crashes") at any byte or operation boundary, while production uses
+// the PosixEnv behind Env::Default() (write(2), fdatasync(2), atomic
+// rename(2), directory fsync).
+//
+// Durability contract of the default Env:
+//   - WritableFile::Append issues the bytes to the OS immediately (no
+//     user-space buffer), so a short write never leaves hidden state.
+//   - WritableFile::Sync is fdatasync: on OK, appended bytes survive a
+//     power cut.
+//   - RenameFile is atomic replacement; pairing it with SyncDir on the
+//     parent directory makes the new name itself durable.
+
+#ifndef RDFDB_STORAGE_ENV_H_
+#define RDFDB_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rdfdb::storage {
+
+/// Append-only file handle. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Write `data` at the end of the file. On failure the Status message
+  /// carries errno text; the number of bytes actually written is
+  /// unspecified (callers must treat the tail as torn).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Push any library-level buffers to the OS (no-op for the unbuffered
+  /// posix implementation).
+  virtual Status Flush() = 0;
+
+  /// fdatasync: on OK every appended byte is durable.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// Filesystem interface. Thread-safe for independent files.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide real-filesystem Env.
+  static Env* Default();
+
+  /// Open `path` for writing. `truncate` discards existing contents;
+  /// otherwise writes append after the current end.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Read the entire file into a string.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  /// Atomically replace `to` with `from` (rename(2) semantics).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Shrink (or extend with zeros) `path` to exactly `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// fsync the directory `dir` so renames/creates inside it are durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// Directory part of `path` ("." when there is none).
+std::string DirName(const std::string& path);
+
+/// Final component of `path`.
+std::string BaseName(const std::string& path);
+
+/// An Env that injects faults for crash testing. Wraps a base Env
+/// (default: Env::Default()); every *mutating* operation — Append,
+/// Sync, file creation, rename, remove, truncate, directory sync — is
+/// counted, and a programmed fault fires when the byte or op budget is
+/// exhausted:
+///
+///   - CrashAfterBytes(n): the Append that would exceed `n` more
+///     payload bytes writes only the bytes up to the budget (a torn
+///     write lands on the real filesystem), then the env freezes.
+///   - CrashAfterOps(n): the (n+1)-th mutating op from now does not
+///     execute and the env freezes.
+///   - FailOnce(k): the k-th mutating op from now fails with IOError
+///     but the env keeps working (tests error paths, not crashes).
+///
+/// A frozen env fails every subsequent mutating op with IOError, like a
+/// process that died mid-write: the test then reopens the on-disk state
+/// with a fresh real Env to exercise recovery. When
+/// set_drop_unsynced_on_crash(true) is armed, freezing also truncates
+/// every still-open file back to its last Sync'd size, simulating loss
+/// of page-cache data that was written but never fdatasync'd.
+class FaultInjectingEnv : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base = nullptr);
+
+  // --- fault programming ------------------------------------------------
+  void CrashAfterBytes(uint64_t n);
+  void CrashAfterOps(uint64_t n);
+  void FailOnce(uint64_t op_from_now);
+  void set_drop_unsynced_on_crash(bool v);
+  /// Clear all programmed faults and un-freeze.
+  void Reset();
+
+  // --- introspection ----------------------------------------------------
+  bool crashed() const;
+  uint64_t bytes_appended() const;
+  uint64_t mutating_ops() const;
+
+  // --- Env --------------------------------------------------------------
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultWritableFile;
+
+  struct OpenFileState {
+    std::string path;
+    uint64_t written_size = 0;  ///< absolute file size incl. appends
+    uint64_t synced_size = 0;   ///< size as of the last successful Sync
+  };
+
+  /// Charge one mutating op against the budgets. Returns non-OK when
+  /// the op must not execute (fault fired or env already frozen).
+  Status ChargeOp(const char* what);
+  /// Charge `n` payload bytes; `*allowed` gets the number of bytes the
+  /// caller may still write (may be < n on the crashing append).
+  Status ChargeBytes(uint64_t n, uint64_t* allowed);
+  void TriggerCrashLocked();
+
+  mutable std::mutex mu_;
+  Env* base_;
+  bool crashed_ = false;
+  bool drop_unsynced_on_crash_ = false;
+  uint64_t ops_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t crash_after_ops_ = 0;   // 0 = unarmed; else remaining ops + 1
+  uint64_t crash_after_bytes_ = 0; // 0 = unarmed; else remaining bytes + 1
+  uint64_t fail_once_at_ = 0;      // absolute op index to fail, 0 = unarmed
+  std::vector<std::shared_ptr<OpenFileState>> open_files_;
+};
+
+}  // namespace rdfdb::storage
+
+#endif  // RDFDB_STORAGE_ENV_H_

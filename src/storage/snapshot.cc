@@ -1,19 +1,38 @@
 #include "storage/snapshot.h"
 
 #include <cstdint>
-#include <fstream>
+#include <cstring>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <sstream>
 #include <vector>
+
+#include "common/crc32c.h"
 
 namespace rdfdb::storage {
 
 namespace {
 
-constexpr uint32_t kMagic = 0x52444244;  // "RDBD"
+constexpr uint32_t kMagic = 0x52444244;  // "RDBD" (payload header)
 constexpr uint32_t kVersion = 1;
 
+constexpr uint32_t kFooterMagic = 0x52444246;  // "RDBF"
+constexpr uint32_t kFooterVersion = 1;
+// u32 table_count + u64 payload_size + u32 crc + u32 version + u32 magic
+constexpr size_t kFooterSize = 4 + 8 + 4 + 4 + 4;
+
+// Sanity caps for count fields: corrupt counts must fail fast, not
+// drive giant loops. (Byte-sized fields are bounded by the stream size
+// instead — see StreamBytesLeft.)
+constexpr uint32_t kMaxTables = 1u << 20;
+constexpr uint32_t kMaxColumns = 1u << 16;
+
 void PutU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::ostream& out, uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
@@ -26,6 +45,18 @@ void PutString(std::ostream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
+uint32_t ReadU32(std::string_view bytes, size_t offset) {
+  uint32_t v;
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  return v;
+}
+
+uint64_t ReadU64(std::string_view bytes, size_t offset) {
+  uint64_t v;
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  return v;
+}
+
 bool GetU32(std::istream& in, uint32_t* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(*v));
   return in.good();
@@ -36,9 +67,24 @@ bool GetI64(std::istream& in, int64_t* v) {
   return in.good();
 }
 
-bool GetString(std::istream& in, std::string* s) {
+/// Bytes between the current read position and end-of-stream, or
+/// `fallback` when the stream is not seekable. Bounds every
+/// length-prefixed allocation: no in-stream length can legitimately
+/// exceed the bytes that are actually left.
+uint64_t StreamBytesLeft(std::istream& in, uint64_t fallback) {
+  std::streampos cur = in.tellg();
+  if (cur == std::streampos(-1)) return fallback;
+  in.seekg(0, std::ios::end);
+  std::streampos end = in.tellg();
+  in.seekg(cur);
+  if (end == std::streampos(-1) || end < cur) return fallback;
+  return static_cast<uint64_t>(end - cur);
+}
+
+bool GetString(std::istream& in, std::string* s, uint64_t max_len) {
   uint32_t len;
   if (!GetU32(in, &len)) return false;
+  if (len > max_len) return false;  // corrupt length field
   s->resize(len);
   in.read(s->data(), len);
   return in.good() || (len == 0 && !in.bad());
@@ -66,7 +112,7 @@ void PutValue(std::ostream& out, const Value& v) {
   }
 }
 
-bool GetValue(std::istream& in, Value* v) {
+bool GetValue(std::istream& in, Value* v, uint64_t max_len) {
   uint32_t tag;
   if (!GetU32(in, &tag)) return false;
   switch (static_cast<ValueType>(tag)) {
@@ -88,18 +134,90 @@ bool GetValue(std::istream& in, Value* v) {
     }
     case ValueType::kString: {
       std::string s;
-      if (!GetString(in, &s)) return false;
+      if (!GetString(in, &s, max_len)) return false;
       *v = Value::String(std::move(s));
       return true;
     }
     case ValueType::kClob: {
       std::string s;
-      if (!GetString(in, &s)) return false;
+      if (!GetString(in, &s, max_len)) return false;
       *v = Value::Clob(std::move(s));
       return true;
     }
   }
   return false;
+}
+
+/// Corruption status annotated with the stream's byte offset. Clears
+/// the stream's error flags first so tellg still answers after a
+/// failed read (the stream is abandoned after this anyway).
+Status CorruptAt(std::istream& in, const std::string& why) {
+  in.clear();
+  std::streampos pos = in.tellg();
+  std::string at = (pos == std::streampos(-1))
+                       ? "unknown offset"
+                       : "byte offset " +
+                             std::to_string(static_cast<int64_t>(pos));
+  return Status::Corruption("snapshot: " + why + " (at " + at + ")");
+}
+
+std::string EncodeFooter(uint32_t table_count, const std::string& payload) {
+  std::ostringstream footer;
+  PutU32(footer, table_count);
+  PutU64(footer, payload.size());
+  PutU32(footer, Crc32c(payload));
+  PutU32(footer, kFooterVersion);
+  PutU32(footer, kFooterMagic);
+  return footer.str();
+}
+
+Env* OrDefault(Env* env) { return env != nullptr ? env : Env::Default(); }
+
+/// Read `path`, verify the footer envelope, and return (info, payload).
+Result<std::pair<SnapshotFileInfo, std::string>> ReadVerifiedFile(
+    const std::string& path, Env* env) {
+  if (!env->FileExists(path)) {
+    return Status::IOError("cannot open " + path);
+  }
+  RDFDB_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  if (data.size() < kFooterSize) {
+    return Status::Corruption(
+        "snapshot " + path + ": file too small for footer (" +
+        std::to_string(data.size()) + " bytes)");
+  }
+  size_t fo = data.size() - kFooterSize;
+  SnapshotFileInfo info;
+  info.table_count = ReadU32(data, fo);
+  info.payload_size = ReadU64(data, fo + 4);
+  info.payload_crc = ReadU32(data, fo + 12);
+  uint32_t version = ReadU32(data, fo + 16);
+  uint32_t magic = ReadU32(data, fo + 20);
+  if (magic != kFooterMagic) {
+    return Status::Corruption("snapshot " + path +
+                              ": bad footer magic (at byte offset " +
+                              std::to_string(fo + 20) + ")");
+  }
+  if (version != kFooterVersion) {
+    return Status::Corruption("snapshot " + path +
+                              ": unsupported footer version " +
+                              std::to_string(version));
+  }
+  if (info.payload_size != data.size() - kFooterSize) {
+    return Status::Corruption(
+        "snapshot " + path + ": footer payload_size " +
+        std::to_string(info.payload_size) + " != actual " +
+        std::to_string(data.size() - kFooterSize));
+  }
+  std::string payload = data.substr(0, fo);
+  uint32_t actual_crc = Crc32c(payload);
+  if (actual_crc != info.payload_crc) {
+    return Status::Corruption(
+        "snapshot " + path + ": payload CRC32C mismatch (stored " +
+        std::to_string(info.payload_crc) + ", computed " +
+        std::to_string(actual_crc) + " over " +
+        std::to_string(payload.size()) + " bytes)");
+  }
+  return std::make_pair(info, std::move(payload));
 }
 
 }  // namespace
@@ -140,39 +258,70 @@ Status SaveSnapshot(const Database& db, std::ostream& out,
 }
 
 Status SaveSnapshotToFile(const Database& db, const std::string& path,
-                          obs::Timeline* timeline) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::IOError("cannot open " + path);
-  return SaveSnapshot(db, out, timeline);
+                          Env* env, obs::Timeline* timeline) {
+  env = OrDefault(env);
+  std::ostringstream payload_stream;
+  RDFDB_RETURN_NOT_OK(SaveSnapshot(db, payload_stream, timeline));
+  std::string payload = std::move(payload_stream).str();
+  std::string footer =
+      EncodeFooter(static_cast<uint32_t>(db.TableNames().size()), payload);
+
+  // tmp → append payload+footer → fsync → rename over `path` → fsync
+  // dir: a crash at any instant leaves `path` as either the complete
+  // old snapshot or the complete new one, never a torn mix.
+  const std::string tmp = path + ".tmp";
+  RDFDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         env->NewWritableFile(tmp, /*truncate=*/true));
+  RDFDB_RETURN_NOT_OK(file->Append(payload));
+  RDFDB_RETURN_NOT_OK(file->Append(footer));
+  RDFDB_RETURN_NOT_OK(file->Sync());
+  RDFDB_RETURN_NOT_OK(file->Close());
+  RDFDB_RETURN_NOT_OK(env->RenameFile(tmp, path));
+  return env->SyncDir(DirName(path));
 }
 
 Status LoadSnapshot(std::istream& in, Database* db, obs::Timeline* timeline) {
+  // Every allocation below is capped by the bytes actually present so
+  // a corrupt length field fails cleanly instead of allocating GBs.
+  const uint64_t stream_bytes =
+      StreamBytesLeft(in, /*fallback=*/1ull << 30);
+
   uint32_t magic, version;
   if (!GetU32(in, &magic) || magic != kMagic) {
-    return Status::Corruption("bad snapshot magic");
+    return CorruptAt(in, "bad payload magic");
   }
   if (!GetU32(in, &version) || version != kVersion) {
-    return Status::Corruption("unsupported snapshot version");
+    return CorruptAt(in, "unsupported payload version");
   }
   uint32_t num_tables;
-  if (!GetU32(in, &num_tables)) return Status::Corruption("truncated header");
+  if (!GetU32(in, &num_tables)) return CorruptAt(in, "truncated header");
+  if (num_tables > kMaxTables) {
+    return CorruptAt(in, "implausible table count " +
+                             std::to_string(num_tables));
+  }
 
   for (uint32_t t = 0; t < num_tables; ++t) {
     obs::TimelineScope table_span(timeline, "load_table", "snapshot");
     std::string schema_name, table_name;
-    if (!GetString(in, &schema_name) || !GetString(in, &table_name)) {
-      return Status::Corruption("truncated table header");
+    if (!GetString(in, &schema_name, stream_bytes) ||
+        !GetString(in, &table_name, stream_bytes)) {
+      return CorruptAt(in, "truncated or oversized table header");
     }
     uint32_t num_cols;
-    if (!GetU32(in, &num_cols)) return Status::Corruption("truncated schema");
+    if (!GetU32(in, &num_cols)) return CorruptAt(in, "truncated schema");
+    if (num_cols > kMaxColumns) {
+      return CorruptAt(in, "implausible column count " +
+                               std::to_string(num_cols) + " for table " +
+                               schema_name + "." + table_name);
+    }
     std::vector<ColumnDef> cols;
     cols.reserve(num_cols);
     for (uint32_t c = 0; c < num_cols; ++c) {
       ColumnDef col;
       uint32_t type_tag, nullable;
-      if (!GetString(in, &col.name) || !GetU32(in, &type_tag) ||
-          !GetU32(in, &nullable)) {
-        return Status::Corruption("truncated column def");
+      if (!GetString(in, &col.name, stream_bytes) ||
+          !GetU32(in, &type_tag) || !GetU32(in, &nullable)) {
+        return CorruptAt(in, "truncated column def");
       }
       col.type = static_cast<ValueType>(type_tag);
       col.nullable = nullable != 0;
@@ -184,11 +333,14 @@ Status LoadSnapshot(std::istream& in, Database* db, obs::Timeline* timeline) {
     Table* table = *table_result;
 
     uint32_t num_rows;
-    if (!GetU32(in, &num_rows)) return Status::Corruption("truncated rows");
+    if (!GetU32(in, &num_rows)) return CorruptAt(in, "truncated rows");
     for (uint32_t r = 0; r < num_rows; ++r) {
       Row row(table->schema().num_columns());
       for (Value& cell : row) {
-        if (!GetValue(in, &cell)) return Status::Corruption("truncated cell");
+        if (!GetValue(in, &cell, stream_bytes)) {
+          return CorruptAt(in, "truncated or oversized cell in " +
+                                   schema_name + "." + table_name);
+        }
       }
       auto insert = table->Insert(std::move(row));
       if (!insert.ok()) return insert.status();
@@ -198,10 +350,48 @@ Status LoadSnapshot(std::istream& in, Database* db, obs::Timeline* timeline) {
 }
 
 Status LoadSnapshotFromFile(const std::string& path, Database* db,
-                            obs::Timeline* timeline) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
-  return LoadSnapshot(in, db, timeline);
+                            Env* env, obs::Timeline* timeline) {
+  env = OrDefault(env);
+  RDFDB_ASSIGN_OR_RETURN(auto verified, ReadVerifiedFile(path, env));
+  const SnapshotFileInfo& info = verified.first;
+  std::istringstream in(verified.second);
+  RDFDB_RETURN_NOT_OK(LoadSnapshot(in, db, timeline));
+  // The parser must consume the payload exactly: leftover bytes mean
+  // the file and its footer disagree about structure.
+  std::streampos pos = in.tellg();
+  if (pos != std::streampos(-1) &&
+      static_cast<uint64_t>(pos) != info.payload_size) {
+    return Status::Corruption(
+        "snapshot " + path + ": trailing junk after table data (parsed " +
+        std::to_string(static_cast<int64_t>(pos)) + " of " +
+        std::to_string(info.payload_size) + " payload bytes)");
+  }
+  if (db->TableNames().size() != info.table_count) {
+    return Status::Corruption(
+        "snapshot " + path + ": footer table_count " +
+        std::to_string(info.table_count) + " != loaded " +
+        std::to_string(db->TableNames().size()));
+  }
+  return Status::OK();
+}
+
+Result<SnapshotFileInfo> VerifySnapshotFile(const std::string& path,
+                                            Env* env) {
+  env = OrDefault(env);
+  RDFDB_ASSIGN_OR_RETURN(auto verified, ReadVerifiedFile(path, env));
+  // Cross-check the footer's table count against the payload header.
+  const std::string& payload = verified.second;
+  if (payload.size() < 12 || ReadU32(payload, 0) != kMagic) {
+    return Status::Corruption("snapshot " + path +
+                              ": bad payload magic behind valid footer");
+  }
+  if (ReadU32(payload, 8) != verified.first.table_count) {
+    return Status::Corruption(
+        "snapshot " + path + ": footer table_count " +
+        std::to_string(verified.first.table_count) +
+        " != payload header " + std::to_string(ReadU32(payload, 8)));
+  }
+  return verified.first;
 }
 
 }  // namespace rdfdb::storage

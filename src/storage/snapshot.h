@@ -1,39 +1,84 @@
 // Binary snapshot persistence for a Database.
 //
-// Persists table schemas, partition declarations, live rows, and sequence
-// positions. Indexes and views are *not* serialized (function-based index
-// extractors are arbitrary code); callers re-create them after load — the
-// RDF layer does this in RdfStore::Open.
+// Persists table schemas and live rows. Indexes and views are *not*
+// serialized (function-based index extractors are arbitrary code);
+// callers re-create them after load — the RDF layer does this in
+// RdfStore::Open.
+//
+// Two layers:
+//
+//   - SaveSnapshot/LoadSnapshot: the stream-level payload codec
+//     (magic, version, tables). No integrity envelope — used by tests
+//     and as the inner payload of snapshot files.
+//
+//   - SaveSnapshotToFile/LoadSnapshotFromFile: the crash-safe file
+//     format. The payload is followed by a fixed 24-byte footer
+//
+//         u32 table_count | u64 payload_size | u32 payload_crc32c |
+//         u32 footer_version | u32 footer_magic ("RDBF")
+//
+//     and written write-tmp → fsync → rename → fsync-dir, so the file
+//     named `path` is always either the complete old snapshot or the
+//     complete new one. Loading verifies the footer (magic, version,
+//     size, CRC32C over the payload) before parsing, and the parser
+//     itself bounds every allocation by the stream size so a corrupt
+//     length field can never trigger a multi-GB allocation.
+//
+// All file I/O goes through storage::Env (env.h); passing nullptr uses
+// Env::Default(). The fault-injection crash tests substitute a
+// FaultInjectingEnv here.
 
 #ifndef RDFDB_STORAGE_SNAPSHOT_H_
 #define RDFDB_STORAGE_SNAPSHOT_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "obs/span_timeline.h"
 #include "storage/database.h"
+#include "storage/env.h"
 
 namespace rdfdb::storage {
 
-/// Serialize every table and sequence of `db` to `out`. A non-null
-/// `timeline` gets one span per table (category "snapshot") on lane 0.
+/// Serialize every table of `db` to `out` (payload codec only, no
+/// footer). A non-null `timeline` gets one span per table (category
+/// "snapshot") on lane 0.
 Status SaveSnapshot(const Database& db, std::ostream& out,
                     obs::Timeline* timeline = nullptr);
 
-/// Serialize to a file path.
+/// Atomically write the footered snapshot file at `path` (tmp + fsync +
+/// rename + dir fsync). `env` == nullptr uses Env::Default().
 Status SaveSnapshotToFile(const Database& db, const std::string& path,
+                          Env* env = nullptr,
                           obs::Timeline* timeline = nullptr);
 
-/// Recreate tables and sequences from `in` into `db` (which must be empty
-/// of conflicting names). A non-null `timeline` gets one span per table.
+/// Recreate tables from `in` into `db` (which must be empty of
+/// conflicting names). Payload codec only: no footer expected. Every
+/// length field is sanity-capped against the stream size; violations
+/// return Corruption with the byte offset.
 Status LoadSnapshot(std::istream& in, Database* db,
                     obs::Timeline* timeline = nullptr);
 
-/// Load from a file path.
+/// Load a footered snapshot file: verifies footer magic/version/size
+/// and the payload CRC32C before parsing, and rejects trailing junk.
 Status LoadSnapshotFromFile(const std::string& path, Database* db,
+                            Env* env = nullptr,
                             obs::Timeline* timeline = nullptr);
+
+/// Integrity facts about a footered snapshot file (rdfdb_fsck).
+struct SnapshotFileInfo {
+  uint32_t table_count = 0;
+  uint64_t payload_size = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Verify the footer and payload CRC of the snapshot at `path` without
+/// materializing any tables. Corruption/IOError on any mismatch.
+Result<SnapshotFileInfo> VerifySnapshotFile(const std::string& path,
+                                            Env* env = nullptr);
 
 }  // namespace rdfdb::storage
 

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/crc32c.h"
+
 namespace rdfdb::rdf {
 namespace {
 
@@ -13,13 +15,30 @@ class RedoLogTest : public ::testing::Test {
   void SetUp() override {
     snapshot_path_ = ::testing::TempDir() + "/rdfdb_redo_snap.bin";
     log_path_ = ::testing::TempDir() + "/rdfdb_redo.log";
-    std::remove(snapshot_path_.c_str());
-    std::remove(log_path_.c_str());
+    RemoveStoreFiles();
   }
 
-  void TearDown() override {
+  void TearDown() override { RemoveStoreFiles(); }
+
+  // The store roots several files at snapshot_path_ (manifest +
+  // generation snapshots); stale ones leak state across test processes
+  // sharing TempDir.
+  void RemoveStoreFiles() {
     std::remove(snapshot_path_.c_str());
     std::remove(log_path_.c_str());
+    std::remove(LoggedRdfStore::ManifestPath(snapshot_path_).c_str());
+    for (uint64_t gen = 1; gen <= 16; ++gen) {
+      std::remove(
+          LoggedRdfStore::GenerationFileName(snapshot_path_, gen).c_str());
+    }
+  }
+
+  /// A framing-valid log line (correct CRC) with the given seq and
+  /// already-escaped body.
+  static std::string FramedRecord(uint64_t seq, const std::string& body) {
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", Crc32c(body));
+    return std::to_string(seq) + "\t" + crc + "\t" + body + "\n";
   }
 
   std::string snapshot_path_;
@@ -205,9 +224,12 @@ TEST_F(RedoLogTest, FailedOperationsAreNotLogged) {
 }
 
 TEST_F(RedoLogTest, CorruptLogRejected) {
+  // Mid-log damage (a later record follows the garbage) is always hard
+  // Corruption — the torn-tail tolerance covers only the final record.
   {
     std::ofstream log(log_path_);
     log << "Z\tgarbage\trecord\n";
+    log << FramedRecord(2, "X\tm");
   }
   EXPECT_TRUE(LoggedRdfStore::Open(snapshot_path_, log_path_)
                   .status()
@@ -215,12 +237,75 @@ TEST_F(RedoLogTest, CorruptLogRejected) {
 }
 
 TEST_F(RedoLogTest, TruncatedFieldCountRejected) {
+  // CRC-valid but semantically malformed (wrong arity) — never
+  // tolerated, even as the final record.
   {
     std::ofstream log(log_path_);
-    log << "I\tmodel\tsubject\n";  // too few fields
+    log << FramedRecord(1, "I\tmodel\tsubject");  // I needs 4 fields
   }
   RdfStore store;
   EXPECT_TRUE(ReplayRedoLog(log_path_, &store).status().IsCorruption());
+}
+
+TEST_F(RedoLogTest, TornFinalRecordToleratedAndTruncated) {
+  {
+    auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE((*db)->CreateRdfModel("m", "mdata", "triple").ok());
+    ASSERT_TRUE((*db)->InsertTriple("m", "gov:a", "gov:p", "gov:b").ok());
+  }
+  // Simulate a crash mid-append: a partial record at the tail.
+  std::uintmax_t clean_size;
+  {
+    std::ifstream log(log_path_, std::ios::binary | std::ios::ate);
+    clean_size = static_cast<std::uintmax_t>(log.tellg());
+    std::ofstream append(log_path_, std::ios::app);
+    append << "3\tdeadbe";  // torn: no CRC, no body, no newline
+  }
+  auto recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE((*recovered)->recovery_stats().torn_tail);
+  EXPECT_EQ((*recovered)->recovery_stats().records, 2u);
+  EXPECT_TRUE(*(*recovered)->store().IsTriple("m", "gov:a", "gov:p",
+                                              "gov:b"));
+  // The torn bytes were truncated away at the last valid boundary.
+  std::ifstream log(log_path_, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(static_cast<std::uintmax_t>(log.tellg()), clean_size);
+  // ... so a second recovery is clean.
+  recovered = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE((*recovered)->recovery_stats().torn_tail);
+}
+
+TEST_F(RedoLogTest, SeqGapRejected) {
+  {
+    std::ofstream log(log_path_);
+    log << FramedRecord(1, "C\tm\tt\tc\t");
+    log << FramedRecord(3, "X\tm");  // 2 is missing
+  }
+  EXPECT_TRUE(LoggedRdfStore::Open(snapshot_path_, log_path_)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST_F(RedoLogTest, PoisonedLogFailsFast) {
+  auto db = LoggedRdfStore::Open(snapshot_path_, log_path_);
+  ASSERT_TRUE(db.ok());
+  storage::FaultInjectingEnv env;
+  RedoLogOptions opts;
+  opts.env = &env;
+  auto log = RedoLog::Open(log_path_ + ".poison", opts);
+  ASSERT_TRUE(log.ok());
+  env.CrashAfterBytes(5);  // first append tears mid-record
+  Status first = (*log)->LogDropModel("some_model_name");
+  EXPECT_FALSE(first.ok());
+  EXPECT_FALSE((*log)->poisoned().ok());
+  // Every later append fails fast with the original error, even though
+  // the env would now accept... nothing, it is frozen; but poisoning is
+  // checked before any I/O is attempted.
+  Status second = (*log)->LogDropModel("x");
+  EXPECT_EQ(second.message(), first.message());
+  std::remove((log_path_ + ".poison").c_str());
 }
 
 TEST_F(RedoLogTest, MissingLogIsEmpty) {

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # AddressSanitizer + UndefinedBehaviorSanitizer job (the memory-safety
 # twin of run_tsan.sh). Builds a dedicated build-asan tree and runs the
-# full test suite under ASan+UBSan; any report fails the run.
+# full test suite under ASan+UBSan; any report fails the run. The suite
+# includes the corrupt-input corpus (test_corrupt_recovery: truncated /
+# bit-flipped / length-attacked snapshots, logs and manifests) and the
+# crash-recovery torture harness, so hostile-byte parsing paths get
+# sanitizer coverage here.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
