@@ -88,6 +88,20 @@ StoreMetrics::StoreMetrics(MetricsRegistry* reg) : registry(reg) {
   recovery_opens = reg->RegisterCounter(
       "rdfdb_recovery_opens_total",
       "LoggedRdfStore::Open crash-recovery cycles");
+
+  versions_published = reg->RegisterCounter(
+      "rdfdb_versions_published_total",
+      "immutable store versions published by the snapshot store");
+  publish_ns = reg->RegisterHistogram(
+      "rdfdb_publish_ns",
+      "store-version publish latency: build + swap + sweep (ns)",
+      DefaultLatencyBucketsNs());
+  retired_versions = reg->RegisterGauge(
+      "rdfdb_retired_versions_outstanding",
+      "store versions retired but still pinned by a reader epoch");
+  epoch_lag = reg->RegisterGauge(
+      "rdfdb_oldest_pinned_epoch_lag",
+      "current epoch minus the oldest pinned reader epoch (0 = idle)");
 }
 
 }  // namespace rdfdb::obs

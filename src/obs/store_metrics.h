@@ -65,6 +65,12 @@ struct StoreMetrics {
   Counter* replay_torn_tails;    ///< torn final records dropped on replay
   Counter* replay_stale_skipped; ///< pre-checkpoint records skipped by seq
   Counter* recovery_opens;       ///< LoggedRdfStore::Open recoveries
+
+  // Snapshot-store version publishing (epoch-based read path).
+  Counter* versions_published;   ///< StoreVersions swapped in
+  Histogram* publish_ns;         ///< build + swap + sweep latency
+  Gauge* retired_versions;       ///< retired-but-not-yet-freed versions
+  Gauge* epoch_lag;              ///< current epoch minus oldest pinned
 };
 
 }  // namespace rdfdb::obs

@@ -18,7 +18,7 @@ namespace rdfdb::query {
 
 namespace {
 
-using rdf::RdfStore;
+using rdf::StoreView;
 using rdf::Term;
 using rdf::ValueId;
 
@@ -70,7 +70,7 @@ void FlushCounters(obs::QueryTrace* trace, const CompiledPlan& plan,
 }
 
 /// Resolve the filter's referenced slots to Terms and evaluate.
-Result<bool> EvalCompiledFilter(const RdfStore& store,
+Result<bool> EvalCompiledFilter(const StoreView& store,
                                 const CompiledPlan& plan,
                                 const ValueId* slots,
                                 ExecCounters* counters) {
@@ -89,10 +89,7 @@ Result<bool> EvalCompiledFilter(const RdfStore& store,
 /// The leaf-scan view backing StepRunner's fast path: valid when the
 /// source is a plain single-model store scan.
 rdf::LinkStore::LeafScan LeafFor(const TripleSource& source) {
-  int64_t model_id = 0;
-  const rdf::LinkStore* direct = source.DirectStore(&model_id);
-  if (direct == nullptr) return rdf::LinkStore::LeafScan{};
-  return direct->Leaf(model_id);
+  return source.DirectLeaf();
 }
 
 /// Depth-first streaming join over a step range. One instance per
@@ -101,7 +98,7 @@ rdf::LinkStore::LeafScan LeafFor(const TripleSource& source) {
 /// step rereads it, so no save/restore is needed).
 class StepRunner {
  public:
-  StepRunner(const RdfStore& store, const CompiledPlan& plan,
+  StepRunner(const StoreView& store, const CompiledPlan& plan,
              const TripleSource& source, rdf::LinkStore::LeafScan leaf,
              ExecCounters* counters, const std::atomic<bool>* cancel)
       : store_(store),
@@ -251,7 +248,7 @@ class StepRunner {
     return !stop_ && status_.ok();
   }
 
-  const RdfStore& store_;
+  const StoreView& store_;
   const CompiledPlan& plan_;
   const TripleSource& source_;
   rdf::LinkStore::LeafScan leaf_;
@@ -264,7 +261,7 @@ class StepRunner {
   Status status_ = Status::OK();
 };
 
-Status ExecuteSequential(const RdfStore& store, const CompiledPlan& plan,
+Status ExecuteSequential(const StoreView& store, const CompiledPlan& plan,
                          const TripleSource& source, const SlotRowFn& fn,
                          obs::QueryTrace* trace) {
   ExecCounters counters(plan.steps.size());
@@ -286,7 +283,7 @@ Status ExecuteSequential(const RdfStore& store, const CompiledPlan& plan,
 /// prefix. When `fn` stops early, workers are cancelled, so scan
 /// counters may exceed the sequential run's (whole chunks run to
 /// completion); without an early stop they are identical.
-Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
+Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
                        const TripleSource& source, const SlotRowFn& fn,
                        unsigned threads, size_t chunk_frames,
                        obs::QueryTrace* trace, obs::Timeline* timeline) {
@@ -467,7 +464,7 @@ Status ExecuteParallel(const RdfStore& store, const CompiledPlan& plan,
 
 }  // namespace
 
-ResolvedNode ResolveNode(const RdfStore& store, const PatternNode& node,
+ResolvedNode ResolveNode(const StoreView& store, const PatternNode& node,
                          bool object_position, obs::QueryTrace* trace) {
   ResolvedNode out;
   if (node.is_variable) {
@@ -483,7 +480,7 @@ ResolvedNode ResolveNode(const RdfStore& store, const PatternNode& node,
     return out;
   }
   if (trace != nullptr) ++trace->value_lookups;
-  std::optional<ValueId> id = store.values().Lookup(term);
+  std::optional<ValueId> id = store.LookupValue(term);
   if (!id.has_value()) {
     if (trace != nullptr) ++trace->value_lookup_misses;
     out.missing = true;
@@ -557,7 +554,7 @@ SlotIndex CompiledPlan::SlotOf(const std::string& var) const {
   return -1;
 }
 
-CompiledPlan CompilePatterns(const RdfStore& store,
+CompiledPlan CompilePatterns(const StoreView& store,
                              const std::vector<TriplePattern>& patterns,
                              const FilterExpr* filter,
                              const TripleSource& source,
@@ -666,7 +663,7 @@ CompiledPlan CompilePatterns(const RdfStore& store,
   return plan;
 }
 
-Status ExecutePlan(const RdfStore& store, const CompiledPlan& plan,
+Status ExecutePlan(const StoreView& store, const CompiledPlan& plan,
                    const TripleSource& source, const SlotRowFn& fn,
                    const ExecOptions& options) {
   obs::QueryTrace* trace = options.trace;

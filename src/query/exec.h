@@ -28,7 +28,7 @@
 #include "obs/trace.h"
 #include "query/filter.h"
 #include "query/sparql_pattern.h"
-#include "rdf/rdf_store.h"
+#include "rdf/store_view.h"
 
 namespace rdfdb::query {
 
@@ -56,7 +56,7 @@ struct ResolvedPattern {
 /// because object matching is canonical (CANON_END_NODE_ID). A non-null
 /// `trace` tallies real rdf_value$ probes (blank-node constants never
 /// probe; they are unaddressable and resolve to `missing`).
-ResolvedNode ResolveNode(const rdf::RdfStore& store, const PatternNode& node,
+ResolvedNode ResolveNode(const rdf::StoreView& store, const PatternNode& node,
                          bool object_position,
                          obs::QueryTrace* trace = nullptr);
 
@@ -156,7 +156,7 @@ using SlotRowFn = std::function<bool(const rdf::ValueId* slots)>;
 /// PatternTrace per compiled step and fills plan_order / reordered /
 /// dead_constant when traced. Compilation cannot fail: an unresolvable
 /// constant yields a dead plan (zero rows at execution).
-CompiledPlan CompilePatterns(const rdf::RdfStore& store,
+CompiledPlan CompilePatterns(const rdf::StoreView& store,
                              const std::vector<TriplePattern>& patterns,
                              const FilterExpr* filter,
                              const TripleSource& source,
@@ -168,7 +168,7 @@ CompiledPlan CompilePatterns(const rdf::RdfStore& store,
 /// run that is not stopped early are identical to the sequential ones.
 /// `store` and `source` must outlive the call and, with threads > 1,
 /// must not be mutated concurrently (workers only read).
-Status ExecutePlan(const rdf::RdfStore& store, const CompiledPlan& plan,
+Status ExecutePlan(const rdf::StoreView& store, const CompiledPlan& plan,
                    const TripleSource& source, const SlotRowFn& fn,
                    const ExecOptions& options = {});
 

@@ -62,25 +62,33 @@ std::string MatchResult::ToString() const {
   return out;
 }
 
-Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
-                                const std::string& query,
-                                const std::vector<std::string>& model_names,
-                                const std::vector<std::string>& rulebase_names,
-                                const AliasList& aliases,
-                                const std::string& filter,
-                                const MatchOptions& options) {
+namespace {
+
+/// Shared match core. `store` is the read surface every lookup runs
+/// against (the live store, or a pinned StoreVersion); `mutable_store`
+/// is only needed by on-the-fly entailment (interning rule
+/// consequents) and is null on the snapshot path.
+Result<MatchResult> MatchImpl(const rdf::StoreView& store,
+                              rdf::RdfStore* mutable_store,
+                              InferenceEngine* engine,
+                              const std::string& query,
+                              const std::vector<std::string>& model_names,
+                              const std::vector<std::string>& rulebase_names,
+                              const AliasList& aliases,
+                              const std::string& filter,
+                              const MatchOptions& options) {
   obs::QueryTrace* trace = options.trace;
   // Slow-query capture: when a log is attached and the caller didn't
   // ask for a trace, trace into a stack frame — fast queries then pay
   // only the tracing counters; the lock/copy happens solely for queries
   // that cross the threshold (below).
-  obs::SlowQueryLog* slow_log = store->slow_query_log();
+  obs::SlowQueryLog* slow_log = store.slow_query_log();
   obs::QueryTrace local_trace;
   if (trace == nullptr && slow_log != nullptr) trace = &local_trace;
   if (trace != nullptr) *trace = obs::QueryTrace{};
   Timer total_timer;
-  obs::StoreMetrics* metrics = store->metrics();
-  obs::TimelineScope query_span(store->timeline(), "query", "query",
+  obs::StoreMetrics* metrics = store.metrics();
+  obs::TimelineScope query_span(store.timeline(), "query", "query",
                                 /*lane=*/0);
 
   if (model_names.empty()) {
@@ -97,10 +105,10 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
 
   std::vector<rdf::ModelId> model_ids;
   for (const std::string& name : model_names) {
-    RDFDB_ASSIGN_OR_RETURN(rdf::ModelId id, store->GetModelId(name));
+    RDFDB_ASSIGN_OR_RETURN(rdf::ModelId id, store.GetModelId(name));
     model_ids.push_back(id);
   }
-  ModelSource base(store, model_ids);
+  ModelSource base(&store, model_ids);
 
   // Inference source: a covering pre-computed rules index if one exists,
   // otherwise on-the-fly entailment.
@@ -123,11 +131,17 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
         trace->inferred_triples = index->inferred_count();
       }
     } else {
+      if (mutable_store == nullptr) {
+        return Status::InvalidArgument(
+            "on-the-fly entailment requires a mutable store (snapshot "
+            "reads support rulebases only via a covering rules index)");
+      }
       RDFDB_ASSIGN_OR_RETURN(std::vector<const Rulebase*> rulebases,
                              engine->ResolveRulebases(rulebase_names));
       size_t rounds = 0;
       RDFDB_ASSIGN_OR_RETURN(
-          on_the_fly, ComputeEntailment(store, base, rulebases, &rounds));
+          on_the_fly,
+          ComputeEntailment(mutable_store, base, rulebases, &rounds));
       inferred = &on_the_fly;
       if (trace != nullptr) {
         trace->inference_rounds = rounds;
@@ -190,7 +204,7 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
     std::vector<rdf::Term> row;
     row.reserve(columns.size());
     for (size_t i = 0; i < columns.size(); ++i) {
-      auto term = store->TermForValueId(ids[i]);
+      auto term = store.TermForValueId(ids[i]);
       if (!term.ok()) return false;
       row.push_back(std::move(term).value());
     }
@@ -211,7 +225,7 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
       eval_options.trace = trace;
       eval_options.use_legacy = true;
       status = EvalPatterns(
-          *store, patterns, compiled_filter.get(), source,
+          store, patterns, compiled_filter.get(), source,
           [&](const IdBindings& binding) {
             for (size_t i = 0; i < columns.size(); ++i) {
               ids[i] = binding.at(columns[i]);
@@ -224,7 +238,7 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
       // frame — no per-solution binding map.
       const FilterExpr* f = compiled_filter.get();
       if (f != nullptr && f->IsAlwaysTrue()) f = nullptr;
-      CompiledPlan plan = CompilePatterns(*store, patterns, f, source,
+      CompiledPlan plan = CompilePatterns(store, patterns, f, source,
                                           /*reorder_patterns=*/true, trace);
       std::vector<SlotIndex> col_slots;
       col_slots.reserve(columns.size());
@@ -235,9 +249,9 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
       exec_options.threads = options.threads;
       exec_options.chunk_frames = options.chunk_frames;
       exec_options.trace = trace;
-      exec_options.timeline = store->timeline();
+      exec_options.timeline = store.timeline();
       status = ExecutePlan(
-          *store, plan, source,
+          store, plan, source,
           [&](const rdf::ValueId* slots) {
             for (size_t i = 0; i < columns.size(); ++i) {
               ids[i] = slots[col_slots[i]];
@@ -271,6 +285,30 @@ Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
     slow_log->Record(std::move(entry));
   }
   return result;
+}
+
+}  // namespace
+
+Result<MatchResult> SdoRdfMatch(rdf::RdfStore* store, InferenceEngine* engine,
+                                const std::string& query,
+                                const std::vector<std::string>& model_names,
+                                const std::vector<std::string>& rulebase_names,
+                                const AliasList& aliases,
+                                const std::string& filter,
+                                const MatchOptions& options) {
+  return MatchImpl(*store, store, engine, query, model_names, rulebase_names,
+                   aliases, filter, options);
+}
+
+Result<MatchResult> SdoRdfMatch(const rdf::StoreView& store,
+                                const std::string& query,
+                                const std::vector<std::string>& model_names,
+                                const AliasList& aliases,
+                                const std::string& filter,
+                                const MatchOptions& options) {
+  return MatchImpl(store, /*mutable_store=*/nullptr, /*engine=*/nullptr,
+                   query, model_names, /*rulebase_names=*/{}, aliases, filter,
+                   options);
 }
 
 }  // namespace rdfdb::query

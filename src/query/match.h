@@ -108,6 +108,16 @@ Result<MatchResult> SdoRdfMatch(
     const AliasList& aliases, const std::string& filter,
     const MatchOptions& options = {});
 
+/// Read-only overload over any StoreView — in particular a pinned
+/// snapshot version (SnapshotRdfStore::Snapshot()->view()), where the
+/// whole query runs lock-free against the pinned state. No rulebases:
+/// on-the-fly entailment needs a mutable store to intern consequents
+/// (run it through the RdfStore* overload, or pre-build a rules index).
+Result<MatchResult> SdoRdfMatch(
+    const rdf::StoreView& store, const std::string& query,
+    const std::vector<std::string>& model_names, const AliasList& aliases,
+    const std::string& filter, const MatchOptions& options = {});
+
 }  // namespace rdfdb::query
 
 #endif  // RDFDB_QUERY_MATCH_H_

@@ -127,7 +127,7 @@ void ModelSource::Match(std::optional<ValueId> s, std::optional<ValueId> p,
     bool keep_going = true;
     // Id-only scan: the join only consumes VALUE_IDs, so skip the
     // LinkRow materialization (string columns) per matched row.
-    store_->links().MatchEachIds(
+    store_->MatchEachIds(
         model, s, p, canon_o,
         [&](ValueId ts, ValueId tp, ValueId to, ValueId tco) {
           keep_going = fn(IdTriple{ts, tp, to, tco});
@@ -137,10 +137,9 @@ void ModelSource::Match(std::optional<ValueId> s, std::optional<ValueId> p,
   }
 }
 
-const rdf::LinkStore* ModelSource::DirectStore(int64_t* model_id) const {
-  if (models_.size() != 1) return nullptr;
-  *model_id = models_.front();
-  return &store_->links();
+rdf::LinkStore::LeafScan ModelSource::DirectLeaf() const {
+  if (models_.size() != 1) return {};
+  return store_->Leaf(models_.front());
 }
 
 void UnionSource::Match(std::optional<ValueId> s, std::optional<ValueId> p,
@@ -194,7 +193,7 @@ std::vector<size_t> PlanPatternOrder(
 }
 
 std::vector<size_t> PlanPatternOrderForSource(
-    const RdfStore& store, const std::vector<TriplePattern>& patterns,
+    const rdf::StoreView& store, const std::vector<TriplePattern>& patterns,
     const TripleSource& source) {
   // Untraced resolution (this entry point is advisory — the compiled
   // path resolves once, traced, inside CompilePatterns and shares the
@@ -214,7 +213,7 @@ namespace {
 /// oracle for the compiled executor (EvalOptions::use_legacy). Joins by
 /// copying a full binding map per consistent candidate row and
 /// materializes every intermediate relation.
-Status EvalPatternsLegacy(const RdfStore& store,
+Status EvalPatternsLegacy(const rdf::StoreView& store,
                           const std::vector<TriplePattern>& patterns,
                           const FilterExpr* filter,
                           const TripleSource& source,
@@ -357,7 +356,7 @@ Status EvalPatternsLegacy(const RdfStore& store,
 
 }  // namespace
 
-Status EvalPatterns(const RdfStore& store,
+Status EvalPatterns(const rdf::StoreView& store,
                     const std::vector<TriplePattern>& patterns,
                     const FilterExpr* filter, const TripleSource& source,
                     const std::function<bool(const IdBindings&)>& fn,

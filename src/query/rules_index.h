@@ -54,16 +54,13 @@ class TripleSource {
       const std::function<bool(const IdTriple&)>& fn) const = 0;
 
   /// Compiled-executor leaf hook: when this source is a plain
-  /// single-model store scan, returns the store's LinkStore and sets
-  /// `model_id`, letting the executor probe the id-native quad cache
-  /// directly (LinkStore::LeafScan) with no virtual dispatch or per-row
-  /// callback. Sources with composite semantics (unions, in-memory
-  /// sets, multi-model scans) return nullptr and are driven through
-  /// Match; results are identical either way.
-  virtual const rdf::LinkStore* DirectStore(int64_t* model_id) const {
-    (void)model_id;
-    return nullptr;
-  }
+  /// single-model store scan, returns a LeafScan view of that model's
+  /// id-native quad cache, letting the executor probe it directly with
+  /// no virtual dispatch or per-row callback. Sources with composite
+  /// semantics (unions, in-memory sets, multi-model scans) return an
+  /// invalid scan and are driven through Match; results are identical
+  /// either way.
+  virtual rdf::LinkStore::LeafScan DirectLeaf() const { return {}; }
 };
 
 /// In-memory indexed triple collection (deduplicated on (s, p, o)).
@@ -90,20 +87,21 @@ class TripleSet final : public TripleSource {
   std::unordered_multimap<rdf::ValueId, size_t> by_canon_o_;
 };
 
-/// Source over the central rdf_link$ store restricted to a model list.
+/// Source over a store view (live store or pinned snapshot version)
+/// restricted to a model list.
 class ModelSource final : public TripleSource {
  public:
-  ModelSource(const rdf::RdfStore* store, std::vector<rdf::ModelId> models)
+  ModelSource(const rdf::StoreView* store, std::vector<rdf::ModelId> models)
       : store_(store), models_(std::move(models)) {}
 
   void Match(std::optional<rdf::ValueId> s, std::optional<rdf::ValueId> p,
              std::optional<rdf::ValueId> canon_o,
              const std::function<bool(const IdTriple&)>& fn) const override;
 
-  const rdf::LinkStore* DirectStore(int64_t* model_id) const override;
+  rdf::LinkStore::LeafScan DirectLeaf() const override;
 
  private:
-  const rdf::RdfStore* store_;
+  const rdf::StoreView* store_;
   std::vector<rdf::ModelId> models_;
 };
 
@@ -167,7 +165,7 @@ std::vector<size_t> PlanPatternOrder(
 /// pattern connected to the already-bound variables. This is the order
 /// EvalPatterns uses when `reorder_patterns` is set.
 std::vector<size_t> PlanPatternOrderForSource(
-    const rdf::RdfStore& store,
+    const rdf::StoreView& store,
     const std::vector<TriplePattern>& patterns, const TripleSource& source);
 
 /// Evaluate a pattern list against `source`; calls `fn` once per
@@ -177,7 +175,7 @@ std::vector<size_t> PlanPatternOrderForSource(
 /// join. `filter` (nullable) rejects solutions, with the terms it
 /// references resolved through `store`. Return false from `fn` to stop
 /// early — the stop unwinds out of the innermost scan.
-Status EvalPatterns(const rdf::RdfStore& store,
+Status EvalPatterns(const rdf::StoreView& store,
                     const std::vector<TriplePattern>& patterns,
                     const FilterExpr* filter, const TripleSource& source,
                     const std::function<bool(const IdBindings&)>& fn,

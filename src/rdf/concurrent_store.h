@@ -9,11 +9,16 @@
 //
 // For anything not wrapped here, WithReadLock / WithWriteLock run an
 // arbitrary callback under the appropriate lock.
+//
+// This facade is the simple (and slow, under write load) option: a
+// bulk load stalls every reader for its whole duration. The lock-free
+// alternative is SnapshotRdfStore (rdf/snapshot_store.h), which
+// publishes immutable store versions readers pin without any lock;
+// this class remains as the differential oracle for its tests.
 
 #ifndef RDFDB_RDF_CONCURRENT_STORE_H_
 #define RDFDB_RDF_CONCURRENT_STORE_H_
 
-#include <atomic>
 #include <functional>
 #include <mutex>
 #include <shared_mutex>
@@ -89,11 +94,10 @@ class ConcurrentRdfStore {
 
   // ---- Reads (shared lock) ----------------------------------------------
   //
-  // Note: IsTriple / IsReified / GetTripleId on the core store may
-  // lazily intern nothing — they only perform lookups — so the shared
-  // lock is sufficient. (IsLinkReified's cached vocabulary ids are
-  // written at most once; the exclusive path below is used the first
-  // time to keep the fast path strictly read-only.)
+  // Note: every read wrapped here — including IsReified, whose
+  // vocabulary-id lookups are plain per-call index probes with no
+  // mutable caching — is strictly read-only on the core store, so the
+  // shared lock is sufficient from the first call.
 
   Result<bool> IsTriple(const std::string& model_name,
                         const std::string& subject,
@@ -107,14 +111,6 @@ class ConcurrentRdfStore {
                          const std::string& subject,
                          const std::string& property,
                          const std::string& object) const {
-    // IsReified touches the store's lazy rdf:type/rdf:Statement id cache
-    // on first use; take the exclusive lock until the cache is warm.
-    if (!reif_cache_warm_.load(std::memory_order_acquire)) {
-      std::unique_lock lock(mutex_);
-      auto result = store_.IsReified(model_name, subject, property, object);
-      reif_cache_warm_.store(true, std::memory_order_release);
-      return result;
-    }
     std::shared_lock lock(mutex_);
     return store_.IsReified(model_name, subject, property, object);
   }
@@ -198,7 +194,6 @@ class ConcurrentRdfStore {
 
  private:
   mutable std::shared_mutex mutex_;
-  mutable std::atomic<bool> reif_cache_warm_{false};
   RdfStore store_;
 };
 

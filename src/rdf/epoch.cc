@@ -1,0 +1,89 @@
+#include "rdf/epoch.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace rdfdb::rdf {
+
+namespace {
+
+/// Spread threads across the slot array so concurrent pins rarely
+/// contend on the same CAS target.
+size_t ThreadProbeOffset() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t offset =
+      next.fetch_add(17, std::memory_order_relaxed);
+  return offset;
+}
+
+}  // namespace
+
+EpochGc::Pin EpochGc::Enter() const {
+  const size_t offset = ThreadProbeOffset();
+  uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    for (size_t probe = 0; probe < kSlots; ++probe) {
+      const size_t i = (offset + probe) % kSlots;
+      uint64_t expected = 0;
+      if (!slots_[i].epoch.compare_exchange_strong(
+              expected, e, std::memory_order_seq_cst)) {
+        continue;
+      }
+      // Claimed. Re-validate: the writer may have advanced the epoch
+      // between our load and the CAS. Updating the slot in place is
+      // safe — the writer treats any non-zero slot as pinned, and a
+      // transiently old stamp only makes its watermark conservative.
+      for (;;) {
+        uint64_t cur = epoch_.load(std::memory_order_seq_cst);
+        if (cur == e) return Pin(this, i);
+        e = cur;
+        slots_[i].epoch.store(e, std::memory_order_seq_cst);
+      }
+    }
+    // All slots busy (more than kSlots simultaneous pins): wait for one
+    // to free up. Not a lock — progress resumes as soon as any reader
+    // unpins.
+    std::this_thread::yield();
+    e = epoch_.load(std::memory_order_seq_cst);
+  }
+}
+
+void EpochGc::Retire(std::shared_ptr<const void> obj,
+                     uint64_t retire_epoch) {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.emplace_back(std::move(obj), retire_epoch);
+}
+
+void EpochGc::Sweep() {
+  const uint64_t min = MinPinned();
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.erase(
+      std::remove_if(retired_.begin(), retired_.end(),
+                     [min](const auto& entry) {
+                       return min == 0 || entry.second <= min;
+                     }),
+      retired_.end());
+}
+
+uint64_t EpochGc::MinPinned() const {
+  uint64_t min = 0;
+  for (size_t i = 0; i < kSlots; ++i) {
+    const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && (min == 0 || e < min)) min = e;
+  }
+  return min;
+}
+
+size_t EpochGc::RetiredOutstanding() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+uint64_t EpochGc::OldestPinLag() const {
+  const uint64_t min = MinPinned();
+  if (min == 0) return 0;
+  const uint64_t cur = CurrentEpoch();
+  return cur > min ? cur - min : 0;
+}
+
+}  // namespace rdfdb::rdf

@@ -1,0 +1,133 @@
+// Epoch-based reclamation for atomically published store versions.
+//
+// The snapshot store publishes immutable StoreVersion objects behind an
+// atomic pointer. Readers pin the current epoch in a per-reader slot,
+// run entirely against the pinned version (no locks, no per-row
+// atomics), and unpin. The single writer advances the global epoch at
+// each publish, moves the displaced version onto a retire list stamped
+// with the new epoch, and frees retired objects once the minimum pinned
+// epoch has moved past their retire stamp — i.e. once no reader can
+// still hold a pointer into them.
+//
+// Memory-ordering contract (the whole safety argument):
+//   * Publish order is: plain-build version → release-store the version
+//     pointer → seq_cst fetch_add of the global epoch (yielding e_new)
+//     → retire the old version at e_new.
+//   * A reader whose slot holds epoch >= e_new necessarily read the
+//     fetch_add's result; the seq_cst RMW synchronizes-with that load,
+//     so the reader observes the new version pointer (or a newer one)
+//     and never touches the retired object. Hence an entry retired at
+//     e_new is free as soon as min_pinned >= e_new (or no reader is
+//     pinned at all).
+//   * Pin re-validates: after claiming a slot with epoch e, the reader
+//     re-loads the global epoch; on mismatch it re-stamps the slot and
+//     loops. A transiently stale slot value only makes the writer's
+//     watermark conservative (delays freeing), never unsafe.
+
+#ifndef RDFDB_RDF_EPOCH_H_
+#define RDFDB_RDF_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace rdfdb::rdf {
+
+/// Epoch-based garbage collector. One writer (externally serialized)
+/// calls Advance/Retire/Sweep; any number of readers call Enter.
+class EpochGc {
+ public:
+  EpochGc() = default;
+  EpochGc(const EpochGc&) = delete;
+  EpochGc& operator=(const EpochGc&) = delete;
+
+  /// RAII epoch pin. Movable; releases its slot on destruction.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept : gc_(other.gc_), slot_(other.slot_) {
+      other.gc_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gc_ = other.gc_;
+        slot_ = other.slot_;
+        other.gc_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    /// Drop the pin early (idempotent).
+    void Release() {
+      if (gc_ != nullptr) {
+        gc_->slots_[slot_].epoch.store(0, std::memory_order_release);
+        gc_ = nullptr;
+      }
+    }
+
+    bool pinned() const { return gc_ != nullptr; }
+
+   private:
+    friend class EpochGc;
+    Pin(const EpochGc* gc, size_t slot) : gc_(gc), slot_(slot) {}
+    const EpochGc* gc_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  /// Pin the current epoch. Lock-free: claims an idle slot with a CAS
+  /// and re-validates against the global epoch. Const so that read-side
+  /// surfaces stay const; the slot array is mutable state by design.
+  Pin Enter() const;
+
+  /// Writer: bump the global epoch; returns the new value. Serialized
+  /// externally (one writer at a time).
+  uint64_t Advance() { return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1; }
+
+  /// Writer: queue `obj` for release once every reader pinned before
+  /// `retire_epoch` has unpinned. The type-erased shared_ptr keeps the
+  /// object (and everything it transitively owns) alive until then.
+  void Retire(std::shared_ptr<const void> obj, uint64_t retire_epoch);
+
+  /// Writer: drop every retired entry whose stamp is covered by the
+  /// current minimum pinned epoch.
+  void Sweep();
+
+  /// Smallest epoch currently pinned by any reader; 0 when none is.
+  uint64_t MinPinned() const;
+
+  uint64_t CurrentEpoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  /// Retired-but-not-yet-freed entries (introspection / metrics).
+  size_t RetiredOutstanding() const;
+
+  /// CurrentEpoch() - MinPinned() when a reader is pinned, else 0 — how
+  /// far the oldest reader lags behind the published frontier.
+  uint64_t OldestPinLag() const;
+
+ private:
+  // More slots than any sane reader-thread count; cache-line padded so
+  // concurrent pins never false-share.
+  static constexpr size_t kSlots = 128;
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{0};  // 0 = idle
+  };
+
+  mutable Slot slots_[kSlots];
+  std::atomic<uint64_t> epoch_{1};
+  mutable std::mutex retire_mu_;  // writer-side only; never on read path
+  std::vector<std::pair<std::shared_ptr<const void>, uint64_t>> retired_;
+};
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_EPOCH_H_

@@ -124,7 +124,9 @@ void LinkStore::RebuildCache() {
                        row[kPValueId].as_int64(),
                        row[kEndNodeId].as_int64(),
                        row[kCanonEndNodeId].as_int64(),
-                       row[kLinkId].as_int64()});
+                       row[kLinkId].as_int64()},
+                /*implied=*/row[kContext].as_string()[0] ==
+                    static_cast<char>(TripleContext::kImplied));
     return true;
   });
 }
@@ -238,13 +240,27 @@ LinkStore::LeafScan LinkStore::Leaf(int64_t model_id) const {
   LeafScan leaf;
   auto it = id_cache_.find(model_id);
   if (it == id_cache_.end()) return leaf;
-  leaf.cache_ = &it->second;
+  leaf.cache_ = it->second.get();
   leaf.scans_ = metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr;
   return leaf;
 }
 
-void LinkStore::CacheInsert(int64_t model_id, const IdQuad& quad) {
-  ModelIdCache& cache = id_cache_[model_id];
+LinkStore::ModelIdCache& LinkStore::MutableCache(int64_t model_id) {
+  std::shared_ptr<ModelIdCache>& slot = id_cache_[model_id];
+  if (slot == nullptr) {
+    slot = std::make_shared<ModelIdCache>();
+  } else if (slot.use_count() > 1) {
+    // A published snapshot still reads the current object: mutate a
+    // clone instead (only the serialized writer runs here, so the
+    // use_count answer is stable).
+    slot = std::make_shared<ModelIdCache>(*slot);
+  }
+  return *slot;
+}
+
+void LinkStore::CacheInsert(int64_t model_id, const IdQuad& quad,
+                            bool implied) {
+  ModelIdCache& cache = MutableCache(model_id);
   const uint32_t idx = static_cast<uint32_t>(cache.quads.size());
   cache.quads.push_back(quad);
   cache.by_s[quad.s].push_back(idx);
@@ -252,12 +268,21 @@ void LinkStore::CacheInsert(int64_t model_id, const IdQuad& quad) {
   cache.by_canon[quad.canon_o].push_back(idx);
   cache.by_p[quad.p].push_back(idx);
   cache.by_link.emplace(quad.link_id, idx);
+  if (implied) cache.implied_count += 1;
 }
 
-void LinkStore::CacheErase(int64_t model_id, LinkId link_id) {
+void LinkStore::CacheContextUpgrade(int64_t model_id) {
+  ModelIdCache& cache = MutableCache(model_id);
+  if (cache.implied_count > 0) cache.implied_count -= 1;
+}
+
+void LinkStore::CacheErase(int64_t model_id, LinkId link_id, bool implied) {
   auto mit = id_cache_.find(model_id);
   if (mit == id_cache_.end()) return;
-  ModelIdCache& cache = mit->second;
+  if (mit->second.use_count() > 1) {
+    mit->second = std::make_shared<ModelIdCache>(*mit->second);
+  }
+  ModelIdCache& cache = *mit->second;
   auto lit = cache.by_link.find(link_id);
   if (lit == cache.by_link.end()) return;
   const uint32_t idx = lit->second;
@@ -285,6 +310,7 @@ void LinkStore::CacheErase(int64_t model_id, LinkId link_id) {
     unpost(cache.by_p, q.p, idx);
   }
   cache.by_link.erase(lit);
+  if (implied && cache.implied_count > 0) cache.implied_count -= 1;
   if (idx != back) {
     const IdQuad moved = cache.quads[back];
     repost(cache.by_s, moved.s, back, idx);
@@ -363,14 +389,17 @@ Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
     storage::RowId rid = existing.front();
     LinkRow link = RowToLink(*links_->Get(rid));
     link.cost += 1;
+    bool upgraded = false;
     if (context == TripleContext::kDirect &&
         link.context == TripleContext::kImplied) {
       // "If the triple is subsequently entered into the database as a
       // fact, the CONTEXT for this triple is changed from I to D."
       link.context = TripleContext::kDirect;
+      upgraded = true;
     }
     link.reif_link = link.reif_link || reif_link;
     RDFDB_RETURN_NOT_OK(links_->Update(rid, LinkToRow(link)));
+    if (upgraded) CacheContextUpgrade(model_id);
     if (metrics_ != nullptr) metrics_->link_duplicates->Inc();
     return LinkInsertOutcome{link, /*inserted=*/false};
   }
@@ -389,7 +418,8 @@ Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
 
   auto insert = links_->Insert(LinkToRow(link));
   if (!insert.ok()) return insert.status();
-  CacheInsert(model_id, IdQuad{s, p, o, canon_o, link.link_id});
+  CacheInsert(model_id, IdQuad{s, p, o, canon_o, link.link_id},
+              context == TripleContext::kImplied);
 
   // Keep the NDM network in sync: "a new link is always created whenever
   // a new triple is inserted"; nodes are reused.
@@ -432,6 +462,7 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
     size_t first_entry = 0;
     int64_t occurrences = 0;
     bool is_new = false;
+    bool was_implied = false;  ///< existing row's CONTEXT before the fold
   };
   std::unordered_map<SpoKey, size_t, SpoKeyHash> group_of;
   group_of.reserve(entries.size());
@@ -454,6 +485,7 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
       if (!existing.empty()) {
         g.existing_rid = existing.front();
         g.row = RowToLink(*links_->Get(existing.front()));
+        g.was_implied = g.row.context == TripleContext::kImplied;
       } else {
         g.is_new = true;
         ++new_groups;
@@ -493,6 +525,9 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
     } else {
       g.row.cost += g.occurrences;
       RDFDB_RETURN_NOT_OK(links_->Update(*g.existing_rid, LinkToRow(g.row)));
+      if (g.was_implied && g.row.context == TripleContext::kDirect) {
+        CacheContextUpgrade(model_id);
+      }
     }
   }
   auto staged = links_->InsertBatch(std::move(new_rows));
@@ -504,7 +539,8 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
     CacheInsert(model_id,
                 IdQuad{g.row.start_node_id, g.row.p_value_id,
                        g.row.end_node_id, g.row.canon_end_node_id,
-                       g.row.link_id});
+                       g.row.link_id},
+                g.row.context == TripleContext::kImplied);
   }
 
   // Phase 3: bulk-register the NDM side. Node creation order matches the
@@ -638,10 +674,15 @@ void LinkStore::MatchEachIds(
     const {
   auto mit = id_cache_.find(model_id);
   if (mit == id_cache_.end()) return;
-  const ModelIdCache& cache = mit->second;
-  obs::Counter* scans =
-      metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr;
+  MatchCache(*mit->second, s, p, canon_o, fn,
+             metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr);
+}
 
+void LinkStore::MatchCache(
+    const ModelIdCache& cache, std::optional<ValueId> s,
+    std::optional<ValueId> p, std::optional<ValueId> canon_o,
+    const std::function<bool(ValueId, ValueId, ValueId, ValueId)>& fn,
+    obs::Counter* scans) {
   auto visit = [&](const IdQuad& q) {
     if (scans != nullptr) scans->Inc();
     if (s.has_value() && q.s != *s) return true;
@@ -711,7 +752,8 @@ Status LinkStore::Delete(int64_t model_id, ValueId s, ValueId p, ValueId o,
     return links_->Update(rid, LinkToRow(link));
   }
   RDFDB_RETURN_NOT_OK(links_->Delete(rid));
-  CacheErase(model_id, link.link_id);
+  CacheErase(model_id, link.link_id,
+             link.context == TripleContext::kImplied);
   RemoveFromNetwork(link);
   return Status::OK();
 }

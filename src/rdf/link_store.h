@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -274,6 +275,11 @@ class LinkStore {
   /// every mutation path in lockstep with the table (and rebuilt from
   /// it on reattach), so reads need no locking beyond what the table
   /// itself requires.
+  ///
+  /// Instances are held by shared_ptr and copied-on-write: the store
+  /// clones a model's cache before the first mutation that follows a
+  /// ShareCaches() call, so published snapshots keep reading the old
+  /// object while the store mutates the clone.
   struct ModelIdCache {
     std::vector<IdQuad> quads;
     std::unordered_map<ValueId, std::vector<uint32_t>> by_s;
@@ -281,7 +287,46 @@ class LinkStore {
     std::unordered_map<ValueId, std::vector<uint32_t>> by_canon;
     std::unordered_map<ValueId, std::vector<uint32_t>> by_p;
     std::unordered_map<LinkId, uint32_t> by_link;  ///< delete maintenance
+    size_t implied_count = 0;  ///< rows with CONTEXT == Implied
+
+    /// Exact (s, p, lexical-object) probe — the identity Insert/Delete
+    /// and IS_TRIPLE use. Returns the matching quad or nullptr.
+    const IdQuad* FindSpo(ValueId s, ValueId p, ValueId o) const {
+      SpMap::Hit hit = by_sp.Probe(s, p);
+      if (hit.n == 0) return nullptr;
+      if (hit.n == 1) return hit.o == o ? &quads[hit.head] : nullptr;
+      for (uint32_t i = 0; i < hit.n; ++i) {
+        const IdQuad& quad = quads[hit.list[i]];
+        if (quad.o == o) return &quad;
+      }
+      return nullptr;
+    }
   };
+
+  /// Id-only match kernel over one cache: index choice (sp probe →
+  /// postings → full scan), residual filtering, and scan accounting.
+  /// Shared by the store's MatchEachIds and by published StoreVersions,
+  /// which run it against their pinned cache objects.
+  static void MatchCache(
+      const ModelIdCache& cache, std::optional<ValueId> s,
+      std::optional<ValueId> p, std::optional<ValueId> canon_o,
+      const std::function<bool(ValueId s, ValueId p, ValueId o,
+                               ValueId canon_o)>& fn,
+      obs::Counter* scans);
+
+  /// Shared read-only handles on every model's current cache — the raw
+  /// material of a published snapshot. Cheap (one shared_ptr copy per
+  /// model); subsequent store mutations copy-on-write and leave the
+  /// returned objects untouched.
+  std::unordered_map<int64_t, std::shared_ptr<const ModelIdCache>>
+  ShareCaches() const {
+    std::unordered_map<int64_t, std::shared_ptr<const ModelIdCache>> out;
+    out.reserve(id_cache_.size());
+    for (const auto& [model_id, cache] : id_cache_) {
+      out.emplace(model_id, cache);
+    }
+    return out;
+  }
 
   /// Borrowed read-only view of one model's quad cache for the compiled
   /// executor's leaf scans: direct posting access with no virtual
@@ -290,6 +335,10 @@ class LinkStore {
   class LeafScan {
    public:
     LeafScan() = default;
+    /// View over an externally-owned cache (a published StoreVersion's
+    /// pinned object); `scans` may be null to disable accounting.
+    LeafScan(const ModelIdCache* cache, obs::Counter* scans)
+        : cache_(cache), scans_(scans) {}
     bool valid() const { return cache_ != nullptr; }
     const IdQuad* quads() const { return cache_->quads.data(); }
     uint32_t quad_count() const {
@@ -334,8 +383,15 @@ class LinkStore {
                  std::optional<ValueId> p, std::optional<ValueId> canon_o,
                  const std::function<bool(const storage::Row&)>& fn) const;
 
-  void CacheInsert(int64_t model_id, const IdQuad& quad);
-  void CacheErase(int64_t model_id, LinkId link_id);
+  /// Mutable handle on one model's cache, cloning it first when a
+  /// published snapshot still shares the current object (copy-on-write;
+  /// only the serialized writer manipulates these shared_ptrs).
+  ModelIdCache& MutableCache(int64_t model_id);
+
+  void CacheInsert(int64_t model_id, const IdQuad& quad, bool implied);
+  void CacheErase(int64_t model_id, LinkId link_id, bool implied);
+  /// An existing row's CONTEXT flipped Implied → Direct.
+  void CacheContextUpgrade(int64_t model_id);
 
   LinkRow RowToLink(const storage::Row& row) const;
   storage::Row LinkToRow(const LinkRow& link) const;
@@ -348,7 +404,7 @@ class LinkStore {
   storage::Table* links_;   // MDSYS.RDF_LINK$
   storage::Table* nodes_;   // MDSYS.RDF_NODE$
   storage::Sequence* link_seq_;
-  std::unordered_map<int64_t, ModelIdCache> id_cache_;
+  std::unordered_map<int64_t, std::shared_ptr<ModelIdCache>> id_cache_;
   obs::StoreMetrics* metrics_ = nullptr;
 };
 

@@ -215,19 +215,18 @@ Result<bool> RdfStore::IsLinkReified(ModelId model_id, LinkId link_id) const {
   Term resource = Term::Uri(DBUriForLink(link_id, db_->name()));
   std::optional<ValueId> r_id = values_->Lookup(resource);
   if (!r_id.has_value()) return false;
-  // rdf:type / rdf:Statement VALUE_IDs never change once assigned;
-  // resolve them once per store (an absent id is not cached — the term
-  // may be interned later).
-  if (!reif_type_id_.has_value()) {
-    reif_type_id_ = values_->Lookup(Term::Uri(std::string(kRdfType)));
-    if (!reif_type_id_.has_value()) return false;
-  }
-  if (!reif_stmt_id_.has_value()) {
-    reif_stmt_id_ = values_->Lookup(Term::Uri(std::string(kRdfStatement)));
-    if (!reif_stmt_id_.has_value()) return false;
-  }
-  return links_->Find(model_id, *r_id, *reif_type_id_, *reif_stmt_id_)
-      .has_value();
+  // Strictly read-only: no mutable caching of the rdf:type /
+  // rdf:Statement ids here — each is a single hash-index probe, and a
+  // const read path lets concurrent facades serve IS_REIFIED without a
+  // first-call lock upgrade. Snapshot versions pre-resolve both ids at
+  // publish time instead.
+  std::optional<ValueId> type_id =
+      values_->Lookup(Term::Uri(std::string(kRdfType)));
+  if (!type_id.has_value()) return false;
+  std::optional<ValueId> stmt_id =
+      values_->Lookup(Term::Uri(std::string(kRdfStatement)));
+  if (!stmt_id.has_value()) return false;
+  return links_->Find(model_id, *r_id, *type_id, *stmt_id).has_value();
 }
 
 Result<SdoRdfTripleS> RdfStore::AssertAboutTriple(

@@ -24,6 +24,7 @@
 #include "obs/store_metrics.h"
 #include "rdf/link_store.h"
 #include "rdf/model_store.h"
+#include "rdf/store_view.h"
 #include "rdf/term.h"
 #include "rdf/triple.h"
 #include "rdf/value_store.h"
@@ -36,10 +37,13 @@ class Env;
 namespace rdfdb::rdf {
 
 /// Central RDF store. Not thread-safe (single-writer embedded model).
-class RdfStore {
+/// Implements StoreView so queries run directly against the live state;
+/// SnapshotRdfStore publishes immutable StoreVersion views of it for
+/// lock-free readers.
+class RdfStore : public StoreView {
  public:
   RdfStore();
-  ~RdfStore();
+  ~RdfStore() override;
 
   RdfStore(const RdfStore&) = delete;
   RdfStore& operator=(const RdfStore&) = delete;
@@ -56,7 +60,7 @@ class RdfStore {
   Status DropRdfModel(const std::string& model_name);
 
   /// SDO_RDF.GET_MODEL_ID.
-  Result<ModelId> GetModelId(const std::string& model_name) const;
+  Result<ModelId> GetModelId(const std::string& model_name) const override;
 
   /// Names of all models.
   std::vector<std::string> ModelNames() const;
@@ -172,8 +176,23 @@ class RdfStore {
   Result<std::string> ResolveObject(LinkId rdf_t_id) const;
 
   /// Term / display text for a VALUE_ID.
-  Result<Term> TermForValueId(ValueId value_id) const;
+  Result<Term> TermForValueId(ValueId value_id) const override;
   Result<std::string> TextForValueId(ValueId value_id) const;
+
+  // ---- StoreView (live-state implementation) ---------------------------
+
+  std::optional<ValueId> LookupValue(const Term& term) const override {
+    return values_->Lookup(term);
+  }
+  LinkStore::LeafScan Leaf(ModelId model_id) const override {
+    return links_->Leaf(model_id);
+  }
+  void MatchEachIds(ModelId model_id, std::optional<ValueId> s,
+                    std::optional<ValueId> p, std::optional<ValueId> canon_o,
+                    const std::function<bool(ValueId, ValueId, ValueId,
+                                             ValueId)>& fn) const override {
+    links_->MatchEachIds(model_id, s, p, canon_o, fn);
+  }
 
   /// Intern an already-parsed term for `model_id` (blank nodes are
   /// model-scoped). Exposed for the loaders and the query layer.
@@ -216,7 +235,7 @@ class RdfStore {
   /// The store's metric instruments. Write operations on the returned
   /// handles are relaxed atomics, so handing out a mutable pointer from
   /// a const store is sound.
-  obs::StoreMetrics* metrics() const { return metrics_.get(); }
+  obs::StoreMetrics* metrics() const override { return metrics_.get(); }
 
   /// Registry backing metrics(); dump with RenderPrometheus()/RenderJson().
   obs::MetricsRegistry& metrics_registry() const { return *registry_; }
@@ -230,9 +249,11 @@ class RdfStore {
   void set_event_log(obs::EventLog* log);
   obs::EventLog* event_log() const { return event_log_; }
   void set_slow_query_log(obs::SlowQueryLog* log) { slow_query_log_ = log; }
-  obs::SlowQueryLog* slow_query_log() const { return slow_query_log_; }
+  obs::SlowQueryLog* slow_query_log() const override {
+    return slow_query_log_;
+  }
   void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
-  obs::Timeline* timeline() const { return timeline_; }
+  obs::Timeline* timeline() const override { return timeline_; }
 
   // ---- Persistence -------------------------------------------------------
 
@@ -267,10 +288,6 @@ class RdfStore {
   obs::EventLog* event_log_ = nullptr;
   obs::SlowQueryLog* slow_query_log_ = nullptr;
   obs::Timeline* timeline_ = nullptr;
-  // Cached VALUE_IDs for rdf:type / rdf:Statement (assigned on first
-  // successful reification lookup; never change afterwards).
-  mutable std::optional<ValueId> reif_type_id_;
-  mutable std::optional<ValueId> reif_stmt_id_;
 };
 
 }  // namespace rdfdb::rdf

@@ -1,0 +1,323 @@
+#include "rdf/snapshot_store.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/store_metrics.h"
+#include "rdf/reification.h"
+#include "rdf/vocab.h"
+
+namespace rdfdb::rdf {
+
+// ---- StoreVersion ---------------------------------------------------------
+
+Result<ModelId> StoreVersion::GetModelId(
+    const std::string& model_name) const {
+  auto it = models_by_lower_name_.find(ToLower(model_name));
+  if (it == models_by_lower_name_.end()) {
+    return Status::NotFound("model " + model_name);
+  }
+  return it->second;
+}
+
+std::optional<ValueId> StoreVersion::LookupValue(const Term& term) const {
+  return dict_->Lookup(term);
+}
+
+Result<Term> StoreVersion::TermForValueId(ValueId value_id) const {
+  return dict_->TermForValueId(value_id);
+}
+
+LinkStore::LeafScan StoreVersion::Leaf(ModelId model_id) const {
+  const LinkStore::ModelIdCache* cache = CacheFor(model_id);
+  if (cache == nullptr) return LinkStore::LeafScan();
+  return LinkStore::LeafScan(
+      cache, metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr);
+}
+
+void StoreVersion::MatchEachIds(
+    ModelId model_id, std::optional<ValueId> s, std::optional<ValueId> p,
+    std::optional<ValueId> canon_o,
+    const std::function<bool(ValueId, ValueId, ValueId, ValueId)>& fn)
+    const {
+  const LinkStore::ModelIdCache* cache = CacheFor(model_id);
+  if (cache == nullptr) return;
+  LinkStore::MatchCache(
+      *cache, s, p, canon_o, fn,
+      metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr);
+}
+
+std::optional<ValueId> StoreVersion::LookupTermId(ModelId model_id,
+                                                  const Term& term) const {
+  if (term.is_blank()) return dict_->LookupBlank(model_id, term.lexical());
+  return dict_->Lookup(term);
+}
+
+Result<bool> StoreVersion::IsTriple(const std::string& model_name,
+                                    const std::string& subject,
+                                    const std::string& property,
+                                    const std::string& object) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  std::optional<ValueId> s_id = LookupTermId(model_id, s);
+  std::optional<ValueId> p_id = LookupTermId(model_id, p);
+  std::optional<ValueId> o_id = LookupTermId(model_id, o);
+  if (!s_id || !p_id || !o_id) return false;
+  const LinkStore::ModelIdCache* cache = CacheFor(model_id);
+  if (cache == nullptr) return false;
+  return cache->FindSpo(*s_id, *p_id, *o_id) != nullptr;
+}
+
+Result<bool> StoreVersion::IsReified(const std::string& model_name,
+                                     const std::string& subject,
+                                     const std::string& property,
+                                     const std::string& object) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  std::optional<ValueId> s_id = LookupTermId(model_id, s);
+  std::optional<ValueId> p_id = LookupTermId(model_id, p);
+  std::optional<ValueId> o_id = LookupTermId(model_id, o);
+  if (!s_id || !p_id || !o_id) return false;
+  const LinkStore::ModelIdCache* cache = CacheFor(model_id);
+  if (cache == nullptr) return false;
+  const LinkStore::IdQuad* quad = cache->FindSpo(*s_id, *p_id, *o_id);
+  if (quad == nullptr) return false;
+  return IsLinkReified(model_id, quad->link_id);
+}
+
+Result<LinkId> StoreVersion::GetTripleId(const std::string& model_name,
+                                         const std::string& subject,
+                                         const std::string& property,
+                                         const std::string& object) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RDFDB_ASSIGN_OR_RETURN(Term s, ParseApiSubject(subject));
+  RDFDB_ASSIGN_OR_RETURN(Term p, ParseApiPredicate(property));
+  RDFDB_ASSIGN_OR_RETURN(Term o, ParseApiTerm(object));
+  std::optional<ValueId> s_id = LookupTermId(model_id, s);
+  std::optional<ValueId> p_id = LookupTermId(model_id, p);
+  std::optional<ValueId> o_id = LookupTermId(model_id, o);
+  const LinkStore::ModelIdCache* cache = CacheFor(model_id);
+  const LinkStore::IdQuad* quad =
+      (s_id && p_id && o_id && cache != nullptr)
+          ? cache->FindSpo(*s_id, *p_id, *o_id)
+          : nullptr;
+  if (quad == nullptr) {
+    return Status::NotFound("triple not found in model " + model_name);
+  }
+  return quad->link_id;
+}
+
+Result<bool> StoreVersion::IsLinkReified(ModelId model_id,
+                                         LinkId link_id) const {
+  if (metrics_ != nullptr) {
+    metrics_->reif_checks->Inc();
+    metrics_->reif_dburi_resolutions->Inc();
+  }
+  // The vocabulary ids were resolved once at publish time; the only
+  // per-call dictionary probe is the DBUri itself.
+  if (!reif_type_id_.has_value() || !reif_stmt_id_.has_value()) return false;
+  std::optional<ValueId> r_id =
+      dict_->Lookup(Term::Uri(DBUriForLink(link_id, db_name_)));
+  if (!r_id.has_value()) return false;
+  const LinkStore::ModelIdCache* cache = CacheFor(model_id);
+  if (cache == nullptr) return false;
+  // rdf:Statement is a URI, so its lexical object equals its canonical
+  // object and the (s, p, o) identity probe answers the query form.
+  return cache->FindSpo(*r_id, *reif_type_id_, *reif_stmt_id_) != nullptr;
+}
+
+Result<RdfStore::ModelStats> StoreVersion::GetModelStats(
+    const std::string& model_name,
+    const RdfStore::ModelStatsOptions& options) const {
+  RDFDB_ASSIGN_OR_RETURN(ModelId model_id, GetModelId(model_name));
+  RdfStore::ModelStats stats;
+  const LinkStore::ModelIdCache* cache = CacheFor(model_id);
+  if (cache == nullptr) return stats;  // registered but empty model
+
+  stats.triples = cache->quads.size();
+  stats.implied_statements = cache->implied_count;
+  if (reif_type_id_.has_value() && reif_stmt_id_.has_value()) {
+    LinkStore::MatchCache(
+        *cache, std::nullopt, *reif_type_id_, *reif_stmt_id_,
+        [&](ValueId, ValueId, ValueId, ValueId) {
+          ++stats.reified_statements;
+          return true;
+        },
+        metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr);
+  }
+
+  if (options.distinct_counts) {
+    std::unordered_set<ValueId> subjects, predicates, objects;
+    for (const LinkStore::IdQuad& quad : cache->quads) {
+      subjects.insert(quad.s);
+      predicates.insert(quad.p);
+      objects.insert(quad.o);
+    }
+    stats.distinct_subjects = subjects.size();
+    stats.distinct_predicates = predicates.size();
+    stats.distinct_objects = objects.size();
+  }
+  return stats;
+}
+
+Result<SdoRdfTriple> StoreVersion::ResolveTriple(LinkId rdf_t_id) const {
+  for (const auto& [model_id, cache] : caches_) {
+    auto it = cache->by_link.find(rdf_t_id);
+    if (it == cache->by_link.end()) continue;
+    const LinkStore::IdQuad& quad = cache->quads[it->second];
+    SdoRdfTriple triple;
+    RDFDB_ASSIGN_OR_RETURN(Term s, dict_->TermForValueId(quad.s));
+    RDFDB_ASSIGN_OR_RETURN(Term p, dict_->TermForValueId(quad.p));
+    RDFDB_ASSIGN_OR_RETURN(Term o, dict_->TermForValueId(quad.o));
+    triple.subject = s.ToDisplayString();
+    triple.property = p.ToDisplayString();
+    triple.object = o.ToDisplayString();
+    return triple;
+  }
+  return Status::NotFound("LINK_ID " + std::to_string(rdf_t_id));
+}
+
+size_t StoreVersion::TripleCount(ModelId model_id) const {
+  const LinkStore::ModelIdCache* cache = CacheFor(model_id);
+  return cache == nullptr ? 0 : cache->quads.size();
+}
+
+// ---- SnapshotRdfStore -----------------------------------------------------
+
+SnapshotRdfStore::SnapshotRdfStore() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // An empty store cannot fail to snapshot.
+  Status status = PublishLocked();
+  (void)status;
+}
+
+Result<ModelInfo> SnapshotRdfStore::CreateRdfModel(
+    const std::string& model_name, const std::string& app_table,
+    const std::string& app_column, const std::string& owner) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Result<ModelInfo> result =
+      store_.CreateRdfModel(model_name, app_table, app_column, owner);
+  RDFDB_RETURN_NOT_OK(PublishLocked());
+  return result;
+}
+
+Status SnapshotRdfStore::DropRdfModel(const std::string& model_name) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Status status = store_.DropRdfModel(model_name);
+  RDFDB_RETURN_NOT_OK(PublishLocked());
+  return status;
+}
+
+Result<SdoRdfTripleS> SnapshotRdfStore::InsertTriple(
+    const std::string& model_name, const std::string& subject,
+    const std::string& property, const std::string& object) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Result<SdoRdfTripleS> result =
+      store_.InsertTriple(model_name, subject, property, object);
+  RDFDB_RETURN_NOT_OK(PublishLocked());
+  return result;
+}
+
+Status SnapshotRdfStore::DeleteTriple(const std::string& model_name,
+                                      const std::string& subject,
+                                      const std::string& property,
+                                      const std::string& object) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Status status = store_.DeleteTriple(model_name, subject, property, object);
+  RDFDB_RETURN_NOT_OK(PublishLocked());
+  return status;
+}
+
+Result<SdoRdfTripleS> SnapshotRdfStore::ReifyTriple(
+    const std::string& model_name, LinkId rdf_t_id) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Result<SdoRdfTripleS> result = store_.ReifyTriple(model_name, rdf_t_id);
+  RDFDB_RETURN_NOT_OK(PublishLocked());
+  return result;
+}
+
+Result<SdoRdfTripleS> SnapshotRdfStore::AssertAboutTriple(
+    const std::string& model_name, const std::string& subject,
+    const std::string& property, LinkId rdf_t_id) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Result<SdoRdfTripleS> result =
+      store_.AssertAboutTriple(model_name, subject, property, rdf_t_id);
+  RDFDB_RETURN_NOT_OK(PublishLocked());
+  return result;
+}
+
+Result<SdoRdfTripleS> SnapshotRdfStore::AssertImplied(
+    const std::string& model_name, const std::string& reif_sub,
+    const std::string& reif_prop, const std::string& subject,
+    const std::string& property, const std::string& object) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  Result<SdoRdfTripleS> result = store_.AssertImplied(
+      model_name, reif_sub, reif_prop, subject, property, object);
+  RDFDB_RETURN_NOT_OK(PublishLocked());
+  return result;
+}
+
+void SnapshotRdfStore::SetObservability(obs::EventLog* event_log,
+                                        obs::SlowQueryLog* slow_query_log,
+                                        obs::Timeline* timeline) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  store_.set_event_log(event_log);
+  store_.set_slow_query_log(slow_query_log);
+  store_.set_timeline(timeline);
+  // Re-publish so readers pick up the new attachments.
+  Status status = PublishLocked();
+  (void)status;
+}
+
+Status SnapshotRdfStore::PublishLocked() {
+  Timer timer;
+  // Absorb rdf_value$ rows appended since the previous publish. The
+  // dictionary is monotonic and its tables are published with release
+  // stores, so readers on older versions stay safe.
+  RDFDB_RETURN_NOT_OK(dict_.Ingest(store_.values()));
+
+  std::shared_ptr<StoreVersion> version(new StoreVersion());
+  version->caches_ = store_.links().ShareCaches();
+  for (const std::string& name : store_.ModelNames()) {
+    Result<ModelId> model_id = store_.GetModelId(name);
+    if (!model_id.ok()) continue;  // racing drop is impossible; belt-and-braces
+    version->models_by_lower_name_.emplace(ToLower(name), *model_id);
+    version->model_names_.push_back(name);
+  }
+  version->dict_ = &dict_;
+  version->reif_type_id_ = dict_.Lookup(Term::Uri(std::string(kRdfType)));
+  version->reif_stmt_id_ =
+      dict_.Lookup(Term::Uri(std::string(kRdfStatement)));
+  version->db_name_ = store_.database().name();
+  version->metrics_ = store_.metrics();
+  version->slow_query_log_ = store_.slow_query_log();
+  version->timeline_ = store_.timeline();
+  version->seq_ = ++seq_counter_;
+
+  // Publish protocol (see rdf/epoch.h): release-store the pointer,
+  // then seq_cst-advance the epoch, then retire the displaced version
+  // at the new epoch.
+  current_.store(version.get(), std::memory_order_release);
+  std::shared_ptr<const StoreVersion> displaced = std::move(current_sp_);
+  current_sp_ = std::move(version);
+  const uint64_t retire_epoch = gc_.Advance();
+  if (displaced != nullptr) {
+    gc_.Retire(std::shared_ptr<const void>(displaced), retire_epoch);
+  }
+  gc_.Sweep();
+
+  obs::StoreMetrics* metrics = store_.metrics();
+  metrics->versions_published->Inc();
+  metrics->publish_ns->Observe(timer.ElapsedNanos());
+  metrics->retired_versions->Set(
+      static_cast<int64_t>(gc_.RetiredOutstanding()));
+  metrics->epoch_lag->Set(static_cast<int64_t>(gc_.OldestPinLag()));
+  return Status::OK();
+}
+
+}  // namespace rdfdb::rdf

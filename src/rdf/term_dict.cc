@@ -1,0 +1,210 @@
+#include "rdf/term_dict.h"
+
+#include "common/hash.h"
+#include "storage/table.h"
+
+namespace rdfdb::rdf {
+
+namespace {
+
+// rdf_value$ column positions (mirrors value_store.cc).
+constexpr size_t kValueId = 0;
+constexpr size_t kValueName = 1;
+constexpr size_t kValueType = 2;
+constexpr size_t kLiteralType = 3;
+constexpr size_t kLanguageType = 4;
+constexpr size_t kLongValue = 5;
+
+}  // namespace
+
+TermDict::HashTable::HashTable(size_t capacity)
+    : slots(capacity), mask(capacity - 1) {}
+
+TermDict::TermDict() {
+  term_table_.store(new HashTable(1024), std::memory_order_relaxed);
+  id_table_.store(new HashTable(1024), std::memory_order_relaxed);
+  bn_table_.store(new HashTable(256), std::memory_order_relaxed);
+}
+
+TermDict::~TermDict() {
+  delete term_table_.load(std::memory_order_relaxed);
+  delete id_table_.load(std::memory_order_relaxed);
+  delete bn_table_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    Chunk* chunk = chunks_[i].load(std::memory_order_relaxed);
+    if (chunk == nullptr) break;
+    delete chunk;
+  }
+}
+
+uint64_t TermDict::BlankKey(int64_t model_id, const std::string& label) {
+  return Mix(HashCombine(static_cast<uint64_t>(model_id), Fnv1a64(label)));
+}
+
+uint64_t TermDict::KeyFor(TableKind kind, const Entry& entry) const {
+  switch (kind) {
+    case TableKind::kId:
+      return Mix(static_cast<uint64_t>(entry.id));
+    case TableKind::kBlank:
+      return BlankKey(entry.bn_model, entry.bn_label);
+    case TableKind::kTerm:
+      return Mix(entry.term.Hash());
+  }
+  return 0;
+}
+
+size_t TermDict::AppendEntry(Entry entry) {
+  const size_t index = count_.load(std::memory_order_relaxed);
+  const size_t chunk_i = index >> kChunkShift;
+  Chunk* chunk = chunks_[chunk_i].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunks_[chunk_i].store(chunk, std::memory_order_release);
+  }
+  (*chunk)[index & (kChunkSize - 1)] = std::move(entry);
+  // Readers only reach an entry through a table slot, which is
+  // release-stored after this; the count is informational.
+  count_.store(index + 1, std::memory_order_release);
+  return index;
+}
+
+void TermDict::TableInsert(std::atomic<HashTable*>* table_ptr,
+                           TableKind kind, size_t entry_index) {
+  HashTable* table = table_ptr->load(std::memory_order_relaxed);
+  if ((table->count + 1) * 10 >= (table->mask + 1) * 7) {
+    // Build the doubled table offline (plain stores — the release
+    // publish of the pointer orders them), publish it, and park the
+    // superseded one so in-flight readers stay valid.
+    auto grown = std::make_unique<HashTable>(2 * (table->mask + 1));
+    for (size_t i = 0; i <= table->mask; ++i) {
+      const uint64_t v = table->slots[i].load(std::memory_order_relaxed);
+      if (v == 0) continue;
+      const uint64_t key = KeyFor(kind, EntryAt(v - 1));
+      size_t j = key & grown->mask;
+      while (grown->slots[j].load(std::memory_order_relaxed) != 0) {
+        j = (j + 1) & grown->mask;
+      }
+      grown->slots[j].store(v, std::memory_order_relaxed);
+    }
+    grown->count = table->count;
+    HashTable* published = grown.release();
+    table_ptr->store(published, std::memory_order_release);
+    graveyard_.emplace_back(table);
+    table = published;
+  }
+
+  const uint64_t key = KeyFor(kind, EntryAt(entry_index));
+  for (size_t i = key & table->mask;; i = (i + 1) & table->mask) {
+    if (table->slots[i].load(std::memory_order_relaxed) != 0) continue;
+    // Entry contents were written before this release-store; a reader
+    // that acquire-loads the slot sees them complete.
+    table->slots[i].store(static_cast<uint64_t>(entry_index) + 1,
+                          std::memory_order_release);
+    table->count += 1;
+    return;
+  }
+}
+
+Status TermDict::Ingest(const ValueStore& values) {
+  const storage::Table& table = values.table();
+  const size_t total = table.row_count();  // append-only: rows are dense
+  for (size_t r = ingested_rows_; r < total; ++r) {
+    const storage::Row* row = table.Get(static_cast<storage::RowId>(r));
+    if (row == nullptr) {
+      return Status::Corruption("rdf_value$ row " + std::to_string(r) +
+                                " missing during dictionary ingest");
+    }
+    Entry entry;
+    entry.id = row->at(kValueId).as_int64();
+    const std::string& type_code = row->at(kValueType).as_string();
+    const std::string& name = row->at(kValueName).as_string();
+    if (type_code == "UR") {
+      entry.term = Term::Uri(name);
+    } else if (type_code == "BN") {
+      entry.term = Term::BlankNode(name.substr(2));
+      entry.is_blank = true;
+      auto scope = values.LookupBlankLabel(entry.id);
+      if (!scope.has_value()) {
+        return Status::Corruption("blank node VALUE_ID " +
+                                  std::to_string(entry.id) +
+                                  " has no rdf_blank_node$ mapping");
+      }
+      entry.bn_model = scope->first;
+      entry.bn_label = scope->second;
+    } else {
+      std::string text = row->at(kLongValue).is_null()
+                             ? name
+                             : row->at(kLongValue).as_clob();
+      if (type_code == "PL" || type_code == "PLL") {
+        std::string lang = row->at(kLanguageType).is_null()
+                               ? ""
+                               : row->at(kLanguageType).as_string();
+        entry.term = lang.empty()
+                         ? Term::PlainLiteral(std::move(text))
+                         : Term::PlainLiteralLang(std::move(text),
+                                                  std::move(lang));
+      } else if (type_code == "PL@") {
+        entry.term = Term::PlainLiteralLang(
+            std::move(text), row->at(kLanguageType).as_string());
+      } else if (type_code == "TL" || type_code == "TLL") {
+        entry.term = Term::TypedLiteral(std::move(text),
+                                        row->at(kLiteralType).as_string());
+      } else {
+        return Status::Corruption("unknown VALUE_TYPE " + type_code);
+      }
+    }
+
+    const bool is_blank = entry.is_blank;
+    const size_t index = AppendEntry(std::move(entry));
+    TableInsert(&id_table_, TableKind::kId, index);
+    if (is_blank) {
+      TableInsert(&bn_table_, TableKind::kBlank, index);
+    } else {
+      TableInsert(&term_table_, TableKind::kTerm, index);
+    }
+  }
+  ingested_rows_ = total;
+  return Status::OK();
+}
+
+std::optional<ValueId> TermDict::Lookup(const Term& term) const {
+  if (term.is_blank()) return std::nullopt;
+  const HashTable* table = term_table_.load(std::memory_order_acquire);
+  const uint64_t key = Mix(term.Hash());
+  for (size_t i = key & table->mask;; i = (i + 1) & table->mask) {
+    const uint64_t v = table->slots[i].load(std::memory_order_acquire);
+    if (v == 0) return std::nullopt;
+    const Entry& entry = EntryAt(v - 1);
+    if (!entry.is_blank && entry.term == term) return entry.id;
+  }
+}
+
+std::optional<ValueId> TermDict::LookupBlank(
+    int64_t model_id, const std::string& label) const {
+  const HashTable* table = bn_table_.load(std::memory_order_acquire);
+  const uint64_t key = BlankKey(model_id, label);
+  for (size_t i = key & table->mask;; i = (i + 1) & table->mask) {
+    const uint64_t v = table->slots[i].load(std::memory_order_acquire);
+    if (v == 0) return std::nullopt;
+    const Entry& entry = EntryAt(v - 1);
+    if (entry.is_blank && entry.bn_model == model_id &&
+        entry.bn_label == label) {
+      return entry.id;
+    }
+  }
+}
+
+Result<Term> TermDict::TermForValueId(ValueId value_id) const {
+  const HashTable* table = id_table_.load(std::memory_order_acquire);
+  const uint64_t key = Mix(static_cast<uint64_t>(value_id));
+  for (size_t i = key & table->mask;; i = (i + 1) & table->mask) {
+    const uint64_t v = table->slots[i].load(std::memory_order_acquire);
+    if (v == 0) {
+      return Status::NotFound("VALUE_ID " + std::to_string(value_id));
+    }
+    const Entry& entry = EntryAt(v - 1);
+    if (entry.id == value_id) return entry.term;
+  }
+}
+
+}  // namespace rdfdb::rdf

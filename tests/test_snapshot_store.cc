@@ -1,0 +1,430 @@
+// SnapshotRdfStore: lock-free snapshot reads.
+//
+// Three layers of coverage:
+//   1. Functional mirrors — every read on a pinned StoreVersion returns
+//      exactly what the live RdfStore returns (results AND error texts).
+//   2. Randomized differential — a seeded op stream drives the snapshot
+//      store and the locked ConcurrentRdfStore oracle in lockstep;
+//      after every mutation the read APIs (IsTriple / IsReified /
+//      GetTripleId / GetModelStats / SDO_RDF_MATCH) must agree,
+//      which also proves read-your-writes at each publish boundary.
+//   3. Concurrency — repeatable reads under a held pin, linearizable
+//      visibility across a release/acquire watermark, epoch-based
+//      version reclamation, and a many-reader/one-writer hammer at
+//      several thread counts (run under TSan via tools/run_tsan.sh).
+
+#include "rdf/snapshot_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/match.h"
+#include "rdf/concurrent_store.h"
+
+namespace rdfdb::rdf {
+namespace {
+
+TEST(SnapshotStoreTest, BasicOperationsWork) {
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+  auto triple = store.InsertTriple("m", "gov:a", "gov:p", "gov:b");
+  ASSERT_TRUE(triple.ok());
+  EXPECT_TRUE(*store.IsTriple("m", "gov:a", "gov:p", "gov:b"));
+  auto id = store.GetTripleId("m", "gov:a", "gov:p", "gov:b");
+  ASSERT_TRUE(id.ok());
+  auto resolved = store.ResolveTriple(*id);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->subject, "gov:a");
+  ASSERT_TRUE(store.ReifyTriple("m", *id).ok());
+  EXPECT_TRUE(*store.IsReified("m", "gov:a", "gov:p", "gov:b"));
+  ASSERT_TRUE(store.DeleteTriple("m", "gov:a", "gov:p", "gov:b").ok());
+  EXPECT_FALSE(*store.IsTriple("m", "gov:a", "gov:p", "gov:b"));
+}
+
+TEST(SnapshotStoreTest, ReadYourWrites) {
+  // Every mutation publishes before returning, so a snapshot taken
+  // right after the call must already see the new state.
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+  for (int i = 0; i < 64; ++i) {
+    std::string subject = "gov:s" + std::to_string(i);
+    ASSERT_TRUE(store.InsertTriple("m", subject, "gov:p", "gov:o").ok());
+    auto snap = store.Snapshot();
+    auto seen = snap->IsTriple("m", subject, "gov:p", "gov:o");
+    ASSERT_TRUE(seen.ok());
+    EXPECT_TRUE(*seen) << "write " << i << " not visible after publish";
+  }
+  ASSERT_TRUE(store.DeleteTriple("m", "gov:s0", "gov:p", "gov:o").ok());
+  EXPECT_FALSE(*store.IsTriple("m", "gov:s0", "gov:p", "gov:o"));
+}
+
+TEST(SnapshotStoreTest, ErrorTextsMirrorRdfStore) {
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+  auto snap = store.Snapshot();
+
+  RdfStore plain;
+  ASSERT_TRUE(plain.CreateRdfModel("m", "mdata", "triple").ok());
+
+  auto model_a = snap->GetModelId("nope");
+  auto model_b = plain.GetModelId("nope");
+  ASSERT_FALSE(model_a.ok());
+  ASSERT_FALSE(model_b.ok());
+  EXPECT_EQ(model_a.status().ToString(), model_b.status().ToString());
+
+  auto id_a = snap->GetTripleId("m", "gov:a", "gov:p", "gov:b");
+  auto id_b = plain.GetTripleId("m", "gov:a", "gov:p", "gov:b");
+  ASSERT_FALSE(id_a.ok());
+  ASSERT_FALSE(id_b.ok());
+  EXPECT_EQ(id_a.status().ToString(), id_b.status().ToString());
+
+  auto resolve_a = snap->ResolveTriple(987654);
+  auto resolve_b = plain.ResolveTriple(987654);
+  ASSERT_FALSE(resolve_a.ok());
+  ASSERT_FALSE(resolve_b.ok());
+  EXPECT_EQ(resolve_a.status().ToString(), resolve_b.status().ToString());
+}
+
+TEST(SnapshotStoreTest, MatchRunsAgainstPinnedVersion) {
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+  ASSERT_TRUE(store.InsertTriple("m", "gov:a", "gov:p", "gov:b").ok());
+  ASSERT_TRUE(store.InsertTriple("m", "gov:a", "gov:p", "gov:c").ok());
+  ASSERT_TRUE(store.InsertTriple("m", "gov:x", "gov:q", "gov:b").ok());
+
+  auto snap = store.Snapshot();
+  auto result = query::SdoRdfMatch(snap.view(), "(gov:a gov:p ?o)", {"m"},
+                                   {}, "");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->row_count(), 2u);
+
+  // Mutations after the pin must not leak into the pinned view.
+  ASSERT_TRUE(store.InsertTriple("m", "gov:a", "gov:p", "gov:d").ok());
+  auto again = query::SdoRdfMatch(snap.view(), "(gov:a gov:p ?o)", {"m"},
+                                  {}, "");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->row_count(), 2u);
+  auto fresh = query::SdoRdfMatch(store.Snapshot().view(),
+                                  "(gov:a gov:p ?o)", {"m"}, {}, "");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->row_count(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential: SnapshotRdfStore vs the locked oracle.
+// ---------------------------------------------------------------------------
+
+struct DiffUniverse {
+  std::vector<std::string> subjects;
+  std::vector<std::string> predicates;
+  std::vector<std::string> objects;
+};
+
+DiffUniverse SmallUniverse() {
+  DiffUniverse u;
+  for (int i = 0; i < 8; ++i) u.subjects.push_back("gov:s" + std::to_string(i));
+  for (int i = 0; i < 3; ++i) u.predicates.push_back("gov:p" + std::to_string(i));
+  for (int i = 0; i < 5; ++i) u.objects.push_back("gov:o" + std::to_string(i));
+  return u;
+}
+
+TEST(SnapshotStoreTest, RandomizedDifferentialAgainstLockedOracle) {
+  const DiffUniverse universe = SmallUniverse();
+  std::mt19937_64 rng(20260808);
+
+  SnapshotRdfStore snapshot_store;
+  ConcurrentRdfStore oracle;
+  ASSERT_TRUE(snapshot_store.CreateRdfModel("m", "mdata", "triple").ok());
+  ASSERT_TRUE(oracle.CreateRdfModel("m", "mdata", "triple").ok());
+
+  auto pick = [&](const std::vector<std::string>& pool) -> const std::string& {
+    return pool[rng() % pool.size()];
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const std::string& s = pick(universe.subjects);
+    const std::string& p = pick(universe.predicates);
+    const std::string& o = pick(universe.objects);
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // insert (weighted up so the store actually grows)
+        auto a = snapshot_store.InsertTriple("m", s, p, o);
+        auto b = oracle.InsertTriple("m", s, p, o);
+        ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+        break;
+      }
+      case 2: {  // delete
+        Status a = snapshot_store.DeleteTriple("m", s, p, o);
+        Status b = oracle.DeleteTriple("m", s, p, o);
+        ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+        break;
+      }
+      case 3: {  // reify (when the triple exists)
+        auto id_a = snapshot_store.GetTripleId("m", s, p, o);
+        auto id_b = oracle.GetTripleId("m", s, p, o);
+        ASSERT_EQ(id_a.ok(), id_b.ok()) << "step " << step;
+        if (id_a.ok()) {
+          auto a = snapshot_store.ReifyTriple("m", *id_a);
+          auto b = oracle.ReifyTriple("m", *id_b);
+          ASSERT_EQ(a.ok(), b.ok()) << "step " << step;
+        }
+        break;
+      }
+    }
+
+    // Read-your-writes + full agreement after EVERY mutation: probe a
+    // random sample of the universe on both stores.
+    auto snap = snapshot_store.Snapshot();
+    for (int probe = 0; probe < 4; ++probe) {
+      const std::string& ps = pick(universe.subjects);
+      const std::string& pp = pick(universe.predicates);
+      const std::string& po = pick(universe.objects);
+      auto is_a = snap->IsTriple("m", ps, pp, po);
+      auto is_b = oracle.IsTriple("m", ps, pp, po);
+      ASSERT_TRUE(is_a.ok() && is_b.ok());
+      ASSERT_EQ(*is_a, *is_b) << "step " << step << " IsTriple(" << ps
+                              << "," << pp << "," << po << ")";
+      auto reif_a = snap->IsReified("m", ps, pp, po);
+      auto reif_b = oracle.IsReified("m", ps, pp, po);
+      ASSERT_TRUE(reif_a.ok() && reif_b.ok());
+      ASSERT_EQ(*reif_a, *reif_b) << "step " << step;
+      auto id_a = snap->GetTripleId("m", ps, pp, po);
+      auto id_b = oracle.GetTripleId("m", ps, pp, po);
+      ASSERT_EQ(id_a.ok(), id_b.ok()) << "step " << step;
+      if (id_a.ok()) {
+        ASSERT_EQ(*id_a, *id_b) << "step " << step;
+      }
+    }
+
+    if (step % 25 == 0) {
+      auto stats_a = snap->GetModelStats("m");
+      auto stats_b = oracle.GetModelStats("m");
+      ASSERT_TRUE(stats_a.ok() && stats_b.ok());
+      EXPECT_EQ(stats_a->triples, stats_b->triples) << "step " << step;
+      EXPECT_EQ(stats_a->reified_statements, stats_b->reified_statements);
+      EXPECT_EQ(stats_a->distinct_subjects, stats_b->distinct_subjects);
+      EXPECT_EQ(stats_a->distinct_predicates, stats_b->distinct_predicates);
+      EXPECT_EQ(stats_a->distinct_objects, stats_b->distinct_objects);
+
+      // Full SDO_RDF_MATCH differential: the snapshot path (compiled
+      // executor over the pinned leaf scan) vs the locked store.
+      const std::string query = "(?s " + universe.predicates[0] + " ?o)";
+      auto rows_a = query::SdoRdfMatch(snap.view(), query, {"m"}, {}, "");
+      auto rows_b = oracle.WithWriteLock([&](RdfStore& live) {
+        return query::SdoRdfMatch(&live, nullptr, query, {"m"}, {}, {}, "");
+      });
+      ASSERT_TRUE(rows_a.ok() && rows_b.ok());
+      ASSERT_EQ(rows_a->row_count(), rows_b->row_count()) << "step " << step;
+      for (size_t r = 0; r < rows_a->row_count(); ++r) {
+        EXPECT_EQ(rows_a->Get(r, "s"), rows_b->Get(r, "s"));
+        EXPECT_EQ(rows_a->Get(r, "o"), rows_b->Get(r, "o"));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: visibility, repeatable reads, reclamation, stress.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotStoreTest, PinnedSnapshotIsRepeatable) {
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+  ASSERT_TRUE(store.InsertTriple("m", "gov:a", "gov:p", "gov:b").ok());
+
+  auto pinned = store.Snapshot();
+  const uint64_t pinned_seq = pinned->sequence();
+
+  ASSERT_TRUE(store.InsertTriple("m", "gov:new", "gov:p", "gov:b").ok());
+  ASSERT_TRUE(store.DeleteTriple("m", "gov:a", "gov:p", "gov:b").ok());
+
+  // The pinned view is frozen: the old triple is still there, the new
+  // one is not, and the sequence number did not move.
+  EXPECT_EQ(pinned->sequence(), pinned_seq);
+  EXPECT_TRUE(*pinned->IsTriple("m", "gov:a", "gov:p", "gov:b"));
+  EXPECT_FALSE(*pinned->IsTriple("m", "gov:new", "gov:p", "gov:b"));
+
+  auto fresh = store.Snapshot();
+  EXPECT_GT(fresh->sequence(), pinned_seq);
+  EXPECT_FALSE(*fresh->IsTriple("m", "gov:a", "gov:p", "gov:b"));
+  EXPECT_TRUE(*fresh->IsTriple("m", "gov:new", "gov:p", "gov:b"));
+}
+
+TEST(SnapshotStoreTest, EpochReclamationFreesRetiredVersions) {
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+
+  {
+    auto pinned = store.Snapshot();
+    // Each insert publishes a version; the pin blocks the sweep, so
+    // superseded versions pile up on the retire list.
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(store
+                      .InsertTriple("m", "gov:s" + std::to_string(i),
+                                    "gov:p", "gov:o")
+                      .ok());
+    }
+    EXPECT_GT(store.RetiredOutstanding(), 0u);
+    EXPECT_GT(store.OldestPinLag(), 0u);
+  }
+
+  // Pin released: the next publish's sweep reclaims everything retired.
+  ASSERT_TRUE(store.InsertTriple("m", "gov:last", "gov:p", "gov:o").ok());
+  EXPECT_EQ(store.RetiredOutstanding(), 0u);
+  EXPECT_EQ(store.OldestPinLag(), 0u);
+}
+
+TEST(SnapshotStoreTest, WatermarkVisibilityAcrossThreads) {
+  // Linearizable visibility at the version boundary: the writer inserts
+  // statement k and only then release-stores k as the watermark. Any
+  // reader that acquire-loads watermark w must find statements 0..w in
+  // its snapshot — publish happens inside the mutation call, strictly
+  // before the watermark store.
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+
+  constexpr int kStatements = 300;
+  std::atomic<int> watermark{-1};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    for (int k = 0; k < kStatements; ++k) {
+      auto inserted = store.InsertTriple("m", "gov:w" + std::to_string(k),
+                                         "gov:p", "gov:o");
+      if (!inserted.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      watermark.store(k, std::memory_order_release);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      int last_seen = -1;
+      while (last_seen < kStatements - 1) {
+        int w = watermark.load(std::memory_order_acquire);
+        if (w < 0) continue;
+        auto snap = store.Snapshot();
+        // Check the watermark statement itself plus a stride of
+        // earlier ones (all must be visible in this one snapshot).
+        for (int k = w; k >= 0; k -= 37) {
+          auto seen = snap->IsTriple("m", "gov:w" + std::to_string(k),
+                                     "gov:p", "gov:o");
+          if (!seen.ok() || !*seen) failures.fetch_add(1);
+        }
+        last_seen = w;
+      }
+    });
+  }
+
+  writer.join();
+  for (std::thread& thread : readers) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+void HammerReadersOneWriter(int reader_threads) {
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+  ASSERT_TRUE(store.InsertTriple("m", "gov:anchor", "gov:p", "gov:o").ok());
+  auto anchor_id = store.GetTripleId("m", "gov:anchor", "gov:p", "gov:o");
+  ASSERT_TRUE(anchor_id.ok());
+  ASSERT_TRUE(store.ReifyTriple("m", *anchor_id).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < reader_threads; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto snap = store.Snapshot();
+        auto anchor = snap->IsTriple("m", "gov:anchor", "gov:p", "gov:o");
+        if (!anchor.ok() || !*anchor) failures.fetch_add(1);
+        auto reified = snap->IsReified("m", "gov:anchor", "gov:p", "gov:o");
+        if (!reified.ok() || !*reified) failures.fetch_add(1);
+        auto stats = snap->GetModelStats("m");
+        if (!stats.ok() || stats->triples == 0) failures.fetch_add(1);
+        auto rows = query::SdoRdfMatch(snap.view(),
+                                       "(gov:anchor gov:p ?o)", {"m"}, {},
+                                       "");
+        if (!rows.ok() || rows->row_count() == 0) failures.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (int i = 0; i < 400; ++i) {
+      std::string subject = "gov:w" + std::to_string(i);
+      if (!store.InsertTriple("m", subject, "gov:p", "gov:o").ok()) {
+        failures.fetch_add(1);
+      }
+      if (i % 3 == 0 &&
+          !store.DeleteTriple("m", subject, "gov:p", "gov:o").ok()) {
+        failures.fetch_add(1);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (std::thread& thread : readers) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Post-condition on a final snapshot: anchor + its streamlined
+  // reification row + 400 writes - 134 deletes (i % 3 == 0 in [0, 400)).
+  auto stats = store.GetModelStats("m");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->triples, 1u + 1u + 400u - 134u);
+
+  // Every pin is released; one more publish sweeps the retire list dry.
+  ASSERT_TRUE(store.InsertTriple("m", "gov:fin", "gov:p", "gov:o").ok());
+  EXPECT_EQ(store.RetiredOutstanding(), 0u);
+}
+
+TEST(SnapshotStoreTest, Stress1Reader) { HammerReadersOneWriter(1); }
+TEST(SnapshotStoreTest, Stress2Readers) { HammerReadersOneWriter(2); }
+TEST(SnapshotStoreTest, Stress8Readers) { HammerReadersOneWriter(8); }
+
+TEST(SnapshotStoreTest, ApplyBatchPublishesOnce) {
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+  const uint64_t before = store.PublishedVersions();
+  Status batched = store.Apply([](RdfStore& live) {
+    for (int i = 0; i < 100; ++i) {
+      auto inserted = live.InsertTriple("m", "gov:b" + std::to_string(i),
+                                        "gov:p", "gov:o");
+      if (!inserted.ok()) return inserted.status();
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(batched.ok());
+  EXPECT_EQ(store.PublishedVersions(), before + 1);
+  auto stats = store.GetModelStats("m");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->triples, 100u);
+}
+
+TEST(SnapshotStoreTest, PublishMetricsAreRecorded) {
+  SnapshotRdfStore store;
+  ASSERT_TRUE(store.CreateRdfModel("m", "mdata", "triple").ok());
+  ASSERT_TRUE(store.InsertTriple("m", "gov:a", "gov:p", "gov:b").ok());
+  std::string rendered = store.metrics_registry().RenderPrometheus();
+  EXPECT_NE(rendered.find("rdfdb_versions_published_total"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("rdfdb_publish_ns"), std::string::npos);
+  EXPECT_NE(rendered.find("rdfdb_retired_versions_outstanding"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("rdfdb_oldest_pinned_epoch_lag"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfdb::rdf

@@ -1,12 +1,24 @@
 // rdfdb_top: a `top`-style live view of one store's instrument rates.
 //
 //   rdfdb_top [--interval <sec>] [--ticks <n>]
+//             [--readers <n>] [--writer bulkload] [--triples <m>]
 //
-// Runs an in-process workload over a ConcurrentRdfStore — one writer
-// inserting triples, one reader issuing SDO_RDF_MATCH — and prints one
-// line per interval from metrics-registry snapshot deltas: insert,
-// intern, and match rates plus per-interval query latency quantiles.
-// --ticks bounds the run (default 10; 0 = until interrupted).
+// Default mode runs an in-process workload over a ConcurrentRdfStore —
+// one writer inserting triples, one reader issuing SDO_RDF_MATCH — and
+// prints one line per interval from metrics-registry snapshot deltas:
+// insert, intern, and match rates plus per-interval query latency
+// quantiles. --ticks bounds the run (default 10; 0 = until
+// interrupted).
+//
+// `--writer bulkload` switches to the snapshot-store workload: a writer
+// bulk-loads --triples statements (default 1 M) chunk by chunk through
+// SnapshotRdfStore::Apply (one published version per chunk) while
+// --readers threads (default 8) run SDO_RDF_MATCH against pinned
+// snapshots, lock-free. Each tick additionally reports version-publish
+// and epoch-reclamation gauges; the run ends when the load finishes (or
+// at --ticks). The per-interval q_p50/q_p95/q_p99 columns then show
+// reader latency DURING the load — the number the global rwlock design
+// could not keep flat.
 
 #include <atomic>
 #include <chrono>
@@ -16,10 +28,14 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/metrics_snapshot.h"
 #include "query/match.h"
+#include "rdf/bulk_load.h"
 #include "rdf/concurrent_store.h"
+#include "rdf/ntriples.h"
+#include "rdf/snapshot_store.h"
 
 namespace {
 
@@ -27,24 +43,54 @@ std::atomic<bool> g_stop{false};
 
 void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
+int RunDefaultMode(double interval, int ticks);
+int RunBulkloadMode(double interval, int ticks, int readers, size_t triples);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double interval = 1.0;
   int ticks = 10;
+  int readers = 8;
+  size_t triples = 1000000;
+  std::string writer_mode;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
       interval = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--ticks") == 0 && i + 1 < argc) {
       ticks = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc) {
+      readers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--writer") == 0 && i + 1 < argc) {
+      writer_mode = argv[++i];
+    } else if (std::strcmp(argv[i], "--triples") == 0 && i + 1 < argc) {
+      triples = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
-                   "usage: rdfdb_top [--interval <sec>] [--ticks <n>]\n");
+                   "usage: rdfdb_top [--interval <sec>] [--ticks <n>]\n"
+                   "                 [--readers <n>] [--writer bulkload]\n"
+                   "                 [--triples <m>]\n");
       return 2;
     }
   }
   if (interval <= 0.0) interval = 1.0;
+  if (readers < 1) readers = 1;
 
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  if (writer_mode.empty()) return RunDefaultMode(interval, ticks);
+  if (writer_mode == "bulkload") {
+    return RunBulkloadMode(interval, ticks, readers, triples);
+  }
+  std::fprintf(stderr, "unknown --writer mode '%s' (expected: bulkload)\n",
+               writer_mode.c_str());
+  return 2;
+}
+
+namespace {
+
+int RunDefaultMode(double interval, int ticks) {
   rdfdb::rdf::ConcurrentRdfStore store;
   auto created = store.CreateRdfModel("top", "top_app", "triple");
   if (!created.ok()) {
@@ -52,9 +98,6 @@ int main(int argc, char** argv) {
                  created.status().ToString().c_str());
     return 1;
   }
-
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
 
   // Writer: a stream of fresh triples (every subject also gets a type
   // triple so queries have shape to join on).
@@ -122,3 +165,119 @@ int main(int argc, char** argv) {
   reader.join();
   return 0;
 }
+
+int RunBulkloadMode(double interval, int ticks, int readers,
+                    size_t triples) {
+  rdfdb::rdf::SnapshotRdfStore store;
+  // Seed model: the readers' query target, loaded before the clock
+  // starts so every match has rows.
+  rdfdb::Status seeded = store.Apply([](rdfdb::rdf::RdfStore& live) {
+    RDFDB_RETURN_NOT_OK(
+        live.CreateRdfModel("top", "top_app", "triple").status());
+    for (int i = 0; i < 256; ++i) {
+      auto inserted = live.InsertTriple(
+          "top", "<urn:s" + std::to_string(i) + ">", "<rdf:type>",
+          "<urn:class" + std::to_string(i % 3) + ">");
+      if (!inserted.ok()) return inserted.status();
+    }
+    return rdfdb::Status::OK();
+  });
+  if (!seeded.ok()) {
+    std::fprintf(stderr, "seed: %s\n", seeded.ToString().c_str());
+    return 1;
+  }
+
+  // Readers: lock-free matches against pinned snapshots. A yield per
+  // query keeps the single-core case fair to the writer.
+  std::vector<std::thread> reader_threads;
+  for (int t = 0; t < readers; ++t) {
+    reader_threads.emplace_back([&] {
+      while (!g_stop.load(std::memory_order_relaxed)) {
+        auto snap = store.Snapshot();
+        rdfdb::query::MatchOptions options;
+        options.limit = 128;
+        auto result = rdfdb::query::SdoRdfMatch(
+            snap.view(), "(?s <rdf:type> ?c)", {"top"}, {}, "", options);
+        if (!result.ok()) break;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Writer: chunked bulk load, one published version per chunk.
+  std::thread writer([&] {
+    constexpr size_t kChunk = 16384;
+    uint64_t n = 0;
+    rdfdb::Status created = store.CreateRdfModel("bulk", "bulk_app",
+                                                 "triple")
+                                .status();
+    if (!created.ok()) {
+      std::fprintf(stderr, "bulk model: %s\n", created.ToString().c_str());
+      g_stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<rdfdb::rdf::NTriple> chunk;
+    while (n < triples && !g_stop.load(std::memory_order_relaxed)) {
+      chunk.clear();
+      size_t end = std::min(n + kChunk, static_cast<uint64_t>(triples));
+      for (; n < end; ++n) {
+        std::string subject = "urn:b";
+        subject += std::to_string(n);
+        std::string predicate = "urn:p";
+        predicate += std::to_string(n % 7);
+        std::string value = "v";
+        value += std::to_string(n);
+        rdfdb::rdf::NTriple t;
+        t.subject = rdfdb::rdf::Term::Uri(std::move(subject));
+        t.predicate = rdfdb::rdf::Term::Uri(std::move(predicate));
+        t.object = rdfdb::rdf::Term::PlainLiteral(std::move(value));
+        chunk.push_back(std::move(t));
+      }
+      rdfdb::Status st = store.Apply([&](rdfdb::rdf::RdfStore& live) {
+        return rdfdb::rdf::BulkLoad(&live, "bulk", chunk).status();
+      });
+      if (!st.ok()) {
+        std::fprintf(stderr, "bulk load: %s\n", st.ToString().c_str());
+        break;
+      }
+    }
+    g_stop.store(true, std::memory_order_relaxed);
+  });
+
+  std::printf("%9s %10s %10s %9s %9s %9s %7s %8s %7s\n", "links",
+              "insert/s", "match/s", "q_p50_us", "q_p95_us", "q_p99_us",
+              "pub/s", "retired", "ep_lag");
+  rdfdb::obs::MetricsSnapshot prev =
+      rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
+  for (int tick = 0; (ticks == 0 || tick < ticks) &&
+                     !g_stop.load(std::memory_order_relaxed);
+       ++tick) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    rdfdb::obs::MetricsSnapshot cur =
+        rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
+    std::printf(
+        "%9lld %10.0f %10.0f %9.0f %9.0f %9.0f %7.0f %8lld %7lld\n",
+        static_cast<long long>(cur.Counter("rdfdb_link_inserts_total")),
+        rdfdb::obs::CounterRate(prev, cur, "rdfdb_link_inserts_total"),
+        rdfdb::obs::CounterRate(prev, cur, "rdfdb_query_total"),
+        rdfdb::obs::IntervalQuantile(prev, cur, "rdfdb_query_ns", 0.50) /
+            1e3,
+        rdfdb::obs::IntervalQuantile(prev, cur, "rdfdb_query_ns", 0.95) /
+            1e3,
+        rdfdb::obs::IntervalQuantile(prev, cur, "rdfdb_query_ns", 0.99) /
+            1e3,
+        rdfdb::obs::CounterRate(prev, cur, "rdfdb_versions_published_total"),
+        static_cast<long long>(
+            cur.Gauge("rdfdb_retired_versions_outstanding")),
+        static_cast<long long>(cur.Gauge("rdfdb_oldest_pinned_epoch_lag")));
+    std::fflush(stdout);
+    prev = std::move(cur);
+  }
+
+  g_stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  for (std::thread& thread : reader_threads) thread.join();
+  return 0;
+}
+
+}  // namespace

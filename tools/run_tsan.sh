@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # ThreadSanitizer job for the concurrency-sensitive targets: the
-# pipelined bulk loader, the concurrent store wrapper, the metrics
-# instruments (relaxed-atomic counters hammered from many threads while
-# the registry renders), and the parallel join executor's differential
+# pipelined bulk loader, the concurrent store wrapper, the snapshot
+# store (epoch-pinned lock-free readers vs the publishing writer,
+# hammered at several reader counts), the metrics instruments
+# (relaxed-atomic counters hammered from many threads while the
+# registry renders), and the parallel join executor's differential
 # tests (which exercise the chunked worker/consumer pipeline at several
 # thread counts). Builds a dedicated build-tsan tree (so a normal
 # build/ is left untouched) and runs the test binaries directly; any
@@ -17,12 +19,14 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRDFDB_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target test_bulk_load test_concurrent_store test_metrics \
+  --target test_bulk_load test_concurrent_store test_snapshot_store \
+  test_metrics \
   test_exec_diff test_event_log test_span_timeline test_slow_query_log
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_bulk_load
 "$BUILD_DIR"/tests/test_concurrent_store
+"$BUILD_DIR"/tests/test_snapshot_store
 "$BUILD_DIR"/tests/test_metrics
 "$BUILD_DIR"/tests/test_exec_diff
 "$BUILD_DIR"/tests/test_event_log
