@@ -18,6 +18,7 @@
 
 #include "bench/bench_common.h"
 #include "obs/event_log.h"
+#include "obs/profiler.h"
 #include "obs/slow_query_log.h"
 #include "obs/span_timeline.h"
 #include "query/match.h"
@@ -198,6 +199,65 @@ void BM_Chain3Par2_ObsOn(benchmark::State& state) {
   RunChain3Bench(state, /*attached=*/true, /*threads=*/2);
 }
 BENCHMARK(BM_Chain3Par2_ObsOn)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Sampling-profiler overhead on the same Chain3 join (other facilities
+// detached, so the delta isolates SIGPROF delivery + ring writes):
+// profiler off, the 19 Hz always-on rate, and a 100 Hz capture window
+// (the /profilez default). The signal interrupts the measured threads
+// themselves, so the whole cost — handler plus preemption — lands
+// inside the timed region.
+
+void RunChain3ProfiledBench(benchmark::State& state, int hz) {
+  JoinSystem& sys = JoinSystem::For(state.range(0));
+  query::MatchOptions options;
+  if (hz > 0) {
+    obs::ResetProfile();
+    const bool started = hz == obs::kAlwaysOnHz ? obs::StartAlwaysOn()
+                                                : obs::StartProfiler(hz);
+    if (!started) {
+      state.SkipWithError("profiler already running");
+      return;
+    }
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = query::SdoRdfMatch(sys.store.get(), nullptr, kChain3,
+                                     {"social"}, {}, {}, "", options);
+    if (!result.ok()) {
+      if (hz > 0) obs::StopProfiler();
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = result->row_count();
+    benchmark::DoNotOptimize(rows);
+  }
+  if (hz > 0) {
+    obs::StopProfiler();
+    state.counters["samples"] =
+        static_cast<double>(obs::ProfilerSampleCount());
+    obs::ResetProfile();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Chain3_ProfilerOff(benchmark::State& state) {
+  RunChain3ProfiledBench(state, /*hz=*/0);
+}
+BENCHMARK(BM_Chain3_ProfilerOff)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Chain3_ProfilerAlwaysOn19Hz(benchmark::State& state) {
+  RunChain3ProfiledBench(state, obs::kAlwaysOnHz);
+}
+BENCHMARK(BM_Chain3_ProfilerAlwaysOn19Hz)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Chain3_Profiler100Hz(benchmark::State& state) {
+  RunChain3ProfiledBench(state, /*hz=*/100);
+}
+BENCHMARK(BM_Chain3_Profiler100Hz)->Apply(ApplyBenchSizes)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

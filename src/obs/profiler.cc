@@ -1,0 +1,371 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <errno.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdfdb::obs {
+
+namespace {
+
+constexpr int kMaxFrames = 48;
+constexpr int kSkipFrames = 2;  // handler + signal trampoline
+constexpr uint32_t kRingCapacity = 128;  // samples per thread slot
+constexpr int kSlots = 64;               // max concurrently-sampled threads
+
+struct Sample {
+  int nframes;
+  void* frames[kMaxFrames];
+};
+
+// One SPSC ring per sampled thread. The producer is "the SIGPROF
+// handler running on the owning thread" (at most one at a time, since
+// a tid names one live thread); the consumer is the aggregator under
+// State::agg_mu. Slots are claimed by tid CAS and never released — a
+// recycled tid simply reuses the slot's ring.
+struct alignas(64) Slot {
+  std::atomic<uint64_t> tid{0};
+  std::atomic<uint32_t> head{0};  // producer writes, release
+  std::atomic<uint32_t> tail{0};  // consumer writes, release
+  Sample* ring{nullptr};          // [kRingCapacity], preallocated
+};
+
+Slot g_slots[kSlots];
+std::atomic<bool> g_armed{false};
+std::atomic<uint64_t> g_samples{0};
+std::atomic<uint64_t> g_dropped{0};
+
+void ProfSignalHandler(int /*signo*/, siginfo_t* /*info*/, void* /*uc*/) {
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  const int saved_errno = errno;
+
+  const uint64_t tid = static_cast<uint64_t>(::syscall(SYS_gettid));
+  Slot* slot = nullptr;
+  const uint64_t start = tid % kSlots;
+  for (int probe = 0; probe < kSlots; ++probe) {
+    Slot& candidate = g_slots[(start + probe) % kSlots];
+    uint64_t cur = candidate.tid.load(std::memory_order_relaxed);
+    if (cur == tid) {
+      slot = &candidate;
+      break;
+    }
+    if (cur == 0 &&
+        candidate.tid.compare_exchange_strong(cur, tid,
+                                              std::memory_order_acq_rel)) {
+      slot = &candidate;
+      break;
+    }
+    // Occupied by another thread (or we lost the CAS race to one):
+    // keep probing. SIGPROF is blocked during its own handler, so the
+    // claim never races against this thread itself.
+  }
+
+  if (slot == nullptr || slot->ring == nullptr) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    errno = saved_errno;
+    return;
+  }
+
+  const uint32_t head = slot->head.load(std::memory_order_relaxed);
+  const uint32_t tail = slot->tail.load(std::memory_order_acquire);
+  if (head - tail >= kRingCapacity) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    errno = saved_errno;
+    return;
+  }
+
+  Sample& sample = slot->ring[head % kRingCapacity];
+  // backtrace() is primed (its one-time libgcc bind + malloc happens in
+  // StartProfiler before the timer is armed), so this call only walks
+  // frame pointers / unwind tables — no allocation, no locks.
+  sample.nframes = ::backtrace(sample.frames, kMaxFrames);
+  slot->head.store(head + 1, std::memory_order_release);
+  g_samples.fetch_add(1, std::memory_order_relaxed);
+  errno = saved_errno;
+}
+
+struct State {
+  std::mutex mu;  // guards start/stop transitions
+  bool running = false;
+  int hz = 0;
+  timer_t timer{};
+  bool timer_valid = false;
+  bool itimer_fallback = false;
+  std::thread aggregator;
+  std::atomic<bool> stop_aggregator{false};
+
+  // Aggregation: leaf-first raw address stacks -> sample count.
+  // agg_mu serializes the ring *consumer* side (aggregator loop and
+  // on-demand drains from CollapsedProfile) plus map access.
+  std::mutex agg_mu;
+  std::map<std::vector<void*>, uint64_t> stacks;
+};
+
+State& GetState() {
+  static State* state = new State();  // leaked: profiler may outlive main
+  return *state;
+}
+
+// Drain every ring into the aggregate map. Caller holds agg_mu.
+void DrainRingsLocked(State& state) {
+  for (Slot& slot : g_slots) {
+    if (slot.ring == nullptr) continue;
+    uint32_t tail = slot.tail.load(std::memory_order_relaxed);
+    const uint32_t head = slot.head.load(std::memory_order_acquire);
+    while (tail != head) {
+      const Sample& sample = slot.ring[tail % kRingCapacity];
+      int nframes = std::clamp(sample.nframes, 0, kMaxFrames);
+      const int skip = nframes > kSkipFrames ? kSkipFrames : 0;
+      std::vector<void*> key(sample.frames + skip, sample.frames + nframes);
+      if (!key.empty()) ++state.stacks[key];
+      ++tail;
+    }
+    slot.tail.store(tail, std::memory_order_release);
+  }
+}
+
+void AggregatorLoop(State* state) {
+  while (!state->stop_aggregator.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::lock_guard<std::mutex> lock(state->agg_mu);
+    DrainRingsLocked(*state);
+  }
+  std::lock_guard<std::mutex> lock(state->agg_mu);
+  DrainRingsLocked(*state);
+}
+
+/// Collapsed-format frame names must not contain the two structural
+/// characters (';' separates frames, ' ' separates stack from count).
+void SanitizeFrame(std::string* name) {
+  for (char& c : *name) {
+    if (c == ';') c = ':';
+    if (c == ' ' || c == '\n' || c == '\t') c = '_';
+  }
+  if (name->size() > 200) {
+    name->resize(197);
+    *name += "...";
+  }
+}
+
+std::string SymbolizeFrame(void* addr) {
+  Dl_info info{};
+  std::string name;
+  if (::dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+    int status = -1;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    name = (status == 0 && demangled != nullptr) ? demangled
+                                                 : info.dli_sname;
+    std::free(demangled);
+  } else if (info.dli_fname != nullptr) {
+    // No symbol (static function, stripped binary): attribute to the
+    // module plus the offset so distinct functions stay distinct.
+    const char* base = ::strrchr(info.dli_fname, '/');
+    name = base != nullptr ? base + 1 : info.dli_fname;
+    char off[32];
+    std::snprintf(off, sizeof(off), "+0x%zx",
+                  reinterpret_cast<uintptr_t>(addr) -
+                      reinterpret_cast<uintptr_t>(info.dli_fbase));
+    name += off;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx",
+                  reinterpret_cast<uintptr_t>(addr));
+    name = buf;
+  }
+  SanitizeFrame(&name);
+  return name;
+}
+
+}  // namespace
+
+bool StartProfiler(int hz) {
+  hz = std::clamp(hz, 1, 1000);
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.running) return false;
+
+  // Preallocate every ring before the first signal can fire.
+  for (Slot& slot : g_slots) {
+    if (slot.ring == nullptr) slot.ring = new Sample[kRingCapacity];
+  }
+
+  // Prime backtrace(): its first call binds libgcc's unwinder with a
+  // one-time allocation that must not happen inside the handler.
+  void* prime[4];
+  ::backtrace(prime, 4);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &ProfSignalHandler;
+  action.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&action.sa_mask);
+  if (::sigaction(SIGPROF, &action, nullptr) != 0) return false;
+
+  g_armed.store(true, std::memory_order_release);
+
+  const long interval_ns = 1'000'000'000L / hz;
+  struct sigevent event;
+  std::memset(&event, 0, sizeof(event));
+  event.sigev_notify = SIGEV_SIGNAL;
+  event.sigev_signo = SIGPROF;
+  state.itimer_fallback = false;
+  if (::timer_create(CLOCK_PROCESS_CPUTIME_ID, &event, &state.timer) == 0) {
+    state.timer_valid = true;
+    itimerspec spec{};
+    spec.it_interval.tv_sec = interval_ns / 1'000'000'000L;
+    spec.it_interval.tv_nsec = interval_ns % 1'000'000'000L;
+    spec.it_value = spec.it_interval;
+    if (::timer_settime(state.timer, 0, &spec, nullptr) != 0) {
+      ::timer_delete(state.timer);
+      state.timer_valid = false;
+      g_armed.store(false, std::memory_order_release);
+      return false;
+    }
+  } else {
+    // Kernels without per-process CPU-clock timers: ITIMER_PROF has
+    // the same delivery semantics (process CPU time, SIGPROF).
+    itimerval val{};
+    val.it_interval.tv_sec = 0;
+    val.it_interval.tv_usec =
+        static_cast<suseconds_t>(interval_ns / 1000);
+    val.it_value = val.it_interval;
+    if (::setitimer(ITIMER_PROF, &val, nullptr) != 0) {
+      g_armed.store(false, std::memory_order_release);
+      return false;
+    }
+    state.itimer_fallback = true;
+  }
+
+  state.hz = hz;
+  state.stop_aggregator.store(false, std::memory_order_release);
+  state.aggregator = std::thread(&AggregatorLoop, &state);
+  state.running = true;
+  return true;
+}
+
+void StopProfiler() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.running) return;
+
+  g_armed.store(false, std::memory_order_release);
+  if (state.timer_valid) {
+    itimerspec zero{};
+    ::timer_settime(state.timer, 0, &zero, nullptr);
+    ::timer_delete(state.timer);
+    state.timer_valid = false;
+  }
+  if (state.itimer_fallback) {
+    itimerval zero{};
+    ::setitimer(ITIMER_PROF, &zero, nullptr);
+    state.itimer_fallback = false;
+  }
+
+  state.stop_aggregator.store(true, std::memory_order_release);
+  if (state.aggregator.joinable()) state.aggregator.join();
+  state.running = false;
+  state.hz = 0;
+}
+
+bool ProfilerRunning() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.running;
+}
+
+int ProfilerHz() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.hz;
+}
+
+uint64_t ProfilerSampleCount() {
+  return g_samples.load(std::memory_order_relaxed);
+}
+
+uint64_t ProfilerDroppedCount() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::string CollapsedProfile() {
+  State& state = GetState();
+  // Snapshot the aggregate (with a final drain so just-captured samples
+  // are included), then symbolize outside the lock.
+  std::map<std::vector<void*>, uint64_t> stacks;
+  {
+    std::lock_guard<std::mutex> lock(state.agg_mu);
+    DrainRingsLocked(state);
+    stacks = state.stacks;
+  }
+
+  // Symbolization collapses distinct return addresses inside one
+  // function to one frame name, so re-key by the joined string and
+  // merge counts.
+  std::map<void*, std::string> symbol_cache;
+  std::map<std::string, uint64_t> lines;
+  for (const auto& [frames, count] : stacks) {
+    std::string line;
+    // backtrace() is leaf-first; collapsed format is root-first.
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      auto cached = symbol_cache.find(*it);
+      if (cached == symbol_cache.end()) {
+        cached = symbol_cache.emplace(*it, SymbolizeFrame(*it)).first;
+      }
+      if (!line.empty()) line += ';';
+      line += cached->second;
+    }
+    if (!line.empty()) lines[line] += count;
+  }
+
+  std::string out;
+  for (const auto& [line, count] : lines) {
+    out += line;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+void ResetProfile() {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.agg_mu);
+  DrainRingsLocked(state);
+  state.stacks.clear();
+  g_samples.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string ProfileForSeconds(double seconds, int hz) {
+  if (seconds <= 0.0) seconds = 1.0;
+  if (seconds > 60.0) seconds = 60.0;
+  const bool was_running = ProfilerRunning();
+  if (!was_running && !StartProfiler(hz)) return std::string();
+  ResetProfile();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  std::string collapsed = CollapsedProfile();
+  if (!was_running) StopProfiler();
+  return collapsed;
+}
+
+}  // namespace rdfdb::obs

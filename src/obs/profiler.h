@@ -1,0 +1,85 @@
+// In-process sampling CPU profiler with flamegraph export.
+//
+// A POSIX interval timer on CLOCK_PROCESS_CPUTIME_ID delivers SIGPROF
+// `hz` times per second of *process CPU time* (an idle process is never
+// interrupted — samples are proportional to cycles burned, which is
+// exactly the flamegraph contract). The signal handler captures a raw
+// stack with backtrace() into a preallocated lock-free ring owned by
+// the interrupted thread; a background aggregator drains the rings and
+// folds identical address stacks into counts. Symbolization
+// (dladdr + __cxa_demangle) happens only at export time, never in the
+// handler.
+//
+// Async-signal-safety argument (see DESIGN.md §13):
+//   * The handler touches only: errno save/restore, gettid(2),
+//     relaxed/acquire/release atomics, plain stores into the
+//     preallocated ring, and backtrace(). glibc's backtrace mallocs
+//     once on first use to bind libgcc's unwinder — Start() primes it
+//     on the calling thread *before* arming the timer, so no handler
+//     invocation ever allocates.
+//   * Per-thread rings are claimed by tid via CAS over a fixed slot
+//     array — no thread_local in the handler (first-touch TLS init is
+//     not signal-safe), no locks, no dynamic allocation.
+//   * Each ring is single-producer (the handler runs on the thread
+//     that owns the slot) / single-consumer (the aggregator), with
+//     release/acquire head publication.
+//
+// Modes: Start(hz) / Stop() bracket an explicit capture;
+// StartAlwaysOn() arms the same machinery at a low rate (19 Hz) for
+// continuous background profiling within the observability budget.
+// CollapsedProfile() renders the aggregate as flamegraph collapsed
+// lines ("frameRoot;frame;frameLeaf count\n"), root-first.
+
+#ifndef RDFDB_OBS_PROFILER_H_
+#define RDFDB_OBS_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rdfdb::obs {
+
+/// Default rate for StartAlwaysOn(). Prime (well, 19) to avoid lockstep
+/// with periodic work.
+inline constexpr int kAlwaysOnHz = 19;
+
+/// Arm the sampling timer at `hz` (clamped to [1, 1000]) and start the
+/// aggregator thread. Returns false if the profiler is already running.
+/// Rings are preallocated before the timer is armed.
+bool StartProfiler(int hz);
+
+/// Low-rate continuous mode: StartProfiler(kAlwaysOnHz).
+inline bool StartAlwaysOn() { return StartProfiler(kAlwaysOnHz); }
+
+/// Disarm the timer, drain the rings, stop the aggregator. Idempotent.
+void StopProfiler();
+
+bool ProfilerRunning();
+int ProfilerHz();
+
+/// Samples captured by the signal handler since the last ResetProfile()
+/// (includes samples later folded, excludes nothing).
+uint64_t ProfilerSampleCount();
+
+/// Samples discarded because a ring was full or no slot was free.
+uint64_t ProfilerDroppedCount();
+
+/// Render everything aggregated so far in flamegraph collapsed format:
+/// one "frame;frame;frame count\n" line per unique stack, root-first,
+/// symbolized via dladdr and demangled. Empty string if no samples.
+std::string CollapsedProfile();
+
+/// Drop all aggregated stacks and zero the sample counters.
+void ResetProfile();
+
+/// Capture a fresh window: reset aggregation, sample for `seconds` at
+/// `hz`, and return the collapsed profile. If the profiler is already
+/// running (always-on mode), the window samples at the current rate and
+/// leaves the profiler running; otherwise it is started and stopped
+/// around the window. Blocking — callers (the /profilez endpoint) run
+/// it on the serving thread while other threads do the work being
+/// profiled.
+std::string ProfileForSeconds(double seconds, int hz = 100);
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_PROFILER_H_

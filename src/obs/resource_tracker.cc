@@ -1,0 +1,274 @@
+#include "obs/resource_tracker.h"
+
+#include <malloc.h>
+#include <time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+
+#include "obs/json.h"
+
+namespace rdfdb::obs {
+
+namespace {
+
+// Process-wide ledger. Constant-initialized so the hooks are safe from
+// the very first allocation.
+std::atomic<uint64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_allocations{0};
+std::atomic<uint64_t> g_frees{0};
+
+// Per-thread monotonic totals. Plain (non-atomic) because only the
+// owning thread writes or reads them; zero-initialized PODs so
+// first-touch during thread start-up performs no dynamic init.
+struct ThreadCounters {
+  uint64_t bytes = 0;
+  uint64_t count = 0;
+};
+thread_local ThreadCounters tl_counters;
+
+inline void NoteAlloc(void* ptr) {
+  const size_t usable = ::malloc_usable_size(ptr);
+  g_live_bytes.fetch_add(usable, std::memory_order_relaxed);
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  tl_counters.bytes += usable;
+  ++tl_counters.count;
+}
+
+inline void NoteFree(void* ptr) {
+  if (ptr == nullptr) return;
+  const size_t usable = ::malloc_usable_size(ptr);
+  g_live_bytes.fetch_sub(usable, std::memory_order_relaxed);
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* AllocOrThrow(size_t size) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* ptr = std::malloc(size);
+    if (ptr != nullptr) {
+      NoteAlloc(ptr);
+      return ptr;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void* AllocAlignedOrThrow(size_t size, size_t alignment) {
+  if (size == 0) size = 1;
+  for (;;) {
+    void* ptr = nullptr;
+    if (::posix_memalign(&ptr, std::max(alignment, sizeof(void*)), size) ==
+        0) {
+      NoteAlloc(ptr);
+      return ptr;
+    }
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc();
+    handler();
+  }
+}
+
+void Release(void* ptr) {
+  NoteFree(ptr);
+  std::free(ptr);
+}
+
+// ---- Scope registry -------------------------------------------------------
+
+struct Registry {
+  std::mutex mu;
+  // std::map keeps /allocz output deterministic for equal byte counts.
+  std::map<std::string, ScopeStats> by_label;
+};
+
+Registry& GetRegistry() {
+  // Leaked: scopes may close during static destruction.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+uint64_t TrackedHeapBytes() {
+  return g_live_bytes.load(std::memory_order_relaxed);
+}
+uint64_t TrackedAllocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+uint64_t TrackedFrees() { return g_frees.load(std::memory_order_relaxed); }
+
+uint64_t ThreadAllocatedBytes() { return tl_counters.bytes; }
+uint64_t ThreadAllocationCount() { return tl_counters.count; }
+
+int64_t ThreadCpuNanos() {
+  timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+ResourceScope::ResourceScope(const char* label, ResourceUsage* sink)
+    : label_(label),
+      sink_(sink),
+      start_bytes_(tl_counters.bytes),
+      start_allocs_(tl_counters.count),
+      start_cpu_ns_(ThreadCpuNanos()) {}
+
+ResourceUsage ResourceScope::Usage() const {
+  ResourceUsage usage;
+  usage.cpu_ns = ThreadCpuNanos() - start_cpu_ns_;
+  usage.bytes_allocated = tl_counters.bytes - start_bytes_;
+  usage.allocations = tl_counters.count - start_allocs_;
+  return usage;
+}
+
+ResourceScope::~ResourceScope() {
+  const ResourceUsage usage = Usage();
+  if (sink_ != nullptr) *sink_ += usage;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ScopeStats& stats = registry.by_label[label_];
+  if (stats.label.empty()) stats.label = label_;
+  ++stats.scopes;
+  stats.bytes_allocated += usage.bytes_allocated;
+  stats.allocations += usage.allocations;
+  stats.cpu_ns += usage.cpu_ns;
+}
+
+std::vector<ScopeStats> ScopeStatsSnapshot() {
+  Registry& registry = GetRegistry();
+  std::vector<ScopeStats> out;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    out.reserve(registry.by_label.size());
+    for (const auto& [label, stats] : registry.by_label) out.push_back(stats);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScopeStats& a, const ScopeStats& b) {
+                     return a.bytes_allocated > b.bytes_allocated;
+                   });
+  return out;
+}
+
+void ResetScopeStats() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.by_label.clear();
+}
+
+std::string RenderAllocz(size_t max_scopes) {
+  std::vector<ScopeStats> scopes = ScopeStatsSnapshot();
+  if (scopes.size() > max_scopes) scopes.resize(max_scopes);
+  std::string out = "{\n \"heap_live_bytes\": ";
+  out += std::to_string(TrackedHeapBytes());
+  out += ",\n \"allocations_total\": ";
+  out += std::to_string(TrackedAllocations());
+  out += ",\n \"frees_total\": ";
+  out += std::to_string(TrackedFrees());
+  out += ",\n \"scopes\": [";
+  for (size_t i = 0; i < scopes.size(); ++i) {
+    const ScopeStats& s = scopes[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"label\": ";
+    AppendJsonString(s.label, &out);
+    out += ", \"scopes\": " + std::to_string(s.scopes);
+    out += ", \"bytes_allocated\": " + std::to_string(s.bytes_allocated);
+    out += ", \"allocations\": " + std::to_string(s.allocations);
+    out += ", \"cpu_ns\": " + std::to_string(s.cpu_ns);
+    out += "}";
+  }
+  out += "\n ]\n}\n";
+  return out;
+}
+
+}  // namespace rdfdb::obs
+
+// ---- Global allocator hooks ----------------------------------------------
+//
+// Replacing the global operator new/delete family is the supported way
+// to interpose every C++ allocation in the process (libstdc++'s
+// internal allocations included — the replaceable functions are
+// preempted program-wide). The hooks forward to malloc/free, so under
+// ASan the underlying malloc interceptors still see every allocation
+// and the leak/overflow checkers keep working; under TSan the counter
+// writes are relaxed atomics and thread-locals, introducing no report.
+// The full C++17 set (array / nothrow / sized / aligned forms) is
+// defined so no default definition with a mismatched deallocator
+// survives.
+
+void* operator new(size_t size) { return rdfdb::obs::AllocOrThrow(size); }
+void* operator new[](size_t size) { return rdfdb::obs::AllocOrThrow(size); }
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  void* ptr = std::malloc(size == 0 ? 1 : size);
+  if (ptr != nullptr) rdfdb::obs::NoteAlloc(ptr);
+  return ptr;
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  return operator new(size, std::nothrow);
+}
+
+void* operator new(size_t size, std::align_val_t alignment) {
+  return rdfdb::obs::AllocAlignedOrThrow(size,
+                                         static_cast<size_t>(alignment));
+}
+void* operator new[](size_t size, std::align_val_t alignment) {
+  return rdfdb::obs::AllocAlignedOrThrow(size,
+                                         static_cast<size_t>(alignment));
+}
+void* operator new(size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  void* ptr = nullptr;
+  const size_t align =
+      std::max(static_cast<size_t>(alignment), sizeof(void*));
+  if (::posix_memalign(&ptr, align, size == 0 ? 1 : size) != 0) {
+    return nullptr;
+  }
+  rdfdb::obs::NoteAlloc(ptr);
+  return ptr;
+}
+void* operator new[](size_t size, std::align_val_t alignment,
+                     const std::nothrow_t& tag) noexcept {
+  return operator new(size, alignment, tag);
+}
+
+void operator delete(void* ptr) noexcept { rdfdb::obs::Release(ptr); }
+void operator delete[](void* ptr) noexcept { rdfdb::obs::Release(ptr); }
+void operator delete(void* ptr, size_t) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete[](void* ptr, size_t) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete(void* ptr, size_t, std::align_val_t) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete[](void* ptr, size_t, std::align_val_t) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  rdfdb::obs::Release(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  rdfdb::obs::Release(ptr);
+}

@@ -1,0 +1,118 @@
+// Per-thread resource attribution: who spent the CPU, who allocated
+// the bytes.
+//
+// resource_tracker.cc defines the global `operator new`/`operator
+// delete` family. Every allocation bumps two sets of counters: a
+// process-wide live-bytes ledger (TrackedHeapBytes — the store's
+// resident-heap gauge) and a *per-thread monotonic* allocation total.
+// A ResourceScope snapshots the calling thread's monotonic totals and
+// its CLOCK_THREAD_CPUTIME_ID clock on entry and reports the deltas —
+// bytes_allocated, allocation count, cpu_ns — on exit, attributing
+// them to a named scope ("query", "bulkload_chunk", "publish", ...)
+// in a global registry that /allocz renders.
+//
+// Design constraints (why it looks the way it does):
+//   * The allocator hook path is a handful of instructions: one
+//     malloc_usable_size call, two relaxed atomic adds, two plain
+//     thread-local adds. No branches on attachment, no scope-pointer
+//     chasing — scopes are computed as deltas of the thread's
+//     monotonic totals, so nesting is inclusive for free and the hook
+//     never dereferences mutable shared state.
+//   * Everything the hooks touch is constant-initialized (plain
+//     atomics, POD thread_locals), so allocations during static init
+//     and thread start-up are safe.
+//   * Attribution is per-thread by construction: a scope only sees
+//     what its own thread allocated. Parallel stages (the join
+//     executor's chunk workers, the bulk-load parse workers) open
+//     their own scopes and the consumers merge the deltas — see
+//     query/exec.cc and rdf/bulk_load.cc.
+
+#ifndef RDFDB_OBS_RESOURCE_TRACKER_H_
+#define RDFDB_OBS_RESOURCE_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdfdb::obs {
+
+// ---- Process-wide ledger (allocator hooks) --------------------------------
+
+/// Live heap bytes currently allocated through the hooked operator new
+/// (usable size, so it reflects what the allocator actually committed).
+uint64_t TrackedHeapBytes();
+
+/// Allocations / frees since process start (monotonic).
+uint64_t TrackedAllocations();
+uint64_t TrackedFrees();
+
+/// Calling thread's monotonic allocation totals since thread start.
+uint64_t ThreadAllocatedBytes();
+uint64_t ThreadAllocationCount();
+
+/// Calling thread's CPU time (CLOCK_THREAD_CPUTIME_ID), nanoseconds.
+int64_t ThreadCpuNanos();
+
+// ---- Scoped attribution ---------------------------------------------------
+
+/// What one scope consumed on its own thread.
+struct ResourceUsage {
+  int64_t cpu_ns = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t allocations = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& other) {
+    cpu_ns += other.cpu_ns;
+    bytes_allocated += other.bytes_allocated;
+    allocations += other.allocations;
+    return *this;
+  }
+};
+
+/// RAII attribution span. On destruction the deltas are folded into
+/// the global scope registry under `label` and, when `sink` is
+/// non-null, added to `*sink` (the QueryTrace/BulkLoadStats path).
+/// `label` must be a string with static storage duration.
+class ResourceScope {
+ public:
+  explicit ResourceScope(const char* label, ResourceUsage* sink = nullptr);
+  ResourceScope(const ResourceScope&) = delete;
+  ResourceScope& operator=(const ResourceScope&) = delete;
+  ~ResourceScope();
+
+  /// Usage so far (without closing the scope).
+  ResourceUsage Usage() const;
+
+ private:
+  const char* label_;
+  ResourceUsage* sink_;
+  uint64_t start_bytes_;
+  uint64_t start_allocs_;
+  int64_t start_cpu_ns_;
+};
+
+// ---- Scope registry (/allocz) ---------------------------------------------
+
+/// Aggregate of every closed ResourceScope with a given label.
+struct ScopeStats {
+  std::string label;
+  uint64_t scopes = 0;           ///< times the scope ran
+  uint64_t bytes_allocated = 0;  ///< summed per-scope deltas
+  uint64_t allocations = 0;
+  int64_t cpu_ns = 0;
+};
+
+/// Snapshot of all labels, sorted by bytes_allocated descending.
+std::vector<ScopeStats> ScopeStatsSnapshot();
+
+/// Drop all accumulated scope stats (tests, and /allocz?reset=1).
+void ResetScopeStats();
+
+/// JSON rendering used by the /allocz endpoint: the process ledger
+/// plus the top `max_scopes` scopes by bytes.
+std::string RenderAllocz(size_t max_scopes = 32);
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_RESOURCE_TRACKER_H_

@@ -40,13 +40,16 @@ std::string SlowQueryLog::ToString() const {
       << static_cast<double>(threshold_ns_) / 1e6 << " ms, "
       << entries_.size() << " retained\n";
   for (const Entry& entry : entries_) {
-    char head[160];
+    char head[192];
     std::snprintf(head, sizeof(head),
-                  "#%llu +%.3fs %.2fms %zu row(s) [%s] ",
+                  "#%llu +%.3fs %.2fms cpu=%.2fms alloc=%lluB %zu row(s) "
+                  "[%s] ",
                   static_cast<unsigned long long>(entry.id),
                   static_cast<double>(entry.ts_us) / 1e6,
-                  static_cast<double>(entry.total_ns) / 1e6, entry.rows,
-                  entry.models.c_str());
+                  static_cast<double>(entry.total_ns) / 1e6,
+                  static_cast<double>(entry.trace.cpu_ns) / 1e6,
+                  static_cast<unsigned long long>(entry.trace.bytes_allocated),
+                  entry.rows, entry.models.c_str());
     out << head << entry.query << "\n";
     // Indent the trace under its header line.
     std::istringstream trace(entry.trace.ToString());
@@ -73,6 +76,10 @@ std::string SlowQueryLog::ToJson() const {
            ", \"exec_ns\": " + std::to_string(entry.trace.exec_ns) +
            ", \"plan_ns\": " + std::to_string(entry.trace.plan_ns) +
            ", \"threads\": " + std::to_string(entry.trace.exec_threads) +
+           ", \"cpu_ns\": " + std::to_string(entry.trace.cpu_ns) +
+           ", \"bytes_allocated\": " +
+           std::to_string(entry.trace.bytes_allocated) +
+           ", \"allocations\": " + std::to_string(entry.trace.allocations) +
            "}";
   }
   out += "\n]\n";

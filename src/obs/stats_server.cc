@@ -5,9 +5,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/event_log.h"
+#include "obs/profiler.h"
+#include "obs/resource_tracker.h"
 #include "obs/slow_query_log.h"
 #include "obs/span_timeline.h"
 
@@ -23,6 +26,8 @@ const char* StatusText(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Error";
   }
@@ -43,7 +48,14 @@ void SendAll(int fd, const std::string& data) {
 }  // namespace
 
 StatsServer::StatsServer(Sources sources)
-    : sources_(sources), started_(std::chrono::steady_clock::now()) {}
+    : sources_(std::move(sources)),
+      started_(std::chrono::steady_clock::now()) {
+  // Pre-existing drops are history, not a new degradation: only drops
+  // after the server came up flip /healthz.
+  if (sources_.events != nullptr) {
+    health_seen_drops_ = sources_.events->dropped();
+  }
+}
 
 StatsServer::~StatsServer() {
   Stop();
@@ -121,11 +133,11 @@ bool StatsServer::ServeOne() {
     resp.body = "method not allowed\n";
   } else {
     const size_t path_end = line.find(' ', 4);
-    std::string path = line.substr(
+    // The full target, query string included — Handle splits it, so
+    // parameterized endpoints (/profilez?seconds=N) work over sockets.
+    std::string target = line.substr(
         4, path_end == std::string::npos ? std::string::npos : path_end - 4);
-    const size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
-    resp = Handle(path);
+    resp = Handle(target);
   }
 
   std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
@@ -154,16 +166,87 @@ void StatsServer::Stop() {
   }
 }
 
-StatsServer::Response StatsServer::Handle(const std::string& path) {
+StatsServer::Response StatsServer::HandleHealthz() {
+  Response resp;
+  resp.content_type = "text/plain; charset=utf-8";
+  std::string failing;
+  if (sources_.events != nullptr) {
+    const uint64_t drops = sources_.events->dropped();
+    std::lock_guard<std::mutex> lock(health_mu_);
+    if (drops > health_seen_drops_) {
+      failing += " event_log_drops=" +
+                 std::to_string(drops - health_seen_drops_);
+    }
+    health_seen_drops_ = drops;
+  }
+  if (sources_.registry != nullptr) {
+    if (sources_.unhealthy_epoch_lag > 0) {
+      const Gauge* lag =
+          sources_.registry->FindGauge("rdfdb_oldest_pinned_epoch_lag");
+      if (lag != nullptr && lag->Value() >= sources_.unhealthy_epoch_lag) {
+        failing += " epoch_lag=" + std::to_string(lag->Value());
+      }
+    }
+    if (sources_.unhealthy_retention_age_seconds > 0) {
+      const Gauge* age =
+          sources_.registry->FindGauge("rdfdb_version_retention_age_seconds");
+      if (age != nullptr &&
+          static_cast<double>(age->Value()) >=
+              sources_.unhealthy_retention_age_seconds) {
+        failing += " retention_age_seconds=" + std::to_string(age->Value());
+      }
+    }
+  }
+  if (failing.empty()) {
+    resp.body = "ok\n";
+  } else {
+    resp.status = 503;
+    resp.body = "degraded:" + failing + "\n";
+  }
+  return resp;
+}
+
+StatsServer::Response StatsServer::Handle(const std::string& target) {
+  std::string path = target;
+  std::string query;
+  const size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    path = target.substr(0, qpos);
+    query = target.substr(qpos + 1);
+  }
+  // Refresh derived gauges (store memory breakdown, retention age)
+  // before any endpoint that reads them.
+  if (sources_.refresh &&
+      (path == "/metrics" || path == "/varz" || path == "/" ||
+       path == "/healthz")) {
+    sources_.refresh();
+  }
   Response resp;
   if (path == "/healthz") {
-    resp.content_type = "text/plain; charset=utf-8";
-    resp.body = "ok\n";
-    return resp;
+    return HandleHealthz();
   }
   if (path == "/metrics") {
     resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
     resp.body = sources_.registry->RenderPrometheus();
+    return resp;
+  }
+  if (path == "/profilez") {
+    // Blocking by design: sample this process for N seconds and return
+    // the flamegraph collapsed stacks. One request per connection, so
+    // only the requesting client waits.
+    double seconds = 2.0;
+    const size_t at = query.find("seconds=");
+    if (at != std::string::npos) {
+      seconds = std::strtod(query.c_str() + at + 8, nullptr);
+      if (seconds <= 0.0) seconds = 2.0;
+    }
+    resp.content_type = "text/plain; charset=utf-8";
+    resp.body = ProfileForSeconds(seconds);
+    return resp;
+  }
+  if (path == "/allocz") {
+    resp.content_type = "application/json";
+    resp.body = RenderAllocz();
     return resp;
   }
   if (path == "/varz" || path == "/") {
@@ -211,7 +294,8 @@ StatsServer::Response StatsServer::Handle(const std::string& path) {
   resp.status = 404;
   resp.content_type = "text/plain; charset=utf-8";
   resp.body = "not found: " + path +
-              "\nendpoints: /metrics /varz /healthz /slow /timeline\n";
+              "\nendpoints: /metrics /varz /healthz /slow /timeline "
+              "/profilez /allocz\n";
   return resp;
 }
 

@@ -5,14 +5,22 @@
 //   GET /metrics   Prometheus text exposition (scrape target)
 //   GET /varz      JSON: uptime, per-interval counter rates, full
 //                  registry dump (+ optional extra members)
-//   GET /healthz   "ok\n"
+//   GET /healthz   "ok\n", or 503 "degraded: <signals>\n" when the
+//                  event log dropped entries since the last check, the
+//                  oldest pinned epoch lags too far behind, or a
+//                  retired store version has been unreclaimable for too
+//                  long (thresholds in Sources)
 //   GET /slow      slow-query log, JSON (404 when not attached)
 //   GET /timeline  Chrome trace-event JSON (404 when not attached)
+//   GET /profilez  ?seconds=N (default 2): block, sample the process at
+//                  100 Hz, return flamegraph collapsed stacks
+//   GET /allocz    JSON: live heap bytes + per-scope-label allocation
+//                  and CPU attribution (obs/resource_tracker.h)
 //
 // One request per connection, response closes the socket — the server
 // is an operator peephole, not a web framework. `Handle()` is public so
 // tests (and the in-process tools) can exercise routing without
-// sockets.
+// sockets; it accepts the raw request target, query string included.
 
 #ifndef RDFDB_OBS_STATS_SERVER_H_
 #define RDFDB_OBS_STATS_SERVER_H_
@@ -20,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -42,6 +51,14 @@ class StatsServer {
     const SlowQueryLog* slow_queries = nullptr;
     const Timeline* timeline = nullptr;
     const EventLog* events = nullptr;
+    /// Optional: called before any endpoint that renders gauges
+    /// (/metrics, /varz, /healthz) so the owner can refresh
+    /// derived/point-in-time values (e.g. the store's memory gauges)
+    /// without the server depending on store types.
+    std::function<void()> refresh;
+    /// /healthz degradation thresholds (<= 0 disables the check).
+    double unhealthy_retention_age_seconds = 60.0;
+    int64_t unhealthy_epoch_lag = 1024;
   };
 
   struct Response {
@@ -72,10 +89,14 @@ class StatsServer {
   /// Shut down the listener; unblocks a pending accept.
   void Stop();
 
-  /// Route a request path to a response (no sockets involved).
-  Response Handle(const std::string& path);
+  /// Route a request target (path + optional ?query) to a response (no
+  /// sockets involved).
+  Response Handle(const std::string& target);
 
  private:
+  /// "ok" / "degraded: <signals>" verdict; see the header comment.
+  Response HandleHealthz();
+
   Sources sources_;
   const std::chrono::steady_clock::time_point started_;
   int listen_fd_ = -1;
@@ -85,6 +106,9 @@ class StatsServer {
   std::mutex varz_mu_;               ///< guards the /varz interval state
   MetricsSnapshot prev_snapshot_;    ///< previous /varz scrape
   bool have_prev_ = false;
+
+  std::mutex health_mu_;             ///< guards the drop watermark
+  uint64_t health_seen_drops_ = 0;   ///< event-log drops at last /healthz
 };
 
 }  // namespace rdfdb::obs

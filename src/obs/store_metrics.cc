@@ -40,6 +40,12 @@ StoreMetrics::StoreMetrics(MetricsRegistry* reg) : registry(reg) {
   query_ns = reg->RegisterHistogram(
       "rdfdb_query_ns", "end-to-end SDO_RDF_MATCH latency (ns)",
       DefaultLatencyBucketsNs());
+  query_cpu_ns = reg->RegisterCounter(
+      "rdfdb_query_cpu_ns_total",
+      "CPU nanoseconds attributed to queries across all threads");
+  query_alloc_bytes = reg->RegisterCounter(
+      "rdfdb_query_alloc_bytes_total",
+      "heap bytes allocated while executing queries");
 
   inference_rounds = reg->RegisterCounter(
       "rdfdb_inference_rounds_total", "entailment fixpoint rounds");
@@ -102,6 +108,29 @@ StoreMetrics::StoreMetrics(MetricsRegistry* reg) : registry(reg) {
   epoch_lag = reg->RegisterGauge(
       "rdfdb_oldest_pinned_epoch_lag",
       "current epoch minus the oldest pinned reader epoch (0 = idle)");
+  retention_age_seconds = reg->RegisterGauge(
+      "rdfdb_version_retention_age_seconds",
+      "seconds the oldest retired store version has been blocked from "
+      "reclamation by a pinned reader epoch (0 = nothing retained)");
+
+  mem_value_store_bytes = reg->RegisterGauge(
+      "rdfdb_mem_value_store_bytes",
+      "approx heap bytes: rdf_value$/rdf_blank_node$ rows + indexes");
+  mem_link_table_bytes = reg->RegisterGauge(
+      "rdfdb_mem_link_table_bytes",
+      "approx heap bytes: rdf_link$/rdf_node$ rows + indexes");
+  mem_quad_cache_bytes = reg->RegisterGauge(
+      "rdfdb_mem_quad_cache_bytes",
+      "approx heap bytes: per-model id-native quad caches");
+  mem_term_dict_bytes = reg->RegisterGauge(
+      "rdfdb_mem_term_dict_bytes",
+      "approx heap bytes: lock-free term dictionary spine + tables");
+  mem_retired_version_bytes = reg->RegisterGauge(
+      "rdfdb_mem_retired_version_bytes",
+      "approx exclusive heap bytes held by retired store versions");
+  mem_tracked_heap_bytes = reg->RegisterGauge(
+      "rdfdb_mem_tracked_heap_bytes",
+      "process-wide live heap bytes tracked by the allocator hooks");
 }
 
 }  // namespace rdfdb::obs

@@ -42,6 +42,8 @@ struct StoreMetrics {
   Counter* queries;        ///< SdoRdfMatch calls that reached execution
   Counter* query_rows;     ///< result rows returned across all queries
   Histogram* query_ns;     ///< end-to-end SdoRdfMatch latency
+  Counter* query_cpu_ns;      ///< CPU ns attributed to queries (all threads)
+  Counter* query_alloc_bytes; ///< heap bytes allocated inside queries
 
   // Inference.
   Counter* inference_rounds;   ///< fixpoint rounds across all entailments
@@ -71,6 +73,17 @@ struct StoreMetrics {
   Histogram* publish_ns;         ///< build + swap + sweep latency
   Gauge* retired_versions;       ///< retired-but-not-yet-freed versions
   Gauge* epoch_lag;              ///< current epoch minus oldest pinned
+  Gauge* retention_age_seconds;  ///< age of the oldest retired version
+
+  // Store-wide memory accounting (RdfStore::UpdateMemoryGauges /
+  // SnapshotRdfStore::UpdateMemoryGauges refresh these on demand — they
+  // are gauges of approximate heap footprint, not hot-path counters).
+  Gauge* mem_value_store_bytes;     ///< rdf_value$/rdf_blank_node$ + indexes
+  Gauge* mem_link_table_bytes;      ///< rdf_link$/rdf_node$ + indexes
+  Gauge* mem_quad_cache_bytes;      ///< per-model id-native quad caches
+  Gauge* mem_term_dict_bytes;       ///< lock-free term dictionary spine
+  Gauge* mem_retired_version_bytes; ///< exclusive bytes held by retired versions
+  Gauge* mem_tracked_heap_bytes;    ///< process-wide live heap (allocator hooks)
 };
 
 }  // namespace rdfdb::obs

@@ -46,9 +46,13 @@ std::string QueryTrace::ToString() const {
     for (const ExecWorkerTrace& w : exec_workers) {
       out << "    worker " << w.worker << ": chunks=" << w.chunks
           << " rows=" << w.rows_emitted << " busy_us=" << Us(w.busy_ns)
-          << "\n";
+          << " cpu_us=" << Us(w.cpu_ns) << " alloc=" << w.bytes_allocated
+          << "B\n";
     }
   }
+  out << "  resources: cpu_us=" << Us(cpu_ns)
+      << " alloc=" << bytes_allocated << "B (" << allocations
+      << " allocation(s))\n";
   out << "  stages (us): parse=" << Us(parse_ns) << " plan=" << Us(plan_ns)
       << " infer=" << Us(infer_ns) << " exec=" << Us(exec_ns)
       << " resolve=" << Us(resolve_ns) << " total=" << Us(total_ns) << "\n";

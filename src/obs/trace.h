@@ -26,6 +26,8 @@ struct ExecWorkerTrace {
   size_t chunks = 0;        ///< outer-frame chunks this worker joined
   size_t rows_emitted = 0;  ///< rows produced across those chunks
   int64_t busy_ns = 0;      ///< wall time spent inside chunk joins
+  int64_t cpu_ns = 0;       ///< thread CPU time inside chunk joins
+  uint64_t bytes_allocated = 0;  ///< heap bytes allocated in chunk joins
 };
 
 /// One executed triple pattern (one join step), in execution order.
@@ -69,6 +71,13 @@ struct QueryTrace {
   size_t exec_threads = 1;  ///< worker threads the join executor used
   size_t exec_chunks = 0;   ///< outer-frame chunks dispatched (parallel)
   std::vector<ExecWorkerTrace> exec_workers;  ///< one entry per worker
+
+  // Resource attribution (obs/resource_tracker.h): CPU time and heap
+  // allocation charged to this query — the calling thread's scope plus
+  // the summed deltas of every parallel worker's chunk scopes.
+  int64_t cpu_ns = 0;
+  uint64_t bytes_allocated = 0;
+  uint64_t allocations = 0;
 
   // Stage wall times (ns). exec_ns covers the join loop including
   // filtering and emission, so resolve_ns overlaps it.

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "obs/resource_tracker.h"
 #include "obs/trace.h"
 #include "query/rules_index.h"
 #include "rdf/canonical.h"
@@ -326,6 +327,9 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
     ExecCounters counters;
     unsigned worker = 0;   ///< 1-based lane that joined this chunk
     int64_t busy_ns = 0;   ///< wall time of the chunk join
+    int64_t cpu_ns = 0;        ///< worker-thread CPU time of the join
+    uint64_t alloc_bytes = 0;  ///< heap bytes the join allocated
+    uint64_t allocs = 0;       ///< allocation count of the join
   };
   std::atomic<bool> cancel{false};
 
@@ -334,6 +338,10 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
         timeline, "chunk_join", "exec", worker,
         timeline != nullptr ? "chunk=" + std::to_string(k) : std::string());
     Timer busy_timer;
+    // Per-chunk resource scope: deltas of this worker thread's CPU and
+    // allocation counters, merged on the consumer (below) so per-query
+    // attribution covers worker threads, not just the calling thread.
+    obs::ResourceScope chunk_scope("exec_chunk");
     ChunkOut out{{}, 0, ExecCounters(plan.steps.size()), worker, 0};
     std::vector<ValueId> slots(std::max<size_t>(nslots, 1), 0);
     StepRunner runner(store, plan, source, leaf, &out.counters, &cancel);
@@ -353,6 +361,10 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
       if (!status.ok()) return status;
     }
     out.busy_ns = busy_timer.ElapsedNanos();
+    const obs::ResourceUsage usage = chunk_scope.Usage();
+    out.cpu_ns = usage.cpu_ns;
+    out.alloc_bytes = usage.bytes_allocated;
+    out.allocs = usage.allocations;
     return out;
   };
 
@@ -361,6 +373,8 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
 
   // Consume: merge a chunk's counters, then emit its rows in order.
   // Returns false to stop the whole run.
+  uint64_t worker_allocs = 0;  // consumer-thread accumulator
+
   auto consume = [&](ChunkOut&& chunk) {
     counters.MergeFrom(chunk.counters);
     if (chunk.worker >= 1 && chunk.worker <= worker_acc.size()) {
@@ -369,6 +383,9 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
       ++w.chunks;
       w.rows_emitted += chunk.count;
       w.busy_ns += chunk.busy_ns;
+      w.cpu_ns += chunk.cpu_ns;
+      w.bytes_allocated += chunk.alloc_bytes;
+      worker_allocs += chunk.allocs;
     }
     for (size_t f = 0; f < chunk.count; ++f) {
       if (!fn(chunk.solutions.data() + f * nslots)) return false;
@@ -379,8 +396,15 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
   auto flush_workers = [&] {
     if (trace == nullptr) return;
     for (const obs::ExecWorkerTrace& w : worker_acc) {
-      if (w.chunks > 0) trace->exec_workers.push_back(w);
+      if (w.chunks > 0) {
+        // Worker resource deltas fold into the query totals here; the
+        // calling thread's own scope is added by the match layer.
+        trace->cpu_ns += w.cpu_ns;
+        trace->bytes_allocated += w.bytes_allocated;
+        trace->exec_workers.push_back(w);
+      }
     }
+    trace->allocations += worker_allocs;
   };
 
   Status status = Status::OK();

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/timer.h"
+#include "obs/resource_tracker.h"
 #include "obs/store_metrics.h"
 #include "query/exec.h"
 #include "query/filter.h"
@@ -87,6 +88,10 @@ Result<MatchResult> MatchImpl(const rdf::StoreView& store,
   if (trace == nullptr && slow_log != nullptr) trace = &local_trace;
   if (trace != nullptr) *trace = obs::QueryTrace{};
   Timer total_timer;
+  // Per-query resource attribution: the calling thread's CPU and heap
+  // deltas; parallel workers contribute their own chunk-scope deltas
+  // via the trace (query/exec.cc flush_workers).
+  obs::ResourceScope query_scope("query");
   obs::StoreMetrics* metrics = store.metrics();
   obs::TimelineScope query_span(store.timeline(), "query", "query",
                                 /*lane=*/0);
@@ -262,14 +267,29 @@ Result<MatchResult> MatchImpl(const rdf::StoreView& store,
     }
   }
   RDFDB_RETURN_NOT_OK(status);
+  const obs::ResourceUsage query_usage = query_scope.Usage();
   if (trace != nullptr) {
     trace->rows_emitted = rows.size();
+    trace->cpu_ns += query_usage.cpu_ns;
+    trace->bytes_allocated += query_usage.bytes_allocated;
+    trace->allocations += query_usage.allocations;
     trace->total_ns = total_timer.ElapsedNanos();
   }
   if (metrics != nullptr) {
     metrics->queries->Inc();
     metrics->query_rows->Inc(rows.size());
     metrics->query_ns->Observe(total_timer.ElapsedNanos());
+    // With a trace the totals include worker-thread deltas; without one
+    // the calling thread's scope is still exact for sequential queries.
+    if (trace != nullptr) {
+      metrics->query_cpu_ns->Inc(static_cast<uint64_t>(
+          trace->cpu_ns > 0 ? trace->cpu_ns : 0));
+      metrics->query_alloc_bytes->Inc(trace->bytes_allocated);
+    } else {
+      metrics->query_cpu_ns->Inc(static_cast<uint64_t>(
+          query_usage.cpu_ns > 0 ? query_usage.cpu_ns : 0));
+      metrics->query_alloc_bytes->Inc(query_usage.bytes_allocated);
+    }
   }
   if (slow_log != nullptr && trace != nullptr &&
       trace->total_ns >= slow_log->threshold_ns()) {

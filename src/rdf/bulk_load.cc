@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/resource_tracker.h"
 #include "obs/store_metrics.h"
 #include "rdf/canonical.h"
 #include "rdf/link_store.h"
@@ -101,6 +102,10 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
       timeline, "chunk_consume", "bulkload", /*lane=*/0,
       timeline != nullptr ? "chunk=" + std::to_string(stats->chunks)
                           : std::string());
+  // Attribute the storage thread's CPU and heap traffic for this chunk
+  // (intern + insert + app-table rows); parse workers open their own
+  // scopes in the produce lambdas.
+  obs::ResourceScope chunk_scope("bulkload_chunk");
   std::vector<const Term*> terms;
   terms.reserve(prepared.size() * 4);
   for (const PreparedTriple& pt : prepared) {
@@ -166,6 +171,9 @@ Status ProcessChunk(RdfStore* store, ModelId model_id,
          obs::EventField::Num("new_links",
                               static_cast<int64_t>(chunk_new_links))});
   }
+  const obs::ResourceUsage usage = chunk_scope.Usage();
+  stats->cpu_ns += usage.cpu_ns;
+  stats->alloc_bytes += usage.bytes_allocated;
   return Status::OK();
 }
 
@@ -263,12 +271,15 @@ std::string BulkLoadStats::ToString() const {
   std::snprintf(buf, sizeof(buf),
                 "bulk load: %zu statement(s), %zu new link(s), %zu reused, "
                 "%zu app row(s); %zu chunk(s), queue depth %zu; "
-                "parse=%.1fms intern=%.1fms insert=%.1fms total=%.1fms",
+                "parse=%.1fms intern=%.1fms insert=%.1fms total=%.1fms; "
+                "cpu=%.1fms alloc=%.1fMB",
                 statements, new_links, reused_links, app_rows, chunks,
                 max_queue_depth, static_cast<double>(parse_ns) / 1e6,
                 static_cast<double>(intern_ns) / 1e6,
                 static_cast<double>(insert_ns) / 1e6,
-                static_cast<double>(total_ns) / 1e6);
+                static_cast<double>(total_ns) / 1e6,
+                static_cast<double>(cpu_ns) / 1e6,
+                static_cast<double>(alloc_bytes) / 1e6);
   return buf;
 }
 
@@ -318,8 +329,11 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
       table != nullptr ? static_cast<int64_t>(table->row_count()) + 1 : 0;
   ValueStore::InternCache cache;
   // Parse time is summed across workers through an atomic; per-chunk
-  // times go straight to the (thread-safe) histogram.
+  // times go straight to the (thread-safe) histogram. CPU/alloc deltas
+  // of the parse workers accumulate the same way.
   std::atomic<int64_t> parse_ns{0};
+  std::atomic<int64_t> parse_cpu_ns{0};
+  std::atomic<uint64_t> parse_alloc_bytes{0};
   obs::StoreMetrics* metrics = store->metrics();
 
   obs::Timeline* timeline = store->timeline();
@@ -332,6 +346,7 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
             timeline != nullptr ? "chunk=" + std::to_string(k)
                                 : std::string());
         Timer chunk_timer;
+        obs::ResourceScope parse_scope("bulkload_parse");
         const size_t begin = k * batch;
         const size_t end = std::min(statements.size(), begin + batch);
         PreparedChunk chunk;
@@ -342,6 +357,10 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
         }
         const int64_t ns = chunk_timer.ElapsedNanos();
         parse_ns.fetch_add(ns, std::memory_order_relaxed);
+        const obs::ResourceUsage usage = parse_scope.Usage();
+        parse_cpu_ns.fetch_add(usage.cpu_ns, std::memory_order_relaxed);
+        parse_alloc_bytes.fetch_add(usage.bytes_allocated,
+                                    std::memory_order_relaxed);
         metrics->bulkload_parse_ns->Observe(static_cast<uint64_t>(ns));
         return chunk;
       },
@@ -355,6 +374,8 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
     return status;
   }
   stats.parse_ns = parse_ns.load(std::memory_order_relaxed);
+  stats.cpu_ns += parse_cpu_ns.load(std::memory_order_relaxed);
+  stats.alloc_bytes += parse_alloc_bytes.load(std::memory_order_relaxed);
   stats.total_ns = total.ElapsedNanos();
   metrics->bulkload_queue_depth->SetMax(
       static_cast<int64_t>(stats.max_queue_depth));
@@ -394,6 +415,8 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
       table != nullptr ? static_cast<int64_t>(table->row_count()) + 1 : 0;
   ValueStore::InternCache cache;
   std::atomic<int64_t> parse_ns{0};
+  std::atomic<int64_t> parse_cpu_ns{0};
+  std::atomic<uint64_t> parse_alloc_bytes{0};
   obs::StoreMetrics* metrics = store->metrics();
 
   obs::Timeline* timeline = store->timeline();
@@ -406,6 +429,7 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
             timeline != nullptr ? "chunk=" + std::to_string(k)
                                 : std::string());
         Timer chunk_timer;
+        obs::ResourceScope parse_scope("bulkload_parse");
         const NTriplesChunkSpec& spec = specs[k];
         PreparedChunk chunk;
         RDFDB_ASSIGN_OR_RETURN(
@@ -417,6 +441,10 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
         RDFDB_RETURN_NOT_OK(PrepareAll(chunk.owned, &chunk.prepared));
         const int64_t ns = chunk_timer.ElapsedNanos();
         parse_ns.fetch_add(ns, std::memory_order_relaxed);
+        const obs::ResourceUsage usage = parse_scope.Usage();
+        parse_cpu_ns.fetch_add(usage.cpu_ns, std::memory_order_relaxed);
+        parse_alloc_bytes.fetch_add(usage.bytes_allocated,
+                                    std::memory_order_relaxed);
         metrics->bulkload_parse_ns->Observe(static_cast<uint64_t>(ns));
         return chunk;
       },
@@ -430,6 +458,8 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
     return status;
   }
   stats.parse_ns = parse_ns.load(std::memory_order_relaxed);
+  stats.cpu_ns += parse_cpu_ns.load(std::memory_order_relaxed);
+  stats.alloc_bytes += parse_alloc_bytes.load(std::memory_order_relaxed);
   stats.total_ns = total.ElapsedNanos();
   metrics->bulkload_queue_depth->SetMax(
       static_cast<int64_t>(stats.max_queue_depth));

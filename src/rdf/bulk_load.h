@@ -50,6 +50,9 @@ struct BulkLoadStats {
   int64_t intern_ns = 0;      ///< batched rdf_value$ intern time
   int64_t insert_ns = 0;      ///< batched rdf_link$ insert time
   int64_t total_ns = 0;       ///< wall time of the whole load
+  int64_t cpu_ns = 0;         ///< CPU time across all pipeline threads
+                              ///< (parse workers + the storage thread)
+  uint64_t alloc_bytes = 0;   ///< heap bytes allocated by the pipeline
 
   /// One-line human-readable rendering.
   std::string ToString() const;

@@ -48,10 +48,11 @@ EpochGc::Pin EpochGc::Enter() const {
   }
 }
 
-void EpochGc::Retire(std::shared_ptr<const void> obj,
-                     uint64_t retire_epoch) {
+void EpochGc::Retire(std::shared_ptr<const void> obj, uint64_t retire_epoch,
+                     size_t bytes) {
   std::lock_guard<std::mutex> lock(retire_mu_);
-  retired_.emplace_back(std::move(obj), retire_epoch);
+  retired_.push_back(RetiredEntry{std::move(obj), retire_epoch, bytes,
+                                  std::chrono::steady_clock::now()});
 }
 
 void EpochGc::Sweep() {
@@ -59,8 +60,8 @@ void EpochGc::Sweep() {
   std::lock_guard<std::mutex> lock(retire_mu_);
   retired_.erase(
       std::remove_if(retired_.begin(), retired_.end(),
-                     [min](const auto& entry) {
-                       return min == 0 || entry.second <= min;
+                     [min](const RetiredEntry& entry) {
+                       return min == 0 || entry.epoch <= min;
                      }),
       retired_.end());
 }
@@ -77,6 +78,25 @@ uint64_t EpochGc::MinPinned() const {
 size_t EpochGc::RetiredOutstanding() const {
   std::lock_guard<std::mutex> lock(retire_mu_);
   return retired_.size();
+}
+
+size_t EpochGc::RetiredBytes() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  size_t total = 0;
+  for (const RetiredEntry& entry : retired_) total += entry.bytes;
+  return total;
+}
+
+double EpochGc::OldestRetireAgeSeconds() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  if (retired_.empty()) return 0.0;
+  auto oldest = retired_.front().retired_at;
+  for (const RetiredEntry& entry : retired_) {
+    if (entry.retired_at < oldest) oldest = entry.retired_at;
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       oldest)
+      .count();
 }
 
 uint64_t EpochGc::OldestPinLag() const {

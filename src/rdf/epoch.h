@@ -28,6 +28,7 @@
 #define RDFDB_RDF_EPOCH_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -94,7 +95,12 @@ class EpochGc {
   /// Writer: queue `obj` for release once every reader pinned before
   /// `retire_epoch` has unpinned. The type-erased shared_ptr keeps the
   /// object (and everything it transitively owns) alive until then.
-  void Retire(std::shared_ptr<const void> obj, uint64_t retire_epoch);
+  /// `bytes` is the caller-estimated exclusive footprint of the retired
+  /// object (memory accounting; RetiredBytes sums it), and each entry
+  /// is stamped with its retire time so the epoch-stall watchdog can
+  /// report how long reclamation has been blocked.
+  void Retire(std::shared_ptr<const void> obj, uint64_t retire_epoch,
+              size_t bytes = 0);
 
   /// Writer: drop every retired entry whose stamp is covered by the
   /// current minimum pinned epoch.
@@ -110,6 +116,14 @@ class EpochGc {
   /// Retired-but-not-yet-freed entries (introspection / metrics).
   size_t RetiredOutstanding() const;
 
+  /// Sum of the byte estimates passed to Retire for entries still held.
+  size_t RetiredBytes() const;
+
+  /// Seconds since the oldest still-held retired entry was retired — how
+  /// long a pinned reader has been blocking reclamation. 0 when the
+  /// retire list is empty.
+  double OldestRetireAgeSeconds() const;
+
   /// CurrentEpoch() - MinPinned() when a reader is pinned, else 0 — how
   /// far the oldest reader lags behind the published frontier.
   uint64_t OldestPinLag() const;
@@ -122,10 +136,17 @@ class EpochGc {
     std::atomic<uint64_t> epoch{0};  // 0 = idle
   };
 
+  struct RetiredEntry {
+    std::shared_ptr<const void> obj;
+    uint64_t epoch = 0;
+    size_t bytes = 0;
+    std::chrono::steady_clock::time_point retired_at;
+  };
+
   mutable Slot slots_[kSlots];
   std::atomic<uint64_t> epoch_{1};
   mutable std::mutex retire_mu_;  // writer-side only; never on read path
-  std::vector<std::pair<std::shared_ptr<const void>, uint64_t>> retired_;
+  std::vector<RetiredEntry> retired_;
 };
 
 }  // namespace rdfdb::rdf

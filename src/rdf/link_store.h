@@ -228,6 +228,17 @@ class LinkStore {
 
     void Insert(ValueId s, ValueId p, uint32_t idx, ValueId o,
                 ValueId canon_o);
+
+    /// Approximate heap bytes: slot array + overflow posting lists.
+    size_t ApproxBytes() const {
+      size_t n = slots_.capacity() * sizeof(Slot) +
+                 overflow_.capacity() * sizeof(std::vector<uint32_t>) +
+                 free_overflow_.capacity() * sizeof(int32_t);
+      for (const std::vector<uint32_t>& rows : overflow_) {
+        n += rows.capacity() * sizeof(uint32_t);
+      }
+      return n;
+    }
     /// Remove row `idx`; `quads` re-derives the inline payload when an
     /// overflow list collapses back to a single row.
     void Erase(ValueId s, ValueId p, uint32_t idx,
@@ -289,6 +300,23 @@ class LinkStore {
     std::unordered_map<LinkId, uint32_t> by_link;  ///< delete maintenance
     size_t implied_count = 0;  ///< rows with CONTEXT == Implied
 
+    /// Approximate heap bytes owned by this cache object: the quad
+    /// array plus every posting structure. Drives the quad-cache memory
+    /// gauge and the exclusive-footprint estimate stamped onto retired
+    /// StoreVersions. Deliberately O(1)-ish (bucket/size arithmetic, no
+    /// per-key iteration) — the publish path calls it once per mutation.
+    size_t ApproxBytes() const {
+      size_t n = sizeof(ModelIdCache) + quads.capacity() * sizeof(IdQuad) +
+                 by_sp.ApproxBytes();
+      const size_t entries = quads.size();
+      n += PostingsBytes(by_s, entries) + PostingsBytes(by_canon, entries) +
+           PostingsBytes(by_p, entries);
+      n += by_link.bucket_count() * sizeof(void*) +
+           by_link.size() *
+               (sizeof(std::pair<LinkId, uint32_t>) + 2 * sizeof(void*));
+      return n;
+    }
+
     /// Exact (s, p, lexical-object) probe — the identity Insert/Delete
     /// and IS_TRIPLE use. Returns the matching quad or nullptr.
     const IdQuad* FindSpo(ValueId s, ValueId p, ValueId o) const {
@@ -300,6 +328,22 @@ class LinkStore {
         if (quad.o == o) return &quad;
       }
       return nullptr;
+    }
+
+   private:
+    /// Node-based container estimate in O(1): bucket array + one node
+    /// per key (payload + ~two pointers of allocator overhead) + the
+    /// posting storage itself. Every quad appears exactly once per
+    /// posting index, so `total_entries` list slots are live; vector
+    /// growth slack is approximated at 1.5x.
+    static size_t PostingsBytes(
+        const std::unordered_map<ValueId, std::vector<uint32_t>>& postings,
+        size_t total_entries) {
+      return postings.bucket_count() * sizeof(void*) +
+             postings.size() *
+                 (sizeof(std::pair<ValueId, std::vector<uint32_t>>) +
+                  2 * sizeof(void*)) +
+             total_entries * sizeof(uint32_t) * 3 / 2;
     }
   };
 
@@ -375,6 +419,22 @@ class LinkStore {
 
   /// Leaf-scan view of `model_id`; invalid when the model has no rows.
   LeafScan Leaf(int64_t model_id) const;
+
+  /// Approximate heap bytes across every model's current quad cache.
+  size_t CacheBytes() const {
+    size_t n = 0;
+    for (const auto& [model_id, cache] : id_cache_) {
+      (void)model_id;
+      n += cache->ApproxBytes();
+    }
+    return n;
+  }
+
+  /// Approximate heap bytes of the rdf_link$ + rdf_node$ rows and their
+  /// storage-layer indexes.
+  size_t TableBytes() const {
+    return links_->ApproxTotalBytes() + nodes_->ApproxTotalBytes();
+  }
 
  private:
   /// Row-level match kernel: index choice + residual filtering + scan

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/timer.h"
+#include "obs/resource_tracker.h"
 #include "rdf/canonical.h"
 #include "rdf/reification.h"
 #include "rdf/vocab.h"
@@ -470,6 +471,27 @@ Result<Term> RdfStore::TermForValueId(ValueId value_id) const {
 
 Result<std::string> RdfStore::TextForValueId(ValueId value_id) const {
   return values_->GetText(value_id);
+}
+
+RdfStore::MemoryBreakdown RdfStore::MemoryUsage() const {
+  MemoryBreakdown breakdown;
+  breakdown.value_store_bytes = values_->ApproxBytes();
+  breakdown.link_table_bytes = links_->TableBytes();
+  breakdown.quad_cache_bytes = links_->CacheBytes();
+  breakdown.tracked_heap_bytes = obs::TrackedHeapBytes();
+  return breakdown;
+}
+
+void RdfStore::UpdateMemoryGauges() const {
+  const MemoryBreakdown breakdown = MemoryUsage();
+  metrics_->mem_value_store_bytes->Set(
+      static_cast<int64_t>(breakdown.value_store_bytes));
+  metrics_->mem_link_table_bytes->Set(
+      static_cast<int64_t>(breakdown.link_table_bytes));
+  metrics_->mem_quad_cache_bytes->Set(
+      static_cast<int64_t>(breakdown.quad_cache_bytes));
+  metrics_->mem_tracked_heap_bytes->Set(
+      static_cast<int64_t>(breakdown.tracked_heap_bytes));
 }
 
 Status RdfStore::Save(const std::string& path, storage::Env* env) const {

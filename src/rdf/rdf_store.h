@@ -255,6 +255,35 @@ class RdfStore : public StoreView {
   void set_timeline(obs::Timeline* timeline) { timeline_ = timeline; }
   obs::Timeline* timeline() const override { return timeline_; }
 
+  // ---- Memory accounting -------------------------------------------------
+
+  /// Approximate heap footprint by subsystem. `term_dict_bytes` and
+  /// `retired_version_bytes` stay zero for a plain RdfStore — the
+  /// snapshot store's MemoryUsage() fills them in.
+  struct MemoryBreakdown {
+    size_t value_store_bytes = 0;     ///< rdf_value$/rdf_blank_node$ + indexes
+    size_t link_table_bytes = 0;      ///< rdf_link$/rdf_node$ + indexes
+    size_t quad_cache_bytes = 0;      ///< per-model id-native quad caches
+    size_t term_dict_bytes = 0;       ///< lock-free term dictionary
+    size_t retired_version_bytes = 0; ///< exclusive bytes of retired versions
+    size_t tracked_heap_bytes = 0;    ///< process-wide live heap (hooks)
+
+    /// Sum of the store-owned components (excludes tracked_heap_bytes,
+    /// which is a process-wide gauge, not a store component).
+    size_t StoreTotal() const {
+      return value_store_bytes + link_table_bytes + quad_cache_bytes +
+             term_dict_bytes + retired_version_bytes;
+    }
+  };
+
+  /// Estimate the current footprint by walking the store's containers.
+  /// On-demand gauge refresh, not a hot path; call from the writer's
+  /// context (same rule as any mutation).
+  MemoryBreakdown MemoryUsage() const;
+
+  /// MemoryUsage() pushed into the registered mem_* gauges.
+  void UpdateMemoryGauges() const;
+
   // ---- Persistence -------------------------------------------------------
 
   /// Save all central-schema tables to a snapshot file (atomic footered

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/resource_tracker.h"
 #include "obs/store_metrics.h"
 #include "rdf/reification.h"
 #include "rdf/vocab.h"
@@ -276,6 +277,7 @@ void SnapshotRdfStore::SetObservability(obs::EventLog* event_log,
 
 Status SnapshotRdfStore::PublishLocked() {
   Timer timer;
+  obs::ResourceScope publish_scope("publish");
   // Absorb rdf_value$ rows appended since the previous publish. The
   // dictionary is monotonic and its tables are published with release
   // stores, so readers on older versions stay safe.
@@ -307,7 +309,20 @@ Status SnapshotRdfStore::PublishLocked() {
   current_sp_ = std::move(version);
   const uint64_t retire_epoch = gc_.Advance();
   if (displaced != nullptr) {
-    gc_.Retire(std::shared_ptr<const void>(displaced), retire_epoch);
+    // Exclusive footprint of the displaced version: the quad caches it
+    // holds that the new version no longer shares (i.e. the pre-CoW
+    // copies of whatever this publish mutated). Shared caches cost
+    // nothing extra to retain, so they are not charged.
+    size_t exclusive_bytes = 0;
+    for (const auto& [model_id, cache] : displaced->caches_) {
+      auto it = current_sp_->caches_.find(model_id);
+      if (it == current_sp_->caches_.end() ||
+          it->second.get() != cache.get()) {
+        exclusive_bytes += cache->ApproxBytes();
+      }
+    }
+    gc_.Retire(std::shared_ptr<const void>(displaced), retire_epoch,
+               exclusive_bytes);
   }
   gc_.Sweep();
 
@@ -317,7 +332,60 @@ Status SnapshotRdfStore::PublishLocked() {
   metrics->retired_versions->Set(
       static_cast<int64_t>(gc_.RetiredOutstanding()));
   metrics->epoch_lag->Set(static_cast<int64_t>(gc_.OldestPinLag()));
+  metrics->mem_retired_version_bytes->Set(
+      static_cast<int64_t>(gc_.RetiredBytes()));
+  CheckRetentionLocked();
   return Status::OK();
+}
+
+void SnapshotRdfStore::CheckRetentionLocked() const {
+  const double age = gc_.OldestRetireAgeSeconds();
+  store_.metrics()->retention_age_seconds->Set(static_cast<int64_t>(age));
+  if (retention_warn_seconds_ <= 0.0 || age < retention_warn_seconds_) {
+    return;
+  }
+  obs::EventLog* log = store_.event_log();
+  if (log == nullptr) return;
+  // Re-warn at most once per threshold interval while the stall lasts.
+  const auto now = std::chrono::steady_clock::now();
+  if (last_stall_warn_.time_since_epoch().count() != 0 &&
+      std::chrono::duration<double>(now - last_stall_warn_).count() <
+          retention_warn_seconds_) {
+    return;
+  }
+  last_stall_warn_ = now;
+  log->Append(
+      "epoch", "retention_stall",
+      {obs::EventField::Num("age_seconds", static_cast<int64_t>(age)),
+       obs::EventField::Num(
+           "retired_versions",
+           static_cast<int64_t>(gc_.RetiredOutstanding())),
+       obs::EventField::Num("retired_bytes",
+                            static_cast<int64_t>(gc_.RetiredBytes())),
+       obs::EventField::Num("epoch_lag",
+                            static_cast<int64_t>(gc_.OldestPinLag()))});
+}
+
+RdfStore::MemoryBreakdown SnapshotRdfStore::MemoryUsage() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  RdfStore::MemoryBreakdown breakdown = store_.MemoryUsage();
+  breakdown.term_dict_bytes = dict_.ApproxBytes();
+  breakdown.retired_version_bytes = gc_.RetiredBytes();
+  return breakdown;
+}
+
+void SnapshotRdfStore::UpdateMemoryGauges() const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  store_.UpdateMemoryGauges();
+  obs::StoreMetrics* metrics = store_.metrics();
+  metrics->mem_term_dict_bytes->Set(
+      static_cast<int64_t>(dict_.ApproxBytes()));
+  metrics->mem_retired_version_bytes->Set(
+      static_cast<int64_t>(gc_.RetiredBytes()));
+  metrics->retired_versions->Set(
+      static_cast<int64_t>(gc_.RetiredOutstanding()));
+  metrics->epoch_lag->Set(static_cast<int64_t>(gc_.OldestPinLag()));
+  CheckRetentionLocked();
 }
 
 }  // namespace rdfdb::rdf

@@ -29,6 +29,7 @@
 #define RDFDB_RDF_SNAPSHOT_STORE_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -283,10 +284,41 @@ class SnapshotRdfStore {
   uint64_t CurrentEpoch() const { return gc_.CurrentEpoch(); }
   uint64_t OldestPinLag() const { return gc_.OldestPinLag(); }
 
+  /// Estimated exclusive bytes held by retired-but-pinned versions.
+  size_t RetiredBytes() const { return gc_.RetiredBytes(); }
+  /// Seconds the oldest retired version has been blocked from
+  /// reclamation (0 = nothing retained).
+  double OldestRetireAgeSeconds() const {
+    return gc_.OldestRetireAgeSeconds();
+  }
+
+  /// Full footprint: the live store's breakdown plus the term
+  /// dictionary and retired-version retention. Takes the writer lock.
+  RdfStore::MemoryBreakdown MemoryUsage() const;
+
+  /// MemoryUsage() pushed into the mem_* gauges, plus a refresh of the
+  /// retention-age gauge and the epoch-stall watchdog check. This is
+  /// the stats server's refresh hook target.
+  void UpdateMemoryGauges() const;
+
+  /// Seconds a retired version may stay blocked before the watchdog
+  /// emits a "epoch_stall" warning event (<= 0 disables; default 5).
+  /// Warnings are re-armed only after the stall clears or another
+  /// threshold's worth of seconds passes.
+  void set_retention_warn_seconds(double seconds) {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    retention_warn_seconds_ = seconds;
+  }
+
  private:
   /// Snapshot the live store's read state into a fresh StoreVersion,
   /// swap it in, retire the displaced one, and sweep.
   Status PublishLocked();
+
+  /// Refresh the retention-age gauge; emit the epoch-stall warning
+  /// event when the configured threshold is exceeded. Caller holds
+  /// writer_mu_.
+  void CheckRetentionLocked() const;
 
   // Declaration order is the destruction contract (reverse): the
   // current version and the retire list die before the dictionary and
@@ -298,6 +330,9 @@ class SnapshotRdfStore {
   std::atomic<const StoreVersion*> current_{nullptr};
   mutable std::mutex writer_mu_;
   uint64_t seq_counter_ = 0;  ///< under writer_mu_
+  double retention_warn_seconds_ = 5.0;            ///< under writer_mu_
+  mutable std::chrono::steady_clock::time_point
+      last_stall_warn_{};  ///< under writer_mu_
 };
 
 }  // namespace rdfdb::rdf

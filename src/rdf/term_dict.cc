@@ -54,6 +54,10 @@ uint64_t TermDict::KeyFor(TableKind kind, const Entry& entry) const {
 }
 
 size_t TermDict::AppendEntry(Entry entry) {
+  entry_string_bytes_ += entry.term.lexical().capacity() +
+                         entry.term.language().capacity() +
+                         entry.term.datatype().capacity() +
+                         entry.bn_label.capacity();
   const size_t index = count_.load(std::memory_order_relaxed);
   const size_t chunk_i = index >> kChunkShift;
   Chunk* chunk = chunks_[chunk_i].load(std::memory_order_relaxed);
@@ -165,6 +169,23 @@ Status TermDict::Ingest(const ValueStore& values) {
   }
   ingested_rows_ = total;
   return Status::OK();
+}
+
+size_t TermDict::ApproxBytes() const {
+  const size_t count = count_.load(std::memory_order_acquire);
+  const size_t chunks = (count + kChunkSize - 1) >> kChunkShift;
+  size_t n = chunks * sizeof(Chunk) + entry_string_bytes_;
+  auto table_bytes = [](const HashTable* table) {
+    return table == nullptr
+               ? size_t{0}
+               : sizeof(HashTable) +
+                     table->slots.size() * sizeof(std::atomic<uint64_t>);
+  };
+  n += table_bytes(term_table_.load(std::memory_order_acquire));
+  n += table_bytes(id_table_.load(std::memory_order_acquire));
+  n += table_bytes(bn_table_.load(std::memory_order_acquire));
+  for (const auto& parked : graveyard_) n += table_bytes(parked.get());
+  return n;
 }
 
 std::optional<ValueId> TermDict::Lookup(const Term& term) const {

@@ -74,6 +74,12 @@ class TermDict {
     return count_.load(std::memory_order_acquire);
   }
 
+  /// Approximate heap bytes: entry chunks, per-entry string storage
+  /// (accumulated at ingest, so this is O(tables) not O(entries)), the
+  /// three live hash tables, and the graveyard of superseded tables.
+  /// Writer context only (walks writer-owned bookkeeping).
+  size_t ApproxBytes() const;
+
  private:
   struct Entry {
     ValueId id = 0;
@@ -135,6 +141,7 @@ class TermDict {
   std::vector<std::unique_ptr<HashTable>> graveyard_;
 
   size_t ingested_rows_ = 0;  ///< rdf_value$ rows absorbed so far
+  size_t entry_string_bytes_ = 0;  ///< string payload across all entries
 };
 
 }  // namespace rdfdb::rdf

@@ -89,6 +89,12 @@ class ValueStore {
   /// Number of distinct values stored.
   size_t value_count() const;
 
+  /// Approximate heap bytes held by rdf_value$ + rdf_blank_node$ (row
+  /// data plus indexes). Feeds RdfStore::MemoryUsage().
+  size_t ApproxBytes() const {
+    return values_->ApproxTotalBytes() + blank_nodes_->ApproxTotalBytes();
+  }
+
   /// Underlying table (benchmarks join against it directly, as the
   /// paper's Experiment I does).
   const storage::Table& table() const { return *values_; }

@@ -1,0 +1,187 @@
+#include "obs/resource_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rdfdb::obs {
+namespace {
+
+// Defeat C++14 allocation elision: GCC is allowed to drop a paired
+// new/delete entirely (even past a volatile store of the pointer, since
+// elided storage may be provided "by other means"). An asm operand with
+// a memory clobber makes the pointer escape for real, so the calls must
+// reach the replaced operator new/delete the tracker hooks.
+template <typename T>
+T* Escape(T* p) {
+  asm volatile("" : : "g"(p) : "memory");
+  return p;
+}
+
+TEST(ResourceTrackerTest, GlobalLedgerTracksNewAndDelete) {
+  const uint64_t live_before = TrackedHeapBytes();
+  const uint64_t allocs_before = TrackedAllocations();
+  auto* block = Escape(new char[1 << 16]);
+  EXPECT_GE(TrackedHeapBytes(), live_before + (1 << 16));
+  EXPECT_GE(TrackedAllocations(), allocs_before + 1);
+  const uint64_t frees_before = TrackedFrees();
+  delete[] block;
+  EXPECT_GE(TrackedFrees(), frees_before + 1);
+  // Live bytes return to (at least close to) where they started; the
+  // exact value can move if the runtime allocates in between, but the
+  // 64 KiB block must be gone.
+  EXPECT_LT(TrackedHeapBytes(), live_before + (1 << 16));
+}
+
+TEST(ResourceTrackerTest, ThreadCountersAreMonotonicAndPerThread) {
+  const uint64_t bytes_before = ThreadAllocatedBytes();
+  const uint64_t count_before = ThreadAllocationCount();
+  delete[] Escape(new char[4096]);
+  EXPECT_GE(ThreadAllocatedBytes(), bytes_before + 4096);
+  EXPECT_GE(ThreadAllocationCount(), count_before + 1);
+
+  // Another thread's allocations must not appear in this thread's
+  // monotonic totals.
+  const uint64_t mine = ThreadAllocatedBytes();
+  std::thread other([] {
+    delete[] Escape(new char[1 << 20]);
+  });
+  other.join();
+  EXPECT_LT(ThreadAllocatedBytes() - mine, 1u << 20);
+}
+
+TEST(ResourceTrackerTest, ScopeAttributesExactAllocationDelta) {
+  // The scope sees exactly what happens between construction and the
+  // Usage() call: nothing → zero; one 8 KiB block → >= 8 KiB and
+  // exactly the allocations made inside.
+  ResourceScope idle("test_idle");
+  const ResourceUsage nothing = idle.Usage();
+  EXPECT_EQ(nothing.bytes_allocated, 0u);
+  EXPECT_EQ(nothing.allocations, 0u);
+
+  ResourceScope scope("test_exact");
+  auto* block = Escape(new char[8192]);
+  const ResourceUsage usage = scope.Usage();
+  EXPECT_GE(usage.bytes_allocated, 8192u);
+  EXPECT_EQ(usage.allocations, 1u);
+  delete[] block;
+  // Frees do not reduce a scope's allocated-bytes attribution (the
+  // counters are monotonic by design).
+  EXPECT_GE(scope.Usage().bytes_allocated, 8192u);
+}
+
+TEST(ResourceTrackerTest, ScopeMeasuresCpuTime) {
+  ResourceScope scope("test_cpu");
+  // Burn CPU deterministically; volatile prevents the loop folding.
+  volatile uint64_t acc = 0;
+  for (uint64_t i = 0; i < 20'000'000; ++i) acc = acc + i;
+  const ResourceUsage usage = scope.Usage();
+  EXPECT_GT(usage.cpu_ns, 0);
+}
+
+TEST(ResourceTrackerTest, NestedScopesAreInclusive) {
+  ResourceScope outer("test_outer");
+  {
+    ResourceScope inner("test_inner");
+    delete[] Escape(new char[2048]);
+    EXPECT_GE(inner.Usage().bytes_allocated, 2048u);
+  }
+  // The outer scope sees the inner scope's traffic too.
+  EXPECT_GE(outer.Usage().bytes_allocated, 2048u);
+}
+
+TEST(ResourceTrackerTest, SinkReceivesUsageOnDestruction) {
+  ResourceUsage sink;
+  {
+    ResourceScope scope("test_sink", &sink);
+    delete[] Escape(new char[1024]);
+  }
+  EXPECT_GE(sink.bytes_allocated, 1024u);
+  EXPECT_EQ(sink.allocations, 1u);
+
+  // operator+= accumulates.
+  ResourceUsage total;
+  total += sink;
+  total += sink;
+  EXPECT_EQ(total.allocations, 2u);
+  EXPECT_EQ(total.bytes_allocated, 2 * sink.bytes_allocated);
+}
+
+TEST(ResourceTrackerTest, RegistryAggregatesClosedScopesByLabel) {
+  ResetScopeStats();
+  for (int i = 0; i < 3; ++i) {
+    ResourceScope scope("test_registry_label");
+    delete[] Escape(new char[512]);
+  }
+  bool found = false;
+  for (const ScopeStats& stats : ScopeStatsSnapshot()) {
+    if (stats.label == "test_registry_label") {
+      found = true;
+      EXPECT_EQ(stats.scopes, 3u);
+      EXPECT_EQ(stats.allocations, 3u);
+      EXPECT_GE(stats.bytes_allocated, 3 * 512u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  ResetScopeStats();
+  EXPECT_TRUE(ScopeStatsSnapshot().empty());
+}
+
+TEST(ResourceTrackerTest, SnapshotIsSortedByBytesDescending) {
+  ResetScopeStats();
+  {
+    ResourceScope small("test_small");
+    delete[] Escape(new char[256]);
+  }
+  {
+    ResourceScope big("test_big");
+    delete[] Escape(new char[1 << 18]);
+  }
+  const std::vector<ScopeStats> stats = ScopeStatsSnapshot();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].label, "test_big");
+  EXPECT_EQ(stats[1].label, "test_small");
+  ResetScopeStats();
+}
+
+TEST(ResourceTrackerTest, RenderAlloczIsWellFormedJson) {
+  ResetScopeStats();
+  {
+    ResourceScope scope("test_allocz");
+    delete[] Escape(new char[333]);
+  }
+  const std::string json = RenderAllocz();
+  EXPECT_NE(json.find("\"heap_live_bytes\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"allocations_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"scopes\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_allocz\""), std::string::npos);
+  ResetScopeStats();
+}
+
+TEST(ResourceTrackerTest, HooksAreThreadSafeUnderContention) {
+  // Hammer the allocator hooks from several threads; the ledger's
+  // alloc/free counters must balance for what we did here.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5000;
+  const uint64_t allocs_before = TrackedAllocations();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      ResourceScope scope("test_contention");
+      for (int i = 0; i < kRounds; ++i) {
+        delete[] Escape(new char[64]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GE(TrackedAllocations() - allocs_before,
+            static_cast<uint64_t>(kThreads) * kRounds);
+}
+
+}  // namespace
+}  // namespace rdfdb::obs

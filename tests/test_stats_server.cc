@@ -7,11 +7,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/resource_tracker.h"
 #include "obs/slow_query_log.h"
 #include "obs/span_timeline.h"
 #include "query/match.h"
@@ -139,6 +145,152 @@ TEST_F(StatsServerTest, ServesHealthzOverLoopback) {
   EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
   EXPECT_NE(response.find("ok\n"), std::string::npos);
   EXPECT_NE(response.find("Content-Length:"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, QueryStringIsStrippedFromRouting) {
+  StatsServer server(FullSources());
+  StatsServer::Response resp = server.Handle("/metrics?format=prometheus");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("rdfdb_link_inserts_total"), std::string::npos);
+  EXPECT_EQ(server.Handle("/nope?x=1").status, 404);
+}
+
+TEST_F(StatsServerTest, ProfilezCapturesCollapsedStacksUnderLoad) {
+  StatsServer server(FullSources());
+  std::atomic<bool> stop{false};
+  std::thread burner([&] {
+    volatile uint64_t acc = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 4096; ++i) acc = acc + static_cast<uint64_t>(i);
+    }
+  });
+  StatsServer::Response resp = server.Handle("/profilez?seconds=0.3");
+  stop.store(true, std::memory_order_relaxed);
+  burner.join();
+
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.content_type.find("text/plain"), std::string::npos);
+  ASSERT_FALSE(resp.body.empty());
+  // Every line is flamegraph collapsed format: "frame(;frame)* count".
+  std::istringstream in(resp.body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    for (size_t i = space + 1; i < line.size(); ++i) {
+      EXPECT_TRUE(std::isdigit(line[i])) << line;
+    }
+  }
+}
+
+TEST_F(StatsServerTest, AlloczReportsLedgerAndScopes) {
+  StatsServer server(FullSources());
+  {
+    ResourceScope scope("statsz_test_scope");
+    delete[] new char[1024];
+  }
+  StatsServer::Response resp = server.Handle("/allocz");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"heap_live_bytes\""), std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("\"scopes\""), std::string::npos);
+  EXPECT_NE(resp.body.find("statsz_test_scope"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, HealthzDegradesOnEpochLagGauge) {
+  MetricsRegistry registry;
+  Gauge* lag = registry.RegisterGauge("rdfdb_oldest_pinned_epoch_lag",
+                                      "test epoch lag");
+  StatsServer::Sources sources;
+  sources.registry = &registry;
+  sources.unhealthy_epoch_lag = 100;
+  StatsServer server(sources);
+
+  EXPECT_EQ(server.Handle("/healthz").status, 200);
+  lag->Set(5000);
+  StatsServer::Response resp = server.Handle("/healthz");
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_NE(resp.body.find("degraded:"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("epoch_lag=5000"), std::string::npos) << resp.body;
+  lag->Set(0);
+  EXPECT_EQ(server.Handle("/healthz").status, 200);
+}
+
+TEST_F(StatsServerTest, HealthzDegradesOnRetainedVersionAge) {
+  MetricsRegistry registry;
+  Gauge* age = registry.RegisterGauge("rdfdb_version_retention_age_seconds",
+                                      "test retention age");
+  StatsServer::Sources sources;
+  sources.registry = &registry;
+  StatsServer server(sources);
+
+  age->Set(30);  // below the default 60 s threshold
+  EXPECT_EQ(server.Handle("/healthz").status, 200);
+  age->Set(120);
+  StatsServer::Response resp = server.Handle("/healthz");
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_NE(resp.body.find("retention_age_seconds=120"), std::string::npos)
+      << resp.body;
+
+  // A raised threshold makes the same reading healthy.
+  StatsServer::Sources relaxed;
+  relaxed.registry = &registry;
+  relaxed.unhealthy_retention_age_seconds = 1000.0;
+  StatsServer lenient(relaxed);
+  EXPECT_EQ(lenient.Handle("/healthz").status, 200);
+}
+
+TEST_F(StatsServerTest, HealthzCountsOnlyNewEventLogDrops) {
+  std::ostringstream out;
+  EventLog::Options options;
+  options.sink = &out;
+  options.capacity = 1;  // one slot: a burst overwhelms the drainer
+  auto log = EventLog::Open(std::move(options));
+  ASSERT_TRUE(log.ok());
+
+  auto force_drops = [&] {
+    const uint64_t before = (*log)->dropped();
+    for (int i = 0; i < 1000000 && (*log)->dropped() == before; ++i) {
+      (*log)->Append("test", "spam");
+    }
+    return (*log)->dropped() > before;
+  };
+  // Drops that happened before the server existed are history.
+  ASSERT_TRUE(force_drops());
+
+  StatsServer::Sources sources;
+  sources.registry = &store_.metrics_registry();
+  sources.events = log->get();
+  StatsServer server(sources);
+  EXPECT_EQ(server.Handle("/healthz").status, 200);
+
+  ASSERT_TRUE(force_drops());
+  StatsServer::Response resp = server.Handle("/healthz");
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_NE(resp.body.find("event_log_drops="), std::string::npos)
+      << resp.body;
+  // The check consumed the watermark: with no further drops, healthy.
+  EXPECT_EQ(server.Handle("/healthz").status, 200);
+}
+
+TEST_F(StatsServerTest, RefreshHookRunsBeforeGaugeEndpoints) {
+  int calls = 0;
+  StatsServer::Sources sources;
+  sources.registry = &store_.metrics_registry();
+  sources.refresh = [&calls] { ++calls; };
+  StatsServer server(sources);
+
+  (void)server.Handle("/metrics");
+  EXPECT_EQ(calls, 1);
+  (void)server.Handle("/healthz");
+  EXPECT_EQ(calls, 2);
+  (void)server.Handle("/varz");
+  EXPECT_EQ(calls, 3);
+  // Endpoints that don't read derived gauges skip the refresh.
+  (void)server.Handle("/allocz");
+  EXPECT_EQ(calls, 3);
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 // store's metrics registry.
 //
 //   dump_metrics [--json] [--watch <sec> [--intervals <k>]]
-//                [file.nt [model_name]]
+//                [--profile <sec>] [file.nt [model_name]]
 //
 // Loads the N-Triples file through the pipelined bulk loader (or, with
 // no file, generates a ~10k-triple synthetic UniProt-style dataset and
@@ -15,6 +15,11 @@
 // query while the main thread prints one per-interval report (counter
 // deltas/rates, per-interval histogram quantiles) every <sec> seconds
 // for --intervals rounds (default 5), then the final registry dump.
+//
+// With --profile <sec>, a background query workload runs while the
+// sampling profiler captures for <sec> seconds; stdout is then ONLY the
+// flamegraph collapsed stacks ("frame;frame;leaf count" lines — pipe
+// into flamegraph.pl, or validate in CI), no registry dump.
 
 #include <atomic>
 #include <chrono>
@@ -28,6 +33,7 @@
 #include "common/result.h"
 #include "gen/uniprot_gen.h"
 #include "obs/metrics_snapshot.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "query/match.h"
 #include "rdf/bulk_load.h"
@@ -36,6 +42,7 @@
 int main(int argc, char** argv) {
   bool json = false;
   double watch_seconds = 0.0;
+  double profile_seconds = 0.0;
   int intervals = 5;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -45,6 +52,8 @@ int main(int argc, char** argv) {
       watch_seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--intervals") == 0 && i + 1 < argc) {
       intervals = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_seconds = std::atof(argv[++i]);
     } else {
       args.push_back(argv[i]);
     }
@@ -90,6 +99,33 @@ int main(int argc, char** argv) {
                  match.status().ToString().c_str());
   }
 
+  if (profile_seconds > 0.0) {
+    // Keep the store busy so the CPU-time-driven sampler has something
+    // to catch, capture, and emit only the collapsed stacks.
+    std::atomic<bool> stop{false};
+    std::thread worker([&] {
+      rdfdb::query::MatchOptions profile_options;
+      profile_options.limit = 4096;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = rdfdb::query::SdoRdfMatch(&store, nullptr, "(?s ?p ?o)",
+                                           {model}, {}, {}, "",
+                                           profile_options);
+        if (!r.ok()) break;
+      }
+    });
+    const std::string collapsed =
+        rdfdb::obs::ProfileForSeconds(profile_seconds);
+    stop.store(true, std::memory_order_relaxed);
+    worker.join();
+    std::fprintf(stderr, "profile: %llu sample(s), %llu dropped\n",
+                 static_cast<unsigned long long>(
+                     rdfdb::obs::ProfilerSampleCount()),
+                 static_cast<unsigned long long>(
+                     rdfdb::obs::ProfilerDroppedCount()));
+    std::fputs(collapsed.c_str(), stdout);
+    return 0;
+  }
+
   if (watch_seconds > 0.0 && intervals > 0) {
     // Keep the instruments moving on a background thread (the query
     // path is read-only, so this is safe against the main thread's
@@ -120,6 +156,8 @@ int main(int argc, char** argv) {
     worker.join();
   }
 
+  // Point-in-time memory gauges (rdfdb_mem_*) are computed on demand.
+  store.UpdateMemoryGauges();
   const std::string dump = json ? store.metrics_registry().RenderJson()
                                 : store.metrics_registry().RenderPrometheus();
   std::fputs(dump.c_str(), stdout);

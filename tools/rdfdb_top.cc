@@ -1,6 +1,6 @@
 // rdfdb_top: a `top`-style live view of one store's instrument rates.
 //
-//   rdfdb_top [--interval <sec>] [--ticks <n>]
+//   rdfdb_top [--interval <sec>] [--ticks <n>] [--mem]
 //             [--readers <n>] [--writer bulkload] [--triples <m>]
 //
 // Default mode runs an in-process workload over a ConcurrentRdfStore —
@@ -19,6 +19,13 @@
 // at --ticks). The per-interval q_p50/q_p95/q_p99 columns then show
 // reader latency DURING the load — the number the global rwlock design
 // could not keep flat.
+//
+// --mem appends resource columns to either mode: heap_mb (live tracked
+// heap), store_mb (the store's own MemoryBreakdown total, recomputed
+// per tick) and cpu% (process CPU over the interval, all threads; can
+// exceed 100 on multi-core).
+
+#include <time.h>
 
 #include <atomic>
 #include <chrono>
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "obs/metrics_snapshot.h"
+#include "obs/resource_tracker.h"
 #include "query/match.h"
 #include "rdf/bulk_load.h"
 #include "rdf/concurrent_store.h"
@@ -43,8 +51,16 @@ std::atomic<bool> g_stop{false};
 
 void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
-int RunDefaultMode(double interval, int ticks);
-int RunBulkloadMode(double interval, int ticks, int readers, size_t triples);
+int RunDefaultMode(double interval, int ticks, bool mem);
+int RunBulkloadMode(double interval, int ticks, int readers, size_t triples,
+                    bool mem);
+
+/// Process CPU time (all threads), for the --mem cpu% column.
+int64_t ProcessCpuNanos() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
 
 }  // namespace
 
@@ -53,6 +69,7 @@ int main(int argc, char** argv) {
   int ticks = 10;
   int readers = 8;
   size_t triples = 1000000;
+  bool mem = false;
   std::string writer_mode;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
@@ -65,11 +82,13 @@ int main(int argc, char** argv) {
       writer_mode = argv[++i];
     } else if (std::strcmp(argv[i], "--triples") == 0 && i + 1 < argc) {
       triples = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--mem") == 0) {
+      mem = true;
     } else {
       std::fprintf(stderr,
                    "usage: rdfdb_top [--interval <sec>] [--ticks <n>]\n"
                    "                 [--readers <n>] [--writer bulkload]\n"
-                   "                 [--triples <m>]\n");
+                   "                 [--triples <m>] [--mem]\n");
       return 2;
     }
   }
@@ -79,9 +98,9 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
-  if (writer_mode.empty()) return RunDefaultMode(interval, ticks);
+  if (writer_mode.empty()) return RunDefaultMode(interval, ticks, mem);
   if (writer_mode == "bulkload") {
-    return RunBulkloadMode(interval, ticks, readers, triples);
+    return RunBulkloadMode(interval, ticks, readers, triples, mem);
   }
   std::fprintf(stderr, "unknown --writer mode '%s' (expected: bulkload)\n",
                writer_mode.c_str());
@@ -90,7 +109,7 @@ int main(int argc, char** argv) {
 
 namespace {
 
-int RunDefaultMode(double interval, int ticks) {
+int RunDefaultMode(double interval, int ticks, bool mem) {
   rdfdb::rdf::ConcurrentRdfStore store;
   auto created = store.CreateRdfModel("top", "top_app", "triple");
   if (!created.ok()) {
@@ -132,11 +151,14 @@ int RunDefaultMode(double interval, int ticks) {
     }
   });
 
-  std::printf("%8s %10s %10s %10s %10s %9s %9s %9s\n", "links", "insert/s",
+  std::printf("%8s %10s %10s %10s %10s %9s %9s %9s", "links", "insert/s",
               "intern/s", "match/s", "rows/s", "q_p50_us", "q_p95_us",
               "q_p99_us");
+  if (mem) std::printf(" %8s %8s %6s", "heap_mb", "store_mb", "cpu%");
+  std::printf("\n");
   rdfdb::obs::MetricsSnapshot prev =
       rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
+  int64_t prev_cpu = ProcessCpuNanos();
   for (int tick = 0; (ticks == 0 || tick < ticks) &&
                      !g_stop.load(std::memory_order_relaxed);
        ++tick) {
@@ -144,7 +166,7 @@ int RunDefaultMode(double interval, int ticks) {
     rdfdb::obs::MetricsSnapshot cur =
         rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
     std::printf(
-        "%8lld %10.0f %10.0f %10.0f %10.0f %9.0f %9.0f %9.0f\n",
+        "%8lld %10.0f %10.0f %10.0f %10.0f %9.0f %9.0f %9.0f",
         static_cast<long long>(cur.Counter("rdfdb_link_inserts_total")),
         rdfdb::obs::CounterRate(prev, cur, "rdfdb_link_inserts_total"),
         rdfdb::obs::CounterRate(prev, cur, "rdfdb_value_inserts_total"),
@@ -156,6 +178,17 @@ int RunDefaultMode(double interval, int ticks) {
             1e3,
         rdfdb::obs::IntervalQuantile(prev, cur, "rdfdb_query_ns", 0.99) /
             1e3);
+    if (mem) {
+      const auto breakdown = store.WithReadLock(
+          [](const rdfdb::rdf::RdfStore& s) { return s.MemoryUsage(); });
+      const int64_t cpu = ProcessCpuNanos();
+      std::printf(" %8.1f %8.1f %6.0f",
+                  static_cast<double>(rdfdb::obs::TrackedHeapBytes()) / 1e6,
+                  static_cast<double>(breakdown.StoreTotal()) / 1e6,
+                  static_cast<double>(cpu - prev_cpu) / 1e7 / interval);
+      prev_cpu = cpu;
+    }
+    std::printf("\n");
     std::fflush(stdout);
     prev = std::move(cur);
   }
@@ -167,7 +200,7 @@ int RunDefaultMode(double interval, int ticks) {
 }
 
 int RunBulkloadMode(double interval, int ticks, int readers,
-                    size_t triples) {
+                    size_t triples, bool mem) {
   rdfdb::rdf::SnapshotRdfStore store;
   // Seed model: the readers' query target, loaded before the clock
   // starts so every match has rows.
@@ -244,11 +277,14 @@ int RunBulkloadMode(double interval, int ticks, int readers,
     g_stop.store(true, std::memory_order_relaxed);
   });
 
-  std::printf("%9s %10s %10s %9s %9s %9s %7s %8s %7s\n", "links",
+  std::printf("%9s %10s %10s %9s %9s %9s %7s %8s %7s", "links",
               "insert/s", "match/s", "q_p50_us", "q_p95_us", "q_p99_us",
               "pub/s", "retired", "ep_lag");
+  if (mem) std::printf(" %8s %8s %6s", "heap_mb", "store_mb", "cpu%");
+  std::printf("\n");
   rdfdb::obs::MetricsSnapshot prev =
       rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
+  int64_t prev_cpu = ProcessCpuNanos();
   for (int tick = 0; (ticks == 0 || tick < ticks) &&
                      !g_stop.load(std::memory_order_relaxed);
        ++tick) {
@@ -256,7 +292,7 @@ int RunBulkloadMode(double interval, int ticks, int readers,
     rdfdb::obs::MetricsSnapshot cur =
         rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
     std::printf(
-        "%9lld %10.0f %10.0f %9.0f %9.0f %9.0f %7.0f %8lld %7lld\n",
+        "%9lld %10.0f %10.0f %9.0f %9.0f %9.0f %7.0f %8lld %7lld",
         static_cast<long long>(cur.Counter("rdfdb_link_inserts_total")),
         rdfdb::obs::CounterRate(prev, cur, "rdfdb_link_inserts_total"),
         rdfdb::obs::CounterRate(prev, cur, "rdfdb_query_total"),
@@ -270,6 +306,16 @@ int RunBulkloadMode(double interval, int ticks, int readers,
         static_cast<long long>(
             cur.Gauge("rdfdb_retired_versions_outstanding")),
         static_cast<long long>(cur.Gauge("rdfdb_oldest_pinned_epoch_lag")));
+    if (mem) {
+      const auto breakdown = store.MemoryUsage();
+      const int64_t cpu = ProcessCpuNanos();
+      std::printf(" %8.1f %8.1f %6.0f",
+                  static_cast<double>(rdfdb::obs::TrackedHeapBytes()) / 1e6,
+                  static_cast<double>(breakdown.StoreTotal()) / 1e6,
+                  static_cast<double>(cpu - prev_cpu) / 1e7 / interval);
+      prev_cpu = cpu;
+    }
+    std::printf("\n");
     std::fflush(stdout);
     prev = std::move(cur);
   }

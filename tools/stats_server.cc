@@ -12,9 +12,11 @@
 //
 //   GET /metrics    Prometheus text exposition
 //   GET /varz       JSON with per-interval rates since the last scrape
-//   GET /healthz    liveness probe
+//   GET /healthz    liveness probe (degraded verdict on bad signals)
 //   GET /slow       slow-query log as JSON
 //   GET /timeline   Chrome trace-event JSON (load in chrome://tracing)
+//   GET /profilez   sample for ?seconds=N, flamegraph collapsed stacks
+//   GET /allocz     live heap + per-scope allocation attribution
 
 #include <atomic>
 #include <chrono>
@@ -130,6 +132,8 @@ int main(int argc, char** argv) {
   sources.slow_queries = &slow_queries;
   sources.timeline = &timeline;
   sources.events = event_log->get();
+  // Memory gauges are point-in-time: recompute them per scrape.
+  sources.refresh = [&store] { store.UpdateMemoryGauges(); };
   rdfdb::obs::StatsServer server(sources);
   auto started = server.Start(port);
   if (!started.ok()) {
@@ -143,7 +147,8 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::fprintf(stderr,
                "serving on http://127.0.0.1:%u "
-               "(/metrics /varz /healthz /slow /timeline)\n",
+               "(/metrics /varz /healthz /slow /timeline /profilez "
+               "/allocz)\n",
                static_cast<unsigned>(server.port()));
   server.ServeForever();
 
