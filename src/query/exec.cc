@@ -192,6 +192,10 @@ class StepRunner {
   /// the store-level rows-scanned metric counts every visited posting
   /// row, while the exec counter (in OnRow) counts rows that survive
   /// the residual constraints.
+  /// Minimum driven-list size before a posting-list intersection
+  /// gallops instead of residual-filtering (see pair_scan below).
+  static constexpr uint32_t kGallopMinDriven = 4096;
+
   bool DescendLeaf(size_t i) {
     const ExecStep& step = plan_.steps[i];
     const std::optional<ValueId> s = Constraint(step.s);
@@ -199,6 +203,8 @@ class StepRunner {
     const std::optional<ValueId> o = Constraint(step.o);
     const rdf::LinkStore::IdQuad* quads = leaf_.quads();
 
+    // Residual compares double as the tombstone guard: a deleted
+    // quad's ids are all -1 and no query carries a negative id.
     auto scan_list = [&](const uint32_t* rows, uint32_t n) {
       uint32_t visited = 0;
       for (uint32_t r = 0; r < n; ++r) {
@@ -210,6 +216,67 @@ class StepRunner {
         if (!OnRow(i, q.s, q.p, q.canon_o)) break;
       }
       leaf_.CountScanned(visited);
+    };
+
+    // Decode one compressed posting list, residual-filtering each quad.
+    auto scan_cursor = [&](const rdf::codec::PostingList& list) {
+      uint32_t visited = 0;
+      list.ForEach([&](uint32_t row) {
+        const rdf::LinkStore::IdQuad& q = quads[row];
+        ++visited;
+        if (s.has_value() && q.s != *s) return true;
+        if (p.has_value() && q.p != *p) return true;
+        if (o.has_value() && q.canon_o != *o) return true;
+        return OnRow(i, q.s, q.p, q.canon_o);
+      });
+      leaf_.CountScanned(visited);
+    };
+
+    // Galloping intersection of two posting lists: drive the shorter,
+    // skip the longer via its block index. Worth it only when both
+    // lists are non-trivial — a SkipTo decodes up to one 64-entry
+    // block, while a residual compare on the driven list is O(1).
+    auto gallop = [&](const rdf::codec::PostingList& a_list,
+                      const rdf::codec::PostingList& b_list) {
+      const bool a_short = a_list.size() <= b_list.size();
+      rdf::codec::PostingList::Cursor a(a_short ? a_list : b_list);
+      rdf::codec::PostingList::Cursor b(a_short ? b_list : a_list);
+      uint32_t visited = 0;
+      while (!a.AtEnd() && b.SkipTo(a.Value())) {
+        ++visited;
+        if (b.Value() == a.Value()) {
+          const rdf::LinkStore::IdQuad& q = quads[a.Value()];
+          if ((!s.has_value() || q.s == *s) &&
+              (!p.has_value() || q.p == *p) &&
+              (!o.has_value() || q.canon_o == *o)) {
+            if (!OnRow(i, q.s, q.p, q.canon_o)) break;
+          }
+        }
+        a.Next();
+      }
+      leaf_.CountScanned(visited);
+    };
+
+    // Pick the two lists' access path. Posting values are quad
+    // indexes, so membership in the longer list is equivalent to a
+    // residual field compare on the quad itself — decoding the shorter
+    // list and filtering costs one (random) quad load per candidate.
+    // Galloping the longer list instead pays a block decode per
+    // candidate but skips the quad load on misses, so it only wins
+    // when the driven list is big enough for those loads to dominate
+    // AND the longer list is sparse relative to it (a dense longer
+    // list means near-every candidate hits and the quad gets loaded
+    // anyway, making the block decodes pure overhead).
+    auto pair_scan = [&](const rdf::codec::PostingList* x,
+                         const rdf::codec::PostingList* y) {
+      if (x == nullptr || y == nullptr) return;
+      const uint32_t short_n = std::min(x->size(), y->size());
+      const uint32_t long_n = std::max(x->size(), y->size());
+      if (short_n > kGallopMinDriven && long_n / 8 > short_n) {
+        gallop(*x, *y);
+      } else {
+        scan_cursor(x->size() <= y->size() ? *x : *y);
+      }
     };
 
     if (s.has_value() && p.has_value()) {
@@ -224,17 +291,21 @@ class StepRunner {
       } else if (hit.n > 1) {
         scan_list(hit.list, hit.n);
       }
+    } else if (s.has_value() && o.has_value()) {
+      pair_scan(leaf_.PostingsS(*s), leaf_.PostingsCanon(*o));
+    } else if (p.has_value() && o.has_value()) {
+      pair_scan(leaf_.PostingsP(*p), leaf_.PostingsCanon(*o));
     } else if (s.has_value()) {
-      if (const std::vector<uint32_t>* rows = leaf_.PostingsS(*s)) {
-        scan_list(rows->data(), static_cast<uint32_t>(rows->size()));
+      if (const rdf::codec::PostingList* rows = leaf_.PostingsS(*s)) {
+        scan_cursor(*rows);
       }
     } else if (o.has_value()) {
-      if (const std::vector<uint32_t>* rows = leaf_.PostingsCanon(*o)) {
-        scan_list(rows->data(), static_cast<uint32_t>(rows->size()));
+      if (const rdf::codec::PostingList* rows = leaf_.PostingsCanon(*o)) {
+        scan_cursor(*rows);
       }
     } else if (p.has_value()) {
-      if (const std::vector<uint32_t>* rows = leaf_.PostingsP(*p)) {
-        scan_list(rows->data(), static_cast<uint32_t>(rows->size()));
+      if (const rdf::codec::PostingList* rows = leaf_.PostingsP(*p)) {
+        scan_cursor(*rows);
       }
     } else {
       const uint32_t n = leaf_.quad_count();
@@ -242,6 +313,7 @@ class StepRunner {
       for (uint32_t r = 0; r < n; ++r) {
         const rdf::LinkStore::IdQuad& q = quads[r];
         ++visited;
+        if (q.link_id < 0) continue;  // tombstoned
         if (!OnRow(i, q.s, q.p, q.canon_o)) break;
       }
       leaf_.CountScanned(visited);

@@ -1,0 +1,133 @@
+#include "rdf/legacy_layout.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/resource_tracker.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace rdfdb::rdf {
+namespace {
+
+using storage::Row;
+using storage::RowId;
+using storage::Value;
+using storage::ValueKey;
+using storage::ValueKeyEq;
+using storage::ValueKeyHash;
+
+// rdf_link$ column order (mirrors link_store.cc).
+constexpr size_t kLinkId = 0;
+constexpr size_t kStartNodeId = 1;
+constexpr size_t kPValueId = 2;
+constexpr size_t kEndNodeId = 3;
+constexpr size_t kCanonEndNodeId = 4;
+constexpr size_t kModelId = 9;
+
+// rdf_value$ column order (mirrors value_store.cc).
+constexpr size_t kValueId = 0;
+constexpr size_t kValueName = 1;
+constexpr size_t kValueType = 2;
+constexpr size_t kLiteralType = 3;
+constexpr size_t kLanguageType = 4;
+
+using HashIndexReplica =
+    std::unordered_map<ValueKey, std::vector<RowId>, ValueKeyHash,
+                       ValueKeyEq>;
+
+void IndexInsert(HashIndexReplica* idx, ValueKey key, RowId row) {
+  (*idx)[std::move(key)].push_back(row);
+}
+
+}  // namespace
+
+LegacyLayoutCost MeasureLegacyLayout(const RdfStore& store) {
+  LegacyLayoutCost cost;
+
+  // -- Dictionary: one std::string per lexical form + the two generic
+  //    rdf_value$ hash indexes with ValueKey-copy keys.
+  {
+    uint64_t before = obs::TrackedHeapBytes();
+    {
+      std::vector<std::string> lexical;
+      HashIndexReplica id_index;
+      HashIndexReplica name_index;
+      const storage::Table& values = store.values().table();
+      lexical.reserve(values.row_count());
+      values.Scan([&](RowId row_id, const Row& row) {
+        lexical.push_back(row[kValueName].as_string());
+        IndexInsert(&id_index, ValueKey{row[kValueId]}, row_id);
+        IndexInsert(&name_index,
+                    ValueKey{row[kValueName], row[kValueType],
+                             row[kLiteralType], row[kLanguageType]},
+                    row_id);
+        return true;
+      });
+      cost.dict_bytes = obs::TrackedHeapBytes() - before;
+    }
+    (void)before;
+  }
+
+  // -- Posting lists: the PR 3..7 quad-cache maps, uncompressed.
+  {
+    uint64_t before = obs::TrackedHeapBytes();
+    {
+      struct ModelPostings {
+        std::unordered_map<int64_t, std::vector<uint32_t>> by_s;
+        std::unordered_map<int64_t, std::vector<uint32_t>> by_canon;
+        std::unordered_map<int64_t, std::vector<uint32_t>> by_p;
+        std::unordered_map<int64_t, uint32_t> by_link;
+        uint32_t next_index = 0;
+      };
+      std::unordered_map<int64_t, ModelPostings> models;
+      const storage::Table& links = store.links().table();
+      links.Scan([&](RowId, const Row& row) {
+        ModelPostings& m = models[row[kModelId].as_int64()];
+        uint32_t idx = m.next_index++;
+        m.by_s[row[kStartNodeId].as_int64()].push_back(idx);
+        m.by_canon[row[kCanonEndNodeId].as_int64()].push_back(idx);
+        m.by_p[row[kPValueId].as_int64()].push_back(idx);
+        m.by_link[row[kLinkId].as_int64()] = idx;
+        return true;
+      });
+      cost.postings_bytes = obs::TrackedHeapBytes() - before;
+    }
+  }
+
+  // -- The six generic rdf_link$ hash indexes.
+  {
+    uint64_t before = obs::TrackedHeapBytes();
+    {
+      HashIndexReplica link_id_idx, spo_idx, subject_idx, predicate_idx,
+          object_idx, spo_canon_idx;
+      const storage::Table& links = store.links().table();
+      links.Scan([&](RowId row_id, const Row& row) {
+        IndexInsert(&link_id_idx, ValueKey{row[kLinkId]}, row_id);
+        IndexInsert(&spo_idx,
+                    ValueKey{row[kModelId], row[kStartNodeId],
+                             row[kPValueId], row[kEndNodeId]},
+                    row_id);
+        IndexInsert(&subject_idx, ValueKey{row[kModelId], row[kStartNodeId]},
+                    row_id);
+        IndexInsert(&predicate_idx, ValueKey{row[kModelId], row[kPValueId]},
+                    row_id);
+        IndexInsert(&object_idx,
+                    ValueKey{row[kModelId], row[kCanonEndNodeId]}, row_id);
+        IndexInsert(&spo_canon_idx,
+                    ValueKey{row[kModelId], row[kStartNodeId],
+                             row[kPValueId], row[kCanonEndNodeId]},
+                    row_id);
+        return true;
+      });
+      cost.index_bytes = obs::TrackedHeapBytes() - before;
+    }
+  }
+
+  cost.total_bytes = cost.dict_bytes + cost.postings_bytes + cost.index_bytes;
+  return cost;
+}
+
+}  // namespace rdfdb::rdf

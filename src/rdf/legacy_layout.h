@@ -1,0 +1,45 @@
+// Rebuilds the pre-compression in-memory layout from a live store and
+// prices it with the allocator hooks, so bench_memory_footprint's
+// "uncompressed" column is the real legacy container cost measured on
+// this allocator, not a hand-derived estimate.
+//
+// The legacy layout (as of PR 7) that the compressed layout replaces:
+//   * term dictionary entries holding every lexical form as an
+//     individually-allocated std::string (TermDict pre-front-coding),
+//     plus rdf_value$'s two generic hash indexes keyed by ValueKey
+//     copies (id index + 4-column name index);
+//   * per-model quad-cache posting lists as
+//     unordered_map<ValueId, vector<uint32_t>> for by_s/by_canon/by_p
+//     and unordered_map<LinkId, uint32_t> for by_link;
+//   * six generic rdf_link$ hash indexes
+//     (link_id / spo / subject / predicate / object / spo_canon), each
+//     an unordered_map<ValueKey, vector<RowId>> whose keys copy the
+//     row's Values.
+//
+// MeasureLegacyLayout builds all of it from the current table contents,
+// reads the TrackedHeapBytes delta, and throws the replica away.
+
+#ifndef RDFDB_RDF_LEGACY_LAYOUT_H_
+#define RDFDB_RDF_LEGACY_LAYOUT_H_
+
+#include <cstdint>
+
+#include "rdf/rdf_store.h"
+
+namespace rdfdb::rdf {
+
+/// Heap cost of the rebuilt legacy containers (allocator-hook deltas).
+struct LegacyLayoutCost {
+  uint64_t dict_bytes = 0;      ///< string-per-entry dictionary + value indexes
+  uint64_t postings_bytes = 0;  ///< uncompressed per-model posting maps
+  uint64_t index_bytes = 0;     ///< the six generic rdf_link$ hash indexes
+  uint64_t total_bytes = 0;     ///< sum of the above
+};
+
+/// Build the legacy replica from `store`'s current contents, measure
+/// it, free it. Single-threaded; call from the writer's context.
+LegacyLayoutCost MeasureLegacyLayout(const RdfStore& store);
+
+}  // namespace rdfdb::rdf
+
+#endif  // RDFDB_RDF_LEGACY_LAYOUT_H_

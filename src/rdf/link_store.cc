@@ -88,23 +88,12 @@ LinkStore::LinkStore(storage::Database* db, ndm::LogicalNetwork* net)
     link_seq_ = *db_->CreateSequence("MDSYS", "RDF_LINK_SEQ", 2000);
   }
 
-  auto ensure_index = [&](const char* name, std::vector<size_t> cols,
-                          bool unique) {
-    if (links_->GetIndex(name) == nullptr) {
-      (void)links_->CreateIndex(name, IndexKind::kHash,
-                                KeyExtractor::Columns(std::move(cols)),
-                                unique);
-    }
-  };
-  ensure_index(kLinkIdIndex, {kLinkId}, /*unique=*/true);
-  ensure_index(kSpoIndex, {kModelId, kStartNodeId, kPValueId, kEndNodeId},
-               /*unique=*/true);
-  ensure_index(kSubjectIndex, {kModelId, kStartNodeId}, /*unique=*/false);
-  ensure_index(kPredicateIndex, {kModelId, kPValueId}, /*unique=*/false);
-  ensure_index(kObjectIndex, {kModelId, kCanonEndNodeId}, /*unique=*/false);
-  ensure_index(kSpoCanonIndex,
-               {kModelId, kStartNodeId, kPValueId, kCanonEndNodeId},
-               /*unique=*/false);
+  // No generic hash indexes on rdf_link$: every access path (SPO
+  // identity probes, per-position pattern scans, LINK_ID fetches) is
+  // served by the id-native quad cache, whose compressed posting
+  // lists cost a fraction of ValueKey-keyed index entries. The cache
+  // carries the table RowId per quad, so row-level reads stay point
+  // lookups.
 
   if (nodes_->GetIndex("rdf_node_id_idx") == nullptr) {
     (void)nodes_->CreateIndex("rdf_node_id_idx", IndexKind::kHash,
@@ -118,13 +107,14 @@ LinkStore::LinkStore(storage::Database* db, ndm::LogicalNetwork* net)
 
 void LinkStore::RebuildCache() {
   id_cache_.clear();
-  links_->Scan([&](storage::RowId, const Row& row) {
+  links_->Scan([&](storage::RowId row_id, const Row& row) {
     CacheInsert(row[kModelId].as_int64(),
                 IdQuad{row[kStartNodeId].as_int64(),
                        row[kPValueId].as_int64(),
                        row[kEndNodeId].as_int64(),
                        row[kCanonEndNodeId].as_int64(),
                        row[kLinkId].as_int64()},
+                row_id,
                 /*implied=*/row[kContext].as_string()[0] ==
                     static_cast<char>(TripleContext::kImplied));
     return true;
@@ -220,19 +210,94 @@ void LinkStore::SpMap::Erase(ValueId s, ValueId p, uint32_t idx,
   }
 }
 
-void LinkStore::SpMap::Reindex(ValueId s, ValueId p, uint32_t from,
-                               uint32_t to) {
-  for (size_t i = IndexFor(s, p);; i = (i + 1) & mask_) {
-    Slot& slot = slots_[i];
-    if (slot.s == kEmpty) return;
-    if (slot.s != s || slot.p != p) continue;
-    if (slot.overflow < 0) {
-      slot.head = to;
-    } else {
-      std::vector<uint32_t>& rows = overflow_[slot.overflow];
-      *std::find(rows.begin(), rows.end(), from) = to;
+void LinkStore::ModelIdCache::PostingAppend(PostingMap* postings, ValueId key,
+                                            uint32_t idx) {
+  codec::PostingList& list = (*postings)[key];
+  posting_heap_bytes -= list.ApproxBytes();
+  list.Append(idx);
+  posting_heap_bytes += list.ApproxBytes();
+}
+
+void LinkStore::ModelIdCache::Append(const IdQuad& quad, uint32_t row_id,
+                                     bool implied) {
+  const uint32_t idx = static_cast<uint32_t>(quads.size());
+  quads.push_back(quad);
+  row_ids.push_back(row_id);
+  PostingAppend(&by_s, quad.s, idx);
+  by_sp.Insert(quad.s, quad.p, idx, quad.o, quad.canon_o);
+  PostingAppend(&by_canon, quad.canon_o, idx);
+  PostingAppend(&by_p, quad.p, idx);
+  // Link ids come off an ascending sequence, so creation order is id
+  // order and by_link stays sorted with a plain append. A snapshot
+  // restore replays rows in id order too; tolerate stragglers anyway.
+  if (by_link.empty() || by_link.back().first < quad.link_id) {
+    by_link.emplace_back(quad.link_id, idx);
+  } else {
+    auto it = std::upper_bound(
+        by_link.begin(), by_link.end(), quad.link_id,
+        [](LinkId id, const auto& e) { return id < e.first; });
+    by_link.insert(it, {quad.link_id, idx});
+  }
+  if (implied) implied_count += 1;
+}
+
+int64_t LinkStore::ModelIdCache::IndexOfLink(LinkId link_id) const {
+  auto it = std::lower_bound(
+      by_link.begin(), by_link.end(), link_id,
+      [](const auto& e, LinkId id) { return e.first < id; });
+  if (it == by_link.end() || it->first != link_id || it->second == kDeadIdx) {
+    return -1;
+  }
+  return static_cast<int64_t>(it->second);
+}
+
+void LinkStore::ModelIdCache::Tombstone(uint32_t idx, bool implied) {
+  const IdQuad& q = quads[idx];
+  // SpMap entries are exact (Erase edits the overflow list in place),
+  // so remove before the quad's fields are wiped — the collapse path
+  // reads the surviving sibling's quad.
+  by_sp.Erase(q.s, q.p, idx, quads);
+  auto it = std::lower_bound(
+      by_link.begin(), by_link.end(), q.link_id,
+      [](const auto& e, LinkId id) { return e.first < id; });
+  if (it != by_link.end() && it->first == q.link_id) it->second = kDeadIdx;
+  // Stale posting entries stay behind; a dead quad's -1 ids fail every
+  // residual compare, and unfiltered scans check Dead() explicitly.
+  quads[idx] = IdQuad{-1, -1, -1, -1, -1};
+  dead_count += 1;
+  if (implied && implied_count > 0) implied_count -= 1;
+}
+
+void LinkStore::ModelIdCache::Compact() {
+  std::vector<IdQuad> old_quads = std::move(quads);
+  std::vector<uint32_t> old_rows = std::move(row_ids);
+  quads.clear();
+  row_ids.clear();
+  quads.reserve(old_quads.size() - dead_count);
+  row_ids.reserve(old_quads.size() - dead_count);
+  by_s.clear();
+  by_canon.clear();
+  by_p.clear();
+  by_link.clear();
+  by_sp = SpMap();
+  posting_heap_bytes = 0;
+  dead_count = 0;
+  const size_t implied = implied_count;
+  implied_count = 0;
+  for (size_t i = 0; i < old_quads.size(); ++i) {
+    if (Dead(old_quads[i])) continue;
+    Append(old_quads[i], old_rows[i], /*implied=*/false);
+  }
+  implied_count = implied;  // tombstones already adjusted it
+}
+
+void LinkStore::ModelIdCache::RecomputePostingBytes() {
+  posting_heap_bytes = 0;
+  for (const auto* postings : {&by_s, &by_canon, &by_p}) {
+    for (const auto& [key, list] : *postings) {
+      (void)key;
+      posting_heap_bytes += list.ApproxBytes();
     }
-    return;
   }
 }
 
@@ -252,23 +317,17 @@ LinkStore::ModelIdCache& LinkStore::MutableCache(int64_t model_id) {
   } else if (slot.use_count() > 1) {
     // A published snapshot still reads the current object: mutate a
     // clone instead (only the serialized writer runs here, so the
-    // use_count answer is stable).
+    // use_count answer is stable). The clone's copied vectors are
+    // capacity-tight, so the byte ledger must be re-derived.
     slot = std::make_shared<ModelIdCache>(*slot);
+    slot->RecomputePostingBytes();
   }
   return *slot;
 }
 
 void LinkStore::CacheInsert(int64_t model_id, const IdQuad& quad,
-                            bool implied) {
-  ModelIdCache& cache = MutableCache(model_id);
-  const uint32_t idx = static_cast<uint32_t>(cache.quads.size());
-  cache.quads.push_back(quad);
-  cache.by_s[quad.s].push_back(idx);
-  cache.by_sp.Insert(quad.s, quad.p, idx, quad.o, quad.canon_o);
-  cache.by_canon[quad.canon_o].push_back(idx);
-  cache.by_p[quad.p].push_back(idx);
-  cache.by_link.emplace(quad.link_id, idx);
-  if (implied) cache.implied_count += 1;
+                            storage::RowId row_id, bool implied) {
+  MutableCache(model_id).Append(quad, static_cast<uint32_t>(row_id), implied);
 }
 
 void LinkStore::CacheContextUpgrade(int64_t model_id) {
@@ -281,47 +340,17 @@ void LinkStore::CacheErase(int64_t model_id, LinkId link_id, bool implied) {
   if (mit == id_cache_.end()) return;
   if (mit->second.use_count() > 1) {
     mit->second = std::make_shared<ModelIdCache>(*mit->second);
+    mit->second->RecomputePostingBytes();
   }
   ModelIdCache& cache = *mit->second;
-  auto lit = cache.by_link.find(link_id);
-  if (lit == cache.by_link.end()) return;
-  const uint32_t idx = lit->second;
-  const uint32_t back = static_cast<uint32_t>(cache.quads.size() - 1);
-
-  auto unpost = [](auto& postings, const auto& key, uint32_t at) {
-    auto pit = postings.find(key);
-    auto& v = pit->second;
-    v.erase(std::find(v.begin(), v.end(), at));
-    if (v.empty()) postings.erase(pit);
-  };
-  // Rewrite the moved quad's index in place, keeping every posting
-  // list's creation order intact.
-  auto repost = [](auto& postings, const auto& key, uint32_t from,
-                   uint32_t to) {
-    auto& v = postings.find(key)->second;
-    *std::find(v.begin(), v.end(), from) = to;
-  };
-
-  {
-    const IdQuad& q = cache.quads[idx];
-    unpost(cache.by_s, q.s, idx);
-    cache.by_sp.Erase(q.s, q.p, idx, cache.quads);
-    unpost(cache.by_canon, q.canon_o, idx);
-    unpost(cache.by_p, q.p, idx);
+  int64_t idx = cache.IndexOfLink(link_id);
+  if (idx < 0) return;
+  cache.Tombstone(static_cast<uint32_t>(idx), implied);
+  if (cache.live_count() == 0) {
+    id_cache_.erase(mit);
+  } else if (cache.ShouldCompact()) {
+    cache.Compact();
   }
-  cache.by_link.erase(lit);
-  if (implied && cache.implied_count > 0) cache.implied_count -= 1;
-  if (idx != back) {
-    const IdQuad moved = cache.quads[back];
-    repost(cache.by_s, moved.s, back, idx);
-    cache.by_sp.Reindex(moved.s, moved.p, back, idx);
-    repost(cache.by_canon, moved.canon_o, back, idx);
-    repost(cache.by_p, moved.p, back, idx);
-    cache.by_link[moved.link_id] = idx;
-    cache.quads[idx] = moved;
-  }
-  cache.quads.pop_back();
-  if (cache.quads.empty()) id_cache_.erase(mit);
 }
 
 LinkRow LinkStore::RowToLink(const Row& row) const {
@@ -381,12 +410,12 @@ Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
                                             bool reif_link) {
   // Reuse path: "If the triple already exists in the specified graph, the
   // IDs for the previously inserted triple are returned".
-  const storage::Index* spo = links_->GetIndex(kSpoIndex);
-  std::vector<storage::RowId> existing = spo->Find(
-      ValueKey{Value::Int64(model_id), Value::Int64(s), Value::Int64(p),
-               Value::Int64(o)});
-  if (!existing.empty()) {
-    storage::RowId rid = existing.front();
+  auto cached = id_cache_.find(model_id);
+  int64_t existing_idx =
+      cached == id_cache_.end() ? -1 : cached->second->FindSpoIdx(s, p, o);
+  if (existing_idx >= 0) {
+    storage::RowId rid =
+        cached->second->row_ids[static_cast<uint32_t>(existing_idx)];
     LinkRow link = RowToLink(*links_->Get(rid));
     link.cost += 1;
     bool upgraded = false;
@@ -418,7 +447,7 @@ Result<LinkInsertOutcome> LinkStore::Insert(int64_t model_id, ValueId s,
 
   auto insert = links_->Insert(LinkToRow(link));
   if (!insert.ok()) return insert.status();
-  CacheInsert(model_id, IdQuad{s, p, o, canon_o, link.link_id},
+  CacheInsert(model_id, IdQuad{s, p, o, canon_o, link.link_id}, *insert,
               context == TripleContext::kImplied);
 
   // Keep the NDM network in sync: "a new link is always created whenever
@@ -471,7 +500,11 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
   std::vector<size_t> entry_group(entries.size());
   size_t new_groups = 0;
 
-  const storage::Index* spo = links_->GetIndex(kSpoIndex);
+  // No cache mutation happens before phase 2, so one lookup serves the
+  // whole probing pass.
+  auto cached = id_cache_.find(model_id);
+  const ModelIdCache* cache =
+      cached == id_cache_.end() ? nullptr : cached->second.get();
   for (size_t i = 0; i < entries.size(); ++i) {
     const LinkBatchEntry& e = entries[i];
     auto [it, first_sighting] =
@@ -479,12 +512,11 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
     if (first_sighting) {
       Group g;
       g.first_entry = i;
-      std::vector<storage::RowId> existing = spo->Find(
-          ValueKey{Value::Int64(model_id), Value::Int64(e.s),
-                   Value::Int64(e.p), Value::Int64(e.o)});
-      if (!existing.empty()) {
-        g.existing_rid = existing.front();
-        g.row = RowToLink(*links_->Get(existing.front()));
+      int64_t idx = cache == nullptr ? -1 : cache->FindSpoIdx(e.s, e.p, e.o);
+      if (idx >= 0) {
+        storage::RowId rid = cache->row_ids[static_cast<uint32_t>(idx)];
+        g.existing_rid = rid;
+        g.row = RowToLink(*links_->Get(rid));
         g.was_implied = g.row.context == TripleContext::kImplied;
       } else {
         g.is_new = true;
@@ -532,14 +564,16 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
   }
   auto staged = links_->InsertBatch(std::move(new_rows));
   if (!staged.ok()) return staged.status();
+  size_t staged_at = 0;
   for (const Group& g : groups) {
     if (!g.is_new) continue;
     // First-occurrence order: identical cache state to per-statement
-    // Insert() calls.
+    // Insert() calls. Staged row ids come back in input order.
     CacheInsert(model_id,
                 IdQuad{g.row.start_node_id, g.row.p_value_id,
                        g.row.end_node_id, g.row.canon_end_node_id,
                        g.row.link_id},
+                (*staged)[staged_at++],
                 g.row.context == TripleContext::kImplied);
   }
 
@@ -578,22 +612,26 @@ Result<std::vector<LinkInsertOutcome>> LinkStore::InsertBatch(
 
 std::optional<LinkRow> LinkStore::Find(int64_t model_id, ValueId s, ValueId p,
                                        ValueId o) const {
-  const storage::Index* spo = links_->GetIndex(kSpoIndex);
-  std::vector<storage::RowId> ids = spo->Find(
-      ValueKey{Value::Int64(model_id), Value::Int64(s), Value::Int64(p),
-               Value::Int64(o)});
-  if (ids.empty()) return std::nullopt;
-  return RowToLink(*links_->Get(ids.front()));
+  auto mit = id_cache_.find(model_id);
+  if (mit == id_cache_.end()) return std::nullopt;
+  int64_t idx = mit->second->FindSpoIdx(s, p, o);
+  if (idx < 0) return std::nullopt;
+  return RowToLink(
+      *links_->Get(mit->second->row_ids[static_cast<uint32_t>(idx)]));
 }
 
 Result<LinkRow> LinkStore::Get(LinkId link_id) const {
-  const storage::Index* index = links_->GetIndex(kLinkIdIndex);
-  std::vector<storage::RowId> ids =
-      index->Find(ValueKey{Value::Int64(link_id)});
-  if (ids.empty()) {
-    return Status::NotFound("LINK_ID " + std::to_string(link_id));
+  // LINK_ID alone does not name a model; probe each model's sorted
+  // by_link vector (models are few, probes are O(log n)).
+  for (const auto& [model_id, cache] : id_cache_) {
+    (void)model_id;
+    int64_t idx = cache->IndexOfLink(link_id);
+    if (idx >= 0) {
+      return RowToLink(
+          *links_->Get(cache->row_ids[static_cast<uint32_t>(idx)]));
+    }
   }
-  return RowToLink(*links_->Get(ids.front()));
+  return Status::NotFound("LINK_ID " + std::to_string(link_id));
 }
 
 std::vector<LinkRow> LinkStore::Match(int64_t model_id,
@@ -612,51 +650,27 @@ void LinkStore::MatchRows(
     int64_t model_id, std::optional<ValueId> s, std::optional<ValueId> p,
     std::optional<ValueId> canon_o,
     const std::function<bool(const Row&)>& fn) const {
-  auto emit_if_match = [&](const Row& row) {
-    if (metrics_ != nullptr) metrics_->link_rows_scanned->Inc();
-    if (s.has_value() && row[kStartNodeId].as_int64() != *s) return true;
-    if (p.has_value() && row[kPValueId].as_int64() != *p) return true;
-    if (canon_o.has_value() &&
-        row[kCanonEndNodeId].as_int64() != *canon_o) {
-      return true;
-    }
-    return fn(row);
-  };
-
-  // Choose the most selective available index. All three bound is a
-  // point lookup on the canonical SPO index — no residual filter work.
-  const storage::Index* index = nullptr;
-  ValueKey key;
-  if (s.has_value() && p.has_value() && canon_o.has_value()) {
-    index = links_->GetIndex(kSpoCanonIndex);
-    key = {Value::Int64(model_id), Value::Int64(*s), Value::Int64(*p),
-           Value::Int64(*canon_o)};
-  } else if (s.has_value()) {
-    index = links_->GetIndex(kSubjectIndex);
-    key = {Value::Int64(model_id), Value::Int64(*s)};
-  } else if (canon_o.has_value()) {
-    index = links_->GetIndex(kObjectIndex);
-    key = {Value::Int64(model_id), Value::Int64(*canon_o)};
-  } else if (p.has_value()) {
-    index = links_->GetIndex(kPredicateIndex);
-    key = {Value::Int64(model_id), Value::Int64(*p)};
-  }
-
-  if (index != nullptr) {
-    index->FindEach(key, [&](storage::RowId rid) {
-      return emit_if_match(*links_->Get(rid));
-    });
+  if (!s.has_value() && !p.has_value() && !canon_o.has_value()) {
+    // Fully unbound: partition scan over the model, no cache needed.
+    links_->ScanPartition(Value::Int64(model_id),
+                          [&](storage::RowId, const Row& row) {
+                            if (row[kModelId].as_int64() != model_id) {
+                              return true;
+                            }
+                            if (metrics_ != nullptr) {
+                              metrics_->link_rows_scanned->Inc();
+                            }
+                            return fn(row);
+                          });
     return;
   }
-
-  // Fully unbound: partition scan over the model.
-  links_->ScanPartition(Value::Int64(model_id),
-                        [&](storage::RowId, const Row& row) {
-                          if (row[kModelId].as_int64() != model_id) {
-                            return true;
-                          }
-                          return emit_if_match(row);
-                        });
+  auto mit = id_cache_.find(model_id);
+  if (mit == id_cache_.end()) return;
+  const ModelIdCache& cache = *mit->second;
+  MatchCacheIndexes(
+      cache, s, p, canon_o,
+      [&](uint32_t idx) { return fn(*links_->Get(cache.row_ids[idx])); },
+      metrics_ != nullptr ? metrics_->link_rows_scanned : nullptr);
 }
 
 void LinkStore::MatchEach(
@@ -683,18 +697,8 @@ void LinkStore::MatchCache(
     std::optional<ValueId> p, std::optional<ValueId> canon_o,
     const std::function<bool(ValueId, ValueId, ValueId, ValueId)>& fn,
     obs::Counter* scans) {
-  auto visit = [&](const IdQuad& q) {
-    if (scans != nullptr) scans->Inc();
-    if (s.has_value() && q.s != *s) return true;
-    if (p.has_value() && q.p != *p) return true;
-    if (canon_o.has_value() && q.canon_o != *canon_o) return true;
-    return fn(q.s, q.p, q.o, q.canon_o);
-  };
-
-  // Most selective postings first. An (s, p) probe — the inner loop of
-  // chain joins — is answered from one SpMap slot (residual only on
-  // canon_o, when all three are bound).
-  const std::vector<uint32_t>* postings = nullptr;
+  // Preserve the single-row (s, p) fast path: the answer is inline in
+  // the hash slot, no quad array touch.
   if (s.has_value() && p.has_value()) {
     SpMap::Hit hit = cache.by_sp.Probe(*s, *p);
     if (hit.n == 0) return;
@@ -704,11 +708,50 @@ void LinkStore::MatchCache(
       fn(*s, *p, hit.o, hit.canon_o);
       return;
     }
+  }
+  MatchCacheIndexes(cache, s, p, canon_o,
+                    [&](uint32_t idx) {
+                      const IdQuad& q = cache.quads[idx];
+                      return fn(q.s, q.p, q.o, q.canon_o);
+                    },
+                    scans);
+}
+
+void LinkStore::MatchCacheIndexes(
+    const ModelIdCache& cache, std::optional<ValueId> s,
+    std::optional<ValueId> p, std::optional<ValueId> canon_o,
+    const std::function<bool(uint32_t)>& fn, obs::Counter* scans) {
+  // Residual filters double as the tombstone guard: a dead quad's ids
+  // are all -1 and never match a bound position, so only paths with an
+  // unchecked position need the explicit Dead() test.
+  auto visit = [&](uint32_t idx) {
+    if (scans != nullptr) scans->Inc();
+    const IdQuad& q = cache.quads[idx];
+    if (ModelIdCache::Dead(q)) return true;
+    if (s.has_value() && q.s != *s) return true;
+    if (p.has_value() && q.p != *p) return true;
+    if (canon_o.has_value() && q.canon_o != *canon_o) return true;
+    return fn(idx);
+  };
+
+  // Most selective postings first. An (s, p) probe — the inner loop of
+  // chain joins — is answered from the SpMap, whose lists are exact
+  // (no tombstones).
+  if (s.has_value() && p.has_value()) {
+    SpMap::Hit hit = cache.by_sp.Probe(*s, *p);
+    if (hit.n == 1) {
+      if (scans != nullptr) scans->Inc();
+      if (canon_o.has_value() && hit.canon_o != *canon_o) return;
+      fn(hit.head);
+      return;
+    }
     for (uint32_t i = 0; i < hit.n; ++i) {
-      if (!visit(cache.quads[hit.list[i]])) return;
+      if (!visit(hit.list[i])) return;
     }
     return;
   }
+
+  const codec::PostingList* postings = nullptr;
   if (s.has_value()) {
     auto it = cache.by_s.find(*s);
     if (it == cache.by_s.end()) return;
@@ -724,27 +767,24 @@ void LinkStore::MatchCache(
   }
 
   if (postings != nullptr) {
-    for (uint32_t idx : *postings) {
-      if (!visit(cache.quads[idx])) return;
-    }
+    postings->ForEach(visit);
     return;
   }
-  for (const IdQuad& q : cache.quads) {
-    if (!visit(q)) return;
+  for (uint32_t idx = 0; idx < cache.quads.size(); ++idx) {
+    if (!visit(idx)) return;
   }
 }
 
 Status LinkStore::Delete(int64_t model_id, ValueId s, ValueId p, ValueId o,
                          bool force) {
-  const storage::Index* spo = links_->GetIndex(kSpoIndex);
-  std::vector<storage::RowId> ids = spo->Find(
-      ValueKey{Value::Int64(model_id), Value::Int64(s), Value::Int64(p),
-               Value::Int64(o)});
-  if (ids.empty()) {
+  auto mit = id_cache_.find(model_id);
+  int64_t idx =
+      mit == id_cache_.end() ? -1 : mit->second->FindSpoIdx(s, p, o);
+  if (idx < 0) {
     return Status::NotFound("triple not found in model " +
                             std::to_string(model_id));
   }
-  storage::RowId rid = ids.front();
+  storage::RowId rid = mit->second->row_ids[static_cast<uint32_t>(idx)];
   LinkRow link = RowToLink(*links_->Get(rid));
   if (metrics_ != nullptr) metrics_->link_deletes->Inc();
   if (!force && link.cost > 1) {
@@ -760,19 +800,17 @@ Status LinkStore::Delete(int64_t model_id, ValueId s, ValueId p, ValueId o,
 
 Status LinkStore::DeleteModel(int64_t model_id) {
   id_cache_.erase(model_id);
-  std::vector<LinkRow> doomed;
-  ScanModel(model_id, [&](const LinkRow& link) {
-    doomed.push_back(link);
-    return true;
-  });
-  for (const LinkRow& link : doomed) {
-    const storage::Index* index = links_->GetIndex(kLinkIdIndex);
-    std::vector<storage::RowId> ids =
-        index->Find(ValueKey{Value::Int64(link.link_id)});
-    if (!ids.empty()) {
-      RDFDB_RETURN_NOT_OK(links_->Delete(ids.front()));
-      RemoveFromNetwork(link);
-    }
+  std::vector<std::pair<storage::RowId, LinkRow>> doomed;
+  links_->ScanPartition(Value::Int64(model_id),
+                        [&](storage::RowId rid, const Row& row) {
+                          if (row[kModelId].as_int64() == model_id) {
+                            doomed.emplace_back(rid, RowToLink(row));
+                          }
+                          return true;
+                        });
+  for (const auto& [rid, link] : doomed) {
+    RDFDB_RETURN_NOT_OK(links_->Delete(rid));
+    RemoveFromNetwork(link);
   }
   return Status::OK();
 }

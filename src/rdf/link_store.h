@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "ndm/network.h"
+#include "rdf/codec.h"
 #include "rdf/value_store.h"
 #include "storage/database.h"
 
@@ -166,18 +167,6 @@ class LinkStore {
   /// Underlying table (Experiment I's direct-join query reads it).
   const storage::Table& table() const { return *links_; }
 
-  static constexpr const char* kLinkIdIndex = "rdf_link_id_idx";
-  static constexpr const char* kSpoIndex = "rdf_link_spo_idx";
-  static constexpr const char* kSubjectIndex = "rdf_link_s_idx";
-  static constexpr const char* kPredicateIndex = "rdf_link_p_idx";
-  static constexpr const char* kObjectIndex = "rdf_link_o_idx";
-  /// Canonical-object SPO twin: (model, s, p, canon_o). kSpoIndex keys
-  /// the *lexical* object (insert/delete identity), so a fully-bound
-  /// query match — which is canonical — needs its own point-lookup
-  /// index; non-unique because distinct lexical forms share a
-  /// canonical object.
-  static constexpr const char* kSpoCanonIndex = "rdf_link_spoc_idx";
-
   /// Attach the owning store's metric handles. Null (the default, and
   /// the state of standalone test instances) disables instrumentation.
   void set_metrics(obs::StoreMetrics* metrics) { metrics_ = metrics; }
@@ -243,8 +232,6 @@ class LinkStore {
     /// overflow list collapses back to a single row.
     void Erase(ValueId s, ValueId p, uint32_t idx,
                const std::vector<IdQuad>& quads);
-    /// Row moved from quad index `from` to `to` (swap-remove upkeep).
-    void Reindex(ValueId s, ValueId p, uint32_t from, uint32_t to);
 
    private:
     static constexpr ValueId kEmpty = -1;
@@ -278,73 +265,111 @@ class LinkStore {
     size_t mask_ = 0;
   };
 
+  /// Posting map: one delta+varint compressed list of quad indexes per
+  /// key. Lists are append-only ascending; deletions tombstone the
+  /// referenced quad instead of editing the list (see DESIGN.md §14).
+  using PostingMap = std::unordered_map<ValueId, codec::PostingList>;
+
   /// Per-model id-native postings backing MatchEachIds and the
-  /// executors' leaf scans: quads in creation order plus posting lists
-  /// by subject, (subject, predicate), canonical object, and predicate,
-  /// each holding indexes into `quads`. Scans walk these flat int
-  /// arrays instead of the Value-typed storage indexes. Maintained by
-  /// every mutation path in lockstep with the table (and rebuilt from
-  /// it on reattach), so reads need no locking beyond what the table
-  /// itself requires.
+  /// executors' leaf scans: quads in creation order plus compressed
+  /// posting lists by subject, canonical object, and predicate (quad
+  /// indexes, delta+varint with a skip table for galloping), an exact
+  /// (subject, predicate) hash, and a sorted LINK_ID → quad index
+  /// vector. Scans decode cursors instead of walking flat int arrays.
+  /// Maintained by every mutation path in lockstep with the table (and
+  /// rebuilt from it on reattach), so reads need no locking beyond
+  /// what the table itself requires.
+  ///
+  /// Deletes tombstone: the quad's ids are overwritten with -1 (no
+  /// query carries a negative id, so residual filters skip dead quads
+  /// for free) and stale posting entries are tolerated by every scan.
+  /// Compact() renumbers once dead quads outnumber live ones.
   ///
   /// Instances are held by shared_ptr and copied-on-write: the store
   /// clones a model's cache before the first mutation that follows a
   /// ShareCaches() call, so published snapshots keep reading the old
   /// object while the store mutates the clone.
   struct ModelIdCache {
-    std::vector<IdQuad> quads;
-    std::unordered_map<ValueId, std::vector<uint32_t>> by_s;
+    std::vector<IdQuad> quads;       ///< creation order; dead = all -1
+    std::vector<uint32_t> row_ids;   ///< parallel: rdf_link$ RowId per quad
+    PostingMap by_s;
     SpMap by_sp;
-    std::unordered_map<ValueId, std::vector<uint32_t>> by_canon;
-    std::unordered_map<ValueId, std::vector<uint32_t>> by_p;
-    std::unordered_map<LinkId, uint32_t> by_link;  ///< delete maintenance
+    PostingMap by_canon;
+    PostingMap by_p;
+    /// LINK_ID → quad index, sorted by LINK_ID (link ids ascend in
+    /// creation order). Tombstoned entries keep the key with
+    /// kDeadIdx as the value so the vector stays sorted.
+    std::vector<std::pair<LinkId, uint32_t>> by_link;
     size_t implied_count = 0;  ///< rows with CONTEXT == Implied
+    size_t dead_count = 0;     ///< tombstoned quads awaiting Compact()
+    /// Heap bytes of the three posting maps' list payloads (vector
+    /// capacities), maintained incrementally by Append/Compact so
+    /// ApproxBytes stays cheap on the publish path.
+    size_t posting_heap_bytes = 0;
 
-    /// Approximate heap bytes owned by this cache object: the quad
-    /// array plus every posting structure. Drives the quad-cache memory
-    /// gauge and the exclusive-footprint estimate stamped onto retired
-    /// StoreVersions. Deliberately O(1)-ish (bucket/size arithmetic, no
-    /// per-key iteration) — the publish path calls it once per mutation.
+    static constexpr uint32_t kDeadIdx = 0xffffffffu;
+    static bool Dead(const IdQuad& q) { return q.link_id < 0; }
+    size_t live_count() const { return quads.size() - dead_count; }
+
+    /// Append a new quad (all posting structures updated).
+    void Append(const IdQuad& quad, uint32_t row_id, bool implied);
+    /// Tombstone quad `idx` (caller resolved it via IndexOfLink).
+    void Tombstone(uint32_t idx, bool implied);
+    /// Quad index for LINK_ID, or -1 when absent/tombstoned.
+    int64_t IndexOfLink(LinkId link_id) const;
+    /// Renumber live quads and rebuild every posting structure.
+    void Compact();
+    bool ShouldCompact() const {
+      return dead_count > 4096 && dead_count * 2 > quads.size();
+    }
+    /// Re-derive posting_heap_bytes exactly (used after a COW clone,
+    /// whose copied vectors have fresh capacities).
+    void RecomputePostingBytes();
+
+    /// Approximate heap bytes owned by this cache object, from real
+    /// container geometry: vector capacities, hash bucket arrays, and
+    /// per-node allocator overhead — no flat per-entry constants.
+    /// Drives the quad-cache memory gauge and the exclusive-footprint
+    /// estimate stamped onto retired StoreVersions. O(1)-ish — the
+    /// publish path calls it once per mutation.
     size_t ApproxBytes() const {
-      size_t n = sizeof(ModelIdCache) + quads.capacity() * sizeof(IdQuad) +
-                 by_sp.ApproxBytes();
-      const size_t entries = quads.size();
-      n += PostingsBytes(by_s, entries) + PostingsBytes(by_canon, entries) +
-           PostingsBytes(by_p, entries);
-      n += by_link.bucket_count() * sizeof(void*) +
-           by_link.size() *
-               (sizeof(std::pair<LinkId, uint32_t>) + 2 * sizeof(void*));
-      return n;
+      return sizeof(ModelIdCache) + quads.capacity() * sizeof(IdQuad) +
+             row_ids.capacity() * sizeof(uint32_t) + by_sp.ApproxBytes() +
+             by_link.capacity() * sizeof(std::pair<LinkId, uint32_t>) +
+             posting_heap_bytes + MapNodeBytes(by_s) +
+             MapNodeBytes(by_canon) + MapNodeBytes(by_p);
     }
 
     /// Exact (s, p, lexical-object) probe — the identity Insert/Delete
-    /// and IS_TRIPLE use. Returns the matching quad or nullptr.
-    const IdQuad* FindSpo(ValueId s, ValueId p, ValueId o) const {
+    /// and IS_TRIPLE use. Returns the quad index or -1.
+    int64_t FindSpoIdx(ValueId s, ValueId p, ValueId o) const {
       SpMap::Hit hit = by_sp.Probe(s, p);
-      if (hit.n == 0) return nullptr;
-      if (hit.n == 1) return hit.o == o ? &quads[hit.head] : nullptr;
+      if (hit.n == 0) return -1;
+      if (hit.n == 1) return hit.o == o ? static_cast<int64_t>(hit.head) : -1;
       for (uint32_t i = 0; i < hit.n; ++i) {
-        const IdQuad& quad = quads[hit.list[i]];
-        if (quad.o == o) return &quad;
+        if (quads[hit.list[i]].o == o) {
+          return static_cast<int64_t>(hit.list[i]);
+        }
       }
-      return nullptr;
+      return -1;
+    }
+    const IdQuad* FindSpo(ValueId s, ValueId p, ValueId o) const {
+      int64_t idx = FindSpoIdx(s, p, o);
+      return idx < 0 ? nullptr : &quads[static_cast<uint32_t>(idx)];
     }
 
    private:
-    /// Node-based container estimate in O(1): bucket array + one node
-    /// per key (payload + ~two pointers of allocator overhead) + the
-    /// posting storage itself. Every quad appears exactly once per
-    /// posting index, so `total_entries` list slots are live; vector
-    /// growth slack is approximated at 1.5x.
-    static size_t PostingsBytes(
-        const std::unordered_map<ValueId, std::vector<uint32_t>>& postings,
-        size_t total_entries) {
+    /// Hash-map node accounting: bucket array + one node per key
+    /// (payload + ~two pointers of allocator overhead). List payload
+    /// bytes live in posting_heap_bytes.
+    static size_t MapNodeBytes(const PostingMap& postings) {
       return postings.bucket_count() * sizeof(void*) +
              postings.size() *
-                 (sizeof(std::pair<ValueId, std::vector<uint32_t>>) +
-                  2 * sizeof(void*)) +
-             total_entries * sizeof(uint32_t) * 3 / 2;
+                 (sizeof(std::pair<const ValueId, codec::PostingList>) +
+                  2 * sizeof(void*));
     }
+    /// Append `idx` to postings[key], keeping posting_heap_bytes exact.
+    void PostingAppend(PostingMap* postings, ValueId key, uint32_t idx);
   };
 
   /// Id-only match kernel over one cache: index choice (sp probe →
@@ -391,13 +416,16 @@ class LinkStore {
     SpMap::Hit ProbeSp(ValueId s, ValueId p) const {
       return cache_->by_sp.Probe(s, p);
     }
-    const std::vector<uint32_t>* PostingsS(ValueId s) const {
+    /// Compressed posting lists (quad indexes; may reference
+    /// tombstoned quads — check IdQuad::link_id or rely on residual
+    /// filters, which never match a dead quad's -1 ids).
+    const codec::PostingList* PostingsS(ValueId s) const {
       return FindPostings(cache_->by_s, s);
     }
-    const std::vector<uint32_t>* PostingsCanon(ValueId canon_o) const {
+    const codec::PostingList* PostingsCanon(ValueId canon_o) const {
       return FindPostings(cache_->by_canon, canon_o);
     }
-    const std::vector<uint32_t>* PostingsP(ValueId p) const {
+    const codec::PostingList* PostingsP(ValueId p) const {
       return FindPostings(cache_->by_p, p);
     }
     /// Mirror MatchEachIds' store-level scan accounting.
@@ -407,9 +435,8 @@ class LinkStore {
 
    private:
     friend class LinkStore;
-    static const std::vector<uint32_t>* FindPostings(
-        const std::unordered_map<ValueId, std::vector<uint32_t>>& postings,
-        ValueId key) {
+    static const codec::PostingList* FindPostings(const PostingMap& postings,
+                                                  ValueId key) {
       auto it = postings.find(key);
       return it == postings.end() ? nullptr : &it->second;
     }
@@ -437,8 +464,18 @@ class LinkStore {
   }
 
  private:
-  /// Row-level match kernel: index choice + residual filtering + scan
-  /// metrics, for callers that need full rdf_link$ rows (MatchEach).
+  /// Cache-driven match yielding quad indexes: access-path choice
+  /// (SpMap probe → posting cursor → full scan), dead-quad skipping,
+  /// residual filtering, and scan accounting. MatchCache and MatchRows
+  /// are both built on it.
+  static void MatchCacheIndexes(
+      const ModelIdCache& cache, std::optional<ValueId> s,
+      std::optional<ValueId> p, std::optional<ValueId> canon_o,
+      const std::function<bool(uint32_t idx)>& fn, obs::Counter* scans);
+
+  /// Row-level match kernel for callers that need full rdf_link$ rows
+  /// (MatchEach): cache-driven candidates, rows fetched by the cache's
+  /// RowId column.
   void MatchRows(int64_t model_id, std::optional<ValueId> s,
                  std::optional<ValueId> p, std::optional<ValueId> canon_o,
                  const std::function<bool(const storage::Row&)>& fn) const;
@@ -448,7 +485,8 @@ class LinkStore {
   /// only the serialized writer manipulates these shared_ptrs).
   ModelIdCache& MutableCache(int64_t model_id);
 
-  void CacheInsert(int64_t model_id, const IdQuad& quad, bool implied);
+  void CacheInsert(int64_t model_id, const IdQuad& quad,
+                   storage::RowId row_id, bool implied);
   void CacheErase(int64_t model_id, LinkId link_id, bool implied);
   /// An existing row's CONTEXT flipped Implied → Direct.
   void CacheContextUpgrade(int64_t model_id);

@@ -576,8 +576,11 @@ Result<std::unique_ptr<RdfStore>> RdfStore::Open(const std::string& path,
     RDFDB_RETURN_NOT_OK(status);
   }
 
-  // The raw row copy above bypassed LinkStore::Insert, so the id-native
-  // quad cache (which serves every pattern scan) is still empty.
+  // The raw row copies above bypassed ValueStore::LookupOrInsert and
+  // LinkStore::Insert, so the value-store lookup structures and the
+  // id-native quad cache (which serve every dictionary probe and
+  // pattern scan) are still empty.
+  store->values_->RebuildLookups();
   store->links_->RebuildCache();
 
   // Re-seed sequences past the highest stored ids.

@@ -140,7 +140,7 @@ Result<RdfStore::ModelStats> StoreVersion::GetModelStats(
   const LinkStore::ModelIdCache* cache = CacheFor(model_id);
   if (cache == nullptr) return stats;  // registered but empty model
 
-  stats.triples = cache->quads.size();
+  stats.triples = cache->live_count();
   stats.implied_statements = cache->implied_count;
   if (reif_type_id_.has_value() && reif_stmt_id_.has_value()) {
     LinkStore::MatchCache(
@@ -155,6 +155,7 @@ Result<RdfStore::ModelStats> StoreVersion::GetModelStats(
   if (options.distinct_counts) {
     std::unordered_set<ValueId> subjects, predicates, objects;
     for (const LinkStore::IdQuad& quad : cache->quads) {
+      if (LinkStore::ModelIdCache::Dead(quad)) continue;
       subjects.insert(quad.s);
       predicates.insert(quad.p);
       objects.insert(quad.o);
@@ -168,9 +169,9 @@ Result<RdfStore::ModelStats> StoreVersion::GetModelStats(
 
 Result<SdoRdfTriple> StoreVersion::ResolveTriple(LinkId rdf_t_id) const {
   for (const auto& [model_id, cache] : caches_) {
-    auto it = cache->by_link.find(rdf_t_id);
-    if (it == cache->by_link.end()) continue;
-    const LinkStore::IdQuad& quad = cache->quads[it->second];
+    int64_t idx = cache->IndexOfLink(rdf_t_id);
+    if (idx < 0) continue;
+    const LinkStore::IdQuad& quad = cache->quads[static_cast<uint32_t>(idx)];
     SdoRdfTriple triple;
     RDFDB_ASSIGN_OR_RETURN(Term s, dict_->TermForValueId(quad.s));
     RDFDB_ASSIGN_OR_RETURN(Term p, dict_->TermForValueId(quad.p));
@@ -185,7 +186,13 @@ Result<SdoRdfTriple> StoreVersion::ResolveTriple(LinkId rdf_t_id) const {
 
 size_t StoreVersion::TripleCount(ModelId model_id) const {
   const LinkStore::ModelIdCache* cache = CacheFor(model_id);
-  return cache == nullptr ? 0 : cache->quads.size();
+  return cache == nullptr ? 0 : cache->live_count();
+}
+
+size_t StoreVersion::TotalTripleCount() const {
+  size_t n = 0;
+  for (const auto& [model_id, cache] : caches_) n += cache->live_count();
+  return n;
 }
 
 // ---- SnapshotRdfStore -----------------------------------------------------

@@ -106,6 +106,9 @@ class StoreVersion : public StoreView {
   /// Triples in one model (0 when the model is unknown or empty).
   size_t TripleCount(ModelId model_id) const;
 
+  /// Live triples across all models (tombstoned quads excluded).
+  size_t TotalTripleCount() const;
+
   /// Publish sequence number (1 = the initial empty version).
   uint64_t sequence() const { return seq_; }
 

@@ -1,5 +1,7 @@
 #include "rdf/term_dict.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 #include "storage/table.h"
 
@@ -48,15 +50,37 @@ uint64_t TermDict::KeyFor(TableKind kind, const Entry& entry) const {
     case TableKind::kBlank:
       return BlankKey(entry.bn_model, entry.bn_label);
     case TableKind::kTerm:
-      return Mix(entry.term.Hash());
+      return Mix(entry.term_hash);
   }
   return 0;
 }
 
+Term TermDict::MaterializeTerm(const Entry& entry) const {
+  std::string text = entry.pack->Get(entry.pack_slot);
+  switch (entry.kind) {
+    case TermKind::kUri:
+      return Term::Uri(std::move(text));
+    case TermKind::kBlankNode:
+      return Term::BlankNode(std::move(text));
+    case TermKind::kTypedLiteral:
+    case TermKind::kTypedLongLiteral:
+      return Term::TypedLiteral(std::move(text), entry.datatype);
+    case TermKind::kPlainLiteralLang:
+      return Term::PlainLiteralLang(std::move(text), entry.language);
+    case TermKind::kPlainLiteral:
+    case TermKind::kPlainLongLiteral:
+      // Long plain literals may carry a language tag (type code PLL);
+      // re-run the factory the ingest path used.
+      return entry.language.empty()
+                 ? Term::PlainLiteral(std::move(text))
+                 : Term::PlainLiteralLang(std::move(text), entry.language);
+  }
+  return Term();
+}
+
 size_t TermDict::AppendEntry(Entry entry) {
-  entry_string_bytes_ += entry.term.lexical().capacity() +
-                         entry.term.language().capacity() +
-                         entry.term.datatype().capacity() +
+  entry_string_bytes_ += entry.language.capacity() +
+                         entry.datatype.capacity() +
                          entry.bn_label.capacity();
   const size_t index = count_.load(std::memory_order_relaxed);
   const size_t chunk_i = index >> kChunkShift;
@@ -112,6 +136,15 @@ void TermDict::TableInsert(std::atomic<HashTable*>* table_ptr,
 Status TermDict::Ingest(const ValueStore& values) {
   const storage::Table& table = values.table();
   const size_t total = table.row_count();  // append-only: rows are dense
+  if (total == ingested_rows_) return Status::OK();
+
+  // Pass 1: build each new row's full Term (hash, factory fields) and
+  // collect its lexical text for the batch's front-coded pack.
+  const size_t batch = total - ingested_rows_;
+  std::vector<Entry> entries;
+  std::vector<std::string> texts;
+  entries.reserve(batch);
+  texts.reserve(batch);
   for (size_t r = ingested_rows_; r < total; ++r) {
     const storage::Row* row = table.Get(static_cast<storage::RowId>(r));
     if (row == nullptr) {
@@ -122,10 +155,11 @@ Status TermDict::Ingest(const ValueStore& values) {
     entry.id = row->at(kValueId).as_int64();
     const std::string& type_code = row->at(kValueType).as_string();
     const std::string& name = row->at(kValueName).as_string();
+    Term term;
     if (type_code == "UR") {
-      entry.term = Term::Uri(name);
+      term = Term::Uri(name);
     } else if (type_code == "BN") {
-      entry.term = Term::BlankNode(name.substr(2));
+      term = Term::BlankNode(name.substr(2));
       entry.is_blank = true;
       auto scope = values.LookupBlankLabel(entry.id);
       if (!scope.has_value()) {
@@ -143,21 +177,50 @@ Status TermDict::Ingest(const ValueStore& values) {
         std::string lang = row->at(kLanguageType).is_null()
                                ? ""
                                : row->at(kLanguageType).as_string();
-        entry.term = lang.empty()
-                         ? Term::PlainLiteral(std::move(text))
-                         : Term::PlainLiteralLang(std::move(text),
-                                                  std::move(lang));
+        term = lang.empty()
+                   ? Term::PlainLiteral(std::move(text))
+                   : Term::PlainLiteralLang(std::move(text),
+                                            std::move(lang));
       } else if (type_code == "PL@") {
-        entry.term = Term::PlainLiteralLang(
-            std::move(text), row->at(kLanguageType).as_string());
+        term = Term::PlainLiteralLang(std::move(text),
+                                      row->at(kLanguageType).as_string());
       } else if (type_code == "TL" || type_code == "TLL") {
-        entry.term = Term::TypedLiteral(std::move(text),
-                                        row->at(kLiteralType).as_string());
+        term = Term::TypedLiteral(std::move(text),
+                                  row->at(kLiteralType).as_string());
       } else {
         return Status::Corruption("unknown VALUE_TYPE " + type_code);
       }
     }
+    entry.term_hash = term.Hash();
+    entry.kind = term.kind();
+    entry.datatype = term.datatype();
+    entry.language = term.language();
+    texts.push_back(term.lexical());
+    entries.push_back(std::move(entry));
+  }
 
+  // Pass 2: pack the batch's lexical forms, sorted so shared prefixes
+  // (URI namespaces, id runs) actually neighbor each other. The pack
+  // is complete — and its address final — before any entry referencing
+  // it is published through a table slot.
+  std::vector<uint32_t> order(batch);
+  for (uint32_t i = 0; i < batch; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return texts[a] < texts[b];
+  });
+  codec::FrontCodedPackBuilder builder;
+  for (uint32_t i : order) {
+    entries[i].pack_slot = builder.Add(texts[i]);
+  }
+  auto pack = std::make_unique<codec::FrontCodedPack>(builder.Build());
+  pack_bytes_ += pack->ApproxBytes();
+  const codec::FrontCodedPack* pack_ptr = pack.get();
+  packs_.push_back(std::move(pack));
+
+  // Pass 3: publish entries in row order (VALUE_ID order), exactly as
+  // the one-at-a-time ingest did.
+  for (Entry& entry : entries) {
+    entry.pack = pack_ptr;
     const bool is_blank = entry.is_blank;
     const size_t index = AppendEntry(std::move(entry));
     TableInsert(&id_table_, TableKind::kId, index);
@@ -174,7 +237,8 @@ Status TermDict::Ingest(const ValueStore& values) {
 size_t TermDict::ApproxBytes() const {
   const size_t count = count_.load(std::memory_order_acquire);
   const size_t chunks = (count + kChunkSize - 1) >> kChunkShift;
-  size_t n = chunks * sizeof(Chunk) + entry_string_bytes_;
+  size_t n = chunks * sizeof(Chunk) + entry_string_bytes_ + pack_bytes_ +
+             packs_.capacity() * sizeof(packs_[0]);
   auto table_bytes = [](const HashTable* table) {
     return table == nullptr
                ? size_t{0}
@@ -191,12 +255,18 @@ size_t TermDict::ApproxBytes() const {
 std::optional<ValueId> TermDict::Lookup(const Term& term) const {
   if (term.is_blank()) return std::nullopt;
   const HashTable* table = term_table_.load(std::memory_order_acquire);
-  const uint64_t key = Mix(term.Hash());
+  const uint64_t hash = term.Hash();
+  const uint64_t key = Mix(hash);
   for (size_t i = key & table->mask;; i = (i + 1) & table->mask) {
     const uint64_t v = table->slots[i].load(std::memory_order_acquire);
     if (v == 0) return std::nullopt;
     const Entry& entry = EntryAt(v - 1);
-    if (!entry.is_blank && entry.term == term) return entry.id;
+    // Hash-reject before touching the pack: only a (rare) full 64-bit
+    // collision pays a front-coded decode without a hit.
+    if (!entry.is_blank && entry.term_hash == hash &&
+        MaterializeTerm(entry) == term) {
+      return entry.id;
+    }
   }
 }
 
@@ -224,7 +294,7 @@ Result<Term> TermDict::TermForValueId(ValueId value_id) const {
       return Status::NotFound("VALUE_ID " + std::to_string(value_id));
     }
     const Entry& entry = EntryAt(v - 1);
-    if (entry.id == value_id) return entry.term;
+    if (entry.id == value_id) return MaterializeTerm(entry);
   }
 }
 

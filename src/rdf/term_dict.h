@@ -23,6 +23,15 @@
 // dict keys entries by the full Term, so Lookup equality matches
 // ValueStore::Lookup including its full-text collision check. Blank
 // nodes are model-scoped and live in their own (model, label) table.
+//
+// Lexical forms are not stored per entry: each Ingest batch sorts its
+// new strings and packs them into a front-coded block pack (shared
+// prefix + suffix, see rdf/codec.h), and entries carry (pack, slot)
+// references plus the term's 64-bit hash. Probes reject on the hash
+// and materialize a candidate's text only on a hash match, so the
+// lazy decode sits entirely behind the existing lookup API. Packs are
+// writer-owned, immutable once built, and published before any entry
+// referencing them, so readers may decode them freely.
 
 #ifndef RDFDB_RDF_TERM_DICT_H_
 #define RDFDB_RDF_TERM_DICT_H_
@@ -37,6 +46,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "rdf/codec.h"
 #include "rdf/term.h"
 #include "rdf/value_store.h"
 
@@ -83,11 +93,22 @@ class TermDict {
  private:
   struct Entry {
     ValueId id = 0;
-    Term term;
+    uint64_t term_hash = 0;  ///< Term::Hash(); probes reject on this
+    /// Lexical bytes live front-coded in a shared pack; the entry only
+    /// references its slot. Immutable once the entry is published.
+    const codec::FrontCodedPack* pack = nullptr;
+    uint32_t pack_slot = 0;
+    TermKind kind = TermKind::kUri;
+    std::string datatype;   ///< typed literals only
+    std::string language;   ///< language-tagged literals only
     int64_t bn_model = 0;   ///< blank nodes only
     std::string bn_label;   ///< blank nodes only (original label)
     bool is_blank = false;
   };
+
+  /// Rebuild the full Term from an entry (front-coded text + the
+  /// factory the ingest path used).
+  Term MaterializeTerm(const Entry& entry) const;
 
   // Chunked entry spine: stable addresses, lock-free append.
   static constexpr size_t kChunkShift = 12;  // 4096 entries per chunk
@@ -139,6 +160,12 @@ class TermDict {
   /// Superseded tables, kept alive until the dict dies so in-flight
   /// readers stay safe without per-table reclamation.
   std::vector<std::unique_ptr<HashTable>> graveyard_;
+
+  /// Front-coded lexical packs, one per Ingest batch with new rows.
+  /// Stable addresses (entries hold raw pointers); never freed before
+  /// the dict itself.
+  std::vector<std::unique_ptr<codec::FrontCodedPack>> packs_;
+  size_t pack_bytes_ = 0;  ///< cumulative pack heap bytes
 
   size_t ingested_rows_ = 0;  ///< rdf_value$ rows absorbed so far
   size_t entry_string_bytes_ = 0;  ///< string payload across all entries

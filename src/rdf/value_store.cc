@@ -67,18 +67,10 @@ ValueStore::ValueStore(storage::Database* db) : db_(db) {
   if (value_seq_ == nullptr) {
     value_seq_ = *db_->CreateSequence("MDSYS", "RDF_VALUE_SEQ", 1000);
   }
-  if (values_->GetIndex(kIdIndex) == nullptr) {
-    (void)values_->CreateIndex(kIdIndex, IndexKind::kHash,
-                               KeyExtractor::Columns({kValueId}),
-                               /*unique=*/true);
-  }
-  if (values_->GetIndex(kNameIndex) == nullptr) {
-    (void)values_->CreateIndex(
-        kNameIndex, IndexKind::kHash,
-        KeyExtractor::Columns(
-            {kValueName, kValueType, kLiteralType, kLanguageType}),
-        /*unique=*/true);
-  }
+  // No storage-layer indexes on rdf_value$: the id → row vector and the
+  // fingerprint map below answer both lookups at a fraction of the
+  // memory (the old 4-column hash index copied every lexical form into
+  // its ValueKey entries).
   if (blank_nodes_->GetIndex("rdf_bn_idx") == nullptr) {
     (void)blank_nodes_->CreateIndex("rdf_bn_idx", IndexKind::kHash,
                                     KeyExtractor::Columns({kBnModelId,
@@ -90,6 +82,82 @@ ValueStore::ValueStore(storage::Database* db) : db_(db) {
                                     KeyExtractor::Columns({kBnValueId}),
                                     /*unique=*/true);
   }
+
+  // Reattach: rebuild the lookup structures from existing rows.
+  RebuildLookups();
+}
+
+uint64_t ValueStore::Fingerprint(const std::string& name,
+                                 const char* type_code,
+                                 const std::string& datatype,
+                                 const std::string& language) {
+  uint64_t h = Fnv1a64(name);
+  h = HashCombine(h, Fnv1a64(type_code));
+  h = HashCombine(h, Fnv1a64(datatype));
+  h = HashCombine(h, Fnv1a64(language));
+  // Full-avalanche finalizer: linear probing clusters badly otherwise.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t ValueStore::FingerprintRow(const storage::Row& row) {
+  static const std::string kEmpty;
+  return Fingerprint(
+      row[kValueName].as_string(), row[kValueType].as_string().c_str(),
+      row[kLiteralType].is_null() ? kEmpty : row[kLiteralType].as_string(),
+      row[kLanguageType].is_null() ? kEmpty
+                                   : row[kLanguageType].as_string());
+}
+
+void ValueStore::FpInsert(uint64_t fp, storage::RowId row_id) {
+  if (fp_slots_.empty() || (fp_used_ + 1) * 10 >= fp_slots_.size() * 7) {
+    std::vector<FpSlot> old = std::move(fp_slots_);
+    size_t capacity = 1024;
+    while (capacity < 2 * (fp_used_ + 8)) capacity <<= 1;
+    fp_slots_.assign(capacity, FpSlot{});
+    fp_mask_ = capacity - 1;
+    for (const FpSlot& slot : old) {
+      if (slot.row < 0) continue;
+      size_t i = static_cast<size_t>(slot.fp) & fp_mask_;
+      while (fp_slots_[i].row >= 0) i = (i + 1) & fp_mask_;
+      fp_slots_[i] = slot;
+    }
+  }
+  size_t i = static_cast<size_t>(fp) & fp_mask_;
+  while (fp_slots_[i].row >= 0) i = (i + 1) & fp_mask_;
+  fp_slots_[i] = FpSlot{fp, row_id};
+  ++fp_used_;
+}
+
+void ValueStore::RegisterRow(storage::RowId row_id,
+                             const storage::Row& row) {
+  const ValueId id = row[kValueId].as_int64();
+  if (base_id_ < 0) base_id_ = id;
+  if (id < base_id_) {
+    // Out-of-order id below the current base (only possible when rows
+    // are replayed behind our back in unusual order): re-base.
+    const int64_t shift = base_id_ - id;
+    id_to_row_.insert(id_to_row_.begin(), static_cast<size_t>(shift), -1);
+    base_id_ = id;
+  }
+  const uint64_t off = static_cast<uint64_t>(id - base_id_);
+  if (off >= id_to_row_.size()) id_to_row_.resize(off + 1, -1);
+  id_to_row_[off] = row_id;
+  FpInsert(FingerprintRow(row), row_id);
+}
+
+void ValueStore::RebuildLookups() {
+  base_id_ = -1;
+  id_to_row_.clear();
+  fp_slots_.clear();
+  fp_used_ = 0;
+  fp_mask_ = 0;
+  values_->Scan([&](storage::RowId row_id, const Row& row) {
+    RegisterRow(row_id, row);
+    return true;
+  });
 }
 
 std::string ValueStore::ValueNameFor(const Term& term) {
@@ -102,16 +170,31 @@ std::string ValueStore::ValueNameFor(const Term& term) {
   return term.lexical();
 }
 
-storage::ValueKey ValueStore::DedupKey(const Term& term) {
-  return ValueKey{
-      Value::String(ValueNameFor(term)),
-      Value::String(term.TypeCode()),
-      term.datatype().empty() ? Value::Null()
-                              : Value::String(term.datatype()),
-      term.language().empty() ? Value::Null()
-                              : Value::String(term.language()),
-  };
+namespace {
+
+/// Exact dedup-key comparison against a stored row (fingerprint hits
+/// are verified here, so collisions cannot alias two terms).
+bool RowMatchesKey(const Row& row, const std::string& name,
+                   const char* type_code, const std::string& datatype,
+                   const std::string& language) {
+  if (row[kValueName].as_string() != name) return false;
+  if (row[kValueType].as_string() != type_code) return false;
+  if (datatype.empty()) {
+    if (!row[kLiteralType].is_null()) return false;
+  } else if (row[kLiteralType].is_null() ||
+             row[kLiteralType].as_string() != datatype) {
+    return false;
+  }
+  if (language.empty()) {
+    if (!row[kLanguageType].is_null()) return false;
+  } else if (row[kLanguageType].is_null() ||
+             row[kLanguageType].as_string() != language) {
+    return false;
+  }
+  return true;
 }
+
+}  // namespace
 
 Result<ValueId> ValueStore::LookupOrInsert(const Term& term) {
   if (term.is_blank()) {
@@ -137,6 +220,7 @@ Result<ValueId> ValueStore::LookupOrInsert(const Term& term) {
                                            : Value::Null();
   auto insert = values_->Insert(std::move(row));
   if (!insert.ok()) return insert.status();
+  RegisterRow(*insert, *values_->Get(*insert));
   return id;
 }
 
@@ -165,21 +249,32 @@ Result<std::vector<ValueId>> ValueStore::LookupOrInsertBatch(
 
 std::optional<ValueId> ValueStore::Lookup(const Term& term) const {
   if (metrics_ != nullptr) metrics_->value_lookups->Inc();
-  const storage::Index* index = values_->GetIndex(kNameIndex);
-  std::vector<storage::RowId> ids = index->Find(DedupKey(term));
-  if (ids.empty()) return std::nullopt;
-  const Row* row = values_->Get(ids.front());
-  if (term.is_long_literal()) {
-    // Long literals are keyed by a 64-bit fingerprint; verify the full
-    // text so a (vanishingly unlikely) collision cannot alias two
-    // different literals.
-    if (row->at(kLongValue).is_null() ||
-        row->at(kLongValue).as_clob() != term.lexical()) {
-      return std::nullopt;
+  if (fp_slots_.empty()) return std::nullopt;
+  const std::string name = ValueNameFor(term);
+  const uint64_t fp =
+      Fingerprint(name, term.TypeCode(), term.datatype(), term.language());
+  for (size_t i = static_cast<size_t>(fp) & fp_mask_;;
+       i = (i + 1) & fp_mask_) {
+    const FpSlot& slot = fp_slots_[i];
+    if (slot.row < 0) return std::nullopt;
+    if (slot.fp != fp) continue;
+    const Row* row = values_->Get(slot.row);
+    if (!RowMatchesKey(*row, name, term.TypeCode(), term.datatype(),
+                       term.language())) {
+      continue;
     }
+    if (term.is_long_literal()) {
+      // Long literals are keyed by a 64-bit name fingerprint; verify
+      // the full text so a (vanishingly unlikely) collision cannot
+      // alias two different literals.
+      if (row->at(kLongValue).is_null() ||
+          row->at(kLongValue).as_clob() != term.lexical()) {
+        return std::nullopt;
+      }
+    }
+    if (metrics_ != nullptr) metrics_->value_lookup_hits->Inc();
+    return row->at(kValueId).as_int64();
   }
-  if (metrics_ != nullptr) metrics_->value_lookup_hits->Inc();
-  return row->at(kValueId).as_int64();
 }
 
 Result<ValueId> ValueStore::LookupOrInsertBlank(int64_t model_id,
@@ -202,6 +297,7 @@ Result<ValueId> ValueStore::LookupOrInsertBlank(int64_t model_id,
   row[kLongValue] = Value::Null();
   auto insert = values_->Insert(std::move(row));
   if (!insert.ok()) return insert.status();
+  RegisterRow(*insert, *values_->Get(*insert));
 
   Row mapping(3);
   mapping[kBnModelId] = Value::Int64(model_id);
@@ -236,13 +332,11 @@ std::optional<std::pair<int64_t, std::string>> ValueStore::LookupBlankLabel(
 }
 
 Result<Term> ValueStore::GetTerm(ValueId value_id) const {
-  const storage::Index* index = values_->GetIndex(kIdIndex);
-  std::vector<storage::RowId> ids =
-      index->Find(ValueKey{Value::Int64(value_id)});
-  if (ids.empty()) {
+  const int64_t rid = RowForId(value_id);
+  if (rid < 0) {
     return Status::NotFound("VALUE_ID " + std::to_string(value_id));
   }
-  const Row* row = values_->Get(ids.front());
+  const Row* row = values_->Get(rid);
   const std::string& type_code = row->at(kValueType).as_string();
   const std::string& name = row->at(kValueName).as_string();
   if (type_code == "UR") return Term::Uri(name);
@@ -278,13 +372,11 @@ Result<std::string> ValueStore::GetText(ValueId value_id) const {
 }
 
 Result<std::string> ValueStore::GetTypeCode(ValueId value_id) const {
-  const storage::Index* index = values_->GetIndex(kIdIndex);
-  std::vector<storage::RowId> ids =
-      index->Find(ValueKey{Value::Int64(value_id)});
-  if (ids.empty()) {
+  const int64_t rid = RowForId(value_id);
+  if (rid < 0) {
     return Status::NotFound("VALUE_ID " + std::to_string(value_id));
   }
-  return values_->Get(ids.front())->at(kValueType).as_string();
+  return values_->Get(rid)->at(kValueType).as_string();
 }
 
 size_t ValueStore::value_count() const { return values_->row_count(); }

@@ -90,9 +90,12 @@ class ValueStore {
   size_t value_count() const;
 
   /// Approximate heap bytes held by rdf_value$ + rdf_blank_node$ (row
-  /// data plus indexes). Feeds RdfStore::MemoryUsage().
+  /// data plus indexes) and the store's own lookup structures. Feeds
+  /// RdfStore::MemoryUsage().
   size_t ApproxBytes() const {
-    return values_->ApproxTotalBytes() + blank_nodes_->ApproxTotalBytes();
+    return values_->ApproxTotalBytes() + blank_nodes_->ApproxTotalBytes() +
+           id_to_row_.capacity() * sizeof(int64_t) +
+           fp_slots_.capacity() * sizeof(FpSlot);
   }
 
   /// Underlying table (benchmarks join against it directly, as the
@@ -100,28 +103,68 @@ class ValueStore {
   const storage::Table& table() const { return *values_; }
   storage::Table* mutable_table() { return values_; }
 
-  /// Names of the key lookup indexes (used by the direct-join benchmark).
-  static constexpr const char* kIdIndex = "rdf_value_id_idx";
-  static constexpr const char* kNameIndex = "rdf_value_name_idx";
+  /// Rebuild the VALUE_ID → row vector and the fingerprint dedup map
+  /// from the rdf_value$ rows. Maintained in lockstep by the insert
+  /// paths; this is for callers that populate the table behind the
+  /// store's back (snapshot restore copies raw rows to preserve
+  /// VALUE_IDs). The constructor runs it for reattach.
+  void RebuildLookups();
 
   /// Attach the owning store's metric handles. Null (the default, and
   /// the state of standalone test instances) disables instrumentation.
   void set_metrics(obs::StoreMetrics* metrics) { metrics_ = metrics; }
 
  private:
-  /// Key under which a term is deduplicated: (VALUE_NAME, VALUE_TYPE,
-  /// LITERAL_TYPE, LANGUAGE_TYPE).
-  static storage::ValueKey DedupKey(const Term& term);
-
   /// VALUE_NAME cell for a term — long literals store a fingerprint here
   /// and spill full text into LONG_VALUE.
   static std::string ValueNameFor(const Term& term);
+
+  /// One slot of the fingerprint dedup map: 64-bit hash of the
+  /// (VALUE_NAME, VALUE_TYPE, LITERAL_TYPE, LANGUAGE_TYPE) dedup key
+  /// plus the row it names. The map replaces the old 4-column hash
+  /// index, whose entries each carried a full copy of the lexical form
+  /// in a ValueKey; hits are verified against the row, so a fingerprint
+  /// collision costs an extra compare, never a wrong answer.
+  struct FpSlot {
+    uint64_t fp = 0;
+    int64_t row = -1;  ///< RowId; -1 = empty slot
+  };
+
+  /// Fingerprint of a term's dedup key / of a stored row's key columns.
+  /// The two must agree for every term: Lookup hashes the term,
+  /// RegisterRow hashes the row it would have written.
+  static uint64_t Fingerprint(const std::string& name,
+                              const char* type_code,
+                              const std::string& datatype,
+                              const std::string& language);
+  static uint64_t FingerprintRow(const storage::Row& row);
+
+  /// Track a newly visible rdf_value$ row in both lookup structures.
+  void RegisterRow(storage::RowId row_id, const storage::Row& row);
+  void FpInsert(uint64_t fp, storage::RowId row_id);
+
+  /// Table RowId stored under VALUE_ID, or -1.
+  int64_t RowForId(ValueId value_id) const {
+    if (base_id_ < 0 || value_id < base_id_) return -1;
+    const uint64_t off = static_cast<uint64_t>(value_id - base_id_);
+    return off < id_to_row_.size() ? id_to_row_[off] : -1;
+  }
 
   storage::Database* db_;
   storage::Table* values_;        // MDSYS.RDF_VALUE$
   storage::Table* blank_nodes_;   // MDSYS.RDF_BLANK_NODE$
   storage::Sequence* value_seq_;
   obs::StoreMetrics* metrics_ = nullptr;
+
+  /// VALUE_ID → RowId, dense (ids come off an ascending sequence).
+  int64_t base_id_ = -1;
+  std::vector<int64_t> id_to_row_;
+  /// Open-addressing fingerprint → RowId map (duplicate fingerprints
+  /// occupy separate slots; rdf_value$ rows are never deleted, so no
+  /// tombstones).
+  std::vector<FpSlot> fp_slots_;
+  size_t fp_used_ = 0;
+  size_t fp_mask_ = 0;
 };
 
 }  // namespace rdfdb::rdf

@@ -63,8 +63,12 @@ constexpr size_t kFooterSize = 24;
 class CorruptRecoveryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    base_ = ::testing::TempDir() + "/rdfdb_corrupt_base";
-    victim_ = ::testing::TempDir() + "/rdfdb_corrupt_victim";
+    // Per-case directories: ctest runs each case as its own process,
+    // possibly in parallel, and a shared path makes the cases race.
+    const std::string case_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    base_ = ::testing::TempDir() + "/rdfdb_corrupt_" + case_name + "_base";
+    victim_ = ::testing::TempDir() + "/rdfdb_corrupt_" + case_name + "_victim";
     RemoveAll();
 
     // Build a real store: checkpoint (=> generation snapshot +

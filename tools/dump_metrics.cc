@@ -157,7 +157,24 @@ int main(int argc, char** argv) {
   }
 
   // Point-in-time memory gauges (rdfdb_mem_*) are computed on demand.
+  // The derived bytes/triple line (store-owned gauges over live
+  // triples — the compression headline) goes to stderr so stdout stays
+  // pure registry output.
   store.UpdateMemoryGauges();
+  {
+    rdfdb::obs::MetricsSnapshot snap =
+        rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
+    const double store_bytes = static_cast<double>(
+        snap.Gauge("rdfdb_mem_value_store_bytes") +
+        snap.Gauge("rdfdb_mem_link_table_bytes") +
+        snap.Gauge("rdfdb_mem_quad_cache_bytes") +
+        snap.Gauge("rdfdb_mem_term_dict_bytes") +
+        snap.Gauge("rdfdb_mem_retired_version_bytes"));
+    const size_t live = store.links().TotalTripleCount();
+    std::fprintf(stderr, "bytes/triple: %.1f (store %.1f MB / %zu triples)\n",
+                 live == 0 ? 0.0 : store_bytes / static_cast<double>(live),
+                 store_bytes / 1e6, live);
+  }
   const std::string dump = json ? store.metrics_registry().RenderJson()
                                 : store.metrics_registry().RenderPrometheus();
   std::fputs(dump.c_str(), stdout);

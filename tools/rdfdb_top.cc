@@ -21,9 +21,11 @@
 // could not keep flat.
 //
 // --mem appends resource columns to either mode: heap_mb (live tracked
-// heap), store_mb (the store's own MemoryBreakdown total, recomputed
-// per tick) and cpu% (process CPU over the interval, all threads; can
-// exceed 100 on multi-core).
+// heap), store_mb (sum of the store-owned rdfdb_mem_* gauges,
+// refreshed per tick via UpdateMemoryGauges), B/trip (store_mb's bytes
+// over the live triple count — the compression headline, comparable
+// directly to bench_memory_footprint) and cpu% (process CPU over the
+// interval, all threads; can exceed 100 on multi-core).
 
 #include <time.h>
 
@@ -60,6 +62,18 @@ int64_t ProcessCpuNanos() {
   timespec ts{};
   if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
   return static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+/// Sum of the store-owned rdfdb_mem_* gauges in `snap` (bytes). The
+/// caller refreshes them (UpdateMemoryGauges) before taking the
+/// snapshot, so the store_mb and B/trip columns read from the same
+/// gauges a Prometheus scrape would.
+double StoreGaugeBytes(const rdfdb::obs::MetricsSnapshot& snap) {
+  return static_cast<double>(snap.Gauge("rdfdb_mem_value_store_bytes") +
+                             snap.Gauge("rdfdb_mem_link_table_bytes") +
+                             snap.Gauge("rdfdb_mem_quad_cache_bytes") +
+                             snap.Gauge("rdfdb_mem_term_dict_bytes") +
+                             snap.Gauge("rdfdb_mem_retired_version_bytes"));
 }
 
 }  // namespace
@@ -154,7 +168,9 @@ int RunDefaultMode(double interval, int ticks, bool mem) {
   std::printf("%8s %10s %10s %10s %10s %9s %9s %9s", "links", "insert/s",
               "intern/s", "match/s", "rows/s", "q_p50_us", "q_p95_us",
               "q_p99_us");
-  if (mem) std::printf(" %8s %8s %6s", "heap_mb", "store_mb", "cpu%");
+  if (mem) {
+    std::printf(" %8s %8s %7s %6s", "heap_mb", "store_mb", "B/trip", "cpu%");
+  }
   std::printf("\n");
   rdfdb::obs::MetricsSnapshot prev =
       rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
@@ -163,6 +179,15 @@ int RunDefaultMode(double interval, int ticks, bool mem) {
                      !g_stop.load(std::memory_order_relaxed);
        ++tick) {
     std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    size_t live_triples = 0;
+    if (mem) {
+      // Refresh the mem_* gauges (and grab the live triple count) under
+      // the same lock the writer mutates under, then snapshot.
+      live_triples = store.WithReadLock([](const rdfdb::rdf::RdfStore& s) {
+        s.UpdateMemoryGauges();
+        return s.links().TotalTripleCount();
+      });
+    }
     rdfdb::obs::MetricsSnapshot cur =
         rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
     std::printf(
@@ -179,12 +204,14 @@ int RunDefaultMode(double interval, int ticks, bool mem) {
         rdfdb::obs::IntervalQuantile(prev, cur, "rdfdb_query_ns", 0.99) /
             1e3);
     if (mem) {
-      const auto breakdown = store.WithReadLock(
-          [](const rdfdb::rdf::RdfStore& s) { return s.MemoryUsage(); });
+      const double store_bytes = StoreGaugeBytes(cur);
       const int64_t cpu = ProcessCpuNanos();
-      std::printf(" %8.1f %8.1f %6.0f",
+      std::printf(" %8.1f %8.1f %7.0f %6.0f",
                   static_cast<double>(rdfdb::obs::TrackedHeapBytes()) / 1e6,
-                  static_cast<double>(breakdown.StoreTotal()) / 1e6,
+                  store_bytes / 1e6,
+                  live_triples == 0
+                      ? 0.0
+                      : store_bytes / static_cast<double>(live_triples),
                   static_cast<double>(cpu - prev_cpu) / 1e7 / interval);
       prev_cpu = cpu;
     }
@@ -280,7 +307,9 @@ int RunBulkloadMode(double interval, int ticks, int readers,
   std::printf("%9s %10s %10s %9s %9s %9s %7s %8s %7s", "links",
               "insert/s", "match/s", "q_p50_us", "q_p95_us", "q_p99_us",
               "pub/s", "retired", "ep_lag");
-  if (mem) std::printf(" %8s %8s %6s", "heap_mb", "store_mb", "cpu%");
+  if (mem) {
+    std::printf(" %8s %8s %7s %6s", "heap_mb", "store_mb", "B/trip", "cpu%");
+  }
   std::printf("\n");
   rdfdb::obs::MetricsSnapshot prev =
       rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
@@ -289,6 +318,11 @@ int RunBulkloadMode(double interval, int ticks, int readers,
                      !g_stop.load(std::memory_order_relaxed);
        ++tick) {
     std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    size_t live_triples = 0;
+    if (mem) {
+      store.UpdateMemoryGauges();
+      live_triples = store.Snapshot()->TotalTripleCount();
+    }
     rdfdb::obs::MetricsSnapshot cur =
         rdfdb::obs::TakeMetricsSnapshot(store.metrics_registry());
     std::printf(
@@ -307,11 +341,14 @@ int RunBulkloadMode(double interval, int ticks, int readers,
             cur.Gauge("rdfdb_retired_versions_outstanding")),
         static_cast<long long>(cur.Gauge("rdfdb_oldest_pinned_epoch_lag")));
     if (mem) {
-      const auto breakdown = store.MemoryUsage();
+      const double store_bytes = StoreGaugeBytes(cur);
       const int64_t cpu = ProcessCpuNanos();
-      std::printf(" %8.1f %8.1f %6.0f",
+      std::printf(" %8.1f %8.1f %7.0f %6.0f",
                   static_cast<double>(rdfdb::obs::TrackedHeapBytes()) / 1e6,
-                  static_cast<double>(breakdown.StoreTotal()) / 1e6,
+                  store_bytes / 1e6,
+                  live_triples == 0
+                      ? 0.0
+                      : store_bytes / static_cast<double>(live_triples),
                   static_cast<double>(cpu - prev_cpu) / 1e7 / interval);
       prev_cpu = cpu;
     }

@@ -3,9 +3,12 @@
 # twin of run_tsan.sh). Builds a dedicated build-asan tree and runs the
 # full test suite under ASan+UBSan; any report fails the run. The suite
 # includes the corrupt-input corpus (test_corrupt_recovery: truncated /
-# bit-flipped / length-attacked snapshots, logs and manifests) and the
-# crash-recovery torture harness, so hostile-byte parsing paths get
-# sanitizer coverage here.
+# bit-flipped / length-attacked snapshots, logs and manifests), the
+# crash-recovery torture harness, and the compression codec fuzz tests
+# (test_codec varint/posting-list/front-coding round-trips plus the
+# test_exec_diff compressed-vs-table-scan differentials), so
+# hostile-byte parsing and block-decode paths get sanitizer coverage
+# here.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
