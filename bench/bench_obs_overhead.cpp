@@ -11,13 +11,33 @@
 // Workloads: the pipelined bulk load (event-log chunk events + worker
 // spans on the hot path) and the Chain3 join (query span, slow-query
 // gating, per-chunk exec spans in the parallel variant).
+//
+// Flight-recorder A/B (the PR that added the history ring): the same
+// Chain3 join with no recorder, the default 1 s sampler, and an
+// aggressive 100 ms sampler — each tick snapshots the registry,
+// reduces it into the ring, and re-serializes the ring into the mmap'd
+// crash black box, so the measured delta is the full always-on cost.
+// The active-op guards inside SdoRdfMatch are unconditional and fire
+// in every mode, so they cancel out of the comparison.
+//
+// Besides the google-benchmark registrations, a custom main (modeled
+// on bench_concurrent_read) runs the recorder A/B as a self-contained
+// harness: `--smoke [--json]` interleaves short reps of the three
+// modes, prints the BENCH_obs_overhead.json document, and exits
+// nonzero if the 1 s-sampling overhead exceeds the 3 % budget — the CI
+// gate.
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/profiler.h"
 #include "obs/slow_query_log.h"
 #include "obs/span_timeline.h"
@@ -260,7 +280,309 @@ void BM_Chain3_Profiler100Hz(benchmark::State& state) {
 BENCHMARK(BM_Chain3_Profiler100Hz)->Apply(ApplyBenchSizes)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Flight-recorder overhead on the same Chain3 join (other facilities
+// detached): no recorder, the default 1 s sampler, and 100 ms. The
+// sampler runs on its own thread, so the cost visible to the workload
+// is registry snapshot contention (relaxed counter loads) plus the
+// black-box mirror's msync — both off the query thread, which is why
+// the budget holds even at 100 ms.
+
+constexpr const char* kBenchBlackBoxPath = "/tmp/rdfdb_bench_obs_bb.bin";
+
+std::unique_ptr<obs::FlightRecorder> StartBenchRecorder(
+    rdf::RdfStore* store, int64_t interval_ms) {
+  obs::FlightRecorder::Options options;
+  options.registry = &store->metrics_registry();
+  options.sample_interval_ms = interval_ms;
+  options.black_box_path = kBenchBlackBoxPath;
+  auto recorder = obs::FlightRecorder::Start(std::move(options));
+  if (!recorder.ok()) return nullptr;
+  return std::move(*recorder);
+}
+
+void RunChain3RecorderBench(benchmark::State& state, int64_t interval_ms) {
+  JoinSystem& sys = JoinSystem::For(state.range(0));
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (interval_ms > 0) {
+    recorder = StartBenchRecorder(sys.store.get(), interval_ms);
+    if (recorder == nullptr) {
+      state.SkipWithError("FlightRecorder::Start failed");
+      return;
+    }
+  }
+  query::MatchOptions options;
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = query::SdoRdfMatch(sys.store.get(), nullptr, kChain3,
+                                     {"social"}, {}, {}, "", options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    rows = result->row_count();
+    benchmark::DoNotOptimize(rows);
+  }
+  if (recorder != nullptr) {
+    state.counters["samples"] = static_cast<double>(recorder->samples());
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_Chain3_RecorderOff(benchmark::State& state) {
+  RunChain3RecorderBench(state, /*interval_ms=*/0);
+}
+BENCHMARK(BM_Chain3_RecorderOff)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Chain3_Recorder1s(benchmark::State& state) {
+  RunChain3RecorderBench(state, /*interval_ms=*/1000);
+}
+BENCHMARK(BM_Chain3_Recorder1s)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Chain3_Recorder100ms(benchmark::State& state) {
+  RunChain3RecorderBench(state, /*interval_ms=*/100);
+}
+BENCHMARK(BM_Chain3_Recorder100ms)->Apply(ApplyBenchSizes)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Self-contained recorder A/B harness (the CI gate). CI boxes here are
+// often single-core and shared, and drift by ±5 % on a seconds
+// timescale — more than the 3 % budget being verified — so the harness
+// is built for noise robustness rather than raw precision:
+//
+//   * short slices (~0.5 s) grouped into rounds that measure all three
+//     modes back to back in rotated order, so each round yields a
+//     paired on/off ratio in which low-frequency drift cancels;
+//   * two estimators: the median of per-round paired overheads, and
+//     the overhead of best-slice throughputs (max q/s over rounds —
+//     the classic min-time estimator, robust to one-sided scheduling
+//     noise because a systematic cost also suppresses the best slice);
+//   * the gate takes the smaller of the two. A real regression well
+//     past the budget (say sync work landing on the query path) moves
+//     every slice of every round and trips both; a noisy run trips
+//     neither.
+
+struct RecorderHarnessConfig {
+  int64_t triples = 100'000;
+  double seconds_per_slice = 1.5;
+  int rounds = 6;
+  double budget_pct = 3.0;
+  bool json = false;
+};
+
+struct RecorderModeStats {
+  std::vector<double> qps;  // one entry per round
+  uint64_t queries = 0;
+  uint64_t samples = 0;
+};
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? values[n / 2]
+                    : (values[n / 2 - 1] + values[n / 2]) / 2;
+}
+
+double Max(const std::vector<double>& values) {
+  return values.empty() ? 0
+                        : *std::max_element(values.begin(), values.end());
+}
+
+/// Per-round paired overheads of `on` vs `off` (percent, positive =
+/// slower), then the median.
+double MedianPairedOverheadPct(const std::vector<double>& off,
+                               const std::vector<double>& on) {
+  std::vector<double> per_round;
+  for (size_t i = 0; i < off.size() && i < on.size(); ++i) {
+    if (off[i] > 0) per_round.push_back((1.0 - on[i] / off[i]) * 100.0);
+  }
+  return Median(std::move(per_round));
+}
+
+double BestSliceOverheadPct(const std::vector<double>& off,
+                            const std::vector<double>& on) {
+  const double off_best = Max(off);
+  return off_best > 0 ? (1.0 - Max(on) / off_best) * 100.0 : 0;
+}
+
+/// Runs Chain3 queries back-to-back for `seconds` of wall clock and
+/// returns queries/sec (aborts on query failure: the harness is a
+/// gate, a broken query must fail loudly).
+double MeasureChain3Qps(rdf::RdfStore* store, double seconds,
+                        uint64_t* queries_out) {
+  query::MatchOptions options;
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t queries = 0;
+  double elapsed = 0;
+  do {
+    auto result = query::SdoRdfMatch(store, nullptr, kChain3, {"social"},
+                                     {}, {}, "", options);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->row_count());
+    ++queries;
+    elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  } while (elapsed < seconds);
+  *queries_out = queries;
+  return static_cast<double>(queries) / elapsed;
+}
+
+int RunRecorderHarness(const RecorderHarnessConfig& config) {
+  std::fprintf(stderr, "building social graph (%lld triples)...\n",
+               static_cast<long long>(config.triples));
+  JoinSystem& sys = JoinSystem::For(config.triples);
+  uint64_t warmup_queries = 0;
+  MeasureChain3Qps(sys.store.get(), 0.3, &warmup_queries);
+
+  struct Mode {
+    const char* name;
+    int64_t interval_ms;
+  };
+  constexpr Mode kModes[] = {
+      {"recorder_off", 0}, {"recorder_1s", 1000}, {"recorder_100ms", 100}};
+  constexpr int kModeCount = 3;
+  RecorderModeStats stats[kModeCount];
+
+  for (int round = 0; round < config.rounds; ++round) {
+    for (int slot = 0; slot < kModeCount; ++slot) {
+      const int m = (slot + round) % kModeCount;
+      std::unique_ptr<obs::FlightRecorder> recorder;
+      if (kModes[m].interval_ms > 0) {
+        recorder = StartBenchRecorder(sys.store.get(), kModes[m].interval_ms);
+        if (recorder == nullptr) {
+          std::fprintf(stderr, "FlightRecorder::Start failed\n");
+          return 2;
+        }
+      }
+      uint64_t queries = 0;
+      const double qps = MeasureChain3Qps(sys.store.get(),
+                                          config.seconds_per_slice, &queries);
+      stats[m].qps.push_back(qps);
+      stats[m].queries += queries;
+      if (recorder != nullptr) stats[m].samples += recorder->samples();
+      std::fprintf(stderr, "round %d %-15s %9.1f queries/s (%llu queries)\n",
+                   round, kModes[m].name, qps,
+                   static_cast<unsigned long long>(queries));
+    }
+  }
+  std::remove(kBenchBlackBoxPath);
+
+  const double paired_1s =
+      MedianPairedOverheadPct(stats[0].qps, stats[1].qps);
+  const double paired_100ms =
+      MedianPairedOverheadPct(stats[0].qps, stats[2].qps);
+  const double best_1s = BestSliceOverheadPct(stats[0].qps, stats[1].qps);
+  const double best_100ms = BestSliceOverheadPct(stats[0].qps, stats[2].qps);
+  // Gate on the robust (smaller) estimate of the default configuration.
+  const double overhead_1s_pct = std::min(paired_1s, best_1s);
+  const double overhead_100ms_pct = std::min(paired_100ms, best_100ms);
+  const bool pass = overhead_1s_pct <= config.budget_pct;
+
+  if (config.json) {
+    std::printf("{\n");
+    std::printf("  \"benchmark\": \"obs_overhead_recorder\",\n");
+    std::printf("  \"triples\": %lld,\n",
+                static_cast<long long>(config.triples));
+    std::printf("  \"seconds_per_slice\": %.2f,\n", config.seconds_per_slice);
+    std::printf("  \"rounds\": %d,\n", config.rounds);
+    std::printf("  \"budget_pct\": %.2f,\n", config.budget_pct);
+    std::printf("  \"results\": [\n");
+    for (int m = 0; m < kModeCount; ++m) {
+      std::printf(
+          "    {\"mode\": \"%s\", \"median_qps\": %.1f, \"best_qps\": %.1f, "
+          "\"queries\": %llu, \"recorder_samples\": %llu}%s\n",
+          kModes[m].name, Median(stats[m].qps), Max(stats[m].qps),
+          static_cast<unsigned long long>(stats[m].queries),
+          static_cast<unsigned long long>(stats[m].samples),
+          m + 1 < kModeCount ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"overhead_1s_paired_pct\": %.3f,\n", paired_1s);
+    std::printf("  \"overhead_1s_best_pct\": %.3f,\n", best_1s);
+    std::printf("  \"overhead_1s_pct\": %.3f,\n", overhead_1s_pct);
+    std::printf("  \"overhead_100ms_paired_pct\": %.3f,\n", paired_100ms);
+    std::printf("  \"overhead_100ms_best_pct\": %.3f,\n", best_100ms);
+    std::printf("  \"overhead_100ms_pct\": %.3f,\n", overhead_100ms_pct);
+    std::printf("  \"pass\": %s\n", pass ? "true" : "false");
+    std::printf("}\n");
+  } else {
+    std::printf("%-15s %12s %10s %10s %8s\n", "mode", "median q/s",
+                "best q/s", "queries", "samples");
+    for (int m = 0; m < kModeCount; ++m) {
+      std::printf("%-15s %12.1f %10.1f %10llu %8llu\n", kModes[m].name,
+                  Median(stats[m].qps), Max(stats[m].qps),
+                  static_cast<unsigned long long>(stats[m].queries),
+                  static_cast<unsigned long long>(stats[m].samples));
+    }
+    std::printf("overhead (paired/best): 1s %+.3f%%/%+.3f%%, "
+                "100ms %+.3f%%/%+.3f%% (budget %.1f%%)\n",
+                paired_1s, best_1s, paired_100ms, best_100ms,
+                config.budget_pct);
+    std::printf("%s\n",
+                pass ? "PASS" : "FAIL: 1s-sampling overhead over budget");
+  }
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace rdfdb::bench
 
-BENCHMARK_MAIN();
+// Custom main: with no arguments (or only --benchmark_* flags) this is
+// a normal google-benchmark binary; any harness flag switches to the
+// recorder A/B gate described above.
+int main(int argc, char** argv) {
+  using rdfdb::bench::RecorderHarnessConfig;
+  bool harness = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark", 11) != 0) {
+      harness = true;
+      break;
+    }
+  }
+  if (!harness) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+
+  RecorderHarnessConfig config;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      // CI smoke: small graph, ~30 s of measurement. Slices must be
+      // longer than the 1 s sampling interval or the 1 s mode never
+      // ticks inside its timed window; 1.2 s gives it exactly its
+      // real duty cycle (one tick per slice).
+      config.triples = 20'000;
+      config.seconds_per_slice = 1.2;
+      config.rounds = 8;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      config.json = true;
+    } else if (std::strcmp(argv[i], "--triples") == 0) {
+      config.triples = static_cast<int64_t>(next());
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      config.seconds_per_slice = next();
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      config.rounds = static_cast<int>(next());
+    } else if (std::strcmp(argv[i], "--budget-pct") == 0) {
+      config.budget_pct = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return rdfdb::bench::RunRecorderHarness(config);
+}

@@ -1,0 +1,321 @@
+#include "obs/active_ops.h"
+
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace rdfdb::obs {
+
+namespace {
+
+// Constant-initialized: safe to register into during static init and
+// to memcpy from a signal handler.
+ActiveOpSlot g_slots[kActiveOpSlots];
+
+std::atomic<uint64_t> g_next_id{0};
+std::atomic<uint64_t> g_registered{0};
+std::atomic<uint64_t> g_dropped{0};
+
+uint64_t Gettid() {
+  return static_cast<uint64_t>(::syscall(SYS_gettid));
+}
+
+int64_t NowUnixNs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+int64_t NowSteadyNs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+// Total CPU time another thread of this process has consumed, read
+// from /proc/self/task/<tid>/schedstat (first field, nanoseconds).
+// This is the one way to read a foreign thread's CPU clock that cannot
+// dangle: pthread_getcpuclockid on an exited thread's pthread_t is UB,
+// while a vanished /proc entry just fails the open. The schedstat
+// clock and the owner's CLOCK_THREAD_CPUTIME_ID start basis differ by
+// scheduler-tick granularity, so deltas are approximate and clamped
+// to ≥0.
+int64_t ThreadCpuNsFromProc(uint64_t tid) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/self/task/%llu/schedstat",
+                static_cast<unsigned long long>(tid));
+  const int fd = ::open(path, O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return -1;
+  char buf[96];
+  const ssize_t n = ::read(fd, buf, sizeof(buf) - 1);
+  ::close(fd);
+  if (n <= 0) return -1;
+  buf[n] = '\0';
+  long long ns = -1;
+  if (std::sscanf(buf, "%lld", &ns) != 1) return -1;
+  return static_cast<int64_t>(ns);
+}
+
+// Plain (non-atomic) image of a slot, filled under seqlock validation.
+struct SlotImage {
+  uint32_t kind = 0;
+  uint64_t id = 0;
+  uint64_t tid = 0;
+  int64_t start_unix_ns = 0;
+  int64_t start_steady_ns = 0;
+  int64_t start_cpu_ns = 0;
+  uint64_t start_alloc_bytes = 0;
+  uint64_t start_allocs = 0;
+  const ThreadCounterBlock* counters = nullptr;
+  char detail[kActiveOpDetailBytes] = {};
+};
+
+void LoadFields(const ActiveOpSlot& slot, SlotImage* out) {
+  out->kind = slot.kind.load(std::memory_order_relaxed);
+  out->id = slot.id.load(std::memory_order_relaxed);
+  out->tid = slot.tid.load(std::memory_order_relaxed);
+  out->start_unix_ns = slot.start_unix_ns.load(std::memory_order_relaxed);
+  out->start_steady_ns = slot.start_steady_ns.load(std::memory_order_relaxed);
+  out->start_cpu_ns = slot.start_cpu_ns.load(std::memory_order_relaxed);
+  out->start_alloc_bytes =
+      slot.start_alloc_bytes.load(std::memory_order_relaxed);
+  out->start_allocs = slot.start_allocs.load(std::memory_order_relaxed);
+  out->counters = slot.counters.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kActiveOpDetailBytes; ++i) {
+    out->detail[i] = slot.detail[i].load(std::memory_order_relaxed);
+  }
+}
+
+/// Seqlock read: false when the slot is free or could not be read
+/// consistently within a few retries (writer mid-update).
+bool ReadSlot(const ActiveOpSlot& slot, SlotImage* out) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 & 1u) continue;  // being written
+    LoadFields(slot, out);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint32_t s2 = slot.seq.load(std::memory_order_relaxed);
+    if (s1 == s2) return out->kind != 0;
+  }
+  return false;
+}
+
+ActiveOpInfo InfoFromImage(const SlotImage& image, int64_t now_unix_ns,
+                           int64_t now_steady_ns, bool live) {
+  ActiveOpInfo info;
+  info.kind = static_cast<OpKind>(image.kind);
+  info.id = image.id;
+  info.tid = image.tid;
+  info.start_unix_ns = image.start_unix_ns;
+  info.age_ns = (live ? now_steady_ns - image.start_steady_ns
+                      : now_unix_ns - image.start_unix_ns);
+  if (info.age_ns < 0) info.age_ns = 0;
+  if (live) {
+    const int64_t cpu_now = ThreadCpuNsFromProc(image.tid);
+    if (cpu_now >= 0) {
+      info.cpu_ns = std::max<int64_t>(0, cpu_now - image.start_cpu_ns);
+    }
+    if (image.counters != nullptr) {
+      const uint64_t bytes =
+          image.counters->bytes.load(std::memory_order_relaxed);
+      const uint64_t count =
+          image.counters->count.load(std::memory_order_relaxed);
+      if (bytes >= image.start_alloc_bytes) {
+        info.alloc_bytes = bytes - image.start_alloc_bytes;
+      }
+      if (count >= image.start_allocs) {
+        info.allocs = count - image.start_allocs;
+      }
+    }
+  }
+  const size_t len = ::strnlen(image.detail, kActiveOpDetailBytes);
+  info.detail.assign(image.detail, len);
+  return info;
+}
+
+void AppendOpJson(const ActiveOpInfo& op, std::string* out) {
+  *out += "{\"kind\": \"";
+  *out += OpKindName(op.kind);
+  *out += "\", \"id\": " + std::to_string(op.id);
+  *out += ", \"tid\": " + std::to_string(op.tid);
+  *out += ", \"start_unix_ns\": " + std::to_string(op.start_unix_ns);
+  *out += ", \"age_ms\": " + std::to_string(op.age_ns / 1'000'000);
+  *out += ", \"cpu_ms\": " + std::to_string(op.cpu_ns / 1'000'000);
+  *out += ", \"alloc_bytes\": " + std::to_string(op.alloc_bytes);
+  *out += ", \"allocs\": " + std::to_string(op.allocs);
+  *out += ", \"detail\": ";
+  AppendJsonString(op.detail, out);
+  *out += "}";
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNone:
+      return "none";
+    case OpKind::kQuery:
+      return "query";
+    case OpKind::kExecWorker:
+      return "exec_worker";
+    case OpKind::kBulkLoad:
+      return "bulkload";
+    case OpKind::kCheckpoint:
+      return "checkpoint";
+    case OpKind::kReplay:
+      return "replay";
+  }
+  return "?";
+}
+
+ActiveOpGuard::ActiveOpGuard(OpKind kind, std::string_view detail) {
+  id_ = g_next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (size_t i = 0; i < kActiveOpSlots; ++i) {
+    ActiveOpSlot& slot = g_slots[i];
+    uint32_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq & 1u) continue;
+    if (slot.kind.load(std::memory_order_relaxed) != 0) continue;
+    // The CAS is the exclusivity token: any concurrent claim/release
+    // since we observed `seq` bumped it, so a stale observation fails
+    // here instead of double-claiming the slot.
+    if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      continue;
+    }
+    slot.id.store(id_, std::memory_order_relaxed);
+    slot.tid.store(Gettid(), std::memory_order_relaxed);
+    slot.start_unix_ns.store(NowUnixNs(), std::memory_order_relaxed);
+    slot.start_steady_ns.store(NowSteadyNs(), std::memory_order_relaxed);
+    slot.start_cpu_ns.store(ThreadCpuNanos(), std::memory_order_relaxed);
+    slot.start_alloc_bytes.store(ThreadAllocatedBytes(),
+                                 std::memory_order_relaxed);
+    slot.start_allocs.store(ThreadAllocationCount(),
+                            std::memory_order_relaxed);
+    slot.counters.store(ThisThreadCounters(), std::memory_order_relaxed);
+    const size_t len = std::min(detail.size(), kActiveOpDetailBytes - 1);
+    for (size_t j = 0; j < len; ++j) {
+      slot.detail[j].store(detail[j], std::memory_order_relaxed);
+    }
+    for (size_t j = len; j < kActiveOpDetailBytes; ++j) {
+      slot.detail[j].store('\0', std::memory_order_relaxed);
+    }
+    slot.kind.store(static_cast<uint32_t>(kind), std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);  // publish, even
+    slot_ = &slot;
+    g_registered.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  g_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+ActiveOpGuard::~ActiveOpGuard() {
+  if (slot_ == nullptr) return;
+  // Only the owner releases, so plain increments suffice (no CAS).
+  const uint32_t seq = slot_->seq.load(std::memory_order_relaxed);
+  slot_->seq.store(seq + 1, std::memory_order_release);  // odd: in flux
+  slot_->kind.store(0, std::memory_order_relaxed);
+  slot_->counters.store(nullptr, std::memory_order_relaxed);
+  slot_->seq.store(seq + 2, std::memory_order_release);  // even: free
+}
+
+size_t ActiveOpCount() {
+  size_t n = 0;
+  for (const ActiveOpSlot& slot : g_slots) {
+    if (slot.kind.load(std::memory_order_relaxed) != 0) ++n;
+  }
+  return n;
+}
+
+std::vector<ActiveOpInfo> ActiveOpsSnapshot() {
+  const int64_t now_unix_ns = NowUnixNs();
+  const int64_t now_steady_ns = NowSteadyNs();
+  std::vector<ActiveOpInfo> out;
+  SlotImage image;
+  for (const ActiveOpSlot& slot : g_slots) {
+    if (!ReadSlot(slot, &image)) continue;
+    out.push_back(
+        InfoFromImage(image, now_unix_ns, now_steady_ns, /*live=*/true));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ActiveOpInfo& a, const ActiveOpInfo& b) {
+                     return a.start_unix_ns < b.start_unix_ns;
+                   });
+  return out;
+}
+
+uint64_t ActiveOpsRegistered() {
+  return g_registered.load(std::memory_order_relaxed);
+}
+uint64_t ActiveOpsDropped() {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::string RenderActivityz() {
+  const std::vector<ActiveOpInfo> ops = ActiveOpsSnapshot();
+  std::string out = "{\n \"active\": " + std::to_string(ops.size());
+  out += ",\n \"registered_total\": " + std::to_string(ActiveOpsRegistered());
+  out += ",\n \"dropped_total\": " + std::to_string(ActiveOpsDropped());
+  out += ",\n \"ops\": [";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    out += i == 0 ? "\n  " : ",\n  ";
+    AppendOpJson(ops[i], &out);
+  }
+  out += "\n ]\n}\n";
+  return out;
+}
+
+std::string ActiveOpsSummaryExcluding(uint64_t exclude_id) {
+  size_t counts[8] = {};
+  for (const ActiveOpSlot& slot : g_slots) {
+    SlotImage image;
+    if (!ReadSlot(slot, &image)) continue;
+    if (image.id == exclude_id) continue;
+    if (image.kind < 8) ++counts[image.kind];
+  }
+  std::string out;
+  for (uint32_t k = 1; k < 8; ++k) {
+    if (counts[k] == 0) continue;
+    if (!out.empty()) out += ' ';
+    out += OpKindName(static_cast<OpKind>(k));
+    out += ':';
+    out += std::to_string(counts[k]);
+  }
+  return out;
+}
+
+const void* ActiveOpTableAddress() { return g_slots; }
+size_t ActiveOpTableBytes() { return sizeof(g_slots); }
+
+std::vector<ActiveOpInfo> ParseActiveOpTable(const void* data, size_t size,
+                                             int64_t crash_unix_ns) {
+  std::vector<ActiveOpInfo> out;
+  const size_t slots = size / sizeof(ActiveOpSlot);
+  for (size_t i = 0; i < slots; ++i) {
+    // The copy is frozen — reinterpret the raw bytes through the same
+    // layout. A slot that was odd (mid-claim/-release) at crash time
+    // is still reported when `kind` is set: a possibly-torn detail
+    // string beats dropping the operation that was on-CPU.
+    SlotImage image;
+    const auto* slot = reinterpret_cast<const ActiveOpSlot*>(
+        static_cast<const char*>(data) + i * sizeof(ActiveOpSlot));
+    LoadFields(*slot, &image);
+    if (image.kind == 0 || image.kind >= 8) continue;
+    out.push_back(InfoFromImage(image, crash_unix_ns, /*now_steady_ns=*/0,
+                                /*live=*/false));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ActiveOpInfo& a, const ActiveOpInfo& b) {
+                     return a.start_unix_ns < b.start_unix_ns;
+                   });
+  return out;
+}
+
+}  // namespace rdfdb::obs

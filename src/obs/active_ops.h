@@ -1,0 +1,156 @@
+// Active-operation registry: a pg_stat_activity analog for the store.
+//
+// Long-running entry points (SDO_RDF_MATCH, parallel-executor workers,
+// bulk load, checkpoint, redo replay) register themselves in a small
+// fixed slot table via an RAII guard. Each slot records what the
+// operation is (kind + a short detail string such as the pattern
+// text), when it started, which thread runs it, and a pointer to that
+// thread's leaked allocation-counter block — so any observer thread
+// can compute *live* cpu/alloc deltas for in-flight work without
+// cooperation from the operating thread. /activityz renders the table,
+// the slow-query log embeds a summary of concurrent operations, and
+// the crash handler byte-copies the raw table into the black box (the
+// post-mortem tool re-parses it with ParseActiveOpTable).
+//
+// Concurrency design — the table must be readable from a signal
+// handler and writable on the query hot path:
+//   * Each slot is an independent seqlock. A writer claims a free slot
+//     by CAS'ing `seq` from its observed even value to odd (the CAS
+//     doubles as the exclusivity token: any concurrent fill/release
+//     bumps seq, failing the CAS), fills the fields with relaxed
+//     stores, then publishes with a release store of seq+2 (even
+//     again). Release re-enters odd, zeroes `kind`, and exits even.
+//   * Readers retry a slot when seq is odd or changes across the read
+//     (standard seqlock validation); every field is a relaxed atomic,
+//     so torn reads are impossible and TSan sees no race.
+//   * Registration never blocks and never allocates: when all slots
+//     are busy the guard degrades to unregistered (counted in
+//     ActiveOpsDropped()) and the operation runs untracked.
+//   * The table is a constant-initialized global array — the crash
+//     handler may memcpy it without taking locks or touching the heap.
+
+#ifndef RDFDB_OBS_ACTIVE_OPS_H_
+#define RDFDB_OBS_ACTIVE_OPS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/resource_tracker.h"
+
+namespace rdfdb::obs {
+
+/// What kind of work a slot describes. Values are stable wire format
+/// (they appear in black-box dumps parsed by a different process).
+enum class OpKind : uint32_t {
+  kNone = 0,
+  kQuery = 1,       ///< SdoRdfMatch
+  kExecWorker = 2,  ///< ExecuteParallel chunk worker
+  kBulkLoad = 3,
+  kCheckpoint = 4,
+  kReplay = 5,  ///< redo-log replay
+};
+
+/// Stable lowercase name ("query", "bulkload", ...); "none"/"?" for
+/// kNone / out-of-range values.
+const char* OpKindName(OpKind kind);
+
+inline constexpr size_t kActiveOpSlots = 64;
+inline constexpr size_t kActiveOpDetailBytes = 96;
+
+/// One slot of the registry. All fields are atomics so concurrent
+/// slot-scan reads are race-free; consistency across fields comes from
+/// the per-slot seqlock (`seq`). Cache-line aligned so two operations
+/// registering on different cores never false-share.
+struct alignas(64) ActiveOpSlot {
+  std::atomic<uint32_t> seq{0};   ///< seqlock: odd = being written
+  std::atomic<uint32_t> kind{0};  ///< OpKind; 0 = free
+  std::atomic<uint64_t> id{0};    ///< process-unique operation id
+  std::atomic<uint64_t> tid{0};   ///< kernel thread id (gettid)
+  std::atomic<int64_t> start_unix_ns{0};
+  std::atomic<int64_t> start_steady_ns{0};
+  std::atomic<int64_t> start_cpu_ns{0};  ///< owner CLOCK_THREAD_CPUTIME_ID
+  std::atomic<uint64_t> start_alloc_bytes{0};
+  std::atomic<uint64_t> start_allocs{0};
+  /// Owning thread's leaked counter block (resource_tracker.h); stays
+  /// dereferenceable after thread exit, so observers read it freely.
+  std::atomic<const ThreadCounterBlock*> counters{nullptr};
+  std::atomic<char> detail[kActiveOpDetailBytes];  ///< NUL-padded text
+};
+static_assert(sizeof(ActiveOpSlot) == 192, "black-box wire format");
+
+/// RAII registration. Construction claims a slot (or degrades to
+/// unregistered when the table is full); destruction releases it.
+/// The guard must be destroyed on the thread that created it.
+class ActiveOpGuard {
+ public:
+  ActiveOpGuard(OpKind kind, std::string_view detail);
+  ActiveOpGuard(const ActiveOpGuard&) = delete;
+  ActiveOpGuard& operator=(const ActiveOpGuard&) = delete;
+  ~ActiveOpGuard();
+
+  /// Process-unique id of this operation (assigned even when the slot
+  /// table was full).
+  uint64_t id() const { return id_; }
+  /// False when the table was full and the operation runs untracked.
+  bool registered() const { return slot_ != nullptr; }
+
+ private:
+  uint64_t id_ = 0;
+  ActiveOpSlot* slot_ = nullptr;
+};
+
+/// Consistent copy of one in-flight operation, with live deltas
+/// computed at snapshot time.
+struct ActiveOpInfo {
+  OpKind kind = OpKind::kNone;
+  uint64_t id = 0;
+  uint64_t tid = 0;
+  int64_t start_unix_ns = 0;
+  int64_t age_ns = 0;        ///< now - start (wall clock)
+  int64_t cpu_ns = 0;        ///< approximate live CPU (see .cc), ≥0
+  uint64_t alloc_bytes = 0;  ///< live allocation delta on the op thread
+  uint64_t allocs = 0;
+  std::string detail;
+};
+
+/// Number of currently registered operations (one table scan).
+size_t ActiveOpCount();
+
+/// Seqlock-consistent snapshot of every registered operation, oldest
+/// first. Live cpu/alloc deltas are computed against "now".
+std::vector<ActiveOpInfo> ActiveOpsSnapshot();
+
+/// Lifetime counters: operations that registered / that found the
+/// table full.
+uint64_t ActiveOpsRegistered();
+uint64_t ActiveOpsDropped();
+
+/// /activityz JSON: {"active": n, "registered": ..., "dropped": ...,
+///  "ops": [...]}.
+std::string RenderActivityz();
+
+/// Compact "kind:count" summary of every registered operation except
+/// `exclude_id` (e.g. "query:2 bulkload:1"); empty when alone. Used as
+/// slow-query context ("what else was running?").
+std::string ActiveOpsSummaryExcluding(uint64_t exclude_id);
+
+/// Raw table address/size for the crash handler's byte copy.
+const void* ActiveOpTableAddress();
+size_t ActiveOpTableBytes();
+
+/// Re-parse a byte copy of the table (from a black box produced by a
+/// crashed process). Slots mid-update at crash time (odd seq) are
+/// still reported — a torn detail string beats losing the operation
+/// that was on-CPU at the fault. `crash_unix_ns` supplies the "now"
+/// for age computation; live cpu/alloc deltas are not recoverable
+/// post-mortem and read 0.
+std::vector<ActiveOpInfo> ParseActiveOpTable(const void* data, size_t size,
+                                             int64_t crash_unix_ns);
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_ACTIVE_OPS_H_

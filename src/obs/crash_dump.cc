@@ -1,0 +1,445 @@
+#include "obs/crash_dump.h"
+
+#include <errno.h>
+#include <execinfo.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+namespace rdfdb::obs {
+
+namespace {
+
+// File layout. The header gets page 0; payload regions follow, each
+// page-aligned so a partial msync never straddles two of them.
+constexpr size_t kHeaderBytes = 4096;
+constexpr size_t kHistoryHalfBytes = 128 * 1024;
+constexpr size_t kEventsBytes = 32 * 1024;
+constexpr size_t kProfileBytes = 64 * 1024;
+constexpr size_t kOpsBytes = 16 * 1024;
+constexpr size_t kStackBytes = 16 * 1024;
+constexpr size_t kFileBytes = kHeaderBytes + 2 * kHistoryHalfBytes +
+                              kEventsBytes + kProfileBytes + kOpsBytes +
+                              kStackBytes;
+
+static_assert(kOpsBytes >= kActiveOpSlots * sizeof(ActiveOpSlot),
+              "ops region holds the whole table");
+
+// Handler state. Plain pointers set before arming, read by the
+// handler; the claim token serializes concurrent faulting threads.
+BlackBoxHeader* g_header = nullptr;
+char* g_base = nullptr;
+size_t g_size = 0;
+int g_fd = -1;
+std::atomic<int> g_crash_claimed{0};
+std::terminate_handler g_prev_terminate = nullptr;
+bool g_installed = false;
+
+// Alternate stack so a stack-overflow SIGSEGV still reaches the
+// handler. Static: nothing to allocate at crash time.
+alignas(16) char g_altstack[64 * 1024];
+
+int64_t UnixNowNs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+// Shared tail of both crash paths (signal handler and terminate
+// handler). Everything here is async-signal-safe: plain stores into
+// the mapping, primed backtrace(3), memcpy, write-path syscalls.
+void FillCrashRecord(int signo, uint64_t fault_addr, int skip_frames) {
+  BlackBoxHeader* hdr = g_header;
+  if (hdr == nullptr) return;
+  hdr->state = 1;
+  hdr->signo = signo;
+  hdr->fault_tid = static_cast<uint64_t>(::syscall(SYS_gettid));
+  hdr->crash_unix_ns = UnixNowNs();
+  hdr->fault_addr = fault_addr;
+
+  static void* frames[kBlackBoxMaxFrames];  // static: no stack growth
+  int nframes = ::backtrace(frames, kBlackBoxMaxFrames);
+  if (nframes < 0) nframes = 0;
+  const int skip = nframes > skip_frames ? skip_frames : 0;
+  hdr->nframes = static_cast<uint32_t>(nframes - skip);
+  for (int i = skip; i < nframes; ++i) {
+    hdr->frames[i - skip] = reinterpret_cast<uint64_t>(frames[i]);
+  }
+
+  // Freeze the active-operation table: who was mid-flight at the
+  // fault. Raw byte copy; the post-mortem tool re-parses the layout.
+  const size_t ops_len =
+      std::min<size_t>(hdr->ops.capacity, ActiveOpTableBytes());
+  ::memcpy(g_base + hdr->ops.offset, ActiveOpTableAddress(), ops_len);
+  hdr->ops.len = ops_len;
+
+  // Symbolized stack straight to the fd (backtrace_symbols_fd is the
+  // AS-safe sibling of backtrace_symbols — no malloc). The fd writes
+  // and the mapping are the same file, so they are coherent.
+  if (g_fd >= 0 &&
+      ::lseek(g_fd, static_cast<off_t>(hdr->stack.offset), SEEK_SET) >= 0) {
+    ::backtrace_symbols_fd(frames + skip, nframes - skip, g_fd);
+    const off_t end = ::lseek(g_fd, 0, SEEK_CUR);
+    const off_t begin = static_cast<off_t>(hdr->stack.offset);
+    if (end > begin) {
+      hdr->stack.len = std::min<uint64_t>(
+          static_cast<uint64_t>(end - begin), hdr->stack.capacity);
+    }
+  }
+
+  hdr->state = 2;  // completion marker: the dump is fully written
+  ::msync(g_base, g_size, MS_SYNC);
+}
+
+void RestoreAndRaise(int signo) {
+  struct sigaction dfl;
+  ::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  ::sigemptyset(&dfl.sa_mask);
+  ::sigaction(signo, &dfl, nullptr);
+  sigset_t unblock;
+  ::sigemptyset(&unblock);
+  ::sigaddset(&unblock, signo);
+  ::sigprocmask(SIG_UNBLOCK, &unblock, nullptr);
+  ::raise(signo);
+}
+
+void CrashSignalHandler(int signo, siginfo_t* info, void* /*uc*/) {
+  // First faulting thread wins; the rest wait for the dump and then
+  // die with the default disposition (the claim winner re-raises and
+  // kills the process anyway, so the sleep is just to stay out of the
+  // winner's way).
+  if (g_crash_claimed.exchange(1, std::memory_order_acq_rel) != 0) {
+    timespec wait{5, 0};
+    ::nanosleep(&wait, nullptr);
+    RestoreAndRaise(signo);
+    return;
+  }
+  const uint64_t fault_addr =
+      (signo == SIGSEGV || signo == SIGBUS) && info != nullptr
+          ? reinterpret_cast<uint64_t>(info->si_addr)
+          : 0;
+  // Skip the handler frame and the kernel signal trampoline so the
+  // reported stack leads with the faulting PC's frame.
+  FillCrashRecord(signo, fault_addr, /*skip_frames=*/2);
+  RestoreAndRaise(signo);
+}
+
+void CrashTerminateHandler() {
+  if (g_crash_claimed.exchange(1, std::memory_order_acq_rel) == 0) {
+    FillCrashRecord(/*signo=*/-1, /*fault_addr=*/0, /*skip_frames=*/1);
+  }
+  // abort() raises SIGABRT; our SIGABRT handler would find the crash
+  // already claimed — restore the default first so the process dies
+  // with the conventional disposition (core, if enabled).
+  struct sigaction dfl;
+  ::memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  ::sigemptyset(&dfl.sa_mask);
+  ::sigaction(SIGABRT, &dfl, nullptr);
+  std::abort();
+}
+
+void InitRegionTable(BlackBoxHeader* hdr) {
+  ::memset(hdr, 0, sizeof(*hdr));
+  ::memcpy(hdr->magic, kBlackBoxMagic, sizeof(hdr->magic));
+  hdr->version = kBlackBoxVersion;
+  uint64_t off = kHeaderBytes;
+  auto place = [&off](BlackBoxRegion* region, uint64_t capacity) {
+    region->offset = off;
+    region->capacity = capacity;
+    region->len = 0;
+    off += capacity;
+  };
+  place(&hdr->history[0], kHistoryHalfBytes);
+  place(&hdr->history[1], kHistoryHalfBytes);
+  place(&hdr->events, kEventsBytes);
+  place(&hdr->profile, kProfileBytes);
+  place(&hdr->ops, kOpsBytes);
+  place(&hdr->stack, kStackBytes);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BlackBox>> BlackBox::OpenOrCreate(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::IOError("black box open(" + path +
+                           "): " + ::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(kFileBytes)) != 0) {
+    const std::string err = ::strerror(errno);
+    ::close(fd);
+    return Status::IOError("black box ftruncate(" + path + "): " + err);
+  }
+  void* base = ::mmap(nullptr, kFileBytes, PROT_READ | PROT_WRITE,
+                      MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    const std::string err = ::strerror(errno);
+    ::close(fd);
+    return Status::IOError("black box mmap(" + path + "): " + err);
+  }
+  auto box = std::unique_ptr<BlackBox>(new BlackBox());
+  box->path_ = path;
+  box->fd_ = fd;
+  box->base_ = static_cast<char*>(base);
+  box->size_ = kFileBytes;
+  box->header_ = reinterpret_cast<BlackBoxHeader*>(base);
+  InitRegionTable(box->header_);
+  ::msync(base, kHeaderBytes, MS_ASYNC);
+  return box;
+}
+
+BlackBox::~BlackBox() {
+  if (g_header == header_) DisarmCrashHandler();
+  if (base_ != nullptr) ::munmap(base_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BlackBox::WriteRegion(BlackBoxRegion* region, std::string_view text) {
+  const size_t len = std::min<size_t>(text.size(), region->capacity);
+  ::memcpy(base_ + region->offset, text.data(), len);
+  region->len = len;
+}
+
+void BlackBox::WriteHistory(std::string_view text) {
+  const uint32_t inactive = 1u - (header_->history_active & 1u);
+  WriteRegion(&header_->history[inactive], text);
+  // Publish after the content is in place so a crash mid-write always
+  // leaves one complete snapshot behind the selector.
+  __atomic_store_n(&header_->history_active, inactive, __ATOMIC_RELEASE);
+}
+
+void BlackBox::WriteEventsTail(std::string_view text) {
+  WriteRegion(&header_->events, text);
+}
+
+void BlackBox::WriteProfile(std::string_view text) {
+  WriteRegion(&header_->profile, text);
+}
+
+void BlackBox::Sync() { ::msync(base_, size_, MS_ASYNC); }
+
+bool InstallCrashHandler(BlackBox* box) {
+  if (box == nullptr) return false;
+
+  // Prime backtrace(): its first call binds libgcc's unwinder with a
+  // one-time allocation that must not happen inside the handler
+  // (same discipline as profiler.cc).
+  void* prime[4];
+  ::backtrace(prime, 4);
+  // Prime backtrace_symbols_fd too (resolves dladdr tables lazily).
+  const int devnull = ::open("/dev/null", O_WRONLY | O_CLOEXEC);
+  if (devnull >= 0) {
+    ::backtrace_symbols_fd(prime, 1, devnull);
+    ::close(devnull);
+  }
+
+  g_header = box->mutable_header();
+  g_base = box->base();
+  g_size = box->size();
+  g_fd = box->fd();
+  g_crash_claimed.store(0, std::memory_order_release);
+
+  stack_t altstack{};
+  altstack.ss_sp = g_altstack;
+  altstack.ss_size = sizeof(g_altstack);
+  altstack.ss_flags = 0;
+  ::sigaltstack(&altstack, nullptr);
+
+  struct sigaction action;
+  ::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &CrashSignalHandler;
+  action.sa_flags = SA_SIGINFO | SA_ONSTACK;
+  ::sigemptyset(&action.sa_mask);
+  for (const int signo : {SIGSEGV, SIGBUS, SIGABRT, SIGFPE}) {
+    if (::sigaction(signo, &action, nullptr) != 0) {
+      DisarmCrashHandler();
+      return false;
+    }
+  }
+  if (!g_installed) g_prev_terminate = std::set_terminate(&CrashTerminateHandler);
+  g_installed = true;
+  return true;
+}
+
+void DisarmCrashHandler() {
+  if (g_installed) {
+    struct sigaction dfl;
+    ::memset(&dfl, 0, sizeof(dfl));
+    dfl.sa_handler = SIG_DFL;
+    ::sigemptyset(&dfl.sa_mask);
+    for (const int signo : {SIGSEGV, SIGBUS, SIGABRT, SIGFPE}) {
+      ::sigaction(signo, &dfl, nullptr);
+    }
+    std::set_terminate(g_prev_terminate);
+    g_installed = false;
+  }
+  g_header = nullptr;
+  g_base = nullptr;
+  g_size = 0;
+  g_fd = -1;
+}
+
+Result<PostMortem> ReadBlackBox(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open black box " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string data = buffer.str();
+  if (data.size() < sizeof(BlackBoxHeader)) {
+    return Status::Corruption("black box truncated: " + path);
+  }
+  BlackBoxHeader hdr;
+  ::memcpy(&hdr, data.data(), sizeof(hdr));
+  if (::memcmp(hdr.magic, kBlackBoxMagic, sizeof(hdr.magic)) != 0) {
+    return Status::Corruption("black box bad magic: " + path);
+  }
+  if (hdr.version != kBlackBoxVersion) {
+    return Status::NotSupported("black box version " +
+                                std::to_string(hdr.version));
+  }
+
+  auto region_text = [&data, &path](const BlackBoxRegion& region)
+      -> Result<std::string> {
+    if (region.len == 0) return std::string();
+    if (region.offset > data.size() || region.len > region.capacity ||
+        region.offset + region.len > data.size()) {
+      return Status::Corruption("black box region out of bounds: " + path);
+    }
+    return data.substr(region.offset, region.len);
+  };
+
+  PostMortem pm;
+  pm.complete = hdr.state == 2;
+  pm.signo = hdr.signo;
+  pm.fault_tid = hdr.fault_tid;
+  pm.crash_unix_ns = hdr.crash_unix_ns;
+  pm.fault_addr = hdr.fault_addr;
+  const uint32_t nframes =
+      std::min<uint32_t>(hdr.nframes, kBlackBoxMaxFrames);
+  pm.frames.assign(hdr.frames, hdr.frames + nframes);
+  RDFDB_ASSIGN_OR_RETURN(pm.symbolized_stack, region_text(hdr.stack));
+  RDFDB_ASSIGN_OR_RETURN(
+      pm.history_text, region_text(hdr.history[hdr.history_active & 1u]));
+  RDFDB_ASSIGN_OR_RETURN(pm.events_tail, region_text(hdr.events));
+  RDFDB_ASSIGN_OR_RETURN(pm.profile, region_text(hdr.profile));
+
+  std::string ops_raw;
+  RDFDB_ASSIGN_OR_RETURN(ops_raw, region_text(hdr.ops));
+  if (!ops_raw.empty()) {
+    pm.ops = ParseActiveOpTable(ops_raw.data(), ops_raw.size(),
+                                hdr.crash_unix_ns);
+  }
+  return pm;
+}
+
+namespace {
+
+std::string SignalName(int signo) {
+  switch (signo) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGFPE:
+      return "SIGFPE";
+    case -1:
+      return "std::terminate";
+    case 0:
+      return "none";
+  }
+  return "signal " + std::to_string(signo);
+}
+
+std::string FormatUnixNs(int64_t unix_ns) {
+  const time_t secs = static_cast<time_t>(unix_ns / 1'000'000'000);
+  tm tm_utc{};
+  ::gmtime_r(&secs, &tm_utc);
+  char buf[64];
+  ::strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_utc);
+  char out[96];
+  std::snprintf(out, sizeof(out), "%s.%03d UTC", buf,
+                static_cast<int>((unix_ns / 1'000'000) % 1000));
+  return out;
+}
+
+}  // namespace
+
+std::string RenderPostMortem(const PostMortem& pm) {
+  std::string out;
+  out += "=== rdfdb post-mortem ===\n";
+  out += "cause:      " + SignalName(pm.signo) + "\n";
+  out += "time:       " + FormatUnixNs(pm.crash_unix_ns) + "\n";
+  out += "fault tid:  " + std::to_string(pm.fault_tid) + "\n";
+  if (pm.signo == SIGSEGV || pm.signo == SIGBUS) {
+    char addr[32];
+    std::snprintf(addr, sizeof(addr), "0x%llx",
+                  static_cast<unsigned long long>(pm.fault_addr));
+    out += "fault addr: ";
+    out += addr;
+    out += "\n";
+  }
+  out += std::string("dump:       ") +
+         (pm.complete ? "complete" : "INCOMPLETE (handler interrupted)") +
+         "\n";
+
+  out += "\n--- faulting stack (" + std::to_string(pm.frames.size()) +
+         " frames) ---\n";
+  if (!pm.symbolized_stack.empty()) {
+    out += pm.symbolized_stack;
+    if (out.back() != '\n') out += '\n';
+  } else {
+    for (const uint64_t pc : pm.frames) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "  0x%llx\n",
+                    static_cast<unsigned long long>(pc));
+      out += buf;
+    }
+  }
+
+  out += "\n--- in-flight operations (" + std::to_string(pm.ops.size()) +
+         ") ---\n";
+  for (const ActiveOpInfo& op : pm.ops) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  #%llu %-11s tid=%llu age=%.3fs  ",
+                  static_cast<unsigned long long>(op.id), OpKindName(op.kind),
+                  static_cast<unsigned long long>(op.tid),
+                  static_cast<double>(op.age_ns) / 1e9);
+    out += line;
+    out += op.detail;
+    out += '\n';
+  }
+
+  if (!pm.events_tail.empty()) {
+    out += "\n--- last events ---\n";
+    out += pm.events_tail;
+    if (out.back() != '\n') out += '\n';
+  }
+  if (!pm.profile.empty()) {
+    out += "\n--- last profiler aggregate (collapsed) ---\n";
+    out += pm.profile;
+    if (out.back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rdfdb::obs

@@ -1,0 +1,160 @@
+// Crash post-mortem black box: an mmap'd file the flight recorder
+// keeps continuously up to date, so that when the process dies on
+// SIGSEGV/SIGBUS/SIGABRT/SIGFPE or std::terminate, the installed
+// handler only has async-signal-safe work left to do.
+//
+// The safety argument (DESIGN.md §15): everything expensive —
+// serializing metric history, the event-log tail, the profiler
+// aggregate — happens *before* the crash, on the recorder's sampler
+// thread, written into pre-sized regions of the mapping. The handler
+// itself does five things, all AS-safe: (1) claim the crash with an
+// atomic exchange so concurrent faulting threads don't interleave,
+// (2) record signo/tid/time/fault address into the header with plain
+// stores, (3) backtrace(3) the faulting stack into a reserved array
+// (backtrace is primed at install time, exactly like profiler.cc, so
+// it never allocates in the handler) and backtrace_symbols_fd(3) the
+// symbolized form straight to the file descriptor, (4) memcpy the raw
+// active-op table into its region, (5) set the completion marker and
+// msync(MS_SYNC). Even if msync is skipped — say the handler itself
+// faults — the dirty pages live in the page cache, which survives
+// process death; only a kernel panic or power loss loses them.
+//
+// The history region is double-buffered (two halves + an active-half
+// selector published with release ordering), so a crash landing in
+// the middle of a sampler write still leaves one complete snapshot.
+
+#ifndef RDFDB_OBS_CRASH_DUMP_H_
+#define RDFDB_OBS_CRASH_DUMP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/active_ops.h"
+
+namespace rdfdb::obs {
+
+inline constexpr char kBlackBoxMagic[8] = {'R', 'D', 'F', 'B',
+                                           'B', 'X', '0', '1'};
+inline constexpr uint32_t kBlackBoxVersion = 1;
+inline constexpr int kBlackBoxMaxFrames = 96;
+
+/// Location of one payload region inside the file. Offsets are from
+/// the start of the file; `len` is what the writer last published.
+/// Trivial (no initializers): the header is zeroed with memset and
+/// reinterpreted from raw file bytes.
+struct BlackBoxRegion {
+  uint64_t offset;
+  uint64_t capacity;
+  uint64_t len;
+};
+
+/// Page 0 of the black-box file. POD on purpose: the handler writes
+/// plain fields and a parsing process reinterprets the raw bytes.
+struct BlackBoxHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t state;  ///< 0 armed, 1 handler writing, 2 complete
+  int32_t signo;   ///< 0 none; >0 fatal signal; -1 std::terminate
+  int32_t reserved;
+  uint64_t fault_tid;
+  int64_t crash_unix_ns;
+  uint64_t fault_addr;  ///< si_addr for SIGSEGV/SIGBUS, else 0
+  uint32_t nframes;
+  uint32_t history_active;  ///< which history half is published (0/1)
+  uint64_t frames[kBlackBoxMaxFrames];  ///< raw faulting-stack PCs
+  BlackBoxRegion history[2];            ///< double-buffered text
+  BlackBoxRegion events;                ///< JSONL tail
+  BlackBoxRegion profile;               ///< collapsed profiler aggregate
+  BlackBoxRegion ops;                   ///< raw ActiveOpSlot table copy
+  BlackBoxRegion stack;                 ///< backtrace_symbols_fd output
+};
+static_assert(sizeof(BlackBoxHeader) <= 4096, "header fits page 0");
+
+/// The mmap'd black-box file. One writer (the flight recorder's
+/// sampler thread) updates the payload regions; the crash handler
+/// reads the region table and writes the header crash fields.
+class BlackBox {
+ public:
+  /// Creates (or truncates) `path`, sizes it, maps it, and writes an
+  /// armed header.
+  static Result<std::unique_ptr<BlackBox>> OpenOrCreate(
+      const std::string& path);
+
+  ~BlackBox();
+  BlackBox(const BlackBox&) = delete;
+  BlackBox& operator=(const BlackBox&) = delete;
+
+  /// Publish a new metric-history snapshot (writes the inactive half,
+  /// then flips the selector with release ordering). Truncates to the
+  /// half's capacity.
+  void WriteHistory(std::string_view text);
+  /// Publish the newest event-log JSONL tail / profiler aggregate.
+  void WriteEventsTail(std::string_view text);
+  void WriteProfile(std::string_view text);
+
+  /// Nudge dirty pages toward disk (MS_ASYNC; cheap, advisory).
+  void Sync();
+
+  const BlackBoxHeader* header() const { return header_; }
+  BlackBoxHeader* mutable_header() { return header_; }
+  char* base() { return base_; }
+  size_t size() const { return size_; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  BlackBox() = default;
+  void WriteRegion(BlackBoxRegion* region, std::string_view text);
+
+  std::string path_;
+  int fd_ = -1;
+  char* base_ = nullptr;
+  size_t size_ = 0;
+  BlackBoxHeader* header_ = nullptr;
+};
+
+/// Install the SIGSEGV/SIGBUS/SIGABRT/SIGFPE + std::terminate handler
+/// writing into `box` (not owned; must outlive the armed window —
+/// call DisarmCrashHandler before destroying it). Installs an
+/// alternate signal stack so stack-overflow SIGSEGVs still dump.
+/// Returns false if sigaction fails. Only one box can be armed per
+/// process; a second install rebinds the handler to the new box.
+bool InstallCrashHandler(BlackBox* box);
+
+/// Restore default signal dispositions and forget the box.
+void DisarmCrashHandler();
+
+/// Parsed contents of a black-box file.
+struct PostMortem {
+  bool complete = false;  ///< handler reached the completion marker
+  int signo = 0;          ///< -1 = std::terminate
+  uint64_t fault_tid = 0;
+  int64_t crash_unix_ns = 0;
+  uint64_t fault_addr = 0;
+  std::vector<uint64_t> frames;  ///< raw PCs of the faulting stack
+  std::string symbolized_stack;  ///< backtrace_symbols_fd lines
+  std::vector<ActiveOpInfo> ops;
+  std::string history_text;  ///< flight-recorder history (text format)
+  std::string events_tail;   ///< JSONL
+  std::string profile;       ///< collapsed profiler aggregate
+};
+
+/// Read and validate a black-box file written by a (possibly crashed)
+/// process.
+Result<PostMortem> ReadBlackBox(const std::string& path);
+
+/// Human-readable report: signal, time, faulting stack, in-flight
+/// operations, event tail, profile summary. (Metric sparklines are
+/// layered on by tools/rdfdb_postmortem via the flight recorder's
+/// history parser.)
+std::string RenderPostMortem(const PostMortem& pm);
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_CRASH_DUMP_H_

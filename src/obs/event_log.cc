@@ -115,9 +115,19 @@ void EventLog::DrainLoop() {
       }
     }
     std::string chunk;
-    for (const Event& event : batch) chunk += RenderJsonl(event);
+    std::vector<std::string> lines;
+    lines.reserve(batch.size());
+    for (const Event& event : batch) {
+      lines.push_back(RenderJsonl(event));
+      chunk += lines.back();
+    }
     out_->write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
     out_->flush();
+    if (options_.retain_tail > 0) {
+      std::lock_guard<std::mutex> lock(tail_mu_);
+      for (std::string& line : lines) tail_.push_back(std::move(line));
+      while (tail_.size() > options_.retain_tail) tail_.pop_front();
+    }
     {
       // Publish under mu_: Flush() checks the counter with mu_ held, so
       // the lock both prevents a lost wakeup (increment between a
@@ -129,6 +139,13 @@ void EventLog::DrainLoop() {
     }
     flush_cv_.notify_all();
   }
+}
+
+std::string EventLog::TailJsonl() const {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  std::string out;
+  for (const std::string& line : tail_) out += line;
+  return out;
 }
 
 void LogErrorEvent(EventLog* log, const char* where, const Status& status) {

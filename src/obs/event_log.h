@@ -16,6 +16,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,8 @@ class EventLog {
     std::ostream* sink = nullptr;  ///< test hook: drain here instead of
                                    ///< the file (not owned; must outlive
                                    ///< the log)
+    size_t retain_tail = 64;  ///< newest rendered lines kept in memory
+                              ///< for TailJsonl (0 disables)
   };
 
   /// Opens the sink and starts the drainer thread.
@@ -104,6 +107,12 @@ class EventLog {
   /// Microseconds since the log was opened (the events' time base).
   int64_t NowUs() const;
 
+  /// The newest `Options::retain_tail` rendered JSONL lines,
+  /// concatenated oldest-first. Maintained by the drainer, so it
+  /// trails Append by one drain cycle; the flight recorder mirrors it
+  /// into the crash black box every sample.
+  std::string TailJsonl() const;
+
  private:
   explicit EventLog(Options options);
 
@@ -126,6 +135,11 @@ class EventLog {
   std::atomic<uint64_t> appended_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> written_{0};
+
+  // Retained tail of rendered lines. Its own mutex so TailJsonl
+  // readers never contend with producers on mu_.
+  mutable std::mutex tail_mu_;
+  std::deque<std::string> tail_;  // guarded by tail_mu_; newest last
 
   std::thread drainer_;  ///< started last, joined in the destructor
 };

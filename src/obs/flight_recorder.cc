@@ -1,0 +1,341 @@
+#include "obs/flight_recorder.h"
+
+#include <time.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "obs/active_ops.h"
+#include "obs/profiler.h"
+
+namespace rdfdb::obs {
+
+namespace {
+
+int64_t UnixNowMs() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+std::string FormatValue(double v) {
+  if (std::isnan(v)) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Union of series names across the ring (a series that appears
+/// mid-ring still gets a full-length row, padded with missing points).
+std::set<std::string> SeriesNames(const std::deque<HistoryPoint>& ring) {
+  std::set<std::string> names;
+  for (const HistoryPoint& point : ring) {
+    for (const auto& [name, value] : point.series) names.insert(name);
+  }
+  return names;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<FlightRecorder>> FlightRecorder::Start(
+    Options options) {
+  if (options.registry == nullptr) {
+    return Status::InvalidArgument("FlightRecorder needs a registry");
+  }
+  if (options.sample_interval_ms <= 0) {
+    return Status::InvalidArgument("sample_interval_ms must be positive");
+  }
+  if (options.history_capacity == 0) {
+    return Status::InvalidArgument("history_capacity must be positive");
+  }
+  auto recorder =
+      std::unique_ptr<FlightRecorder>(new FlightRecorder(std::move(options)));
+  if (!recorder->options_.black_box_path.empty()) {
+    RDFDB_ASSIGN_OR_RETURN(
+        recorder->black_box_,
+        BlackBox::OpenOrCreate(recorder->options_.black_box_path));
+  }
+  recorder->samples_metric_ = recorder->options_.registry->RegisterCounter(
+      "rdfdb_flight_samples_total",
+      "History points captured by the flight recorder");
+  // Baseline snapshot: the first real sample computes rates against it.
+  recorder->prev_ = TakeMetricsSnapshot(*recorder->options_.registry);
+  if (recorder->options_.events != nullptr) {
+    recorder->prev_events_appended_ = recorder->options_.events->appended();
+    recorder->prev_events_dropped_ = recorder->options_.events->dropped();
+  }
+  recorder->sampler_ = std::thread(&FlightRecorder::SamplerLoop,
+                                   recorder.get());
+  return recorder;
+}
+
+FlightRecorder::~FlightRecorder() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void FlightRecorder::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_) {
+    if (stop_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.sample_interval_ms),
+            [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+void FlightRecorder::SampleNow() {
+  std::lock_guard<std::mutex> lock(sample_mu_);
+  SampleLocked();
+}
+
+void FlightRecorder::SampleLocked() {
+  if (options_.refresh) options_.refresh();
+  MetricsSnapshot cur = TakeMetricsSnapshot(*options_.registry);
+
+  HistoryPoint point;
+  point.unix_ms = UnixNowMs();
+  double interval_s =
+      static_cast<double>(cur.ts_ns - prev_.ts_ns) / 1e9;
+  if (interval_s <= 0) {
+    interval_s = static_cast<double>(options_.sample_interval_ms) / 1e3;
+  }
+  point.interval_s = interval_s;
+
+  for (const auto& [name, sample] : cur.samples) {
+    switch (sample.kind) {
+      case MetricsRegistry::Kind::kCounter:
+        point.series[name + ".rate"] = CounterRate(prev_, cur, name);
+        break;
+      case MetricsRegistry::Kind::kGauge:
+        point.series[name] = static_cast<double>(sample.value);
+        break;
+      case MetricsRegistry::Kind::kHistogram:
+        point.series[name + ".p50"] = IntervalQuantile(prev_, cur, name, 0.5);
+        point.series[name + ".p95"] =
+            IntervalQuantile(prev_, cur, name, 0.95);
+        point.series[name + ".p99"] =
+            IntervalQuantile(prev_, cur, name, 0.99);
+        point.series[name + ".rate"] =
+            static_cast<double>(IntervalCount(prev_, cur, name)) / interval_s;
+        break;
+    }
+  }
+
+  // Synthetic series: sources outside the registry that the flight
+  // recorder is the one consumer of.
+  point.series["rdfdb_active_ops"] =
+      static_cast<double>(ActiveOpCount());
+  if (options_.events != nullptr) {
+    const uint64_t appended = options_.events->appended();
+    const uint64_t dropped = options_.events->dropped();
+    point.series["rdfdb_event_log_appended_total.rate"] =
+        static_cast<double>(appended - prev_events_appended_) / interval_s;
+    point.series["rdfdb_event_log_dropped_total.rate"] =
+        static_cast<double>(dropped - prev_events_dropped_) / interval_s;
+    prev_events_appended_ = appended;
+    prev_events_dropped_ = dropped;
+  }
+
+  prev_ = std::move(cur);
+  samples_metric_->Inc();
+  samples_.fetch_add(1, std::memory_order_relaxed);
+  ++ticks_;
+
+  std::string history_text;
+  {
+    std::lock_guard<std::mutex> ring_lock(ring_mu_);
+    ring_.push_back(std::move(point));
+    while (ring_.size() > options_.history_capacity) ring_.pop_front();
+    if (black_box_ != nullptr) history_text = RenderHistoryTextLocked();
+  }
+
+  if (black_box_ != nullptr) {
+    black_box_->WriteHistory(history_text);
+    if (options_.events != nullptr) {
+      black_box_->WriteEventsTail(options_.events->TailJsonl());
+    }
+    if (options_.profile_every != 0 &&
+        ticks_ % options_.profile_every == 1 && ProfilerRunning()) {
+      black_box_->WriteProfile(CollapsedProfile());
+    }
+    black_box_->Sync();
+  }
+}
+
+std::vector<HistoryPoint> FlightRecorder::History() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return std::vector<HistoryPoint>(ring_.begin(), ring_.end());
+}
+
+std::string FlightRecorder::RenderHistoryJson() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  std::string out = "{\n \"interval_ms\": ";
+  out += std::to_string(options_.sample_interval_ms);
+  out += ",\n \"points\": " + std::to_string(ring_.size());
+  out += ",\n \"t_unix_ms\": [";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(ring_[i].unix_ms);
+  }
+  out += "],\n \"series\": {";
+  const std::set<std::string> names = SeriesNames(ring_);
+  bool first_series = true;
+  for (const std::string& name : names) {
+    out += first_series ? "\n  \"" : ",\n  \"";
+    first_series = false;
+    out += name;
+    out += "\": [";
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      if (i != 0) out += ", ";
+      const auto it = ring_[i].series.find(name);
+      out += it == ring_[i].series.end() ? "null" : FormatValue(it->second);
+    }
+    out += "]";
+  }
+  out += "\n }\n}\n";
+  return out;
+}
+
+std::string FlightRecorder::RenderHistoryTextLocked() const {
+  std::string out = "flight_history v1\ninterval_ms ";
+  out += std::to_string(options_.sample_interval_ms);
+  out += "\npoints " + std::to_string(ring_.size());
+  out += "\nt_unix_ms";
+  for (const HistoryPoint& point : ring_) {
+    out += ' ';
+    out += std::to_string(point.unix_ms);
+  }
+  out += '\n';
+  for (const std::string& name : SeriesNames(ring_)) {
+    out += name;
+    for (const HistoryPoint& point : ring_) {
+      out += ' ';
+      const auto it = point.series.find(name);
+      out += it == point.series.end()
+                 ? "-"
+                 : FormatValue(it->second);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FlightRecorder::RenderHistoryText() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return RenderHistoryTextLocked();
+}
+
+Result<ParsedHistory> ParseHistoryText(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  if (!std::getline(in, line) || line != "flight_history v1") {
+    return Status::Corruption("history: bad header line");
+  }
+  ParsedHistory out;
+  size_t points = 0;
+  {
+    std::string key;
+    if (!std::getline(in, line)) {
+      return Status::Corruption("history: missing interval_ms");
+    }
+    std::istringstream fields(line);
+    if (!(fields >> key >> out.interval_ms) || key != "interval_ms") {
+      return Status::Corruption("history: bad interval_ms line");
+    }
+    if (!std::getline(in, line)) {
+      return Status::Corruption("history: missing points");
+    }
+    std::istringstream points_fields(line);
+    if (!(points_fields >> key >> points) || key != "points") {
+      return Status::Corruption("history: bad points line");
+    }
+    if (!std::getline(in, line)) {
+      return Status::Corruption("history: missing t_unix_ms");
+    }
+    std::istringstream ts_fields(line);
+    if (!(ts_fields >> key) || key != "t_unix_ms") {
+      return Status::Corruption("history: bad t_unix_ms line");
+    }
+    int64_t t = 0;
+    while (ts_fields >> t) out.t_unix_ms.push_back(t);
+    if (out.t_unix_ms.size() != points) {
+      return Status::Corruption("history: timestamp count mismatch");
+    }
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name;
+    std::vector<double> values;
+    values.reserve(points);
+    std::string token;
+    while (fields >> token) {
+      if (token == "-") {
+        values.push_back(std::nan(""));
+      } else {
+        try {
+          values.push_back(std::stod(token));
+        } catch (...) {
+          return Status::Corruption("history: bad value in series " + name);
+        }
+      }
+    }
+    if (values.size() != points) {
+      return Status::Corruption("history: value count mismatch in series " +
+                                name);
+    }
+    out.series[name] = std::move(values);
+  }
+  return out;
+}
+
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* kLevels[8] = {"▁", "▂", "▃", "▄",
+                                   "▅", "▆", "▇", "█"};
+  double lo = 0, hi = 0;
+  bool seeded = false;
+  for (const double v : values) {
+    if (std::isnan(v)) continue;
+    if (!seeded) {
+      lo = hi = v;
+      seeded = true;
+    } else {
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+  }
+  std::string out;
+  for (const double v : values) {
+    if (std::isnan(v)) {
+      out += ' ';
+      continue;
+    }
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>((v - lo) / (hi - lo) * 7.0 + 0.5);
+      if (level < 0) level = 0;
+      if (level > 7) level = 7;
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace rdfdb::obs

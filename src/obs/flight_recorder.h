@@ -1,0 +1,165 @@
+// Flight recorder: the store's "what happened just before?" surface.
+//
+// A background sampler snapshots the metrics registry every N ms
+// (default 1 s) through the existing MetricsSnapshot machinery and
+// reduces each interval to a flat map of named series — counters as
+// per-second rates, gauges raw, histograms as per-interval p50/p95/p99
+// plus an observation rate — into a fixed-size history ring (default
+// 120 points, so the default configuration always covers the last two
+// minutes). /historyz renders the ring as JSON; `rdfdb_top --history`
+// renders sparklines; and every tick the ring (plus the event-log tail
+// and, periodically, the profiler aggregate) is re-serialized into the
+// crash black box (crash_dump.h), which is what makes the post-mortem
+// story work: the expensive serialization happens on this thread,
+// before any crash.
+//
+// Synthetic series beyond the registry: `rdfdb_active_ops` (the
+// active-operation registry's live count) and, when an EventLog is
+// attached, `rdfdb_event_log_appended_total.rate` /
+// `rdfdb_event_log_dropped_total.rate` — the PR 7 degraded-health
+// signals (`rdfdb_version_retention_age_seconds`, event-log drops)
+// therefore land in the ring automatically and a /healthz 503 can be
+// explained retroactively from /historyz.
+
+#ifndef RDFDB_OBS_FLIGHT_RECORDER_H_
+#define RDFDB_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/crash_dump.h"
+#include "obs/event_log.h"
+#include "obs/metrics_snapshot.h"
+
+namespace rdfdb::obs {
+
+/// Defaults chosen so that a recorder left at its defaults always has
+/// ≥30 s of history (120 points × 1 s = 2 minutes).
+inline constexpr int64_t kDefaultSampleIntervalMs = 1000;
+inline constexpr size_t kDefaultHistoryCapacity = 120;
+
+/// One sampled interval: timestamp, actual interval length, and the
+/// flat series map described above.
+struct HistoryPoint {
+  int64_t unix_ms = 0;    ///< wall-clock time at capture
+  double interval_s = 0;  ///< measured distance to the previous sample
+  std::map<std::string, double> series;
+};
+
+/// History ring in the portable text format stored in the black box
+/// (and re-parsed by rdfdb_postmortem / the sparkline renderers).
+struct ParsedHistory {
+  int64_t interval_ms = 0;
+  std::vector<int64_t> t_unix_ms;
+  /// Missing points (series appeared mid-ring) are NaN.
+  std::map<std::string, std::vector<double>> series;
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Required. Must outlive the recorder. Non-const: the recorder
+    /// registers its own `rdfdb_flight_samples_total` counter.
+    MetricsRegistry* registry = nullptr;
+    /// Optional event log whose tail is mirrored into the black box
+    /// and whose append/drop rates become synthetic series.
+    const EventLog* events = nullptr;
+    /// Optional pre-sample hook (UpdateMemoryGauges and friends) so
+    /// sampled gauges are fresh.
+    std::function<void()> refresh;
+    int64_t sample_interval_ms = kDefaultSampleIntervalMs;
+    size_t history_capacity = kDefaultHistoryCapacity;
+    /// When non-empty, maintain a crash black box at this path (the
+    /// caller still decides whether to InstallCrashHandler on it).
+    std::string black_box_path;
+    /// Refresh the black box's profiler-aggregate region every this
+    /// many ticks (symbolization is the one non-cheap step).
+    size_t profile_every = 10;
+  };
+
+  /// Validates options, opens the black box (if requested), takes the
+  /// baseline snapshot, and starts the sampler thread.
+  static Result<std::unique_ptr<FlightRecorder>> Start(Options options);
+
+  /// Stops the sampler thread.
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Take one sample immediately (test hook; also usable to force a
+  /// fresh point before rendering). Thread-safe.
+  void SampleNow();
+
+  /// Copy of the ring, oldest first.
+  std::vector<HistoryPoint> History() const;
+
+  /// /historyz payload: {"interval_ms":…, "points":…, "t_unix_ms":[…],
+  ///  "series":{"name":[…]}} with null for missing points.
+  std::string RenderHistoryJson() const;
+
+  /// The text format stored in the black box (see ParseHistoryText).
+  std::string RenderHistoryText() const;
+
+  uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  int64_t sample_interval_ms() const {
+    return options_.sample_interval_ms;
+  }
+  /// Null unless Options::black_box_path was set.
+  BlackBox* black_box() { return black_box_.get(); }
+
+ private:
+  explicit FlightRecorder(Options options);
+
+  void SamplerLoop();
+  void SampleLocked();  // caller holds sample_mu_
+  std::string RenderHistoryTextLocked() const;  // caller holds ring_mu_
+
+  Options options_;
+  std::unique_ptr<BlackBox> black_box_;
+
+  // Serializes SampleNow against the sampler thread; holds the
+  // previous snapshot (the rate baseline).
+  std::mutex sample_mu_;
+  MetricsSnapshot prev_;
+  uint64_t prev_events_appended_ = 0;
+  uint64_t prev_events_dropped_ = 0;
+  size_t ticks_ = 0;
+
+  mutable std::mutex ring_mu_;
+  std::deque<HistoryPoint> ring_;
+
+  Counter* samples_metric_ = nullptr;
+  std::atomic<uint64_t> samples_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread sampler_;  // started last, joined in the destructor
+};
+
+/// Parse the text-format history (strict; Corruption on malformed
+/// input — the black box may hold a torn write if the process died
+/// between the double-buffer flip and msync, and callers must know).
+Result<ParsedHistory> ParseHistoryText(std::string_view text);
+
+/// Unicode sparkline (▁▂▃▄▅▆▇█) scaled to the series' own min/max;
+/// NaN renders as a space. Empty input yields an empty string.
+std::string Sparkline(const std::vector<double>& values);
+
+}  // namespace rdfdb::obs
+
+#endif  // RDFDB_OBS_FLIGHT_RECORDER_H_

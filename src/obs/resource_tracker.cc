@@ -22,21 +22,46 @@ std::atomic<uint64_t> g_live_bytes{0};
 std::atomic<uint64_t> g_allocations{0};
 std::atomic<uint64_t> g_frees{0};
 
-// Per-thread monotonic totals. Plain (non-atomic) because only the
-// owning thread writes or reads them; zero-initialized PODs so
-// first-touch during thread start-up performs no dynamic init.
-struct ThreadCounters {
-  uint64_t bytes = 0;
-  uint64_t count = 0;
-};
-thread_local ThreadCounters tl_counters;
+// Per-thread monotonic totals, kept in leaked pool blocks so any
+// thread can read any other thread's totals at any time (the
+// active-operation registry renders live per-op allocation deltas from
+// these pointers — see resource_tracker.h). Only the owning thread
+// writes, with relaxed load+store pairs (no RMW), so the hot path costs
+// the same as the plain thread-local adds it replaces; the one branch
+// (first-use block acquisition) is perfectly predicted afterwards. The
+// pool itself is constant-initialized: the hooks are safe from the very
+// first allocation, including allocations during static init.
+constexpr size_t kThreadBlockPool = 4096;
+ThreadCounterBlock g_thread_blocks[kThreadBlockPool];
+ThreadCounterBlock g_overflow_block;  // shared past pool exhaustion
+std::atomic<size_t> g_thread_blocks_used{0};
+
+thread_local ThreadCounterBlock* tl_block = nullptr;
+
+ThreadCounterBlock* AcquireThreadBlock() {
+  const size_t i = g_thread_blocks_used.fetch_add(1,
+                                                  std::memory_order_relaxed);
+  return i < kThreadBlockPool ? &g_thread_blocks[i] : &g_overflow_block;
+}
+
+inline ThreadCounterBlock& ThreadBlock() {
+  ThreadCounterBlock* block = tl_block;
+  if (block == nullptr) block = tl_block = AcquireThreadBlock();
+  return *block;
+}
 
 inline void NoteAlloc(void* ptr) {
   const size_t usable = ::malloc_usable_size(ptr);
   g_live_bytes.fetch_add(usable, std::memory_order_relaxed);
   g_allocations.fetch_add(1, std::memory_order_relaxed);
-  tl_counters.bytes += usable;
-  ++tl_counters.count;
+  ThreadCounterBlock& block = ThreadBlock();
+  // Owner-only writes: load+store instead of fetch_add keeps this a
+  // plain add on x86 (threads sharing the overflow block may lose
+  // updates — approximate attribution there, by design).
+  block.bytes.store(block.bytes.load(std::memory_order_relaxed) + usable,
+                    std::memory_order_relaxed);
+  block.count.store(block.count.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
 }
 
 inline void NoteFree(void* ptr) {
@@ -104,8 +129,14 @@ uint64_t TrackedAllocations() {
 }
 uint64_t TrackedFrees() { return g_frees.load(std::memory_order_relaxed); }
 
-uint64_t ThreadAllocatedBytes() { return tl_counters.bytes; }
-uint64_t ThreadAllocationCount() { return tl_counters.count; }
+uint64_t ThreadAllocatedBytes() {
+  return ThreadBlock().bytes.load(std::memory_order_relaxed);
+}
+uint64_t ThreadAllocationCount() {
+  return ThreadBlock().count.load(std::memory_order_relaxed);
+}
+
+const ThreadCounterBlock* ThisThreadCounters() { return &ThreadBlock(); }
 
 int64_t ThreadCpuNanos() {
   timespec ts{};
@@ -116,15 +147,15 @@ int64_t ThreadCpuNanos() {
 ResourceScope::ResourceScope(const char* label, ResourceUsage* sink)
     : label_(label),
       sink_(sink),
-      start_bytes_(tl_counters.bytes),
-      start_allocs_(tl_counters.count),
+      start_bytes_(ThreadAllocatedBytes()),
+      start_allocs_(ThreadAllocationCount()),
       start_cpu_ns_(ThreadCpuNanos()) {}
 
 ResourceUsage ResourceScope::Usage() const {
   ResourceUsage usage;
   usage.cpu_ns = ThreadCpuNanos() - start_cpu_ns_;
-  usage.bytes_allocated = tl_counters.bytes - start_bytes_;
-  usage.allocations = tl_counters.count - start_allocs_;
+  usage.bytes_allocated = ThreadAllocatedBytes() - start_bytes_;
+  usage.allocations = ThreadAllocationCount() - start_allocs_;
   return usage;
 }
 

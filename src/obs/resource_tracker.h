@@ -30,6 +30,7 @@
 #ifndef RDFDB_OBS_RESOURCE_TRACKER_H_
 #define RDFDB_OBS_RESOURCE_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -50,6 +51,24 @@ uint64_t TrackedFrees();
 /// Calling thread's monotonic allocation totals since thread start.
 uint64_t ThreadAllocatedBytes();
 uint64_t ThreadAllocationCount();
+
+/// One thread's monotonic allocation counters, published for safe
+/// cross-thread observation. Blocks come from a static pool and are
+/// NEVER freed or recycled, so a pointer obtained from any thread stays
+/// dereferenceable for the remainder of the process — this is what lets
+/// the active-operation registry (obs/active_ops.h) render live
+/// per-operation allocation deltas without racing thread exit. Only the
+/// owning thread writes (relaxed store; no RMW on the hot path), any
+/// thread may read (relaxed load).
+struct ThreadCounterBlock {
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> count{0};
+};
+
+/// The calling thread's counter block (allocated from the pool on first
+/// use; when the pool is exhausted threads share one overflow block and
+/// per-thread attribution degrades to approximate, never unsafe).
+const ThreadCounterBlock* ThisThreadCounters();
 
 /// Calling thread's CPU time (CLOCK_THREAD_CPUTIME_ID), nanoseconds.
 int64_t ThreadCpuNanos();

@@ -50,7 +50,11 @@ std::string SlowQueryLog::ToString() const {
                   static_cast<double>(entry.trace.cpu_ns) / 1e6,
                   static_cast<unsigned long long>(entry.trace.bytes_allocated),
                   entry.rows, entry.models.c_str());
-    out << head << entry.query << "\n";
+    out << head << entry.query;
+    if (entry.concurrent_ops > 0) {
+      out << "  (concurrent: " << entry.concurrent << ")";
+    }
+    out << "\n";
     // Indent the trace under its header line.
     std::istringstream trace(entry.trace.ToString());
     std::string line;
@@ -80,7 +84,10 @@ std::string SlowQueryLog::ToJson() const {
            ", \"bytes_allocated\": " +
            std::to_string(entry.trace.bytes_allocated) +
            ", \"allocations\": " + std::to_string(entry.trace.allocations) +
-           "}";
+           ", \"concurrent_ops\": " + std::to_string(entry.concurrent_ops) +
+           ", \"concurrent\": ";
+    AppendJsonString(entry.concurrent, &out);
+    out += "}";
   }
   out += "\n]\n";
   return out;

@@ -34,6 +34,12 @@ class SlowQueryLog {
     size_t rows = 0;      ///< result rows returned
     int64_t total_ns = 0; ///< end-to-end latency
     QueryTrace trace;     ///< the full EXPLAIN ANALYZE payload
+    /// What else was in flight when the query finished: a compact
+    /// "kind:count" summary from the active-operation registry (empty
+    /// when the query ran alone). "Was the store busy?" is the first
+    /// question a slow-query investigation asks.
+    std::string concurrent;
+    size_t concurrent_ops = 0;  ///< total concurrent operations
   };
 
   /// Retains the `capacity` most recent queries at or over

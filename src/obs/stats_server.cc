@@ -2,13 +2,16 @@
 
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/active_ops.h"
 #include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/profiler.h"
 #include "obs/resource_tracker.h"
 #include "obs/slow_query_log.h"
@@ -110,17 +113,36 @@ bool StatsServer::ServeOne() {
     return false;
   }
 
+  // Per-connection I/O deadlines: the serve loop is single-threaded,
+  // so a client that connects and then stalls (or reads its response
+  // one byte a week) must time out rather than block every other
+  // scraper behind it.
+  if (sources_.io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = sources_.io_timeout_ms / 1000;
+    tv.tv_usec = (sources_.io_timeout_ms % 1000) * 1000;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+
   // Read the request head (first line is all we route on).
   std::string request;
+  bool timed_out = false;
   char buf[2048];
   while (request.find("\r\n") == std::string::npos &&
          request.size() < 16 * 1024) {
     const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      timed_out = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
       break;
     }
     request.append(buf, static_cast<size_t>(n));
+  }
+  if (timed_out && request.find("\r\n") == std::string::npos) {
+    // Stalled client: drop it without a response and move on.
+    ::close(conn);
+    return !stopping_.load(std::memory_order_relaxed);
   }
 
   Response resp;
@@ -249,6 +271,16 @@ StatsServer::Response StatsServer::Handle(const std::string& target) {
     resp.body = RenderAllocz();
     return resp;
   }
+  if (path == "/activityz") {
+    resp.content_type = "application/json";
+    resp.body = RenderActivityz();
+    return resp;
+  }
+  if (path == "/historyz" && sources_.recorder != nullptr) {
+    resp.content_type = "application/json";
+    resp.body = sources_.recorder->RenderHistoryJson();
+    return resp;
+  }
   if (path == "/varz" || path == "/") {
     const double uptime =
         std::chrono::duration_cast<std::chrono::duration<double>>(
@@ -295,7 +327,7 @@ StatsServer::Response StatsServer::Handle(const std::string& target) {
   resp.content_type = "text/plain; charset=utf-8";
   resp.body = "not found: " + path +
               "\nendpoints: /metrics /varz /healthz /slow /timeline "
-              "/profilez /allocz\n";
+              "/profilez /allocz /activityz /historyz\n";
   return resp;
 }
 

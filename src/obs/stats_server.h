@@ -16,9 +16,16 @@
 //                  100 Hz, return flamegraph collapsed stacks
 //   GET /allocz    JSON: live heap bytes + per-scope-label allocation
 //                  and CPU attribution (obs/resource_tracker.h)
+//   GET /activityz JSON: the active-operation table — every in-flight
+//                  query/load/checkpoint with live cpu/alloc deltas
+//                  (obs/active_ops.h)
+//   GET /historyz  JSON: the flight recorder's metric history ring
+//                  (404 when no recorder is attached)
 //
 // One request per connection, response closes the socket — the server
-// is an operator peephole, not a web framework. `Handle()` is public so
+// is an operator peephole, not a web framework. Accepted connections
+// carry SO_RCVTIMEO/SO_SNDTIMEO (Sources::io_timeout_ms) so a stalled
+// client times out instead of wedging the loop. `Handle()` is public so
 // tests (and the in-process tools) can exercise routing without
 // sockets; it accepts the raw request target, query string included.
 
@@ -41,6 +48,7 @@ namespace rdfdb::obs {
 class SlowQueryLog;
 class Timeline;
 class EventLog;
+class FlightRecorder;
 
 class StatsServer {
  public:
@@ -59,6 +67,12 @@ class StatsServer {
     /// /healthz degradation thresholds (<= 0 disables the check).
     double unhealthy_retention_age_seconds = 60.0;
     int64_t unhealthy_epoch_lag = 1024;
+    /// Optional flight recorder backing /historyz (404 when absent).
+    const FlightRecorder* recorder = nullptr;
+    /// Per-connection SO_RCVTIMEO/SO_SNDTIMEO on accepted sockets, so
+    /// a stalled client can't wedge the single-threaded scrape loop
+    /// (<= 0 disables — tests only).
+    int io_timeout_ms = 5000;
   };
 
   struct Response {

@@ -131,6 +131,10 @@ StoreMetrics::StoreMetrics(MetricsRegistry* reg) : registry(reg) {
   mem_tracked_heap_bytes = reg->RegisterGauge(
       "rdfdb_mem_tracked_heap_bytes",
       "process-wide live heap bytes tracked by the allocator hooks");
+
+  active_operations = reg->RegisterGauge(
+      "rdfdb_active_operations",
+      "operations currently registered in the active-op table");
 }
 
 }  // namespace rdfdb::obs

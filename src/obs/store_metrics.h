@@ -84,6 +84,11 @@ struct StoreMetrics {
   Gauge* mem_term_dict_bytes;       ///< lock-free term dictionary spine
   Gauge* mem_retired_version_bytes; ///< exclusive bytes held by retired versions
   Gauge* mem_tracked_heap_bytes;    ///< process-wide live heap (allocator hooks)
+
+  // Active-operation registry (obs/active_ops.h). Refreshed by
+  // UpdateMemoryGauges so the flight recorder's registry snapshots and
+  // /metrics scrapes both carry the in-flight count.
+  Gauge* active_operations;  ///< currently registered operations
 };
 
 }  // namespace rdfdb::obs

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "obs/active_ops.h"
 #include "obs/resource_tracker.h"
 #include "obs/trace.h"
 #include "query/rules_index.h"
@@ -414,6 +415,8 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
     // allocation counters, merged on the consumer (below) so per-query
     // attribution covers worker threads, not just the calling thread.
     obs::ResourceScope chunk_scope("exec_chunk");
+    obs::ActiveOpGuard active_op(obs::OpKind::kExecWorker,
+                                 "chunk " + std::to_string(k));
     ChunkOut out{{}, 0, ExecCounters(plan.steps.size()), worker, 0};
     std::vector<ValueId> slots(std::max<size_t>(nslots, 1), 0);
     StepRunner runner(store, plan, source, leaf, &out.counters, &cancel);

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/timer.h"
+#include "obs/active_ops.h"
 #include "obs/resource_tracker.h"
 #include "obs/store_metrics.h"
 #include "query/exec.h"
@@ -92,6 +93,9 @@ Result<MatchResult> MatchImpl(const rdf::StoreView& store,
   // deltas; parallel workers contribute their own chunk-scope deltas
   // via the trace (query/exec.cc flush_workers).
   obs::ResourceScope query_scope("query");
+  // /activityz registration: the pattern text is the op detail, so a
+  // stuck or crashed query is identifiable from the slot table alone.
+  obs::ActiveOpGuard active_op(obs::OpKind::kQuery, query);
   obs::StoreMetrics* metrics = store.metrics();
   obs::TimelineScope query_span(store.timeline(), "query", "query",
                                 /*lane=*/0);
@@ -302,6 +306,10 @@ Result<MatchResult> MatchImpl(const rdf::StoreView& store,
     entry.rows = rows.size();
     entry.total_ns = trace->total_ns;
     entry.trace = *trace;
+    entry.concurrent = obs::ActiveOpsSummaryExcluding(active_op.id());
+    const size_t active_now = obs::ActiveOpCount();
+    entry.concurrent_ops =
+        active_now - (active_op.registered() && active_now > 0 ? 1 : 0);
     slow_log->Record(std::move(entry));
   }
   return result;

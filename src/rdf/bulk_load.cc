@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/active_ops.h"
 #include "obs/resource_tracker.h"
 #include "obs/store_metrics.h"
 #include "rdf/canonical.h"
@@ -320,6 +321,9 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
                                ApplicationTable* table,
                                const BulkLoadOptions& options) {
   RDFDB_ASSIGN_OR_RETURN(ModelId model_id, store->GetModelId(model_name));
+  obs::ActiveOpGuard active_op(
+      obs::OpKind::kBulkLoad,
+      model_name + " (" + std::to_string(statements.size()) + " stmts)");
   Timer total;
   const size_t batch = std::max<size_t>(1, options.batch_size);
   const size_t chunk_count = (statements.size() + batch - 1) / batch;

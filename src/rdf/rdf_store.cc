@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/timer.h"
+#include "obs/active_ops.h"
 #include "obs/resource_tracker.h"
 #include "rdf/canonical.h"
 #include "rdf/reification.h"
@@ -492,6 +493,8 @@ void RdfStore::UpdateMemoryGauges() const {
       static_cast<int64_t>(breakdown.quad_cache_bytes));
   metrics_->mem_tracked_heap_bytes->Set(
       static_cast<int64_t>(breakdown.tracked_heap_bytes));
+  metrics_->active_operations->Set(
+      static_cast<int64_t>(obs::ActiveOpCount()));
 }
 
 Status RdfStore::Save(const std::string& path, storage::Env* env) const {

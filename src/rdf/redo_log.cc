@@ -10,6 +10,7 @@
 #include "common/crc32c.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/active_ops.h"
 #include "obs/store_metrics.h"
 #include "storage/snapshot.h"
 
@@ -375,6 +376,7 @@ Result<ReplayStats> ReplayRedoLog(const std::string& path, RdfStore* store,
   Timer replay_timer;
   obs::TimelineScope replay_span(store->timeline(), "redo_replay", "replay",
                                  /*lane=*/0, path);
+  obs::ActiveOpGuard active_op(obs::OpKind::kReplay, path);
   ReplayStats stats;
 
   auto apply = [&](const RawRecord& rec) -> Status {
@@ -762,6 +764,7 @@ Result<SdoRdfTripleS> LoggedRdfStore::AssertImplied(
 }
 
 Status LoggedRdfStore::Checkpoint() {
+  obs::ActiveOpGuard active_op(obs::OpKind::kCheckpoint, snapshot_path_);
   // 1. Snapshot the current state into the next generation (atomic:
   //    SaveSnapshotToFile writes tmp + fsync + rename + dir fsync).
   const uint64_t next_gen = generation_ + 1;

@@ -1,0 +1,224 @@
+// Fork-based death tests for the crash black box: a child process
+// installs the crash handler, gets itself into a realistic mid-flight
+// state (loaded store, a query thread registered in the active-op
+// table, flight recorder sampling into the box), then dies on a real
+// signal. The parent validates both the process disposition (the
+// handler must re-raise, so the child dies of the original signal) and
+// the dump a debugger-less operator would read with rdfdb_postmortem.
+
+#include "obs/crash_dump.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "obs/active_ops.h"
+#include "obs/flight_recorder.h"
+#include "query/match.h"
+#include "rdf/rdf_store.h"
+
+// The sanitizers install their own SEGV/ABRT machinery and intercept
+// allocation inside signal handlers; crashing on purpose under them
+// tests the sanitizer, not the black box. Skip there.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RDFDB_CRASH_TESTS_DISABLED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RDFDB_CRASH_TESTS_DISABLED 1
+#endif
+
+namespace rdfdb::obs {
+namespace {
+
+enum class CrashMode { kSegv, kAbort, kTerminate };
+
+// Child body. Never returns: ends in a fatal signal (or _exit with a
+// setup-failure code the parent reports as a test failure).
+[[noreturn]] void CrashVictim(const std::string& box_path, CrashMode mode) {
+  rdf::RdfStore store;
+  if (!store.CreateRdfModel("m", "m_app", "triple").ok()) _exit(11);
+  for (int i = 0; i < 512; ++i) {
+    if (!store
+             .InsertTriple("m", "<urn:s" + std::to_string(i) + ">",
+                           "<urn:p" + std::to_string(i % 5) + ">",
+                           "\"v" + std::to_string(i) + "\"")
+             .ok()) {
+      _exit(12);
+    }
+  }
+
+  FlightRecorder::Options recorder_options;
+  recorder_options.registry = &store.metrics_registry();
+  recorder_options.sample_interval_ms = 60'000;
+  recorder_options.black_box_path = box_path;
+  auto recorder = FlightRecorder::Start(std::move(recorder_options));
+  if (!recorder.ok()) _exit(13);
+
+  if (!InstallCrashHandler((*recorder)->black_box())) _exit(14);
+
+  // Query thread: a long-lived registered op (the kind SdoRdfMatch's
+  // own RAII guard creates) plus real queries in flight, so the frozen
+  // table shows what a production crash would show.
+  std::atomic<bool> started{false};
+  std::atomic<bool> stop{false};
+  std::thread query_thread([&store, &started, &stop] {
+    ActiveOpGuard op(OpKind::kQuery, "(?s ?p ?o) crash window");
+    started.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_relaxed)) {
+      query::MatchOptions options;
+      options.limit = 64;
+      if (!query::SdoRdfMatch(&store, nullptr, "(?s ?p ?o)", {"m"}, {}, {},
+                              "", options)
+               .ok()) {
+        break;
+      }
+    }
+  });
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Two snapshots into the box so the post-mortem also carries history.
+  (*recorder)->SampleNow();
+  (*recorder)->SampleNow();
+
+  switch (mode) {
+    case CrashMode::kSegv:
+      *reinterpret_cast<volatile int*>(1) = 0;
+      break;
+    case CrashMode::kAbort:
+      std::abort();
+    case CrashMode::kTerminate:
+      std::terminate();
+  }
+  _exit(15);  // unreachable: the crash above must be fatal
+}
+
+class CrashDumpDeathTest : public ::testing::Test {
+ protected:
+  // Forks, crashes the child in `mode`, asserts it died of
+  // `expected_signal`, and returns the parsed dump.
+  PostMortem CrashAndRead(CrashMode mode, int expected_signal) {
+    const std::string path = ::testing::TempDir() + "/crash_bb_" +
+                             std::to_string(static_cast<int>(mode)) + ".bin";
+    ::unlink(path.c_str());
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      CrashVictim(path, mode);  // noreturn
+    }
+    EXPECT_GT(pid, 0);
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFSIGNALED(status))
+        << "child exited with " << WEXITSTATUS(status)
+        << " instead of dying on a signal";
+    if (WIFSIGNALED(status)) {
+      EXPECT_EQ(WTERMSIG(status), expected_signal);
+    }
+    auto pm = ReadBlackBox(path);
+    EXPECT_TRUE(pm.ok()) << pm.status().ToString();
+    return pm.ok() ? *pm : PostMortem{};
+  }
+};
+
+TEST_F(CrashDumpDeathTest, SegvDuringQueryYieldsCompleteDump) {
+#ifdef RDFDB_CRASH_TESTS_DISABLED
+  GTEST_SKIP() << "crash death tests disabled under sanitizers";
+#endif
+  const PostMortem pm = CrashAndRead(CrashMode::kSegv, SIGSEGV);
+  EXPECT_TRUE(pm.complete);
+  EXPECT_EQ(pm.signo, SIGSEGV);
+  EXPECT_EQ(pm.fault_addr, 1u);
+  EXPECT_GT(pm.crash_unix_ns, 0);
+  EXPECT_NE(pm.fault_tid, 0u);
+  // The faulting backtrace, both raw and symbolized.
+  EXPECT_GT(pm.frames.size(), 0u);
+  EXPECT_FALSE(pm.symbolized_stack.empty());
+
+  // The frozen active-op table names the in-flight query.
+  ASSERT_FALSE(pm.ops.empty());
+  bool saw_query = false;
+  for (const ActiveOpInfo& op : pm.ops) {
+    if (op.kind == OpKind::kQuery &&
+        op.detail.find("crash window") != std::string::npos) {
+      saw_query = true;
+      EXPECT_GE(op.age_ns, 0);
+    }
+  }
+  EXPECT_TRUE(saw_query);
+
+  // Pre-serialized history survived and parses.
+  auto parsed = ParseHistoryText(pm.history_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->t_unix_ms.size(), 2u);
+
+  // And the human rendering mentions the essentials.
+  const std::string report = RenderPostMortem(pm);
+  EXPECT_NE(report.find("SIGSEGV"), std::string::npos);
+  EXPECT_NE(report.find("crash window"), std::string::npos) << report;
+  EXPECT_NE(report.find("complete"), std::string::npos);
+}
+
+TEST_F(CrashDumpDeathTest, AbortIsCapturedWithBacktrace) {
+#ifdef RDFDB_CRASH_TESTS_DISABLED
+  GTEST_SKIP() << "crash death tests disabled under sanitizers";
+#endif
+  const PostMortem pm = CrashAndRead(CrashMode::kAbort, SIGABRT);
+  EXPECT_TRUE(pm.complete);
+  EXPECT_EQ(pm.signo, SIGABRT);
+  EXPECT_GT(pm.frames.size(), 0u);
+  EXPECT_FALSE(pm.ops.empty());
+}
+
+TEST_F(CrashDumpDeathTest, UncaughtTerminateIsAttributed) {
+#ifdef RDFDB_CRASH_TESTS_DISABLED
+  GTEST_SKIP() << "crash death tests disabled under sanitizers";
+#endif
+  // std::terminate → our terminate handler records signo = -1, then
+  // aborts with the default disposition, so the process dies of
+  // SIGABRT but the dump names std::terminate as the cause.
+  const PostMortem pm = CrashAndRead(CrashMode::kTerminate, SIGABRT);
+  EXPECT_TRUE(pm.complete);
+  EXPECT_EQ(pm.signo, -1);
+  EXPECT_NE(RenderPostMortem(pm).find("std::terminate"), std::string::npos);
+}
+
+TEST(BlackBoxFile, RejectsGarbageAndTruncation) {
+  const std::string path = ::testing::TempDir() + "/bb_garbage.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a black box", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadBlackBox(path).ok());
+  EXPECT_FALSE(ReadBlackBox(::testing::TempDir() + "/bb_missing.bin").ok());
+}
+
+TEST(BlackBoxFile, OpenCreatesArmedEmptyBox) {
+  const std::string path = ::testing::TempDir() + "/bb_armed.bin";
+  auto box = BlackBox::OpenOrCreate(path);
+  ASSERT_TRUE(box.ok()) << box.status().ToString();
+  (*box)->WriteEventsTail("{\"event\":\"x\"}\n");
+  (*box)->Sync();
+  auto pm = ReadBlackBox(path);
+  ASSERT_TRUE(pm.ok()) << pm.status().ToString();
+  EXPECT_FALSE(pm->complete);
+  EXPECT_EQ(pm->signo, 0);
+  EXPECT_TRUE(pm->frames.empty());
+  EXPECT_NE(pm->events_tail.find("\"event\":\"x\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfdb::obs

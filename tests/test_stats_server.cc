@@ -15,7 +15,9 @@
 #include <string>
 #include <thread>
 
+#include "obs/active_ops.h"
 #include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/resource_tracker.h"
 #include "obs/slow_query_log.h"
@@ -273,6 +275,102 @@ TEST_F(StatsServerTest, HealthzCountsOnlyNewEventLogDrops) {
       << resp.body;
   // The check consumed the watermark: with no further drops, healthy.
   EXPECT_EQ(server.Handle("/healthz").status, 200);
+}
+
+TEST_F(StatsServerTest, ActivityzListsRegisteredOperations) {
+  StatsServer server(FullSources());
+  ActiveOpGuard guard(OpKind::kBulkLoad, "statsz bulk op");
+  StatsServer::Response resp = server.Handle("/activityz");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"bulkload\""), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("statsz bulk op"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("\"registered_total\""), std::string::npos);
+}
+
+TEST_F(StatsServerTest, HistoryzRequiresAnAttachedRecorder) {
+  StatsServer without(FullSources());
+  EXPECT_EQ(without.Handle("/historyz").status, 404);
+
+  FlightRecorder::Options options;
+  options.registry = &store_.metrics_registry();
+  options.sample_interval_ms = 60'000;  // driven manually below
+  auto recorder = FlightRecorder::Start(std::move(options));
+  ASSERT_TRUE(recorder.ok());
+  (*recorder)->SampleNow();
+
+  StatsServer::Sources sources = FullSources();
+  sources.recorder = recorder->get();
+  StatsServer server(sources);
+  StatsServer::Response resp = server.Handle("/historyz");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"interval_ms\":"), std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("\"t_unix_ms\""), std::string::npos);
+}
+
+// A client that connects and then never finishes its request head must
+// be dropped by the per-connection receive timeout instead of wedging
+// the single-threaded serve loop for every scraper behind it.
+TEST_F(StatsServerTest, StallingClientTimesOutWithoutBlockingOthers) {
+  StatsServer::Sources sources = FullSources();
+  sources.io_timeout_ms = 100;
+  StatsServer server(sources);
+  ASSERT_TRUE(server.Start(0).ok());
+  // Two accepts: the staller first, then the well-behaved client.
+  std::thread serving([&] {
+    server.ServeOne();
+    server.ServeOne();
+  });
+
+  auto connect_client = [&]() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  const int staller = connect_client();
+  // A partial request line with no CRLF, then silence.
+  ASSERT_EQ(::send(staller, "GET /he", 7, 0), 7);
+
+  // The healthy client queued behind the staller still gets served.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const int fd = connect_client();
+  const char request[] = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, request, sizeof(request) - 1, 0),
+            static_cast<ssize_t>(sizeof(request) - 1));
+  std::string response;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << response;
+  // Bounded by the 100 ms timeout, not the default 5 s (generous
+  // margin for slow CI).
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            3000);
+
+  // The staller was closed without any response bytes.
+  std::string stalled;
+  while ((n = ::recv(staller, buf, sizeof(buf), 0)) > 0) {
+    stalled.append(buf, static_cast<size_t>(n));
+  }
+  ::close(staller);
+  EXPECT_TRUE(stalled.empty()) << stalled;
+
+  serving.join();
+  server.Stop();
 }
 
 TEST_F(StatsServerTest, RefreshHookRunsBeforeGaugeEndpoints) {

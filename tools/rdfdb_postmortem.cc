@@ -1,0 +1,92 @@
+// rdfdb_postmortem: pretty-print a flight-recorder crash black box.
+//
+//   rdfdb_postmortem <blackbox-file>
+//
+// Reads the mmap'd black box a crashed process left behind (see
+// src/obs/crash_dump.h), prints the post-mortem report — cause, faulting
+// stack, in-flight operations, recent events, last profiler aggregate —
+// and appends a sparkline view of the recorded metric history.
+//
+// Exit status: 0 when the file parses and the dump is complete (the
+// crash handler finished writing), 1 when the file is unreadable or the
+// dump is truncated, 2 on usage error.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/crash_dump.h"
+#include "obs/flight_recorder.h"
+
+namespace {
+
+// One line per series: name, last value, min..max, sparkline. Sorted by
+// name so related series (foo.p50/p95/p99) group together.
+void PrintHistory(const std::string& history_text) {
+  if (history_text.empty()) {
+    std::printf("--- metric history ---\n(none recorded)\n");
+    return;
+  }
+  auto parsed = rdfdb::obs::ParseHistoryText(history_text);
+  if (!parsed.ok()) {
+    std::printf("--- metric history ---\n(unparseable: %s)\n",
+                parsed.status().ToString().c_str());
+    return;
+  }
+  const int64_t span_ms =
+      static_cast<int64_t>(parsed->t_unix_ms.size()) * parsed->interval_ms;
+  std::printf("--- metric history (%zu points, %lld ms apart, ~%.0fs) ---\n",
+              parsed->t_unix_ms.size(),
+              static_cast<long long>(parsed->interval_ms),
+              static_cast<double>(span_ms) / 1000.0);
+  std::vector<std::string> names;
+  names.reserve(parsed->series.size());
+  size_t width = 0;
+  for (const auto& [name, values] : parsed->series) {
+    names.push_back(name);
+    width = std::max(width, name.size());
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    const std::vector<double>& values = parsed->series.at(name);
+    double lo = 0.0;
+    double hi = 0.0;
+    double last = 0.0;
+    bool any = false;
+    for (double v : values) {
+      if (std::isnan(v)) continue;
+      if (!any) {
+        lo = hi = v;
+        any = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      last = v;
+    }
+    if (!any) continue;
+    std::printf("  %-*s %s last=%.6g min=%.6g max=%.6g\n",
+                static_cast<int>(width), name.c_str(),
+                rdfdb::obs::Sparkline(values).c_str(), last, lo, hi);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: rdfdb_postmortem <blackbox-file>\n");
+    return 2;
+  }
+  auto pm = rdfdb::obs::ReadBlackBox(argv[1]);
+  if (!pm.ok()) {
+    std::fprintf(stderr, "rdfdb_postmortem: %s\n",
+                 pm.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", rdfdb::obs::RenderPostMortem(*pm).c_str());
+  PrintHistory(pm->history_text);
+  return pm->complete ? 0 : 1;
+}

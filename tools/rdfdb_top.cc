@@ -1,6 +1,6 @@
 // rdfdb_top: a `top`-style live view of one store's instrument rates.
 //
-//   rdfdb_top [--interval <sec>] [--ticks <n>] [--mem]
+//   rdfdb_top [--interval <sec>] [--ticks <n>] [--mem] [--history]
 //             [--readers <n>] [--writer bulkload] [--triples <m>]
 //
 // Default mode runs an in-process workload over a ConcurrentRdfStore —
@@ -26,6 +26,10 @@
 // over the live triple count — the compression headline, comparable
 // directly to bench_memory_footprint) and cpu% (process CPU over the
 // interval, all threads; can exceed 100 on multi-core).
+//
+// --history attaches a flight recorder sampling at the tick interval
+// and, after the run, prints one sparkline per recorded series — the
+// same history ring a server process exports on /historyz.
 
 #include <time.h>
 
@@ -39,6 +43,11 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "obs/flight_recorder.h"
 #include "obs/metrics_snapshot.h"
 #include "obs/resource_tracker.h"
 #include "query/match.h"
@@ -53,9 +62,66 @@ std::atomic<bool> g_stop{false};
 
 void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
-int RunDefaultMode(double interval, int ticks, bool mem);
+int RunDefaultMode(double interval, int ticks, bool mem, bool history);
 int RunBulkloadMode(double interval, int ticks, int readers, size_t triples,
-                    bool mem);
+                    bool mem, bool history);
+
+/// Flight recorder for --history: samples the registry at the tick
+/// interval so the post-run sparklines line up with the printed rows.
+std::unique_ptr<rdfdb::obs::FlightRecorder> StartHistoryRecorder(
+    rdfdb::obs::MetricsRegistry* registry, double interval) {
+  rdfdb::obs::FlightRecorder::Options options;
+  options.registry = registry;
+  options.sample_interval_ms =
+      std::max<int64_t>(1, static_cast<int64_t>(interval * 1000.0));
+  auto recorder = rdfdb::obs::FlightRecorder::Start(std::move(options));
+  if (!recorder.ok()) {
+    std::fprintf(stderr, "flight recorder: %s\n",
+                 recorder.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(*recorder);
+}
+
+/// Post-run --history block: one sparkline per series that moved.
+void PrintHistorySparklines(const rdfdb::obs::FlightRecorder& recorder) {
+  auto parsed = rdfdb::obs::ParseHistoryText(recorder.RenderHistoryText());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "history: %s\n",
+                 parsed.status().ToString().c_str());
+    return;
+  }
+  std::printf("\n--- metric history (%zu points, %lld ms apart) ---\n",
+              parsed->t_unix_ms.size(),
+              static_cast<long long>(parsed->interval_ms));
+  std::vector<std::string> names;
+  size_t width = 0;
+  for (const auto& [name, values] : parsed->series) {
+    names.push_back(name);
+    width = std::max(width, name.size());
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& name : names) {
+    const std::vector<double>& values = parsed->series.at(name);
+    double lo = 0.0;
+    double hi = 0.0;
+    bool any = false;
+    for (double v : values) {
+      if (std::isnan(v)) continue;
+      if (!any) {
+        lo = hi = v;
+        any = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!any) continue;
+    std::printf("  %-*s %s min=%.6g max=%.6g\n", static_cast<int>(width),
+                name.c_str(), rdfdb::obs::Sparkline(values).c_str(), lo,
+                hi);
+  }
+}
 
 /// Process CPU time (all threads), for the --mem cpu% column.
 int64_t ProcessCpuNanos() {
@@ -84,6 +150,7 @@ int main(int argc, char** argv) {
   int readers = 8;
   size_t triples = 1000000;
   bool mem = false;
+  bool history = false;
   std::string writer_mode;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
@@ -98,11 +165,13 @@ int main(int argc, char** argv) {
       triples = static_cast<size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--mem") == 0) {
       mem = true;
+    } else if (std::strcmp(argv[i], "--history") == 0) {
+      history = true;
     } else {
       std::fprintf(stderr,
                    "usage: rdfdb_top [--interval <sec>] [--ticks <n>]\n"
                    "                 [--readers <n>] [--writer bulkload]\n"
-                   "                 [--triples <m>] [--mem]\n");
+                   "                 [--triples <m>] [--mem] [--history]\n");
       return 2;
     }
   }
@@ -112,9 +181,11 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
-  if (writer_mode.empty()) return RunDefaultMode(interval, ticks, mem);
+  if (writer_mode.empty()) {
+    return RunDefaultMode(interval, ticks, mem, history);
+  }
   if (writer_mode == "bulkload") {
-    return RunBulkloadMode(interval, ticks, readers, triples, mem);
+    return RunBulkloadMode(interval, ticks, readers, triples, mem, history);
   }
   std::fprintf(stderr, "unknown --writer mode '%s' (expected: bulkload)\n",
                writer_mode.c_str());
@@ -123,13 +194,17 @@ int main(int argc, char** argv) {
 
 namespace {
 
-int RunDefaultMode(double interval, int ticks, bool mem) {
+int RunDefaultMode(double interval, int ticks, bool mem, bool history) {
   rdfdb::rdf::ConcurrentRdfStore store;
   auto created = store.CreateRdfModel("top", "top_app", "triple");
   if (!created.ok()) {
     std::fprintf(stderr, "create model: %s\n",
                  created.status().ToString().c_str());
     return 1;
+  }
+  std::unique_ptr<rdfdb::obs::FlightRecorder> recorder;
+  if (history) {
+    recorder = StartHistoryRecorder(&store.metrics_registry(), interval);
   }
 
   // Writer: a stream of fresh triples (every subject also gets a type
@@ -223,11 +298,12 @@ int RunDefaultMode(double interval, int ticks, bool mem) {
   g_stop.store(true, std::memory_order_relaxed);
   writer.join();
   reader.join();
+  if (recorder != nullptr) PrintHistorySparklines(*recorder);
   return 0;
 }
 
 int RunBulkloadMode(double interval, int ticks, int readers,
-                    size_t triples, bool mem) {
+                    size_t triples, bool mem, bool history) {
   rdfdb::rdf::SnapshotRdfStore store;
   // Seed model: the readers' query target, loaded before the clock
   // starts so every match has rows.
@@ -245,6 +321,10 @@ int RunBulkloadMode(double interval, int ticks, int readers,
   if (!seeded.ok()) {
     std::fprintf(stderr, "seed: %s\n", seeded.ToString().c_str());
     return 1;
+  }
+  std::unique_ptr<rdfdb::obs::FlightRecorder> recorder;
+  if (history) {
+    recorder = StartHistoryRecorder(&store.metrics_registry(), interval);
   }
 
   // Readers: lock-free matches against pinned snapshots. A yield per
@@ -360,6 +440,7 @@ int RunBulkloadMode(double interval, int ticks, int readers,
   g_stop.store(true, std::memory_order_relaxed);
   writer.join();
   for (std::thread& thread : reader_threads) thread.join();
+  if (recorder != nullptr) PrintHistorySparklines(*recorder);
   return 0;
 }
 

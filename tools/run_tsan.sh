@@ -26,7 +26,8 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target test_bulk_load test_concurrent_store test_snapshot_store \
   test_metrics test_codec \
   test_exec_diff test_event_log test_span_timeline test_slow_query_log \
-  test_resource_tracker test_profiler test_memory_accounting
+  test_resource_tracker test_profiler test_memory_accounting \
+  test_flight_recorder
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_bulk_load
@@ -40,6 +41,10 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_slow_query_log
 "$BUILD_DIR"/tests/test_resource_tracker
 "$BUILD_DIR"/tests/test_memory_accounting
+# The seqlock'd active-op table and the sampler-vs-guard interplay are
+# exactly TSan territory (relaxed field loads behind the seq protocol
+# are intentional; the suppressions-free run must still be clean).
+"$BUILD_DIR"/tests/test_flight_recorder
 # backtrace(3) inside the SIGPROF handler is flagged by TSan's
 # signal-unsafe-call check; it is async-signal-safe on glibc once primed
 # (see obs/profiler.cc), so suppress only that check for this binary.

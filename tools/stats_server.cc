@@ -2,13 +2,16 @@
 // attached and expose it over HTTP.
 //
 //   stats_server [--port <n>] [--events <path>] [--slow-ms <n>]
+//                [--blackbox <path>] [--sample-ms <n>]
 //                [file.nt [model_name]]
 //
 // Loads the N-Triples file (or a ~10k-triple synthetic UniProt-style
 // dataset with no file), attaches an event log (JSONL to --events, or a
-// discard sink), a slow-query log (--slow-ms threshold, default 1ms)
-// and a span timeline, keeps a background thread running queries so the
-// instruments move, and serves until interrupted:
+// discard sink), a slow-query log (--slow-ms threshold, default 1ms),
+// a span timeline, and a flight recorder with a crash black box
+// (--blackbox path, default "rdfdb_blackbox.bin"; --sample-ms sampling
+// interval, default 1000). A background thread keeps running queries so
+// the instruments move, and the process serves until interrupted:
 //
 //   GET /metrics    Prometheus text exposition
 //   GET /varz       JSON with per-interval rates since the last scrape
@@ -17,6 +20,11 @@
 //   GET /timeline   Chrome trace-event JSON (load in chrome://tracing)
 //   GET /profilez   sample for ?seconds=N, flamegraph collapsed stacks
 //   GET /allocz     live heap + per-scope allocation attribution
+//   GET /activityz  in-flight operations with live cpu/alloc deltas
+//   GET /historyz   flight-recorder metric history ring
+//
+// If the process dies on SIGSEGV/SIGBUS/SIGABRT/SIGFPE, the black box
+// holds the post-mortem; pretty-print it with `rdfdb_postmortem`.
 
 #include <atomic>
 #include <chrono>
@@ -31,7 +39,10 @@
 
 #include "common/result.h"
 #include "gen/uniprot_gen.h"
+#include "obs/active_ops.h"
+#include "obs/crash_dump.h"
 #include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/slow_query_log.h"
 #include "obs/span_timeline.h"
 #include "obs/stats_server.h"
@@ -53,6 +64,8 @@ int main(int argc, char** argv) {
   uint16_t port = 8080;
   std::string events_path;
   double slow_ms = 1.0;
+  std::string blackbox_path = "rdfdb_blackbox.bin";
+  int64_t sample_ms = rdfdb::obs::kDefaultSampleIntervalMs;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
@@ -61,6 +74,10 @@ int main(int argc, char** argv) {
       events_path = argv[++i];
     } else if (std::strcmp(argv[i], "--slow-ms") == 0 && i + 1 < argc) {
       slow_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--blackbox") == 0 && i + 1 < argc) {
+      blackbox_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-ms") == 0 && i + 1 < argc) {
+      sample_ms = std::atoll(argv[++i]);
     } else {
       args.push_back(argv[i]);
     }
@@ -112,11 +129,36 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "%s\n", stats->ToString().c_str());
 
+  // Flight recorder: periodic metric-history sampling plus the crash
+  // black box. The crash handler turns a fatal signal into a post-mortem
+  // dump readable with rdfdb_postmortem.
+  rdfdb::obs::FlightRecorder::Options recorder_options;
+  recorder_options.registry = &store.metrics_registry();
+  recorder_options.events = event_log->get();
+  recorder_options.refresh = [&store] { store.UpdateMemoryGauges(); };
+  recorder_options.sample_interval_ms = sample_ms;
+  recorder_options.black_box_path = blackbox_path;
+  auto recorder =
+      rdfdb::obs::FlightRecorder::Start(std::move(recorder_options));
+  if (!recorder.ok()) {
+    std::fprintf(stderr, "flight recorder: %s\n",
+                 recorder.status().ToString().c_str());
+    return 1;
+  }
+  if ((*recorder)->black_box() != nullptr) {
+    rdfdb::obs::InstallCrashHandler((*recorder)->black_box());
+    std::fprintf(stderr, "crash black box: %s\n", blackbox_path.c_str());
+  }
+
   // Background workload: keep the query instruments (and the slow-query
   // log) moving so /varz rates are non-zero. Queries are read-only, so
-  // running them alongside scrapes is safe.
+  // running them alongside scrapes is safe. The long-lived guard keeps
+  // the workload session visible in /activityz (and in any crash dump)
+  // even between individual queries.
   std::atomic<bool> stop{false};
   std::thread workload([&] {
+    rdfdb::obs::ActiveOpGuard session(rdfdb::obs::OpKind::kQuery,
+                                      "workload (?s ?p ?o) on " + model);
     while (!stop.load(std::memory_order_relaxed)) {
       rdfdb::query::MatchOptions options;
       options.limit = 256;
@@ -134,6 +176,7 @@ int main(int argc, char** argv) {
   sources.events = event_log->get();
   // Memory gauges are point-in-time: recompute them per scrape.
   sources.refresh = [&store] { store.UpdateMemoryGauges(); };
+  sources.recorder = recorder->get();
   rdfdb::obs::StatsServer server(sources);
   auto started = server.Start(port);
   if (!started.ok()) {
@@ -148,7 +191,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "serving on http://127.0.0.1:%u "
                "(/metrics /varz /healthz /slow /timeline /profilez "
-               "/allocz)\n",
+               "/allocz /activityz /historyz)\n",
                static_cast<unsigned>(server.port()));
   server.ServeForever();
 
