@@ -1,0 +1,102 @@
+// Cooperative cancellation: a deadline plus an explicit cancel flag,
+// shared between a request owner (the network front-end, a tool's
+// signal handler) and the long-running work it spawned (the compiled
+// query executor, the bulk-load pipeline).
+//
+// The owner arms the token with a deadline (and may later Cancel() it,
+// e.g. when the client hangs up); the worker calls Expired() at its
+// checkpoints — executor row-loop countdowns, bulk-load chunk
+// boundaries — and unwinds with StatusIfDone() when the token fires.
+// Expired() is two relaxed atomic loads on the not-cancelled,
+// no-deadline path and one extra clock read when a deadline is armed,
+// so checkpoints can afford to call it every few thousand rows.
+//
+// A token is single-owner, multi-observer: any number of threads may
+// call Expired()/StatusIfDone() concurrently with one thread calling
+// Cancel()/set_deadline(). Deadlines use the steady clock (wall-clock
+// jumps must not fire request deadlines).
+
+#ifndef RDFDB_COMMON_CANCEL_H_
+#define RDFDB_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace rdfdb {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arm (or move) the deadline. Publishes with release so an observer
+  /// that sees the new deadline also sees everything written before it.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+
+  /// Arm the deadline `ms` milliseconds from now (<= 0 disarms).
+  void SetDeadlineAfterMs(int64_t ms) {
+    if (ms <= 0) {
+      deadline_ns_.store(0, std::memory_order_release);
+    } else {
+      set_deadline(Clock::now() + std::chrono::milliseconds(ms));
+    }
+  }
+
+  /// Explicit cancellation (client hung up, server draining). Sticky.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() was called (deadline expiry does not set this).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Nanoseconds-since-clock-epoch of the armed deadline; 0 = none.
+  int64_t deadline_ns() const {
+    return deadline_ns_.load(std::memory_order_acquire);
+  }
+
+  /// True when the token has fired: explicitly cancelled, or the armed
+  /// deadline has passed. This is the checkpoint call.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    return d != 0 && Clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// Remaining time before the deadline (0 when expired; a very large
+  /// value when no deadline is armed).
+  std::chrono::nanoseconds Remaining() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    if (d == 0) return std::chrono::nanoseconds::max();
+    const int64_t now = Clock::now().time_since_epoch().count();
+    return std::chrono::nanoseconds(d > now ? d - now : 0);
+  }
+
+  /// OK while the token has not fired; Cancelled / DeadlineExceeded
+  /// once it has (explicit cancellation wins when both apply — the
+  /// client is gone, so there is no one to tell about the deadline).
+  Status StatusIfDone() const {
+    if (cancelled()) return Status::Cancelled("operation cancelled");
+    if (Expired()) {
+      return Status::DeadlineExceeded("deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int64_t> deadline_ns_{0};  // steady-clock ns; 0 = unarmed
+};
+
+}  // namespace rdfdb
+
+#endif  // RDFDB_COMMON_CANCEL_H_

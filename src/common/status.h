@@ -24,6 +24,8 @@ enum class StatusCode {
   kNotSupported,
   kIOError,
   kInternal,
+  kDeadlineExceeded,  ///< a per-request deadline expired mid-operation
+  kCancelled,         ///< the caller abandoned the operation
 };
 
 /// Return-value error type. `Status::OK()` signals success; every other
@@ -57,6 +59,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -71,6 +79,10 @@ class Status {
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// Message attached at construction; empty for OK.
   const std::string& message() const;

@@ -171,6 +171,8 @@ const char* OpKindName(OpKind kind) {
       return "checkpoint";
     case OpKind::kReplay:
       return "replay";
+    case OpKind::kServerRequest:
+      return "server_request";
   }
   return "?";
 }

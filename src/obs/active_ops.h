@@ -51,7 +51,8 @@ enum class OpKind : uint32_t {
   kExecWorker = 2,  ///< ExecuteParallel chunk worker
   kBulkLoad = 3,
   kCheckpoint = 4,
-  kReplay = 5,  ///< redo-log replay
+  kReplay = 5,         ///< redo-log replay
+  kServerRequest = 6,  ///< network front-end request (server/server.h)
 };
 
 /// Stable lowercase name ("query", "bulkload", ...); "none"/"?" for

@@ -25,16 +25,25 @@ const char* StatusText(int status) {
   switch (status) {
     case 200:
       return "OK";
+    case 400:
+      return "Bad Request";
     case 404:
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 413:
+      return "Content Too Large";
     case 503:
       return "Service Unavailable";
     default:
       return "Error";
   }
 }
+
+/// Upper bound on the request head this server will buffer while
+/// looking for the end of the request line. Anything larger gets a 413
+/// instead of unbounded reads.
+constexpr size_t kMaxRequestHeadBytes = 16 * 1024;
 
 void SendAll(int fd, const std::string& data) {
   size_t off = 0;
@@ -125,12 +134,14 @@ bool StatsServer::ServeOne() {
     ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
 
-  // Read the request head (first line is all we route on).
+  // Read the request head (first line is all we route on), bounded:
+  // a request line that never ends within the cap is answered with 413
+  // rather than buffered without limit.
   std::string request;
   bool timed_out = false;
   char buf[2048];
   while (request.find("\r\n") == std::string::npos &&
-         request.size() < 16 * 1024) {
+         request.size() < kMaxRequestHeadBytes) {
     const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
@@ -139,19 +150,23 @@ bool StatsServer::ServeOne() {
     }
     request.append(buf, static_cast<size_t>(n));
   }
-  if (timed_out && request.find("\r\n") == std::string::npos) {
+  const size_t line_end = request.find("\r\n");
+  if (timed_out && line_end == std::string::npos) {
     // Stalled client: drop it without a response and move on.
     ::close(conn);
     return !stopping_.load(std::memory_order_relaxed);
   }
 
   Response resp;
-  const size_t line_end = request.find("\r\n");
+  resp.content_type = "text/plain; charset=utf-8";
   const std::string line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
-  if (line.compare(0, 4, "GET ") != 0) {
+  if (line_end == std::string::npos &&
+      request.size() >= kMaxRequestHeadBytes) {
+    resp.status = 413;
+    resp.body = "request line too large\n";
+  } else if (line.compare(0, 4, "GET ") != 0) {
     resp.status = 405;
-    resp.content_type = "text/plain; charset=utf-8";
     resp.body = "method not allowed\n";
   } else {
     const size_t path_end = line.find(' ', 4);
@@ -159,7 +174,12 @@ bool StatsServer::ServeOne() {
     // parameterized endpoints (/profilez?seconds=N) work over sockets.
     std::string target = line.substr(
         4, path_end == std::string::npos ? std::string::npos : path_end - 4);
-    resp = Handle(target);
+    if (target.empty() || target[0] != '/') {
+      resp.status = 400;
+      resp.body = "malformed request line\n";
+    } else {
+      resp = Handle(target);
+    }
   }
 
   std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
@@ -217,6 +237,12 @@ StatsServer::Response StatsServer::HandleHealthz() {
               sources_.unhealthy_retention_age_seconds) {
         failing += " retention_age_seconds=" + std::to_string(age->Value());
       }
+    }
+  }
+  if (sources_.extra_health) {
+    const std::string extra = sources_.extra_health();
+    if (!extra.empty()) {
+      failing += " " + extra;
     }
   }
   if (failing.empty()) {

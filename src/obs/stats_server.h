@@ -67,6 +67,11 @@ class StatsServer {
     /// /healthz degradation thresholds (<= 0 disables the check).
     double unhealthy_retention_age_seconds = 60.0;
     int64_t unhealthy_epoch_lag = 1024;
+    /// Optional: extra /healthz signals from the owner (e.g. the query
+    /// front-end's admission-queue depth and shed rate). Returns "" when
+    /// healthy; any non-empty string is appended to the degraded
+    /// verdict and flips the response to 503.
+    std::function<std::string()> extra_health;
     /// Optional flight recorder backing /historyz (404 when absent).
     const FlightRecorder* recorder = nullptr;
     /// Per-connection SO_RCVTIMEO/SO_SNDTIMEO on accepted sockets, so

@@ -102,13 +102,15 @@ class StepRunner {
  public:
   StepRunner(const StoreView& store, const CompiledPlan& plan,
              const TripleSource& source, rdf::LinkStore::LeafScan leaf,
-             ExecCounters* counters, const std::atomic<bool>* cancel)
+             ExecCounters* counters, const std::atomic<bool>* cancel,
+             const CancelToken* token)
       : store_(store),
         plan_(plan),
         source_(source),
         leaf_(leaf),
         counters_(counters),
-        cancel_(cancel) {}
+        cancel_(cancel),
+        token_(token) {}
 
   /// Join steps [first, last]; `slots` already holds bindings made by
   /// steps before `first`. `sink` fires once per solution of step
@@ -151,6 +153,18 @@ class StepRunner {
     if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
       stop_ = true;
       return false;
+    }
+    // Deadline/cancellation checkpoint: a countdown so the steady-state
+    // cost is one decrement; the clock is read once per interval. The
+    // countdown persists across Run() calls (parallel chunk workers
+    // call Run once per outer frame), so the interval is a property of
+    // the thread's row throughput, not of the frame size.
+    if (token_ != nullptr && --token_countdown_ <= 0) {
+      token_countdown_ = static_cast<int64_t>(kCancelCheckIntervalRows);
+      if (token_->Expired()) {
+        status_ = token_->StatusIfDone();
+        return false;
+      }
     }
     ++counters_->scanned[i];
     const ExecStep& step = plan_.steps[i];
@@ -328,6 +342,9 @@ class StepRunner {
   rdf::LinkStore::LeafScan leaf_;
   ExecCounters* counters_;
   const std::atomic<bool>* cancel_;
+  const CancelToken* token_;
+  int64_t token_countdown_ =
+      static_cast<int64_t>(kCancelCheckIntervalRows);
   ValueId* slots_ = nullptr;
   const SlotRowFn* sink_ = nullptr;
   size_t last_ = 0;
@@ -337,10 +354,11 @@ class StepRunner {
 
 Status ExecuteSequential(const StoreView& store, const CompiledPlan& plan,
                          const TripleSource& source, const SlotRowFn& fn,
-                         obs::QueryTrace* trace) {
+                         obs::QueryTrace* trace, const CancelToken* token) {
   ExecCounters counters(plan.steps.size());
   std::vector<ValueId> slots(std::max<size_t>(plan.slot_count(), 1), 0);
-  StepRunner runner(store, plan, source, LeafFor(source), &counters, nullptr);
+  StepRunner runner(store, plan, source, LeafFor(source), &counters, nullptr,
+                    token);
   Status status =
       runner.Run(0, plan.steps.size() - 1, slots.data(), fn);
   FlushCounters(trace, plan, counters);
@@ -360,7 +378,8 @@ Status ExecuteSequential(const StoreView& store, const CompiledPlan& plan,
 Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
                        const TripleSource& source, const SlotRowFn& fn,
                        unsigned threads, size_t chunk_frames,
-                       obs::QueryTrace* trace, obs::Timeline* timeline) {
+                       obs::QueryTrace* trace, obs::Timeline* timeline,
+                       const CancelToken* token) {
   const size_t nslots = plan.slot_count();
   const size_t last = plan.steps.size() - 1;
   const rdf::LinkStore::LeafScan leaf = LeafFor(source);
@@ -372,7 +391,7 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
   {
     obs::TimelineScope outer_span(timeline, "outer_scan", "exec", /*lane=*/0);
     std::vector<ValueId> slots(std::max<size_t>(nslots, 1), 0);
-    StepRunner outer(store, plan, source, leaf, &counters, nullptr);
+    StepRunner outer(store, plan, source, leaf, &counters, nullptr, token);
     Status status = outer.Run(0, 0, slots.data(), [&](const ValueId* s) {
       frames.insert(frames.end(), s, s + nslots);
       ++frame_count;
@@ -419,7 +438,8 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
                                  "chunk " + std::to_string(k));
     ChunkOut out{{}, 0, ExecCounters(plan.steps.size()), worker, 0};
     std::vector<ValueId> slots(std::max<size_t>(nslots, 1), 0);
-    StepRunner runner(store, plan, source, leaf, &out.counters, &cancel);
+    StepRunner runner(store, plan, source, leaf, &out.counters, &cancel,
+                      token);
     const size_t begin = k * per_chunk;
     const size_t end = std::min(begin + per_chunk, frame_count);
     for (size_t f = begin; f < end; ++f) {
@@ -485,6 +505,10 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
   Status status = Status::OK();
   if (workers <= 1 || chunk_count <= 1) {
     for (size_t k = 0; k < chunk_count; ++k) {
+      if (token != nullptr && token->Expired()) {
+        status = token->StatusIfDone();
+        break;
+      }
       Result<ChunkOut> chunk = produce(k, /*worker=*/1);
       if (!chunk.ok()) {
         status = chunk.status();
@@ -542,6 +566,16 @@ Status ExecuteParallel(const StoreView& store, const CompiledPlan& plan,
     cv.notify_all();
     if (!chunk->ok()) {
       status = chunk->status();
+      break;
+    }
+    // A fired token also stops *delivery*: workers stop producing at
+    // their own checkpoints, but chunks completed before the token
+    // fired are already queued, and draining them to the callback can
+    // dwarf the producers' overshoot. Checking here bounds post-cancel
+    // delivery to the one chunk being consumed.
+    if (token != nullptr && token->Expired()) {
+      status = token->StatusIfDone();
+      cancel.store(true, std::memory_order_relaxed);
       break;
     }
     if (!consume(std::move(**chunk))) {
@@ -782,12 +816,18 @@ Status ExecutePlan(const StoreView& store, const CompiledPlan& plan,
     FlushCounters(trace, plan, counters);
     return Status::OK();
   }
+  if (options.cancel != nullptr && options.cancel->Expired()) {
+    // Fired before any work (e.g. the request sat in the admission
+    // queue past its deadline): fail without touching the store.
+    return options.cancel->StatusIfDone();
+  }
   const unsigned threads = EffectiveThreads(options.threads);
   if (threads > 1 && plan.steps.size() >= 2) {
     return ExecuteParallel(store, plan, source, fn, threads,
-                           options.chunk_frames, trace, options.timeline);
+                           options.chunk_frames, trace, options.timeline,
+                           options.cancel);
   }
-  return ExecuteSequential(store, plan, source, fn, trace);
+  return ExecuteSequential(store, plan, source, fn, trace, options.cancel);
 }
 
 }  // namespace rdfdb::query

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "obs/span_timeline.h"
 #include "obs/trace.h"
@@ -121,6 +122,13 @@ struct CompiledPlan {
   SlotIndex SlotOf(const std::string& var) const;
 };
 
+/// Rows between two cancellation checkpoints in the executor's join
+/// loop. Each StepRunner polls its CancelToken every this many rows it
+/// processes, so an expired or abandoned request stops burning CPU
+/// within one checkpoint interval per executing thread (the clock read
+/// amortizes to noise). test_cancel pins this contract.
+inline constexpr size_t kCancelCheckIntervalRows = 1024;
+
 /// Execution tuning knobs.
 struct ExecOptions {
   /// Worker threads for the outer-pattern partition: 1 = sequential,
@@ -143,6 +151,13 @@ struct ExecOptions {
   /// (lane 0) and each chunk join (worker lanes) record one span. Null
   /// keeps every site to a single branch.
   obs::Timeline* timeline = nullptr;
+
+  /// Cooperative cancellation: every executing thread (the sequential
+  /// runner, the phase-A outer scan, and each parallel chunk worker)
+  /// polls the token every kCancelCheckIntervalRows rows and unwinds
+  /// with DeadlineExceeded/Cancelled when it fires. Counters flushed so
+  /// far stay valid (partial-progress stats). Null disables the path.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Row callback: `slots` holds slot_count() bound VALUE_IDs, valid only

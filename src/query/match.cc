@@ -233,6 +233,7 @@ Result<MatchResult> MatchImpl(const rdf::StoreView& store,
       EvalOptions eval_options;
       eval_options.trace = trace;
       eval_options.use_legacy = true;
+      eval_options.cancel = options.cancel;
       status = EvalPatterns(
           store, patterns, compiled_filter.get(), source,
           [&](const IdBindings& binding) {
@@ -259,6 +260,7 @@ Result<MatchResult> MatchImpl(const rdf::StoreView& store,
       exec_options.chunk_frames = options.chunk_frames;
       exec_options.trace = trace;
       exec_options.timeline = store.timeline();
+      exec_options.cancel = options.cancel;
       status = ExecutePlan(
           store, plan, source,
           [&](const rdf::ValueId* slots) {

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/trace.h"
@@ -96,6 +97,12 @@ struct MatchOptions {
   /// times. Null (the default) keeps every instrumentation site to a
   /// single branch.
   obs::QueryTrace* trace = nullptr;
+  /// Cooperative cancellation token (deadline and/or explicit cancel),
+  /// polled at the executor's row-loop checkpoints. A fired token fails
+  /// the match with DeadlineExceeded/Cancelled; any trace supplied
+  /// above still carries the partial-progress counts flushed before the
+  /// unwind. Null disables the path.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Execute a match. `engine` may be null when `rulebase_names` is empty.

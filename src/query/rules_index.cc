@@ -277,6 +277,9 @@ Status EvalPatternsLegacy(const rdf::StoreView& store,
     size_t scanned = 0;
     std::vector<IdBindings> next;
     for (const IdBindings& binding : current) {
+      if (options.cancel != nullptr && options.cancel->Expired()) {
+        return options.cancel->StatusIfDone();
+      }
       auto constraint =
           [&](const ResolvedNode& node) -> std::optional<ValueId> {
         if (!node.is_var) return node.id;
@@ -375,6 +378,7 @@ Status EvalPatterns(const rdf::StoreView& store,
   exec_options.threads = options.threads;
   exec_options.chunk_frames = options.chunk_frames;
   exec_options.trace = options.trace;
+  exec_options.cancel = options.cancel;
   const size_t slot_count = plan.slot_count();
   return ExecutePlan(
       store, plan, source,

@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/trace.h"
@@ -153,6 +154,13 @@ struct EvalOptions {
   /// time into this trace. Counts accumulate — SdoRdfMatch resets the
   /// trace once per query; direct callers reset it themselves.
   obs::QueryTrace* trace = nullptr;
+
+  /// Cooperative cancellation token, polled by the compiled executor at
+  /// its row-loop checkpoints (see query/exec.h). The legacy executor
+  /// checks it once per candidate row of the outermost pattern. A fired
+  /// token unwinds with DeadlineExceeded/Cancelled; trace counts
+  /// flushed so far remain valid. Null disables the path.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The greedy join order the static planner would pick (no data

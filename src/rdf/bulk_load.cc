@@ -369,6 +369,12 @@ Result<BulkLoadStats> BulkLoad(RdfStore* store,
         return chunk;
       },
       [&](PreparedChunk&& chunk) {
+        // Chunk-boundary cancellation checkpoint: the token is only
+        // consulted before a chunk's store mutations begin, so a fired
+        // token never leaves a chunk half-inserted.
+        if (options.cancel != nullptr && options.cancel->Expired()) {
+          return options.cancel->StatusIfDone();
+        }
         return ProcessChunk(store, model_id, chunk.prepared, &cache, table,
                             &next_app_id, &stats);
       },
@@ -453,6 +459,12 @@ Result<BulkLoadStats> BulkLoadFile(RdfStore* store,
         return chunk;
       },
       [&](PreparedChunk&& chunk) {
+        // Chunk-boundary cancellation checkpoint: the token is only
+        // consulted before a chunk's store mutations begin, so a fired
+        // token never leaves a chunk half-inserted.
+        if (options.cancel != nullptr && options.cancel->Expired()) {
+          return options.cancel->StatusIfDone();
+        }
         return ProcessChunk(store, model_id, chunk.prepared, &cache, table,
                             &next_app_id, &stats);
       },

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "rdf/app_table.h"
@@ -67,6 +68,13 @@ struct BulkLoadOptions {
   /// Statements (for in-memory loads) or input lines (for file loads)
   /// per pipeline chunk.
   size_t batch_size = 4096;
+  /// Cooperative cancellation token, checked on the storage thread at
+  /// every chunk boundary (before the chunk's store mutations begin).
+  /// A fired token fails the load with DeadlineExceeded/Cancelled;
+  /// chunks already consumed remain inserted — the caller decides
+  /// whether to drop the partially-loaded model. Null disables the
+  /// path.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Load statements into `model_name`. When `table` is non-null every

@@ -1,0 +1,79 @@
+#include "server/admission.h"
+
+namespace rdfdb::server {
+
+bool AdmissionQueue::TryPush(AdmittedConn conn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(conn);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<AdmittedConn> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // shut down and drained
+  AdmittedConn conn = queue_.front();
+  queue_.pop_front();
+  return conn;
+}
+
+void AdmissionQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int64_t ShedWindow::NowSecond() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ShedWindow::Record(bool shed) {
+  const int64_t second = NowSecond();
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = buckets_[static_cast<size_t>(second) % kBuckets];
+  if (b.second != second) {
+    b.second = second;
+    b.admitted = 0;
+    b.shed = 0;
+  }
+  if (shed) {
+    ++b.shed;
+  } else {
+    ++b.admitted;
+  }
+}
+
+void ShedWindow::Rates(uint64_t* admitted, uint64_t* shed) const {
+  const int64_t now = NowSecond();
+  uint64_t a = 0;
+  uint64_t s = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Bucket& b : buckets_) {
+      // Complete seconds only: [now - window, now).
+      if (b.second < 0 || b.second >= now ||
+          b.second < now - static_cast<int64_t>(window_seconds_)) {
+        continue;
+      }
+      a += b.admitted;
+      s += b.shed;
+    }
+  }
+  if (admitted != nullptr) *admitted = a;
+  if (shed != nullptr) *shed = s;
+}
+
+}  // namespace rdfdb::server

@@ -1,0 +1,100 @@
+// Bounded admission for the query front-end: a fixed-capacity queue of
+// accepted-but-unserved connections, and a sliding-window shed-rate
+// tracker feeding /healthz.
+//
+// The acceptor thread pushes; worker threads pop. When the queue is
+// full the push fails immediately and the acceptor sheds the connection
+// with a clean 503 + Retry-After — the server's backlog is therefore a
+// hard bound, and latency for *admitted* requests stays bounded by
+// (queue capacity / service rate) instead of growing without limit as
+// offered load passes saturation (bench_server_load measures exactly
+// this). Shutdown() stops admissions but lets workers drain what was
+// already admitted — those requests were acked with an accept(), and
+// their deadlines still apply.
+
+#ifndef RDFDB_SERVER_ADMISSION_H_
+#define RDFDB_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace rdfdb::server {
+
+/// One admitted connection, stamped at accept time — the request's
+/// deadline counts from here, so time spent waiting in the queue spends
+/// the client's budget, not hides it.
+struct AdmittedConn {
+  int fd = -1;
+  std::chrono::steady_clock::time_point accept_time;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity) : capacity_(capacity) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admit, or refuse immediately when full or shut down (the caller
+  /// sheds the connection; nothing blocks).
+  bool TryPush(AdmittedConn conn);
+
+  /// Block until a connection is available or the queue is shut down
+  /// *and* drained; nullopt means "no more work, exit".
+  std::optional<AdmittedConn> Pop();
+
+  /// Stop admitting. Already-queued connections still drain through
+  /// Pop(); blocked poppers wake once the queue is empty.
+  void Shutdown();
+
+  size_t depth() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<AdmittedConn> queue_;
+  bool shutdown_ = false;
+};
+
+/// Sliding-window admitted/shed tallies: a ring of one-second buckets.
+/// Record() is called by the acceptor; Rates() by /healthz — the window
+/// excludes the current (partial) second so a single burst can't flip
+/// health before it is a sustained signal.
+class ShedWindow {
+ public:
+  /// Window length in whole seconds (ring is one larger to hold the
+  /// in-progress second).
+  explicit ShedWindow(size_t window_seconds = 5)
+      : window_seconds_(window_seconds == 0 ? 1 : window_seconds) {}
+
+  void Record(bool shed);
+
+  /// Admitted/shed totals over the last `window_seconds` complete
+  /// seconds.
+  void Rates(uint64_t* admitted, uint64_t* shed) const;
+
+ private:
+  struct Bucket {
+    int64_t second = -1;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+  };
+  static constexpr size_t kBuckets = 16;
+
+  int64_t NowSecond() const;
+
+  const size_t window_seconds_;
+  mutable std::mutex mu_;
+  Bucket buckets_[kBuckets];
+};
+
+}  // namespace rdfdb::server
+
+#endif  // RDFDB_SERVER_ADMISSION_H_

@@ -1,0 +1,184 @@
+#include "server/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "server/http.h"
+
+namespace rdfdb::server {
+
+namespace {
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t idx = static_cast<size_t>(pos);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::string LoadGenStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "sent=%llu ok=%llu shed=%llu deadline=%llu errors=%llu "
+                "qps=%.1f p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+                static_cast<unsigned long long>(sent),
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(deadline),
+                static_cast<unsigned long long>(errors), qps,
+                static_cast<double>(p50_ns) / 1e6,
+                static_cast<double>(p95_ns) / 1e6,
+                static_cast<double>(p99_ns) / 1e6,
+                static_cast<double>(max_ns) / 1e6);
+  return buf;
+}
+
+std::string LoadGenStats::ToJson() const {
+  std::string out = "{";
+  out += "\"sent\": " + std::to_string(sent);
+  out += ", \"ok\": " + std::to_string(ok);
+  out += ", \"shed\": " + std::to_string(shed);
+  out += ", \"deadline\": " + std::to_string(deadline);
+  out += ", \"errors\": " + std::to_string(errors);
+  out += ", \"acked_inserts\": " + std::to_string(acked_inserts);
+  out += ", \"wall_seconds\": " + std::to_string(wall_seconds);
+  out += ", \"qps\": " + std::to_string(qps);
+  out += ", \"p50_ms\": " + std::to_string(static_cast<double>(p50_ns) / 1e6);
+  out += ", \"p90_ms\": " + std::to_string(static_cast<double>(p90_ns) / 1e6);
+  out += ", \"p95_ms\": " + std::to_string(static_cast<double>(p95_ns) / 1e6);
+  out += ", \"p99_ms\": " + std::to_string(static_cast<double>(p99_ns) / 1e6);
+  out += ", \"max_ms\": " + std::to_string(static_cast<double>(max_ns) / 1e6);
+  out += "}";
+  return out;
+}
+
+Result<LoadGenStats> RunLoadGen(const LoadGenOptions& options) {
+  if (options.port == 0) {
+    return Status::InvalidArgument("loadgen needs a port");
+  }
+  if (options.query_target.empty() && options.insert_fraction <= 0.0) {
+    return Status::InvalidArgument(
+        "loadgen needs a query_target or insert_fraction > 0");
+  }
+  const unsigned workers = std::max(1u, options.concurrency);
+
+  struct WorkerTally {
+    uint64_t sent = 0, ok = 0, shed = 0, deadline = 0, errors = 0;
+    uint64_t acked_inserts = 0;
+    std::vector<int64_t> latencies_ns;  ///< 200s only
+  };
+  std::vector<WorkerTally> tallies(workers);
+  std::atomic<bool> stop{false};
+  // Unique-statement counter shared across workers so every insert is a
+  // fresh triple — the drain check counts exactly these back.
+  std::atomic<uint64_t> next_insert{0};
+
+  std::vector<std::pair<std::string, std::string>> headers;
+  if (options.deadline_ms > 0) {
+    headers.emplace_back("X-Deadline-Ms",
+                         std::to_string(options.deadline_ms));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      WorkerTally& tally = tallies[w];
+      // Deterministic per-worker interleave of reads and writes: every
+      // k-th request is an insert when insert_fraction = 1/k (and
+      // proportionally otherwise) — no RNG needed for a load mix.
+      double insert_debt = 0.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        insert_debt += options.insert_fraction;
+        const bool do_insert =
+            insert_debt >= 1.0 && !options.insert_model.empty();
+        std::string method = "GET";
+        std::string target = options.query_target;
+        std::string body;
+        if (do_insert) {
+          insert_debt -= 1.0;
+          const uint64_t n =
+              next_insert.fetch_add(1, std::memory_order_relaxed);
+          method = "POST";
+          target = "/insert?model=" + options.insert_model;
+          body = "<http://lg.example/s" + std::to_string(n) +
+                 "> <http://lg.example/p> \"v" + std::to_string(n) +
+                 "\" .\n";
+        }
+        const auto start = std::chrono::steady_clock::now();
+        ++tally.sent;
+        Result<HttpClientResponse> resp =
+            HttpRoundTrip(options.host, options.port, method, target,
+                          headers, body, options.io_timeout_ms);
+        const int64_t elapsed =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (!resp.ok()) {
+          ++tally.errors;
+          static std::atomic<int> printed{0};
+          if (printed.fetch_add(1) < 5) {
+            std::fprintf(stderr, "loadgen error: %s\n",
+                         resp.status().ToString().c_str());
+          }
+          continue;
+        }
+        switch (resp->status) {
+          case 200:
+            ++tally.ok;
+            tally.latencies_ns.push_back(elapsed);
+            if (do_insert) ++tally.acked_inserts;
+            break;
+          case 503:
+            ++tally.shed;
+            break;
+          case 504:
+            ++tally.deadline;
+            break;
+          default:
+            ++tally.errors;
+            break;
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(options.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : pool) t.join();
+  const double wall =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  LoadGenStats stats;
+  std::vector<int64_t> latencies;
+  for (const WorkerTally& t : tallies) {
+    stats.sent += t.sent;
+    stats.ok += t.ok;
+    stats.shed += t.shed;
+    stats.deadline += t.deadline;
+    stats.errors += t.errors;
+    stats.acked_inserts += t.acked_inserts;
+    latencies.insert(latencies.end(), t.latencies_ns.begin(),
+                     t.latencies_ns.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  stats.wall_seconds = wall;
+  stats.qps = wall > 0 ? static_cast<double>(stats.ok) / wall : 0;
+  stats.p50_ns = Percentile(latencies, 0.50);
+  stats.p90_ns = Percentile(latencies, 0.90);
+  stats.p95_ns = Percentile(latencies, 0.95);
+  stats.p99_ns = Percentile(latencies, 0.99);
+  stats.max_ns = latencies.empty() ? 0 : latencies.back();
+  return stats;
+}
+
+}  // namespace rdfdb::server

@@ -1,0 +1,72 @@
+// Closed-loop load generator for rdfdb_serve: N client threads each
+// issue one request, wait for the full response, and immediately issue
+// the next — so concurrency, not arrival rate, is the offered-load
+// knob. Raising concurrency past the server's saturation point is
+// exactly the regime the admission queue exists for, and the generator
+// tallies the server's verdicts (200 served / 503 shed / 504 deadline)
+// separately so the headline table in EXPERIMENTS.md can show tail
+// latency of *served* requests staying bounded while the shed count
+// absorbs the overload.
+//
+// Used by tools/rdfdb_loadgen.cc (CLI), bench/bench_server_load.cpp
+// (headline experiment) and the CI saturation smoke job.
+
+#ifndef RDFDB_SERVER_LOADGEN_H_
+#define RDFDB_SERVER_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace rdfdb::server {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Closed-loop client threads (the offered-load knob).
+  unsigned concurrency = 8;
+  /// Wall-clock run length.
+  int duration_ms = 2000;
+  /// X-Deadline-Ms each request carries (<= 0 omits the header).
+  int64_t deadline_ms = 500;
+  /// Request target for read requests (e.g. "/query?q=...&model=m").
+  std::string query_target;
+  /// Fraction of requests that are inserts (0 = read-only). Inserts
+  /// POST one unique N-Triples statement per request to /insert?model=.
+  double insert_fraction = 0.0;
+  std::string insert_model = "serve";
+  /// Client-side socket timeout; must comfortably exceed deadline_ms.
+  int io_timeout_ms = 10000;
+};
+
+struct LoadGenStats {
+  uint64_t sent = 0;      ///< requests issued
+  uint64_t ok = 0;        ///< 200 responses
+  uint64_t shed = 0;      ///< 503 responses (admission refused)
+  uint64_t deadline = 0;  ///< 504 responses (deadline fired)
+  uint64_t errors = 0;    ///< transport failures + other statuses
+  uint64_t acked_inserts = 0;  ///< statements the server acked with 200
+
+  double wall_seconds = 0;
+  double qps = 0;  ///< served (200) responses per second
+
+  /// Latency percentiles over *served* (200) requests, nanoseconds.
+  int64_t p50_ns = 0;
+  int64_t p90_ns = 0;
+  int64_t p95_ns = 0;
+  int64_t p99_ns = 0;
+  int64_t max_ns = 0;
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+/// Run the closed loop. Fails only on setup errors (bad options);
+/// per-request transport failures land in `errors`.
+Result<LoadGenStats> RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace rdfdb::server
+
+#endif  // RDFDB_SERVER_LOADGEN_H_

@@ -391,5 +391,77 @@ TEST_F(StatsServerTest, RefreshHookRunsBeforeGaugeEndpoints) {
   EXPECT_EQ(calls, 3);
 }
 
+namespace {
+
+// Raw byte-level exchange against a served StatsServer (the hardening
+// paths only exist on the socket side of ServeOne).
+std::string RawExchange(uint16_t port, const std::string& bytes) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+TEST_F(StatsServerTest, OversizedRequestHeadGets413) {
+  StatsServer server(FullSources());
+  ASSERT_TRUE(server.Start(0).ok());
+  std::thread serving([&] { server.ServeOne(); });
+  // A request line that never terminates within the cap: the server
+  // must answer 413 instead of buffering without limit.
+  std::string huge = "GET /";
+  huge.append(32 * 1024, 'a');  // over the 16 KiB cap, no CRLF yet
+  huge += " HTTP/1.1\r\n\r\n";
+  std::string response = RawExchange(server.port(), huge);
+  serving.join();
+  server.Stop();
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos)
+      << response.substr(0, 120);
+}
+
+TEST_F(StatsServerTest, MalformedRequestLineGets400) {
+  StatsServer server(FullSources());
+  ASSERT_TRUE(server.Start(0).ok());
+  std::thread serving([&] { server.ServeOne(); });
+  std::string response = RawExchange(server.port(), "GET nope\r\n\r\n");
+  serving.join();
+  server.Stop();
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+}
+
+TEST_F(StatsServerTest, ExtraHealthHookFeedsHealthz) {
+  StatsServer::Sources sources;
+  sources.registry = &store_.metrics_registry();
+  std::string signal;
+  sources.extra_health = [&signal] { return signal; };
+  StatsServer server(sources);
+
+  EXPECT_EQ(server.Handle("/healthz").status, 200);
+  signal = "shed_fraction=0.80 queue_depth=64";
+  StatsServer::Response resp = server.Handle("/healthz");
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_NE(resp.body.find("shed_fraction=0.80"), std::string::npos)
+      << resp.body;
+  signal.clear();
+  EXPECT_EQ(server.Handle("/healthz").status, 200);
+}
+
 }  // namespace
 }  // namespace rdfdb::obs

@@ -1,0 +1,58 @@
+// rdfdb_loadgen: closed-loop load generator for rdfdb_serve.
+//
+//   rdfdb_loadgen --port <n> [--host <h>] [--concurrency <n>]
+//                 [--duration-ms <n>] [--deadline-ms <n>]
+//                 [--query <target>] [--insert-fraction <f>]
+//                 [--insert-model <m>] [--json]
+//
+// Each of --concurrency worker threads issues one request, waits for
+// the complete response, and immediately issues the next; concurrency
+// is the offered-load knob. Prints a one-line summary (or JSON with
+// --json): qps over served requests, p50/p90/p95/p99 latency, and the
+// 503-shed / 504-deadline counts the server used to protect itself.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/loadgen.h"
+
+int main(int argc, char** argv) {
+  rdfdb::server::LoadGenOptions options;
+  options.query_target = "/query?q=(%3Fs%20%3Fp%20%3Fo)&model=m&limit=64";
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--host") == 0 && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (std::strcmp(argv[i], "--concurrency") == 0 && i + 1 < argc) {
+      options.concurrency = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      options.duration_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      options.deadline_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--query") == 0 && i + 1 < argc) {
+      options.query_target = argv[++i];
+    } else if (std::strcmp(argv[i], "--insert-fraction") == 0 &&
+               i + 1 < argc) {
+      options.insert_fraction = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--insert-model") == 0 && i + 1 < argc) {
+      options.insert_model = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  auto stats = rdfdb::server::RunLoadGen(options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "loadgen: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n",
+              json ? stats->ToJson().c_str() : stats->ToString().c_str());
+  return 0;
+}

@@ -27,7 +27,7 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" \
   test_metrics test_codec \
   test_exec_diff test_event_log test_span_timeline test_slow_query_log \
   test_resource_tracker test_profiler test_memory_accounting \
-  test_flight_recorder
+  test_flight_recorder test_cancel test_server
 
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/test_bulk_load
@@ -50,5 +50,11 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 # (see obs/profiler.cc), so suppress only that check for this binary.
 TSAN_OPTIONS="report_signal_unsafe=0 $TSAN_OPTIONS" \
   "$BUILD_DIR"/tests/test_profiler
+# The serving path end to end: cooperative cancellation racing the
+# parallel executor's worker/consumer pipeline (test_cancel) and the
+# acceptor/admission-queue/worker-pool/watcher threads of the network
+# front-end, including mid-flight SIGTERM drain (test_server).
+"$BUILD_DIR"/tests/test_cancel
+"$BUILD_DIR"/tests/test_server
 
 echo "TSan run clean."
